@@ -1,0 +1,95 @@
+//===- bench/bench_fig12.cpp - The Fig. 12 evaluation table (E1) ------------------===//
+//
+// Regenerates the paper's single evaluation table: for each case study,
+// the code size, ITL event count, specification size, manual-hint count,
+// symbolic-execution ("Isla") time and verification ("Coq") time, the
+// latter split into separation-logic automation and side-condition solving
+// as the paper splits its Coq column.  Paper reference values are printed
+// alongside for shape comparison (absolute times are expected to differ:
+// different machine, solver, and model scale).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/CaseStudies.h"
+
+#include <cstdio>
+
+using islaris::frontend::CaseResult;
+
+namespace {
+
+struct PaperRow {
+  const char *Name;
+  const char *Isa;
+  unsigned Asm, Itl, Spec, Proof;
+  double IslaSec, CoqAutoSec, CoqSideSec;
+};
+
+// Fig. 12 of the paper (Coq time columns 1 and 2 of the '/' split).
+const PaperRow Paper[] = {
+    {"memcpy", "Arm", 8, 169, 20, 55, 6, 9, 2},
+    {"memcpy", "RV", 8, 134, 19, 54, 1, 10, 4},
+    {"hvc", "Arm", 13, 436, 93, 5, 10, 28, 5},
+    {"pKVM", "Arm", 47, 1070, 159, 232, 37, 67, 16},
+    {"unaligned", "Arm", 1, 104, 89, 29, 2, 10, 12},
+    {"UART", "Arm", 14, 207, 33, 42, 10, 9, 3},
+    {"rbit", "Arm", 2, 26, 18, 27, 3, 4, 73},
+    {"bin.search", "Arm", 32, 741, 25, 146, 25, 54, 16},
+    {"bin.search", "RV", 48, 801, 25, 108, 5, 63, 22},
+};
+
+} // namespace
+
+int main() {
+  std::printf("Fig. 12 reproduction: example sizes and times\n");
+  std::printf("(per row: this reproduction / paper reference)\n\n");
+  std::printf("%-11s %-4s | %13s | %13s | %11s | %11s | %15s | %23s\n",
+              "Test", "ISA", "asm (rep/pap)", "ITL (rep/pap)",
+              "Spec (r/p)", "Hints (r/p)", "Isla s (r/p)",
+              "Verify s auto+side (r/p)");
+  std::printf("--------------------------------------------------------------"
+              "----------------------------------------------------\n");
+
+  std::vector<CaseResult> Rows = islaris::frontend::runAllCaseStudies();
+  bool AllOk = true;
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const CaseResult &R = Rows[I];
+    const PaperRow &P = Paper[I];
+    if (!R.Ok) {
+      std::printf("%-11s %-4s | FAILED: %s\n", R.Name.c_str(),
+                  R.Isa.c_str(), R.Error.c_str());
+      AllOk = false;
+      continue;
+    }
+    std::printf("%-11s %-4s | %5u / %5u | %5u / %5u | %4u / %4u | "
+                "%4u / %4u | %6.2f / %5.0f | %5.2f + %5.2f / %3.0f + %3.0f\n",
+                R.Name.c_str(), R.Isa.c_str(), R.AsmInstrs, P.Asm,
+                R.ItlEvents, P.Itl, R.SpecSize, P.Spec, R.Hints, P.Proof,
+                R.IslaSeconds, P.IslaSec, R.Proof.automationSeconds(),
+                R.Proof.SideCondSeconds, P.CoqAutoSec, P.CoqSideSec);
+  }
+  std::printf("\nShape checks (the qualitative claims that must carry "
+              "over):\n");
+  auto row = [&](const char *N, const char *I) -> const CaseResult & {
+    for (const CaseResult &R : Rows)
+      if (R.Name == N && R.Isa == I)
+        return R;
+    static CaseResult Dummy;
+    return Dummy;
+  };
+  auto total = [](const CaseResult &R) {
+    return R.IslaSeconds + R.Proof.TotalSeconds;
+  };
+  bool PkvmLargest = true;
+  for (const CaseResult &R : Rows)
+    PkvmLargest = PkvmLargest && R.ItlEvents <= row("pKVM", "Arm").ItlEvents;
+  std::printf("  pKVM has the most ITL events ............ %s\n",
+              PkvmLargest ? "yes (as in the paper)" : "NO");
+  std::printf("  rbit is the smallest example ............ %s\n",
+              row("rbit", "Arm").ItlEvents <= 60 ? "yes" : "NO");
+  std::printf("  pKVM is the most expensive end to end ... %s\n",
+              total(row("pKVM", "Arm")) >= total(row("rbit", "Arm"))
+                  ? "yes"
+                  : "NO");
+  return AllOk ? 0 : 1;
+}

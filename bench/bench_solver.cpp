@@ -1,0 +1,124 @@
+//===- bench/bench_solver.cpp - Bitvector-automation micro-benchmarks (E8) ---------===//
+//
+// The paper attributes much of its verification time to "the bitvector
+// automation" (§6).  These google-benchmark micro-benchmarks measure our
+// QF_BV solver on the side-condition shapes the case studies generate:
+// address containment, flag-condition implications, move-wide patching
+// equalities, and the rbit spec/trace equivalence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace islaris;
+using namespace islaris::smt;
+
+namespace {
+
+/// Array containment: prove (base + i) - base < n under i < n.
+void BM_AddressContainment(benchmark::State &State) {
+  for (auto _ : State) {
+    TermBuilder TB;
+    Solver S(TB);
+    const Term *Base = TB.freshVar(Sort::bitvec(64), "base");
+    const Term *I = TB.freshVar(Sort::bitvec(64), "i");
+    S.assertTerm(TB.bvUlt(I, TB.constBV(64, uint64_t(State.range(0)))));
+    const Term *Off = TB.bvSub(TB.bvAdd(Base, I), Base);
+    bool Ok = S.isValid(
+        TB.bvUlt(Off, TB.constBV(64, uint64_t(State.range(0)))));
+    if (!Ok)
+      State.SkipWithError("containment not proven");
+  }
+}
+BENCHMARK(BM_AddressContainment)->Arg(4)->Arg(16)->Arg(64);
+
+/// Flag implication: the cmp/b.ne side condition of the memcpy loop.
+void BM_FlagCondition(benchmark::State &State) {
+  for (auto _ : State) {
+    TermBuilder TB;
+    Solver S(TB);
+    const Term *N = TB.constBV(64, 4);
+    const Term *M = TB.freshVar(Sort::bitvec(64), "m");
+    const Term *M1 = TB.bvAdd(M, TB.constBV(64, 1));
+    S.assertTerm(TB.bvUlt(M, N));
+    S.assertTerm(TB.notTerm(TB.eqTerm(TB.bvSub(N, M1), TB.constBV(64, 0))));
+    bool Ok = S.isValid(TB.bvUlt(M1, N));
+    if (!Ok)
+      State.SkipWithError("flag implication not proven");
+  }
+}
+BENCHMARK(BM_FlagCondition);
+
+/// The pKVM move-wide relocation equality: masked-insert chain equals the
+/// shift-or composition.
+void BM_MoveWidePatch(benchmark::State &State) {
+  for (auto _ : State) {
+    TermBuilder TB;
+    Solver S(TB);
+    const Term *Imm[4] = {
+        TB.freshVar(Sort::bitvec(16), "i0"),
+        TB.freshVar(Sort::bitvec(16), "i1"),
+        TB.freshVar(Sort::bitvec(16), "i2"),
+        TB.freshVar(Sort::bitvec(16), "i3"),
+    };
+    // movz/movk chain.
+    const Term *V = TB.zeroExtend(48, Imm[0]);
+    for (int K = 1; K < 4; ++K) {
+      const Term *Mask = TB.constBV(BitVec(64, 0xffffull).shl(16 * K));
+      V = TB.bvOr(TB.bvAnd(V, TB.bvNot(Mask)),
+                  TB.bvShl(TB.zeroExtend(48, Imm[K]),
+                           TB.constBV(64, 16 * K)));
+    }
+    // Shift-or composition.
+    const Term *W = TB.zeroExtend(48, Imm[0]);
+    for (int K = 1; K < 4; ++K)
+      W = TB.bvOr(W, TB.bvShl(TB.zeroExtend(48, Imm[K]),
+                              TB.constBV(64, 16 * K)));
+    if (!S.isValid(TB.eqTerm(V, W)))
+      State.SkipWithError("move-wide equality not proven");
+  }
+}
+BENCHMARK(BM_MoveWidePatch);
+
+/// The rbit side condition: concat-of-extracts equals shift-and-mask.
+void BM_RbitEquivalence(benchmark::State &State) {
+  unsigned W = unsigned(State.range(0));
+  for (auto _ : State) {
+    TermBuilder TB;
+    Solver S(TB);
+    const Term *X = TB.freshVar(Sort::bitvec(W), "x");
+    const Term *A = TB.extract(0, 0, X);
+    for (unsigned I = 1; I < W; ++I)
+      A = TB.concat(A, TB.extract(I, I, X));
+    const Term *B = TB.constBV(W, 0);
+    for (unsigned I = 0; I < W; ++I)
+      B = TB.bvOr(B, TB.bvShl(TB.bvAnd(TB.bvLShr(X, TB.constBV(W, I)),
+                                       TB.constBV(W, 1)),
+                              TB.constBV(W, W - 1 - I)));
+    if (!S.isValid(TB.eqTerm(A, B)))
+      State.SkipWithError("rbit equivalence not proven");
+  }
+}
+BENCHMARK(BM_RbitEquivalence)->Arg(8)->Arg(32)->Arg(64);
+
+/// Sorted-array lower-bound implication (binary search back-edge).
+void BM_SortedImplication(benchmark::State &State) {
+  for (auto _ : State) {
+    TermBuilder TB;
+    Solver S(TB);
+    const Term *Key = TB.freshVar(Sort::bitvec(64), "key");
+    const Term *E0 = TB.freshVar(Sort::bitvec(64), "e0");
+    const Term *E1 = TB.freshVar(Sort::bitvec(64), "e1");
+    S.assertTerm(TB.bvSle(E0, E1));
+    S.assertTerm(TB.bvSlt(E1, Key));
+    if (!S.isValid(TB.bvSlt(E0, Key)))
+      State.SkipWithError("transitivity not proven");
+  }
+}
+BENCHMARK(BM_SortedImplication);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+//===- examples/exception_vector.cpp - Fig. 9, verified AND executed -------------===//
+//
+// The §2.6 systems-code demonstration from two angles:
+//   1. verify the Fig. 9 exception-vector program (install a vector at
+//      EL2, eret to EL1, hvc back into the vector, return with x0 = 42);
+//   2. then *execute* the same machine code under the ITL operational
+//      semantics from a concrete initial state, checking the adequacy
+//      story concretely: the run never reaches BOTTOM and x0 really is 42
+//      when the program reaches its hang loop.
+//
+// Build & run:  ./build/examples/exception_vector
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/AArch64.h"
+#include "frontend/CaseStudies.h"
+#include "frontend/Verifier.h"
+#include "itl/OpSem.h"
+
+#include <cstdio>
+
+using namespace islaris;
+using islaris::itl::Reg;
+using smt::Value;
+
+int main() {
+  // --- Verification (the hvc case study). ---
+  frontend::CaseResult R = frontend::runHvc();
+  if (!R.Ok) {
+    std::fprintf(stderr, "verification failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("Fig. 9 program VERIFIED: reaching the hang loop implies "
+              "x0 == 42.\n");
+  std::printf("  %u instructions, %u ITL events, %.3fs symbolic execution, "
+              "%.3fs proof\n\n",
+              R.AsmInstrs, R.ItlEvents, R.IslaSeconds,
+              R.Proof.TotalSeconds);
+
+  // --- Concrete execution through the ITL semantics. ---
+  // Regenerate the traces (the case study owns its Verifier internally),
+  // then run the whole-program transition system of Fig. 10.
+  namespace e = arch::aarch64::enc;
+  using arch::aarch64::SysReg;
+  arch::aarch64::Asm A;
+  A.org(0x80000);
+  A.put(e::movz(0, 0xa, 1));
+  A.put(e::msr(SysReg::VBAR_EL2, 0));
+  A.put(e::movz(0, 0x8000, 1));
+  A.put(e::msr(SysReg::HCR_EL2, 0));
+  A.put(e::movz(0, 0x3c4, 0));
+  A.put(e::msr(SysReg::SPSR_EL2, 0));
+  A.put(e::movz(0, 0x9, 1));
+  A.put(e::msr(SysReg::ELR_EL2, 0));
+  A.put(e::eret());
+  A.org(0x90000);
+  A.put(e::movz(0, 0));
+  A.put(e::hvc(0));
+  A.put(e::b(0)); // hang
+  A.org(0xa0400);
+  A.put(e::movz(0, 42));
+  A.put(e::eret());
+
+  frontend::Verifier V(frontend::aarch64());
+  V.addCode(A.finish());
+  // Reuse the per-address constraints of the case study: defaults for EL2,
+  // overrides where the configuration changes.
+  V.defaults()
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b10))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 1));
+  V.at(0x80020)
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b10))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 1))
+      .assume(Reg("SPSR_EL2"), BitVec(64, 0x3c4))
+      .assume(Reg("HCR_EL2"), BitVec(64, 0x80000000ull));
+  V.at(0x90000)
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b01))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 0));
+  V.at(0x90004)
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b01))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 0));
+  V.at(0x90008);
+  V.at(0xa0400)
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b10))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 1));
+  V.at(0xa0404)
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b10))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 1))
+      .assume(Reg("HCR_EL2"), BitVec(64, 0x80000000ull))
+      .constrain(Reg("SPSR_EL2"),
+                 [](smt::TermBuilder &TB, const smt::Term *S) {
+                   return TB.andTerm(
+                       TB.eqTerm(TB.extract(4, 4, S), TB.constBV(1, 0)),
+                       TB.eqTerm(TB.extract(3, 2, S), TB.constBV(2, 0b01)));
+                 });
+  std::string Err;
+  if (!V.generateTraces(Err)) {
+    std::fprintf(stderr, "trace generation failed: %s\n", Err.c_str());
+    return 1;
+  }
+
+  itl::MachineState S;
+  S.PcReg = "_PC";
+  for (int I = 0; I <= 30; ++I)
+    S.setReg(arch::aarch64::xreg(unsigned(I)), Value(BitVec(64, 0)));
+  for (const char *SR : {"VBAR_EL2", "HCR_EL2", "SPSR_EL2", "ELR_EL2",
+                         "ESR_EL2", "SP_EL0", "SP_EL1", "SP_EL2"})
+    S.setReg(Reg(SR), Value(BitVec(64, 0)));
+  for (const char *F : {"N", "Z", "C", "V", "D", "A", "I", "F"})
+    S.setReg(Reg("PSTATE", F), Value(BitVec(1, 0)));
+  S.setReg(Reg("PSTATE", "EL"), Value(BitVec(2, 0b10)));
+  S.setReg(Reg("PSTATE", "SP"), Value(BitVec(1, 1)));
+  S.setReg(Reg("_PC"), Value(BitVec(64, 0x80000)));
+  S.Instrs = V.instrMap();
+
+  smt::TermBuilder &TB = V.builder();
+  itl::Interpreter Interp(TB);
+  auto Paths = Interp.runProgram(S, 64);
+  for (const auto &P : Paths) {
+    if (P.Out == itl::Outcome::Bottom || P.Out == itl::Outcome::Stuck) {
+      std::fprintf(stderr, "execution failed: %s\n", P.Reason.c_str());
+      return 1;
+    }
+    if (P.Out == itl::Outcome::OutOfFuel) {
+      // Expected: the program hangs forever at 0x90008.
+      uint64_t X0 = P.Final.getReg(Reg("R0"))->asBitVec().toUInt64();
+      uint64_t Pc = P.Final.getReg(Reg("_PC"))->asBitVec().toUInt64();
+      std::printf("Concrete ITL execution: spinning at 0x%llx with "
+                  "x0 = %llu.\n",
+                  (unsigned long long)Pc, (unsigned long long)X0);
+      if (X0 != 42 || Pc != 0x90008) {
+        std::fprintf(stderr, "unexpected final state!\n");
+        return 1;
+      }
+    }
+  }
+  std::printf("Adequacy check passed: the verified property holds on the "
+              "concrete run.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===- examples/relocation_patch.cpp - Partially symbolic opcodes ----------------===//
+//
+// The §6 pKVM mechanism in isolation: four move-wide instructions whose
+// 16-bit immediates are patched at load time with a relocated address.
+// Marking the immediate fields symbolic makes Isla produce traces that are
+// *parametric in the relocation offset*, so one proof covers every load
+// address.  This example prints those parametric traces and then runs the
+// full pKVM handler case study.
+//
+// Build & run:  ./build/examples/relocation_patch
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/AArch64.h"
+#include "frontend/CaseStudies.h"
+#include "frontend/Verifier.h"
+
+#include <cstdio>
+
+using namespace islaris;
+using islaris::itl::Reg;
+
+int main() {
+  namespace e = arch::aarch64::enc;
+  frontend::Verifier V(frontend::aarch64());
+  V.addCode({{0x1000, e::movz(5, 0)},
+             {0x1004, e::movk(5, 0, 1)},
+             {0x1008, e::movk(5, 0, 2)},
+             {0x100c, e::movk(5, 0, 3)}});
+  for (uint64_t Addr : {0x1000ull, 0x1004ull, 0x1008ull, 0x100cull})
+    V.symbolicAt(Addr, 20, 5); // the imm16 field is load-time patched
+
+  std::string Err;
+  if (!V.generateTraces(Err)) {
+    std::fprintf(stderr, "trace generation failed: %s\n", Err.c_str());
+    return 1;
+  }
+
+  std::printf("Relocation-patched move-wide sequence, traces parametric in "
+              "the immediates:\n\n");
+  for (uint64_t Addr : {0x1000ull, 0x1004ull, 0x1008ull, 0x100cull}) {
+    std::printf("--- instruction at 0x%llx (imm16 = %s) ---\n%s\n\n",
+                (unsigned long long)Addr,
+                V.opcodeVarsAt(Addr).at(0)->varName().c_str(),
+                V.traceAt(Addr)->toString().c_str());
+  }
+
+  std::printf("Running the full pKVM handler case study (dispatch, two "
+              "hypercalls, 24 system-register interactions, constrained "
+              "SPSR eret)...\n");
+  frontend::CaseResult R = frontend::runPkvm();
+  if (!R.Ok) {
+    std::fprintf(stderr, "verification failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("VERIFIED for all relocation offsets: %u instructions, %u ITL "
+              "events, %u paths, %.3fs total.\n",
+              R.AsmInstrs, R.ItlEvents, R.Proof.PathsVerified,
+              R.IslaSeconds + R.Proof.TotalSeconds);
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===- arch/Assembler.h - Two-pass label-resolving assembler ----*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Architecture-independent assembly buffer: .org, labels, fixed opcodes,
+/// and PC-relative fixups resolved in a second pass.  The AArch64 and RV64
+/// encoder layers build on it; the output (address -> 32-bit opcode) is the
+/// machine code Islaris verifies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_ARCH_ASSEMBLER_H
+#define ISLARIS_ARCH_ASSEMBLER_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace islaris::arch {
+
+/// A two-pass assembler buffer.
+class Assembler {
+public:
+  /// Sets the current emission address (like the .org of Fig. 9).
+  void org(uint64_t Addr) { Here = Addr; }
+  uint64_t here() const { return Here; }
+
+  /// Binds a label to the current address.
+  void label(const std::string &Name) {
+    assert(!Labels.count(Name) && "duplicate label");
+    Labels[Name] = Here;
+  }
+
+  /// Emits a fixed 32-bit opcode.
+  void put(uint32_t Opcode) {
+    Code[Here] = Opcode;
+    Here += 4;
+  }
+
+  /// Emits an opcode whose encoding depends on the byte offset from the
+  /// emission site to \p Target (resolved in finish()).
+  void putRel(const std::string &Target,
+              std::function<uint32_t(int64_t)> Encode) {
+    Fixups.push_back({Here, Target, std::move(Encode)});
+    Code[Here] = 0;
+    Here += 4;
+  }
+
+  /// Address of a bound label; asserts if unbound (after finish()).
+  uint64_t addrOf(const std::string &Name) const {
+    auto It = Labels.find(Name);
+    assert(It != Labels.end() && "unbound label");
+    return It->second;
+  }
+
+  /// Resolves all fixups and returns the code image.
+  std::map<uint64_t, uint32_t> finish() {
+    for (const Fixup &F : Fixups) {
+      auto It = Labels.find(F.Target);
+      assert(It != Labels.end() && "unbound label in fixup");
+      Code[F.Site] = F.Encode(int64_t(It->second) - int64_t(F.Site));
+    }
+    Fixups.clear();
+    return Code;
+  }
+
+private:
+  struct Fixup {
+    uint64_t Site;
+    std::string Target;
+    std::function<uint32_t(int64_t)> Encode;
+  };
+
+  uint64_t Here = 0;
+  std::map<uint64_t, uint32_t> Code;
+  std::unordered_map<std::string, uint64_t> Labels;
+  std::vector<Fixup> Fixups;
+};
+
+} // namespace islaris::arch
+
+#endif // ISLARIS_ARCH_ASSEMBLER_H

@@ -1,0 +1,179 @@
+//===- arch/RiscV.cpp - RV64 encoders -------------------------------------------===//
+
+#include "arch/RiscV.h"
+
+using namespace islaris;
+using namespace islaris::arch::rv64;
+
+unsigned islaris::arch::rv64::regWidth(const itl::Reg &) { return 64; }
+
+namespace islaris::arch::rv64::enc {
+
+static uint32_t rtype(unsigned F7, unsigned Rs2, unsigned Rs1, unsigned F3,
+                      unsigned Rd, unsigned Op) {
+  assert(Rd < 32 && Rs1 < 32 && Rs2 < 32 && "bad register operand");
+  return F7 << 25 | Rs2 << 20 | Rs1 << 15 | F3 << 12 | Rd << 7 | Op;
+}
+static uint32_t itype(int32_t Imm, unsigned Rs1, unsigned F3, unsigned Rd,
+                      unsigned Op) {
+  assert(Imm >= -2048 && Imm < 2048 && "I-immediate out of range");
+  return uint32_t(Imm & 0xfff) << 20 | Rs1 << 15 | F3 << 12 | Rd << 7 | Op;
+}
+static uint32_t stype(int32_t Imm, unsigned Rs2, unsigned Rs1, unsigned F3,
+                      unsigned Op) {
+  assert(Imm >= -2048 && Imm < 2048 && "S-immediate out of range");
+  uint32_t I = uint32_t(Imm & 0xfff);
+  return (I >> 5) << 25 | Rs2 << 20 | Rs1 << 15 | F3 << 12 |
+         (I & 0x1f) << 7 | Op;
+}
+static uint32_t btype(int64_t ByteOff, unsigned Rs2, unsigned Rs1,
+                      unsigned F3) {
+  assert(ByteOff % 2 == 0 && ByteOff >= -4096 && ByteOff < 4096 &&
+         "B-offset out of range");
+  uint32_t I = uint32_t(ByteOff) & 0x1fff;
+  return ((I >> 12) & 1) << 31 | ((I >> 5) & 0x3f) << 25 | Rs2 << 20 |
+         Rs1 << 15 | F3 << 12 | ((I >> 1) & 0xf) << 8 | ((I >> 11) & 1) << 7 |
+         0b1100011;
+}
+
+uint32_t lui(unsigned Rd, uint32_t Imm20) {
+  assert(Imm20 < (1u << 20) && "U-immediate out of range");
+  return Imm20 << 12 | Rd << 7 | 0b0110111;
+}
+uint32_t auipc(unsigned Rd, uint32_t Imm20) {
+  assert(Imm20 < (1u << 20) && "U-immediate out of range");
+  return Imm20 << 12 | Rd << 7 | 0b0010111;
+}
+uint32_t addi(unsigned Rd, unsigned Rs1, int32_t Imm12) {
+  return itype(Imm12, Rs1, 0b000, Rd, 0b0010011);
+}
+uint32_t xori(unsigned Rd, unsigned Rs1, int32_t Imm12) {
+  return itype(Imm12, Rs1, 0b100, Rd, 0b0010011);
+}
+uint32_t ori(unsigned Rd, unsigned Rs1, int32_t Imm12) {
+  return itype(Imm12, Rs1, 0b110, Rd, 0b0010011);
+}
+uint32_t andi(unsigned Rd, unsigned Rs1, int32_t Imm12) {
+  return itype(Imm12, Rs1, 0b111, Rd, 0b0010011);
+}
+uint32_t sltiu(unsigned Rd, unsigned Rs1, int32_t Imm12) {
+  return itype(Imm12, Rs1, 0b011, Rd, 0b0010011);
+}
+uint32_t slli(unsigned Rd, unsigned Rs1, unsigned Sh) {
+  assert(Sh < 64 && "shift out of range");
+  return itype(int32_t(Sh), Rs1, 0b001, Rd, 0b0010011);
+}
+uint32_t srli(unsigned Rd, unsigned Rs1, unsigned Sh) {
+  assert(Sh < 64 && "shift out of range");
+  return itype(int32_t(Sh), Rs1, 0b101, Rd, 0b0010011);
+}
+uint32_t srai(unsigned Rd, unsigned Rs1, unsigned Sh) {
+  assert(Sh < 64 && "shift out of range");
+  return itype(int32_t(Sh) | 0x400, Rs1, 0b101, Rd, 0b0010011);
+}
+uint32_t add(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return rtype(0, Rs2, Rs1, 0b000, Rd, 0b0110011);
+}
+uint32_t sub(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return rtype(0b0100000, Rs2, Rs1, 0b000, Rd, 0b0110011);
+}
+uint32_t sltu(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return rtype(0, Rs2, Rs1, 0b011, Rd, 0b0110011);
+}
+uint32_t xorr(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return rtype(0, Rs2, Rs1, 0b100, Rd, 0b0110011);
+}
+uint32_t orr(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return rtype(0, Rs2, Rs1, 0b110, Rd, 0b0110011);
+}
+uint32_t andr(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return rtype(0, Rs2, Rs1, 0b111, Rd, 0b0110011);
+}
+uint32_t srl(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return rtype(0, Rs2, Rs1, 0b101, Rd, 0b0110011);
+}
+uint32_t sll(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return rtype(0, Rs2, Rs1, 0b001, Rd, 0b0110011);
+}
+uint32_t lb(unsigned Rd, unsigned Rs1, int32_t Imm12) {
+  return itype(Imm12, Rs1, 0b000, Rd, 0b0000011);
+}
+uint32_t lbu(unsigned Rd, unsigned Rs1, int32_t Imm12) {
+  return itype(Imm12, Rs1, 0b100, Rd, 0b0000011);
+}
+uint32_t lw(unsigned Rd, unsigned Rs1, int32_t Imm12) {
+  return itype(Imm12, Rs1, 0b010, Rd, 0b0000011);
+}
+uint32_t ld(unsigned Rd, unsigned Rs1, int32_t Imm12) {
+  return itype(Imm12, Rs1, 0b011, Rd, 0b0000011);
+}
+uint32_t sb(unsigned Rs2, unsigned Rs1, int32_t Imm12) {
+  return stype(Imm12, Rs2, Rs1, 0b000, 0b0100011);
+}
+uint32_t sw(unsigned Rs2, unsigned Rs1, int32_t Imm12) {
+  return stype(Imm12, Rs2, Rs1, 0b010, 0b0100011);
+}
+uint32_t sd(unsigned Rs2, unsigned Rs1, int32_t Imm12) {
+  return stype(Imm12, Rs2, Rs1, 0b011, 0b0100011);
+}
+uint32_t beq(unsigned Rs1, unsigned Rs2, int64_t ByteOff) {
+  return btype(ByteOff, Rs2, Rs1, 0b000);
+}
+uint32_t bne(unsigned Rs1, unsigned Rs2, int64_t ByteOff) {
+  return btype(ByteOff, Rs2, Rs1, 0b001);
+}
+uint32_t blt(unsigned Rs1, unsigned Rs2, int64_t ByteOff) {
+  return btype(ByteOff, Rs2, Rs1, 0b100);
+}
+uint32_t bge(unsigned Rs1, unsigned Rs2, int64_t ByteOff) {
+  return btype(ByteOff, Rs2, Rs1, 0b101);
+}
+uint32_t bltu(unsigned Rs1, unsigned Rs2, int64_t ByteOff) {
+  return btype(ByteOff, Rs2, Rs1, 0b110);
+}
+uint32_t bgeu(unsigned Rs1, unsigned Rs2, int64_t ByteOff) {
+  return btype(ByteOff, Rs2, Rs1, 0b111);
+}
+uint32_t jal(unsigned Rd, int64_t ByteOff) {
+  assert(ByteOff % 2 == 0 && ByteOff >= -(1 << 20) && ByteOff < (1 << 20) &&
+         "J-offset out of range");
+  uint32_t I = uint32_t(ByteOff) & 0x1fffff;
+  return ((I >> 20) & 1) << 31 | ((I >> 1) & 0x3ff) << 21 |
+         ((I >> 11) & 1) << 20 | ((I >> 12) & 0xff) << 12 | Rd << 7 |
+         0b1101111;
+}
+uint32_t jalr(unsigned Rd, unsigned Rs1, int32_t Imm12) {
+  return itype(Imm12, Rs1, 0b000, Rd, 0b1100111);
+}
+uint32_t addiw(unsigned Rd, unsigned Rs1, int32_t Imm12) {
+  return itype(Imm12, Rs1, 0b000, Rd, 0b0011011);
+}
+uint32_t slliw(unsigned Rd, unsigned Rs1, unsigned Sh) {
+  assert(Sh < 32 && "W-shift out of range");
+  return itype(int32_t(Sh), Rs1, 0b001, Rd, 0b0011011);
+}
+uint32_t srliw(unsigned Rd, unsigned Rs1, unsigned Sh) {
+  assert(Sh < 32 && "W-shift out of range");
+  return itype(int32_t(Sh), Rs1, 0b101, Rd, 0b0011011);
+}
+uint32_t sraiw(unsigned Rd, unsigned Rs1, unsigned Sh) {
+  assert(Sh < 32 && "W-shift out of range");
+  return itype(int32_t(Sh) | 0x400, Rs1, 0b101, Rd, 0b0011011);
+}
+uint32_t addw(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return rtype(0, Rs2, Rs1, 0b000, Rd, 0b0111011);
+}
+uint32_t subw(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return rtype(0b0100000, Rs2, Rs1, 0b000, Rd, 0b0111011);
+}
+uint32_t sllw(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return rtype(0, Rs2, Rs1, 0b001, Rd, 0b0111011);
+}
+uint32_t srlw(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return rtype(0, Rs2, Rs1, 0b101, Rd, 0b0111011);
+}
+uint32_t sraw(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return rtype(0b0100000, Rs2, Rs1, 0b101, Rd, 0b0111011);
+}
+
+} // namespace islaris::arch::rv64::enc

@@ -1,0 +1,119 @@
+//===- arch/RiscV.h - RV64 encoders and ABI info ----------------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RV64I instruction encoders matching the model's decoder, plus ABI
+/// helpers (a0-a7 = x10-x17, ra = x1, sp = x2, t0-t2 = x5-x7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_ARCH_RISCV_H
+#define ISLARIS_ARCH_RISCV_H
+
+#include "arch/Assembler.h"
+#include "itl/Trace.h"
+
+#include <cstdint>
+
+namespace islaris::arch::rv64 {
+
+/// Model register name for x1..x31 (x0 is the hardwired zero and has no
+/// architectural state).
+inline itl::Reg xreg(unsigned N) {
+  assert(N >= 1 && N <= 31 && "x0 has no register state");
+  return itl::Reg("x" + std::to_string(N));
+}
+inline itl::Reg pc() { return itl::Reg("PC"); }
+unsigned regWidth(const itl::Reg &R);
+
+// ABI names.
+constexpr unsigned RA = 1, SP = 2, T0 = 5, T1 = 6, T2 = 7;
+constexpr unsigned A0 = 10, A1 = 11, A2 = 12, A3 = 13, A4 = 14, A5 = 15;
+
+namespace enc {
+uint32_t lui(unsigned Rd, uint32_t Imm20);
+uint32_t auipc(unsigned Rd, uint32_t Imm20);
+uint32_t addi(unsigned Rd, unsigned Rs1, int32_t Imm12);
+uint32_t xori(unsigned Rd, unsigned Rs1, int32_t Imm12);
+uint32_t ori(unsigned Rd, unsigned Rs1, int32_t Imm12);
+uint32_t andi(unsigned Rd, unsigned Rs1, int32_t Imm12);
+uint32_t sltiu(unsigned Rd, unsigned Rs1, int32_t Imm12);
+uint32_t slli(unsigned Rd, unsigned Rs1, unsigned Sh);
+uint32_t srli(unsigned Rd, unsigned Rs1, unsigned Sh);
+uint32_t srai(unsigned Rd, unsigned Rs1, unsigned Sh);
+uint32_t add(unsigned Rd, unsigned Rs1, unsigned Rs2);
+uint32_t sub(unsigned Rd, unsigned Rs1, unsigned Rs2);
+uint32_t sltu(unsigned Rd, unsigned Rs1, unsigned Rs2);
+uint32_t xorr(unsigned Rd, unsigned Rs1, unsigned Rs2);
+uint32_t orr(unsigned Rd, unsigned Rs1, unsigned Rs2);
+uint32_t andr(unsigned Rd, unsigned Rs1, unsigned Rs2);
+uint32_t srl(unsigned Rd, unsigned Rs1, unsigned Rs2);
+uint32_t sll(unsigned Rd, unsigned Rs1, unsigned Rs2);
+uint32_t lb(unsigned Rd, unsigned Rs1, int32_t Imm12);
+uint32_t lbu(unsigned Rd, unsigned Rs1, int32_t Imm12);
+uint32_t lw(unsigned Rd, unsigned Rs1, int32_t Imm12);
+uint32_t ld(unsigned Rd, unsigned Rs1, int32_t Imm12);
+uint32_t sb(unsigned Rs2, unsigned Rs1, int32_t Imm12);
+uint32_t sw(unsigned Rs2, unsigned Rs1, int32_t Imm12);
+uint32_t sd(unsigned Rs2, unsigned Rs1, int32_t Imm12);
+uint32_t beq(unsigned Rs1, unsigned Rs2, int64_t ByteOff);
+uint32_t bne(unsigned Rs1, unsigned Rs2, int64_t ByteOff);
+uint32_t blt(unsigned Rs1, unsigned Rs2, int64_t ByteOff);
+uint32_t bge(unsigned Rs1, unsigned Rs2, int64_t ByteOff);
+uint32_t bltu(unsigned Rs1, unsigned Rs2, int64_t ByteOff);
+uint32_t bgeu(unsigned Rs1, unsigned Rs2, int64_t ByteOff);
+uint32_t jal(unsigned Rd, int64_t ByteOff);
+uint32_t jalr(unsigned Rd, unsigned Rs1, int32_t Imm12);
+uint32_t addiw(unsigned Rd, unsigned Rs1, int32_t Imm12);
+uint32_t slliw(unsigned Rd, unsigned Rs1, unsigned Sh);
+uint32_t srliw(unsigned Rd, unsigned Rs1, unsigned Sh);
+uint32_t sraiw(unsigned Rd, unsigned Rs1, unsigned Sh);
+uint32_t addw(unsigned Rd, unsigned Rs1, unsigned Rs2);
+uint32_t subw(unsigned Rd, unsigned Rs1, unsigned Rs2);
+uint32_t sllw(unsigned Rd, unsigned Rs1, unsigned Rs2);
+uint32_t srlw(unsigned Rd, unsigned Rs1, unsigned Rs2);
+uint32_t sraw(unsigned Rd, unsigned Rs1, unsigned Rs2);
+inline uint32_t ret() { return jalr(0, RA, 0); }
+inline uint32_t mv(unsigned Rd, unsigned Rs) { return addi(Rd, Rs, 0); }
+inline uint32_t beqz(unsigned Rs, int64_t Off) { return beq(Rs, 0, Off); }
+inline uint32_t bnez(unsigned Rs, int64_t Off) { return bne(Rs, 0, Off); }
+} // namespace enc
+
+/// An Assembler with RV64 branch conveniences.
+class Asm : public Assembler {
+public:
+  void beqz(unsigned Rs, const std::string &L) {
+    putRel(L, [Rs](int64_t Off) { return enc::beqz(Rs, Off); });
+  }
+  void bnez(unsigned Rs, const std::string &L) {
+    putRel(L, [Rs](int64_t Off) { return enc::bnez(Rs, Off); });
+  }
+  void beq(unsigned A, unsigned B, const std::string &L) {
+    putRel(L, [=](int64_t Off) { return enc::beq(A, B, Off); });
+  }
+  void bne(unsigned A, unsigned B, const std::string &L) {
+    putRel(L, [=](int64_t Off) { return enc::bne(A, B, Off); });
+  }
+  void blt(unsigned A, unsigned B, const std::string &L) {
+    putRel(L, [=](int64_t Off) { return enc::blt(A, B, Off); });
+  }
+  void bge(unsigned A, unsigned B, const std::string &L) {
+    putRel(L, [=](int64_t Off) { return enc::bge(A, B, Off); });
+  }
+  void bltu(unsigned A, unsigned B, const std::string &L) {
+    putRel(L, [=](int64_t Off) { return enc::bltu(A, B, Off); });
+  }
+  void bgeu(unsigned A, unsigned B, const std::string &L) {
+    putRel(L, [=](int64_t Off) { return enc::bgeu(A, B, Off); });
+  }
+  void jal(unsigned Rd, const std::string &L) {
+    putRel(L, [Rd](int64_t Off) { return enc::jal(Rd, Off); });
+  }
+};
+
+} // namespace islaris::arch::rv64
+
+#endif // ISLARIS_ARCH_RISCV_H

@@ -1,0 +1,79 @@
+//===- frontend/Objdump.cpp - Annotated objdump input ----------------------------===//
+
+#include "frontend/Objdump.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+using namespace islaris;
+using namespace islaris::frontend;
+
+namespace {
+
+bool isHexString(const std::string &S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (!std::isxdigit(static_cast<unsigned char>(C)))
+      return false;
+  return true;
+}
+
+} // namespace
+
+std::optional<ObjdumpImage>
+islaris::frontend::parseObjdump(const std::string &Text, std::string &Error) {
+  ObjdumpImage Img;
+  std::istringstream In(Text);
+  std::string Line;
+  int LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    // Strip leading whitespace.
+    size_t Start = Line.find_first_not_of(" \t");
+    if (Start == std::string::npos)
+      continue;
+    std::string Body = Line.substr(Start);
+
+    // Symbol header: "0000000000400000 <memcpy>:".
+    {
+      std::istringstream LS(Body);
+      std::string AddrTok, SymTok;
+      if (LS >> AddrTok >> SymTok && isHexString(AddrTok) &&
+          SymTok.size() > 3 && SymTok.front() == '<' &&
+          SymTok.back() == ':' && SymTok[SymTok.size() - 2] == '>') {
+        Img.Symbols[SymTok.substr(1, SymTok.size() - 3)] =
+            std::strtoull(AddrTok.c_str(), nullptr, 16);
+        continue;
+      }
+    }
+
+    // Code line: "400000:\tb40000e2 \tcbz x2, ...".
+    size_t Colon = Body.find(':');
+    if (Colon == std::string::npos)
+      continue;
+    std::string AddrTok = Body.substr(0, Colon);
+    if (!isHexString(AddrTok))
+      continue;
+    std::istringstream LS(Body.substr(Colon + 1));
+    std::string OpTok;
+    if (!(LS >> OpTok))
+      continue;
+    if (!isHexString(OpTok) || OpTok.size() > 8) {
+      Error = "line " + std::to_string(LineNo) +
+              ": expected a 32-bit opcode after the address, got '" + OpTok +
+              "'";
+      return std::nullopt;
+    }
+    uint64_t Addr = std::strtoull(AddrTok.c_str(), nullptr, 16);
+    uint32_t Op = uint32_t(std::strtoul(OpTok.c_str(), nullptr, 16));
+    if (Img.Code.count(Addr)) {
+      Error = "line " + std::to_string(LineNo) + ": duplicate address " +
+              AddrTok;
+      return std::nullopt;
+    }
+    Img.Code[Addr] = Op;
+  }
+  return Img;
+}

@@ -1,0 +1,52 @@
+//===- frontend/Objdump.h - Annotated objdump input -------------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loader for objdump-style disassembly listings.  The paper's frontend
+/// consumes "the opcodes in an annotated objdump file" (§3); this parses
+/// the common `objdump -d` line shape into an address -> opcode map:
+///
+///   0000000000400000 <memcpy>:
+///     400000:	b40000e2 	cbz	x2, 0x40001c <memcpy+0x1c>
+///     400004:	d2800003 	mov	x3, #0x0
+///
+/// Labels (`<name>:` headers) are retained so specifications can be
+/// registered by symbol.  Lines that do not look like code are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_FRONTEND_OBJDUMP_H
+#define ISLARIS_FRONTEND_OBJDUMP_H
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace islaris::frontend {
+
+/// A parsed disassembly listing.
+struct ObjdumpImage {
+  std::map<uint64_t, uint32_t> Code;
+  std::map<std::string, uint64_t> Symbols;
+
+  /// Address of a symbol; asserts if absent.
+  uint64_t addrOf(const std::string &Name) const {
+    auto It = Symbols.find(Name);
+    assert(It != Symbols.end() && "unknown symbol");
+    return It->second;
+  }
+};
+
+/// Parses objdump -d style text.  Returns nullopt and sets \p Error on a
+/// malformed code line; unrecognized lines are ignored.
+std::optional<ObjdumpImage> parseObjdump(const std::string &Text,
+                                         std::string &Error);
+
+} // namespace islaris::frontend
+
+#endif // ISLARIS_FRONTEND_OBJDUMP_H

@@ -1,0 +1,105 @@
+//===- frontend/Verifier.cpp - End-to-end Islaris workflow ---------------------===//
+
+#include "frontend/Verifier.h"
+
+#include "models/Models.h"
+
+#include <chrono>
+
+using namespace islaris;
+using namespace islaris::frontend;
+
+ArchInfo islaris::frontend::aarch64() {
+  return {&models::aarch64Model(), "_PC", [](const itl::Reg &R) -> unsigned {
+            if (R.Base == "PSTATE")
+              return R.Field == "EL" ? 2 : 1;
+            return 64;
+          }};
+}
+
+ArchInfo islaris::frontend::rv64() {
+  return {&models::rv64Model(), "PC",
+          [](const itl::Reg &) -> unsigned { return 64; }};
+}
+
+Verifier::Verifier(ArchInfo Arch) : Arch(std::move(Arch)) {}
+
+void Verifier::addCode(const std::map<uint64_t, uint32_t> &NewCode) {
+  for (const auto &[Addr, Op] : NewCode) {
+    assert(!Code.count(Addr) && "overlapping code regions");
+    Code[Addr] = Op;
+  }
+}
+
+void Verifier::symbolicAt(uint64_t Addr, unsigned Hi, unsigned Lo) {
+  auto It = Code.find(Addr);
+  assert(It != Code.end() && "symbolicAt before addCode");
+  auto SpecIt = OpcodeSpecs.find(Addr);
+  if (SpecIt == OpcodeSpecs.end()) {
+    OpcodeSpecs[Addr] = isla::OpcodeSpec::symbolicField(It->second, Hi, Lo);
+    return;
+  }
+  // Extend an existing partially-symbolic opcode.
+  for (unsigned I = Lo; I <= Hi; ++I)
+    SpecIt->second.SymMask = SpecIt->second.SymMask.insertSlice(
+        I, BitVec(1, 1));
+}
+
+bool Verifier::generateTraces(std::string &Err) {
+  auto Start = std::chrono::steady_clock::now();
+  isla::Executor Ex(*Arch.Model, TB);
+  for (const auto &[Addr, Op] : Code) {
+    auto SpecIt = OpcodeSpecs.find(Addr);
+    isla::OpcodeSpec OS = SpecIt != OpcodeSpecs.end()
+                              ? SpecIt->second
+                              : isla::OpcodeSpec::concrete(Op);
+    auto AIt = PerAddr.find(Addr);
+    const isla::Assumptions &A =
+        AIt != PerAddr.end() ? AIt->second : Defaults;
+    isla::ExecResult R = Ex.run(OS, A, Opts);
+    if (!R.Ok) {
+      Err = "instruction at " + BitVec(64, Addr).toHexString() + " (" +
+            BitVec(32, Op).toHexString() + "): " + R.Error;
+      return false;
+    }
+    Traces[Addr] = std::move(R.Trace);
+    OpcodeVars[Addr] = std::move(R.OpcodeVars);
+    Gen.ItlEvents += R.Stats.Events;
+    Gen.Paths += R.Stats.Paths;
+    Gen.SolverQueries += R.Stats.SolverQueries;
+    ++Gen.Instructions;
+  }
+  for (const auto &[Addr, T] : Traces)
+    InstrPtrs[Addr] = &T;
+  Gen.Seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return true;
+}
+
+const itl::Trace *Verifier::traceAt(uint64_t Addr) const {
+  auto It = Traces.find(Addr);
+  return It == Traces.end() ? nullptr : &It->second;
+}
+
+const std::vector<const smt::Term *> &
+Verifier::opcodeVarsAt(uint64_t Addr) const {
+  static const std::vector<const smt::Term *> Empty;
+  auto It = OpcodeVars.find(Addr);
+  return It == OpcodeVars.end() ? Empty : It->second;
+}
+
+seplogic::Spec Verifier::makeSpec(const std::string &Name) {
+  seplogic::Spec S(TB, Name);
+  S.RegWidthHint = Arch.RegWidth;
+  return S;
+}
+
+seplogic::ProofEngine &Verifier::engine() {
+  if (!Engine) {
+    assert(!InstrPtrs.empty() && "engine() before generateTraces()");
+    Engine = std::make_unique<seplogic::ProofEngine>(TB, InstrPtrs,
+                                                     Arch.PcName);
+  }
+  return *Engine;
+}

@@ -1,0 +1,112 @@
+//===- frontend/Verifier.h - End-to-end Islaris workflow --------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Fig. 1 workflow in one object: machine code + constraints go in, the
+/// symbolic executor (Isla) turns each opcode into an ITL trace under the
+/// per-address assumptions, and a ProofEngine over those traces checks the
+/// user's separation-logic specifications.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_FRONTEND_VERIFIER_H
+#define ISLARIS_FRONTEND_VERIFIER_H
+
+#include "isla/Executor.h"
+#include "seplogic/Engine.h"
+#include "seplogic/Spec.h"
+
+#include <map>
+#include <memory>
+
+namespace islaris::frontend {
+
+/// Architecture bundle: model, PC register name, register width oracle.
+struct ArchInfo {
+  const sail::Model *Model;
+  std::string PcName;
+  std::function<unsigned(const itl::Reg &)> RegWidth;
+};
+
+/// The Armv8-A architecture (models::aarch64Model).
+ArchInfo aarch64();
+/// The RV64 architecture (models::rv64Model).
+ArchInfo rv64();
+
+/// Trace-generation statistics ("Isla time" of Fig. 12).
+struct GenStats {
+  double Seconds = 0;
+  unsigned Instructions = 0;
+  unsigned ItlEvents = 0;
+  unsigned Paths = 0;
+  unsigned SolverQueries = 0;
+};
+
+/// Drives trace generation and verification for one program.
+class Verifier {
+public:
+  explicit Verifier(ArchInfo Arch);
+
+  smt::TermBuilder &builder() { return TB; }
+  const ArchInfo &arch() const { return Arch; }
+
+  /// Adds machine code (address -> opcode), e.g. an Assembler::finish()
+  /// image.
+  void addCode(const std::map<uint64_t, uint32_t> &Code);
+
+  /// Default constraints applied to every instruction (Fig. 1's "default
+  /// constraints": system configuration, EL, ...).
+  isla::Assumptions &defaults() { return Defaults; }
+
+  /// Instruction-specific constraints replacing the defaults at \p Addr
+  /// (Fig. 1's optional per-instruction constraints, e.g. for eret §2.8).
+  isla::Assumptions &at(uint64_t Addr) { return PerAddr[Addr]; }
+
+  /// Marks opcode bits [Hi..Lo] at \p Addr as symbolic (relocation-
+  /// parametric immediates, §6 pKVM).
+  void symbolicAt(uint64_t Addr, unsigned Hi, unsigned Lo);
+
+  /// Trace-generation options (e.g. disabling Isla's simplifications for
+  /// the E5 ablation).
+  isla::ExecOptions &options() { return Opts; }
+
+  /// Runs the symbolic executor over every instruction.  Returns false and
+  /// sets \p Err on the first failure.
+  bool generateTraces(std::string &Err);
+
+  /// Trace and opcode-variable access (valid after generateTraces).
+  const itl::Trace *traceAt(uint64_t Addr) const;
+  const std::vector<const smt::Term *> &opcodeVarsAt(uint64_t Addr) const;
+  const std::map<uint64_t, const itl::Trace *> &instrMap() const {
+    return InstrPtrs;
+  }
+
+  /// Creates a Spec wired with the architecture's register-width hints.
+  seplogic::Spec makeSpec(const std::string &Name);
+
+  /// The proof engine over the generated traces (created on first use).
+  seplogic::ProofEngine &engine();
+
+  const GenStats &genStats() const { return Gen; }
+
+private:
+  ArchInfo Arch;
+  smt::TermBuilder TB;
+  std::map<uint64_t, uint32_t> Code;
+  std::map<uint64_t, isla::OpcodeSpec> OpcodeSpecs;
+  isla::Assumptions Defaults;
+  isla::ExecOptions Opts;
+  std::map<uint64_t, isla::Assumptions> PerAddr;
+  std::map<uint64_t, itl::Trace> Traces;
+  std::map<uint64_t, const itl::Trace *> InstrPtrs;
+  std::map<uint64_t, std::vector<const smt::Term *>> OpcodeVars;
+  std::unique_ptr<seplogic::ProofEngine> Engine;
+  GenStats Gen;
+};
+
+} // namespace islaris::frontend
+
+#endif // ISLARIS_FRONTEND_VERIFIER_H

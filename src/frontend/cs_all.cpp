@@ -1,0 +1,13 @@
+//===- frontend/cs_all.cpp - All Fig. 12 rows ------------------------------------===//
+
+#include "frontend/CaseStudies.h"
+
+using namespace islaris::frontend;
+
+std::vector<CaseResult> islaris::frontend::runAllCaseStudies() {
+  return {
+      runMemcpyArm(),    runMemcpyRv(), runHvc(),
+      runPkvm(),         runUnaligned(), runUart(),
+      runRbit(),         runBinSearchArm(), runBinSearchRv(),
+  };
+}

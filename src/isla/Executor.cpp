@@ -1,0 +1,729 @@
+//===- isla/Executor.cpp - Symbolic execution of mini-Sail --------------------===//
+
+#include "isla/Executor.h"
+
+#include "smt/Evaluator.h"
+
+using namespace islaris;
+using namespace islaris::isla;
+using islaris::itl::Event;
+using islaris::itl::Reg;
+using islaris::itl::RegHash;
+using islaris::itl::Trace;
+using islaris::sail::BinOp;
+using islaris::sail::Builtin;
+using islaris::sail::Expr;
+using islaris::sail::ExprKind;
+using islaris::sail::Stmt;
+using islaris::sail::StmtKind;
+using islaris::sail::UnOp;
+using smt::Sort;
+using smt::Term;
+
+namespace {
+
+/// One symbolic branch decision (concolic path enumeration).
+struct Decision {
+  bool Taken;
+  bool Both;    ///< Both sides were feasible at discovery.
+  bool Flipped; ///< Already explored the other side.
+};
+
+} // namespace
+
+/// Per-run mutable state.
+struct Executor::RunState {
+  const Assumptions *A = nullptr;
+  const ExecOptions *Opts = nullptr;
+
+  std::vector<Event> Events;
+  std::unordered_map<Reg, const Term *, RegHash> RegCache;
+  std::unordered_map<Reg, bool, RegHash> ReadEmitted;
+  std::unordered_map<Reg, bool, RegHash> Written;
+  std::vector<const Term *> PathCond;
+
+  std::vector<Decision> *Decisions = nullptr;
+  size_t DecisionCursor = 0;
+  std::vector<const Term *> *VarPool = nullptr;
+  size_t VarCursor = 0;
+
+  /// Locals of the current call frame (swapped on call/return).
+  std::vector<const Term *> Locals;
+
+  unsigned Depth = 0;
+  std::string Error;
+  unsigned PrunedBranches = 0;
+  unsigned SolverQueries = 0;
+
+  bool failed() const { return !Error.empty(); }
+  void fail(int Line, const std::string &Msg) {
+    if (Error.empty())
+      Error = "line " + std::to_string(Line) + ": " + Msg;
+  }
+};
+
+Executor::Executor(const sail::Model &M, smt::TermBuilder &TB)
+    : M(M), TB(TB), Solver(TB), RW(TB) {}
+
+const Term *Executor::pooledVar(Sort S, RunState &RS) {
+  std::vector<const Term *> &Pool = *RS.VarPool;
+  if (RS.VarCursor < Pool.size()) {
+    const Term *V = Pool[RS.VarCursor];
+    if (V->sort() != S)
+      Pool[RS.VarCursor] = V = TB.freshVar(S);
+    ++RS.VarCursor;
+    return V;
+  }
+  const Term *V = TB.freshVar(S);
+  Pool.push_back(V);
+  ++RS.VarCursor;
+  return V;
+}
+
+/// Selection-only simplification for trace values: resolves extracts over
+/// concats/extensions (so a discarded-flags concat like Fig. 2's
+/// AddWithCarry result collapses away) but deliberately keeps arithmetic
+/// intact — the 128-bit addition "vestige" of Fig. 3 stays visible, as in
+/// Isla's real output.
+static const Term *selectSimplify(smt::TermBuilder &TB, const Term *T) {
+  using smt::Kind;
+  // Simplify children first.
+  std::vector<const Term *> Ops;
+  bool Changed = false;
+  for (const Term *Op : T->operands()) {
+    const Term *S = selectSimplify(TB, Op);
+    Changed |= S != Op;
+    Ops.push_back(S);
+  }
+  if (T->kind() == Kind::Extract) {
+    const Term *Op = Ops.empty() ? T->operand(0) : Ops[0];
+    unsigned Hi = T->attrA(), Lo = T->attrB();
+    if (Op->kind() == Kind::Concat) {
+      unsigned LoW = Op->operand(1)->width();
+      if (Hi < LoW)
+        return selectSimplify(TB, TB.extract(Hi, Lo, Op->operand(1)));
+      if (Lo >= LoW)
+        return selectSimplify(
+            TB, TB.extract(Hi - LoW, Lo - LoW, Op->operand(0)));
+    }
+    if ((Op->kind() == Kind::ZeroExtend || Op->kind() == Kind::SignExtend) &&
+        Hi < Op->operand(0)->width())
+      return selectSimplify(TB, TB.extract(Hi, Lo, Op->operand(0)));
+    if (Changed)
+      return TB.extract(Hi, Lo, Op);
+    return T;
+  }
+  if (!Changed)
+    return T;
+  // Rebuild with the simplified children for the kinds sinks produce.
+  switch (T->kind()) {
+  case Kind::Concat:
+    return TB.concat(Ops[0], Ops[1]);
+  case Kind::ZeroExtend:
+    return TB.zeroExtend(T->attrA(), Ops[0]);
+  case Kind::SignExtend:
+    return TB.signExtend(T->attrA(), Ops[0]);
+  case Kind::Ite:
+    return TB.iteTerm(Ops[0], Ops[1], Ops[2]);
+  case Kind::Eq:
+    return TB.eqTerm(Ops[0], Ops[1]);
+  case Kind::Not:
+    return TB.notTerm(Ops[0]);
+  case Kind::BVNot:
+    return TB.bvNot(Ops[0]);
+  case Kind::BVNeg:
+    return TB.bvNeg(Ops[0]);
+  case Kind::BVAdd:
+    return TB.bvAdd(Ops[0], Ops[1]);
+  case Kind::BVSub:
+    return TB.bvSub(Ops[0], Ops[1]);
+  case Kind::BVMul:
+    return TB.bvMul(Ops[0], Ops[1]);
+  case Kind::BVAnd:
+    return TB.bvAnd(Ops[0], Ops[1]);
+  case Kind::BVOr:
+    return TB.bvOr(Ops[0], Ops[1]);
+  case Kind::BVXor:
+    return TB.bvXor(Ops[0], Ops[1]);
+  case Kind::BVShl:
+    return TB.bvShl(Ops[0], Ops[1]);
+  case Kind::BVLShr:
+    return TB.bvLShr(Ops[0], Ops[1]);
+  case Kind::BVAShr:
+    return TB.bvAShr(Ops[0], Ops[1]);
+  case Kind::BVUlt:
+    return TB.bvUlt(Ops[0], Ops[1]);
+  case Kind::BVUle:
+    return TB.bvUle(Ops[0], Ops[1]);
+  case Kind::BVSlt:
+    return TB.bvSlt(Ops[0], Ops[1]);
+  case Kind::BVSle:
+    return TB.bvSle(Ops[0], Ops[1]);
+  case Kind::BVUDiv:
+    return TB.bvUDiv(Ops[0], Ops[1]);
+  case Kind::BVURem:
+    return TB.bvURem(Ops[0], Ops[1]);
+  case Kind::BVSDiv:
+    return TB.bvSDiv(Ops[0], Ops[1]);
+  case Kind::BVSRem:
+    return TB.bvSRem(Ops[0], Ops[1]);
+  case Kind::And:
+    return TB.andTerm(Ops[0], Ops[1]);
+  case Kind::Or:
+    return TB.orTerm(Ops[0], Ops[1]);
+  case Kind::Implies:
+    return TB.impliesTerm(Ops[0], Ops[1]);
+  default:
+    return T;
+  }
+}
+
+const Term *Executor::nameValue(const Term *V, RunState &RS) {
+  V = selectSimplify(TB, V);
+  if (V->isVar() || V->isConst())
+    return V;
+  const Term *Name = pooledVar(V->sort(), RS);
+  RS.Events.push_back(Event::defineConst(Name, V));
+  return Name;
+}
+
+const Term *Executor::readRegister(const Reg &R, unsigned Width,
+                                   RunState &RS) {
+  auto It = RS.RegCache.find(R);
+  if (It != RS.RegCache.end()) {
+    bool Emitted = RS.ReadEmitted[R];
+    if (!Emitted) {
+      RS.Events.push_back(Event::readReg(R, It->second));
+      RS.ReadEmitted[R] = true;
+    } else if (!RS.Opts->CacheRegReads && !RS.Written[R]) {
+      // Unsimplified baseline: every model-level read is its own event with
+      // a fresh unknown (later reads still denote the same register value;
+      // the ITL read semantics re-establishes the equality).
+      const Term *V = pooledVar(Sort::bitvec(Width), RS);
+      RS.Events.push_back(Event::declareConst(V));
+      RS.Events.push_back(Event::readReg(R, V));
+      return V;
+    }
+    return It->second;
+  }
+  const Term *V = pooledVar(Sort::bitvec(Width), RS);
+  RS.Events.push_back(Event::declareConst(V));
+  RS.Events.push_back(Event::readReg(R, V));
+  RS.RegCache[R] = V;
+  RS.ReadEmitted[R] = true;
+  return V;
+}
+
+void Executor::writeRegister(const Reg &R, const Term *V, RunState &RS) {
+  const Term *Named = nameValue(V, RS);
+  RS.Events.push_back(Event::writeReg(R, Named));
+  RS.RegCache[R] = Named;
+  RS.ReadEmitted[R] = true;
+  RS.Written[R] = true;
+}
+
+bool Executor::decideBranch(const Term *Cond, RunState &RS) {
+  const Term *S = RW.simplify(Cond);
+  if (S->kind() == smt::Kind::ConstBool)
+    return S->constBool();
+
+  // Replaying a recorded decision?
+  if (RS.DecisionCursor < RS.Decisions->size()) {
+    Decision &D = (*RS.Decisions)[RS.DecisionCursor++];
+    if (!D.Both)
+      return D.Taken; // pruned at discovery; no events, condition implied
+    const Term *Named = nameValue(S, RS);
+    const Term *Branch = D.Taken ? Named : TB.notTerm(Named);
+    RS.Events.push_back(Event::assertE(Branch));
+    RS.PathCond.push_back(D.Taken ? S : TB.notTerm(S));
+    return D.Taken;
+  }
+
+  // Fresh decision: ask the solver which sides are reachable under the
+  // current path condition (this is Isla's branch pruning).
+  std::vector<const Term *> Base = RS.PathCond;
+  Base.push_back(S);
+  RS.SolverQueries += 2;
+  bool TrueSat = Solver.check(Base) == smt::Result::Sat;
+  Base.back() = TB.notTerm(S);
+  bool FalseSat = Solver.check(Base) == smt::Result::Sat;
+  assert((TrueSat || FalseSat) && "path condition became unsatisfiable");
+
+  if (TrueSat != FalseSat) {
+    ++RS.PrunedBranches;
+    RS.Decisions->push_back({TrueSat, false, false});
+    ++RS.DecisionCursor;
+    return TrueSat;
+  }
+  // Both feasible: fork.  Name the condition (shared prefix), assert the
+  // chosen side (head of the divergent suffix, as in Fig. 6).
+  RS.Decisions->push_back({true, true, false});
+  ++RS.DecisionCursor;
+  const Term *Named = nameValue(S, RS);
+  RS.Events.push_back(Event::assertE(Named));
+  RS.PathCond.push_back(S);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation.
+//===----------------------------------------------------------------------===//
+
+const Term *Executor::evalCall(const Expr &E, RunState &RS) {
+  switch (E.BuiltinKind) {
+  case Builtin::ZeroExtend:
+  case Builtin::SignExtend:
+  case Builtin::Truncate: {
+    const Term *V = evalExpr(*E.Args[0], RS);
+    if (!V)
+      return nullptr;
+    if (E.BuiltinKind == Builtin::Truncate)
+      return TB.extract(E.ExtWidth - 1, 0, V);
+    unsigned Extra = E.ExtWidth - V->width();
+    return E.BuiltinKind == Builtin::ZeroExtend ? TB.zeroExtend(Extra, V)
+                                                : TB.signExtend(Extra, V);
+  }
+  case Builtin::ReverseBits: {
+    const Term *V = evalExpr(*E.Args[0], RS);
+    if (!V)
+      return nullptr;
+    if (V->kind() == smt::Kind::ConstBV)
+      return TB.constBV(V->constBV().reverseBits());
+    // Structural expansion: the result is bit 0 of the input (as the new
+    // MSB) down to bit w-1 (as the new LSB).
+    const Term *R = TB.extract(0, 0, V);
+    for (unsigned I = 1; I < V->width(); ++I)
+      R = TB.concat(R, TB.extract(I, I, V));
+    return R;
+  }
+  case Builtin::ReadMem: {
+    const Term *A = evalExpr(*E.Args[0], RS);
+    if (!A)
+      return nullptr;
+    const Term *V = pooledVar(Sort::bitvec(E.MemBytes * 8), RS);
+    RS.Events.push_back(Event::declareConst(V));
+    RS.Events.push_back(Event::readMem(V, A, E.MemBytes));
+    return V;
+  }
+  case Builtin::WriteMem: {
+    const Term *A = evalExpr(*E.Args[0], RS);
+    const Term *D = evalExpr(*E.Args[1], RS);
+    if (!A || !D)
+      return nullptr;
+    RS.Events.push_back(
+        Event::writeMem(A, nameValue(D, RS), E.MemBytes));
+    return TB.constBV(1, 0); // unit placeholder
+  }
+  case Builtin::None:
+    break;
+  }
+  std::vector<const Term *> Args;
+  Args.reserve(E.Args.size());
+  for (const sail::ExprPtr &A : E.Args) {
+    const Term *V = evalExpr(*A, RS);
+    if (!V)
+      return nullptr;
+    Args.push_back(V);
+  }
+  return callFunction(*E.Callee, std::move(Args), RS);
+}
+
+const Term *Executor::evalExpr(const Expr &E, RunState &RS) {
+  if (RS.failed())
+    return nullptr;
+  const Term *Result = nullptr;
+  switch (E.Kind) {
+  case ExprKind::BitsLit:
+    return TB.constBV(E.BitsVal);
+  case ExprKind::BoolLit:
+    return TB.constBool(E.BoolVal);
+  case ExprKind::IntLit:
+    RS.fail(E.Line, "internal: unresolved decimal literal");
+    return nullptr;
+  case ExprKind::VarRef: {
+    const Term *V = RS.Locals[size_t(E.LocalIdx)];
+    assert(V && "read of uninitialized local");
+    return V;
+  }
+  case ExprKind::RegRead:
+    return readRegister(Reg(E.Name, E.Field), E.Ty.Width, RS);
+  case ExprKind::Call:
+    return evalCall(E, RS);
+  case ExprKind::Unary: {
+    const Term *V = evalExpr(*E.Args[0], RS);
+    if (!V)
+      return nullptr;
+    switch (E.UOp) {
+    case UnOp::BoolNot:
+      Result = TB.notTerm(V);
+      break;
+    case UnOp::BvNot:
+      Result = TB.bvNot(V);
+      break;
+    case UnOp::BvNeg:
+      Result = TB.bvNeg(V);
+      break;
+    }
+    break;
+  }
+  case ExprKind::Binary: {
+    const Term *L = evalExpr(*E.Args[0], RS);
+    const Term *R = evalExpr(*E.Args[1], RS);
+    if (!L || !R)
+      return nullptr;
+    switch (E.BOp) {
+    case BinOp::BoolAnd:
+      Result = TB.andTerm(L, R);
+      break;
+    case BinOp::BoolOr:
+      Result = TB.orTerm(L, R);
+      break;
+    case BinOp::Eq:
+      Result = TB.eqTerm(L, R);
+      break;
+    case BinOp::Ne:
+      Result = TB.notTerm(TB.eqTerm(L, R));
+      break;
+    case BinOp::Add:
+      Result = TB.bvAdd(L, R);
+      break;
+    case BinOp::Sub:
+      Result = TB.bvSub(L, R);
+      break;
+    case BinOp::Mul:
+      Result = TB.bvMul(L, R);
+      break;
+    case BinOp::UDiv:
+      Result = TB.bvUDiv(L, R);
+      break;
+    case BinOp::URem:
+      Result = TB.bvURem(L, R);
+      break;
+    case BinOp::BvAnd:
+      Result = TB.bvAnd(L, R);
+      break;
+    case BinOp::BvOr:
+      Result = TB.bvOr(L, R);
+      break;
+    case BinOp::BvXor:
+      Result = TB.bvXor(L, R);
+      break;
+    case BinOp::Shl:
+      Result = TB.bvShl(L, TB.zextTo(L->width(), R));
+      break;
+    case BinOp::LShr:
+      Result = TB.bvLShr(L, TB.zextTo(L->width(), R));
+      break;
+    case BinOp::AShr:
+      Result = TB.bvAShr(L, TB.zextTo(L->width(), R));
+      break;
+    case BinOp::ULt:
+      Result = TB.bvUlt(L, R);
+      break;
+    case BinOp::ULe:
+      Result = TB.bvUle(L, R);
+      break;
+    case BinOp::SLt:
+      Result = TB.bvSlt(L, R);
+      break;
+    case BinOp::SLe:
+      Result = TB.bvSle(L, R);
+      break;
+    case BinOp::Concat:
+      Result = TB.concat(L, R);
+      break;
+    }
+    break;
+  }
+  case ExprKind::IfExpr: {
+    const Term *C = evalExpr(*E.Args[0], RS);
+    if (!C)
+      return nullptr;
+    // Value-level selection stays an ite term (no fork).
+    const Term *CS = RW.simplify(C);
+    if (CS->kind() == smt::Kind::ConstBool)
+      return evalExpr(*E.Args[CS->constBool() ? 1 : 2], RS);
+    const Term *T = evalExpr(*E.Args[1], RS);
+    const Term *El = evalExpr(*E.Args[2], RS);
+    if (!T || !El)
+      return nullptr;
+    Result = TB.iteTerm(CS, T, El);
+    break;
+  }
+  case ExprKind::Slice: {
+    const Term *V = evalExpr(*E.Args[0], RS);
+    if (!V)
+      return nullptr;
+    Result = TB.extract(E.SliceHi, E.SliceLo, V);
+    break;
+  }
+  }
+  if (!Result) {
+    RS.fail(E.Line, "internal: unhandled expression");
+    return nullptr;
+  }
+  // Unsimplified baseline: name every compound intermediate.
+  if (!RS.Opts->SinksOnly)
+    Result = nameValue(Result, RS);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements.
+//===----------------------------------------------------------------------===//
+
+void Executor::execBlock(const std::vector<sail::StmtPtr> &Body, RunState &RS,
+                         bool &Returned) {
+  for (const sail::StmtPtr &S : Body) {
+    if (RS.failed() || Returned)
+      return;
+    execStmt(*S, RS, Returned);
+  }
+}
+
+void Executor::execStmt(const Stmt &S, RunState &RS, bool &Returned) {
+  switch (S.Kind) {
+  case StmtKind::Block:
+    return execBlock(S.Body, RS, Returned);
+  case StmtKind::Let:
+  case StmtKind::Assign: {
+    const Term *V = evalExpr(*S.Value, RS);
+    if (!V)
+      return;
+    RS.Locals[size_t(S.LocalIdx)] = V;
+    return;
+  }
+  case StmtKind::RegWrite: {
+    const Term *V = evalExpr(*S.Value, RS);
+    if (!V)
+      return;
+    writeRegister(Reg(S.Name, S.Field), V, RS);
+    return;
+  }
+  case StmtKind::If: {
+    const Term *C = evalExpr(*S.Value, RS);
+    if (!C)
+      return;
+    if (decideBranch(C, RS))
+      execBlock(S.Body, RS, Returned);
+    else
+      execBlock(S.Else, RS, Returned);
+    return;
+  }
+  case StmtKind::ExprStmt:
+    evalExpr(*S.Value, RS);
+    return;
+  case StmtKind::Return:
+    if (S.Value) {
+      const Term *V = evalExpr(*S.Value, RS);
+      if (!V)
+        return;
+      RS.Locals.back() = V; // return slot, see callFunction
+    }
+    Returned = true;
+    return;
+  case StmtKind::Throw:
+    RS.fail(S.Line, "reachable model exception: " + S.Message);
+    return;
+  case StmtKind::Assert: {
+    const Term *C = evalExpr(*S.Value, RS);
+    if (!C)
+      return;
+    const Term *CS = RW.simplify(C);
+    if (CS->kind() == smt::Kind::ConstBool) {
+      if (!CS->constBool())
+        RS.fail(S.Line, "model assertion failed: " + S.Message);
+      return;
+    }
+    std::vector<const Term *> Query = RS.PathCond;
+    Query.push_back(TB.notTerm(CS));
+    ++RS.SolverQueries;
+    if (Solver.check(Query) == smt::Result::Sat)
+      RS.fail(S.Line, "model assertion not provable: " + S.Message);
+    return;
+  }
+  }
+  RS.fail(S.Line, "internal: unhandled statement");
+}
+
+const Term *Executor::callFunction(const sail::FunctionDecl &F,
+                                   std::vector<const Term *> Args,
+                                   RunState &RS) {
+  if (++RS.Depth > 128) {
+    RS.fail(F.Line, "call depth limit exceeded in " + F.Name);
+    --RS.Depth;
+    return nullptr;
+  }
+  std::vector<const Term *> Saved = std::move(RS.Locals);
+  RS.Locals.assign(F.NumLocals + 1, nullptr); // +1: return slot at back()
+  for (size_t I = 0; I < Args.size(); ++I)
+    RS.Locals[I] = Args[I];
+  RS.Locals.back() = TB.constBV(1, 0); // unit default
+
+  bool Returned = false;
+  execStmt(*F.Body, RS, Returned);
+  const Term *Ret = RS.Locals.back();
+  RS.Locals = std::move(Saved);
+  --RS.Depth;
+  if (RS.failed())
+    return nullptr;
+  if (!Returned && !F.RetTy.isUnit()) {
+    RS.fail(F.Line, "function " + F.Name + " fell off the end");
+    return nullptr;
+  }
+  return Ret;
+}
+
+//===----------------------------------------------------------------------===//
+// Path enumeration and trace merging.
+//===----------------------------------------------------------------------===//
+
+static bool eventEquals(const Event &A, const Event &B) {
+  return A.K == B.K && A.R == B.R && A.Val == B.Val && A.Addr == B.Addr &&
+         A.NBytes == B.NBytes && A.Var == B.Var && A.Expr == B.Expr;
+}
+
+/// Merges linear event paths (sharing deterministic prefixes) into a tree.
+static Trace mergePaths(const std::vector<std::vector<Event>> &Paths,
+                        std::vector<size_t> Members, size_t From) {
+  Trace T;
+  // Extend the common prefix.
+  while (true) {
+    const std::vector<Event> &First = Paths[Members[0]];
+    bool AllHave = From < First.size();
+    for (size_t M : Members)
+      AllHave = AllHave && From < Paths[M].size() &&
+                eventEquals(Paths[M][From], First[From]);
+    if (!AllHave)
+      break;
+    T.Events.push_back(First[From]);
+    ++From;
+  }
+  if (Members.size() == 1)
+    return T; // exhausted a single path
+  // Group by the divergence event (first-occurrence order).
+  std::vector<std::vector<size_t>> Groups;
+  for (size_t M : Members) {
+    assert(From < Paths[M].size() &&
+           "path is a strict prefix of another path");
+    bool Placed = false;
+    for (auto &G : Groups) {
+      if (eventEquals(Paths[G[0]][From], Paths[M][From])) {
+        G.push_back(M);
+        Placed = true;
+        break;
+      }
+    }
+    if (!Placed)
+      Groups.push_back({M});
+  }
+  assert(Groups.size() > 1 && "divergence with a single group");
+  for (auto &G : Groups)
+    T.Cases.push_back(mergePaths(Paths, std::move(G), From));
+  return T;
+}
+
+ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
+                         const ExecOptions &Opts) {
+  ExecResult Res;
+  std::vector<Decision> Decisions;
+  std::vector<const Term *> VarPool;
+  std::vector<std::vector<Event>> PathEvents;
+  ExecStats Stats;
+
+  const sail::FunctionDecl *Decode = M.findFunction("decode");
+  if (!Decode || Decode->Params.size() != 1 ||
+      Decode->Params[0].Ty != sail::Type::bits(32)) {
+    Res.Error = "model has no decode(bits(32)) entry point";
+    return Res;
+  }
+
+  while (true) {
+    if (PathEvents.size() >= Opts.MaxPaths) {
+      Res.Error = "path budget exceeded (model blow-up?)";
+      return Res;
+    }
+    RunState RS;
+    RS.A = &A;
+    RS.Opts = &Opts;
+    RS.Decisions = &Decisions;
+    RS.VarPool = &VarPool;
+
+    // Assumption preamble: concrete assumed values first (Fig. 3 lines
+    // 2-3), then constrained registers as declare/read/assume triples.
+    for (const auto &[R, V] : A.Concrete) {
+      RS.Events.push_back(Event::assumeReg(R, TB.constBV(V)));
+      RS.RegCache[R] = TB.constBV(V);
+    }
+    for (const auto &[R, F] : A.Constraints) {
+      const sail::RegisterDecl *RD = M.findRegister(R.Base);
+      if (!RD) {
+        Res.Error = "constraint on unknown register " + R.Base;
+        return Res;
+      }
+      unsigned W = R.hasField() ? RD->fieldWidth(R.Field) : RD->Width;
+      const Term *V = pooledVar(Sort::bitvec(W), RS);
+      const Term *P = F(TB, V);
+      RS.Events.push_back(Event::declareConst(V));
+      RS.Events.push_back(Event::readReg(R, V));
+      RS.Events.push_back(Event::assumeE(P));
+      RS.RegCache[R] = V;
+      RS.ReadEmitted[R] = true;
+      RS.PathCond.push_back(P);
+    }
+
+    // Build the opcode term: concrete segments folded, symbolic runs as
+    // fresh variables (partially symbolic opcodes, §3).
+    std::vector<const Term *> SegmentsLowFirst;
+    std::vector<const Term *> OpVars;
+    unsigned I = 0;
+    while (I < 32) {
+      unsigned J = I;
+      bool Sym = Op.SymMask.bit(I);
+      while (J < 32 && Op.SymMask.bit(J) == Sym)
+        ++J;
+      if (Sym) {
+        const Term *V = pooledVar(Sort::bitvec(J - I), RS);
+        RS.Events.push_back(Event::declareConst(V));
+        SegmentsLowFirst.push_back(V);
+        OpVars.push_back(V);
+      } else {
+        SegmentsLowFirst.push_back(TB.constBV(Op.Bits.extract(J - 1, I)));
+      }
+      I = J;
+    }
+    const Term *Opcode = SegmentsLowFirst[0];
+    for (size_t K = 1; K < SegmentsLowFirst.size(); ++K)
+      Opcode = TB.concat(SegmentsLowFirst[K], Opcode);
+
+    callFunction(*Decode, {Opcode}, RS);
+    if (RS.failed()) {
+      Res.Error = RS.Error;
+      return Res;
+    }
+    Stats.PrunedBranches += RS.PrunedBranches;
+    Stats.SolverQueries += RS.SolverQueries;
+    if (PathEvents.empty())
+      Res.OpcodeVars = OpVars;
+    PathEvents.push_back(std::move(RS.Events));
+
+    // Backtrack to the most recent unflipped genuine fork.
+    while (!Decisions.empty() &&
+           (!Decisions.back().Both || Decisions.back().Flipped))
+      Decisions.pop_back();
+    if (Decisions.empty())
+      break;
+    Decisions.back().Taken = !Decisions.back().Taken;
+    Decisions.back().Flipped = true;
+  }
+
+  std::vector<size_t> All(PathEvents.size());
+  for (size_t K = 0; K < All.size(); ++K)
+    All[K] = K;
+  Res.Trace = mergePaths(PathEvents, std::move(All), 0);
+  Stats.Paths = unsigned(PathEvents.size());
+  Stats.Events = Res.Trace.countEvents();
+  Res.Stats = Stats;
+  Res.Ok = true;
+  return Res;
+}

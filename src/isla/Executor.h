@@ -1,0 +1,154 @@
+//===- isla/Executor.h - Symbolic execution of mini-Sail --------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Isla component (§2.1, §3): given an opcode (possibly with symbolic
+/// immediate fields) and assumptions on the machine configuration, evaluate
+/// the mini-Sail model symbolically, pruning branches that are unreachable
+/// under the assumptions with the SMT solver, and emit an ITL trace.
+///
+/// Path exploration is concolic-style re-execution: each run follows a
+/// recorded decision prefix and extends it at the first undecided symbolic
+/// branch; the resulting linear event sequences are merged into a trace tree
+/// by longest common prefix.  Variable naming is deterministic (a pooled
+/// allocator keyed by event position), so shared prefixes across runs are
+/// event-identical and the merged tree matches Isla's output shape: a shared
+/// prefix, then Cases() whose subtraces begin with Assert() of the branch
+/// condition (Fig. 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_ISLA_EXECUTOR_H
+#define ISLARIS_ISLA_EXECUTOR_H
+
+#include "itl/Trace.h"
+#include "sail/Ast.h"
+#include "smt/Solver.h"
+
+#include <functional>
+#include <optional>
+
+namespace islaris::isla {
+
+/// A constraint on the initial value of one register, used when a concrete
+/// assumed value is too strong (e.g. the pKVM eret case, where SPSR_EL2 may
+/// be one of two values, §6).  Given the builder and the fresh variable
+/// standing for the register's initial value, returns the assumed predicate.
+using RegConstraintFn = std::function<const smt::Term *(
+    smt::TermBuilder &, const smt::Term *)>;
+
+/// Assumptions on the system state, mirroring Isla's -R / constraint flags.
+/// Concrete assumptions become assume-reg events; predicate constraints
+/// become declare-const + read-reg + assume event triples.
+struct Assumptions {
+  std::vector<std::pair<itl::Reg, BitVec>> Concrete;
+  std::vector<std::pair<itl::Reg, RegConstraintFn>> Constraints;
+
+  Assumptions &assume(itl::Reg R, BitVec V) {
+    Concrete.emplace_back(std::move(R), std::move(V));
+    return *this;
+  }
+  Assumptions &constrain(itl::Reg R, RegConstraintFn F) {
+    Constraints.emplace_back(std::move(R), std::move(F));
+    return *this;
+  }
+};
+
+/// An instruction opcode: concrete bits plus a mask of symbolic bits
+/// (supporting Isla's "symbolic immediate operands", §3).  Contiguous
+/// symbolic runs become one fresh variable each.
+struct OpcodeSpec {
+  BitVec Bits;    ///< Base bits (symbolic positions ignored).
+  BitVec SymMask; ///< 1 = this bit is symbolic.
+
+  static OpcodeSpec concrete(uint32_t Op) {
+    return {BitVec(32, Op), BitVec(32, 0)};
+  }
+  /// Marks bits [Hi..Lo] of a 32-bit opcode as symbolic.
+  static OpcodeSpec symbolicField(uint32_t Op, unsigned Hi, unsigned Lo) {
+    BitVec Mask = BitVec::zeros(32);
+    for (unsigned I = Lo; I <= Hi; ++I)
+      Mask = Mask.insertSlice(I, BitVec(1, 1));
+    return {BitVec(32, Op), Mask};
+  }
+  bool isConcrete() const { return SymMask.isZero(); }
+};
+
+/// Knobs for the E4/E5 ablation benchmarks.
+struct ExecOptions {
+  /// Reuse the value of a register read within the instruction (Isla's
+  /// trace simplification).  Off = every model-level read re-emits an event.
+  bool CacheRegReads = true;
+  /// Name only sink values (register/memory writes, branch conditions) with
+  /// define-const.  Off = name every intermediate compound value, greatly
+  /// inflating the trace (the unsimplified baseline).
+  bool SinksOnly = true;
+  /// Instruction budget safeguard against model bugs.
+  unsigned MaxPaths = 64;
+};
+
+/// Statistics of one symbolic execution.
+struct ExecStats {
+  unsigned Paths = 0;          ///< Linear paths in the final trace.
+  unsigned PrunedBranches = 0; ///< Branches cut by the solver.
+  unsigned SolverQueries = 0;
+  unsigned Events = 0; ///< Total events in the merged trace.
+};
+
+/// Result of symbolically executing one opcode.
+struct ExecResult {
+  bool Ok = false;
+  std::string Error;
+  itl::Trace Trace;
+  /// Fresh variables standing for symbolic opcode fields, low-to-high.
+  std::vector<const smt::Term *> OpcodeVars;
+  ExecStats Stats;
+};
+
+/// The symbolic executor.  One instance per (model, builder); run() may be
+/// called repeatedly.
+class Executor {
+public:
+  Executor(const sail::Model &M, smt::TermBuilder &TB);
+
+  /// Symbolically executes `decode(opcode)` under \p A.
+  ExecResult run(const OpcodeSpec &Op, const Assumptions &A,
+                 const ExecOptions &Opts = ExecOptions());
+
+  /// Cumulative solver statistics (for the Fig. 12 harness).
+  const smt::SolverStats &solverStats() const { return Solver.stats(); }
+
+private:
+  struct RunState;
+  class PathAbort {}; // thrown only as a control signal on run errors
+
+  const smt::Term *evalExpr(const sail::Expr &E, RunState &RS);
+  const smt::Term *evalCall(const sail::Expr &E, RunState &RS);
+  void execStmt(const sail::Stmt &S, RunState &RS, bool &Returned);
+  void execBlock(const std::vector<sail::StmtPtr> &Body, RunState &RS,
+                 bool &Returned);
+  const smt::Term *callFunction(const sail::FunctionDecl &F,
+                                std::vector<const smt::Term *> Args,
+                                RunState &RS);
+  /// Resolves a symbolic boolean to a concrete decision, pruning with the
+  /// solver or forking (recording a decision).
+  bool decideBranch(const smt::Term *Cond, RunState &RS);
+  const smt::Term *readRegister(const itl::Reg &R, unsigned Width,
+                                RunState &RS);
+  void writeRegister(const itl::Reg &R, const smt::Term *V, RunState &RS);
+  /// Names \p V with a define-const if it is compound; returns the name.
+  const smt::Term *nameValue(const smt::Term *V, RunState &RS);
+  const smt::Term *pooledVar(smt::Sort S, RunState &RS);
+
+  const sail::Model &M;
+  smt::TermBuilder &TB;
+  smt::Solver Solver;
+  smt::Rewriter RW;
+};
+
+} // namespace islaris::isla
+
+#endif // ISLARIS_ISLA_EXECUTOR_H

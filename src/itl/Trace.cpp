@@ -1,0 +1,194 @@
+//===- itl/Trace.cpp - Trace construction and printing ----------------------===//
+
+#include "itl/Trace.h"
+
+using namespace islaris;
+using namespace islaris::itl;
+
+const char *islaris::itl::eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::ReadReg:
+    return "read-reg";
+  case EventKind::WriteReg:
+    return "write-reg";
+  case EventKind::ReadMem:
+    return "read-mem";
+  case EventKind::WriteMem:
+    return "write-mem";
+  case EventKind::AssumeReg:
+    return "assume-reg";
+  case EventKind::DeclareConst:
+    return "declare-const";
+  case EventKind::DefineConst:
+    return "define-const";
+  case EventKind::Assert:
+    return "assert";
+  case EventKind::Assume:
+    return "assume";
+  }
+  return "<unknown>";
+}
+
+Event Event::readReg(Reg R, const smt::Term *V) {
+  Event E;
+  E.K = EventKind::ReadReg;
+  E.R = std::move(R);
+  E.Val = V;
+  return E;
+}
+
+Event Event::writeReg(Reg R, const smt::Term *V) {
+  Event E;
+  E.K = EventKind::WriteReg;
+  E.R = std::move(R);
+  E.Val = V;
+  return E;
+}
+
+Event Event::assumeReg(Reg R, const smt::Term *V) {
+  Event E;
+  E.K = EventKind::AssumeReg;
+  E.R = std::move(R);
+  E.Val = V;
+  return E;
+}
+
+Event Event::readMem(const smt::Term *Data, const smt::Term *Addr,
+                     unsigned NBytes) {
+  Event E;
+  E.K = EventKind::ReadMem;
+  E.Val = Data;
+  E.Addr = Addr;
+  E.NBytes = NBytes;
+  return E;
+}
+
+Event Event::writeMem(const smt::Term *Addr, const smt::Term *Data,
+                      unsigned NBytes) {
+  Event E;
+  E.K = EventKind::WriteMem;
+  E.Val = Data;
+  E.Addr = Addr;
+  E.NBytes = NBytes;
+  return E;
+}
+
+Event Event::declareConst(const smt::Term *Var) {
+  assert(Var->isVar() && "declare-const needs a variable");
+  Event E;
+  E.K = EventKind::DeclareConst;
+  E.Var = Var;
+  return E;
+}
+
+Event Event::defineConst(const smt::Term *Var, const smt::Term *Ex) {
+  assert(Var->isVar() && "define-const needs a variable");
+  Event E;
+  E.K = EventKind::DefineConst;
+  E.Var = Var;
+  E.Expr = Ex;
+  return E;
+}
+
+Event Event::assertE(const smt::Term *Ex) {
+  Event E;
+  E.K = EventKind::Assert;
+  E.Expr = Ex;
+  return E;
+}
+
+Event Event::assumeE(const smt::Term *Ex) {
+  Event E;
+  E.K = EventKind::Assume;
+  E.Expr = Ex;
+  return E;
+}
+
+/// Renders a register access path: `|PSTATE| ((_ field |EL|))` or
+/// `|SP_EL2| nil`.
+static std::string regAccessor(const Reg &R) {
+  std::string S = "|" + R.Base + "|";
+  if (R.hasField())
+    S += " ((_ field |" + R.Field + "|))";
+  else
+    S += " nil";
+  return S;
+}
+
+/// Renders a register value, wrapping field reads in the struct syntax of
+/// Fig. 3 line 4: `(_ struct (|SP| #b1))`.
+static std::string regValue(const Reg &R, const smt::Term *V) {
+  if (R.hasField())
+    return "(_ struct (|" + R.Field + "| " + V->toString() + "))";
+  return V->toString();
+}
+
+std::string Event::toString() const {
+  std::string S = "(";
+  S += eventKindName(K);
+  switch (K) {
+  case EventKind::ReadReg:
+  case EventKind::WriteReg:
+  case EventKind::AssumeReg:
+    S += " " + regAccessor(R) + " " + regValue(R, Val);
+    break;
+  case EventKind::ReadMem:
+    S += " " + Val->toString() + " " + Addr->toString() + " " +
+         std::to_string(NBytes);
+    break;
+  case EventKind::WriteMem:
+    S += " " + Addr->toString() + " " + Val->toString() + " " +
+         std::to_string(NBytes);
+    break;
+  case EventKind::DeclareConst:
+    S += " " + Var->varName() + " " + Var->sort().toString();
+    break;
+  case EventKind::DefineConst:
+    S += " " + Var->varName() + " " + Expr->toString();
+    break;
+  case EventKind::Assert:
+  case EventKind::Assume:
+    S += " " + Expr->toString();
+    break;
+  }
+  S += ")";
+  return S;
+}
+
+unsigned Trace::countEvents() const {
+  unsigned N = unsigned(Events.size());
+  for (const Trace &T : Cases)
+    N += T.countEvents();
+  return N;
+}
+
+unsigned Trace::countPaths() const {
+  if (Cases.empty())
+    return 1;
+  unsigned N = 0;
+  for (const Trace &T : Cases)
+    N += T.countPaths();
+  return N;
+}
+
+static void printTrace(const Trace &T, std::string &Out, unsigned Indent) {
+  std::string Pad(Indent, ' ');
+  Out += Pad + "(trace";
+  for (const Event &E : T.Events)
+    Out += "\n" + Pad + "  " + E.toString();
+  if (T.hasCases()) {
+    Out += "\n" + Pad + "  (cases";
+    for (const Trace &Sub : T.Cases) {
+      Out += "\n";
+      printTrace(Sub, Out, Indent + 4);
+    }
+    Out += ")";
+  }
+  Out += ")";
+}
+
+std::string Trace::toString() const {
+  std::string S;
+  printTrace(*this, S, 0);
+  return S;
+}

@@ -1,0 +1,130 @@
+//===- itl/Trace.h - Isla trace language AST --------------------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Isla trace language (ITL) of Fig. 4:
+///
+///   j ::= ReadReg(r,v) | WriteReg(r,v) | ReadMem(vd,va,n)
+///       | WriteMem(va,vd,n) | AssumeReg(r,v) | DeclareConst(x,tau)
+///       | DefineConst(x,e) | Assert(e) | Assume(e)
+///   t ::= [] | j :: t | Cases(t1,...,tn)
+///
+/// Values and expressions are SMT terms (smt::Term).  Traces print in the
+/// concrete S-expression syntax of Figs. 3 and 6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_ITL_TRACE_H
+#define ISLARIS_ITL_TRACE_H
+
+#include "smt/Term.h"
+
+#include <string>
+#include <vector>
+
+namespace islaris::itl {
+
+/// A register designator r: a base register, optionally a struct field
+/// (e.g. PSTATE.EL).  Fig. 4's "rho | rho.f".
+struct Reg {
+  std::string Base;
+  std::string Field; ///< Empty for whole-register access.
+
+  Reg() = default;
+  Reg(std::string Base) : Base(std::move(Base)) {}
+  Reg(std::string Base, std::string Field)
+      : Base(std::move(Base)), Field(std::move(Field)) {}
+
+  bool hasField() const { return !Field.empty(); }
+  bool operator==(const Reg &O) const {
+    return Base == O.Base && Field == O.Field;
+  }
+  bool operator!=(const Reg &O) const { return !(*this == O); }
+  bool operator<(const Reg &O) const {
+    return Base != O.Base ? Base < O.Base : Field < O.Field;
+  }
+
+  /// Human-readable "PSTATE.EL" form.
+  std::string toString() const {
+    return hasField() ? Base + "." + Field : Base;
+  }
+};
+
+struct RegHash {
+  size_t operator()(const Reg &R) const {
+    return std::hash<std::string>()(R.Base) * 31 +
+           std::hash<std::string>()(R.Field);
+  }
+};
+
+/// Event kinds j of Fig. 4.
+enum class EventKind : uint8_t {
+  ReadReg,
+  WriteReg,
+  ReadMem,
+  WriteMem,
+  AssumeReg,
+  DeclareConst,
+  DefineConst,
+  Assert,
+  Assume,
+};
+
+const char *eventKindName(EventKind K);
+
+/// A single trace event.  Field use by kind:
+///   ReadReg/WriteReg/AssumeReg: R, Val
+///   ReadMem:  Val (=vd), Addr (=va), NBytes
+///   WriteMem: Addr (=va), Val (=vd), NBytes
+///   DeclareConst: Var
+///   DefineConst:  Var, Expr
+///   Assert/Assume: Expr
+struct Event {
+  EventKind K = EventKind::Assert;
+  Reg R;
+  const smt::Term *Val = nullptr;
+  const smt::Term *Addr = nullptr;
+  unsigned NBytes = 0;
+  const smt::Term *Var = nullptr;
+  const smt::Term *Expr = nullptr;
+
+  static Event readReg(Reg R, const smt::Term *V);
+  static Event writeReg(Reg R, const smt::Term *V);
+  static Event assumeReg(Reg R, const smt::Term *V);
+  static Event readMem(const smt::Term *Data, const smt::Term *Addr,
+                       unsigned NBytes);
+  static Event writeMem(const smt::Term *Addr, const smt::Term *Data,
+                        unsigned NBytes);
+  static Event declareConst(const smt::Term *Var);
+  static Event defineConst(const smt::Term *Var, const smt::Term *E);
+  static Event assertE(const smt::Term *E);
+  static Event assumeE(const smt::Term *E);
+
+  /// Prints one event in the Fig. 3 S-expression syntax.
+  std::string toString() const;
+};
+
+/// A trace t: a linear event prefix optionally terminated by a Cases node.
+/// An empty Cases vector is the [] terminator.
+struct Trace {
+  std::vector<Event> Events;
+  std::vector<Trace> Cases;
+
+  bool hasCases() const { return !Cases.empty(); }
+
+  /// Total number of events in this trace, including all subtraces (the
+  /// "ITL events" column of Fig. 12 counts these).
+  unsigned countEvents() const;
+  /// Number of linear paths through the trace tree.
+  unsigned countPaths() const;
+
+  /// Pretty-prints "(trace ...)" as in Figs. 3 and 6.
+  std::string toString() const;
+};
+
+} // namespace islaris::itl
+
+#endif // ISLARIS_ITL_TRACE_H

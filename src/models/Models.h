@@ -1,0 +1,39 @@
+//===- models/Models.h - ISA model registry ---------------------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The authoritative-model substrate: mini-Sail sources for an Armv8-A
+/// subset (system registers, banked stack pointers, exception entry/return,
+/// flag-setting arithmetic, alignment checking) and an RV64I subset, plus a
+/// cached loader.  These stand in for the Sail ARMv8.5-A and sail-riscv
+/// models; they deliberately keep the papers' "irrelevant complexity" (e.g.
+/// AddWithCarry computes flags that most instructions discard, every
+/// SP access goes through the banked-selection logic, every sized access
+/// goes through the alignment-check path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_MODELS_MODELS_H
+#define ISLARIS_MODELS_MODELS_H
+
+#include "sail/Ast.h"
+
+namespace islaris::models {
+
+/// Raw mini-Sail source of the Armv8-A model.
+const char *aarch64Source();
+/// Raw mini-Sail source of the RV64 model.
+const char *rv64Source();
+
+/// Parses + resolves the Armv8-A model (cached; aborts on parse failure,
+/// which is a build-time bug).
+const sail::Model &aarch64Model();
+/// Parses + resolves the RV64 model (cached).
+const sail::Model &rv64Model();
+
+} // namespace islaris::models
+
+#endif // ISLARIS_MODELS_MODELS_H

@@ -1,0 +1,835 @@
+//===- models/aarch64_model.cpp - Armv8-A mini-Sail model ----------------------===//
+//
+// An Armv8-A (AArch64) subset model in mini-Sail, structured like the Sail
+// ARMv8.5-A specification derived from the Arm-internal ASL: a decode
+// hierarchy dispatching to per-class execute functions over shared helpers
+// (AddWithCarry, banked SP selection, ConditionHolds, exception entry and
+// return, alignment-checked memory access, system-register moves).
+//
+// Covered instruction classes (64-bit, little-endian, EL0-EL2):
+//   MOVZ/MOVN/MOVK; ADD/SUB(S) immediate and shifted-register (incl. SP and
+//   CMP/CMN aliases); AND/ORR/EOR/ANDS shifted-register (incl. MOV/TST);
+//   UBFM/SBFM shift aliases (LSL/LSR/ASR immediate); RBIT; LDR/STR bytes,
+//   half, word, doubleword with unsigned-immediate and register-offset
+//   addressing (incl. LDRSB/LDRSW); CBZ/CBNZ; TBZ/TBNZ; B.cond; B/BL;
+//   BR/BLR/RET; ERET; HVC; NOP; MSR/MRS over 22 system registers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "models/Models.h"
+
+#include "sail/Parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+static const char *Aarch64Src = R"SAIL(
+// ===== Armv8-A register file ==============================================
+
+register R0 : bits(64)    register R1 : bits(64)    register R2 : bits(64)
+register R3 : bits(64)    register R4 : bits(64)    register R5 : bits(64)
+register R6 : bits(64)    register R7 : bits(64)    register R8 : bits(64)
+register R9 : bits(64)    register R10 : bits(64)   register R11 : bits(64)
+register R12 : bits(64)   register R13 : bits(64)   register R14 : bits(64)
+register R15 : bits(64)   register R16 : bits(64)   register R17 : bits(64)
+register R18 : bits(64)   register R19 : bits(64)   register R20 : bits(64)
+register R21 : bits(64)   register R22 : bits(64)   register R23 : bits(64)
+register R24 : bits(64)   register R25 : bits(64)   register R26 : bits(64)
+register R27 : bits(64)   register R28 : bits(64)   register R29 : bits(64)
+register R30 : bits(64)
+
+register _PC : bits(64)
+
+// Banked stack pointers, one per exception level.
+register SP_EL0 : bits(64)   register SP_EL1 : bits(64)
+register SP_EL2 : bits(64)   register SP_EL3 : bits(64)
+
+// Processor state: current EL, stack-pointer select, NZCV, DAIF masks.
+register PSTATE : struct { N : bits(1), Z : bits(1), C : bits(1),
+                           V : bits(1), D : bits(1), A : bits(1),
+                           I : bits(1), F : bits(1), SP : bits(1),
+                           EL : bits(2) }
+
+// System registers reachable via MSR/MRS in this model.
+register VBAR_EL1 : bits(64)     register VBAR_EL2 : bits(64)
+register SCTLR_EL1 : bits(64)    register SCTLR_EL2 : bits(64)
+register HCR_EL2 : bits(64)
+register SPSR_EL1 : bits(64)     register SPSR_EL2 : bits(64)
+register ELR_EL1 : bits(64)      register ELR_EL2 : bits(64)
+register ESR_EL1 : bits(64)      register ESR_EL2 : bits(64)
+register FAR_EL1 : bits(64)      register FAR_EL2 : bits(64)
+register TPIDR_EL2 : bits(64)    register MAIR_EL2 : bits(64)
+register TCR_EL2 : bits(64)      register TTBR0_EL2 : bits(64)
+register MDCR_EL2 : bits(64)     register CPTR_EL2 : bits(64)
+register HSTR_EL2 : bits(64)     register VTTBR_EL2 : bits(64)
+register VTCR_EL2 : bits(64)     register CNTHCTL_EL2 : bits(64)
+register CNTVOFF_EL2 : bits(64)
+
+// ===== General-purpose register access ====================================
+// Register 31 reads as zero and discards writes (XZR) in these contexts.
+
+function rget(n : bits(5)) -> bits(64) = {
+  if n == 0b00000 then { return R0; }
+  else if n == 0b00001 then { return R1; }
+  else if n == 0b00010 then { return R2; }
+  else if n == 0b00011 then { return R3; }
+  else if n == 0b00100 then { return R4; }
+  else if n == 0b00101 then { return R5; }
+  else if n == 0b00110 then { return R6; }
+  else if n == 0b00111 then { return R7; }
+  else if n == 0b01000 then { return R8; }
+  else if n == 0b01001 then { return R9; }
+  else if n == 0b01010 then { return R10; }
+  else if n == 0b01011 then { return R11; }
+  else if n == 0b01100 then { return R12; }
+  else if n == 0b01101 then { return R13; }
+  else if n == 0b01110 then { return R14; }
+  else if n == 0b01111 then { return R15; }
+  else if n == 0b10000 then { return R16; }
+  else if n == 0b10001 then { return R17; }
+  else if n == 0b10010 then { return R18; }
+  else if n == 0b10011 then { return R19; }
+  else if n == 0b10100 then { return R20; }
+  else if n == 0b10101 then { return R21; }
+  else if n == 0b10110 then { return R22; }
+  else if n == 0b10111 then { return R23; }
+  else if n == 0b11000 then { return R24; }
+  else if n == 0b11001 then { return R25; }
+  else if n == 0b11010 then { return R26; }
+  else if n == 0b11011 then { return R27; }
+  else if n == 0b11100 then { return R28; }
+  else if n == 0b11101 then { return R29; }
+  else if n == 0b11110 then { return R30; }
+  else { return 0x0000000000000000; };
+}
+
+function rset(n : bits(5), value : bits(64)) -> unit = {
+  if n == 0b00000 then { R0 = value; }
+  else if n == 0b00001 then { R1 = value; }
+  else if n == 0b00010 then { R2 = value; }
+  else if n == 0b00011 then { R3 = value; }
+  else if n == 0b00100 then { R4 = value; }
+  else if n == 0b00101 then { R5 = value; }
+  else if n == 0b00110 then { R6 = value; }
+  else if n == 0b00111 then { R7 = value; }
+  else if n == 0b01000 then { R8 = value; }
+  else if n == 0b01001 then { R9 = value; }
+  else if n == 0b01010 then { R10 = value; }
+  else if n == 0b01011 then { R11 = value; }
+  else if n == 0b01100 then { R12 = value; }
+  else if n == 0b01101 then { R13 = value; }
+  else if n == 0b01110 then { R14 = value; }
+  else if n == 0b01111 then { R15 = value; }
+  else if n == 0b10000 then { R16 = value; }
+  else if n == 0b10001 then { R17 = value; }
+  else if n == 0b10010 then { R18 = value; }
+  else if n == 0b10011 then { R19 = value; }
+  else if n == 0b10100 then { R20 = value; }
+  else if n == 0b10101 then { R21 = value; }
+  else if n == 0b10110 then { R22 = value; }
+  else if n == 0b10111 then { R23 = value; }
+  else if n == 0b11000 then { R24 = value; }
+  else if n == 0b11001 then { R25 = value; }
+  else if n == 0b11010 then { R26 = value; }
+  else if n == 0b11011 then { R27 = value; }
+  else if n == 0b11100 then { R28 = value; }
+  else if n == 0b11101 then { R29 = value; }
+  else if n == 0b11110 then { R30 = value; }
+  else { };
+}
+
+// 32-bit views (W registers): reads truncate, writes zero-extend.
+function wget(n : bits(5)) -> bits(32) = { return truncate(rget(n), 32); }
+function wset(n : bits(5), value : bits(32)) -> unit = {
+  rset(n, zero_extend(value, 64));
+}
+
+// ===== Banked stack pointer (the Fig. 2 aget_SP/aset_SP) ==================
+
+function aget_SP() -> bits(64) = {
+  if PSTATE.SP == 0b0 then { return SP_EL0; }
+  else if PSTATE.EL == 0b00 then { return SP_EL0; }
+  else if PSTATE.EL == 0b01 then { return SP_EL1; }
+  else if PSTATE.EL == 0b10 then { return SP_EL2; }
+  else { return SP_EL3; };
+}
+
+function aset_SP(value : bits(64)) -> unit = {
+  if PSTATE.SP == 0b0 then { SP_EL0 = value; }
+  else if PSTATE.EL == 0b00 then { SP_EL0 = value; }
+  else if PSTATE.EL == 0b01 then { SP_EL1 = value; }
+  else if PSTATE.EL == 0b10 then { SP_EL2 = value; }
+  else { SP_EL3 = value; };
+}
+
+// ===== Control flow helpers ===============================================
+
+function next_instr() -> unit = { _PC = _PC + 0x0000000000000004; }
+function branch_to(target : bits(64)) -> unit = { _PC = target; }
+function pc_rel(offset : bits(64)) -> unit = { _PC = _PC + offset; }
+
+// ===== AddWithCarry: result and NZCV, computed even when discarded ========
+
+function AddWithCarry64(x : bits(64), y : bits(64), carry_in : bits(1))
+    -> bits(68) = {
+  let usum = zero_extend(x, 65) + zero_extend(y, 65)
+           + zero_extend(carry_in, 65);
+  let ssum = sign_extend(x, 66) + sign_extend(y, 66)
+           + zero_extend(carry_in, 66);
+  let result = usum[63 .. 0];
+  let n = result[63];
+  let z = if result == 0x0000000000000000 then 0b1 else 0b0;
+  let c = if zero_extend(result, 65) == usum then 0b0 else 0b1;
+  let v = if sign_extend(result, 66) == ssum then 0b0 else 0b1;
+  return result @ n @ z @ c @ v;
+}
+
+function AddWithCarry32(x : bits(32), y : bits(32), carry_in : bits(1))
+    -> bits(36) = {
+  let usum = zero_extend(x, 33) + zero_extend(y, 33)
+           + zero_extend(carry_in, 33);
+  let ssum = sign_extend(x, 34) + sign_extend(y, 34)
+           + zero_extend(carry_in, 34);
+  let result = usum[31 .. 0];
+  let n = result[31];
+  let z = if result == 0x00000000 then 0b1 else 0b0;
+  let c = if zero_extend(result, 33) == usum then 0b0 else 0b1;
+  let v = if sign_extend(result, 34) == ssum then 0b0 else 0b1;
+  return result @ n @ z @ c @ v;
+}
+
+function set_flags(nzcv : bits(4)) -> unit = {
+  PSTATE.N = nzcv[3];
+  PSTATE.Z = nzcv[2];
+  PSTATE.C = nzcv[1];
+  PSTATE.V = nzcv[0];
+}
+
+function ConditionHolds(cond : bits(4)) -> bool = {
+  let c3 = cond[3 .. 1];
+  var result = false;
+  if c3 == 0b000 then { result = PSTATE.Z == 0b1; }
+  else if c3 == 0b001 then { result = PSTATE.C == 0b1; }
+  else if c3 == 0b010 then { result = PSTATE.N == 0b1; }
+  else if c3 == 0b011 then { result = PSTATE.V == 0b1; }
+  else if c3 == 0b100 then { result = PSTATE.C == 0b1 & PSTATE.Z == 0b0; }
+  else if c3 == 0b101 then { result = PSTATE.N == PSTATE.V; }
+  else if c3 == 0b110 then { result = PSTATE.N == PSTATE.V
+                                    & PSTATE.Z == 0b0; }
+  else { result = true; };
+  if cond[0] == 0b1 & cond != 0b1111 then { result = !result; };
+  return result;
+}
+
+// ===== Exception entry and return =========================================
+
+function pstate_to_spsr() -> bits(64) = {
+  return zero_extend(PSTATE.N @ PSTATE.Z @ PSTATE.C @ PSTATE.V
+       @ 0b000000000000000000
+       @ PSTATE.D @ PSTATE.A @ PSTATE.I @ PSTATE.F
+       @ 0b00 @ PSTATE.EL @ 0b0 @ PSTATE.SP, 64);
+}
+
+function spsr_to_pstate(spsr : bits(64)) -> unit = {
+  if spsr[4] == 0b1 then { throw("return to AArch32 is unsupported"); };
+  PSTATE.N = spsr[31];
+  PSTATE.Z = spsr[30];
+  PSTATE.C = spsr[29];
+  PSTATE.V = spsr[28];
+  PSTATE.D = spsr[9];
+  PSTATE.A = spsr[8];
+  PSTATE.I = spsr[7];
+  PSTATE.F = spsr[6];
+  PSTATE.EL = spsr[3 .. 2];
+  PSTATE.SP = spsr[0];
+}
+
+// AArch64.TakeException (simplified to EL1/EL2, SCTLR.EE=0): vector into
+// VBAR_ELx at the offset selected by same-vs-lower EL and SP selection,
+// bank PSTATE into SPSR_ELx, record the syndrome and (for aborts) the
+// fault address, mask interrupts, and switch to SP_ELx.
+function take_exception(target_el : bits(2), esr : bits(64),
+                        ret_addr : bits(64), is_abort : bool,
+                        fault_addr : bits(64)) -> unit = {
+  var offset = 0x0000000000000000;
+  if PSTATE.EL <u target_el then { offset = 0x0000000000000400; }
+  else if PSTATE.SP == 0b1 then { offset = 0x0000000000000200; };
+  let spsr = pstate_to_spsr();
+  if target_el == 0b01 then {
+    SPSR_EL1 = spsr;
+    ELR_EL1 = ret_addr;
+    ESR_EL1 = esr;
+    if is_abort then { FAR_EL1 = fault_addr; };
+    branch_to(VBAR_EL1 + offset);
+  } else if target_el == 0b10 then {
+    SPSR_EL2 = spsr;
+    ELR_EL2 = ret_addr;
+    ESR_EL2 = esr;
+    if is_abort then { FAR_EL2 = fault_addr; };
+    branch_to(VBAR_EL2 + offset);
+  } else {
+    throw("exceptions to EL0/EL3 are unsupported");
+  };
+  PSTATE.EL = target_el;
+  PSTATE.SP = 0b1;
+  PSTATE.D = 0b1;
+  PSTATE.A = 0b1;
+  PSTATE.I = 0b1;
+  PSTATE.F = 0b1;
+}
+
+function execute_eret() -> unit = {
+  var spsr = 0x0000000000000000;
+  var target = 0x0000000000000000;
+  if PSTATE.EL == 0b01 then { spsr = SPSR_EL1; target = ELR_EL1; }
+  else if PSTATE.EL == 0b10 then { spsr = SPSR_EL2; target = ELR_EL2; }
+  else { throw("eret at EL0/EL3 is unsupported"); };
+  if PSTATE.EL <u spsr[3 .. 2] then {
+    throw("illegal exception return to a higher EL");
+  };
+  // Returning to EL1 in AArch64 state requires HCR_EL2.RW = 1 (this is the
+  // bit 31 that Fig. 9 line 6 installs).
+  if PSTATE.EL == 0b10 & spsr[3 .. 2] == 0b01 then {
+    if HCR_EL2[31] != 0b1 then {
+      throw("eret to AArch32 EL1 (HCR_EL2.RW = 0) is unsupported");
+    };
+  };
+  spsr_to_pstate(spsr);
+  branch_to(target);
+}
+
+// ===== Memory access with alignment checking ==============================
+
+function current_sctlr_a() -> bits(1) = {
+  if PSTATE.EL == 0b10 then { return SCTLR_EL2[1]; }
+  else { return SCTLR_EL1[1]; };
+}
+
+function alignment_fault(addr : bits(64)) -> unit = {
+  var target = PSTATE.EL;
+  if target == 0b00 then { target = 0b01; };
+  var ec = 0b100101;                      // data abort, same EL
+  if PSTATE.EL <u target then { ec = 0b100100; };
+  // ISS.DFSC = 0b100001: alignment fault.
+  let esr = zero_extend(ec @ 0b1 @ 0b0000000000000000000 @ 0b100001, 64);
+  take_exception(target, esr, _PC, true, addr);
+}
+
+// ===== Decode: data processing (immediate) ================================
+
+function addsub_immediate(opcode : bits(32)) -> unit = {
+  let sf = opcode[31];
+  let op = opcode[30];
+  let s_flag = opcode[29];
+  let sh = opcode[22];
+  let rn = opcode[9 .. 5];
+  let rd = opcode[4 .. 0];
+  var imm = zero_extend(opcode[21 .. 10], 64);
+  if sh == 0b1 then { imm = imm << 12; };
+  if sf == 0b1 then {
+    let op1 = if rn == 0b11111 then aget_SP() else rget(rn);
+    var op2 = imm;
+    var carry = 0b0;
+    if op == 0b1 then { op2 = ~op2; carry = 0b1; };
+    let res = AddWithCarry64(op1, op2, carry);
+    let result = res[67 .. 4];
+    if s_flag == 0b1 then { set_flags(res[3 .. 0]); rset(rd, result); }
+    else if rd == 0b11111 then { aset_SP(result); }
+    else { rset(rd, result); };
+  } else {
+    let op1 = if rn == 0b11111 then truncate(aget_SP(), 32)
+              else wget(rn);
+    var op2 = truncate(imm, 32);
+    var carry = 0b0;
+    if op == 0b1 then { op2 = ~op2; carry = 0b1; };
+    let res = AddWithCarry32(op1, op2, carry);
+    let result = res[35 .. 4];
+    if s_flag == 0b1 then { set_flags(res[3 .. 0]); wset(rd, result); }
+    else if rd == 0b11111 then { aset_SP(zero_extend(result, 64)); }
+    else { wset(rd, result); };
+  };
+  next_instr();
+}
+
+function move_wide(opcode : bits(32)) -> unit = {
+  if opcode[31] != 0b1 then { throw("32-bit move-wide is unsupported"); };
+  let opc = opcode[30 .. 29];
+  let hw = opcode[22 .. 21];
+  let imm16 = opcode[20 .. 5];
+  let rd = opcode[4 .. 0];
+  let sh = zero_extend(hw, 64) << 4;
+  if opc == 0b10 then {
+    rset(rd, zero_extend(imm16, 64) << sh);
+  } else if opc == 0b00 then {
+    rset(rd, ~(zero_extend(imm16, 64) << sh));
+  } else if opc == 0b11 then {
+    let mask = zero_extend(0xffff, 64) << sh;
+    rset(rd, (rget(rd) & ~mask) | (zero_extend(imm16, 64) << sh));
+  } else {
+    throw("unallocated move-wide opc");
+  };
+  next_instr();
+}
+
+// UBFM/SBFM, restricted to the shift aliases LSR/ASR/LSL (immediate).
+function bitfield(opcode : bits(32)) -> unit = {
+  if opcode[31] != 0b1 | opcode[22] != 0b1 then {
+    throw("32-bit bitfield is unsupported");
+  };
+  let opc = opcode[30 .. 29];
+  let immr = opcode[21 .. 16];
+  let imms = opcode[15 .. 10];
+  let rn = opcode[9 .. 5];
+  let rd = opcode[4 .. 0];
+  if opc == 0b10 then {
+    if imms == 0b111111 then {
+      rset(rd, rget(rn) >> zero_extend(immr, 64));           // LSR alias
+    } else if imms + 0b000001 == immr then {
+      let amount = 0b111111 - imms;
+      rset(rd, rget(rn) << zero_extend(amount, 64));         // LSL alias
+    } else {
+      throw("general UBFM is unsupported");
+    };
+  } else if opc == 0b00 then {
+    if imms == 0b111111 then {
+      rset(rd, rget(rn) >>> zero_extend(immr, 64));          // ASR alias
+    } else {
+      throw("general SBFM is unsupported");
+    };
+  } else {
+    throw("unallocated bitfield opc");
+  };
+  next_instr();
+}
+
+// ADR / ADRP: PC-relative address computation.
+function pcreladdr(opcode : bits(32)) -> unit = {
+  let rd = opcode[4 .. 0];
+  let imm = opcode[23 .. 5] @ opcode[30 .. 29];
+  if opcode[31] == 0b0 then {
+    rset(rd, _PC + sign_extend(imm, 64));
+  } else {
+    let base = _PC & 0xfffffffffffff000;
+    rset(rd, base + (sign_extend(imm, 64) << 12));
+  };
+  next_instr();
+}
+
+function decode_data_proc_imm(opcode : bits(32)) -> unit = {
+  if opcode[28 .. 23] == 0b100010 then { addsub_immediate(opcode); }
+  else if opcode[28 .. 23] == 0b100101 then { move_wide(opcode); }
+  else if opcode[28 .. 23] == 0b100110 then { bitfield(opcode); }
+  else if opcode[28 .. 24] == 0b10000 then { pcreladdr(opcode); }
+  else { throw("unallocated data-processing (immediate)"); };
+}
+
+// ===== Decode: data processing (register) =================================
+
+function shift_reg64(rm : bits(5), ty : bits(2), amount : bits(6))
+    -> bits(64) = {
+  let v = rget(rm);
+  if ty == 0b00 then { return v << zero_extend(amount, 64); }
+  else if ty == 0b01 then { return v >> zero_extend(amount, 64); }
+  else if ty == 0b10 then { return v >>> zero_extend(amount, 64); }
+  else { throw("ROR-shifted operands are unsupported"); };
+}
+
+function logical_shifted(opcode : bits(32)) -> unit = {
+  if opcode[31] != 0b1 then { throw("32-bit logical is unsupported"); };
+  let opc = opcode[30 .. 29];
+  let n_flag = opcode[21];
+  let rm = opcode[20 .. 16];
+  let imm6 = opcode[15 .. 10];
+  let rn = opcode[9 .. 5];
+  let rd = opcode[4 .. 0];
+  var op2 = shift_reg64(rm, opcode[23 .. 22], imm6);
+  if n_flag == 0b1 then { op2 = ~op2; };
+  let op1 = rget(rn);
+  var result = op1 & op2;
+  if opc == 0b01 then { result = op1 | op2; }
+  else if opc == 0b10 then { result = op1 ^ op2; }
+  else if opc == 0b11 then {
+    let z = if result == 0x0000000000000000 then 0b1 else 0b0;
+    set_flags(result[63] @ z @ 0b00);
+  } else { };
+  rset(rd, result);
+  next_instr();
+}
+
+function addsub_shifted(opcode : bits(32)) -> unit = {
+  if opcode[31] != 0b1 then {
+    throw("32-bit add/sub (shifted register) is unsupported");
+  };
+  let op = opcode[30];
+  let s_flag = opcode[29];
+  let rm = opcode[20 .. 16];
+  let imm6 = opcode[15 .. 10];
+  let rn = opcode[9 .. 5];
+  let rd = opcode[4 .. 0];
+  var op2 = shift_reg64(rm, opcode[23 .. 22], imm6);
+  var carry = 0b0;
+  if op == 0b1 then { op2 = ~op2; carry = 0b1; };
+  let res = AddWithCarry64(rget(rn), op2, carry);
+  if s_flag == 0b1 then { set_flags(res[3 .. 0]); };
+  rset(rd, res[67 .. 4]);
+  next_instr();
+}
+
+function byte_reverse64(v : bits(64)) -> bits(64) = {
+  return v[7 .. 0] @ v[15 .. 8] @ v[23 .. 16] @ v[31 .. 24]
+       @ v[39 .. 32] @ v[47 .. 40] @ v[55 .. 48] @ v[63 .. 56];
+}
+
+function byte_reverse32(v : bits(32)) -> bits(32) = {
+  return v[7 .. 0] @ v[15 .. 8] @ v[23 .. 16] @ v[31 .. 24];
+}
+
+function data_proc_1src(opcode : bits(32)) -> unit = {
+  let rn = opcode[9 .. 5];
+  let rd = opcode[4 .. 0];
+  if opcode[15 .. 10] == 0b000000 then {   // RBIT
+    if opcode[31] == 0b1 then { rset(rd, reverse_bits(rget(rn))); }
+    else { wset(rd, reverse_bits(wget(rn))); };
+    next_instr();
+  } else if opcode[15 .. 10] == 0b000010 then {  // REV32 (sf=1) / REV (sf=0)
+    if opcode[31] == 0b1 then {
+      let v = rget(rn);
+      rset(rd, byte_reverse32(v[63 .. 32]) @ byte_reverse32(v[31 .. 0]));
+    } else {
+      wset(rd, byte_reverse32(wget(rn)));
+    };
+    next_instr();
+  } else if opcode[15 .. 10] == 0b000011 then {  // REV (64-bit)
+    if opcode[31] != 0b1 then { throw("unallocated REV encoding"); };
+    rset(rd, byte_reverse64(rget(rn)));
+    next_instr();
+  } else {
+    throw("unallocated data-processing (1 source)");
+  };
+}
+
+// UDIV / SDIV: Armv8-A division returns zero for a zero divisor and wraps
+// on INT_MIN / -1.
+function data_proc_2src(opcode : bits(32)) -> unit = {
+  if opcode[31] != 0b1 then { throw("32-bit division is unsupported"); };
+  let rm = opcode[20 .. 16];
+  let rn = opcode[9 .. 5];
+  let rd = opcode[4 .. 0];
+  let op1 = rget(rn);
+  let op2 = rget(rm);
+  if opcode[15 .. 10] == 0b000010 then {         // UDIV
+    if op2 == 0x0000000000000000 then { rset(rd, 0x0000000000000000); }
+    else { rset(rd, op1 /u op2); };
+    next_instr();
+  } else if opcode[15 .. 10] == 0b000011 then {  // SDIV
+    if op2 == 0x0000000000000000 then {
+      rset(rd, 0x0000000000000000);
+    } else {
+      var a = op1;
+      var b = op2;
+      if a[63] == 0b1 then { a = -a; };
+      if b[63] == 0b1 then { b = -b; };
+      var q = a /u b;
+      if op1[63] != op2[63] then { q = -q; };
+      rset(rd, q);
+    };
+    next_instr();
+  } else {
+    throw("unallocated data-processing (2 source)");
+  };
+}
+
+// CSEL / CSINC / CSINV / CSNEG: conditional select.
+function cond_select(opcode : bits(32)) -> unit = {
+  if opcode[31] != 0b1 then {
+    throw("32-bit conditional select is unsupported");
+  };
+  let op = opcode[30];
+  let op2 = opcode[11 .. 10];
+  let rm = opcode[20 .. 16];
+  let cond = opcode[15 .. 12];
+  let rn = opcode[9 .. 5];
+  let rd = opcode[4 .. 0];
+  if ConditionHolds(cond) then {
+    rset(rd, rget(rn));
+  } else {
+    var alt = rget(rm);
+    if op == 0b1 then { alt = ~alt; };                 // CSINV / CSNEG
+    if op2 == 0b01 then {
+      alt = alt + 0x0000000000000001;                  // CSINC / CSNEG
+    } else if op2 != 0b00 then {
+      throw("unallocated conditional-select op2");
+    };
+    rset(rd, alt);
+  };
+  next_instr();
+}
+
+function decode_data_proc_reg(opcode : bits(32)) -> unit = {
+  if opcode[28 .. 24] == 0b01010 then { logical_shifted(opcode); }
+  else if opcode[28 .. 24] == 0b01011 & opcode[21] == 0b0 then {
+    addsub_shifted(opcode);
+  } else if opcode[30 .. 21] == 0b1011010110 then {
+    data_proc_1src(opcode);
+  } else if opcode[30 .. 21] == 0b0011010110 & opcode[29] == 0b0 then {
+    data_proc_2src(opcode);
+  } else if opcode[28 .. 21] == 0b11010100 & opcode[29] == 0b0 then {
+    cond_select(opcode);
+  } else {
+    throw("unallocated data-processing (register)");
+  };
+}
+
+// ===== Decode: loads and stores ===========================================
+
+function ldst_common(size : bits(2), opc : bits(2), addr : bits(64),
+                     rt : bits(5)) -> unit = {
+  if size == 0b00 then {
+    if opc == 0b00 then { write_mem(addr, truncate(rget(rt), 8), 1); }
+    else if opc == 0b01 then {
+      rset(rt, zero_extend(read_mem(addr, 1), 64));
+    } else if opc == 0b10 then {                    // LDRSB (64-bit)
+      rset(rt, sign_extend(read_mem(addr, 1), 64));
+    } else { throw("unallocated byte load/store opc"); };
+  } else if size == 0b01 then {
+    if current_sctlr_a() == 0b1
+       & (addr & 0x0000000000000001) != 0x0000000000000000 then {
+      alignment_fault(addr);
+      return;
+    };
+    if opc == 0b00 then { write_mem(addr, truncate(rget(rt), 16), 2); }
+    else if opc == 0b01 then {
+      rset(rt, zero_extend(read_mem(addr, 2), 64));
+    } else { throw("unallocated halfword load/store opc"); };
+  } else if size == 0b10 then {
+    if current_sctlr_a() == 0b1
+       & (addr & 0x0000000000000003) != 0x0000000000000000 then {
+      alignment_fault(addr);
+      return;
+    };
+    if opc == 0b00 then { write_mem(addr, truncate(rget(rt), 32), 4); }
+    else if opc == 0b01 then {
+      rset(rt, zero_extend(read_mem(addr, 4), 64));
+    } else if opc == 0b10 then {                    // LDRSW
+      rset(rt, sign_extend(read_mem(addr, 4), 64));
+    } else { throw("unallocated word load/store opc"); };
+  } else {
+    if current_sctlr_a() == 0b1
+       & (addr & 0x0000000000000007) != 0x0000000000000000 then {
+      alignment_fault(addr);
+      return;
+    };
+    if opc == 0b00 then { write_mem(addr, rget(rt), 8); }
+    else if opc == 0b01 then { rset(rt, read_mem(addr, 8)); }
+    else { throw("unallocated doubleword load/store opc"); };
+  };
+  next_instr();
+}
+
+function decode_loads_stores(opcode : bits(32)) -> unit = {
+  if opcode[29 .. 27] != 0b111 | opcode[26] != 0b0 then {
+    throw("SIMD/FP and exotic load/store classes are unsupported");
+  };
+  let size = opcode[31 .. 30];
+  let opc = opcode[23 .. 22];
+  let rn = opcode[9 .. 5];
+  let rt = opcode[4 .. 0];
+  let base = if rn == 0b11111 then aget_SP() else rget(rn);
+  if opcode[25 .. 24] == 0b01 then {
+    // Unsigned immediate, scaled by the access size.
+    let imm12 = zero_extend(opcode[21 .. 10], 64);
+    let addr = base + (imm12 << zero_extend(size, 64));
+    ldst_common(size, opc, addr, rt);
+  } else if opcode[25 .. 24] == 0b00 & opcode[21] == 0b1
+           & opcode[11 .. 10] == 0b10 then {
+    // Register offset; only LSL/UXTX extend (option 011) is modeled.
+    if opcode[15 .. 13] != 0b011 then {
+      throw("register-offset extend option is unsupported");
+    };
+    var offset = rget(opcode[20 .. 16]);
+    if opcode[12] == 0b1 then { offset = offset << zero_extend(size, 64); };
+    ldst_common(size, opc, base + offset, rt);
+  } else {
+    throw("unallocated load/store addressing mode");
+  };
+}
+
+// ===== Decode: branches, exceptions, system ===============================
+
+function compare_and_branch(opcode : bits(32)) -> unit = {
+  let t = rget(opcode[4 .. 0]);
+  let offset = sign_extend(opcode[23 .. 5] @ 0b00, 64);
+  var iszero = false;
+  if opcode[31] == 0b1 then { iszero = t == 0x0000000000000000; }
+  else { iszero = truncate(t, 32) == 0x00000000; };
+  var taken = iszero;
+  if opcode[24] == 0b1 then { taken = !iszero; };
+  if taken then { pc_rel(offset); } else { next_instr(); };
+}
+
+function test_and_branch(opcode : bits(32)) -> unit = {
+  let bitpos = opcode[31] @ opcode[23 .. 19];
+  let t = rget(opcode[4 .. 0]);
+  let bitval = truncate(t >> zero_extend(bitpos, 64), 1);
+  let offset = sign_extend(opcode[18 .. 5] @ 0b00, 64);
+  var taken = bitval == 0b0;
+  if opcode[24] == 0b1 then { taken = bitval == 0b1; };
+  if taken then { pc_rel(offset); } else { next_instr(); };
+}
+
+function cond_branch(opcode : bits(32)) -> unit = {
+  if ConditionHolds(opcode[3 .. 0]) then {
+    pc_rel(sign_extend(opcode[23 .. 5] @ 0b00, 64));
+  } else {
+    next_instr();
+  };
+}
+
+function uncond_branch_imm(opcode : bits(32)) -> unit = {
+  let offset = sign_extend(opcode[25 .. 0] @ 0b00, 64);
+  if opcode[31] == 0b1 then { R30 = _PC + 0x0000000000000004; };
+  pc_rel(offset);
+}
+
+function uncond_branch_reg(opcode : bits(32)) -> unit = {
+  let opc = opcode[24 .. 21];
+  let rn = opcode[9 .. 5];
+  if opc == 0b0000 then { branch_to(rget(rn)); }
+  else if opc == 0b0001 then {
+    let target = rget(rn);
+    R30 = _PC + 0x0000000000000004;
+    branch_to(target);
+  }
+  else if opc == 0b0010 then { branch_to(rget(rn)); }   // RET
+  else if opc == 0b0100 & rn == 0b11111 then { execute_eret(); }
+  else { throw("unallocated branch (register)"); };
+}
+
+function exception_gen(opcode : bits(32)) -> unit = {
+  let imm16 = opcode[20 .. 5];
+  if opcode[23 .. 21] == 0b000 & opcode[4 .. 0] == 0b00010 then {  // HVC
+    if PSTATE.EL == 0b00 then { throw("hvc from EL0 is unsupported"); };
+    // EC = 0x16 (HVC from AArch64), IL = 1, ISS = imm16.
+    let esr = zero_extend(0b010110 @ 0b1 @ 0b000000000 @ imm16, 64);
+    take_exception(0b10, esr, _PC + 0x0000000000000004, false,
+                   0x0000000000000000);
+  } else if opcode[23 .. 21] == 0b000 & opcode[4 .. 0] == 0b00001 then {
+    throw("svc is unsupported in this model");
+  } else {
+    throw("unallocated exception generation");
+  };
+}
+
+// MSR/MRS system-register access.  The selector packs
+// op0:op1:CRn:CRm:op2 into 16 bits, as in the Arm system-register space.
+function sys_read(key : bits(16)) -> bits(64) = {
+  if key == 0xc600 then { return VBAR_EL1; }
+  else if key == 0xe600 then { return VBAR_EL2; }
+  else if key == 0xe088 then { return HCR_EL2; }
+  else if key == 0xc200 then { return SPSR_EL1; }
+  else if key == 0xe200 then { return SPSR_EL2; }
+  else if key == 0xc201 then { return ELR_EL1; }
+  else if key == 0xe201 then { return ELR_EL2; }
+  else if key == 0xc080 then { return SCTLR_EL1; }
+  else if key == 0xe080 then { return SCTLR_EL2; }
+  else if key == 0xc290 then { return ESR_EL1; }
+  else if key == 0xe290 then { return ESR_EL2; }
+  else if key == 0xc300 then { return FAR_EL1; }
+  else if key == 0xe300 then { return FAR_EL2; }
+  else if key == 0xe682 then { return TPIDR_EL2; }
+  else if key == 0xe510 then { return MAIR_EL2; }
+  else if key == 0xe102 then { return TCR_EL2; }
+  else if key == 0xe100 then { return TTBR0_EL2; }
+  else if key == 0xe089 then { return MDCR_EL2; }
+  else if key == 0xe08a then { return CPTR_EL2; }
+  else if key == 0xe08b then { return HSTR_EL2; }
+  else if key == 0xe108 then { return VTTBR_EL2; }
+  else if key == 0xe10a then { return VTCR_EL2; }
+  else if key == 0xe708 then { return CNTHCTL_EL2; }
+  else if key == 0xe703 then { return CNTVOFF_EL2; }
+  else if key == 0xc212 then {                      // CurrentEL
+    return zero_extend(PSTATE.EL @ 0b00, 64);
+  }
+  else { throw("unknown system register (MRS)"); };
+}
+
+function sys_write(key : bits(16), value : bits(64)) -> unit = {
+  if key == 0xc600 then { VBAR_EL1 = value; }
+  else if key == 0xe600 then { VBAR_EL2 = value; }
+  else if key == 0xe088 then { HCR_EL2 = value; }
+  else if key == 0xc200 then { SPSR_EL1 = value; }
+  else if key == 0xe200 then { SPSR_EL2 = value; }
+  else if key == 0xc201 then { ELR_EL1 = value; }
+  else if key == 0xe201 then { ELR_EL2 = value; }
+  else if key == 0xc080 then { SCTLR_EL1 = value; }
+  else if key == 0xe080 then { SCTLR_EL2 = value; }
+  else if key == 0xc290 then { ESR_EL1 = value; }
+  else if key == 0xe290 then { ESR_EL2 = value; }
+  else if key == 0xc300 then { FAR_EL1 = value; }
+  else if key == 0xe300 then { FAR_EL2 = value; }
+  else if key == 0xe682 then { TPIDR_EL2 = value; }
+  else if key == 0xe510 then { MAIR_EL2 = value; }
+  else if key == 0xe102 then { TCR_EL2 = value; }
+  else if key == 0xe100 then { TTBR0_EL2 = value; }
+  else if key == 0xe089 then { MDCR_EL2 = value; }
+  else if key == 0xe08a then { CPTR_EL2 = value; }
+  else if key == 0xe08b then { HSTR_EL2 = value; }
+  else if key == 0xe108 then { VTTBR_EL2 = value; }
+  else if key == 0xe10a then { VTCR_EL2 = value; }
+  else if key == 0xe708 then { CNTHCTL_EL2 = value; }
+  else if key == 0xe703 then { CNTVOFF_EL2 = value; }
+  else { throw("unknown system register (MSR)"); };
+}
+
+function system_insn(opcode : bits(32)) -> unit = {
+  if opcode == 0xd503201f then { next_instr(); }            // NOP
+  else {
+    let key = opcode[20 .. 5];
+    let rt = opcode[4 .. 0];
+    if opcode[21] == 0b1 then { rset(rt, sys_read(key)); }
+    else { sys_write(key, rget(rt)); };
+    next_instr();
+  };
+}
+
+function decode_branches_exc_sys(opcode : bits(32)) -> unit = {
+  if opcode[30 .. 26] == 0b00101 then { uncond_branch_imm(opcode); }
+  else if opcode[30 .. 25] == 0b011010 then { compare_and_branch(opcode); }
+  else if opcode[30 .. 25] == 0b011011 then { test_and_branch(opcode); }
+  else if opcode[31 .. 24] == 0x54 & opcode[4] == 0b0 then {
+    cond_branch(opcode);
+  }
+  else if opcode[31 .. 25] == 0b1101011 then { uncond_branch_reg(opcode); }
+  else if opcode[31 .. 24] == 0xd4 then { exception_gen(opcode); }
+  else if opcode[31 .. 22] == 0b1101010100 then { system_insn(opcode); }
+  else { throw("unallocated branch/exception/system encoding"); };
+}
+
+// ===== Top-level decode (the decode64 of Fig. 2) ==========================
+
+function decode(opcode : bits(32)) -> unit = {
+  let op0 = opcode[28 .. 25];
+  if op0 == 0b1000 | op0 == 0b1001 then { decode_data_proc_imm(opcode); }
+  else if op0 == 0b1010 | op0 == 0b1011 then {
+    decode_branches_exc_sys(opcode);
+  }
+  else if op0[2] == 0b1 & op0[0] == 0b0 then { decode_loads_stores(opcode); }
+  else if op0[2 .. 0] == 0b101 then { decode_data_proc_reg(opcode); }
+  else { throw("UNDEFINED"); };
+}
+)SAIL";
+
+const char *islaris::models::aarch64Source() { return Aarch64Src; }
+
+const islaris::sail::Model &islaris::models::aarch64Model() {
+  static const sail::Model *M = [] {
+    std::string Err;
+    auto Parsed = sail::parseModel(Aarch64Src, Err);
+    if (!Parsed) {
+      std::fprintf(stderr, "aarch64 model: %s\n", Err.c_str());
+      std::abort();
+    }
+    return Parsed.release();
+  }();
+  return *M;
+}

@@ -1,0 +1,347 @@
+//===- models/rv64_model.cpp - RV64I mini-Sail model ---------------------------===//
+//
+// An RV64I subset model in mini-Sail, structured like the official
+// sail-riscv specification: opcode-major decode dispatching to per-format
+// execute functions, x0 hardwired to zero, sign-extended immediates.
+//
+// Covered: LUI, AUIPC, OP-IMM (ADDI/XORI/ORI/ANDI/SLTI/SLTIU/SLLI/SRLI/
+// SRAI), OP (ADD/SUB/SLL/SLT/SLTU/XOR/SRL/SRA/OR/AND), loads (LB/LH/LW/LD/
+// LBU/LHU/LWU), stores (SB/SH/SW/SD), branches (BEQ/BNE/BLT/BGE/BLTU/BGEU),
+// JAL, JALR.
+//
+//===----------------------------------------------------------------------===//
+
+#include "models/Models.h"
+
+#include "sail/Parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+static const char *Rv64Src = R"SAIL(
+// ===== RV64 register file =================================================
+
+register x1 : bits(64)    register x2 : bits(64)    register x3 : bits(64)
+register x4 : bits(64)    register x5 : bits(64)    register x6 : bits(64)
+register x7 : bits(64)    register x8 : bits(64)    register x9 : bits(64)
+register x10 : bits(64)   register x11 : bits(64)   register x12 : bits(64)
+register x13 : bits(64)   register x14 : bits(64)   register x15 : bits(64)
+register x16 : bits(64)   register x17 : bits(64)   register x18 : bits(64)
+register x19 : bits(64)   register x20 : bits(64)   register x21 : bits(64)
+register x22 : bits(64)   register x23 : bits(64)   register x24 : bits(64)
+register x25 : bits(64)   register x26 : bits(64)   register x27 : bits(64)
+register x28 : bits(64)   register x29 : bits(64)   register x30 : bits(64)
+register x31 : bits(64)
+
+register PC : bits(64)
+
+// x0 reads as zero and discards writes.
+function rget(n : bits(5)) -> bits(64) = {
+  if n == 0b00000 then { return 0x0000000000000000; }
+  else if n == 0b00001 then { return x1; }
+  else if n == 0b00010 then { return x2; }
+  else if n == 0b00011 then { return x3; }
+  else if n == 0b00100 then { return x4; }
+  else if n == 0b00101 then { return x5; }
+  else if n == 0b00110 then { return x6; }
+  else if n == 0b00111 then { return x7; }
+  else if n == 0b01000 then { return x8; }
+  else if n == 0b01001 then { return x9; }
+  else if n == 0b01010 then { return x10; }
+  else if n == 0b01011 then { return x11; }
+  else if n == 0b01100 then { return x12; }
+  else if n == 0b01101 then { return x13; }
+  else if n == 0b01110 then { return x14; }
+  else if n == 0b01111 then { return x15; }
+  else if n == 0b10000 then { return x16; }
+  else if n == 0b10001 then { return x17; }
+  else if n == 0b10010 then { return x18; }
+  else if n == 0b10011 then { return x19; }
+  else if n == 0b10100 then { return x20; }
+  else if n == 0b10101 then { return x21; }
+  else if n == 0b10110 then { return x22; }
+  else if n == 0b10111 then { return x23; }
+  else if n == 0b11000 then { return x24; }
+  else if n == 0b11001 then { return x25; }
+  else if n == 0b11010 then { return x26; }
+  else if n == 0b11011 then { return x27; }
+  else if n == 0b11100 then { return x28; }
+  else if n == 0b11101 then { return x29; }
+  else if n == 0b11110 then { return x30; }
+  else { return x31; };
+}
+
+function rset(n : bits(5), value : bits(64)) -> unit = {
+  if n == 0b00000 then { }
+  else if n == 0b00001 then { x1 = value; }
+  else if n == 0b00010 then { x2 = value; }
+  else if n == 0b00011 then { x3 = value; }
+  else if n == 0b00100 then { x4 = value; }
+  else if n == 0b00101 then { x5 = value; }
+  else if n == 0b00110 then { x6 = value; }
+  else if n == 0b00111 then { x7 = value; }
+  else if n == 0b01000 then { x8 = value; }
+  else if n == 0b01001 then { x9 = value; }
+  else if n == 0b01010 then { x10 = value; }
+  else if n == 0b01011 then { x11 = value; }
+  else if n == 0b01100 then { x12 = value; }
+  else if n == 0b01101 then { x13 = value; }
+  else if n == 0b01110 then { x14 = value; }
+  else if n == 0b01111 then { x15 = value; }
+  else if n == 0b10000 then { x16 = value; }
+  else if n == 0b10001 then { x17 = value; }
+  else if n == 0b10010 then { x18 = value; }
+  else if n == 0b10011 then { x19 = value; }
+  else if n == 0b10100 then { x20 = value; }
+  else if n == 0b10101 then { x21 = value; }
+  else if n == 0b10110 then { x22 = value; }
+  else if n == 0b10111 then { x23 = value; }
+  else if n == 0b11000 then { x24 = value; }
+  else if n == 0b11001 then { x25 = value; }
+  else if n == 0b11010 then { x26 = value; }
+  else if n == 0b11011 then { x27 = value; }
+  else if n == 0b11100 then { x28 = value; }
+  else if n == 0b11101 then { x29 = value; }
+  else if n == 0b11110 then { x30 = value; }
+  else { x31 = value; };
+}
+
+function next_pc() -> unit = { PC = PC + 0x0000000000000004; }
+
+// ===== Immediate decoders =================================================
+
+function imm_i(opcode : bits(32)) -> bits(64) = {
+  return sign_extend(opcode[31 .. 20], 64);
+}
+
+function imm_s(opcode : bits(32)) -> bits(64) = {
+  return sign_extend(opcode[31 .. 25] @ opcode[11 .. 7], 64);
+}
+
+function imm_b(opcode : bits(32)) -> bits(64) = {
+  return sign_extend(opcode[31] @ opcode[7] @ opcode[30 .. 25]
+                   @ opcode[11 .. 8] @ 0b0, 64);
+}
+
+function imm_u(opcode : bits(32)) -> bits(64) = {
+  return sign_extend(opcode[31 .. 12] @ 0x000, 64);
+}
+
+function imm_j(opcode : bits(32)) -> bits(64) = {
+  return sign_extend(opcode[31] @ opcode[19 .. 12] @ opcode[20]
+                   @ opcode[30 .. 21] @ 0b0, 64);
+}
+
+// ===== Execute functions ==================================================
+
+function execute_op_imm(opcode : bits(32)) -> unit = {
+  let f3 = opcode[14 .. 12];
+  let rs1 = rget(opcode[19 .. 15]);
+  let rd = opcode[11 .. 7];
+  let imm = imm_i(opcode);
+  if f3 == 0b000 then { rset(rd, rs1 + imm); }
+  else if f3 == 0b010 then {
+    rset(rd, if rs1 <s imm then 0x0000000000000001
+             else 0x0000000000000000);
+  }
+  else if f3 == 0b011 then {
+    rset(rd, if rs1 <u imm then 0x0000000000000001
+             else 0x0000000000000000);
+  }
+  else if f3 == 0b100 then { rset(rd, rs1 ^ imm); }
+  else if f3 == 0b110 then { rset(rd, rs1 | imm); }
+  else if f3 == 0b111 then { rset(rd, rs1 & imm); }
+  else if f3 == 0b001 then {
+    if opcode[31 .. 26] != 0b000000 then { throw("bad SLLI encoding"); };
+    rset(rd, rs1 << zero_extend(opcode[25 .. 20], 64));
+  }
+  else {
+    let shamt = zero_extend(opcode[25 .. 20], 64);
+    if opcode[31 .. 26] == 0b000000 then { rset(rd, rs1 >> shamt); }
+    else if opcode[31 .. 26] == 0b010000 then { rset(rd, rs1 >>> shamt); }
+    else { throw("bad SRLI/SRAI encoding"); };
+  };
+  next_pc();
+}
+
+function execute_op(opcode : bits(32)) -> unit = {
+  let f3 = opcode[14 .. 12];
+  let f7 = opcode[31 .. 25];
+  let rs1 = rget(opcode[19 .. 15]);
+  let rs2 = rget(opcode[24 .. 20]);
+  let rd = opcode[11 .. 7];
+  if f7 == 0b0000000 then {
+    if f3 == 0b000 then { rset(rd, rs1 + rs2); }
+    else if f3 == 0b001 then {
+      rset(rd, rs1 << zero_extend(truncate(rs2, 6), 64));
+    }
+    else if f3 == 0b010 then {
+      rset(rd, if rs1 <s rs2 then 0x0000000000000001
+               else 0x0000000000000000);
+    }
+    else if f3 == 0b011 then {
+      rset(rd, if rs1 <u rs2 then 0x0000000000000001
+               else 0x0000000000000000);
+    }
+    else if f3 == 0b100 then { rset(rd, rs1 ^ rs2); }
+    else if f3 == 0b101 then {
+      rset(rd, rs1 >> zero_extend(truncate(rs2, 6), 64));
+    }
+    else if f3 == 0b110 then { rset(rd, rs1 | rs2); }
+    else { rset(rd, rs1 & rs2); };
+  } else if f7 == 0b0100000 then {
+    if f3 == 0b000 then { rset(rd, rs1 - rs2); }
+    else if f3 == 0b101 then {
+      rset(rd, rs1 >>> zero_extend(truncate(rs2, 6), 64));
+    }
+    else { throw("bad OP funct3 for funct7=0100000"); };
+  } else {
+    throw("unsupported OP funct7");
+  };
+  next_pc();
+}
+
+function execute_load(opcode : bits(32)) -> unit = {
+  let f3 = opcode[14 .. 12];
+  let addr = rget(opcode[19 .. 15]) + imm_i(opcode);
+  let rd = opcode[11 .. 7];
+  if f3 == 0b000 then { rset(rd, sign_extend(read_mem(addr, 1), 64)); }
+  else if f3 == 0b001 then { rset(rd, sign_extend(read_mem(addr, 2), 64)); }
+  else if f3 == 0b010 then { rset(rd, sign_extend(read_mem(addr, 4), 64)); }
+  else if f3 == 0b011 then { rset(rd, read_mem(addr, 8)); }
+  else if f3 == 0b100 then { rset(rd, zero_extend(read_mem(addr, 1), 64)); }
+  else if f3 == 0b101 then { rset(rd, zero_extend(read_mem(addr, 2), 64)); }
+  else if f3 == 0b110 then { rset(rd, zero_extend(read_mem(addr, 4), 64)); }
+  else { throw("unsupported load width"); };
+  next_pc();
+}
+
+function execute_store(opcode : bits(32)) -> unit = {
+  let f3 = opcode[14 .. 12];
+  let addr = rget(opcode[19 .. 15]) + imm_s(opcode);
+  let v = rget(opcode[24 .. 20]);
+  if f3 == 0b000 then { write_mem(addr, truncate(v, 8), 1); }
+  else if f3 == 0b001 then { write_mem(addr, truncate(v, 16), 2); }
+  else if f3 == 0b010 then { write_mem(addr, truncate(v, 32), 4); }
+  else if f3 == 0b011 then { write_mem(addr, v, 8); }
+  else { throw("unsupported store width"); };
+  next_pc();
+}
+
+function execute_branch(opcode : bits(32)) -> unit = {
+  let f3 = opcode[14 .. 12];
+  let rs1 = rget(opcode[19 .. 15]);
+  let rs2 = rget(opcode[24 .. 20]);
+  var taken = false;
+  if f3 == 0b000 then { taken = rs1 == rs2; }
+  else if f3 == 0b001 then { taken = rs1 != rs2; }
+  else if f3 == 0b100 then { taken = rs1 <s rs2; }
+  else if f3 == 0b101 then { taken = !(rs1 <s rs2); }
+  else if f3 == 0b110 then { taken = rs1 <u rs2; }
+  else if f3 == 0b111 then { taken = !(rs1 <u rs2); }
+  else { throw("unsupported branch funct3"); };
+  if taken then { PC = PC + imm_b(opcode); } else { next_pc(); };
+}
+
+function execute_jal(opcode : bits(32)) -> unit = {
+  rset(opcode[11 .. 7], PC + 0x0000000000000004);
+  PC = PC + imm_j(opcode);
+}
+
+function execute_jalr(opcode : bits(32)) -> unit = {
+  if opcode[14 .. 12] != 0b000 then { throw("bad JALR funct3"); };
+  let target = (rget(opcode[19 .. 15]) + imm_i(opcode))
+             & 0xfffffffffffffffe;
+  rset(opcode[11 .. 7], PC + 0x0000000000000004);
+  PC = target;
+}
+
+// RV64I W-instructions: 32-bit operations whose results are sign-extended.
+function execute_op_imm_32(opcode : bits(32)) -> unit = {
+  let f3 = opcode[14 .. 12];
+  let rs1 = truncate(rget(opcode[19 .. 15]), 32);
+  let rd = opcode[11 .. 7];
+  if f3 == 0b000 then {                            // ADDIW
+    rset(rd, sign_extend(rs1 + truncate(imm_i(opcode), 32), 64));
+  } else if f3 == 0b001 then {                     // SLLIW
+    if opcode[31 .. 25] != 0b0000000 then { throw("bad SLLIW encoding"); };
+    rset(rd, sign_extend(rs1 << zero_extend(opcode[24 .. 20], 32), 64));
+  } else if f3 == 0b101 then {                     // SRLIW / SRAIW
+    let shamt = zero_extend(opcode[24 .. 20], 32);
+    if opcode[31 .. 25] == 0b0000000 then {
+      rset(rd, sign_extend(rs1 >> shamt, 64));
+    } else if opcode[31 .. 25] == 0b0100000 then {
+      rset(rd, sign_extend(rs1 >>> shamt, 64));
+    } else { throw("bad SRLIW/SRAIW encoding"); };
+  } else {
+    throw("unsupported OP-IMM-32 funct3");
+  };
+  next_pc();
+}
+
+function execute_op_32(opcode : bits(32)) -> unit = {
+  let f3 = opcode[14 .. 12];
+  let f7 = opcode[31 .. 25];
+  let rs1 = truncate(rget(opcode[19 .. 15]), 32);
+  let rs2 = truncate(rget(opcode[24 .. 20]), 32);
+  let rd = opcode[11 .. 7];
+  if f7 == 0b0000000 then {
+    if f3 == 0b000 then { rset(rd, sign_extend(rs1 + rs2, 64)); }   // ADDW
+    else if f3 == 0b001 then {                                      // SLLW
+      rset(rd, sign_extend(rs1 << zero_extend(truncate(rs2, 5), 32), 64));
+    }
+    else if f3 == 0b101 then {                                      // SRLW
+      rset(rd, sign_extend(rs1 >> zero_extend(truncate(rs2, 5), 32), 64));
+    }
+    else { throw("unsupported OP-32 funct3"); };
+  } else if f7 == 0b0100000 then {
+    if f3 == 0b000 then { rset(rd, sign_extend(rs1 - rs2, 64)); }   // SUBW
+    else if f3 == 0b101 then {                                      // SRAW
+      rset(rd, sign_extend(rs1 >>> zero_extend(truncate(rs2, 5), 32), 64));
+    }
+    else { throw("unsupported OP-32 funct3 for funct7=0100000"); };
+  } else {
+    throw("unsupported OP-32 funct7");
+  };
+  next_pc();
+}
+
+// ===== Top-level decode ===================================================
+
+function decode(opcode : bits(32)) -> unit = {
+  let op = opcode[6 .. 0];
+  if op == 0b0110111 then {                       // LUI
+    rset(opcode[11 .. 7], imm_u(opcode));
+    next_pc();
+  }
+  else if op == 0b0010111 then {                  // AUIPC
+    rset(opcode[11 .. 7], PC + imm_u(opcode));
+    next_pc();
+  }
+  else if op == 0b0010011 then { execute_op_imm(opcode); }
+  else if op == 0b0110011 then { execute_op(opcode); }
+  else if op == 0b0011011 then { execute_op_imm_32(opcode); }
+  else if op == 0b0111011 then { execute_op_32(opcode); }
+  else if op == 0b0000011 then { execute_load(opcode); }
+  else if op == 0b0100011 then { execute_store(opcode); }
+  else if op == 0b1100011 then { execute_branch(opcode); }
+  else if op == 0b1101111 then { execute_jal(opcode); }
+  else if op == 0b1100111 then { execute_jalr(opcode); }
+  else { throw("UNDEFINED"); };
+}
+)SAIL";
+
+const char *islaris::models::rv64Source() { return Rv64Src; }
+
+const islaris::sail::Model &islaris::models::rv64Model() {
+  static const sail::Model *M = [] {
+    std::string Err;
+    auto Parsed = sail::parseModel(Rv64Src, Err);
+    if (!Parsed) {
+      std::fprintf(stderr, "rv64 model: %s\n", Err.c_str());
+      std::abort();
+    }
+    return Parsed.release();
+  }();
+  return *M;
+}

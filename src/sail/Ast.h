@@ -1,0 +1,246 @@
+//===- sail/Ast.h - Mini-Sail abstract syntax -------------------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mini-Sail ISA definition language.  This stands in for Sail itself:
+/// the Armv8-A and RISC-V instruction semantics (src/models) are written in
+/// it, the concrete interpreter (sail/Interpreter.h) gives it a direct
+/// semantics, and the Isla-style symbolic executor (isla/Executor.h)
+/// evaluates it symbolically to produce ITL traces.
+///
+/// The language is a first-order imperative expression language over
+/// fixed-width bitvectors: registers (optionally struct-shaped with named
+/// bitvector fields), pure functions with a single return value, if/else,
+/// let/var locals, bitvector operators, slicing, concatenation, memory
+/// builtins, and Sail-style exceptions (`throw`) for UNDEFINED encodings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SAIL_AST_H
+#define ISLARIS_SAIL_AST_H
+
+#include "support/BitVec.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace islaris::sail {
+
+/// A mini-Sail type: unit, bool, or bits(N).
+struct Type {
+  enum class K : uint8_t { Unit, Bool, Bits } Kind = K::Unit;
+  unsigned Width = 0; ///< Valid for Bits.
+
+  static Type unit() { return {K::Unit, 0}; }
+  static Type boolean() { return {K::Bool, 0}; }
+  static Type bits(unsigned W) { return {K::Bits, W}; }
+
+  bool isUnit() const { return Kind == K::Unit; }
+  bool isBool() const { return Kind == K::Bool; }
+  bool isBits() const { return Kind == K::Bits; }
+  bool operator==(const Type &O) const {
+    return Kind == O.Kind && Width == O.Width;
+  }
+  bool operator!=(const Type &O) const { return !(*this == O); }
+  std::string toString() const;
+};
+
+/// Unary operators.
+enum class UnOp : uint8_t { BoolNot, BvNot, BvNeg };
+
+/// Binary operators.  Comparison operators carry their signedness in the
+/// name, as in Sail's <_u / <_s family.
+enum class BinOp : uint8_t {
+  BoolAnd,
+  BoolOr,
+  Eq,
+  Ne,
+  Add,
+  Sub,
+  Mul,
+  UDiv,
+  URem,
+  BvAnd,
+  BvOr,
+  BvXor,
+  Shl,
+  LShr,
+  AShr,
+  ULt,
+  ULe,
+  SLt,
+  SLe,
+  Concat,
+};
+
+/// Builtin functions with width-polymorphic or effectful signatures.
+enum class Builtin : uint8_t {
+  None,
+  ZeroExtend,  ///< zero_extend(e, W) — extend to absolute width W.
+  SignExtend,  ///< sign_extend(e, W)
+  Truncate,    ///< truncate(e, W) — keep the low W bits.
+  ReverseBits, ///< reverse_bits(e) — the rbit primitive.
+  ReadMem,     ///< read_mem(addr, N) -> bits(8N); effectful.
+  WriteMem,    ///< write_mem(addr, data, N) -> unit; effectful.
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct FunctionDecl;
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  BitsLit,  ///< 0x... / 0b... literal.
+  BoolLit,  ///< true / false.
+  IntLit,   ///< Bare decimal literal; only valid as a width/bound argument.
+  VarRef,   ///< Local variable or parameter.
+  RegRead,  ///< Register or register-field read.
+  Call,     ///< User function or builtin call.
+  Unary,    ///< UnOp.
+  Binary,   ///< BinOp.
+  IfExpr,   ///< if c then e1 else e2 (expression form).
+  Slice,    ///< e[hi .. lo] or e[i] with literal bounds.
+};
+
+/// An expression.  After resolution, Ty is the computed type, VarRef carries
+/// LocalIdx, and Call carries either Callee or BuiltinKind.
+struct Expr {
+  ExprKind Kind;
+  // Source position for diagnostics.
+  int Line = 0;
+
+  // Literals.
+  BitVec BitsVal;
+  bool BoolVal = false;
+  uint64_t IntVal = 0;
+
+  // Names.
+  std::string Name;  ///< VarRef / RegRead base / Call target.
+  std::string Field; ///< RegRead field (empty for whole register).
+
+  // Children.
+  std::vector<ExprPtr> Args; ///< Call args / Unary[0] / Binary[0,1] /
+                             ///< IfExpr[c,t,e] / Slice[0].
+  UnOp UOp = UnOp::BoolNot;
+  BinOp BOp = BinOp::Add;
+  unsigned SliceHi = 0, SliceLo = 0;
+
+  // Resolution results.
+  Type Ty;
+  int LocalIdx = -1;
+  const FunctionDecl *Callee = nullptr;
+  Builtin BuiltinKind = Builtin::None;
+  unsigned ExtWidth = 0;   ///< Resolved width for extend/truncate.
+  unsigned MemBytes = 0;   ///< Resolved byte count for read_mem/write_mem.
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statement node kinds.
+enum class StmtKind : uint8_t {
+  Let,      ///< let x = e;  or  var x = e;
+  Assign,   ///< x = e;   (x must be a `var` local)
+  RegWrite, ///< R = e;  or  R.F = e;
+  If,       ///< if c then { ... } else { ... }
+  ExprStmt, ///< A call evaluated for its effects.
+  Return,   ///< return e;  or  return;
+  Throw,    ///< throw("msg") — Sail-level failure (UNDEFINED etc.).
+  Assert,   ///< assert(c, "msg") — model invariant.
+  Block,    ///< { s1 ... sn }
+};
+
+struct Stmt {
+  StmtKind Kind;
+  int Line = 0;
+
+  std::string Name;  ///< Let/Assign target, RegWrite base.
+  std::string Field; ///< RegWrite field.
+  bool Mutable = false;
+  std::string Message; ///< Throw/Assert message.
+
+  ExprPtr Value; ///< Let/Assign/RegWrite/Return value, If/Assert condition,
+                 ///< ExprStmt expression.
+  std::vector<StmtPtr> Body; ///< If-then block / Block statements.
+  std::vector<StmtPtr> Else; ///< If-else block.
+
+  // Resolution results.
+  int LocalIdx = -1;
+};
+
+/// A function parameter.
+struct Param {
+  std::string Name;
+  Type Ty;
+};
+
+/// A top-level function.
+struct FunctionDecl {
+  std::string Name;
+  std::vector<Param> Params;
+  Type RetTy;
+  StmtPtr Body;
+  int Line = 0;
+
+  /// Total number of local slots (params + lets), set by the resolver.
+  unsigned NumLocals = 0;
+};
+
+/// A register declaration: a plain bitvector or a struct of named bitvector
+/// fields (e.g. PSTATE).
+struct RegisterDecl {
+  std::string Name;
+  bool IsStruct = false;
+  unsigned Width = 0;                              ///< Plain registers.
+  std::vector<std::pair<std::string, unsigned>> Fields; ///< Struct registers.
+
+  /// Width of the named field; asserts if absent.
+  unsigned fieldWidth(const std::string &F) const {
+    for (const auto &[Name2, W] : Fields)
+      if (Name2 == F)
+        return W;
+    assert(false && "unknown register field");
+    return 0;
+  }
+  bool hasField(const std::string &F) const {
+    for (const auto &[Name2, W] : Fields)
+      if (Name2 == F)
+        return true;
+    return false;
+  }
+};
+
+/// A complete mini-Sail model: registers plus functions.  The conventional
+/// entry point is `decode(opcode : bits(32)) -> unit`, which executes one
+/// instruction including the PC update.
+struct Model {
+  std::vector<RegisterDecl> Registers;
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+
+  std::unordered_map<std::string, const RegisterDecl *> RegisterByName;
+  std::unordered_map<std::string, const FunctionDecl *> FunctionByName;
+
+  const RegisterDecl *findRegister(const std::string &Name) const {
+    auto It = RegisterByName.find(Name);
+    return It == RegisterByName.end() ? nullptr : It->second;
+  }
+  const FunctionDecl *findFunction(const std::string &Name) const {
+    auto It = FunctionByName.find(Name);
+    return It == FunctionByName.end() ? nullptr : It->second;
+  }
+
+  /// Non-whitespace source line count (for DESIGN/EXPERIMENTS reporting).
+  unsigned SourceLines = 0;
+};
+
+} // namespace islaris::sail
+
+#endif // ISLARIS_SAIL_AST_H

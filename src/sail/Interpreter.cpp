@@ -1,0 +1,320 @@
+//===- sail/Interpreter.cpp - Concrete mini-Sail execution --------------------===//
+
+#include "sail/Interpreter.h"
+
+using namespace islaris;
+using namespace islaris::sail;
+using islaris::itl::Label;
+using islaris::itl::Reg;
+using smt::Value;
+
+bool Interpreter::err(int Line, const std::string &Msg) {
+  if (Error.empty())
+    Error = "line " + std::to_string(Line) + ": " + Msg;
+  return false;
+}
+
+std::optional<Value> Interpreter::evalExpr(const Expr &E, Frame &F,
+                                           itl::MachineState &State) {
+  switch (E.Kind) {
+  case ExprKind::BitsLit:
+    return Value(E.BitsVal);
+  case ExprKind::BoolLit:
+    return Value(E.BoolVal);
+  case ExprKind::IntLit:
+    err(E.Line, "internal: unresolved decimal literal");
+    return std::nullopt;
+  case ExprKind::VarRef: {
+    assert(E.LocalIdx >= 0 && "unresolved local");
+    const auto &Slot = F.Locals[size_t(E.LocalIdx)];
+    assert(Slot.has_value() && "read of uninitialized local");
+    return *Slot;
+  }
+  case ExprKind::RegRead: {
+    const Value *V = State.getReg(Reg(E.Name, E.Field));
+    if (!V) {
+      err(E.Line, "read of uninitialized register " + E.Name +
+                      (E.Field.empty() ? "" : "." + E.Field));
+      return std::nullopt;
+    }
+    assert(V->isBitVec() && V->asBitVec().width() == E.Ty.Width &&
+           "machine state register width mismatch");
+    return *V;
+  }
+  case ExprKind::Call: {
+    // Builtins.
+    switch (E.BuiltinKind) {
+    case Builtin::ZeroExtend:
+    case Builtin::SignExtend:
+    case Builtin::Truncate: {
+      auto V = evalExpr(*E.Args[0], F, State);
+      if (!V)
+        return std::nullopt;
+      const BitVec &B = V->asBitVec();
+      if (E.BuiltinKind == Builtin::Truncate)
+        return Value(B.extract(E.ExtWidth - 1, 0));
+      unsigned Extra = E.ExtWidth - B.width();
+      return Value(E.BuiltinKind == Builtin::ZeroExtend ? B.zext(Extra)
+                                                        : B.sext(Extra));
+    }
+    case Builtin::ReverseBits: {
+      auto V = evalExpr(*E.Args[0], F, State);
+      if (!V)
+        return std::nullopt;
+      return Value(V->asBitVec().reverseBits());
+    }
+    case Builtin::ReadMem: {
+      auto A = evalExpr(*E.Args[0], F, State);
+      if (!A)
+        return std::nullopt;
+      if (!A->asBitVec().fitsUInt64()) {
+        err(E.Line, "read_mem address out of range");
+        return std::nullopt;
+      }
+      uint64_t Addr = A->asBitVec().toUInt64();
+      if (State.isMapped(Addr, E.MemBytes))
+        return Value(State.loadBytes(Addr, E.MemBytes));
+      if (!Oracle) {
+        err(E.Line, "MMIO read without an oracle");
+        return std::nullopt;
+      }
+      BitVec Data = Oracle->mmioRead(Addr, E.MemBytes);
+      Labels.push_back(Label::read(BitVec(64, Addr), Data));
+      return Value(Data);
+    }
+    case Builtin::WriteMem: {
+      auto A = evalExpr(*E.Args[0], F, State);
+      auto D = evalExpr(*E.Args[1], F, State);
+      if (!A || !D)
+        return std::nullopt;
+      if (!A->asBitVec().fitsUInt64()) {
+        err(E.Line, "write_mem address out of range");
+        return std::nullopt;
+      }
+      uint64_t Addr = A->asBitVec().toUInt64();
+      if (State.isMapped(Addr, E.MemBytes))
+        State.storeBytes(Addr, D->asBitVec().toBytes());
+      else
+        Labels.push_back(Label::write(BitVec(64, Addr), D->asBitVec()));
+      return Value(BitVec(1, 0)); // unit placeholder
+    }
+    case Builtin::None:
+      break;
+    }
+    // User function.
+    std::vector<Value> Args;
+    Args.reserve(E.Args.size());
+    for (const ExprPtr &A : E.Args) {
+      auto V = evalExpr(*A, F, State);
+      if (!V)
+        return std::nullopt;
+      Args.push_back(std::move(*V));
+    }
+    return callImpl(*E.Callee, std::move(Args), State);
+  }
+  case ExprKind::Unary: {
+    auto V = evalExpr(*E.Args[0], F, State);
+    if (!V)
+      return std::nullopt;
+    switch (E.UOp) {
+    case UnOp::BoolNot:
+      return Value(!V->asBool());
+    case UnOp::BvNot:
+      return Value(V->asBitVec().bvnot());
+    case UnOp::BvNeg:
+      return Value(V->asBitVec().neg());
+    }
+    return std::nullopt;
+  }
+  case ExprKind::Binary: {
+    // Short-circuit the boolean connectives.
+    if (E.BOp == BinOp::BoolAnd || E.BOp == BinOp::BoolOr) {
+      auto L = evalExpr(*E.Args[0], F, State);
+      if (!L)
+        return std::nullopt;
+      if (E.BOp == BinOp::BoolAnd && !L->asBool())
+        return Value(false);
+      if (E.BOp == BinOp::BoolOr && L->asBool())
+        return Value(true);
+      return evalExpr(*E.Args[1], F, State);
+    }
+    auto L = evalExpr(*E.Args[0], F, State);
+    auto R = evalExpr(*E.Args[1], F, State);
+    if (!L || !R)
+      return std::nullopt;
+    switch (E.BOp) {
+    case BinOp::Eq:
+      return Value(*L == *R);
+    case BinOp::Ne:
+      return Value(*L != *R);
+    case BinOp::Add:
+      return Value(L->asBitVec().add(R->asBitVec()));
+    case BinOp::Sub:
+      return Value(L->asBitVec().sub(R->asBitVec()));
+    case BinOp::Mul:
+      return Value(L->asBitVec().mul(R->asBitVec()));
+    case BinOp::UDiv:
+      return Value(L->asBitVec().udiv(R->asBitVec()));
+    case BinOp::URem:
+      return Value(L->asBitVec().urem(R->asBitVec()));
+    case BinOp::BvAnd:
+      return Value(L->asBitVec().bvand(R->asBitVec()));
+    case BinOp::BvOr:
+      return Value(L->asBitVec().bvor(R->asBitVec()));
+    case BinOp::BvXor:
+      return Value(L->asBitVec().bvxor(R->asBitVec()));
+    case BinOp::Shl:
+      return Value(L->asBitVec().shl(R->asBitVec()));
+    case BinOp::LShr:
+      return Value(L->asBitVec().lshr(R->asBitVec()));
+    case BinOp::AShr:
+      return Value(L->asBitVec().ashr(R->asBitVec()));
+    case BinOp::ULt:
+      return Value(L->asBitVec().ult(R->asBitVec()));
+    case BinOp::ULe:
+      return Value(L->asBitVec().ule(R->asBitVec()));
+    case BinOp::SLt:
+      return Value(L->asBitVec().slt(R->asBitVec()));
+    case BinOp::SLe:
+      return Value(L->asBitVec().sle(R->asBitVec()));
+    case BinOp::Concat:
+      return Value(L->asBitVec().concat(R->asBitVec()));
+    case BinOp::BoolAnd:
+    case BinOp::BoolOr:
+      break; // handled above
+    }
+    err(E.Line, "internal: unhandled binary operator");
+    return std::nullopt;
+  }
+  case ExprKind::IfExpr: {
+    auto C = evalExpr(*E.Args[0], F, State);
+    if (!C)
+      return std::nullopt;
+    return evalExpr(*E.Args[C->asBool() ? 1 : 2], F, State);
+  }
+  case ExprKind::Slice: {
+    auto V = evalExpr(*E.Args[0], F, State);
+    if (!V)
+      return std::nullopt;
+    return Value(V->asBitVec().extract(E.SliceHi, E.SliceLo));
+  }
+  }
+  err(E.Line, "internal: unhandled expression kind");
+  return std::nullopt;
+}
+
+std::optional<Interpreter::FlowKind>
+Interpreter::execStmt(const Stmt &S, Frame &F, itl::MachineState &State) {
+  switch (S.Kind) {
+  case StmtKind::Block:
+    for (const StmtPtr &Child : S.Body) {
+      auto Flow = execStmt(*Child, F, State);
+      if (!Flow)
+        return std::nullopt;
+      if (*Flow == FlowKind::Returned)
+        return Flow;
+    }
+    return FlowKind::Normal;
+  case StmtKind::Let: {
+    auto V = evalExpr(*S.Value, F, State);
+    if (!V)
+      return std::nullopt;
+    F.Locals[size_t(S.LocalIdx)] = std::move(*V);
+    return FlowKind::Normal;
+  }
+  case StmtKind::Assign: {
+    auto V = evalExpr(*S.Value, F, State);
+    if (!V)
+      return std::nullopt;
+    F.Locals[size_t(S.LocalIdx)] = std::move(*V);
+    return FlowKind::Normal;
+  }
+  case StmtKind::RegWrite: {
+    auto V = evalExpr(*S.Value, F, State);
+    if (!V)
+      return std::nullopt;
+    State.setReg(Reg(S.Name, S.Field), std::move(*V));
+    return FlowKind::Normal;
+  }
+  case StmtKind::If: {
+    auto C = evalExpr(*S.Value, F, State);
+    if (!C)
+      return std::nullopt;
+    const auto &Branch = C->asBool() ? S.Body : S.Else;
+    for (const StmtPtr &Child : Branch) {
+      auto Flow = execStmt(*Child, F, State);
+      if (!Flow)
+        return std::nullopt;
+      if (*Flow == FlowKind::Returned)
+        return Flow;
+    }
+    return FlowKind::Normal;
+  }
+  case StmtKind::ExprStmt:
+    if (!evalExpr(*S.Value, F, State))
+      return std::nullopt;
+    return FlowKind::Normal;
+  case StmtKind::Return:
+    if (S.Value) {
+      auto V = evalExpr(*S.Value, F, State);
+      if (!V)
+        return std::nullopt;
+      RetVal = std::move(*V);
+    }
+    return FlowKind::Returned;
+  case StmtKind::Throw:
+    err(S.Line, "model exception: " + S.Message);
+    return std::nullopt;
+  case StmtKind::Assert: {
+    auto C = evalExpr(*S.Value, F, State);
+    if (!C)
+      return std::nullopt;
+    if (!C->asBool()) {
+      err(S.Line, "model assertion failed: " + S.Message);
+      return std::nullopt;
+    }
+    return FlowKind::Normal;
+  }
+  }
+  err(S.Line, "internal: unhandled statement kind");
+  return std::nullopt;
+}
+
+std::optional<Value> Interpreter::callImpl(const FunctionDecl &Fn,
+                                           std::vector<Value> Args,
+                                           itl::MachineState &State) {
+  if (++Depth > 128) {
+    err(Fn.Line, "call depth limit exceeded in " + Fn.Name);
+    --Depth;
+    return std::nullopt;
+  }
+  Frame F;
+  F.Locals.resize(Fn.NumLocals);
+  for (size_t I = 0; I < Args.size(); ++I)
+    F.Locals[I] = std::move(Args[I]);
+  RetVal = Value(BitVec(1, 0));
+  auto Flow = execStmt(*Fn.Body, F, State);
+  --Depth;
+  if (!Flow)
+    return std::nullopt;
+  if (*Flow == FlowKind::Normal && !Fn.RetTy.isUnit()) {
+    err(Fn.Line, "function " + Fn.Name + " fell off the end");
+    return std::nullopt;
+  }
+  return RetVal;
+}
+
+ExecResult Interpreter::callFunction(const std::string &Name,
+                                     const std::vector<Value> &Args,
+                                     itl::MachineState &State) {
+  Error.clear();
+  const FunctionDecl *Fn = M.findFunction(Name);
+  if (!Fn)
+    return {false, "unknown function " + Name};
+  if (Fn->Params.size() != Args.size())
+    return {false, "arity mismatch calling " + Name};
+  auto R = callImpl(*Fn, Args, State);
+  if (!R)
+    return {false, Error};
+  return {true, ""};
+}

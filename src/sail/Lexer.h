@@ -1,0 +1,105 @@
+//===- sail/Lexer.h - Mini-Sail lexer ---------------------------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SAIL_LEXER_H
+#define ISLARIS_SAIL_LEXER_H
+
+#include "support/BitVec.h"
+
+#include <string>
+#include <vector>
+
+namespace islaris::sail {
+
+/// Token kinds for the mini-Sail language.
+enum class Tok : uint8_t {
+  End,
+  Ident,
+  BitsLit, ///< 0x... or 0b...
+  IntLit,  ///< Bare decimal.
+  StrLit,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Colon,
+  Dot,
+  DotDot,
+  Arrow, ///< ->
+  Assign,
+  // Operators.
+  EqEq,
+  NotEq,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Plus,
+  Minus,
+  Star,
+  Slash,   ///< /u (unsigned division)
+  Percent, ///< %u (unsigned remainder)
+  Shl,    ///< <<
+  LShr,   ///< >>
+  AShr,   ///< >>>
+  ULt,    ///< <u
+  ULe,    ///< <=u
+  UGt,    ///< >u
+  UGe,    ///< >=u
+  SLt,    ///< <s
+  SLe,    ///< <=s
+  SGt,    ///< >s
+  SGe,    ///< >=s
+  At, ///< @ (concatenation)
+  // Keywords.
+  KwRegister,
+  KwStruct,
+  KwFunction,
+  KwBits,
+  KwBool,
+  KwUnit,
+  KwLet,
+  KwVar,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwReturn,
+  KwThrow,
+  KwAssert,
+  KwTrue,
+  KwFalse,
+};
+
+struct Token {
+  Tok Kind = Tok::End;
+  std::string Text; ///< Ident / StrLit contents.
+  BitVec Bits;      ///< BitsLit value.
+  uint64_t Int = 0; ///< IntLit value.
+  int Line = 1;
+};
+
+/// Tokenizes mini-Sail source.  Reports the first error via error().
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source);
+  const std::vector<Token> &tokens() const { return Tokens; }
+  bool ok() const { return Error.empty(); }
+  const std::string &error() const { return Error; }
+
+private:
+  std::vector<Token> Tokens;
+  std::string Error;
+};
+
+} // namespace islaris::sail
+
+#endif // ISLARIS_SAIL_LEXER_H

@@ -1,0 +1,626 @@
+//===- sail/Parser.cpp - Mini-Sail parser --------------------------------------===//
+
+#include "sail/Parser.h"
+
+#include "sail/Resolver.h"
+
+using namespace islaris;
+using namespace islaris::sail;
+
+std::string Type::toString() const {
+  switch (Kind) {
+  case K::Unit:
+    return "unit";
+  case K::Bool:
+    return "bool";
+  case K::Bits:
+    return "bits(" + std::to_string(Width) + ")";
+  }
+  return "?";
+}
+
+void Parser::fail(const std::string &Msg) {
+  if (Error.empty())
+    Error = "line " + std::to_string(peek().Line) + ": " + Msg;
+}
+
+bool Parser::expect(Tok K, const char *What) {
+  if (match(K))
+    return true;
+  fail(std::string("expected ") + What);
+  return false;
+}
+
+std::optional<Type> Parser::parseType() {
+  if (match(Tok::KwUnit))
+    return Type::unit();
+  if (match(Tok::KwBool))
+    return Type::boolean();
+  if (match(Tok::KwBits)) {
+    if (!expect(Tok::LParen, "'(' after bits"))
+      return std::nullopt;
+    if (!check(Tok::IntLit)) {
+      fail("expected bitvector width");
+      return std::nullopt;
+    }
+    unsigned W = unsigned(advance().Int);
+    if (!expect(Tok::RParen, "')' after width"))
+      return std::nullopt;
+    if (W == 0 || W > BitVec::MaxWidth) {
+      fail("unsupported bitvector width");
+      return std::nullopt;
+    }
+    return Type::bits(W);
+  }
+  fail("expected a type");
+  return std::nullopt;
+}
+
+bool Parser::parseRegister(Model &M) {
+  RegisterDecl R;
+  if (!check(Tok::Ident)) {
+    fail("expected register name");
+    return false;
+  }
+  R.Name = advance().Text;
+  if (!expect(Tok::Colon, "':' after register name"))
+    return false;
+  if (match(Tok::KwStruct)) {
+    R.IsStruct = true;
+    if (!expect(Tok::LBrace, "'{' after struct"))
+      return false;
+    while (true) {
+      if (!check(Tok::Ident)) {
+        fail("expected field name");
+        return false;
+      }
+      std::string FName = advance().Text;
+      if (!expect(Tok::Colon, "':' after field name"))
+        return false;
+      auto FT = parseType();
+      if (!FT)
+        return false;
+      if (!FT->isBits()) {
+        fail("register fields must have bits(N) type");
+        return false;
+      }
+      R.Fields.emplace_back(FName, FT->Width);
+      if (match(Tok::RBrace))
+        break;
+      if (!expect(Tok::Comma, "',' between fields"))
+        return false;
+    }
+  } else {
+    auto T = parseType();
+    if (!T)
+      return false;
+    if (!T->isBits()) {
+      fail("registers must have bits(N) or struct type");
+      return false;
+    }
+    R.Width = T->Width;
+  }
+  M.Registers.push_back(std::move(R));
+  return true;
+}
+
+bool Parser::parseFunction(Model &M) {
+  auto F = std::make_unique<FunctionDecl>();
+  F->Line = peek().Line;
+  if (!check(Tok::Ident)) {
+    fail("expected function name");
+    return false;
+  }
+  F->Name = advance().Text;
+  if (!expect(Tok::LParen, "'(' after function name"))
+    return false;
+  if (!match(Tok::RParen)) {
+    while (true) {
+      Param P;
+      if (!check(Tok::Ident)) {
+        fail("expected parameter name");
+        return false;
+      }
+      P.Name = advance().Text;
+      if (!expect(Tok::Colon, "':' after parameter name"))
+        return false;
+      auto T = parseType();
+      if (!T)
+        return false;
+      P.Ty = *T;
+      F->Params.push_back(std::move(P));
+      if (match(Tok::RParen))
+        break;
+      if (!expect(Tok::Comma, "',' between parameters"))
+        return false;
+    }
+  }
+  if (!expect(Tok::Arrow, "'->' before return type"))
+    return false;
+  auto RT = parseType();
+  if (!RT)
+    return false;
+  F->RetTy = *RT;
+  if (!expect(Tok::Assign, "'=' before function body"))
+    return false;
+  F->Body = parseBlock();
+  if (!F->Body)
+    return false;
+  M.Functions.push_back(std::move(F));
+  return true;
+}
+
+StmtPtr Parser::parseBlock() {
+  if (!expect(Tok::LBrace, "'{'"))
+    return nullptr;
+  auto B = std::make_unique<Stmt>();
+  B->Kind = StmtKind::Block;
+  B->Line = peek().Line;
+  while (!check(Tok::RBrace)) {
+    if (check(Tok::End)) {
+      fail("unterminated block");
+      return nullptr;
+    }
+    StmtPtr S = parseStmt();
+    if (!S)
+      return nullptr;
+    B->Body.push_back(std::move(S));
+  }
+  advance(); // '}'
+  return B;
+}
+
+StmtPtr Parser::parseIfStmt() {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::If;
+  S->Line = peek().Line;
+  advance(); // 'if'
+  S->Value = parseExpr();
+  if (!S->Value)
+    return nullptr;
+  if (!expect(Tok::KwThen, "'then' after if condition"))
+    return nullptr;
+  StmtPtr Then = parseBlock();
+  if (!Then)
+    return nullptr;
+  S->Body.push_back(std::move(Then));
+  if (match(Tok::KwElse)) {
+    if (check(Tok::KwIf)) {
+      StmtPtr ElseIf = parseIfStmt();
+      if (!ElseIf)
+        return nullptr;
+      S->Else.push_back(std::move(ElseIf));
+    } else {
+      StmtPtr Else = parseBlock();
+      if (!Else)
+        return nullptr;
+      S->Else.push_back(std::move(Else));
+    }
+  }
+  match(Tok::Semi); // optional trailing ';'
+  return S;
+}
+
+StmtPtr Parser::parseStmt() {
+  int Line = peek().Line;
+  if (check(Tok::KwIf))
+    return parseIfStmt();
+
+  auto S = std::make_unique<Stmt>();
+  S->Line = Line;
+
+  if (match(Tok::KwLet) || (check(Tok::KwVar) && (advance(), true))) {
+    // The condition above consumed either 'let' or 'var'.
+    S->Kind = StmtKind::Let;
+    S->Mutable = Toks[Pos - 1].Kind == Tok::KwVar;
+    if (!check(Tok::Ident)) {
+      fail("expected binding name");
+      return nullptr;
+    }
+    S->Name = advance().Text;
+    if (!expect(Tok::Assign, "'=' in binding"))
+      return nullptr;
+    S->Value = parseExpr();
+    if (!S->Value || !expect(Tok::Semi, "';' after binding"))
+      return nullptr;
+    return S;
+  }
+  if (match(Tok::KwReturn)) {
+    S->Kind = StmtKind::Return;
+    if (!check(Tok::Semi)) {
+      S->Value = parseExpr();
+      if (!S->Value)
+        return nullptr;
+    }
+    if (!expect(Tok::Semi, "';' after return"))
+      return nullptr;
+    return S;
+  }
+  if (match(Tok::KwThrow)) {
+    S->Kind = StmtKind::Throw;
+    if (!expect(Tok::LParen, "'(' after throw"))
+      return nullptr;
+    if (!check(Tok::StrLit)) {
+      fail("expected string message in throw");
+      return nullptr;
+    }
+    S->Message = advance().Text;
+    if (!expect(Tok::RParen, "')'") || !expect(Tok::Semi, "';'"))
+      return nullptr;
+    return S;
+  }
+  if (match(Tok::KwAssert)) {
+    S->Kind = StmtKind::Assert;
+    if (!expect(Tok::LParen, "'(' after assert"))
+      return nullptr;
+    S->Value = parseExpr();
+    if (!S->Value)
+      return nullptr;
+    if (match(Tok::Comma)) {
+      if (!check(Tok::StrLit)) {
+        fail("expected string message in assert");
+        return nullptr;
+      }
+      S->Message = advance().Text;
+    }
+    if (!expect(Tok::RParen, "')'") || !expect(Tok::Semi, "';'"))
+      return nullptr;
+    return S;
+  }
+
+  // Assignment forms: Name = e;  Name.Field = e;  — otherwise an
+  // expression statement (a call).
+  if (check(Tok::Ident)) {
+    if (peek(1).Kind == Tok::Assign) {
+      S->Kind = StmtKind::Assign; // may become RegWrite in the resolver
+      S->Name = advance().Text;
+      advance(); // '='
+      S->Value = parseExpr();
+      if (!S->Value || !expect(Tok::Semi, "';' after assignment"))
+        return nullptr;
+      return S;
+    }
+    if (peek(1).Kind == Tok::Dot && peek(2).Kind == Tok::Ident &&
+        peek(3).Kind == Tok::Assign) {
+      S->Kind = StmtKind::RegWrite;
+      S->Name = advance().Text;
+      advance(); // '.'
+      S->Field = advance().Text;
+      advance(); // '='
+      S->Value = parseExpr();
+      if (!S->Value || !expect(Tok::Semi, "';' after register write"))
+        return nullptr;
+      return S;
+    }
+  }
+
+  S->Kind = StmtKind::ExprStmt;
+  S->Value = parseExpr();
+  if (!S->Value || !expect(Tok::Semi, "';' after expression"))
+    return nullptr;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions.
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct OpInfo {
+  BinOp Op;
+  int Prec;
+};
+} // namespace
+
+/// Binary operator table; higher Prec binds tighter.
+static bool binOpFor(Tok K, OpInfo &Out) {
+  switch (K) {
+  case Tok::Pipe:
+    Out = {BinOp::BvOr, 1};
+    return true; // also boolean-or after resolution
+  case Tok::Caret:
+    Out = {BinOp::BvXor, 2};
+    return true;
+  case Tok::Amp:
+    Out = {BinOp::BvAnd, 3};
+    return true; // also boolean-and
+  case Tok::EqEq:
+    Out = {BinOp::Eq, 4};
+    return true;
+  case Tok::NotEq:
+    Out = {BinOp::Ne, 4};
+    return true;
+  case Tok::ULt:
+    Out = {BinOp::ULt, 5};
+    return true;
+  case Tok::ULe:
+    Out = {BinOp::ULe, 5};
+    return true;
+  case Tok::SLt:
+    Out = {BinOp::SLt, 5};
+    return true;
+  case Tok::SLe:
+    Out = {BinOp::SLe, 5};
+    return true;
+  case Tok::UGt: // desugared by swapping operands below
+  case Tok::UGe:
+  case Tok::SGt:
+  case Tok::SGe:
+    Out = {BinOp::ULt, 5};
+    return true;
+  case Tok::At:
+    Out = {BinOp::Concat, 6};
+    return true;
+  case Tok::Shl:
+    Out = {BinOp::Shl, 7};
+    return true;
+  case Tok::LShr:
+    Out = {BinOp::LShr, 7};
+    return true;
+  case Tok::AShr:
+    Out = {BinOp::AShr, 7};
+    return true;
+  case Tok::Plus:
+    Out = {BinOp::Add, 8};
+    return true;
+  case Tok::Minus:
+    Out = {BinOp::Sub, 8};
+    return true;
+  case Tok::Star:
+    Out = {BinOp::Mul, 9};
+    return true;
+  case Tok::Slash:
+    Out = {BinOp::UDiv, 9};
+    return true;
+  case Tok::Percent:
+    Out = {BinOp::URem, 9};
+    return true;
+  default:
+    return false;
+  }
+}
+
+ExprPtr Parser::parseExpr() { return parseBinary(1); }
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr Lhs = parseUnary();
+  if (!Lhs)
+    return nullptr;
+  while (true) {
+    OpInfo Info;
+    Tok K = peek().Kind;
+    if (!binOpFor(K, Info) || Info.Prec < MinPrec)
+      return Lhs;
+    int Line = peek().Line;
+    advance();
+    ExprPtr Rhs = parseBinary(Info.Prec + 1);
+    if (!Rhs)
+      return nullptr;
+    auto E = std::make_unique<Expr>();
+    E->Kind = ExprKind::Binary;
+    E->Line = Line;
+    // Desugar the "greater" family into swapped-less forms.
+    bool Swap = K == Tok::UGt || K == Tok::UGe || K == Tok::SGt ||
+                K == Tok::SGe;
+    switch (K) {
+    case Tok::UGt:
+      E->BOp = BinOp::ULt;
+      break;
+    case Tok::UGe:
+      E->BOp = BinOp::ULe;
+      break;
+    case Tok::SGt:
+      E->BOp = BinOp::SLt;
+      break;
+    case Tok::SGe:
+      E->BOp = BinOp::SLe;
+      break;
+    default:
+      E->BOp = Info.Op;
+      break;
+    }
+    if (Swap) {
+      E->Args.push_back(std::move(Rhs));
+      E->Args.push_back(std::move(Lhs));
+    } else {
+      E->Args.push_back(std::move(Lhs));
+      E->Args.push_back(std::move(Rhs));
+    }
+    Lhs = std::move(E);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  int Line = peek().Line;
+  auto mk = [&](UnOp Op, ExprPtr Arg) {
+    auto E = std::make_unique<Expr>();
+    E->Kind = ExprKind::Unary;
+    E->Line = Line;
+    E->UOp = Op;
+    E->Args.push_back(std::move(Arg));
+    return E;
+  };
+  if (match(Tok::Bang)) {
+    ExprPtr A = parseUnary();
+    return A ? mk(UnOp::BoolNot, std::move(A)) : nullptr;
+  }
+  if (match(Tok::Tilde)) {
+    ExprPtr A = parseUnary();
+    return A ? mk(UnOp::BvNot, std::move(A)) : nullptr;
+  }
+  if (match(Tok::Minus)) {
+    ExprPtr A = parseUnary();
+    return A ? mk(UnOp::BvNeg, std::move(A)) : nullptr;
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  if (!E)
+    return nullptr;
+  while (check(Tok::LBracket)) {
+    int Line = peek().Line;
+    advance();
+    if (!check(Tok::IntLit)) {
+      fail("expected literal slice bound");
+      return nullptr;
+    }
+    unsigned Hi = unsigned(advance().Int);
+    unsigned Lo = Hi;
+    if (match(Tok::DotDot)) {
+      if (!check(Tok::IntLit)) {
+        fail("expected literal slice lower bound");
+        return nullptr;
+      }
+      Lo = unsigned(advance().Int);
+    }
+    if (!expect(Tok::RBracket, "']' after slice"))
+      return nullptr;
+    auto S = std::make_unique<Expr>();
+    S->Kind = ExprKind::Slice;
+    S->Line = Line;
+    S->SliceHi = Hi;
+    S->SliceLo = Lo;
+    S->Args.push_back(std::move(E));
+    E = std::move(S);
+  }
+  return E;
+}
+
+ExprPtr Parser::parsePrimary() {
+  int Line = peek().Line;
+  auto E = std::make_unique<Expr>();
+  E->Line = Line;
+
+  if (check(Tok::BitsLit)) {
+    E->Kind = ExprKind::BitsLit;
+    E->BitsVal = advance().Bits;
+    return E;
+  }
+  if (check(Tok::IntLit)) {
+    E->Kind = ExprKind::IntLit;
+    E->IntVal = advance().Int;
+    return E;
+  }
+  if (match(Tok::KwTrue)) {
+    E->Kind = ExprKind::BoolLit;
+    E->BoolVal = true;
+    return E;
+  }
+  if (match(Tok::KwFalse)) {
+    E->Kind = ExprKind::BoolLit;
+    E->BoolVal = false;
+    return E;
+  }
+  if (match(Tok::LParen)) {
+    ExprPtr Inner = parseExpr();
+    if (!Inner || !expect(Tok::RParen, "')'"))
+      return nullptr;
+    return Inner;
+  }
+  if (check(Tok::KwIf)) {
+    advance();
+    E->Kind = ExprKind::IfExpr;
+    ExprPtr C = parseExpr();
+    if (!C || !expect(Tok::KwThen, "'then' in if expression"))
+      return nullptr;
+    ExprPtr T = parseExpr();
+    if (!T || !expect(Tok::KwElse, "'else' in if expression"))
+      return nullptr;
+    ExprPtr El = parseExpr();
+    if (!El)
+      return nullptr;
+    E->Args.push_back(std::move(C));
+    E->Args.push_back(std::move(T));
+    E->Args.push_back(std::move(El));
+    return E;
+  }
+  if (check(Tok::Ident)) {
+    std::string Name = advance().Text;
+    if (match(Tok::LParen)) {
+      E->Kind = ExprKind::Call;
+      E->Name = std::move(Name);
+      if (!match(Tok::RParen)) {
+        while (true) {
+          ExprPtr A = parseExpr();
+          if (!A)
+            return nullptr;
+          E->Args.push_back(std::move(A));
+          if (match(Tok::RParen))
+            break;
+          if (!expect(Tok::Comma, "',' between arguments"))
+            return nullptr;
+        }
+      }
+      return E;
+    }
+    if (check(Tok::Dot) && peek(1).Kind == Tok::Ident) {
+      // Register field read R.F (also reached for plain locals named with
+      // dots — not allowed, so this is unambiguous; the resolver validates).
+      advance();
+      E->Kind = ExprKind::RegRead;
+      E->Name = std::move(Name);
+      E->Field = advance().Text;
+      return E;
+    }
+    // Local variable or whole-register read; resolver decides.
+    E->Kind = ExprKind::VarRef;
+    E->Name = std::move(Name);
+    return E;
+  }
+  fail("expected an expression");
+  return nullptr;
+}
+
+std::unique_ptr<Model> Parser::parseModel() {
+  auto M = std::make_unique<Model>();
+  while (!check(Tok::End)) {
+    if (match(Tok::KwRegister)) {
+      if (!parseRegister(*M))
+        return nullptr;
+    } else if (match(Tok::KwFunction)) {
+      if (!parseFunction(*M))
+        return nullptr;
+    } else {
+      fail("expected 'register' or 'function' at top level");
+      return nullptr;
+    }
+  }
+  return M;
+}
+
+std::unique_ptr<Model> islaris::sail::parseModel(const std::string &Source,
+                                                 std::string &Error) {
+  Lexer L(Source);
+  if (!L.ok()) {
+    Error = L.error();
+    return nullptr;
+  }
+  Parser P(L.tokens());
+  auto M = P.parseModel();
+  if (!M) {
+    Error = P.error();
+    return nullptr;
+  }
+  // Count non-whitespace source lines for reporting.
+  unsigned Lines = 0;
+  bool NonWs = false;
+  for (char C : Source) {
+    if (C == '\n') {
+      Lines += NonWs;
+      NonWs = false;
+    } else if (C != ' ' && C != '\t' && C != '\r') {
+      NonWs = true;
+    }
+  }
+  Lines += NonWs;
+  M->SourceLines = Lines;
+
+  Resolver R(*M);
+  if (!R.run()) {
+    Error = R.error();
+    return nullptr;
+  }
+  return M;
+}

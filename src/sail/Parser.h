@@ -1,0 +1,74 @@
+//===- sail/Parser.h - Mini-Sail parser -------------------------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for mini-Sail.  parseModel() also runs the
+/// resolver (sail/Resolver.h), so a returned Model is fully typed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SAIL_PARSER_H
+#define ISLARIS_SAIL_PARSER_H
+
+#include "sail/Ast.h"
+#include "sail/Lexer.h"
+
+#include <memory>
+#include <optional>
+
+namespace islaris::sail {
+
+/// Parses (and resolves) a full model.  Returns null and sets \p Error on
+/// failure.
+std::unique_ptr<Model> parseModel(const std::string &Source,
+                                  std::string &Error);
+
+/// Implementation class, exposed for unit tests of individual productions.
+class Parser {
+public:
+  explicit Parser(const std::vector<Token> &Tokens) : Toks(Tokens) {}
+
+  std::unique_ptr<Model> parseModel();
+  const std::string &error() const { return Error; }
+
+private:
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  const Token &advance() { return Toks[Pos < Toks.size() - 1 ? Pos++ : Pos]; }
+  bool check(Tok K) const { return peek().Kind == K; }
+  bool match(Tok K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(Tok K, const char *What);
+  void fail(const std::string &Msg);
+
+  bool parseRegister(Model &M);
+  bool parseFunction(Model &M);
+  std::optional<Type> parseType();
+
+  StmtPtr parseBlock();
+  StmtPtr parseStmt();
+  StmtPtr parseIfStmt();
+
+  ExprPtr parseExpr();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  const std::vector<Token> &Toks;
+  size_t Pos = 0;
+  std::string Error;
+};
+
+} // namespace islaris::sail
+
+#endif // ISLARIS_SAIL_PARSER_H

@@ -1,0 +1,214 @@
+//===- sail/Printer.cpp - Mini-Sail pretty printer -------------------------------===//
+
+#include "sail/Printer.h"
+
+using namespace islaris;
+using namespace islaris::sail;
+
+namespace {
+
+const char *binOpSpelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::BoolAnd:
+  case BinOp::BvAnd:
+    return "&";
+  case BinOp::BoolOr:
+  case BinOp::BvOr:
+    return "|";
+  case BinOp::Eq:
+    return "==";
+  case BinOp::Ne:
+    return "!=";
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::UDiv:
+    return "/u";
+  case BinOp::URem:
+    return "%u";
+  case BinOp::BvXor:
+    return "^";
+  case BinOp::Shl:
+    return "<<";
+  case BinOp::LShr:
+    return ">>";
+  case BinOp::AShr:
+    return ">>>";
+  case BinOp::ULt:
+    return "<u";
+  case BinOp::ULe:
+    return "<=u";
+  case BinOp::SLt:
+    return "<s";
+  case BinOp::SLe:
+    return "<=s";
+  case BinOp::Concat:
+    return "@";
+  }
+  return "?";
+}
+
+std::string pad(unsigned Indent) { return std::string(Indent * 2, ' '); }
+
+std::string printBlockBody(const std::vector<StmtPtr> &Body,
+                           unsigned Indent) {
+  std::string S = "{\n";
+  for (const StmtPtr &Child : Body)
+    S += printStmt(*Child, Indent + 1);
+  S += pad(Indent) + "}";
+  return S;
+}
+
+} // namespace
+
+std::string islaris::sail::printExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::BitsLit: {
+    // Widths divisible by four print as hex, others as binary — matching
+    // the literal forms the lexer accepts (0x / 0b).
+    std::string L = E.BitsVal.toString(); // "#x.." or "#b.."
+    L[0] = '0';
+    return L;
+  }
+  case ExprKind::BoolLit:
+    return E.BoolVal ? "true" : "false";
+  case ExprKind::IntLit:
+    return std::to_string(E.IntVal);
+  case ExprKind::VarRef:
+    return E.Name;
+  case ExprKind::RegRead:
+    return E.Field.empty() ? E.Name : E.Name + "." + E.Field;
+  case ExprKind::Call: {
+    std::string S;
+    switch (E.BuiltinKind) {
+    case Builtin::ZeroExtend:
+      S = "zero_extend";
+      break;
+    case Builtin::SignExtend:
+      S = "sign_extend";
+      break;
+    case Builtin::Truncate:
+      S = "truncate";
+      break;
+    case Builtin::ReverseBits:
+      S = "reverse_bits";
+      break;
+    case Builtin::ReadMem:
+      S = "read_mem";
+      break;
+    case Builtin::WriteMem:
+      S = "write_mem";
+      break;
+    case Builtin::None:
+      S = E.Name;
+      break;
+    }
+    S += "(";
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += printExpr(*E.Args[I]);
+    }
+    return S + ")";
+  }
+  case ExprKind::Unary: {
+    const char *Op = E.UOp == UnOp::BoolNot ? "!"
+                     : E.UOp == UnOp::BvNot ? "~"
+                                            : "-";
+    return std::string(Op) + "(" + printExpr(*E.Args[0]) + ")";
+  }
+  case ExprKind::Binary:
+    return "(" + printExpr(*E.Args[0]) + " " + binOpSpelling(E.BOp) + " " +
+           printExpr(*E.Args[1]) + ")";
+  case ExprKind::IfExpr:
+    return "(if " + printExpr(*E.Args[0]) + " then " +
+           printExpr(*E.Args[1]) + " else " + printExpr(*E.Args[2]) + ")";
+  case ExprKind::Slice: {
+    std::string S = "(" + printExpr(*E.Args[0]) + ")[" +
+                    std::to_string(E.SliceHi);
+    if (E.SliceHi != E.SliceLo)
+      S += " .. " + std::to_string(E.SliceLo);
+    return S + "]";
+  }
+  }
+  return "<expr>";
+}
+
+std::string islaris::sail::printStmt(const Stmt &S, unsigned Indent) {
+  std::string P = pad(Indent);
+  switch (S.Kind) {
+  case StmtKind::Block:
+    return P + printBlockBody(S.Body, Indent) + "\n";
+  case StmtKind::Let:
+    return P + (S.Mutable ? "var " : "let ") + S.Name + " = " +
+           printExpr(*S.Value) + ";\n";
+  case StmtKind::Assign:
+    return P + S.Name + " = " + printExpr(*S.Value) + ";\n";
+  case StmtKind::RegWrite:
+    return P + S.Name + (S.Field.empty() ? "" : "." + S.Field) + " = " +
+           printExpr(*S.Value) + ";\n";
+  case StmtKind::If: {
+    std::string R = P + "if " + printExpr(*S.Value) + " then ";
+    // The then-branch is a single Block statement; else is a Block or a
+    // nested If.
+    assert(S.Body.size() == 1 && S.Body[0]->Kind == StmtKind::Block &&
+           "if-then must hold one block");
+    R += printBlockBody(S.Body[0]->Body, Indent);
+    if (!S.Else.empty()) {
+      if (S.Else[0]->Kind == StmtKind::If) {
+        R += " else " + printStmt(*S.Else[0], Indent).substr(P.size());
+        return R; // the nested if prints its own terminator
+      }
+      R += " else " + printBlockBody(S.Else[0]->Body, Indent);
+    }
+    return R + ";\n";
+  }
+  case StmtKind::ExprStmt:
+    return P + printExpr(*S.Value) + ";\n";
+  case StmtKind::Return:
+    return P + (S.Value ? "return " + printExpr(*S.Value) : "return") +
+           ";\n";
+  case StmtKind::Throw:
+    return P + "throw(\"" + S.Message + "\");\n";
+  case StmtKind::Assert:
+    return P + "assert(" + printExpr(*S.Value) +
+           (S.Message.empty() ? "" : ", \"" + S.Message + "\"") + ");\n";
+  }
+  return P + "<stmt>\n";
+}
+
+std::string islaris::sail::printModel(const Model &M) {
+  std::string S;
+  for (const RegisterDecl &R : M.Registers) {
+    S += "register " + R.Name + " : ";
+    if (R.IsStruct) {
+      S += "struct { ";
+      for (size_t I = 0; I < R.Fields.size(); ++I) {
+        if (I)
+          S += ", ";
+        S += R.Fields[I].first + " : bits(" +
+             std::to_string(R.Fields[I].second) + ")";
+      }
+      S += " }";
+    } else {
+      S += "bits(" + std::to_string(R.Width) + ")";
+    }
+    S += "\n";
+  }
+  S += "\n";
+  for (const auto &F : M.Functions) {
+    S += "function " + F->Name + "(";
+    for (size_t I = 0; I < F->Params.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += F->Params[I].Name + " : " + F->Params[I].Ty.toString();
+    }
+    S += ") -> " + F->RetTy.toString() + " = ";
+    S += printBlockBody(F->Body->Body, 0);
+    S += "\n\n";
+  }
+  return S;
+}

@@ -1,0 +1,36 @@
+//===- sail/Printer.h - Mini-Sail pretty printer ----------------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a (resolved or unresolved) Model back to parseable mini-Sail
+/// source.  Expressions print fully parenthesized, so printing is stable
+/// under re-parsing (print . parse . print == print); the round-trip
+/// property is what the tests check, and it pins down the concrete syntax
+/// accepted by the parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SAIL_PRINTER_H
+#define ISLARIS_SAIL_PRINTER_H
+
+#include "sail/Ast.h"
+
+#include <string>
+
+namespace islaris::sail {
+
+/// Renders one expression (parenthesized).
+std::string printExpr(const Expr &E);
+
+/// Renders one statement at the given indentation depth.
+std::string printStmt(const Stmt &S, unsigned Indent = 0);
+
+/// Renders a whole model as parseable source.
+std::string printModel(const Model &M);
+
+} // namespace islaris::sail
+
+#endif // ISLARIS_SAIL_PRINTER_H

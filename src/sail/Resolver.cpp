@@ -1,0 +1,426 @@
+//===- sail/Resolver.cpp - Mini-Sail name resolution and typing ----------------===//
+
+#include "sail/Resolver.h"
+
+using namespace islaris;
+using namespace islaris::sail;
+
+bool Resolver::fail(int Line, const std::string &Msg) {
+  if (Error.empty())
+    Error = "line " + std::to_string(Line) + ": " + Msg;
+  return false;
+}
+
+Resolver::Local *Resolver::lookupLocal(const std::string &Name) {
+  for (size_t I = Locals.size(); I-- > 0;)
+    if (Locals[I].Name == Name)
+      return &Locals[I];
+  return nullptr;
+}
+
+bool Resolver::run() {
+  for (const RegisterDecl &R : M.Registers) {
+    if (!M.RegisterByName.emplace(R.Name, &R).second)
+      return fail(0, "duplicate register " + R.Name);
+  }
+  for (const auto &F : M.Functions) {
+    if (!M.FunctionByName.emplace(F->Name, F.get()).second)
+      return fail(F->Line, "duplicate function " + F->Name);
+    if (M.RegisterByName.count(F->Name))
+      return fail(F->Line, "function shadows register " + F->Name);
+  }
+  for (const auto &F : M.Functions)
+    if (!resolveFunction(*F))
+      return false;
+  return true;
+}
+
+bool Resolver::resolveFunction(FunctionDecl &F) {
+  CurFn = &F;
+  Locals.clear();
+  ScopeMarks.clear();
+  NextLocalIdx = 0;
+  for (const Param &P : F.Params) {
+    if (lookupLocal(P.Name))
+      return fail(F.Line, "duplicate parameter " + P.Name);
+    Locals.push_back({P.Name, P.Ty, false, int(NextLocalIdx++)});
+  }
+  if (!resolveStmt(*F.Body))
+    return false;
+  F.NumLocals = NextLocalIdx;
+  return true;
+}
+
+bool Resolver::resolveCall(Expr &E) {
+  // Builtins first.
+  const std::string &N = E.Name;
+  auto checkArgs = [&](size_t Want) {
+    if (E.Args.size() != Want)
+      return fail(E.Line, N + " expects " + std::to_string(Want) +
+                              " argument(s)");
+    return true;
+  };
+  auto intArg = [&](size_t I, uint64_t &Out) {
+    if (E.Args[I]->Kind != ExprKind::IntLit)
+      return fail(E.Line, N + ": argument " + std::to_string(I + 1) +
+                              " must be a decimal literal");
+    Out = E.Args[I]->IntVal;
+    return true;
+  };
+
+  if (N == "zero_extend" || N == "sign_extend" || N == "truncate") {
+    if (!checkArgs(2))
+      return false;
+    if (!resolveExpr(*E.Args[0]))
+      return false;
+    uint64_t W;
+    if (!intArg(1, W))
+      return false;
+    if (!E.Args[0]->Ty.isBits())
+      return fail(E.Line, N + " needs a bitvector operand");
+    unsigned OrigW = E.Args[0]->Ty.Width;
+    if (N == "truncate") {
+      if (W == 0 || W > OrigW)
+        return fail(E.Line, "truncate width out of range");
+      E.BuiltinKind = Builtin::Truncate;
+    } else {
+      if (W < OrigW || W > BitVec::MaxWidth)
+        return fail(E.Line, N + " width out of range");
+      E.BuiltinKind =
+          N == "zero_extend" ? Builtin::ZeroExtend : Builtin::SignExtend;
+    }
+    E.ExtWidth = unsigned(W);
+    E.Ty = Type::bits(unsigned(W));
+    return true;
+  }
+  if (N == "reverse_bits") {
+    if (!checkArgs(1) || !resolveExpr(*E.Args[0]))
+      return false;
+    if (!E.Args[0]->Ty.isBits())
+      return fail(E.Line, "reverse_bits needs a bitvector operand");
+    E.BuiltinKind = Builtin::ReverseBits;
+    E.Ty = E.Args[0]->Ty;
+    return true;
+  }
+  if (N == "read_mem") {
+    if (!checkArgs(2) || !resolveExpr(*E.Args[0]))
+      return false;
+    uint64_t Bytes;
+    if (!intArg(1, Bytes))
+      return false;
+    if (E.Args[0]->Ty != Type::bits(64))
+      return fail(E.Line, "read_mem address must be bits(64)");
+    if (Bytes < 1 || Bytes > 16)
+      return fail(E.Line, "read_mem size out of range");
+    E.BuiltinKind = Builtin::ReadMem;
+    E.MemBytes = unsigned(Bytes);
+    E.Ty = Type::bits(unsigned(Bytes) * 8);
+    return true;
+  }
+  if (N == "write_mem") {
+    if (!checkArgs(3) || !resolveExpr(*E.Args[0]) || !resolveExpr(*E.Args[1]))
+      return false;
+    uint64_t Bytes;
+    if (!intArg(2, Bytes))
+      return false;
+    if (E.Args[0]->Ty != Type::bits(64))
+      return fail(E.Line, "write_mem address must be bits(64)");
+    if (Bytes < 1 || Bytes > 16)
+      return fail(E.Line, "write_mem size out of range");
+    if (E.Args[1]->Ty != Type::bits(unsigned(Bytes) * 8))
+      return fail(E.Line, "write_mem data width mismatch");
+    E.BuiltinKind = Builtin::WriteMem;
+    E.MemBytes = unsigned(Bytes);
+    E.Ty = Type::unit();
+    return true;
+  }
+
+  // User function.
+  const FunctionDecl *F = M.findFunction(N);
+  if (!F)
+    return fail(E.Line, "unknown function " + N);
+  if (E.Args.size() != F->Params.size())
+    return fail(E.Line, N + " expects " + std::to_string(F->Params.size()) +
+                            " argument(s)");
+  for (size_t I = 0; I < E.Args.size(); ++I) {
+    if (!resolveExpr(*E.Args[I]))
+      return false;
+    if (E.Args[I]->Ty != F->Params[I].Ty)
+      return fail(E.Line, N + ": argument " + std::to_string(I + 1) +
+                              " has type " + E.Args[I]->Ty.toString() +
+                              ", expected " + F->Params[I].Ty.toString());
+  }
+  E.Callee = F;
+  E.Ty = F->RetTy;
+  return true;
+}
+
+bool Resolver::resolveExpr(Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::BitsLit:
+    E.Ty = Type::bits(E.BitsVal.width());
+    return true;
+  case ExprKind::BoolLit:
+    E.Ty = Type::boolean();
+    return true;
+  case ExprKind::IntLit:
+    return fail(E.Line, "decimal literal only allowed as a width argument "
+                        "or shift amount; use 0x/0b literals for values");
+  case ExprKind::VarRef: {
+    if (Local *L = lookupLocal(E.Name)) {
+      E.LocalIdx = L->Idx;
+      E.Ty = L->Ty;
+      return true;
+    }
+    if (const RegisterDecl *R = M.findRegister(E.Name)) {
+      if (R->IsStruct)
+        return fail(E.Line, "struct register " + E.Name +
+                                " must be accessed via a field");
+      E.Kind = ExprKind::RegRead;
+      E.Ty = Type::bits(R->Width);
+      return true;
+    }
+    return fail(E.Line, "unknown name " + E.Name);
+  }
+  case ExprKind::RegRead: {
+    const RegisterDecl *R = M.findRegister(E.Name);
+    if (!R)
+      return fail(E.Line, "unknown register " + E.Name);
+    if (E.Field.empty()) {
+      if (R->IsStruct)
+        return fail(E.Line, "struct register " + E.Name +
+                                " must be accessed via a field");
+      E.Ty = Type::bits(R->Width);
+      return true;
+    }
+    if (!R->IsStruct || !R->hasField(E.Field))
+      return fail(E.Line, "register " + E.Name + " has no field " + E.Field);
+    E.Ty = Type::bits(R->fieldWidth(E.Field));
+    return true;
+  }
+  case ExprKind::Call:
+    return resolveCall(E);
+  case ExprKind::Unary: {
+    if (!resolveExpr(*E.Args[0]))
+      return false;
+    const Type &T = E.Args[0]->Ty;
+    if (E.UOp == UnOp::BoolNot) {
+      if (!T.isBool())
+        return fail(E.Line, "'!' needs a boolean operand");
+      E.Ty = Type::boolean();
+      return true;
+    }
+    if (!T.isBits())
+      return fail(E.Line, "bitwise operator needs a bitvector operand");
+    E.Ty = T;
+    return true;
+  }
+  case ExprKind::Binary: {
+    // Shift amounts may be decimal literals: give them the width of the
+    // left operand.
+    if ((E.BOp == BinOp::Shl || E.BOp == BinOp::LShr ||
+         E.BOp == BinOp::AShr) &&
+        E.Args[1]->Kind == ExprKind::IntLit) {
+      if (!resolveExpr(*E.Args[0]))
+        return false;
+      if (!E.Args[0]->Ty.isBits())
+        return fail(E.Line, "shift needs a bitvector operand");
+      Expr &Amt = *E.Args[1];
+      Amt.Kind = ExprKind::BitsLit;
+      Amt.BitsVal = BitVec(E.Args[0]->Ty.Width, Amt.IntVal);
+      Amt.Ty = E.Args[0]->Ty;
+      E.Ty = E.Args[0]->Ty;
+      return true;
+    }
+    if (!resolveExpr(*E.Args[0]) || !resolveExpr(*E.Args[1]))
+      return false;
+    const Type &L = E.Args[0]->Ty, &R = E.Args[1]->Ty;
+    switch (E.BOp) {
+    case BinOp::BvAnd:
+    case BinOp::BvOr:
+      // '&' and '|' are overloaded on booleans.
+      if (L.isBool() && R.isBool()) {
+        E.BOp = E.BOp == BinOp::BvAnd ? BinOp::BoolAnd : BinOp::BoolOr;
+        E.Ty = Type::boolean();
+        return true;
+      }
+      [[fallthrough]];
+    case BinOp::BvXor:
+    case BinOp::Add:
+    case BinOp::Sub:
+    case BinOp::Mul:
+    case BinOp::UDiv:
+    case BinOp::URem:
+      if (!L.isBits() || L != R)
+        return fail(E.Line, "operator needs equal-width bitvectors, got " +
+                                L.toString() + " and " + R.toString());
+      E.Ty = L;
+      return true;
+    case BinOp::BoolAnd:
+    case BinOp::BoolOr:
+      if (!L.isBool() || !R.isBool())
+        return fail(E.Line, "boolean operator needs boolean operands");
+      E.Ty = Type::boolean();
+      return true;
+    case BinOp::Eq:
+    case BinOp::Ne:
+      if (L != R || L.isUnit())
+        return fail(E.Line, "'=='/'!=' needs equal types, got " +
+                                L.toString() + " and " + R.toString());
+      E.Ty = Type::boolean();
+      return true;
+    case BinOp::ULt:
+    case BinOp::ULe:
+    case BinOp::SLt:
+    case BinOp::SLe:
+      if (!L.isBits() || L != R)
+        return fail(E.Line, "comparison needs equal-width bitvectors");
+      E.Ty = Type::boolean();
+      return true;
+    case BinOp::Shl:
+    case BinOp::LShr:
+    case BinOp::AShr:
+      if (!L.isBits() || !R.isBits())
+        return fail(E.Line, "shift needs bitvector operands");
+      // Amounts wider than the shifted value could be silently truncated in
+      // the symbolic encoding; require the model to narrow them explicitly.
+      if (R.Width > L.Width)
+        return fail(E.Line, "shift amount wider than the shifted value");
+      E.Ty = L;
+      return true;
+    case BinOp::Concat:
+      if (!L.isBits() || !R.isBits())
+        return fail(E.Line, "'@' needs bitvector operands");
+      E.Ty = Type::bits(L.Width + R.Width);
+      return true;
+    }
+    return fail(E.Line, "unhandled binary operator");
+  }
+  case ExprKind::IfExpr: {
+    if (!resolveExpr(*E.Args[0]) || !resolveExpr(*E.Args[1]) ||
+        !resolveExpr(*E.Args[2]))
+      return false;
+    if (!E.Args[0]->Ty.isBool())
+      return fail(E.Line, "if condition must be boolean");
+    if (E.Args[1]->Ty != E.Args[2]->Ty)
+      return fail(E.Line, "if branches have different types");
+    E.Ty = E.Args[1]->Ty;
+    return true;
+  }
+  case ExprKind::Slice: {
+    if (!resolveExpr(*E.Args[0]))
+      return false;
+    if (!E.Args[0]->Ty.isBits())
+      return fail(E.Line, "slice needs a bitvector operand");
+    if (E.SliceLo > E.SliceHi || E.SliceHi >= E.Args[0]->Ty.Width)
+      return fail(E.Line, "slice bounds out of range");
+    E.Ty = Type::bits(E.SliceHi - E.SliceLo + 1);
+    return true;
+  }
+  }
+  return fail(E.Line, "unhandled expression kind");
+}
+
+bool Resolver::resolveStmt(Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Block: {
+    ScopeMarks.push_back(Locals.size());
+    for (const StmtPtr &Child : S.Body)
+      if (!resolveStmt(*Child))
+        return false;
+    Locals.resize(ScopeMarks.back());
+    ScopeMarks.pop_back();
+    return true;
+  }
+  case StmtKind::Let: {
+    if (!resolveExpr(*S.Value))
+      return false;
+    if (S.Value->Ty.isUnit())
+      return fail(S.Line, "cannot bind a unit value");
+    if (lookupLocal(S.Name))
+      return fail(S.Line, "shadowing of " + S.Name + " is not allowed");
+    if (M.findRegister(S.Name))
+      return fail(S.Line, "local " + S.Name + " shadows a register");
+    S.LocalIdx = int(NextLocalIdx++);
+    Locals.push_back({S.Name, S.Value->Ty, S.Mutable, S.LocalIdx});
+    return true;
+  }
+  case StmtKind::Assign: {
+    if (Local *L = lookupLocal(S.Name)) {
+      if (!L->Mutable)
+        return fail(S.Line, "assignment to immutable binding " + S.Name);
+      if (!resolveExpr(*S.Value))
+        return false;
+      if (S.Value->Ty != L->Ty)
+        return fail(S.Line, "assignment type mismatch for " + S.Name);
+      S.LocalIdx = L->Idx;
+      return true;
+    }
+    // A whole-register write.
+    S.Kind = StmtKind::RegWrite;
+    [[fallthrough]];
+  }
+  case StmtKind::RegWrite: {
+    const RegisterDecl *R = M.findRegister(S.Name);
+    if (!R)
+      return fail(S.Line, "unknown register " + S.Name);
+    unsigned Width;
+    if (S.Field.empty()) {
+      if (R->IsStruct)
+        return fail(S.Line, "struct register " + S.Name +
+                                " must be written via a field");
+      Width = R->Width;
+    } else {
+      if (!R->IsStruct || !R->hasField(S.Field))
+        return fail(S.Line, "register " + S.Name + " has no field " +
+                                S.Field);
+      Width = R->fieldWidth(S.Field);
+    }
+    if (!resolveExpr(*S.Value))
+      return false;
+    if (S.Value->Ty != Type::bits(Width))
+      return fail(S.Line, "register write width mismatch for " + S.Name);
+    return true;
+  }
+  case StmtKind::If: {
+    if (!resolveExpr(*S.Value))
+      return false;
+    if (!S.Value->Ty.isBool())
+      return fail(S.Line, "if condition must be boolean");
+    for (const StmtPtr &B : S.Body)
+      if (!resolveStmt(*B))
+        return false;
+    for (const StmtPtr &B : S.Else)
+      if (!resolveStmt(*B))
+        return false;
+    return true;
+  }
+  case StmtKind::ExprStmt: {
+    if (S.Value->Kind != ExprKind::Call)
+      return fail(S.Line, "only calls may be used as statements");
+    return resolveExpr(*S.Value);
+  }
+  case StmtKind::Return: {
+    if (!S.Value) {
+      if (!CurFn->RetTy.isUnit())
+        return fail(S.Line, "missing return value");
+      return true;
+    }
+    if (!resolveExpr(*S.Value))
+      return false;
+    if (S.Value->Ty != CurFn->RetTy)
+      return fail(S.Line, "return type mismatch: " + S.Value->Ty.toString() +
+                              " vs " + CurFn->RetTy.toString());
+    return true;
+  }
+  case StmtKind::Throw:
+    return true;
+  case StmtKind::Assert:
+    if (!resolveExpr(*S.Value))
+      return false;
+    if (!S.Value->Ty.isBool())
+      return fail(S.Line, "assert condition must be boolean");
+    return true;
+  }
+  return fail(S.Line, "unhandled statement kind");
+}

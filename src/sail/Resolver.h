@@ -1,0 +1,58 @@
+//===- sail/Resolver.h - Mini-Sail name resolution and typing ---*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resolves names (locals vs. registers vs. functions vs. builtins), checks
+/// types, and annotates the AST in place.  Every bitvector width is static;
+/// resolution failures are model-authoring bugs caught before any execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SAIL_RESOLVER_H
+#define ISLARIS_SAIL_RESOLVER_H
+
+#include "sail/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace islaris::sail {
+
+/// Resolves and type-checks a parsed Model in place.
+class Resolver {
+public:
+  explicit Resolver(Model &M) : M(M) {}
+
+  /// Returns false and sets error() on the first failure.
+  bool run();
+  const std::string &error() const { return Error; }
+
+private:
+  struct Local {
+    std::string Name;
+    Type Ty;
+    bool Mutable;
+    int Idx;
+  };
+
+  bool resolveFunction(FunctionDecl &F);
+  bool resolveStmt(Stmt &S);
+  bool resolveExpr(Expr &E);
+  bool resolveCall(Expr &E);
+  Local *lookupLocal(const std::string &Name);
+  bool fail(int Line, const std::string &Msg);
+
+  Model &M;
+  std::string Error;
+  FunctionDecl *CurFn = nullptr;
+  std::vector<Local> Locals;
+  std::vector<size_t> ScopeMarks;
+  unsigned NextLocalIdx = 0;
+};
+
+} // namespace islaris::sail
+
+#endif // ISLARIS_SAIL_RESOLVER_H

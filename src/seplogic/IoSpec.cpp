@@ -1,0 +1,61 @@
+//===- seplogic/IoSpec.cpp - spec(s) combinators --------------------------------===//
+
+#include "seplogic/IoSpec.h"
+
+using namespace islaris;
+using namespace islaris::seplogic;
+
+IoSpecPtr IoSpecNode::done() {
+  auto N = std::shared_ptr<IoSpecNode>(new IoSpecNode());
+  N->K = Kind::Done;
+  return N;
+}
+
+IoSpecPtr IoSpecNode::readStep(
+    uint64_t Addr, unsigned NBytes,
+    std::function<IoSpecPtr(const smt::Term *, smt::TermBuilder &)> Cont) {
+  auto N = std::shared_ptr<IoSpecNode>(new IoSpecNode());
+  N->K = Kind::Read;
+  N->Addr = Addr;
+  N->NBytes = NBytes;
+  N->ReadCont = std::move(Cont);
+  return N;
+}
+
+IoSpecPtr IoSpecNode::writeStep(
+    uint64_t Addr, unsigned NBytes,
+    std::function<const smt::Term *(const smt::Term *, smt::TermBuilder &)>
+        Allowed,
+    IoSpecPtr Next) {
+  auto N = std::shared_ptr<IoSpecNode>(new IoSpecNode());
+  N->K = Kind::Write;
+  N->Addr = Addr;
+  N->NBytes = NBytes;
+  N->WriteAllowed = std::move(Allowed);
+  N->Next = std::move(Next);
+  return N;
+}
+
+IoSpecPtr IoSpecNode::branch(const smt::Term *Cond, IoSpecPtr Then,
+                             IoSpecPtr Else) {
+  auto N = std::shared_ptr<IoSpecNode>(new IoSpecNode());
+  N->K = Kind::Branch;
+  N->Cond = Cond;
+  N->Then = std::move(Then);
+  N->Else = std::move(Else);
+  return N;
+}
+
+IoSpecPtr IoSpecNode::rec(std::function<IoSpecPtr(IoSpecPtr)> Gen) {
+  auto N = std::shared_ptr<IoSpecNode>(new IoSpecNode());
+  N->K = Kind::Rec;
+  N->Gen = std::move(Gen);
+  return N;
+}
+
+IoSpecPtr IoSpecNode::unfold() const {
+  assert(K == Kind::Rec && "unfold of a non-recursive node");
+  if (!Unfolded)
+    Unfolded = Gen(shared_from_this());
+  return Unfolded;
+}

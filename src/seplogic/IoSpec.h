@@ -1,0 +1,116 @@
+//===- seplogic/IoSpec.h - spec(s) label-sequence specifications -*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The spec(s) assertion of §4.2: a (possibly infinite) set of visible-label
+/// sequences describing allowed MMIO behaviour, built from the paper's
+/// combinators — scons(kappa, s) prepends a label, srec is the least fixed
+/// point, and a read binds the device-chosen value for use in the
+/// continuation.  The UART specification of §6,
+///
+///   srec(R. exists b. scons(R(LSR,b), b[5] ? scons(W(IO,c), s) : R))
+///
+/// is expressed as nested readStep/branch/writeStep/rec nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SEPLOGIC_IOSPEC_H
+#define ISLARIS_SEPLOGIC_IOSPEC_H
+
+#include "smt/TermBuilder.h"
+
+#include <functional>
+#include <memory>
+
+namespace islaris::seplogic {
+
+class IoSpecNode;
+using IoSpecPtr = std::shared_ptr<const IoSpecNode>;
+
+/// One state of the label-sequence specification automaton.
+class IoSpecNode : public std::enable_shared_from_this<IoSpecNode> {
+public:
+  enum class Kind : uint8_t {
+    Done,   ///< No further visible events allowed.
+    Read,   ///< exists b. scons(R(addr,b), K(b)).
+    Write,  ///< scons(W(addr,v), Next) with a predicate on v.
+    Branch, ///< cond ? Then : Else (cond fixed when constructed).
+    Rec,    ///< srec: unfolds to Gen(self).
+  };
+
+  Kind kind() const { return K; }
+
+  /// Terminal state: no more visible events.
+  static IoSpecPtr done();
+
+  /// A read of \p NBytes at \p Addr; \p Cont receives the term standing for
+  /// the device-chosen value and returns the continuation.
+  static IoSpecPtr
+  readStep(uint64_t Addr, unsigned NBytes,
+           std::function<IoSpecPtr(const smt::Term *, smt::TermBuilder &)>
+               Cont);
+
+  /// A write of \p NBytes at \p Addr; \p Allowed receives the written value
+  /// and returns the predicate it must provably satisfy.
+  static IoSpecPtr
+  writeStep(uint64_t Addr, unsigned NBytes,
+            std::function<const smt::Term *(const smt::Term *,
+                                            smt::TermBuilder &)>
+                Allowed,
+            IoSpecPtr Next);
+
+  /// Conditional continuation on an SMT boolean (usually over a read value).
+  static IoSpecPtr branch(const smt::Term *Cond, IoSpecPtr Then,
+                          IoSpecPtr Else);
+
+  /// Least fixed point: \p Gen receives the recursive reference.
+  static IoSpecPtr rec(std::function<IoSpecPtr(IoSpecPtr)> Gen);
+
+  // Accessors (valid per kind; asserted).
+  uint64_t addr() const { return Addr; }
+  unsigned nbytes() const { return NBytes; }
+  IoSpecPtr applyRead(const smt::Term *V, smt::TermBuilder &TB) const {
+    assert(K == Kind::Read && "not a read node");
+    return ReadCont(V, TB);
+  }
+  const smt::Term *writeAllowed(const smt::Term *V,
+                                smt::TermBuilder &TB) const {
+    assert(K == Kind::Write && "not a write node");
+    return WriteAllowed(V, TB);
+  }
+  IoSpecPtr next() const {
+    assert(K == Kind::Write && "not a write node");
+    return Next;
+  }
+  const smt::Term *cond() const {
+    assert(K == Kind::Branch && "not a branch node");
+    return Cond;
+  }
+  IoSpecPtr thenSpec() const { return Then; }
+  IoSpecPtr elseSpec() const { return Else; }
+  /// Unfolds one level of recursion (memoized, so repeated unfoldings of
+  /// the same node are pointer-equal — loop invariants compare states by
+  /// identity).
+  IoSpecPtr unfold() const;
+
+private:
+  IoSpecNode() = default;
+
+  Kind K = Kind::Done;
+  uint64_t Addr = 0;
+  unsigned NBytes = 0;
+  std::function<IoSpecPtr(const smt::Term *, smt::TermBuilder &)> ReadCont;
+  std::function<const smt::Term *(const smt::Term *, smt::TermBuilder &)>
+      WriteAllowed;
+  IoSpecPtr Next, Then, Else;
+  const smt::Term *Cond = nullptr;
+  std::function<IoSpecPtr(IoSpecPtr)> Gen;
+  mutable IoSpecPtr Unfolded; ///< Memoized unfolding of Rec nodes.
+};
+
+} // namespace islaris::seplogic
+
+#endif // ISLARIS_SEPLOGIC_IOSPEC_H

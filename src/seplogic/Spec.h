@@ -1,0 +1,236 @@
+//===- seplogic/Spec.h - Islaris separation logic assertions ----*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// User-facing specifications in the Islaris separation logic (§2.3, §4.1).
+/// A Spec is a separation-logic formula
+///
+///   exists x1..xk.  r1 |->R v1 * ... * reg_col(C) * a |->M b *
+///                   a |->*M B * a |->IO n * r @@ Q * spec(s) * pure...
+///
+/// Existentials are SMT variables owned by the Spec ("pattern variables"):
+/// when the spec is *assumed* they are instantiated with fresh unknowns,
+/// when it is *proven* they are bound by unification against the context
+/// (this is how Lithium's goal-directed search avoids backtracking).
+///
+/// Specs double as Hoare-double preconditions, loop invariants (registered
+/// at an address, the `.L3 @@ I` of §2.5), and function postconditions (the
+/// `r @@ Q` continuation assertion of Fig. 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SEPLOGIC_SPEC_H
+#define ISLARIS_SEPLOGIC_SPEC_H
+
+#include "itl/Trace.h"
+#include "seplogic/IoSpec.h"
+#include "smt/TermBuilder.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace islaris::seplogic {
+
+/// r |->R v.
+struct RegChunk {
+  itl::Reg R;
+  const smt::Term *V;
+};
+
+/// reg_col(C): a named collection of register points-tos (§4.1).  Purely a
+/// grouping device; the engine flattens it but remembers the collection
+/// name for diagnostics.
+struct RegColChunk {
+  std::string Name;
+  std::vector<RegChunk> Regs;
+};
+
+/// a |->M b (NBytes-wide little-endian value).
+struct MemChunk {
+  const smt::Term *Addr;
+  const smt::Term *Val;
+  unsigned NBytes;
+};
+
+/// a |->*M B: an array of |Elems| values, each ElemBytes wide.
+struct MemArrayChunk {
+  const smt::Term *Base;
+  std::vector<const smt::Term *> Elems;
+  unsigned ElemBytes;
+};
+
+/// a |->IO n: ownership of an unmapped (device) region of Size bytes.
+struct MmioChunk {
+  uint64_t Base;
+  unsigned Size;
+};
+
+class Spec;
+
+/// r @@ Q(args): the code at address r has been verified under the
+/// precondition Q with its parameters instantiated to Args.  Parameters are
+/// how a continuation spec (e.g. the Fig. 8 postcondition) refers to values
+/// bound by the spec that references it.
+struct InstrPreChunk {
+  const smt::Term *Addr;
+  const Spec *Q;
+  std::vector<const smt::Term *> Args;
+};
+
+/// An assumed function contract, used to formalize a calling convention
+/// (§6, binary search): when control reaches Addr, the engine havocs the
+/// contract's clobber registers, assumes the relational postcondition, and
+/// resumes at the address held in the return register.  Contracts are
+/// assumptions (like the paper's assumed-correct pKVM host handler path).
+struct Contract {
+  std::string Name;
+  /// Return-address register (x30 on AArch64, ra on RISC-V).
+  itl::Reg RetReg;
+  /// Registers whose values the callee may change (set to fresh unknowns).
+  std::vector<itl::Reg> Clobbers;
+  /// Relational postcondition: given lookups for pre-call and post-call
+  /// register values, returns pure facts to assume.
+  std::function<std::vector<const smt::Term *>(
+      smt::TermBuilder &,
+      const std::function<const smt::Term *(const itl::Reg &)> &PreVal,
+      const std::function<const smt::Term *(const itl::Reg &)> &PostVal)>
+      Post;
+};
+
+/// f @@contract C: the code at address f satisfies contract C.
+struct ContractChunk {
+  const smt::Term *Addr;
+  const Contract *C;
+};
+
+/// A separation-logic assertion with existential pattern variables.
+class Spec {
+public:
+  explicit Spec(smt::TermBuilder &TB, std::string Name = "")
+      : TB(&TB), Name(std::move(Name)) {}
+
+  /// Creates an existential pattern variable of the given bit width.
+  const smt::Term *evar(unsigned Width, const std::string &N) {
+    const smt::Term *V = TB->freshVar(smt::Sort::bitvec(Width), N);
+    Exists.push_back(V);
+    return V;
+  }
+
+  /// Registers an externally created variable as an existential of this
+  /// spec (used when two registered specs must mention the same unknown,
+  /// e.g. an IO-spec closure shared between an entry spec and a loop
+  /// invariant).
+  const smt::Term *shareEvar(const smt::Term *V) {
+    assert(V->isVar() && "shareEvar needs a variable");
+    Exists.push_back(V);
+    return V;
+  }
+
+  /// Declares a parameter: a variable bound by the `r @@ Q(args)` chunk
+  /// that references this spec (never by unification).
+  const smt::Term *param(unsigned Width, const std::string &N) {
+    const smt::Term *V = TB->freshVar(smt::Sort::bitvec(Width), N);
+    Params.push_back(V);
+    return V;
+  }
+
+  Spec &reg(itl::Reg R, const smt::Term *V) {
+    Regs.push_back({std::move(R), V});
+    return *this;
+  }
+  Spec &reg(const std::string &R, const smt::Term *V) {
+    return reg(itl::Reg(R), V);
+  }
+  /// r |->R _ : don't-care value (fresh existential).
+  Spec &regAny(itl::Reg R) {
+    unsigned W = RegWidthHint ? RegWidthHint(R) : 64;
+    return reg(std::move(R), evar(W, "_" + R.toString()));
+  }
+  Spec &regCol(RegColChunk C) {
+    RegCols.push_back(std::move(C));
+    return *this;
+  }
+  Spec &mem(const smt::Term *Addr, const smt::Term *Val, unsigned NBytes) {
+    Mems.push_back({Addr, Val, NBytes});
+    return *this;
+  }
+  Spec &array(const smt::Term *Base, std::vector<const smt::Term *> Elems,
+              unsigned ElemBytes) {
+    Arrays.push_back({Base, std::move(Elems), ElemBytes});
+    return *this;
+  }
+  Spec &mmio(uint64_t Base, unsigned Size) {
+    Mmios.push_back({Base, Size});
+    return *this;
+  }
+  Spec &instrPre(const smt::Term *Addr, const Spec *Q,
+                 std::vector<const smt::Term *> Args = {}) {
+    InstrPres.push_back({Addr, Q, std::move(Args)});
+    return *this;
+  }
+  Spec &contract(const smt::Term *Addr, const Contract *C) {
+    Contracts.push_back({Addr, C});
+    return *this;
+  }
+  Spec &pure(const smt::Term *P) {
+    Pures.push_back(P);
+    return *this;
+  }
+  /// spec(s): sets the required IO-specification automaton state.
+  Spec &io(IoSpecPtr S) {
+    Io = std::move(S);
+    return *this;
+  }
+
+  /// Optional callback giving register widths for regAny (set by the
+  /// architecture layer).
+  std::function<unsigned(const itl::Reg &)> RegWidthHint;
+
+  // Accessors used by the engine.
+  const std::vector<const smt::Term *> &exists() const { return Exists; }
+  const std::vector<const smt::Term *> &params() const { return Params; }
+  const std::vector<ContractChunk> &contracts() const { return Contracts; }
+  const std::vector<RegChunk> &regs() const { return Regs; }
+  const std::vector<RegColChunk> &regCols() const { return RegCols; }
+  const std::vector<MemChunk> &mems() const { return Mems; }
+  const std::vector<MemArrayChunk> &arrays() const { return Arrays; }
+  const std::vector<MmioChunk> &mmios() const { return Mmios; }
+  const std::vector<InstrPreChunk> &instrPres() const { return InstrPres; }
+  const std::vector<const smt::Term *> &pures() const { return Pures; }
+  const IoSpecPtr &ioSpec() const { return Io; }
+  const std::string &name() const { return Name; }
+
+  /// Rough "specification size" metric for the Fig. 12 table: number of
+  /// chunks plus pure facts plus existentials.
+  unsigned sizeMetric() const {
+    unsigned N = unsigned(Exists.size() + Regs.size() + Mems.size() +
+                          Arrays.size() + Mmios.size() + InstrPres.size() +
+                          Pures.size());
+    for (const RegColChunk &C : RegCols)
+      N += unsigned(C.Regs.size());
+    return N;
+  }
+
+private:
+  smt::TermBuilder *TB;
+  std::string Name;
+  std::vector<const smt::Term *> Exists;
+  std::vector<const smt::Term *> Params;
+  std::vector<ContractChunk> Contracts;
+  std::vector<RegChunk> Regs;
+  std::vector<RegColChunk> RegCols;
+  std::vector<MemChunk> Mems;
+  std::vector<MemArrayChunk> Arrays;
+  std::vector<MmioChunk> Mmios;
+  std::vector<InstrPreChunk> InstrPres;
+  std::vector<const smt::Term *> Pures;
+  IoSpecPtr Io;
+};
+
+} // namespace islaris::seplogic
+
+#endif // ISLARIS_SEPLOGIC_SPEC_H

@@ -1,0 +1,450 @@
+//===- smt/BitBlaster.cpp - QF_BV to CNF translation -------------------------===//
+
+#include "smt/BitBlaster.h"
+
+using namespace islaris;
+using namespace islaris::smt;
+using sat::Lit;
+
+BitBlaster::BitBlaster(sat::Solver &S) : S(S) {
+  TrueLit = Lit(S.newVar(), false);
+  S.addClause(TrueLit);
+}
+
+Lit BitBlaster::freshLit() { return Lit(S.newVar(), false); }
+
+Lit BitBlaster::litAnd(Lit A, Lit B) {
+  if (A == constLit(false) || B == constLit(false))
+    return constLit(false);
+  if (A == constLit(true))
+    return B;
+  if (B == constLit(true))
+    return A;
+  if (A == B)
+    return A;
+  if (A == ~B)
+    return constLit(false);
+  Lit C = freshLit();
+  S.addClause(~C, A);
+  S.addClause(~C, B);
+  S.addClause(C, ~A, ~B);
+  return C;
+}
+
+Lit BitBlaster::litOr(Lit A, Lit B) { return ~litAnd(~A, ~B); }
+
+Lit BitBlaster::litXor(Lit A, Lit B) {
+  if (A == constLit(false))
+    return B;
+  if (B == constLit(false))
+    return A;
+  if (A == constLit(true))
+    return ~B;
+  if (B == constLit(true))
+    return ~A;
+  if (A == B)
+    return constLit(false);
+  if (A == ~B)
+    return constLit(true);
+  Lit C = freshLit();
+  S.addClause(~C, A, B);
+  S.addClause(~C, ~A, ~B);
+  S.addClause(C, ~A, B);
+  S.addClause(C, A, ~B);
+  return C;
+}
+
+Lit BitBlaster::litMux(Lit C, Lit T, Lit E) {
+  if (C == constLit(true))
+    return T;
+  if (C == constLit(false))
+    return E;
+  if (T == E)
+    return T;
+  Lit R = freshLit();
+  S.addClause(~C, ~T, R);
+  S.addClause(~C, T, ~R);
+  S.addClause(C, ~E, R);
+  S.addClause(C, E, ~R);
+  return R;
+}
+
+Lit BitBlaster::litMajority(Lit A, Lit B, Lit C) {
+  return litOr(litAnd(A, B), litOr(litAnd(A, C), litAnd(B, C)));
+}
+
+//===----------------------------------------------------------------------===//
+// Word-level circuits.
+//===----------------------------------------------------------------------===//
+
+BitBlaster::Bits BitBlaster::addBits(const Bits &A, const Bits &B,
+                                     Lit CarryIn) {
+  assert(A.size() == B.size() && "adder width mismatch");
+  Bits Sum(A.size());
+  Lit Carry = CarryIn;
+  for (size_t I = 0; I < A.size(); ++I) {
+    Sum[I] = litXor(litXor(A[I], B[I]), Carry);
+    Carry = litMajority(A[I], B[I], Carry);
+  }
+  return Sum;
+}
+
+BitBlaster::Bits BitBlaster::negBits(const Bits &A) {
+  Bits NotA(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    NotA[I] = ~A[I];
+  Bits Zero(A.size(), constLit(false));
+  return addBits(NotA, Zero, constLit(true));
+}
+
+BitBlaster::Bits BitBlaster::mulBits(const Bits &A, const Bits &B) {
+  size_t W = A.size();
+  Bits Acc(W, constLit(false));
+  for (size_t I = 0; I < W; ++I) {
+    // Partial product: (A << I) & B[I], added into Acc.
+    Bits Partial(W, constLit(false));
+    for (size_t J = I; J < W; ++J)
+      Partial[J] = litAnd(A[J - I], B[I]);
+    Acc = addBits(Acc, Partial, constLit(false));
+  }
+  return Acc;
+}
+
+BitBlaster::Bits BitBlaster::shiftBits(const Bits &A, const Bits &Amount,
+                                       bool Left, Lit Fill) {
+  size_t W = A.size();
+  Bits Cur = A;
+  // Barrel shifter over the bits of Amount that are < log2ceil(W)+1;
+  // any higher set bit forces a full shift-out.
+  unsigned Stages = 0;
+  while ((size_t(1) << Stages) < W)
+    ++Stages;
+  Lit Overflow = constLit(false);
+  for (size_t I = 0; I < Amount.size(); ++I)
+    if (I > Stages || (size_t(1) << I) >= W * 2)
+      Overflow = litOr(Overflow, Amount[I]);
+  for (size_t Stage = 0; Stage <= Stages && Stage < Amount.size(); ++Stage) {
+    size_t Dist = size_t(1) << Stage;
+    if (Dist >= W) {
+      Overflow = litOr(Overflow, Amount[Stage]);
+      continue;
+    }
+    Bits Next(W);
+    for (size_t I = 0; I < W; ++I) {
+      Lit Shifted;
+      if (Left)
+        Shifted = I >= Dist ? Cur[I - Dist] : Fill;
+      else
+        Shifted = I + Dist < W ? Cur[I + Dist] : Fill;
+      Next[I] = litMux(Amount[Stage], Shifted, Cur[I]);
+    }
+    Cur = Next;
+  }
+  for (size_t I = 0; I < W; ++I)
+    Cur[I] = litMux(Overflow, Fill, Cur[I]);
+  return Cur;
+}
+
+Lit BitBlaster::ultBits(const Bits &A, const Bits &B) {
+  // MSB-first lexicographic comparison.
+  Lit Result = constLit(false);
+  for (size_t I = 0; I < A.size(); ++I) {
+    Lit Less = litAnd(~A[I], B[I]);
+    Lit EqBit = ~litXor(A[I], B[I]);
+    Result = litOr(Less, litAnd(EqBit, Result));
+  }
+  return Result;
+}
+
+Lit BitBlaster::uleBits(const Bits &A, const Bits &B) {
+  return ~ultBits(B, A);
+}
+
+Lit BitBlaster::sltBits(const Bits &A, const Bits &B) {
+  // Flip the sign bits and compare unsigned.
+  Bits A2 = A, B2 = B;
+  A2.back() = ~A2.back();
+  B2.back() = ~B2.back();
+  return ultBits(A2, B2);
+}
+
+Lit BitBlaster::eqBits(const Bits &A, const Bits &B) {
+  Lit R = constLit(true);
+  for (size_t I = 0; I < A.size(); ++I)
+    R = litAnd(R, ~litXor(A[I], B[I]));
+  return R;
+}
+
+void BitBlaster::divRem(const Bits &N, const Bits &D, Bits &Quot, Bits &Rem) {
+  size_t W = N.size();
+  // Fresh result vectors constrained by the multiplication relation at
+  // double width so that no wrap-around can fake a solution:
+  //   zext(Q) * zext(D) + zext(R) == zext(N)  and  R < D   (when D != 0)
+  //   Q == ones, R == N                                    (when D == 0)
+  Quot.assign(W, Lit());
+  Rem.assign(W, Lit());
+  for (size_t I = 0; I < W; ++I) {
+    Quot[I] = freshLit();
+    Rem[I] = freshLit();
+  }
+  Lit DZero = eqBits(D, Bits(W, constLit(false)));
+
+  auto zext2 = [&](const Bits &X) {
+    Bits R2 = X;
+    R2.resize(2 * W, constLit(false));
+    return R2;
+  };
+  Bits Prod = mulBits(zext2(Quot), zext2(D));
+  Bits Sum = addBits(Prod, zext2(Rem), constLit(false));
+  Lit Exact = eqBits(Sum, zext2(N));
+  Lit RemOk = ultBits(Rem, D);
+  Lit NonZeroCase = litAnd(Exact, RemOk);
+  Lit ZeroCase =
+      litAnd(eqBits(Quot, Bits(W, constLit(true))), eqBits(Rem, N));
+  // (DZero -> ZeroCase) and (!DZero -> NonZeroCase)
+  S.addClause(litOr(~DZero, ZeroCase));
+  S.addClause(litOr(DZero, NonZeroCase));
+}
+
+//===----------------------------------------------------------------------===//
+// Term translation.
+//===----------------------------------------------------------------------===//
+
+Lit BitBlaster::blastBool(const Term *T) {
+  assert(T->isBool() && "blastBool needs a boolean term");
+  auto It = BoolCache.find(T);
+  if (It != BoolCache.end())
+    return It->second;
+
+  Lit R;
+  switch (T->kind()) {
+  case Kind::ConstBool:
+    R = constLit(T->constBool());
+    break;
+  case Kind::Var:
+    R = freshLit();
+    break;
+  case Kind::Not:
+    R = ~blastBool(T->operand(0));
+    break;
+  case Kind::And:
+    R = litAnd(blastBool(T->operand(0)), blastBool(T->operand(1)));
+    break;
+  case Kind::Or:
+    R = litOr(blastBool(T->operand(0)), blastBool(T->operand(1)));
+    break;
+  case Kind::Implies:
+    R = litOr(~blastBool(T->operand(0)), blastBool(T->operand(1)));
+    break;
+  case Kind::Ite:
+    R = litMux(blastBool(T->operand(0)), blastBool(T->operand(1)),
+               blastBool(T->operand(2)));
+    break;
+  case Kind::Eq: {
+    const Term *L = T->operand(0);
+    if (L->isBool())
+      R = ~litXor(blastBool(T->operand(0)), blastBool(T->operand(1)));
+    else
+      R = eqBits(blastBV(T->operand(0)), blastBV(T->operand(1)));
+    break;
+  }
+  case Kind::BVUlt:
+    R = ultBits(blastBV(T->operand(0)), blastBV(T->operand(1)));
+    break;
+  case Kind::BVUle:
+    R = uleBits(blastBV(T->operand(0)), blastBV(T->operand(1)));
+    break;
+  case Kind::BVSlt:
+    R = sltBits(blastBV(T->operand(0)), blastBV(T->operand(1)));
+    break;
+  case Kind::BVSle:
+    R = ~sltBits(blastBV(T->operand(1)), blastBV(T->operand(0)));
+    break;
+  default:
+    assert(false && "non-boolean kind in blastBool");
+    R = constLit(false);
+  }
+  BoolCache[T] = R;
+  return R;
+}
+
+BitBlaster::Bits BitBlaster::blastNode(const Term *T) {
+  unsigned W = T->width();
+  switch (T->kind()) {
+  case Kind::ConstBV: {
+    Bits R(W);
+    for (unsigned I = 0; I < W; ++I)
+      R[I] = constLit(T->constBV().bit(I));
+    return R;
+  }
+  case Kind::Var: {
+    Bits R(W);
+    for (unsigned I = 0; I < W; ++I)
+      R[I] = freshLit();
+    return R;
+  }
+  case Kind::Ite: {
+    Lit C = blastBool(T->operand(0));
+    const Bits &A = blastBV(T->operand(1));
+    const Bits &B = blastBV(T->operand(2));
+    Bits R(W);
+    for (unsigned I = 0; I < W; ++I)
+      R[I] = litMux(C, A[I], B[I]);
+    return R;
+  }
+  case Kind::BVAdd:
+    return addBits(blastBV(T->operand(0)), blastBV(T->operand(1)),
+                   constLit(false));
+  case Kind::BVSub: {
+    Bits B = blastBV(T->operand(1));
+    for (Lit &L : B)
+      L = ~L;
+    return addBits(blastBV(T->operand(0)), B, constLit(true));
+  }
+  case Kind::BVNeg:
+    return negBits(blastBV(T->operand(0)));
+  case Kind::BVMul:
+    return mulBits(blastBV(T->operand(0)), blastBV(T->operand(1)));
+  case Kind::BVUDiv:
+  case Kind::BVURem: {
+    auto Key = std::make_pair(T->operand(0), T->operand(1));
+    auto It = DivCache.find(Key);
+    if (It == DivCache.end()) {
+      Bits Q, R;
+      divRem(blastBV(T->operand(0)), blastBV(T->operand(1)), Q, R);
+      It = DivCache.emplace(Key, std::make_pair(Q, R)).first;
+    }
+    return T->kind() == Kind::BVUDiv ? It->second.first : It->second.second;
+  }
+  case Kind::BVSDiv:
+  case Kind::BVSRem: {
+    // Reduce to unsigned via sign/magnitude muxing.
+    const Bits &A = blastBV(T->operand(0));
+    const Bits &B = blastBV(T->operand(1));
+    Lit SA = A.back(), SB = B.back();
+    Bits AbsA(W), AbsB(W);
+    Bits NA = negBits(A), NB = negBits(B);
+    for (unsigned I = 0; I < W; ++I) {
+      AbsA[I] = litMux(SA, NA[I], A[I]);
+      AbsB[I] = litMux(SB, NB[I], B[I]);
+    }
+    Bits Q, R;
+    divRem(AbsA, AbsB, Q, R);
+    Bits Out(W);
+    if (T->kind() == Kind::BVSDiv) {
+      Lit NegRes = litXor(SA, SB);
+      Bits NQ = negBits(Q);
+      // Division by zero: SMT-LIB bvsdiv gives 1 for negative dividend,
+      // ones otherwise; our unsigned divRem already yields Q=ones for
+      // D==0, so fix up: sdiv(x,0) = x<0 ? 1 : ones.
+      Lit DZero = eqBits(B, Bits(W, constLit(false)));
+      Bits One(W, constLit(false));
+      One[0] = constLit(true);
+      Bits Ones(W, constLit(true));
+      for (unsigned I = 0; I < W; ++I) {
+        Lit Normal = litMux(NegRes, NQ[I], Q[I]);
+        Lit ZeroVal = litMux(SA, One[I], Ones[I]);
+        Out[I] = litMux(DZero, ZeroVal, Normal);
+      }
+    } else {
+      Bits NR = negBits(R);
+      Lit DZero = eqBits(B, Bits(W, constLit(false)));
+      for (unsigned I = 0; I < W; ++I) {
+        Lit Normal = litMux(SA, NR[I], R[I]);
+        Out[I] = litMux(DZero, A[I], Normal);
+      }
+    }
+    return Out;
+  }
+  case Kind::BVAnd:
+  case Kind::BVOr:
+  case Kind::BVXor: {
+    const Bits &A = blastBV(T->operand(0));
+    const Bits &B = blastBV(T->operand(1));
+    Bits R(W);
+    for (unsigned I = 0; I < W; ++I) {
+      if (T->kind() == Kind::BVAnd)
+        R[I] = litAnd(A[I], B[I]);
+      else if (T->kind() == Kind::BVOr)
+        R[I] = litOr(A[I], B[I]);
+      else
+        R[I] = litXor(A[I], B[I]);
+    }
+    return R;
+  }
+  case Kind::BVNot: {
+    Bits R = blastBV(T->operand(0));
+    for (Lit &L : R)
+      L = ~L;
+    return R;
+  }
+  case Kind::BVShl:
+    return shiftBits(blastBV(T->operand(0)), blastBV(T->operand(1)), true,
+                     constLit(false));
+  case Kind::BVLShr:
+    return shiftBits(blastBV(T->operand(0)), blastBV(T->operand(1)), false,
+                     constLit(false));
+  case Kind::BVAShr: {
+    const Bits &A = blastBV(T->operand(0));
+    return shiftBits(A, blastBV(T->operand(1)), false, A.back());
+  }
+  case Kind::Extract: {
+    const Bits &A = blastBV(T->operand(0));
+    return Bits(A.begin() + T->attrB(), A.begin() + T->attrA() + 1);
+  }
+  case Kind::Concat: {
+    Bits R = blastBV(T->operand(1)); // low part
+    const Bits &Hi = blastBV(T->operand(0));
+    R.insert(R.end(), Hi.begin(), Hi.end());
+    return R;
+  }
+  case Kind::ZeroExtend: {
+    Bits R = blastBV(T->operand(0));
+    R.resize(W, constLit(false));
+    return R;
+  }
+  case Kind::SignExtend: {
+    Bits R = blastBV(T->operand(0));
+    Lit Sign = R.back();
+    R.resize(W, Sign);
+    return R;
+  }
+  default:
+    assert(false && "non-bitvector kind in blastBV");
+    return Bits(W, constLit(false));
+  }
+}
+
+const BitBlaster::Bits &BitBlaster::blastBV(const Term *T) {
+  assert(T->sort().isBitVec() && "blastBV needs a bitvector term");
+  auto It = BVCache.find(T);
+  if (It != BVCache.end())
+    return It->second;
+  Bits R = blastNode(T);
+  assert(R.size() == T->width() && "blasted width mismatch");
+  return BVCache.emplace(T, std::move(R)).first->second;
+}
+
+void BitBlaster::assertTrue(const Term *T) {
+  S.addClause(blastBool(T));
+}
+
+Value BitBlaster::modelValue(const Term *T) {
+  if (T->isBool()) {
+    auto It = BoolCache.find(T);
+    // Unconstrained variables default to false.
+    if (It == BoolCache.end())
+      return Value(false);
+    return Value(S.modelValue(It->second.var()) != It->second.negated());
+  }
+  auto It = BVCache.find(T);
+  if (It == BVCache.end())
+    return Value(BitVec::zeros(T->width()));
+  BitVec V = BitVec::zeros(T->width());
+  for (unsigned I = 0; I < T->width(); ++I) {
+    Lit L = It->second[I];
+    if (S.modelValue(L.var()) != L.negated())
+      V = V.insertSlice(I, BitVec(1, 1));
+  }
+  return Value(V);
+}

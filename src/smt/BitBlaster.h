@@ -1,0 +1,90 @@
+//===- smt/BitBlaster.h - QF_BV to CNF translation -------------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tseitin-style translation of QF_BV terms to CNF over a sat::Solver.
+/// Each bitvector term maps to a little-endian vector of literals; each
+/// boolean term to a single literal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SMT_BITBLASTER_H
+#define ISLARIS_SMT_BITBLASTER_H
+
+#include "smt/Evaluator.h"
+#include "smt/Sat.h"
+#include "smt/Term.h"
+
+#include <unordered_map>
+
+namespace islaris::smt {
+
+/// Translates terms into clauses of an underlying SAT solver.  One blaster
+/// per solving episode; caches are per-instance.
+class BitBlaster {
+public:
+  explicit BitBlaster(sat::Solver &S);
+
+  /// Asserts that the boolean term \p T holds.
+  void assertTrue(const Term *T);
+
+  /// Returns the literal representing boolean term \p T.
+  sat::Lit blastBool(const Term *T);
+
+  /// Returns the literals (LSB first) representing bitvector term \p T.
+  const std::vector<sat::Lit> &blastBV(const Term *T);
+
+  /// Reads back a model value for \p T after a Sat answer.
+  Value modelValue(const Term *T);
+
+  /// The always-true literal.
+  sat::Lit trueLit() const { return TrueLit; }
+
+private:
+  sat::Lit freshLit();
+  sat::Lit litAnd(sat::Lit A, sat::Lit B);
+  sat::Lit litOr(sat::Lit A, sat::Lit B);
+  sat::Lit litXor(sat::Lit A, sat::Lit B);
+  sat::Lit litMux(sat::Lit C, sat::Lit T, sat::Lit E);
+  sat::Lit litMajority(sat::Lit A, sat::Lit B, sat::Lit C);
+  sat::Lit constLit(bool B) const { return B ? TrueLit : ~TrueLit; }
+
+  using Bits = std::vector<sat::Lit>;
+  Bits addBits(const Bits &A, const Bits &B, sat::Lit CarryIn);
+  Bits negBits(const Bits &A);
+  Bits mulBits(const Bits &A, const Bits &B);
+  Bits shiftBits(const Bits &A, const Bits &Amount, bool Left,
+                 sat::Lit Fill);
+  sat::Lit ultBits(const Bits &A, const Bits &B);
+  sat::Lit uleBits(const Bits &A, const Bits &B);
+  sat::Lit sltBits(const Bits &A, const Bits &B);
+  sat::Lit eqBits(const Bits &A, const Bits &B);
+  /// Encodes division/remainder via the multiplication relation at double
+  /// width (exactness enforced), honoring the SMT-LIB div-by-zero cases.
+  void divRem(const Bits &N, const Bits &D, Bits &Quot, Bits &Rem);
+
+  Bits blastNode(const Term *T);
+
+  sat::Solver &S;
+  sat::Lit TrueLit;
+  std::unordered_map<const Term *, Bits> BVCache;
+  std::unordered_map<const Term *, sat::Lit> BoolCache;
+  /// Cached quotient/remainder pairs so bvudiv/bvurem over the same
+  /// operands share one circuit.  Keyed by (dividend, divisor).
+  struct PairHash {
+    size_t operator()(const std::pair<const Term *, const Term *> &P) const {
+      return std::hash<const void *>()(P.first) * 31 +
+             std::hash<const void *>()(P.second);
+    }
+  };
+  std::unordered_map<std::pair<const Term *, const Term *>,
+                     std::pair<Bits, Bits>, PairHash>
+      DivCache;
+};
+
+} // namespace islaris::smt
+
+#endif // ISLARIS_SMT_BITBLASTER_H

@@ -1,0 +1,95 @@
+//===- smt/Solver.cpp - QF_BV satisfiability facade --------------------------===//
+
+#include "smt/Solver.h"
+
+#include <chrono>
+
+using namespace islaris;
+using namespace islaris::smt;
+
+Solver::Solver(TermBuilder &TB) : TB(TB), RW(TB) {}
+
+void Solver::push() { ScopeMarks.push_back(Asserted.size()); }
+
+void Solver::pop() {
+  assert(!ScopeMarks.empty() && "pop without matching push");
+  Asserted.resize(ScopeMarks.back());
+  ScopeMarks.pop_back();
+}
+
+void Solver::assertTerm(const Term *T) {
+  assert(T->isBool() && "assertions must be boolean");
+  Asserted.push_back(T);
+}
+
+Result Solver::check(const std::vector<const Term *> &Assumptions) {
+  auto Start = std::chrono::steady_clock::now();
+  ++Stats.NumChecks;
+
+  // Simplify everything first; collect the residual (non-constant) goals.
+  std::vector<const Term *> Goals;
+  bool TriviallyUnsat = false;
+  auto consider = [&](const Term *T) {
+    const Term *S = RW.simplify(T);
+    if (S->kind() == Kind::ConstBool) {
+      if (!S->constBool())
+        TriviallyUnsat = true;
+      return;
+    }
+    Goals.push_back(S);
+  };
+  for (const Term *T : Asserted)
+    consider(T);
+  for (const Term *T : Assumptions)
+    consider(T);
+
+  Result R;
+  if (TriviallyUnsat) {
+    ++Stats.NumSyntactic;
+    LastSat.reset();
+    LastBlaster.reset();
+    R = Result::Unsat;
+  } else if (Goals.empty()) {
+    ++Stats.NumSyntactic;
+    // All assertions simplified to true: the empty model satisfies them.
+    LastSat = std::make_unique<sat::Solver>();
+    LastBlaster = std::make_unique<BitBlaster>(*LastSat);
+    LastSat->solve();
+    R = Result::Sat;
+  } else {
+    ++Stats.NumSatCalls;
+    LastSat = std::make_unique<sat::Solver>();
+    LastBlaster = std::make_unique<BitBlaster>(*LastSat);
+    for (const Term *G : Goals)
+      LastBlaster->assertTrue(G);
+    sat::SatResult SR = LastSat->solve();
+    Stats.NumConflicts += LastSat->numConflicts();
+    R = SR == sat::SatResult::Sat ? Result::Sat : Result::Unsat;
+    if (R == Result::Unsat) {
+      LastSat.reset();
+      LastBlaster.reset();
+    }
+  }
+
+  Stats.TotalSeconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return R;
+}
+
+bool Solver::isValid(const Term *T) {
+  const Term *S = RW.simplify(T);
+  if (S->kind() == Kind::ConstBool && S->constBool()) {
+    ++Stats.NumChecks;
+    ++Stats.NumSyntactic;
+    return true;
+  }
+  return check({TB.notTerm(S)}) == Result::Unsat;
+}
+
+Value Solver::modelValue(const Term *Var) {
+  assert(LastBlaster && "modelValue requires a preceding Sat answer");
+  // The variable may have been simplified away; query the blaster for the
+  // simplified form (a variable simplifies to itself).
+  return LastBlaster->modelValue(RW.simplify(Var));
+}

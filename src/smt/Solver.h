@@ -1,0 +1,86 @@
+//===- smt/Solver.h - QF_BV satisfiability facade ---------------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SMT solver used throughout the pipeline: by Isla's symbolic executor
+/// for branch pruning, and by the separation-logic engine for side-condition
+/// discharge ("a solver for bitvectors provided by Islaris", §2.5).
+///
+/// Architecture: assertions are simplified by the Rewriter first; anything
+/// not decided syntactically is bit-blasted to CNF and handed to the CDCL
+/// core.  Each check builds a fresh SAT instance (formulas in this domain
+/// are small, and this keeps push/pop trivially correct).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SMT_SOLVER_H
+#define ISLARIS_SMT_SOLVER_H
+
+#include "smt/BitBlaster.h"
+#include "smt/Evaluator.h"
+#include "smt/Rewriter.h"
+#include "smt/TermBuilder.h"
+
+#include <memory>
+
+namespace islaris::smt {
+
+/// Satisfiability result.
+enum class Result { Sat, Unsat };
+
+/// Accumulated statistics, reported by the Fig. 12 benchmark harness.
+struct SolverStats {
+  uint64_t NumChecks = 0;
+  uint64_t NumSyntactic = 0; ///< Checks decided without the SAT core.
+  uint64_t NumSatCalls = 0;
+  uint64_t NumConflicts = 0;
+  double TotalSeconds = 0;
+};
+
+/// An incremental-interface QF_BV solver over a TermBuilder's terms.
+class Solver {
+public:
+  explicit Solver(TermBuilder &TB);
+
+  /// Pushes/pops an assertion scope.
+  void push();
+  void pop();
+
+  /// Asserts a boolean term in the current scope.
+  void assertTerm(const Term *T);
+
+  /// Checks satisfiability of the asserted stack plus \p Assumptions.
+  Result check(const std::vector<const Term *> &Assumptions = {});
+
+  /// True if \p T holds in every model of the current assertions
+  /// (i.e. assertions ∧ ¬T is unsat).
+  bool isValid(const Term *T);
+
+  /// After a Sat answer from check(): concrete value of a *variable* term.
+  Value modelValue(const Term *Var);
+
+  /// Asserted terms, innermost scope last (diagnostics).
+  const std::vector<const Term *> &assertions() const { return Asserted; }
+
+  TermBuilder &builder() { return TB; }
+  Rewriter &rewriter() { return RW; }
+  const SolverStats &stats() const { return Stats; }
+
+private:
+  TermBuilder &TB;
+  Rewriter RW;
+  std::vector<const Term *> Asserted;
+  std::vector<size_t> ScopeMarks;
+  SolverStats Stats;
+
+  // State of the last Sat check, kept for model queries.
+  std::unique_ptr<sat::Solver> LastSat;
+  std::unique_ptr<BitBlaster> LastBlaster;
+};
+
+} // namespace islaris::smt
+
+#endif // ISLARIS_SMT_SOLVER_H

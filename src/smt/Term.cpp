@@ -1,0 +1,144 @@
+//===- smt/Term.cpp - Term printing and traversal --------------------------===//
+
+#include "smt/Term.h"
+
+#include <unordered_set>
+
+using namespace islaris;
+using namespace islaris::smt;
+
+std::string Sort::toString() const {
+  if (isBool())
+    return "Bool";
+  return "(_ BitVec " + std::to_string(Width) + ")";
+}
+
+const char *islaris::smt::kindName(Kind K) {
+  switch (K) {
+  case Kind::ConstBV:
+    return "constbv";
+  case Kind::ConstBool:
+    return "constbool";
+  case Kind::Var:
+    return "var";
+  case Kind::Not:
+    return "not";
+  case Kind::And:
+    return "and";
+  case Kind::Or:
+    return "or";
+  case Kind::Implies:
+    return "=>";
+  case Kind::Ite:
+    return "ite";
+  case Kind::Eq:
+    return "=";
+  case Kind::BVAdd:
+    return "bvadd";
+  case Kind::BVSub:
+    return "bvsub";
+  case Kind::BVMul:
+    return "bvmul";
+  case Kind::BVUDiv:
+    return "bvudiv";
+  case Kind::BVURem:
+    return "bvurem";
+  case Kind::BVSDiv:
+    return "bvsdiv";
+  case Kind::BVSRem:
+    return "bvsrem";
+  case Kind::BVNeg:
+    return "bvneg";
+  case Kind::BVAnd:
+    return "bvand";
+  case Kind::BVOr:
+    return "bvor";
+  case Kind::BVXor:
+    return "bvxor";
+  case Kind::BVNot:
+    return "bvnot";
+  case Kind::BVShl:
+    return "bvshl";
+  case Kind::BVLShr:
+    return "bvlshr";
+  case Kind::BVAShr:
+    return "bvashr";
+  case Kind::BVUlt:
+    return "bvult";
+  case Kind::BVUle:
+    return "bvule";
+  case Kind::BVSlt:
+    return "bvslt";
+  case Kind::BVSle:
+    return "bvsle";
+  case Kind::Extract:
+    return "extract";
+  case Kind::Concat:
+    return "concat";
+  case Kind::ZeroExtend:
+    return "zero_extend";
+  case Kind::SignExtend:
+    return "sign_extend";
+  }
+  return "<unknown>";
+}
+
+static void printTerm(const Term *T, std::string &Out) {
+  switch (T->kind()) {
+  case Kind::ConstBV:
+    Out += T->constBV().toString();
+    return;
+  case Kind::ConstBool:
+    Out += T->constBool() ? "true" : "false";
+    return;
+  case Kind::Var:
+    Out += T->varName();
+    return;
+  case Kind::Extract:
+    Out += "((_ extract " + std::to_string(T->attrA()) + " " +
+           std::to_string(T->attrB()) + ") ";
+    printTerm(T->operand(0), Out);
+    Out += ")";
+    return;
+  case Kind::ZeroExtend:
+  case Kind::SignExtend:
+    Out += "((_ ";
+    Out += kindName(T->kind());
+    Out += " " + std::to_string(T->attrA()) + ") ";
+    printTerm(T->operand(0), Out);
+    Out += ")";
+    return;
+  default:
+    Out += "(";
+    Out += kindName(T->kind());
+    for (const Term *Op : T->operands()) {
+      Out += " ";
+      printTerm(Op, Out);
+    }
+    Out += ")";
+    return;
+  }
+}
+
+std::string Term::toString() const {
+  std::string S;
+  printTerm(this, S);
+  return S;
+}
+
+std::vector<const Term *> islaris::smt::collectVars(const Term *T) {
+  std::vector<const Term *> Result;
+  std::unordered_set<const Term *> Seen;
+  std::vector<const Term *> Stack = {T};
+  while (!Stack.empty()) {
+    const Term *Cur = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(Cur).second)
+      continue;
+    if (Cur->isVar())
+      Result.push_back(Cur);
+    for (const Term *Op : Cur->operands())
+      Stack.push_back(Op);
+  }
+  return Result;
+}

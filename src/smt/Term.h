@@ -1,0 +1,174 @@
+//===- smt/Term.h - Hash-consed SMT term DAG -------------------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SMT-LIB QF_BV terms.  ITL events embed these expressions (e of Fig. 4);
+/// the Isla symbolic executor builds them; the separation-logic engine
+/// discharges side conditions over them.
+///
+/// Terms are immutable, hash-consed nodes owned by a TermBuilder; structural
+/// equality is pointer equality for terms from the same builder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SMT_TERM_H
+#define ISLARIS_SMT_TERM_H
+
+#include "support/BitVec.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace islaris::smt {
+
+/// Sort of a term: Bool or BitVec(width).
+class Sort {
+public:
+  static Sort boolean() { return Sort(0); }
+  static Sort bitvec(unsigned Width) {
+    assert(Width >= 1 && "bitvector width must be positive");
+    return Sort(Width);
+  }
+
+  bool isBool() const { return Width == 0; }
+  bool isBitVec() const { return Width != 0; }
+  /// Bitvector width; only valid for bitvector sorts.
+  unsigned width() const {
+    assert(isBitVec() && "sort is not a bitvector");
+    return Width;
+  }
+
+  bool operator==(const Sort &O) const { return Width == O.Width; }
+  bool operator!=(const Sort &O) const { return Width != O.Width; }
+
+  std::string toString() const;
+
+private:
+  explicit Sort(unsigned Width) : Width(Width) {}
+  unsigned Width; // 0 encodes Bool.
+};
+
+/// Term node kinds.  Mirrors the SMT-LIB QF_BV signature plus boolean
+/// connectives, which is the expression language of Isla traces.
+enum class Kind : uint8_t {
+  // Leaves.
+  ConstBV,
+  ConstBool,
+  Var,
+  // Boolean connectives.
+  Not,
+  And,
+  Or,
+  Implies,
+  Ite, // Also used at bitvector sort.
+  Eq,  // Polymorphic equality.
+  // Bitvector arithmetic.
+  BVAdd,
+  BVSub,
+  BVMul,
+  BVUDiv,
+  BVURem,
+  BVSDiv,
+  BVSRem,
+  BVNeg,
+  // Bitvector logic.
+  BVAnd,
+  BVOr,
+  BVXor,
+  BVNot,
+  BVShl,
+  BVLShr,
+  BVAShr,
+  // Bitvector predicates.
+  BVUlt,
+  BVUle,
+  BVSlt,
+  BVSle,
+  // Structure.
+  Extract,    // A = hi, B = lo.
+  Concat,     // op0 high bits, op1 low bits.
+  ZeroExtend, // A = extra bits.
+  SignExtend, // A = extra bits.
+};
+
+/// Returns the SMT-LIB operator spelling for \p K ("bvadd", "and", ...).
+const char *kindName(Kind K);
+
+class TermBuilder;
+
+/// An immutable term node.  Construct only through TermBuilder.
+class Term {
+public:
+  Kind kind() const { return K; }
+  Sort sort() const { return Ty; }
+  bool isBool() const { return Ty.isBool(); }
+  unsigned width() const { return Ty.width(); }
+
+  const std::vector<const Term *> &operands() const { return Ops; }
+  const Term *operand(unsigned I) const {
+    assert(I < Ops.size() && "operand index out of range");
+    return Ops[I];
+  }
+  unsigned numOperands() const { return unsigned(Ops.size()); }
+
+  bool isConst() const { return K == Kind::ConstBV || K == Kind::ConstBool; }
+  bool isVar() const { return K == Kind::Var; }
+
+  /// Constant payload; only valid for ConstBV.
+  const BitVec &constBV() const {
+    assert(K == Kind::ConstBV && "not a bitvector constant");
+    return Const;
+  }
+  /// Constant payload; only valid for ConstBool.
+  bool constBool() const {
+    assert(K == Kind::ConstBool && "not a boolean constant");
+    return A != 0;
+  }
+
+  /// Variable identity; only valid for Var.
+  uint32_t varId() const {
+    assert(K == Kind::Var && "not a variable");
+    return A;
+  }
+  /// Variable display name (e.g. "v38"); only valid for Var.
+  const std::string &varName() const {
+    assert(K == Kind::Var && "not a variable");
+    return Name;
+  }
+
+  /// Extract bounds (A=hi, B=lo) or extension amount (A); kind-dependent.
+  unsigned attrA() const { return A; }
+  unsigned attrB() const { return B; }
+
+  /// Unique, dense id within the owning builder (stable creation order).
+  unsigned id() const { return Id; }
+
+  /// Renders the term in SMT-LIB concrete syntax, e.g.
+  /// "(bvadd ((_ extract 63 0) ((_ zero_extend 64) v38)) #x...40)".
+  std::string toString() const;
+
+private:
+  friend class TermBuilder;
+  Term() = default;
+
+  Kind K = Kind::ConstBool;
+  Sort Ty = Sort::boolean();
+  std::vector<const Term *> Ops;
+  BitVec Const;
+  std::string Name;
+  uint32_t A = 0, B = 0;
+  unsigned Id = 0;
+  size_t HashVal = 0;
+};
+
+/// Collects the set of distinct variables occurring in \p T (deduplicated,
+/// in first-occurrence order).
+std::vector<const Term *> collectVars(const Term *T);
+
+} // namespace islaris::smt
+
+#endif // ISLARIS_SMT_TERM_H

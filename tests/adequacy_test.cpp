@@ -1,0 +1,329 @@
+//===- tests/adequacy_test.cpp - Theorem 1, empirically -------------------------===//
+//
+// The adequacy theorem (§4.2) says a successful verification implies: from
+// any initial state satisfying the precondition, the ITL operational
+// semantics never reaches BOTTOM and the visible labels satisfy spec(s).
+// We cannot prove the meta-theorem; instead these property tests replay
+// verified programs from many randomized precondition-satisfying states
+// and check exactly that statement (and the functional postconditions).
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/AArch64.h"
+#include "arch/RiscV.h"
+#include "frontend/Verifier.h"
+#include "itl/OpSem.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+using namespace islaris;
+using islaris::itl::MachineState;
+using islaris::itl::Reg;
+using smt::Value;
+
+namespace {
+
+class AdequacyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdequacyTest, ArmMemcpyCopiesAndNeverFails) {
+  // Assemble the verified memcpy image (same bytes as the case study).
+  namespace e = arch::aarch64::enc;
+  arch::aarch64::Asm A;
+  A.org(0x400000);
+  A.cbz(2, "L1");
+  A.put(e::movz(3, 0));
+  A.label("L3");
+  A.put(e::ldrReg(0, 4, 1, 3));
+  A.put(e::strReg(0, 4, 0, 3));
+  A.put(e::addImm(3, 3, 1));
+  A.put(e::cmpReg(2, 3));
+  A.bcond(arch::aarch64::Cond::NE, "L3");
+  A.label("L1");
+  A.put(e::ret());
+
+  frontend::Verifier V(frontend::aarch64());
+  V.addCode(A.finish());
+  std::string Err;
+  ASSERT_TRUE(V.generateTraces(Err)) << Err;
+
+  std::mt19937_64 Rng(unsigned(GetParam()) * 7919 + 3);
+  for (int Round = 0; Round < 8; ++Round) {
+    unsigned N = unsigned(Rng() % 6);
+    uint64_t S0 = 0x5000 + (Rng() % 64);
+    uint64_t D0 = S0 + 0x100 + (Rng() % 64);
+    uint64_t Ret = 0x600000; // outside the instruction map -> E(a)
+
+    MachineState S;
+    S.PcReg = "_PC";
+    for (int I = 0; I <= 30; ++I)
+      S.setReg(arch::aarch64::xreg(unsigned(I)), Value(BitVec(64, Rng())));
+    for (const char *F : {"N", "Z", "C", "V"})
+      S.setReg(Reg("PSTATE", F), Value(BitVec(1, Rng() % 2)));
+    S.setReg(arch::aarch64::xreg(0), Value(BitVec(64, D0)));
+    S.setReg(arch::aarch64::xreg(1), Value(BitVec(64, S0)));
+    S.setReg(arch::aarch64::xreg(2), Value(BitVec(64, N)));
+    S.setReg(arch::aarch64::xreg(30), Value(BitVec(64, Ret)));
+    S.setReg(Reg("_PC"), Value(BitVec(64, 0x400000)));
+    std::vector<uint8_t> Src(N);
+    for (unsigned K = 0; K < N; ++K) {
+      Src[K] = uint8_t(Rng());
+      S.Mem[S0 + K] = Src[K];
+      S.Mem[D0 + K] = uint8_t(Rng());
+    }
+    S.Instrs = V.instrMap();
+
+    itl::Interpreter Interp(V.builder());
+    auto Paths = Interp.runProgram(S, 256);
+    int Completed = 0;
+    for (const auto &P : Paths) {
+      ASSERT_NE(P.Out, itl::Outcome::Bottom) << P.Reason;
+      ASSERT_NE(P.Out, itl::Outcome::Stuck) << P.Reason;
+      if (P.Out != itl::Outcome::Top || P.Labels.empty())
+        continue;
+      // The completed path terminates with E(ret address).
+      if (P.Labels.back().K != itl::Label::Kind::End)
+        continue;
+      EXPECT_EQ(P.Labels.back().Addr.toUInt64(), Ret);
+      for (unsigned K = 0; K < N; ++K)
+        EXPECT_EQ(P.Final.Mem.at(D0 + K), Src[K]) << "byte " << K;
+      ++Completed;
+    }
+    EXPECT_EQ(Completed, 1) << "exactly one execution completes";
+  }
+}
+
+TEST_P(AdequacyTest, RvMemcpyCopiesAndNeverFails) {
+  namespace e = arch::rv64::enc;
+  using namespace arch::rv64;
+  Asm A;
+  A.org(0x400000);
+  A.beqz(A2, "L2");
+  A.label("L1");
+  A.put(e::lb(A3, A1, 0));
+  A.put(e::sb(A3, A0, 0));
+  A.put(e::addi(A2, A2, -1));
+  A.put(e::addi(A0, A0, 1));
+  A.put(e::addi(A1, A1, 1));
+  A.bnez(A2, "L1");
+  A.label("L2");
+  A.put(e::ret());
+
+  frontend::Verifier V(frontend::rv64());
+  V.addCode(A.finish());
+  std::string Err;
+  ASSERT_TRUE(V.generateTraces(Err)) << Err;
+
+  std::mt19937_64 Rng(unsigned(GetParam()) * 104729 + 5);
+  for (int Round = 0; Round < 8; ++Round) {
+    unsigned N = unsigned(Rng() % 6);
+    uint64_t S0 = 0x7000 + (Rng() % 64);
+    uint64_t D0 = S0 + 0x100 + (Rng() % 64);
+    uint64_t Ret = 0x600000;
+
+    MachineState S;
+    S.PcReg = "PC";
+    for (unsigned I = 1; I <= 31; ++I)
+      S.setReg(xreg(I), Value(BitVec(64, Rng())));
+    S.setReg(xreg(A0), Value(BitVec(64, D0)));
+    S.setReg(xreg(A1), Value(BitVec(64, S0)));
+    S.setReg(xreg(A2), Value(BitVec(64, N)));
+    S.setReg(xreg(RA), Value(BitVec(64, Ret)));
+    S.setReg(Reg("PC"), Value(BitVec(64, 0x400000)));
+    std::vector<uint8_t> Src(N);
+    for (unsigned K = 0; K < N; ++K) {
+      Src[K] = uint8_t(Rng());
+      S.Mem[S0 + K] = Src[K];
+      S.Mem[D0 + K] = uint8_t(Rng());
+    }
+    S.Instrs = V.instrMap();
+
+    itl::Interpreter Interp(V.builder());
+    auto Paths = Interp.runProgram(S, 256);
+    int Completed = 0;
+    for (const auto &P : Paths) {
+      ASSERT_NE(P.Out, itl::Outcome::Bottom) << P.Reason;
+      ASSERT_NE(P.Out, itl::Outcome::Stuck) << P.Reason;
+      if (P.Out != itl::Outcome::Top || P.Labels.empty() ||
+          P.Labels.back().K != itl::Label::Kind::End)
+        continue;
+      for (unsigned K = 0; K < N; ++K)
+        EXPECT_EQ(P.Final.Mem.at(D0 + K), Src[K]);
+      ++Completed;
+    }
+    EXPECT_EQ(Completed, 1);
+  }
+}
+
+TEST_P(AdequacyTest, UnalignedStoreFaultsToHandler) {
+  namespace e = arch::aarch64::enc;
+  frontend::Verifier V(frontend::aarch64());
+  V.addCode({{0x8000, e::strImm(2, 0, 1, 0)}});
+  V.defaults()
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b01))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 1))
+      .constrain(Reg("SCTLR_EL1"),
+                 [](smt::TermBuilder &TB, const smt::Term *S) {
+                   return TB.eqTerm(TB.extract(1, 1, S), TB.constBV(1, 1));
+                 });
+  std::string Err;
+  ASSERT_TRUE(V.generateTraces(Err)) << Err;
+
+  std::mt19937_64 Rng(unsigned(GetParam()) * 31337 + 7);
+  for (int Round = 0; Round < 8; ++Round) {
+    uint64_t Addr = (Rng() & 0xffff) | 1; // misaligned
+    uint64_t Vb = 0xc0000;
+    MachineState S;
+    S.PcReg = "_PC";
+    for (int I = 0; I <= 30; ++I)
+      S.setReg(arch::aarch64::xreg(unsigned(I)), Value(BitVec(64, Rng())));
+    for (const char *F : {"N", "Z", "C", "V", "D", "A", "I", "F"})
+      S.setReg(Reg("PSTATE", F), Value(BitVec(1, Rng() % 2)));
+    S.setReg(Reg("PSTATE", "EL"), Value(BitVec(2, 0b01)));
+    S.setReg(Reg("PSTATE", "SP"), Value(BitVec(1, 1)));
+    S.setReg(Reg("SCTLR_EL1"), Value(BitVec(64, 2)));
+    S.setReg(Reg("VBAR_EL1"), Value(BitVec(64, Vb)));
+    for (const char *SR : {"SPSR_EL1", "ELR_EL1", "ESR_EL1", "FAR_EL1"})
+      S.setReg(Reg(SR), Value(BitVec(64, 0)));
+    S.setReg(arch::aarch64::xreg(1), Value(BitVec(64, Addr)));
+    S.setReg(Reg("_PC"), Value(BitVec(64, 0x8000)));
+    S.Instrs = V.instrMap();
+
+    itl::Interpreter Interp(V.builder());
+    auto Paths = Interp.runProgram(S, 8);
+    int Faulted = 0;
+    for (const auto &P : Paths) {
+      ASSERT_NE(P.Out, itl::Outcome::Bottom) << P.Reason;
+      if (P.Out != itl::Outcome::Top || P.Labels.empty() ||
+          P.Labels.back().K != itl::Label::Kind::End)
+        continue;
+      // Vectored to VBAR + 0x200 with the right syndrome and fault addr.
+      EXPECT_EQ(P.Labels.back().Addr.toUInt64(), Vb + 0x200);
+      EXPECT_EQ(P.Final.getReg(Reg("FAR_EL1"))->asBitVec().toUInt64(),
+                Addr);
+      EXPECT_EQ(P.Final.getReg(Reg("ESR_EL1"))->asBitVec().toUInt64(),
+                0x96000021ull);
+      EXPECT_EQ(P.Final.getReg(Reg("ELR_EL1"))->asBitVec().toUInt64(),
+                0x8000u);
+      ++Faulted;
+    }
+    EXPECT_EQ(Faulted, 1);
+  }
+}
+
+TEST_P(AdequacyTest, ArmBinarySearchWithRealComparator) {
+  // The binary-search case study assumed a calling-convention contract for
+  // the comparator; here we link real machine code implementing the
+  // three-way comparison ((a >s b) - (a <s b)) and execute the whole thing
+  // under the ITL semantics: the returned index must be the lower bound.
+  namespace e = arch::aarch64::enc;
+  using arch::aarch64::Cond;
+  arch::aarch64::Asm A;
+  A.org(0x40000);
+  A.label("bsearch");
+  A.put(e::movReg(9, 30));
+  A.put(e::movReg(8, 0));
+  A.put(e::movReg(10, 1));
+  A.put(e::movz(4, 0));
+  A.put(e::movReg(5, 2));
+  A.label("loop");
+  A.put(e::cmpReg(4, 5));
+  A.bcond(Cond::EQ, "done");
+  A.put(e::addReg(6, 4, 5));
+  A.put(e::lsrImm(6, 6, 1));
+  A.put(e::lslImm(7, 6, 3));
+  A.put(e::ldrReg(3, 7, 10, 7));
+  A.put(e::movReg(0, 8));
+  A.put(e::movReg(1, 7));
+  A.put(e::blr(3));
+  A.put(e::cmpImm(0, 0));
+  A.bcond(Cond::GT, "gt");
+  A.put(e::movReg(5, 6));
+  A.b("loop");
+  A.label("gt");
+  A.put(e::addImm(4, 6, 1));
+  A.b("loop");
+  A.label("done");
+  A.put(e::movReg(0, 4));
+  A.put(e::br(9));
+  // The comparator: x0 = (x0 >s x1) - (x0 <s x1).
+  // The comparator honors the verified contract: it may change only
+  // x0, x1 and the flags.
+  A.org(0x50000);
+  A.label("cmp3");
+  A.put(e::cmpReg(0, 1));
+  A.put(e::cset(0, Cond::GT));
+  A.put(e::cset(1, Cond::LT));
+  A.put(e::subReg(0, 0, 1));
+  A.put(e::ret());
+
+  frontend::Verifier V(frontend::aarch64());
+  V.addCode(A.finish());
+  V.defaults()
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b01))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 1))
+      .assume(Reg("SCTLR_EL1"), BitVec(64, 0));
+  std::string Err;
+  ASSERT_TRUE(V.generateTraces(Err)) << Err;
+
+  std::mt19937_64 Rng(unsigned(GetParam()) * 2750161 + 9);
+  for (int Round = 0; Round < 6; ++Round) {
+    const unsigned N = 4;
+    uint64_t Base = 0x9000 + (Rng() % 64) * 8;
+    uint64_t Ret = 0x600000;
+    std::vector<int64_t> Elems(N);
+    for (auto &E2 : Elems)
+      E2 = int64_t(Rng() % 64) - 32;
+    std::sort(Elems.begin(), Elems.end());
+    int64_t Key = int64_t(Rng() % 64) - 32;
+    unsigned Expected = 0;
+    while (Expected < N && Elems[Expected] < Key)
+      ++Expected;
+
+    MachineState S;
+    S.PcReg = "_PC";
+    for (int I = 0; I <= 30; ++I)
+      S.setReg(arch::aarch64::xreg(unsigned(I)), Value(BitVec(64, Rng())));
+    for (const char *F : {"N", "Z", "C", "V"})
+      S.setReg(Reg("PSTATE", F), Value(BitVec(1, Rng() % 2)));
+    S.setReg(Reg("PSTATE", "EL"), Value(BitVec(2, 0b01)));
+    S.setReg(Reg("PSTATE", "SP"), Value(BitVec(1, 1)));
+    S.setReg(Reg("SCTLR_EL1"), Value(BitVec(64, 0)));
+    S.setReg(arch::aarch64::xreg(0), Value(BitVec(64, uint64_t(Key))));
+    S.setReg(arch::aarch64::xreg(1), Value(BitVec(64, Base)));
+    S.setReg(arch::aarch64::xreg(2), Value(BitVec(64, N)));
+    S.setReg(arch::aarch64::xreg(3), Value(BitVec(64, 0x50000)));
+    S.setReg(arch::aarch64::xreg(30), Value(BitVec(64, Ret)));
+    S.setReg(Reg("_PC"), Value(BitVec(64, 0x40000)));
+    for (unsigned K = 0; K < N; ++K) {
+      BitVec W(64, uint64_t(Elems[K]));
+      auto Bytes = W.toBytes();
+      for (unsigned B = 0; B < 8; ++B)
+        S.Mem[Base + K * 8 + B] = Bytes[B];
+    }
+    S.Instrs = V.instrMap();
+
+    itl::Interpreter Interp(V.builder());
+    auto Paths = Interp.runProgram(S, 512);
+    int Completed = 0;
+    for (const auto &P : Paths) {
+      ASSERT_NE(P.Out, itl::Outcome::Bottom) << P.Reason;
+      ASSERT_NE(P.Out, itl::Outcome::Stuck) << P.Reason;
+      if (P.Out != itl::Outcome::Top || P.Labels.empty() ||
+          P.Labels.back().K != itl::Label::Kind::End)
+        continue;
+      EXPECT_EQ(P.Final.getReg(arch::aarch64::xreg(0))->asBitVec()
+                    .toUInt64(),
+                Expected)
+          << "key " << Key << " in sorted array";
+      ++Completed;
+    }
+    EXPECT_EQ(Completed, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdequacyTest, ::testing::Values(1, 2, 3));
+
+} // namespace

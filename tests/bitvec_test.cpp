@@ -1,0 +1,270 @@
+//===- tests/bitvec_test.cpp - BitVec unit & property tests ---------------===//
+
+#include "support/BitVec.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using islaris::BitVec;
+
+namespace {
+
+TEST(BitVecTest, ConstructAndRead) {
+  BitVec V(64, 0x40);
+  EXPECT_EQ(V.width(), 64u);
+  EXPECT_EQ(V.toUInt64(), 0x40u);
+  EXPECT_FALSE(V.isZero());
+  EXPECT_TRUE(BitVec::zeros(17).isZero());
+  EXPECT_TRUE(BitVec::ones(17).isAllOnes());
+}
+
+TEST(BitVecTest, TruncationOnConstruct) {
+  BitVec V(4, 0xff);
+  EXPECT_EQ(V.toUInt64(), 0xfu);
+  BitVec W(1, 2);
+  EXPECT_TRUE(W.isZero());
+}
+
+TEST(BitVecTest, FromStringHex) {
+  BitVec V;
+  ASSERT_TRUE(BitVec::fromString("#x0000000000000040", V));
+  EXPECT_EQ(V.width(), 64u);
+  EXPECT_EQ(V.toUInt64(), 0x40u);
+  ASSERT_TRUE(BitVec::fromString("0xdeadbeef", V));
+  EXPECT_EQ(V.width(), 32u);
+  EXPECT_EQ(V.toUInt64(), 0xdeadbeefu);
+}
+
+TEST(BitVecTest, FromStringBinary) {
+  BitVec V;
+  ASSERT_TRUE(BitVec::fromString("#b10", V));
+  EXPECT_EQ(V.width(), 2u);
+  EXPECT_EQ(V.toUInt64(), 2u);
+  ASSERT_TRUE(BitVec::fromString("0b1", V));
+  EXPECT_EQ(V.width(), 1u);
+  EXPECT_EQ(V.toUInt64(), 1u);
+}
+
+TEST(BitVecTest, FromStringRejectsGarbage) {
+  BitVec V;
+  EXPECT_FALSE(BitVec::fromString("", V));
+  EXPECT_FALSE(BitVec::fromString("#x", V));
+  EXPECT_FALSE(BitVec::fromString("#xzz", V));
+  EXPECT_FALSE(BitVec::fromString("#b102", V));
+  EXPECT_FALSE(BitVec::fromString("42", V));
+}
+
+TEST(BitVecTest, ToStringRoundTrip) {
+  BitVec V(64, 0x910103ff);
+  EXPECT_EQ(V.toString(), "#x00000000910103ff");
+  BitVec W(2, 2);
+  EXPECT_EQ(W.toString(), "#b10");
+  BitVec Parsed;
+  ASSERT_TRUE(BitVec::fromString(V.toString(), Parsed));
+  EXPECT_EQ(Parsed, V);
+}
+
+TEST(BitVecTest, WideHexParse) {
+  // 33 hex digits -> 132 bits, straddling word boundaries.
+  BitVec V;
+  ASSERT_TRUE(BitVec::fromString(
+      "#x123456789abcdef0fedcba9876543210f", V));
+  EXPECT_EQ(V.width(), 132u);
+  EXPECT_EQ(V.extract(3, 0).toUInt64(), 0xfu);
+  EXPECT_EQ(V.extract(131, 128).toUInt64(), 0x1u);
+  EXPECT_EQ(V.toString(), "#x123456789abcdef0fedcba9876543210f");
+}
+
+TEST(BitVecTest, AddWithCarryChain) {
+  BitVec A = BitVec::ones(128);
+  BitVec B(128, 1);
+  EXPECT_TRUE(A.add(B).isZero());
+  // The Fig. 3 pattern: zero_extend 64 then add in 128 bits, extract low 64.
+  BitVec SP(64, 0xfffffffffffffff0ull);
+  BitVec Wide = SP.zext(64).add(BitVec(128, 0x40));
+  EXPECT_EQ(Wide.extract(63, 0).toUInt64(), 0x30u);
+  EXPECT_EQ(Wide.extract(127, 64).toUInt64(), 1u);
+}
+
+TEST(BitVecTest, SubNeg) {
+  BitVec A(64, 5), B(64, 7);
+  EXPECT_EQ(A.sub(B).toInt64(), -2);
+  EXPECT_EQ(B.neg().add(B).toUInt64(), 0u);
+}
+
+TEST(BitVecTest, MulWide) {
+  BitVec A(128, 0xffffffffffffffffull);
+  BitVec R = A.mul(A);
+  // (2^64-1)^2 = 2^128 - 2^65 + 1.
+  EXPECT_EQ(R.extract(63, 0).toUInt64(), 1u);
+  EXPECT_EQ(R.extract(127, 64).toUInt64(), 0xfffffffffffffffeull);
+}
+
+TEST(BitVecTest, DivRemConventions) {
+  BitVec A(8, 17), Z(8, 0);
+  EXPECT_TRUE(A.udiv(Z).isAllOnes());
+  EXPECT_EQ(A.urem(Z), A);
+  EXPECT_EQ(A.udiv(BitVec(8, 5)).toUInt64(), 3u);
+  EXPECT_EQ(A.urem(BitVec(8, 5)).toUInt64(), 2u);
+  // Signed: -7 / 2 == -3 (truncating), -7 % 2 == -1.
+  BitVec M7(8, uint64_t(-7) & 0xff);
+  EXPECT_EQ(M7.sdiv(BitVec(8, 2)).toInt64(), -3);
+  EXPECT_EQ(M7.srem(BitVec(8, 2)).toInt64(), -1);
+}
+
+TEST(BitVecTest, Shifts) {
+  BitVec V(16, 0x8001);
+  EXPECT_EQ(V.shl(1).toUInt64(), 0x0002u);
+  EXPECT_EQ(V.lshr(1).toUInt64(), 0x4000u);
+  EXPECT_EQ(V.ashr(1).toUInt64(), 0xc000u);
+  EXPECT_TRUE(V.shl(16).isZero());
+  EXPECT_TRUE(V.lshr(99).isZero());
+  EXPECT_TRUE(V.ashr(99).isAllOnes());
+  // Shift amounts given as (possibly wide) bitvectors saturate.
+  EXPECT_TRUE(V.shl(BitVec(128, 1000)).isZero());
+  EXPECT_EQ(V.shl(BitVec(16, 4)).toUInt64(), 0x0010u);
+}
+
+TEST(BitVecTest, ExtractConcat) {
+  BitVec V(32, 0xdeadbeef);
+  EXPECT_EQ(V.extract(31, 16).toUInt64(), 0xdeadu);
+  EXPECT_EQ(V.extract(15, 0).toUInt64(), 0xbeefu);
+  EXPECT_EQ(V.extract(0, 0).width(), 1u);
+  BitVec Hi(16, 0xdead), Lo(16, 0xbeef);
+  EXPECT_EQ(Hi.concat(Lo), V);
+}
+
+TEST(BitVecTest, Extensions) {
+  BitVec V(8, 0x80);
+  EXPECT_EQ(V.zext(8).toUInt64(), 0x80u);
+  EXPECT_EQ(V.sext(8).toUInt64(), 0xff80u);
+  EXPECT_EQ(V.zextTo(4).toUInt64(), 0u);
+  EXPECT_EQ(BitVec(8, 0x7f).sext(8).toUInt64(), 0x7fu);
+}
+
+TEST(BitVecTest, InsertSlice) {
+  BitVec V(32, 0);
+  BitVec R = V.insertSlice(8, BitVec(8, 0xab));
+  EXPECT_EQ(R.toUInt64(), 0xab00u);
+  R = BitVec::ones(32).insertSlice(8, BitVec(8, 0));
+  EXPECT_EQ(R.toUInt64(), 0xffff00ffu);
+}
+
+TEST(BitVecTest, ReverseBits) {
+  EXPECT_EQ(BitVec(8, 0b10110000).reverseBits().toUInt64(), 0b00001101u);
+  EXPECT_EQ(BitVec(32, 1).reverseBits().toUInt64(), 0x80000000u);
+}
+
+TEST(BitVecTest, Comparisons) {
+  BitVec A(8, 0x80), B(8, 0x01);
+  EXPECT_TRUE(B.ult(A));
+  EXPECT_TRUE(A.slt(B)); // 0x80 is -128 signed.
+  EXPECT_TRUE(A.sle(A));
+  EXPECT_TRUE(A.ule(A));
+  EXPECT_FALSE(A.ult(A));
+}
+
+TEST(BitVecTest, Bytes) {
+  BitVec V(32, 0x11223344);
+  std::vector<uint8_t> B = V.toBytes();
+  ASSERT_EQ(B.size(), 4u);
+  EXPECT_EQ(B[0], 0x44u); // little-endian
+  EXPECT_EQ(B[3], 0x11u);
+  EXPECT_EQ(BitVec::fromBytes(B), V);
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests vs. a 64-bit oracle, swept over widths.
+//===----------------------------------------------------------------------===//
+
+class BitVecPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVecPropertyTest, ArithmeticMatchesUInt64Oracle) {
+  unsigned W = GetParam();
+  uint64_t Mask = W == 64 ? ~uint64_t(0) : ((uint64_t(1) << W) - 1);
+  std::mt19937_64 Rng(W * 7919);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    uint64_t A = Rng() & Mask, B = Rng() & Mask;
+    BitVec VA(W, A), VB(W, B);
+    EXPECT_EQ(VA.add(VB).toUInt64(), (A + B) & Mask);
+    EXPECT_EQ(VA.sub(VB).toUInt64(), (A - B) & Mask);
+    EXPECT_EQ(VA.mul(VB).toUInt64(), (A * B) & Mask);
+    EXPECT_EQ(VA.bvand(VB).toUInt64(), A & B);
+    EXPECT_EQ(VA.bvor(VB).toUInt64(), A | B);
+    EXPECT_EQ(VA.bvxor(VB).toUInt64(), A ^ B);
+    EXPECT_EQ(VA.bvnot().toUInt64(), ~A & Mask);
+    if (B != 0) {
+      EXPECT_EQ(VA.udiv(VB).toUInt64(), A / B);
+      EXPECT_EQ(VA.urem(VB).toUInt64(), A % B);
+    }
+    EXPECT_EQ(VA.ult(VB), A < B);
+    unsigned Sh = unsigned(Rng() % (W + 1));
+    EXPECT_EQ(VA.shl(Sh).toUInt64(), Sh >= W ? 0 : (A << Sh) & Mask);
+    EXPECT_EQ(VA.lshr(Sh).toUInt64(), Sh >= W ? 0 : A >> Sh);
+  }
+}
+
+TEST_P(BitVecPropertyTest, SignedComparisonMatchesInt64Oracle) {
+  unsigned W = GetParam();
+  uint64_t Mask = W == 64 ? ~uint64_t(0) : ((uint64_t(1) << W) - 1);
+  std::mt19937_64 Rng(W * 104729);
+  auto signExtend = [&](uint64_t V) -> int64_t {
+    if (W < 64 && (V >> (W - 1)) & 1)
+      V |= ~Mask;
+    return int64_t(V);
+  };
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    uint64_t A = Rng() & Mask, B = Rng() & Mask;
+    BitVec VA(W, A), VB(W, B);
+    EXPECT_EQ(VA.slt(VB), signExtend(A) < signExtend(B));
+    EXPECT_EQ(VA.toInt64(), signExtend(A));
+  }
+}
+
+TEST_P(BitVecPropertyTest, ExtractConcatInverse) {
+  unsigned W = GetParam();
+  if (W < 2)
+    return;
+  std::mt19937_64 Rng(W * 31337);
+  uint64_t Mask = W == 64 ? ~uint64_t(0) : ((uint64_t(1) << W) - 1);
+  for (int Iter = 0; Iter < 100; ++Iter) {
+    uint64_t A = Rng() & Mask;
+    BitVec V(W, A);
+    unsigned Cut = 1 + unsigned(Rng() % (W - 1));
+    BitVec Hi = V.extract(W - 1, Cut), Lo = V.extract(Cut - 1, 0);
+    EXPECT_EQ(Hi.concat(Lo), V);
+    EXPECT_EQ(V.reverseBits().reverseBits(), V);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVecPropertyTest,
+                         ::testing::Values(1u, 5u, 8u, 16u, 31u, 32u, 33u,
+                                           63u, 64u));
+
+TEST(BitVecWideTest, Wide128Oracle) {
+  // Cross-check 128-bit arithmetic against __int128.
+  std::mt19937_64 Rng(42);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    unsigned __int128 A =
+        (unsigned __int128)Rng() << 64 | Rng();
+    unsigned __int128 B =
+        (unsigned __int128)Rng() << 64 | Rng();
+    BitVec VA = BitVec(64, uint64_t(A >> 64)).concat(BitVec(64, uint64_t(A)));
+    BitVec VB = BitVec(64, uint64_t(B >> 64)).concat(BitVec(64, uint64_t(B)));
+    auto check = [](const BitVec &V, unsigned __int128 X) {
+      EXPECT_EQ(V.extract(63, 0).toUInt64(), uint64_t(X));
+      EXPECT_EQ(V.extract(127, 64).toUInt64(), uint64_t(X >> 64));
+    };
+    check(VA.add(VB), A + B);
+    check(VA.sub(VB), A - B);
+    check(VA.mul(VB), A * B);
+    if (B != 0) {
+      check(VA.udiv(VB), A / B);
+      check(VA.urem(VB), A % B);
+    }
+    EXPECT_EQ(VA.ult(VB), A < B);
+  }
+}
+
+} // namespace

@@ -1,0 +1,69 @@
+//===- tests/casestudies_test.cpp - End-to-end case studies -------------------===//
+
+#include "frontend/CaseStudies.h"
+
+#include <gtest/gtest.h>
+
+using namespace islaris::frontend;
+
+namespace {
+
+TEST(CaseStudyTest, MemcpyArm) {
+  CaseResult R = runMemcpyArm(4);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.AsmInstrs, 8u);
+  EXPECT_GT(R.ItlEvents, 50u);
+}
+
+TEST(CaseStudyTest, MemcpyArmZeroLength) {
+  CaseResult R = runMemcpyArm(0);
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(CaseStudyTest, MemcpyRv) {
+  CaseResult R = runMemcpyRv(4);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.AsmInstrs, 8u);
+}
+
+} // namespace
+
+TEST(CaseStudyTest, Hvc) {
+  islaris::frontend::CaseResult R = islaris::frontend::runHvc();
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.AsmInstrs, 14u);
+}
+
+TEST(CaseStudyTest, Unaligned) {
+  islaris::frontend::CaseResult R = islaris::frontend::runUnaligned();
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.AsmInstrs, 1u);
+}
+
+TEST(CaseStudyTest, Uart) {
+  islaris::frontend::CaseResult R = islaris::frontend::runUart();
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.Proof.PathsVerified, 2u);
+}
+
+TEST(CaseStudyTest, Rbit) {
+  islaris::frontend::CaseResult R = islaris::frontend::runRbit();
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.AsmInstrs, 2u);
+}
+
+TEST(CaseStudyTest, Pkvm) {
+  islaris::frontend::CaseResult R = islaris::frontend::runPkvm();
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.AsmInstrs, 30u);
+}
+
+TEST(CaseStudyTest, BinSearchArm) {
+  islaris::frontend::CaseResult R = islaris::frontend::runBinSearchArm(4);
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(CaseStudyTest, BinSearchRv) {
+  islaris::frontend::CaseResult R = islaris::frontend::runBinSearchRv(4);
+  EXPECT_TRUE(R.Ok) << R.Error;
+}

@@ -1,0 +1,184 @@
+//===- tests/frontend_test.cpp - Verifier API and objdump loader ---------------===//
+
+#include "arch/AArch64.h"
+#include "frontend/Objdump.h"
+#include "frontend/Verifier.h"
+#include "itl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace islaris;
+using namespace islaris::frontend;
+using islaris::itl::Reg;
+
+namespace {
+
+TEST(ObjdumpTest, ParsesGnuStyleListing) {
+  const char *Listing = R"(
+bin:     file format elf64-littleaarch64
+
+Disassembly of section .text:
+
+0000000000400000 <memcpy>:
+  400000:	b40000e2 	cbz	x2, 40001c <memcpy+0x1c>
+  400004:	d2800003 	mov	x3, #0x0
+
+0000000000400008 <memcpy.L3>:
+  400008:	38636824 	ldrb	w4, [x1, x3]
+  40000c:	38236804 	strb	w4, [x0, x3]
+  400010:	91000463 	add	x3, x3, #0x1
+  400014:	eb03005f 	cmp	x2, x3
+  400018:	54ffff81 	b.ne	400008 <memcpy.L3>
+  40001c:	d65f03c0 	ret
+)";
+  std::string Err;
+  auto Img = parseObjdump(Listing, Err);
+  ASSERT_TRUE(Img.has_value()) << Err;
+  EXPECT_EQ(Img->Code.size(), 8u);
+  EXPECT_EQ(Img->Code.at(0x400000), 0xb40000e2u);
+  EXPECT_EQ(Img->Code.at(0x40001c), 0xd65f03c0u);
+  EXPECT_EQ(Img->addrOf("memcpy"), 0x400000u);
+  EXPECT_EQ(Img->addrOf("memcpy.L3"), 0x400008u);
+  // The opcodes agree with our assembler for the same program.
+  namespace e = arch::aarch64::enc;
+  EXPECT_EQ(Img->Code.at(0x400000), e::cbz(2, 0x1c));
+  EXPECT_EQ(Img->Code.at(0x400008), e::ldrReg(0, 4, 1, 3));
+  EXPECT_EQ(Img->Code.at(0x400014), e::cmpReg(2, 3));
+  EXPECT_EQ(Img->Code.at(0x400018),
+            e::bcond(arch::aarch64::Cond::NE, -16));
+}
+
+TEST(ObjdumpTest, RejectsMalformedCodeLines) {
+  std::string Err;
+  EXPECT_FALSE(parseObjdump("  400000:\tzznotopcode\tjunk\n", Err));
+  EXPECT_NE(Err.find("expected a 32-bit opcode"), std::string::npos);
+  Err.clear();
+  EXPECT_FALSE(parseObjdump("  400000:\t1\tx\n  400000:\t2\ty\n", Err));
+  EXPECT_NE(Err.find("duplicate"), std::string::npos);
+}
+
+TEST(ObjdumpTest, IgnoresNonCodeNoise) {
+  std::string Err;
+  auto Img = parseObjdump("random prose\n\t...\n--\n", Err);
+  ASSERT_TRUE(Img.has_value()) << Err;
+  EXPECT_TRUE(Img->Code.empty());
+}
+
+TEST(VerifierTest, ObjdumpDrivenVerification) {
+  // End to end from a disassembly listing: load, generate traces, verify
+  // a simple double for the `ret` at the end.
+  const char *Listing =
+      "0000000000001000 <f>:\n"
+      "  1000:\t91001400 \tadd x0, x0, #0x5\n"
+      "  1004:\td65f03c0 \tret\n";
+  std::string Err;
+  auto Img = parseObjdump(Listing, Err);
+  ASSERT_TRUE(Img.has_value()) << Err;
+
+  Verifier V(aarch64());
+  V.addCode(Img->Code);
+  ASSERT_TRUE(V.generateTraces(Err)) << Err;
+  smt::TermBuilder &TB = V.builder();
+
+  seplogic::Spec Post = V.makeSpec("post");
+  const smt::Term *PX = Post.param(64, "px");
+  Post.reg(Reg("R0"), TB.bvAdd(PX, TB.constBV(64, 5)));
+  seplogic::Spec Entry = V.makeSpec("entry");
+  const smt::Term *X = Entry.evar(64, "x");
+  const smt::Term *R = Entry.evar(64, "r");
+  Entry.reg(Reg("R0"), X).reg(Reg("R30"), R).instrPre(R, &Post, {X});
+  V.engine().registerSpec(Img->addrOf("f"), &Entry);
+  EXPECT_TRUE(V.engine().verifyAll()) << V.engine().error();
+}
+
+TEST(VerifierTest, GeneratedTracesRoundTripThroughTheParser) {
+  // The printed form of every generated trace re-parses to the same text
+  // (the paper's "deep embedding of this trace" artifact).
+  namespace e = arch::aarch64::enc;
+  Verifier V(aarch64());
+  V.addCode({{0x1000, e::addImm(31, 31, 0x40)},
+             {0x1004, e::cbz(2, 16)},
+             {0x1008, e::ldrReg(0, 4, 1, 3)},
+             {0x100c, e::hvc(0)}});
+  V.defaults()
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b01))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 1))
+      .assume(Reg("SCTLR_EL1"), BitVec(64, 0));
+  std::string Err;
+  ASSERT_TRUE(V.generateTraces(Err)) << Err;
+  for (const auto &[Addr, T] : V.instrMap()) {
+    std::string Printed = T->toString();
+    smt::TermBuilder TB2;
+    itl::TraceParser P(TB2);
+    auto Parsed = P.parseTrace(Printed);
+    ASSERT_TRUE(Parsed.has_value())
+        << "at " << BitVec(64, Addr).toHexString() << ": " << P.error();
+    EXPECT_EQ(Parsed->toString(), Printed);
+  }
+}
+
+TEST(VerifierTest, PerAddressAssumptionsReplaceDefaults) {
+  namespace e = arch::aarch64::enc;
+  Verifier V(aarch64());
+  V.addCode({{0x1000, e::addImm(31, 31, 1)}, {0x1004, e::addImm(31, 31, 1)}});
+  V.defaults()
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b10))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 1));
+  V.at(0x1004)
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b01))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 1));
+  std::string Err;
+  ASSERT_TRUE(V.generateTraces(Err)) << Err;
+  // The first instruction's trace uses SP_EL2, the second SP_EL1.
+  EXPECT_NE(V.traceAt(0x1000)->toString().find("SP_EL2"),
+            std::string::npos);
+  EXPECT_NE(V.traceAt(0x1004)->toString().find("SP_EL1"),
+            std::string::npos);
+  EXPECT_EQ(V.traceAt(0x1004)->toString().find("SP_EL2"),
+            std::string::npos);
+}
+
+
+
+TEST(VerifierTest, IntermediateChunkSpecsSplitAProof) {
+  // §2.8: "For large examples one can use intermediate specifications for
+  // chunks of code" — register a spec in the middle of a straight-line
+  // block; the first half proves it, the second half is verified from it.
+  namespace e = arch::aarch64::enc;
+  Verifier V(aarch64());
+  V.addCode({{0x1000, e::addImm(0, 0, 1)},
+             {0x1004, e::addImm(0, 0, 2)},
+             {0x1008, e::addImm(0, 0, 3)},
+             {0x100c, e::ret()}});
+  std::string Err;
+  ASSERT_TRUE(V.generateTraces(Err)) << Err;
+  smt::TermBuilder &TB = V.builder();
+
+  seplogic::Spec Post = V.makeSpec("post");
+  const smt::Term *PX = Post.param(64, "px");
+  Post.reg(Reg("R0"), TB.bvAdd(PX, TB.constBV(64, 6)));
+
+  // The midpoint chunk spec at 0x1008: three of the six already added.
+  seplogic::Spec Mid = V.makeSpec("mid");
+  const smt::Term *MX = Mid.evar(64, "mx");
+  const smt::Term *MR = Mid.evar(64, "mr");
+  const smt::Term *MOrig = Mid.evar(64, "morig");
+  Mid.reg(Reg("R0"), MX).reg(Reg("R30"), MR);
+  Mid.pure(TB.eqTerm(MX, TB.bvAdd(MOrig, TB.constBV(64, 3))));
+  Mid.instrPre(MR, &Post, {MOrig});
+
+  seplogic::Spec Entry = V.makeSpec("entry");
+  const smt::Term *X = Entry.evar(64, "x");
+  const smt::Term *R = Entry.evar(64, "r");
+  Entry.reg(Reg("R0"), X).reg(Reg("R30"), R).instrPre(R, &Post, {X});
+
+  auto &PE = V.engine();
+  PE.registerSpec(0x1000, &Entry);
+  PE.registerSpec(0x1008, &Mid);
+  EXPECT_TRUE(PE.verifyAll()) << PE.error();
+  // The entry task stops at 0x1008 by proving Mid (one path), and the Mid
+  // task carries on to the ret (another path).
+  EXPECT_EQ(PE.stats().PathsVerified, 2u);
+}
+
+} // namespace

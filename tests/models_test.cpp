@@ -1,0 +1,461 @@
+//===- tests/models_test.cpp - ISA model + assembler agreement ----------------===//
+//
+// Validates the Armv8-A and RV64 mini-Sail models by executing assembled
+// opcodes through the concrete interpreter and checking architectural
+// effects: banked SP selection, NZCV flags, exception entry/return,
+// alignment faults, and the RISC-V basics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/AArch64.h"
+#include "arch/RiscV.h"
+#include "models/Models.h"
+#include "sail/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace islaris;
+using islaris::itl::MachineState;
+using islaris::itl::Reg;
+using smt::Value;
+
+namespace {
+
+namespace a64 = arch::aarch64;
+namespace rv = arch::rv64;
+
+/// Fully initialized AArch64 machine state at the given EL.
+MachineState armState(uint64_t El, uint64_t SpSel = 1) {
+  MachineState S;
+  S.PcReg = "_PC";
+  for (int I = 0; I <= 30; ++I)
+    S.setReg(a64::xreg(unsigned(I)), Value(BitVec(64, 0)));
+  for (const char *R :
+       {"SP_EL0", "SP_EL1", "SP_EL2", "SP_EL3", "VBAR_EL1", "VBAR_EL2",
+        "SCTLR_EL1", "SCTLR_EL2", "HCR_EL2", "SPSR_EL1", "SPSR_EL2",
+        "ELR_EL1", "ELR_EL2", "ESR_EL1", "ESR_EL2", "FAR_EL1", "FAR_EL2",
+        "TPIDR_EL2", "MAIR_EL2", "TCR_EL2", "TTBR0_EL2", "MDCR_EL2",
+        "CPTR_EL2", "HSTR_EL2", "VTTBR_EL2", "VTCR_EL2", "CNTHCTL_EL2",
+        "CNTVOFF_EL2"})
+    S.setReg(Reg(R), Value(BitVec(64, 0)));
+  for (const char *F : {"N", "Z", "C", "V", "D", "A", "I", "F", "SP"})
+    S.setReg(Reg("PSTATE", F), Value(BitVec(1, 0)));
+  S.setReg(Reg("PSTATE", "SP"), Value(BitVec(1, SpSel)));
+  S.setReg(Reg("PSTATE", "EL"), Value(BitVec(2, El)));
+  S.setReg(Reg("_PC"), Value(BitVec(64, 0x80000)));
+  return S;
+}
+
+uint64_t getX(const MachineState &S, unsigned N) {
+  return S.getReg(a64::xreg(N))->asBitVec().toUInt64();
+}
+uint64_t getR(const MachineState &S, const char *Name) {
+  return S.getReg(Reg(Name))->asBitVec().toUInt64();
+}
+
+/// Executes one AArch64 opcode concretely.
+void step(MachineState &S, uint32_t Op) {
+  sail::Interpreter I(models::aarch64Model());
+  auto R = I.callFunction("decode", {Value(BitVec(32, Op))}, S);
+  ASSERT_TRUE(R.Ok) << "opcode " << BitVec(32, Op).toHexString() << ": "
+                    << R.Error;
+}
+
+TEST(ArmModelTest, PaperOpcodeAddSpSp64) {
+  // Fig. 3's opcode 0x910103ff is add sp, sp, #0x40.
+  EXPECT_EQ(a64::enc::addImm(31, 31, 0x40), 0x910103ffu);
+  MachineState S = armState(2);
+  S.setReg(Reg("SP_EL2"), Value(BitVec(64, 0x9000)));
+  step(S, 0x910103ff);
+  EXPECT_EQ(getR(S, "SP_EL2"), 0x9040u);
+  EXPECT_EQ(getR(S, "_PC"), 0x80004u);
+  // The banked selection: same opcode at EL1 uses SP_EL1.
+  MachineState S1 = armState(1);
+  S1.setReg(Reg("SP_EL1"), Value(BitVec(64, 0x7000)));
+  step(S1, 0x910103ff);
+  EXPECT_EQ(getR(S1, "SP_EL1"), 0x7040u);
+}
+
+TEST(ArmModelTest, MovWideSequenceBuildsConstant) {
+  MachineState S = armState(1);
+  step(S, a64::enc::movz(0, 0xbeef, 0));
+  step(S, a64::enc::movk(0, 0xdead, 1));
+  step(S, a64::enc::movk(0, 0x1234, 3));
+  EXPECT_EQ(getX(S, 0), 0x1234'0000'dead'beefull);
+  step(S, a64::enc::movn(1, 0, 0));
+  EXPECT_EQ(getX(S, 1), ~0ull);
+}
+
+TEST(ArmModelTest, FlagsAndConditionalBranch) {
+  MachineState S = armState(1);
+  S.setReg(a64::xreg(2), Value(BitVec(64, 5)));
+  S.setReg(a64::xreg(3), Value(BitVec(64, 5)));
+  step(S, a64::enc::cmpReg(2, 3)); // equal -> Z=1, C=1
+  EXPECT_EQ(S.getReg(Reg("PSTATE", "Z"))->asBitVec().toUInt64(), 1u);
+  EXPECT_EQ(S.getReg(Reg("PSTATE", "C"))->asBitVec().toUInt64(), 1u);
+  uint64_t Pc = getR(S, "_PC");
+  step(S, a64::enc::bcond(a64::Cond::EQ, -16));
+  EXPECT_EQ(getR(S, "_PC"), Pc - 16);
+  step(S, a64::enc::bcond(a64::Cond::NE, -16)); // not taken
+  EXPECT_EQ(getR(S, "_PC"), Pc - 16 + 4);
+  // Signed comparison: -1 < 1.
+  S.setReg(a64::xreg(2), Value(BitVec(64, ~0ull)));
+  S.setReg(a64::xreg(3), Value(BitVec(64, 1)));
+  step(S, a64::enc::cmpReg(2, 3));
+  uint64_t Pc2 = getR(S, "_PC");
+  step(S, a64::enc::bcond(a64::Cond::LT, 0x20));
+  EXPECT_EQ(getR(S, "_PC"), Pc2 + 0x20);
+}
+
+TEST(ArmModelTest, LoadsAndStores) {
+  MachineState S = armState(1);
+  for (uint64_t A = 0x2000; A < 0x2020; ++A)
+    S.Mem[A] = uint8_t(A & 0xff);
+  S.setReg(a64::xreg(1), Value(BitVec(64, 0x2000)));
+  S.setReg(a64::xreg(3), Value(BitVec(64, 5)));
+  // ldrb w4, [x1, x3]
+  step(S, a64::enc::ldrReg(0, 4, 1, 3));
+  EXPECT_EQ(getX(S, 4), 0x05u);
+  // strb w4, [x1, #16]
+  step(S, a64::enc::strImm(0, 4, 1, 16));
+  EXPECT_EQ(S.Mem.at(0x2010), 0x05u);
+  // 64-bit load with scaled immediate: ldr x5, [x1, #8].
+  step(S, a64::enc::ldrImm(3, 5, 1, 1));
+  EXPECT_EQ(getX(S, 5), 0x0f0e0d0c0b0a0908ull);
+  // XZR as the store source writes zero.
+  step(S, a64::enc::strImm(3, 31, 1, 0));
+  EXPECT_EQ(S.Mem.at(0x2000), 0u);
+}
+
+TEST(ArmModelTest, ShiftAliasesAndRbit) {
+  MachineState S = armState(1);
+  S.setReg(a64::xreg(1), Value(BitVec(64, 0xff00)));
+  step(S, a64::enc::lsrImm(2, 1, 8));
+  EXPECT_EQ(getX(S, 2), 0xffu);
+  step(S, a64::enc::lslImm(3, 1, 4));
+  EXPECT_EQ(getX(S, 3), 0xff000u);
+  S.setReg(a64::xreg(4), Value(BitVec(64, 0x8000000000000000ull)));
+  step(S, a64::enc::asrImm(5, 4, 63));
+  EXPECT_EQ(getX(S, 5), ~0ull);
+  step(S, a64::enc::rbit64(6, 1));
+  EXPECT_EQ(getX(S, 6), BitVec(64, 0xff00).reverseBits().toUInt64());
+  // 32-bit rbit zeroes the upper half.
+  S.setReg(a64::xreg(7), Value(BitVec(64, 0xffffffff00000001ull)));
+  step(S, a64::enc::rbit32(8, 7));
+  EXPECT_EQ(getX(S, 8), 0x80000000u);
+}
+
+TEST(ArmModelTest, CbzTbzBehaviour) {
+  MachineState S = armState(1);
+  S.setReg(a64::xreg(2), Value(BitVec(64, 0)));
+  uint64_t Pc = getR(S, "_PC");
+  step(S, a64::enc::cbz(2, 0x40));
+  EXPECT_EQ(getR(S, "_PC"), Pc + 0x40);
+  S.setReg(a64::xreg(2), Value(BitVec(64, 1 << 5)));
+  Pc = getR(S, "_PC");
+  step(S, a64::enc::tbnz(2, 5, 0x30));
+  EXPECT_EQ(getR(S, "_PC"), Pc + 0x30);
+  Pc = getR(S, "_PC");
+  step(S, a64::enc::tbz(2, 5, 0x30)); // bit is set: fall through
+  EXPECT_EQ(getR(S, "_PC"), Pc + 4);
+}
+
+TEST(ArmModelTest, HvcTakesExceptionToEl2Vector) {
+  MachineState S = armState(1);
+  S.setReg(Reg("VBAR_EL2"), Value(BitVec(64, 0xa0000)));
+  S.setReg(Reg("PSTATE", "Z"), Value(BitVec(1, 1)));
+  uint64_t Pc = getR(S, "_PC");
+  step(S, a64::enc::hvc(0));
+  // Lower-EL AArch64 synchronous vector offset is 0x400.
+  EXPECT_EQ(getR(S, "_PC"), 0xa0400u);
+  EXPECT_EQ(S.getReg(Reg("PSTATE", "EL"))->asBitVec().toUInt64(), 2u);
+  EXPECT_EQ(getR(S, "ELR_EL2"), Pc + 4);
+  // ESR: EC=0x16, IL=1.
+  EXPECT_EQ(getR(S, "ESR_EL2") >> 26, 0x16u);
+  // SPSR banked the old PSTATE: EL1h, Z flag set.
+  uint64_t Spsr = getR(S, "SPSR_EL2");
+  EXPECT_EQ(Spsr & 0xf, 0x5u);        // M = EL1h
+  EXPECT_EQ((Spsr >> 30) & 1, 1u);    // Z
+  // Interrupts masked.
+  EXPECT_EQ(S.getReg(Reg("PSTATE", "I"))->asBitVec().toUInt64(), 1u);
+}
+
+TEST(ArmModelTest, EretRestoresState) {
+  MachineState S = armState(2);
+  S.setReg(Reg("HCR_EL2"), Value(BitVec(64, 0x80000000ull)));
+  S.setReg(Reg("SPSR_EL2"), Value(BitVec(64, 0x3c5))); // EL1h, DAIF set
+  S.setReg(Reg("ELR_EL2"), Value(BitVec(64, 0x90000)));
+  step(S, a64::enc::eret());
+  EXPECT_EQ(getR(S, "_PC"), 0x90000u);
+  EXPECT_EQ(S.getReg(Reg("PSTATE", "EL"))->asBitVec().toUInt64(), 1u);
+  EXPECT_EQ(S.getReg(Reg("PSTATE", "SP"))->asBitVec().toUInt64(), 1u);
+}
+
+TEST(ArmModelTest, EretToAarch32IsModelException) {
+  MachineState S = armState(2);
+  S.setReg(Reg("HCR_EL2"), Value(BitVec(64, 0))); // RW = 0
+  S.setReg(Reg("SPSR_EL2"), Value(BitVec(64, 0x3c5)));
+  S.setReg(Reg("ELR_EL2"), Value(BitVec(64, 0x90000)));
+  sail::Interpreter I(models::aarch64Model());
+  auto R = I.callFunction("decode",
+                          {Value(BitVec(32, a64::enc::eret()))}, S);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("HCR_EL2.RW"), std::string::npos) << R.Error;
+}
+
+TEST(ArmModelTest, UnalignedStoreFaultsWhenSctlrABitSet) {
+  MachineState S = armState(1);
+  S.setReg(Reg("SCTLR_EL1"), Value(BitVec(64, 2))); // A bit (bit 1)
+  S.setReg(Reg("VBAR_EL1"), Value(BitVec(64, 0xc0000)));
+  S.setReg(a64::xreg(1), Value(BitVec(64, 0x2001))); // misaligned for 32-bit
+  S.setReg(a64::xreg(0), Value(BitVec(64, 0xabcd)));
+  for (uint64_t A = 0x2000; A < 0x2010; ++A)
+    S.Mem[A] = 0;
+  uint64_t Pc = getR(S, "_PC");
+  step(S, a64::enc::strImm(2, 0, 1, 0)); // str w0, [x1]
+  // Vectored to the current-EL-SPx entry (0x200).
+  EXPECT_EQ(getR(S, "_PC"), 0xc0200u);
+  EXPECT_EQ(getR(S, "FAR_EL1"), 0x2001u);
+  EXPECT_EQ(getR(S, "ELR_EL1"), Pc);
+  EXPECT_EQ(getR(S, "ESR_EL1") >> 26, 0x25u);     // data abort, same EL
+  EXPECT_EQ(getR(S, "ESR_EL1") & 0x3f, 0x21u);    // DFSC = alignment
+  EXPECT_EQ(S.Mem.at(0x2001), 0u);                // store suppressed
+  // With the A bit clear the same store succeeds.
+  MachineState S2 = armState(1);
+  S2.setReg(a64::xreg(1), Value(BitVec(64, 0x2001)));
+  S2.setReg(a64::xreg(0), Value(BitVec(64, 0xabcd)));
+  for (uint64_t A = 0x2000; A < 0x2010; ++A)
+    S2.Mem[A] = 0;
+  step(S2, a64::enc::strImm(2, 0, 1, 0));
+  EXPECT_EQ(S2.Mem.at(0x2001), 0xcdu);
+}
+
+TEST(ArmModelTest, MsrMrsRoundTrip) {
+  MachineState S = armState(2);
+  S.setReg(a64::xreg(0), Value(BitVec(64, 0xa0000)));
+  step(S, a64::enc::msr(a64::SysReg::VBAR_EL2, 0));
+  EXPECT_EQ(getR(S, "VBAR_EL2"), 0xa0000u);
+  step(S, a64::enc::mrs(1, a64::SysReg::VBAR_EL2));
+  EXPECT_EQ(getX(S, 1), 0xa0000u);
+  step(S, a64::enc::mrs(2, a64::SysReg::CurrentEL));
+  EXPECT_EQ(getX(S, 2), 2u << 2);
+  step(S, a64::enc::nop());
+}
+
+TEST(ArmModelTest, BlAndRet) {
+  MachineState S = armState(1);
+  uint64_t Pc = getR(S, "_PC");
+  step(S, a64::enc::bl(0x100));
+  EXPECT_EQ(getR(S, "_PC"), Pc + 0x100);
+  EXPECT_EQ(getX(S, 30), Pc + 4);
+  step(S, a64::enc::ret());
+  EXPECT_EQ(getR(S, "_PC"), Pc + 4);
+  // blr x5.
+  S.setReg(a64::xreg(5), Value(BitVec(64, 0x5000)));
+  uint64_t Pc2 = getR(S, "_PC");
+  step(S, a64::enc::blr(5));
+  EXPECT_EQ(getR(S, "_PC"), 0x5000u);
+  EXPECT_EQ(getX(S, 30), Pc2 + 4);
+}
+
+TEST(ArmModelTest, UndefinedOpcodesThrow) {
+  MachineState S = armState(1);
+  sail::Interpreter I(models::aarch64Model());
+  for (uint32_t Op : {0x00000000u, 0xffffffffu, 0x0e000000u}) {
+    MachineState SC = S;
+    auto R = I.callFunction("decode", {Value(BitVec(32, Op))}, SC);
+    EXPECT_FALSE(R.Ok) << BitVec(32, Op).toHexString();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// RV64.
+//===----------------------------------------------------------------------===//
+
+MachineState rvState() {
+  MachineState S;
+  S.PcReg = "PC";
+  for (unsigned I = 1; I <= 31; ++I)
+    S.setReg(rv::xreg(I), Value(BitVec(64, 0)));
+  S.setReg(Reg("PC"), Value(BitVec(64, 0x10000)));
+  return S;
+}
+
+void rstep(MachineState &S, uint32_t Op) {
+  sail::Interpreter I(models::rv64Model());
+  auto R = I.callFunction("decode", {Value(BitVec(32, Op))}, S);
+  ASSERT_TRUE(R.Ok) << "opcode " << BitVec(32, Op).toHexString() << ": "
+                    << R.Error;
+}
+
+uint64_t rvX(const MachineState &S, unsigned N) {
+  return S.getReg(rv::xreg(N))->asBitVec().toUInt64();
+}
+
+TEST(RvModelTest, ArithmeticAndImmediates) {
+  MachineState S = rvState();
+  rstep(S, rv::enc::addi(10, 0, -5));
+  EXPECT_EQ(int64_t(rvX(S, 10)), -5);
+  rstep(S, rv::enc::lui(11, 0x12345));
+  EXPECT_EQ(rvX(S, 11), 0x12345000u);
+  rstep(S, rv::enc::add(12, 10, 11));
+  EXPECT_EQ(rvX(S, 12), 0x12345000ull - 5);
+  rstep(S, rv::enc::sub(13, 11, 10));
+  EXPECT_EQ(rvX(S, 13), 0x12345000ull + 5);
+  rstep(S, rv::enc::slli(14, 11, 4));
+  EXPECT_EQ(rvX(S, 14), 0x123450000ull);
+  rstep(S, rv::enc::srai(15, 10, 1));
+  EXPECT_EQ(int64_t(rvX(S, 15)), -3);
+  rstep(S, rv::enc::andi(16, 11, 0xff));
+  EXPECT_EQ(rvX(S, 16), 0u);
+  // Writes to x0 are discarded.
+  rstep(S, rv::enc::addi(0, 11, 1));
+  rstep(S, rv::enc::add(17, 0, 0));
+  EXPECT_EQ(rvX(S, 17), 0u);
+}
+
+TEST(RvModelTest, LoadsStoresSignedness) {
+  MachineState S = rvState();
+  S.Mem[0x3000] = 0x80;
+  S.Mem[0x3001] = 0x01;
+  S.setReg(rv::xreg(5), Value(BitVec(64, 0x3000)));
+  rstep(S, rv::enc::lb(6, 5, 0));
+  EXPECT_EQ(int64_t(rvX(S, 6)), int64_t(int8_t(0x80)));
+  rstep(S, rv::enc::lbu(7, 5, 0));
+  EXPECT_EQ(rvX(S, 7), 0x80u);
+  rstep(S, rv::enc::sb(6, 5, 1));
+  EXPECT_EQ(S.Mem.at(0x3001), 0x80u);
+  // 64-bit store/load round trip.
+  for (uint64_t A = 0x3008; A < 0x3010; ++A)
+    S.Mem[A] = 0;
+  S.setReg(rv::xreg(8), Value(BitVec(64, 0x1122334455667788ull)));
+  rstep(S, rv::enc::sd(8, 5, 8));
+  rstep(S, rv::enc::ld(9, 5, 8));
+  EXPECT_EQ(rvX(S, 9), 0x1122334455667788ull);
+}
+
+TEST(RvModelTest, BranchesAndJumps) {
+  MachineState S = rvState();
+  S.setReg(rv::xreg(5), Value(BitVec(64, 3)));
+  S.setReg(rv::xreg(6), Value(BitVec(64, 3)));
+  uint64_t Pc = S.getReg(Reg("PC"))->asBitVec().toUInt64();
+  rstep(S, rv::enc::beq(5, 6, -16));
+  EXPECT_EQ(S.getReg(Reg("PC"))->asBitVec().toUInt64(), Pc - 16);
+  Pc -= 16;
+  rstep(S, rv::enc::bne(5, 6, 0x20)); // not taken
+  EXPECT_EQ(S.getReg(Reg("PC"))->asBitVec().toUInt64(), Pc + 4);
+  Pc += 4;
+  rstep(S, rv::enc::jal(1, 0x100));
+  EXPECT_EQ(S.getReg(Reg("PC"))->asBitVec().toUInt64(), Pc + 0x100);
+  EXPECT_EQ(rvX(S, 1), Pc + 4);
+  rstep(S, rv::enc::ret());
+  EXPECT_EQ(S.getReg(Reg("PC"))->asBitVec().toUInt64(), Pc + 4);
+}
+
+TEST(RvModelTest, UndefinedOpcodeThrows) {
+  MachineState S = rvState();
+  sail::Interpreter I(models::rv64Model());
+  auto R = I.callFunction("decode", {Value(BitVec(32, 0))}, S);
+  EXPECT_FALSE(R.Ok);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Extended instruction classes (CSEL family, ADR, UDIV/SDIV, REV, RV W-ops).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TEST(ArmModelTest, ConditionalSelectFamily) {
+  MachineState S = armState(1);
+  S.setReg(a64::xreg(1), Value(BitVec(64, 0x1111)));
+  S.setReg(a64::xreg(2), Value(BitVec(64, 0x2222)));
+  S.setReg(Reg("PSTATE", "Z"), Value(BitVec(1, 1)));
+  step(S, a64::enc::csel(3, 1, 2, a64::Cond::EQ)); // Z=1: take Xn
+  EXPECT_EQ(getX(S, 3), 0x1111u);
+  step(S, a64::enc::csel(3, 1, 2, a64::Cond::NE)); // !NE: take Xm
+  EXPECT_EQ(getX(S, 3), 0x2222u);
+  step(S, a64::enc::csinc(4, 1, 2, a64::Cond::NE));
+  EXPECT_EQ(getX(S, 4), 0x2223u);
+  step(S, a64::enc::csinv(5, 1, 2, a64::Cond::NE));
+  EXPECT_EQ(getX(S, 5), ~0x2222ull);
+  step(S, a64::enc::csneg(6, 1, 2, a64::Cond::NE));
+  EXPECT_EQ(getX(S, 6), uint64_t(-0x2222ll));
+  // cset xd, eq with Z=1 -> 1.
+  step(S, a64::enc::cset(7, a64::Cond::EQ));
+  EXPECT_EQ(getX(S, 7), 1u);
+  step(S, a64::enc::cset(8, a64::Cond::NE));
+  EXPECT_EQ(getX(S, 8), 0u);
+}
+
+TEST(ArmModelTest, AdrAndAdrp) {
+  MachineState S = armState(1);
+  uint64_t Pc = getR(S, "_PC");
+  step(S, a64::enc::adr(1, 0x1234 & ~3));
+  EXPECT_EQ(getX(S, 1), Pc + (0x1234 & ~3));
+  step(S, a64::enc::adr(2, -8));
+  EXPECT_EQ(getX(S, 2), Pc + 4 - 8);
+  uint64_t Pc2 = getR(S, "_PC");
+  step(S, a64::enc::adrp(3, 5));
+  EXPECT_EQ(getX(S, 3), (Pc2 & ~0xfffull) + (5ull << 12));
+}
+
+TEST(ArmModelTest, DivisionSemantics) {
+  MachineState S = armState(1);
+  S.setReg(a64::xreg(1), Value(BitVec(64, 100)));
+  S.setReg(a64::xreg(2), Value(BitVec(64, 7)));
+  step(S, a64::enc::udiv(3, 1, 2));
+  EXPECT_EQ(getX(S, 3), 14u);
+  // Division by zero yields zero on Arm.
+  S.setReg(a64::xreg(4), Value(BitVec(64, 0)));
+  step(S, a64::enc::udiv(5, 1, 4));
+  EXPECT_EQ(getX(S, 5), 0u);
+  step(S, a64::enc::sdiv(5, 1, 4));
+  EXPECT_EQ(getX(S, 5), 0u);
+  // Signed division truncates toward zero.
+  S.setReg(a64::xreg(6), Value(BitVec(64, uint64_t(-100))));
+  step(S, a64::enc::sdiv(7, 6, 2));
+  EXPECT_EQ(int64_t(getX(S, 7)), -14);
+  // INT_MIN / -1 wraps.
+  S.setReg(a64::xreg(8), Value(BitVec(64, 1ull << 63)));
+  S.setReg(a64::xreg(9), Value(BitVec(64, ~0ull)));
+  step(S, a64::enc::sdiv(10, 8, 9));
+  EXPECT_EQ(getX(S, 10), 1ull << 63);
+}
+
+TEST(ArmModelTest, ByteReverse) {
+  MachineState S = armState(1);
+  S.setReg(a64::xreg(1), Value(BitVec(64, 0x0102030405060708ull)));
+  step(S, a64::enc::rev64(2, 1));
+  EXPECT_EQ(getX(S, 2), 0x0807060504030201ull);
+  step(S, a64::enc::rev32(3, 1)); // 32-bit REV on the low word
+  EXPECT_EQ(getX(S, 3), 0x08070605u);
+}
+
+TEST(RvModelTest, WordOperations) {
+  MachineState S = rvState();
+  S.setReg(rv::xreg(5), Value(BitVec(64, 0xffffffff80000000ull)));
+  S.setReg(rv::xreg(6), Value(BitVec(64, 1)));
+  // addiw sign-extends the 32-bit result.
+  rstep(S, rv::enc::addiw(7, 5, -1));
+  EXPECT_EQ(rvX(S, 7), 0x7fffffffull);
+  rstep(S, rv::enc::addw(8, 5, 6));
+  EXPECT_EQ(rvX(S, 8), 0xffffffff80000001ull);
+  rstep(S, rv::enc::subw(9, 5, 6));
+  EXPECT_EQ(rvX(S, 9), 0x7fffffffull);
+  rstep(S, rv::enc::slliw(10, 6, 31));
+  EXPECT_EQ(rvX(S, 10), 0xffffffff80000000ull);
+  rstep(S, rv::enc::srliw(11, 5, 4));
+  EXPECT_EQ(rvX(S, 11), 0x08000000u);
+  rstep(S, rv::enc::sraiw(12, 5, 4));
+  EXPECT_EQ(rvX(S, 12), 0xfffffffff8000000ull);
+  // Register-amount W shifts use the low 5 bits of rs2.
+  S.setReg(rv::xreg(13), Value(BitVec(64, 33))); // 33 & 31 == 1
+  rstep(S, rv::enc::sllw(14, 6, 13));
+  EXPECT_EQ(rvX(S, 14), 2u);
+  rstep(S, rv::enc::sraw(15, 5, 13));
+  EXPECT_EQ(rvX(S, 15), 0xffffffffc0000000ull);
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+//===- tests/negative_test.cpp - Unsound specs must be rejected -----------------===//
+//
+// End-to-end rejection tests: each case takes a real verified setup and
+// perturbs one thing — a postcondition value, a missing chunk, a violated
+// Isla assumption, a wrong loop invariant, a too-weak IO specification —
+// and checks that the engine fails with a diagnostic pointing at the
+// right proof rule.  Soundness of the automation is exactly "these never
+// pass".
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/AArch64.h"
+#include "frontend/Verifier.h"
+#include "seplogic/IoSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace islaris;
+using islaris::itl::Reg;
+using islaris::seplogic::IoSpecNode;
+using islaris::seplogic::Spec;
+using smt::Term;
+
+namespace {
+
+/// A tiny verified baseline: `add x0, x0, #5; ret`, with a perturbable
+/// postcondition increment.
+struct AddFixture {
+  frontend::Verifier V{frontend::aarch64()};
+  AddFixture() {
+    namespace e = arch::aarch64::enc;
+    V.addCode({{0x1000, e::addImm(0, 0, 5)}, {0x1004, e::ret()}});
+    std::string Err;
+    EXPECT_TRUE(V.generateTraces(Err)) << Err;
+  }
+
+  bool verify(uint64_t ClaimedIncrement, bool OmitX30 = false) {
+    smt::TermBuilder &TB = V.builder();
+    Spec *Post = new Spec(V.makeSpec("post")); // leaked: engine keeps refs
+    const Term *PX = Post->param(64, "px");
+    Post->reg(Reg("R0"), TB.bvAdd(PX, TB.constBV(64, ClaimedIncrement)));
+    Spec *Entry = new Spec(V.makeSpec("entry"));
+    const Term *X = Entry->evar(64, "x");
+    const Term *R = Entry->evar(64, "r");
+    Entry->reg(Reg("R0"), X);
+    if (!OmitX30)
+      Entry->reg(Reg("R30"), R);
+    Entry->instrPre(R, Post, {X});
+    V.engine().registerSpec(0x1000, Entry);
+    return V.engine().verifyAll();
+  }
+};
+
+TEST(NegativeTest, CorrectIncrementVerifies) {
+  AddFixture F;
+  EXPECT_TRUE(F.verify(5)) << F.V.engine().error();
+}
+
+TEST(NegativeTest, WrongPostIncrementFails) {
+  AddFixture F;
+  EXPECT_FALSE(F.verify(6));
+  EXPECT_NE(F.V.engine().error().find("cannot prove"), std::string::npos)
+      << F.V.engine().error();
+}
+
+TEST(NegativeTest, MissingLinkRegisterChunkFails) {
+  // Without x30 ownership, the ret's register read has no chunk.
+  AddFixture F;
+  EXPECT_FALSE(F.verify(5, /*OmitX30=*/true));
+  EXPECT_NE(F.V.engine().error().find("points-to"), std::string::npos)
+      << F.V.engine().error();
+}
+
+TEST(NegativeTest, ViolatedIslaAssumptionFails) {
+  // Trace generated under EL=2, but the spec supplies EL=1: the
+  // assume-reg obligation must fail (hoare-assume-reg).
+  namespace e = arch::aarch64::enc;
+  frontend::Verifier V(frontend::aarch64());
+  V.addCode({{0x1000, e::addImm(31, 31, 0x40)}}); // add sp, sp, #0x40
+  V.defaults()
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b10))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 1));
+  std::string Err;
+  ASSERT_TRUE(V.generateTraces(Err)) << Err;
+  smt::TermBuilder &TB = V.builder();
+
+  Spec Post = V.makeSpec("post");
+  Spec Entry = V.makeSpec("entry");
+  Entry.reg(Reg("PSTATE", "EL"), TB.constBV(2, 0b01)); // wrong EL
+  Entry.reg(Reg("PSTATE", "SP"), TB.constBV(1, 1));
+  Entry.regAny(Reg("SP_EL2"));
+  Entry.instrPre(TB.constBV(64, 0x1004), &Post);
+  V.engine().registerSpec(0x1000, &Entry);
+  EXPECT_FALSE(V.engine().verifyAll());
+  EXPECT_NE(V.engine().error().find("assume-reg"), std::string::npos)
+      << V.engine().error();
+}
+
+TEST(NegativeTest, WrongLoopInvariantFails) {
+  // A countdown loop whose invariant claims x0 stays *equal* to its
+  // initial value: re-proving it at the back edge must fail.
+  namespace e = arch::aarch64::enc;
+  frontend::Verifier V(frontend::aarch64());
+  arch::aarch64::Asm A;
+  A.org(0x1000);
+  A.label("loop");
+  A.cbz(0, "done");
+  A.put(e::subImm(0, 0, 1));
+  A.b("loop");
+  A.label("done");
+  A.put(e::ret());
+  V.addCode(A.finish());
+  std::string Err;
+  ASSERT_TRUE(V.generateTraces(Err)) << Err;
+
+
+  Spec Post = V.makeSpec("post");
+  Spec Inv = V.makeSpec("inv");
+  const Term *N = Inv.evar(64, "n");
+  const Term *R = Inv.evar(64, "r");
+  Inv.reg(Reg("R0"), N).reg(Reg("R30"), R);
+  // The bogus bit: claims x0 == n forever via a pure pin to an evar used
+  // in the continuation args, which the back edge (x0 = n-1) breaks.
+  Inv.instrPre(R, &Post, {N});
+  const Term *PN = Post.param(64, "pn");
+  Post.reg(Reg("R0"), PN); // "returns with x0 == the loop-head value"
+  V.engine().registerSpec(0x1000, &Inv);
+  EXPECT_FALSE(V.engine().verifyAll());
+}
+
+TEST(NegativeTest, MmioWriteOfWrongValueFails) {
+  // An IO spec that requires writing 'A', against code writing 'B'.
+  namespace e = arch::aarch64::enc;
+  constexpr uint64_t Io = 0x3f215040;
+  frontend::Verifier V(frontend::aarch64());
+  arch::aarch64::Asm A;
+  A.org(0x2000);
+  A.put(e::movz(0, 'B'));
+  A.put(e::movz(3, Io & 0xffff));
+  A.put(e::movk(3, uint16_t(Io >> 16), 1));
+  A.put(e::strImm(2, 0, 3, 0));
+  A.put(e::ret());
+  V.addCode(A.finish());
+  V.defaults()
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b01))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 1))
+      .assume(Reg("SCTLR_EL1"), BitVec(64, 0));
+  std::string Err;
+  ASSERT_TRUE(V.generateTraces(Err)) << Err;
+  smt::TermBuilder &TB = V.builder();
+
+  Spec Post = V.makeSpec("post");
+  Spec Entry = V.makeSpec("entry");
+  const Term *R = Entry.evar(64, "r");
+  Entry.regAny(Reg("R0")).regAny(Reg("R3")).reg(Reg("R30"), R);
+  Entry.reg(Reg("PSTATE", "EL"), TB.constBV(2, 0b01));
+  Entry.reg(Reg("PSTATE", "SP"), TB.constBV(1, 1));
+  Entry.reg(Reg("SCTLR_EL1"), TB.constBV(64, 0));
+  Entry.mmio(Io, 4);
+  Entry.io(IoSpecNode::writeStep(
+      Io, 4,
+      [](const Term *V2, smt::TermBuilder &TB2) {
+        return TB2.eqTerm(V2, TB2.constBV(32, 'A')); // requires 'A'
+      },
+      IoSpecNode::done()));
+  Entry.instrPre(R, &Post);
+  V.engine().registerSpec(0x2000, &Entry);
+  EXPECT_FALSE(V.engine().verifyAll());
+  EXPECT_NE(V.engine().error().find("IO specification"), std::string::npos)
+      << V.engine().error();
+}
+
+TEST(NegativeTest, MemoryWriteOutsideOwnershipFails) {
+  namespace e = arch::aarch64::enc;
+  frontend::Verifier V(frontend::aarch64());
+  V.addCode({{0x3000, e::strImm(0, 0, 1, 0)}}); // strb w0, [x1]
+  std::string Err;
+  ASSERT_TRUE(V.generateTraces(Err)) << Err;
+  smt::TermBuilder &TB = V.builder();
+
+  Spec Post = V.makeSpec("post");
+  Spec Entry = V.makeSpec("entry");
+  const Term *P = Entry.evar(64, "p");
+  const Term *Q = Entry.evar(64, "q");
+  Entry.regAny(Reg("R0")).reg(Reg("R1"), P);
+  // Ownership of a *different* byte (q), with nothing tying p to q.
+  Entry.mem(Q, Entry.evar(8, "b"), 1);
+  Entry.instrPre(TB.constBV(64, 0x3004), &Post);
+  V.engine().registerSpec(0x3000, &Entry);
+  EXPECT_FALSE(V.engine().verifyAll());
+  EXPECT_NE(V.engine().error().find("matches no"), std::string::npos)
+      << V.engine().error();
+}
+
+} // namespace

@@ -1,0 +1,359 @@
+//===- tests/sail_test.cpp - Mini-Sail frontend and interpreter tests --------===//
+
+#include "sail/Interpreter.h"
+#include "models/Models.h"
+#include "sail/Parser.h"
+#include "sail/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace islaris;
+using namespace islaris::sail;
+using islaris::itl::MachineState;
+using islaris::itl::Reg;
+using smt::Value;
+
+namespace {
+
+/// A toy model with enough structure to exercise every language feature:
+/// banked register selection, flags computed via a wide AddWithCarry,
+/// struct registers, slicing, memory access, and throw.
+const char *ToyModel = R"(
+register PSTATE : struct { EL : bits(2), SP : bits(1), N : bits(1),
+                           Z : bits(1), C : bits(1), V : bits(1) }
+register SP_EL0 : bits(64)
+register SP_EL2 : bits(64)
+register X0 : bits(64)
+register PC : bits(64)
+
+function aget_SP() -> bits(64) = {
+  if PSTATE.SP == 0b0 then { return SP_EL0; }
+  else {
+    if PSTATE.EL == 0b00 then { return SP_EL0; }
+    else if PSTATE.EL == 0b10 then { return SP_EL2; }
+    else { throw("unsupported EL"); }
+  };
+}
+
+function aset_SP(value : bits(64)) -> unit = {
+  if PSTATE.SP == 0b0 then { SP_EL0 = value; }
+  else {
+    if PSTATE.EL == 0b00 then { SP_EL0 = value; }
+    else if PSTATE.EL == 0b10 then { SP_EL2 = value; }
+    else { throw("unsupported EL"); }
+  };
+}
+
+function AddWithCarry(x : bits(64), y : bits(64), carry_in : bits(1))
+    -> bits(68) = {
+  let usum = zero_extend(x, 65) + zero_extend(y, 65)
+           + zero_extend(carry_in, 65);
+  let ssum = sign_extend(x, 65) + sign_extend(y, 65)
+           + zero_extend(carry_in, 65);
+  let result = usum[63 .. 0];
+  let n = result[63];
+  let z = if result == 0x0000000000000000 then 0b1 else 0b0;
+  let c = if zero_extend(result, 65) == usum then 0b0 else 0b1;
+  let v = if sign_extend(result, 65) == ssum then 0b0 else 0b1;
+  return result @ n @ z @ c @ v;
+}
+
+function add_sp_imm(imm : bits(64)) -> unit = {
+  let op1 = aget_SP();
+  let res = AddWithCarry(op1, imm, 0b0);
+  aset_SP(res[67 .. 4]);
+  PC = PC + 0x0000000000000004;
+}
+
+function demo_mem(addr : bits(64)) -> unit = {
+  let b = read_mem(addr, 1);
+  write_mem(addr + 0x0000000000000001, b ^ 0xff, 1);
+}
+
+function demo_misc(x : bits(8)) -> bits(8) = {
+  var acc = x;
+  if acc <u 0x10 then { acc = acc << 1; } else { acc = reverse_bits(acc); };
+  assert(acc == acc, "trivial");
+  return acc;
+}
+)";
+
+std::unique_ptr<Model> parseToy() {
+  std::string Err;
+  auto M = parseModel(ToyModel, Err);
+  EXPECT_TRUE(M != nullptr) << Err;
+  return M;
+}
+
+TEST(SailParserTest, ParsesToyModel) {
+  auto M = parseToy();
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->Registers.size(), 5u);
+  EXPECT_EQ(M->Functions.size(), 6u);
+  ASSERT_TRUE(M->findRegister("PSTATE"));
+  EXPECT_TRUE(M->findRegister("PSTATE")->IsStruct);
+  EXPECT_EQ(M->findRegister("PSTATE")->fieldWidth("EL"), 2u);
+  ASSERT_TRUE(M->findFunction("AddWithCarry"));
+  EXPECT_EQ(M->findFunction("AddWithCarry")->RetTy, Type::bits(68));
+  EXPECT_GT(M->SourceLines, 40u);
+}
+
+TEST(SailParserTest, RejectsTypeErrors) {
+  std::string Err;
+  // Width mismatch in +.
+  EXPECT_EQ(parseModel("function f(x : bits(8)) -> bits(8) = {"
+                       " return x + 0x0011; }",
+                       Err),
+            nullptr);
+  EXPECT_NE(Err.find("equal-width"), std::string::npos) << Err;
+  // Unknown name.
+  EXPECT_EQ(parseModel("function f() -> unit = { y = 0x00; }", Err), nullptr);
+  // Bool condition required.
+  EXPECT_EQ(parseModel("function f(x : bits(8)) -> unit = {"
+                       " if x then { } else { }; }",
+                       Err),
+            nullptr);
+  // Assignment to immutable let.
+  EXPECT_EQ(parseModel("function f() -> unit = {"
+                       " let x = 0x01; x = 0x02; }",
+                       Err),
+            nullptr);
+  // Return type mismatch.
+  EXPECT_EQ(parseModel("function f() -> bits(8) = { return true; }", Err),
+            nullptr);
+  // Slice out of range.
+  EXPECT_EQ(parseModel("function f(x : bits(8)) -> bits(4) = {"
+                       " return x[11 .. 8]; }",
+                       Err),
+            nullptr);
+  // Bare decimal literal as a value.
+  EXPECT_EQ(parseModel("function f() -> unit = { let x = 42; }", Err),
+            nullptr);
+}
+
+TEST(SailParserTest, RejectsSyntaxErrors) {
+  std::string Err;
+  EXPECT_EQ(parseModel("function f( -> unit = { }", Err), nullptr);
+  EXPECT_EQ(parseModel("register X bits(64)", Err), nullptr);
+  EXPECT_EQ(parseModel("banana", Err), nullptr);
+  EXPECT_EQ(parseModel("function f() -> unit = { let x = 0x1 }", Err),
+            nullptr);
+}
+
+MachineState toyState(uint64_t El, uint64_t SpSel) {
+  MachineState S;
+  S.PcReg = "PC";
+  S.setReg(Reg("PSTATE", "EL"), Value(BitVec(2, El)));
+  S.setReg(Reg("PSTATE", "SP"), Value(BitVec(1, SpSel)));
+  S.setReg(Reg("SP_EL0"), Value(BitVec(64, 0x7000)));
+  S.setReg(Reg("SP_EL2"), Value(BitVec(64, 0x9000)));
+  S.setReg(Reg("X0"), Value(BitVec(64, 0)));
+  S.setReg(Reg("PC"), Value(BitVec(64, 0x80000)));
+  return S;
+}
+
+TEST(SailInterpTest, BankedStackPointerSelection) {
+  auto M = parseToy();
+  ASSERT_TRUE(M);
+  Interpreter I(*M);
+
+  // EL2 with SP=1 uses SP_EL2.
+  MachineState S = toyState(2, 1);
+  auto R = I.callFunction("add_sp_imm", {Value(BitVec(64, 0x40))}, S);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(S.getReg(Reg("SP_EL2"))->asBitVec().toUInt64(), 0x9040u);
+  EXPECT_EQ(S.getReg(Reg("SP_EL0"))->asBitVec().toUInt64(), 0x7000u);
+  EXPECT_EQ(S.getReg(Reg("PC"))->asBitVec().toUInt64(), 0x80004u);
+
+  // SP=0 banks to SP_EL0 regardless of EL.
+  MachineState S2 = toyState(2, 0);
+  R = I.callFunction("add_sp_imm", {Value(BitVec(64, 0x40))}, S2);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(S2.getReg(Reg("SP_EL0"))->asBitVec().toUInt64(), 0x7040u);
+  EXPECT_EQ(S2.getReg(Reg("SP_EL2"))->asBitVec().toUInt64(), 0x9000u);
+}
+
+TEST(SailInterpTest, ThrowSurfacesAsError) {
+  auto M = parseToy();
+  ASSERT_TRUE(M);
+  Interpreter I(*M);
+  MachineState S = toyState(3, 1); // EL3 unsupported in the toy model
+  auto R = I.callFunction("add_sp_imm", {Value(BitVec(64, 0x40))}, S);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unsupported EL"), std::string::npos);
+}
+
+TEST(SailInterpTest, AddWithCarryFlags) {
+  auto M = parseToy();
+  ASSERT_TRUE(M);
+  Interpreter I(*M);
+  MachineState S = toyState(0, 0);
+
+  // Use demo wrapper indirectly: call AddWithCarry via add_sp_imm result is
+  // hidden, so test the flag logic through a direct helper model instead.
+  // 0xffff...ff + 1 = 0 with carry out and zero flag.
+  std::string Err;
+  auto M2 = parseModel(R"(
+function AddWithCarry(x : bits(64), y : bits(64), carry_in : bits(1))
+    -> bits(68) = {
+  let usum = zero_extend(x, 65) + zero_extend(y, 65)
+           + zero_extend(carry_in, 65);
+  let ssum = sign_extend(x, 65) + sign_extend(y, 65)
+           + zero_extend(carry_in, 65);
+  let result = usum[63 .. 0];
+  let n = result[63];
+  let z = if result == 0x0000000000000000 then 0b1 else 0b0;
+  let c = if zero_extend(result, 65) == usum then 0b0 else 0b1;
+  let v = if sign_extend(result, 65) == ssum then 0b0 else 0b1;
+  return result @ n @ z @ c @ v;
+}
+register OUT : bits(68)
+function run(x : bits(64), y : bits(64)) -> unit = {
+  OUT = AddWithCarry(x, y, 0b0);
+}
+)",
+                       Err);
+  ASSERT_TRUE(M2) << Err;
+  Interpreter I2(*M2);
+  MachineState S2;
+  S2.setReg(Reg("OUT"), Value(BitVec(68, 0)));
+  auto R = I2.callFunction(
+      "run",
+      {Value(BitVec::ones(64)), Value(BitVec(64, 1))}, S2);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  BitVec Out = S2.getReg(Reg("OUT"))->asBitVec();
+  EXPECT_TRUE(Out.extract(67, 4).isZero());       // result == 0
+  EXPECT_EQ(Out.extract(3, 3).toUInt64(), 0u);    // N clear
+  EXPECT_EQ(Out.extract(2, 2).toUInt64(), 1u);    // Z set
+  EXPECT_EQ(Out.extract(1, 1).toUInt64(), 1u);    // C set (carry out)
+  EXPECT_EQ(Out.extract(0, 0).toUInt64(), 0u);    // V clear
+}
+
+TEST(SailInterpTest, MemoryBuiltinsAndMmio) {
+  auto M = parseToy();
+  ASSERT_TRUE(M);
+  struct O : itl::MmioOracle {
+    BitVec mmioRead(uint64_t, unsigned N) override {
+      return BitVec(N * 8, 0x77);
+    }
+  } Oracle;
+  Interpreter I(*M, &Oracle);
+
+  MachineState S = toyState(0, 0);
+  S.Mem[0x100] = 0x0f;
+  S.Mem[0x101] = 0x00;
+  auto R = I.callFunction("demo_mem", {Value(BitVec(64, 0x100))}, S);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(S.Mem.at(0x101), 0xf0u);
+  EXPECT_TRUE(I.labels().empty());
+
+  // Unmapped: read goes through the oracle, write becomes a label.
+  MachineState S3 = toyState(0, 0);
+  auto R2 = I.callFunction("demo_mem", {Value(BitVec(64, 0x5000))}, S3);
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  ASSERT_EQ(I.labels().size(), 2u);
+  EXPECT_EQ(I.labels()[0].K, itl::Label::Kind::Read);
+  EXPECT_EQ(I.labels()[1].K, itl::Label::Kind::Write);
+  EXPECT_EQ(I.labels()[1].Data.toUInt64(), 0x77u ^ 0xffu);
+}
+
+TEST(SailInterpTest, MutableLocalsShiftsReverseAndAssert) {
+  auto M = parseToy();
+  ASSERT_TRUE(M);
+  Interpreter I(*M);
+  std::string Err;
+
+  // Wrap demo_misc to observe its result via a register.
+  auto M2 = parseModel(R"(
+register OUT : bits(8)
+function demo_misc(x : bits(8)) -> bits(8) = {
+  var acc = x;
+  if acc <u 0x10 then { acc = acc << 1; } else { acc = reverse_bits(acc); };
+  return acc;
+}
+function run(x : bits(8)) -> unit = { OUT = demo_misc(x); }
+)",
+                       Err);
+  ASSERT_TRUE(M2) << Err;
+  Interpreter I2(*M2);
+  MachineState S;
+  S.setReg(Reg("OUT"), Value(BitVec(8, 0)));
+  ASSERT_TRUE(I2.callFunction("run", {Value(BitVec(8, 0x05))}, S).Ok);
+  EXPECT_EQ(S.getReg(Reg("OUT"))->asBitVec().toUInt64(), 0x0au);
+  ASSERT_TRUE(I2.callFunction("run", {Value(BitVec(8, 0x80))}, S).Ok);
+  EXPECT_EQ(S.getReg(Reg("OUT"))->asBitVec().toUInt64(), 0x01u);
+}
+
+TEST(SailInterpTest, UninitializedRegisterIsError) {
+  auto M = parseToy();
+  ASSERT_TRUE(M);
+  Interpreter I(*M);
+  MachineState S; // nothing initialized
+  auto R = I.callFunction("add_sp_imm", {Value(BitVec(64, 4))}, S);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("uninitialized register"), std::string::npos);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pretty printer round trips.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TEST(SailPrinterTest, ToyModelRoundTrips) {
+  std::string Err;
+  auto M1 = parseModel(ToyModel, Err);
+  ASSERT_TRUE(M1) << Err;
+  std::string P1 = printModel(*M1);
+  auto M2 = parseModel(P1, Err);
+  ASSERT_TRUE(M2) << Err << "\nprinted source:\n" << P1;
+  EXPECT_EQ(printModel(*M2), P1); // idempotent
+  EXPECT_EQ(M2->Registers.size(), M1->Registers.size());
+  EXPECT_EQ(M2->Functions.size(), M1->Functions.size());
+}
+
+TEST(SailPrinterTest, FullIsaModelsRoundTrip) {
+  for (const sail::Model *M :
+       {&islaris::models::aarch64Model(), &islaris::models::rv64Model()}) {
+    std::string P1 = printModel(*M);
+    std::string Err;
+    auto M2 = parseModel(P1, Err);
+    ASSERT_TRUE(M2) << Err;
+    EXPECT_EQ(printModel(*M2), P1);
+    EXPECT_EQ(M2->Registers.size(), M->Registers.size());
+    EXPECT_EQ(M2->Functions.size(), M->Functions.size());
+  }
+}
+
+TEST(SailPrinterTest, ReprintedModelBehavesIdentically) {
+  // The reprinted Armv8-A model must execute identically: run the Fig. 3
+  // opcode through both.
+  std::string P = printModel(islaris::models::aarch64Model());
+  std::string Err;
+  auto M2 = parseModel(P, Err);
+  ASSERT_TRUE(M2) << Err;
+  MachineState S;
+  S.PcReg = "_PC";
+  for (int I = 0; I <= 30; ++I)
+    S.setReg(Reg("R" + std::to_string(I)), Value(BitVec(64, 7 * I)));
+  for (const char *F : {"N", "Z", "C", "V", "D", "A", "I", "F"})
+    S.setReg(Reg("PSTATE", F), Value(BitVec(1, 0)));
+  S.setReg(Reg("PSTATE", "EL"), Value(BitVec(2, 2)));
+  S.setReg(Reg("PSTATE", "SP"), Value(BitVec(1, 1)));
+  S.setReg(Reg("SP_EL2"), Value(BitVec(64, 0x9000)));
+  S.setReg(Reg("_PC"), Value(BitVec(64, 0x80000)));
+  MachineState S2 = S;
+  Interpreter I1(islaris::models::aarch64Model());
+  Interpreter I2(*M2);
+  ASSERT_TRUE(
+      I1.callFunction("decode", {Value(BitVec(32, 0x910103ff))}, S).Ok);
+  ASSERT_TRUE(
+      I2.callFunction("decode", {Value(BitVec(32, 0x910103ff))}, S2).Ok);
+  EXPECT_EQ(S.getReg(Reg("SP_EL2"))->asBitVec().toUInt64(),
+            S2.getReg(Reg("SP_EL2"))->asBitVec().toUInt64());
+  EXPECT_EQ(S2.getReg(Reg("SP_EL2"))->asBitVec().toUInt64(), 0x9040u);
+}
+
+} // namespace

@@ -1,0 +1,444 @@
+//===- tests/seplogic_test.cpp - Proof engine tests ----------------------------===//
+//
+// Drives the Islaris separation-logic engine over hand-built ITL traces
+// (independently of the ISA models), covering each proof rule of Figs. 5
+// and 11 plus loop invariants and MMIO specifications.
+//
+//===----------------------------------------------------------------------===//
+
+#include "seplogic/Engine.h"
+#include "seplogic/IoSpec.h"
+#include "seplogic/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace islaris;
+using namespace islaris::seplogic;
+using islaris::itl::Event;
+using islaris::itl::Reg;
+using islaris::itl::Trace;
+using smt::Sort;
+using smt::Term;
+
+namespace {
+
+/// Convenience fixture holding a builder and helpers for hand-made traces.
+class EngineTest : public ::testing::Test {
+protected:
+  smt::TermBuilder TB;
+
+  const Term *bv64(uint64_t V) { return TB.constBV(64, V); }
+
+  /// Appends "PC := PC + 4" events to a trace.
+  void nextPc(Trace &T, const char *Tag) {
+    const Term *Pc = TB.freshVar(Sort::bitvec(64), std::string("pc_") + Tag);
+    T.Events.push_back(Event::declareConst(Pc));
+    T.Events.push_back(Event::readReg(Reg("_PC"), Pc));
+    const Term *Next =
+        TB.freshVar(Sort::bitvec(64), std::string("pcn_") + Tag);
+    T.Events.push_back(Event::defineConst(Next, TB.bvAdd(Pc, bv64(4))));
+    T.Events.push_back(Event::writeReg(Reg("_PC"), Next));
+  }
+
+  /// An instruction "Xd := Xd + Imm" followed by the PC bump.
+  Trace addImm(const char *Rd, uint64_t Imm, const char *Tag) {
+    Trace T;
+    const Term *V = TB.freshVar(Sort::bitvec(64), std::string("v_") + Tag);
+    T.Events.push_back(Event::declareConst(V));
+    T.Events.push_back(Event::readReg(Reg(Rd), V));
+    const Term *Sum = TB.freshVar(Sort::bitvec(64), std::string("s_") + Tag);
+    T.Events.push_back(Event::defineConst(Sum, TB.bvAdd(V, bv64(Imm))));
+    T.Events.push_back(Event::writeReg(Reg(Rd), Sum));
+    nextPc(T, Tag);
+    return T;
+  }
+
+  /// "br Xn" — an indirect jump.
+  Trace branchReg(const char *Rn, const char *Tag) {
+    Trace T;
+    const Term *V = TB.freshVar(Sort::bitvec(64), std::string("v_") + Tag);
+    T.Events.push_back(Event::declareConst(V));
+    T.Events.push_back(Event::readReg(Reg(Rn), V));
+    T.Events.push_back(Event::writeReg(Reg("_PC"), V));
+    return T;
+  }
+
+  /// "b Target".
+  Trace branchImm(uint64_t Target) {
+    Trace T;
+    T.Events.push_back(Event::writeReg(Reg("_PC"), bv64(Target)));
+    return T;
+  }
+
+  /// "cbz Rn, Target": Cases with asserts, as the executor emits them.
+  Trace cbz(const char *Rn, uint64_t Target, const char *Tag) {
+    Trace T;
+    const Term *V = TB.freshVar(Sort::bitvec(64), std::string("v_") + Tag);
+    T.Events.push_back(Event::declareConst(V));
+    T.Events.push_back(Event::readReg(Reg(Rn), V));
+    const Term *Cond = TB.eqTerm(V, bv64(0));
+    Trace Taken;
+    Taken.Events.push_back(Event::assertE(Cond));
+    Taken.Events.push_back(Event::writeReg(Reg("_PC"), bv64(Target)));
+    Trace Fall;
+    Fall.Events.push_back(Event::assertE(TB.notTerm(Cond)));
+    nextPc(Fall, Tag);
+    T.Cases = {std::move(Taken), std::move(Fall)};
+    return T;
+  }
+};
+
+TEST_F(EngineTest, StraightLineIncrement) {
+  // 0x1000: X0 += 1;  0x1004: br X30.
+  Trace I0 = addImm("X0", 1, "i0");
+  Trace I1 = branchReg("X30", "i1");
+  std::map<uint64_t, const Trace *> Prog = {{0x1000, &I0}, {0x1004, &I1}};
+
+  Spec Post(TB, "post");
+  Spec Entry(TB, "entry");
+  const Term *N = Entry.evar(64, "n");
+  const Term *R = Entry.evar(64, "r");
+  Entry.reg("X0", N).reg("X30", R).instrPre(R, &Post);
+  Post.reg("X0", TB.bvAdd(N, bv64(1))).reg("X30", R);
+
+  ProofEngine PE(TB, Prog);
+  PE.registerSpec(0x1000, &Entry);
+  EXPECT_TRUE(PE.verifyAll()) << PE.error();
+  EXPECT_GE(PE.stats().EventsProcessed, 8u);
+  EXPECT_EQ(PE.stats().PathsVerified, 1u);
+}
+
+TEST_F(EngineTest, WrongPostconditionFails) {
+  Trace I0 = addImm("X0", 1, "i0");
+  Trace I1 = branchReg("X30", "i1");
+  std::map<uint64_t, const Trace *> Prog = {{0x1000, &I0}, {0x1004, &I1}};
+
+  Spec Post(TB, "post");
+  Spec Entry(TB, "entry");
+  const Term *N = Entry.evar(64, "n");
+  const Term *R = Entry.evar(64, "r");
+  Entry.reg("X0", N).reg("X30", R).instrPre(R, &Post);
+  Post.reg("X0", TB.bvAdd(N, bv64(2))); // wrong: claims +2
+
+  ProofEngine PE(TB, Prog);
+  PE.registerSpec(0x1000, &Entry);
+  EXPECT_FALSE(PE.verifyAll());
+  EXPECT_NE(PE.error().find("cannot prove"), std::string::npos)
+      << PE.error();
+}
+
+TEST_F(EngineTest, MissingRegisterChunkFails) {
+  Trace I0 = addImm("X7", 1, "i0"); // spec says nothing about X7
+  std::map<uint64_t, const Trace *> Prog = {{0x1000, &I0}};
+  Spec Entry(TB, "entry");
+  ProofEngine PE(TB, Prog);
+  PE.registerSpec(0x1000, &Entry);
+  EXPECT_FALSE(PE.verifyAll());
+  EXPECT_NE(PE.error().find("points-to"), std::string::npos) << PE.error();
+}
+
+TEST_F(EngineTest, AssumeRegObligation) {
+  // The Isla trace assumes PSTATE.EL == 2; the spec must supply it.
+  Trace I0;
+  I0.Events.push_back(
+      Event::assumeReg(Reg("PSTATE", "EL"), TB.constBV(2, 2)));
+  nextPc(I0, "i0");
+  Trace I1 = branchReg("X30", "i1");
+  std::map<uint64_t, const Trace *> Prog = {{0x1000, &I0}, {0x1004, &I1}};
+
+  Spec Post(TB, "post");
+  {
+    Spec Good(TB, "good");
+    const Term *R = Good.evar(64, "r");
+    Good.reg(Reg("PSTATE", "EL"), TB.constBV(2, 2))
+        .reg("X30", R)
+        .instrPre(R, &Post);
+    ProofEngine PE(TB, Prog);
+    PE.registerSpec(0x1000, &Good);
+    EXPECT_TRUE(PE.verifyAll()) << PE.error();
+  }
+  {
+    Spec Bad(TB, "bad");
+    const Term *R = Bad.evar(64, "r");
+    Bad.reg(Reg("PSTATE", "EL"), TB.constBV(2, 1)) // EL1: violates assume
+        .reg("X30", R)
+        .instrPre(R, &Post);
+    ProofEngine PE(TB, Prog);
+    PE.registerSpec(0x1000, &Bad);
+    EXPECT_FALSE(PE.verifyAll());
+    EXPECT_NE(PE.error().find("assume-reg"), std::string::npos)
+        << PE.error();
+  }
+}
+
+TEST_F(EngineTest, BranchCasesBothVerified) {
+  // 0x1000: cbz X0, 0x100c; 0x1004: X1 += 1; 0x1008: br X30;
+  // 0x100c: br X30.  Post: X1 is n1+1 if X0 != 0 else n1 (as an ite).
+  Trace I0 = cbz("X0", 0x100c, "i0");
+  Trace I1 = addImm("X1", 1, "i1");
+  Trace I2 = branchReg("X30", "i2");
+  Trace I3 = branchReg("X30", "i3");
+  std::map<uint64_t, const Trace *> Prog = {
+      {0x1000, &I0}, {0x1004, &I1}, {0x1008, &I2}, {0x100c, &I3}};
+
+  Spec Post(TB, "post");
+  Spec Entry(TB, "entry");
+  const Term *N0 = Entry.evar(64, "n0");
+  const Term *N1 = Entry.evar(64, "n1");
+  const Term *R = Entry.evar(64, "r");
+  Entry.reg("X0", N0).reg("X1", N1).reg("X30", R).instrPre(R, &Post);
+  const Term *Expected = TB.iteTerm(TB.eqTerm(N0, bv64(0)), N1,
+                                    TB.bvAdd(N1, bv64(1)));
+  Post.reg("X1", Expected);
+
+  ProofEngine PE(TB, Prog);
+  PE.registerSpec(0x1000, &Entry);
+  EXPECT_TRUE(PE.verifyAll()) << PE.error();
+  EXPECT_EQ(PE.stats().PathsVerified, 2u);
+}
+
+TEST_F(EngineTest, CountdownLoopViaSelfInvariant) {
+  // 0x1000: cbz X0, 0x100c; 0x1004: X0 -= 1 (add ~0);
+  // 0x1008: b 0x1000; 0x100c: br X30.
+  // The registered entry spec doubles as the loop invariant: the back-edge
+  // re-proves it (Löb), and the exit branch proves the postcondition using
+  // the X0 == 0 path fact.
+  Trace I0 = cbz("X0", 0x100c, "i0");
+  Trace I1 = addImm("X0", ~uint64_t(0), "i1");
+  Trace I2 = branchImm(0x1000);
+  Trace I3 = branchReg("X30", "i3");
+  std::map<uint64_t, const Trace *> Prog = {
+      {0x1000, &I0}, {0x1004, &I1}, {0x1008, &I2}, {0x100c, &I3}};
+
+  Spec Post(TB, "post");
+  Spec Entry(TB, "inv");
+  const Term *N = Entry.evar(64, "n");
+  const Term *R = Entry.evar(64, "r");
+  Entry.reg("X0", N).reg("X30", R).instrPre(R, &Post);
+  Post.reg("X0", bv64(0)).reg("X30", R);
+
+  ProofEngine PE(TB, Prog);
+  PE.registerSpec(0x1000, &Entry);
+  EXPECT_TRUE(PE.verifyAll()) << PE.error();
+  // One path proves the post (exit), one re-proves the invariant.
+  EXPECT_EQ(PE.stats().PathsVerified, 2u);
+}
+
+TEST_F(EngineTest, MissingInvariantExhaustsBudget) {
+  // The same countdown loop, but with the back edge jumping to a *copy* of
+  // the loop head that has no registered spec: the engine unrolls forever
+  // and must stop with a budget diagnostic.
+  Trace I0 = cbz("X0", 0x100c, "i0");
+  Trace I1 = addImm("X0", ~uint64_t(0), "i1");
+  Trace I2 = branchImm(0x1004); // jumps into the body, skipping the head
+  Trace I3 = branchReg("X30", "i3");
+  std::map<uint64_t, const Trace *> Prog = {
+      {0x1000, &I0}, {0x1004, &I1}, {0x1008, &I2}, {0x100c, &I3}};
+
+  Spec Post(TB, "post");
+  Spec Entry(TB, "entry");
+  const Term *N = Entry.evar(64, "n");
+  const Term *R = Entry.evar(64, "r");
+  Entry.reg("X0", N).reg("X30", R).instrPre(R, &Post);
+  Post.regAny(Reg("X0"));
+
+  ProofEngine PE(TB, Prog);
+  PE.MaxInstrsPerPath = 64;
+  PE.registerSpec(0x1000, &Entry);
+  EXPECT_FALSE(PE.verifyAll());
+  EXPECT_NE(PE.error().find("budget"), std::string::npos) << PE.error();
+}
+
+TEST_F(EngineTest, MemoryReadWriteChunks) {
+  // 0x1000: load byte at [X1] into X2's low byte surrogate; store to [X3];
+  // then br X30.  Uses plain |->M chunks.
+  Trace I0;
+  const Term *A1 = TB.freshVar(Sort::bitvec(64), "a1");
+  I0.Events.push_back(Event::declareConst(A1));
+  I0.Events.push_back(Event::readReg(Reg("X1"), A1));
+  const Term *D = TB.freshVar(Sort::bitvec(8), "d");
+  I0.Events.push_back(Event::declareConst(D));
+  I0.Events.push_back(Event::readMem(D, A1, 1));
+  const Term *A3 = TB.freshVar(Sort::bitvec(64), "a3");
+  I0.Events.push_back(Event::declareConst(A3));
+  I0.Events.push_back(Event::readReg(Reg("X3"), A3));
+  I0.Events.push_back(Event::writeMem(A3, D, 1));
+  nextPc(I0, "i0");
+  Trace I1 = branchReg("X30", "i1");
+  std::map<uint64_t, const Trace *> Prog = {{0x1000, &I0}, {0x1004, &I1}};
+
+  Spec Post(TB, "post");
+  Spec Entry(TB, "entry");
+  const Term *S = Entry.evar(64, "s");
+  const Term *T = Entry.evar(64, "t");
+  const Term *B = Entry.evar(8, "b");
+  const Term *Old = Entry.evar(8, "old");
+  const Term *R = Entry.evar(64, "r");
+  Entry.reg("X1", S).reg("X3", T).reg("X30", R);
+  Entry.mem(S, B, 1).mem(T, Old, 1);
+  // Without disjointness of S and T the copy result is ambiguous; make
+  // them concrete enough: require T = S + 1 as a pure fact.
+  Entry.pure(TB.eqTerm(T, TB.bvAdd(S, bv64(1))));
+  Entry.instrPre(R, &Post);
+  Post.mem(S, B, 1).mem(T, B, 1);
+
+  ProofEngine PE(TB, Prog);
+  PE.registerSpec(0x1000, &Entry);
+  EXPECT_TRUE(PE.verifyAll()) << PE.error();
+}
+
+TEST_F(EngineTest, ArrayChunkSymbolicIndex) {
+  // 0x1000: read array[X2] (byte), write it to array2[X2]; br X30 — with a
+  // symbolic in-bounds index.
+  Trace I0;
+  const Term *Base = TB.freshVar(Sort::bitvec(64), "base");
+  I0.Events.push_back(Event::declareConst(Base));
+  I0.Events.push_back(Event::readReg(Reg("X1"), Base));
+  const Term *Idx = TB.freshVar(Sort::bitvec(64), "idx");
+  I0.Events.push_back(Event::declareConst(Idx));
+  I0.Events.push_back(Event::readReg(Reg("X2"), Idx));
+  const Term *D = TB.freshVar(Sort::bitvec(8), "d");
+  I0.Events.push_back(Event::declareConst(D));
+  I0.Events.push_back(Event::readMem(D, TB.bvAdd(Base, Idx), 1));
+  const Term *Base2 = TB.freshVar(Sort::bitvec(64), "base2");
+  I0.Events.push_back(Event::declareConst(Base2));
+  I0.Events.push_back(Event::readReg(Reg("X3"), Base2));
+  I0.Events.push_back(Event::writeMem(TB.bvAdd(Base2, Idx), D, 1));
+  nextPc(I0, "i0");
+  Trace I1 = branchReg("X30", "i1");
+  std::map<uint64_t, const Trace *> Prog = {{0x1000, &I0}, {0x1004, &I1}};
+
+  Spec Post(TB, "post");
+  Spec Entry(TB, "entry");
+  const Term *S = Entry.evar(64, "s");
+  const Term *Dst = Entry.evar(64, "dst");
+  const Term *I = Entry.evar(64, "i");
+  const Term *R = Entry.evar(64, "r");
+  std::vector<const Term *> Src, DstElems;
+  for (int K = 0; K < 4; ++K) {
+    Src.push_back(Entry.evar(8, "src" + std::to_string(K)));
+    DstElems.push_back(Entry.evar(8, "dst" + std::to_string(K)));
+  }
+  Entry.reg("X1", S).reg("X2", I).reg("X3", Dst).reg("X30", R);
+  Entry.array(S, Src, 1).array(Dst, DstElems, 1);
+  Entry.pure(TB.bvUlt(I, bv64(4)));
+  // Keep the two arrays apart so the findM search cannot mis-associate.
+  Entry.pure(TB.eqTerm(Dst, TB.bvAdd(S, bv64(4))));
+  Entry.instrPre(R, &Post);
+  // Post: dst[k] == ite(k == i, src[k], old dst[k]) for each k.
+  std::vector<const Term *> PostElems;
+  for (int K = 0; K < 4; ++K)
+    PostElems.push_back(TB.iteTerm(TB.eqTerm(I, bv64(unsigned(K))), Src[size_t(K)],
+                                   DstElems[size_t(K)]));
+  Post.array(Dst, PostElems, 1);
+
+  ProofEngine PE(TB, Prog);
+  PE.registerSpec(0x1000, &Entry);
+  EXPECT_TRUE(PE.verifyAll()) << PE.error();
+}
+
+TEST_F(EngineTest, MmioPollLoopAgainstIoSpec) {
+  // The UART shape of §6: poll LSR until bit 5 is set, then write C to IO.
+  constexpr uint64_t LSR = 0x3f215054, IO = 0x3f215040;
+  // 0x1000: w = [LSR]; cbz-like on bit 5: if set -> 0x1004 else -> 0x1000.
+  Trace I0;
+  const Term *W = TB.freshVar(Sort::bitvec(32), "w");
+  I0.Events.push_back(Event::declareConst(W));
+  I0.Events.push_back(Event::readMem(W, bv64(LSR), 4));
+  const Term *Ready = TB.eqTerm(TB.extract(5, 5, W), TB.constBV(1, 1));
+  Trace Go;
+  Go.Events.push_back(Event::assertE(Ready));
+  Go.Events.push_back(Event::writeReg(Reg("_PC"), bv64(0x1004)));
+  Trace Again;
+  Again.Events.push_back(Event::assertE(TB.notTerm(Ready)));
+  Again.Events.push_back(Event::writeReg(Reg("_PC"), bv64(0x1000)));
+  I0.Cases = {std::move(Go), std::move(Again)};
+  // 0x1004: [IO] = X0 (32-bit); 0x1008: br X30.
+  Trace I1;
+  const Term *C = TB.freshVar(Sort::bitvec(64), "c");
+  I1.Events.push_back(Event::declareConst(C));
+  I1.Events.push_back(Event::readReg(Reg("X0"), C));
+  I1.Events.push_back(Event::writeMem(bv64(IO), TB.extract(31, 0, C), 4));
+  nextPc(I1, "i1");
+  Trace I2 = branchReg("X30", "i2");
+  std::map<uint64_t, const Trace *> Prog = {
+      {0x1000, &I0}, {0x1004, &I1}, {0x1008, &I2}};
+
+  // spec(s) = srec(R. exists b. scons(R(LSR,b),
+  //                  b[5] ? scons(W(IO,c), done) : R)).
+  Spec Post(TB, "post");
+  Spec Entry(TB, "entry");
+  const Term *CVal = Entry.evar(64, "cv");
+  const Term *R = Entry.evar(64, "r");
+  IoSpecPtr Done = IoSpecNode::done();
+  IoSpecPtr S = IoSpecNode::rec([&, CVal](IoSpecPtr Self) {
+    return IoSpecNode::readStep(
+        LSR, 4, [&, CVal, Self](const Term *B, smt::TermBuilder &TB2) {
+          const Term *Bit = TB2.eqTerm(TB2.extract(5, 5, B),
+                                       TB2.constBV(1, 1));
+          return IoSpecNode::branch(
+              Bit,
+              IoSpecNode::writeStep(
+                  IO, 4,
+                  [CVal](const Term *V, smt::TermBuilder &TB3) {
+                    return TB3.eqTerm(V, TB3.extract(31, 0, CVal));
+                  },
+                  Done),
+              Self);
+        });
+  });
+  Entry.reg("X0", CVal).reg("X30", R);
+  Entry.mmio(IO, 4).mmio(LSR, 4);
+  Entry.io(S);
+  Entry.instrPre(R, &Post);
+  Post.io(Done);
+
+  ProofEngine PE(TB, Prog);
+  PE.registerSpec(0x1000, &Entry);
+  EXPECT_TRUE(PE.verifyAll()) << PE.error();
+  // Two verified paths: ready (writes and returns) and retry (re-proves
+  // the invariant at 0x1000).
+  EXPECT_EQ(PE.stats().PathsVerified, 2u);
+}
+
+TEST_F(EngineTest, MmioWriteOutsideSpecFails) {
+  constexpr uint64_t IO = 0x3f215040;
+  Trace I0;
+  I0.Events.push_back(Event::writeMem(bv64(IO), TB.constBV(32, 7), 4));
+  nextPc(I0, "i0");
+  std::map<uint64_t, const Trace *> Prog = {{0x1000, &I0}};
+  Spec Entry(TB, "entry");
+  Entry.mmio(IO, 4);
+  Entry.io(IoSpecNode::done()); // no events allowed
+  ProofEngine PE(TB, Prog);
+  PE.registerSpec(0x1000, &Entry);
+  EXPECT_FALSE(PE.verifyAll());
+  EXPECT_NE(PE.error().find("IO specification"), std::string::npos)
+      << PE.error();
+}
+
+TEST_F(EngineTest, RegColIsFlattenedAndMatched) {
+  Trace I0 = addImm("X0", 1, "i0");
+  Trace I1 = branchReg("X30", "i1");
+  std::map<uint64_t, const Trace *> Prog = {{0x1000, &I0}, {0x1004, &I1}};
+
+  Spec Post(TB, "post");
+  Spec Entry(TB, "entry");
+  const Term *N = Entry.evar(64, "n");
+  const Term *R = Entry.evar(64, "r");
+  RegColChunk Col;
+  Col.Name = "sys_regs";
+  Col.Regs.push_back({Reg("X0"), N});
+  Col.Regs.push_back({Reg("SCTLR_EL1"), Entry.evar(64, "sctlr")});
+  Entry.regCol(Col).reg("X30", R).instrPre(R, &Post);
+  RegColChunk PostCol;
+  PostCol.Name = "sys_regs";
+  PostCol.Regs.push_back({Reg("X0"), TB.bvAdd(N, bv64(1))});
+  Post.regCol(PostCol);
+
+  ProofEngine PE(TB, Prog);
+  PE.registerSpec(0x1000, &Entry);
+  EXPECT_TRUE(PE.verifyAll()) << PE.error();
+}
+
+} // namespace

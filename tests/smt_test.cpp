@@ -1,0 +1,377 @@
+//===- tests/smt_test.cpp - Term/Rewriter/BitBlaster/Solver tests ------------===//
+
+#include "smt/Evaluator.h"
+#include "smt/Rewriter.h"
+#include "smt/Solver.h"
+#include "smt/TermBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace islaris;
+using namespace islaris::smt;
+
+namespace {
+
+TEST(TermTest, HashConsing) {
+  TermBuilder TB;
+  const Term *A = TB.constBV(64, 42);
+  const Term *B = TB.constBV(64, 42);
+  EXPECT_EQ(A, B);
+  const Term *X = TB.freshVar(Sort::bitvec(64), "x");
+  const Term *S1 = TB.bvAdd(X, A);
+  const Term *S2 = TB.bvAdd(X, B);
+  EXPECT_EQ(S1, S2);
+  // Distinct fresh variables are never merged.
+  EXPECT_NE(TB.freshVar(Sort::bitvec(8)), TB.freshVar(Sort::bitvec(8)));
+}
+
+TEST(TermTest, ConstantFoldingOnConstruction) {
+  TermBuilder TB;
+  const Term *S = TB.bvAdd(TB.constBV(8, 200), TB.constBV(8, 100));
+  ASSERT_EQ(S->kind(), Kind::ConstBV);
+  EXPECT_EQ(S->constBV().toUInt64(), (200 + 100) & 0xffu);
+  EXPECT_EQ(TB.eqTerm(TB.constBV(8, 1), TB.constBV(8, 2)), TB.falseTerm());
+  EXPECT_EQ(TB.bvUlt(TB.constBV(8, 1), TB.constBV(8, 2)), TB.trueTerm());
+}
+
+TEST(TermTest, PrintingMatchesIslaSyntax) {
+  // The Fig. 3 expression: (bvadd ((_ extract 63 0) ((_ zero_extend 64)
+  // v38)) #x0000000000000040).
+  TermBuilder TB;
+  const Term *V38 = TB.freshVar(Sort::bitvec(64), "v38");
+  const Term *E = TB.bvAdd(TB.extract(63, 0, TB.zeroExtend(64, V38)),
+                           TB.constBV(64, 0x40));
+  // Note: extract(63,0) of a 128-bit term does not fold away at build time.
+  EXPECT_EQ(E->toString(), "(bvadd ((_ extract 63 0) ((_ zero_extend 64) "
+                           "v38)) #x0000000000000040)");
+}
+
+TEST(EvaluatorTest, BasicEvaluation) {
+  TermBuilder TB;
+  const Term *X = TB.freshVar(Sort::bitvec(16), "x");
+  const Term *E = TB.bvMul(TB.bvAdd(X, TB.constBV(16, 1)), TB.constBV(16, 3));
+  Env En;
+  EXPECT_FALSE(evaluate(E, En).has_value());
+  En[X->varId()] = Value(BitVec(16, 10));
+  auto V = evaluate(E, En);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->asBitVec().toUInt64(), 33u);
+}
+
+TEST(EvaluatorTest, IteAndBool) {
+  TermBuilder TB;
+  const Term *B = TB.freshVar(Sort::boolean(), "b");
+  const Term *E =
+      TB.iteTerm(B, TB.constBV(8, 1), TB.constBV(8, 2));
+  Env En;
+  En[B->varId()] = Value(true);
+  EXPECT_EQ(evaluate(E, En)->asBitVec().toUInt64(), 1u);
+  En[B->varId()] = Value(false);
+  EXPECT_EQ(evaluate(E, En)->asBitVec().toUInt64(), 2u);
+}
+
+TEST(RewriterTest, Fig3PatternCollapses) {
+  // extract(63,0)(zext(64, x) + 0x40) must collapse to x + 0x40 (the
+  // simplification enabling readable memcpy side conditions).
+  TermBuilder TB;
+  Rewriter RW(TB);
+  const Term *X = TB.freshVar(Sort::bitvec(64), "x");
+  const Term *E = TB.bvAdd(TB.zeroExtend(64, X), TB.constBV(128, 0x40));
+  const Term *S = RW.simplify(TB.extract(63, 0, E));
+  EXPECT_EQ(S, TB.bvAdd(X, TB.constBV(64, 0x40)));
+}
+
+TEST(RewriterTest, AddChainNormalization) {
+  TermBuilder TB;
+  Rewriter RW(TB);
+  const Term *X = TB.freshVar(Sort::bitvec(64), "x");
+  const Term *E = TB.bvAdd(TB.bvAdd(X, TB.constBV(64, 4)), TB.constBV(64, 4));
+  EXPECT_EQ(RW.simplify(E), TB.bvAdd(X, TB.constBV(64, 8)));
+  // x + 0 -> x, x - x -> 0.
+  EXPECT_EQ(RW.simplify(TB.bvAdd(X, TB.constBV(64, 0))), X);
+  EXPECT_EQ(RW.simplify(TB.bvSub(X, X)), TB.constBV(64, 0));
+}
+
+TEST(RewriterTest, EqualitySolvesForVariable) {
+  TermBuilder TB;
+  Rewriter RW(TB);
+  const Term *X = TB.freshVar(Sort::bitvec(64), "x");
+  // (x + 4) = 10  ->  x = 6.
+  const Term *E =
+      TB.eqTerm(TB.bvAdd(X, TB.constBV(64, 4)), TB.constBV(64, 10));
+  EXPECT_EQ(RW.simplify(E), TB.eqTerm(X, TB.constBV(64, 6)));
+  // zext(x) = wide constant with nonzero high bits is false.
+  const Term *E2 = TB.eqTerm(TB.zeroExtend(64, X),
+                             TB.constBV(BitVec::ones(128)));
+  EXPECT_EQ(RW.simplify(E2), TB.falseTerm());
+}
+
+// Random term generator for soundness properties.
+class RandomTermGen {
+public:
+  RandomTermGen(TermBuilder &TB, std::mt19937 &Rng, unsigned NumVars)
+      : TB(TB), Rng(Rng) {
+    for (unsigned I = 0; I < NumVars; ++I)
+      Vars.push_back(TB.freshVar(Sort::bitvec(8)));
+  }
+
+  const Term *gen(int Depth) {
+    if (Depth == 0 || Rng() % 4 == 0) {
+      if (Rng() % 2)
+        return Vars[Rng() % Vars.size()];
+      return TB.constBV(8, Rng());
+    }
+    switch (Rng() % 18) {
+    case 0:
+      return TB.bvAdd(gen(Depth - 1), gen(Depth - 1));
+    case 1:
+      return TB.bvSub(gen(Depth - 1), gen(Depth - 1));
+    case 2:
+      return TB.bvMul(gen(Depth - 1), gen(Depth - 1));
+    case 3:
+      return TB.bvAnd(gen(Depth - 1), gen(Depth - 1));
+    case 4:
+      return TB.bvOr(gen(Depth - 1), gen(Depth - 1));
+    case 5:
+      return TB.bvXor(gen(Depth - 1), gen(Depth - 1));
+    case 6:
+      return TB.bvNot(gen(Depth - 1));
+    case 7:
+      return TB.bvShl(gen(Depth - 1), gen(Depth - 1));
+    case 8:
+      return TB.bvLShr(gen(Depth - 1), gen(Depth - 1));
+    case 9: {
+      const Term *T = gen(Depth - 1);
+      return TB.extract(7, 0, TB.zeroExtend(8, T));
+    }
+    case 10:
+      return TB.iteTerm(genBool(Depth - 1), gen(Depth - 1), gen(Depth - 1));
+    case 11:
+      return TB.bvAShr(gen(Depth - 1), gen(Depth - 1));
+    case 12:
+      return TB.bvNeg(gen(Depth - 1));
+    case 13:
+      return TB.bvSDiv(gen(Depth - 1), gen(Depth - 1));
+    case 14:
+      return TB.bvSRem(gen(Depth - 1), gen(Depth - 1));
+    case 15: {
+      // Slice out of a sign-extension.
+      const Term *T = gen(Depth - 1);
+      return TB.extract(9, 2, TB.signExtend(8, T));
+    }
+    case 16: {
+      // Slice out of a concatenation.
+      const Term *A = gen(Depth - 1), *B = gen(Depth - 1);
+      return TB.extract(11, 4, TB.concat(A, B));
+    }
+    default:
+      return TB.bvUDiv(gen(Depth - 1), gen(Depth - 1));
+    }
+  }
+
+  const Term *genBool(int Depth) {
+    if (Depth == 0)
+      return TB.constBool(Rng() % 2);
+    switch (Rng() % 8) {
+    case 0:
+      return TB.eqTerm(gen(Depth - 1), gen(Depth - 1));
+    case 1:
+      return TB.bvUlt(gen(Depth - 1), gen(Depth - 1));
+    case 2:
+      return TB.bvSle(gen(Depth - 1), gen(Depth - 1));
+    case 3:
+      return TB.bvSlt(gen(Depth - 1), gen(Depth - 1));
+    case 4:
+      return TB.bvUle(gen(Depth - 1), gen(Depth - 1));
+    case 5:
+      return TB.orTerm(genBool(Depth - 1), genBool(Depth - 1));
+    case 6:
+      return TB.notTerm(genBool(Depth - 1));
+    default:
+      return TB.andTerm(genBool(Depth - 1), genBool(Depth - 1));
+    }
+  }
+
+  Env randomEnv() {
+    Env E;
+    for (const Term *V : Vars)
+      E[V->varId()] = Value(BitVec(8, Rng()));
+    return E;
+  }
+
+private:
+  TermBuilder &TB;
+  std::mt19937 &Rng;
+  std::vector<const Term *> Vars;
+};
+
+class RewriterSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RewriterSoundnessTest, SimplifyPreservesSemantics) {
+  std::mt19937 Rng(unsigned(GetParam()) * 2654435761u + 1);
+  TermBuilder TB;
+  Rewriter RW(TB);
+  RandomTermGen Gen(TB, Rng, 4);
+  for (int Round = 0; Round < 60; ++Round) {
+    const Term *T = Gen.gen(4);
+    const Term *S = RW.simplify(T);
+    for (int Trial = 0; Trial < 10; ++Trial) {
+      Env E = Gen.randomEnv();
+      auto V1 = evaluate(T, E);
+      auto V2 = evaluate(S, E);
+      ASSERT_TRUE(V1 && V2);
+      EXPECT_EQ(*V1, *V2) << "original: " << T->toString()
+                          << "\nsimplified: " << S->toString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriterSoundnessTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+//===----------------------------------------------------------------------===//
+// End-to-end solver tests.
+//===----------------------------------------------------------------------===//
+
+TEST(SolverTest, SimpleSatWithModel) {
+  TermBuilder TB;
+  Solver S(TB);
+  const Term *X = TB.freshVar(Sort::bitvec(16), "x");
+  // x + 3 == 10 and x < 100.
+  S.assertTerm(TB.eqTerm(TB.bvAdd(X, TB.constBV(16, 3)), TB.constBV(16, 10)));
+  S.assertTerm(TB.bvUlt(X, TB.constBV(16, 100)));
+  ASSERT_EQ(S.check(), Result::Sat);
+  EXPECT_EQ(S.modelValue(X).asBitVec().toUInt64(), 7u);
+}
+
+TEST(SolverTest, UnsatByContradiction) {
+  TermBuilder TB;
+  Solver S(TB);
+  const Term *X = TB.freshVar(Sort::bitvec(8), "x");
+  S.assertTerm(TB.bvUlt(X, TB.constBV(8, 4)));
+  S.assertTerm(TB.bvUlt(TB.constBV(8, 9), X));
+  EXPECT_EQ(S.check(), Result::Unsat);
+}
+
+TEST(SolverTest, PushPop) {
+  TermBuilder TB;
+  Solver S(TB);
+  const Term *X = TB.freshVar(Sort::bitvec(8), "x");
+  S.assertTerm(TB.bvUlt(X, TB.constBV(8, 4)));
+  S.push();
+  S.assertTerm(TB.bvUlt(TB.constBV(8, 9), X));
+  EXPECT_EQ(S.check(), Result::Unsat);
+  S.pop();
+  EXPECT_EQ(S.check(), Result::Sat);
+}
+
+TEST(SolverTest, ValidityOfBvIdentity) {
+  TermBuilder TB;
+  Solver S(TB);
+  const Term *X = TB.freshVar(Sort::bitvec(12), "x");
+  const Term *Y = TB.freshVar(Sort::bitvec(12), "y");
+  // (x ^ y) ^ y == x is valid.
+  EXPECT_TRUE(S.isValid(TB.eqTerm(TB.bvXor(TB.bvXor(X, Y), Y), X)));
+  // x + y == x is not valid.
+  EXPECT_FALSE(S.isValid(TB.eqTerm(TB.bvAdd(X, Y), X)));
+}
+
+TEST(SolverTest, MulDivRelation) {
+  TermBuilder TB;
+  Solver S(TB);
+  const Term *X = TB.freshVar(Sort::bitvec(8), "x");
+  const Term *Y = TB.freshVar(Sort::bitvec(8), "y");
+  // y != 0 -> (x / y) * y + (x % y) == x  must be valid.
+  const Term *Prop = TB.impliesTerm(
+      TB.distinctTerm(Y, TB.constBV(8, 0)),
+      TB.eqTerm(TB.bvAdd(TB.bvMul(TB.bvUDiv(X, Y), Y), TB.bvURem(X, Y)), X));
+  EXPECT_TRUE(S.isValid(Prop));
+}
+
+TEST(SolverTest, DivByZeroConvention) {
+  TermBuilder TB;
+  Solver S(TB);
+  const Term *X = TB.freshVar(Sort::bitvec(8), "x");
+  EXPECT_TRUE(S.isValid(
+      TB.eqTerm(TB.bvUDiv(X, TB.constBV(8, 0)), TB.constBV(8, 0xff))));
+  EXPECT_TRUE(S.isValid(TB.eqTerm(TB.bvURem(X, TB.constBV(8, 0)), X)));
+}
+
+TEST(SolverTest, ShiftSemantics) {
+  TermBuilder TB;
+  Solver S(TB);
+  const Term *X = TB.freshVar(Sort::bitvec(8), "x");
+  const Term *A = TB.freshVar(Sort::bitvec(8), "a");
+  // Shifting by >= width gives zero.
+  EXPECT_TRUE(S.isValid(TB.impliesTerm(
+      TB.bvUle(TB.constBV(8, 8), A),
+      TB.eqTerm(TB.bvShl(X, A), TB.constBV(8, 0)))));
+  // (x << 1) == x + x.
+  EXPECT_TRUE(S.isValid(
+      TB.eqTerm(TB.bvShl(X, TB.constBV(8, 1)), TB.bvAdd(X, X))));
+}
+
+TEST(SolverTest, SignedComparison) {
+  TermBuilder TB;
+  Solver S(TB);
+  // 0x80 <s 0 <s 0x7f at width 8.
+  EXPECT_TRUE(S.isValid(TB.bvSlt(TB.constBV(8, 0x80), TB.constBV(8, 0))));
+  const Term *X = TB.freshVar(Sort::bitvec(8), "x");
+  // x <s 0  <->  msb(x) == 1.
+  const Term *P = TB.eqTerm(
+      TB.bvSlt(X, TB.constBV(8, 0)),
+      TB.eqTerm(TB.extract(7, 7, X), TB.constBV(1, 1)));
+  EXPECT_TRUE(S.isValid(P));
+}
+
+class SolverVsEvalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverVsEvalTest, SatModelsSatisfyFormulaAndUnsatHasNoWitness) {
+  std::mt19937 Rng(unsigned(GetParam()) * 48271u + 7);
+  TermBuilder TB;
+  RandomTermGen Gen(TB, Rng, 3);
+  for (int Round = 0; Round < 25; ++Round) {
+    const Term *F = Gen.genBool(3);
+    Solver S(TB);
+    S.assertTerm(F);
+    Result R = S.check();
+    if (R == Result::Sat) {
+      // Read the model back and evaluate.
+      Env E;
+      for (const Term *V : collectVars(F))
+        E[V->varId()] = S.modelValue(V);
+      auto V = evaluate(F, E);
+      ASSERT_TRUE(V.has_value());
+      EXPECT_TRUE(V->asBool()) << F->toString();
+    } else {
+      // Randomized refutation check: no sampled assignment may satisfy F.
+      for (int Trial = 0; Trial < 200; ++Trial) {
+        Env E = Gen.randomEnv();
+        auto V = evaluate(F, E);
+        if (V) {
+          EXPECT_FALSE(V->asBool()) << F->toString();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverVsEvalTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(SolverTest, SubstituteComposes) {
+  TermBuilder TB;
+  const Term *X = TB.freshVar(Sort::bitvec(8), "x");
+  const Term *Y = TB.freshVar(Sort::bitvec(8), "y");
+  const Term *E = TB.bvAdd(X, TB.bvMul(Y, TB.constBV(8, 2)));
+  std::unordered_map<uint32_t, const Term *> M;
+  M[X->varId()] = TB.constBV(8, 3);
+  M[Y->varId()] = TB.constBV(8, 5);
+  const Term *R = TB.substitute(E, M);
+  ASSERT_EQ(R->kind(), Kind::ConstBV);
+  EXPECT_EQ(R->constBV().toUInt64(), 13u);
+}
+
+} // namespace
