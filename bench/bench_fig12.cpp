@@ -68,6 +68,29 @@ int main() {
                 R.IslaSeconds, P.IslaSec, R.Proof.automationSeconds(),
                 R.Proof.SideCondSeconds, P.CoqAutoSec, P.CoqSideSec);
   }
+  // Trace-generation reuse: before the trace-cache subsystem this was
+  // invisible — deduped/cached instructions silently shrank "Isla s".
+  // Surface it so the time column can be read against the work performed.
+  std::printf("\nTrace generation reuse (per row: executed + deduped + "
+              "cache hits = asm):\n");
+  unsigned TotExec = 0, TotDedup = 0, TotHits = 0, TotInstr = 0;
+  for (const CaseResult &R : Rows) {
+    if (!R.Ok)
+      continue;
+    std::printf("  %-11s %-4s : %3u + %3u + %3u = %3u\n", R.Name.c_str(),
+                R.Isa.c_str(), R.TracesExecuted, R.Deduped, R.CacheHits,
+                R.AsmInstrs);
+    TotExec += R.TracesExecuted;
+    TotDedup += R.Deduped;
+    TotHits += R.CacheHits;
+    TotInstr += R.AsmInstrs;
+  }
+  if (TotInstr)
+    std::printf("  total: %u of %u instructions executed (%.0f%% saved by "
+                "dedup/cache)\n",
+                TotExec, TotInstr,
+                100.0 * double(TotInstr - TotExec) / double(TotInstr));
+
   std::printf("\nShape checks (the qualitative claims that must carry "
               "over):\n");
   auto row = [&](const char *N, const char *I) -> const CaseResult & {

@@ -1,0 +1,130 @@
+//===- cache/BatchDriver.cpp - Parallel batch trace generation ----------------===//
+
+#include "cache/BatchDriver.h"
+
+#include "smt/TermBuilder.h"
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+using namespace islaris;
+using namespace islaris::cache;
+
+BatchDriver::BatchDriver(unsigned Threads) : NThreads(Threads) {
+  if (NThreads == 0) {
+    NThreads = std::thread::hardware_concurrency();
+    if (NThreads == 0)
+      NThreads = 1;
+  }
+}
+
+void BatchDriver::parallelFor(size_t N, unsigned Threads,
+                              const std::function<void(size_t)> &Fn) {
+  if (Threads <= 1 || N <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    while (true) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        return;
+      Fn(I);
+    }
+  };
+  size_t NumWorkers = std::min<size_t>(Threads, N);
+  std::vector<std::thread> Pool;
+  Pool.reserve(NumWorkers - 1);
+  for (size_t T = 1; T < NumWorkers; ++T)
+    Pool.emplace_back(Worker);
+  Worker(); // the calling thread participates
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+std::vector<TraceJobResult>
+BatchDriver::run(const std::vector<TraceJob> &Jobs, TraceCache *Cache) {
+  Last = BatchStats();
+  Last.Jobs = unsigned(Jobs.size());
+
+  std::vector<TraceJobResult> Results(Jobs.size());
+
+  // Canonicalize and group: one execution per distinct key.  std::map keeps
+  // group iteration deterministic.
+  struct Group {
+    std::vector<size_t> Members; ///< Job indices, in submission order.
+    bool Ok = false;
+    bool FromCache = false;
+    CacheEntry Entry;
+    std::string Error;
+  };
+  std::map<Fingerprint, Group> Groups;
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    const TraceJob &J = Jobs[I];
+    assert(J.Model && J.Assume && "incomplete trace job");
+    Results[I].Key =
+        traceCacheKey(J.ArchName, *J.Model, J.Op, *J.Assume, J.Opts);
+    Groups[Results[I].Key].Members.push_back(I);
+  }
+
+  // Serve what we can from the cache; collect the rest as work items.
+  std::vector<std::pair<const Fingerprint *, Group *>> Work;
+  for (auto &[K, G] : Groups) {
+    if (Cache) {
+      if (auto E = Cache->lookup(K)) {
+        G.Entry = std::move(*E);
+        G.Ok = true;
+        G.FromCache = true;
+        continue;
+      }
+    }
+    Work.emplace_back(&K, &G);
+  }
+
+  // Execute the misses.  Each execution gets a private TermBuilder and
+  // Executor; groups are disjoint, so workers write without locks and the
+  // shared cache synchronizes internally.
+  parallelFor(Work.size(), NThreads, [&](size_t W) {
+    const Fingerprint &K = *Work[W].first;
+    Group &G = *Work[W].second;
+    const TraceJob &J = Jobs[G.Members.front()];
+    smt::TermBuilder TB;
+    isla::Executor Ex(*J.Model, TB);
+    isla::ExecResult R = Ex.run(J.Op, *J.Assume, J.Opts);
+    if (!R.Ok) {
+      G.Error = R.Error;
+      return;
+    }
+    G.Entry = TraceCache::encode(R);
+    G.Ok = true;
+    if (Cache)
+      Cache->insert(K, G.Entry);
+  });
+
+  for (auto &[K, G] : Groups) {
+    (void)K;
+    for (size_t Rank = 0; Rank < G.Members.size(); ++Rank) {
+      TraceJobResult &R = Results[G.Members[Rank]];
+      R.Ok = G.Ok;
+      if (!G.Ok) {
+        R.Error = G.Error;
+        continue;
+      }
+      R.Entry = G.Entry;
+      if (G.FromCache) {
+        R.Source = ResultSource::CacheHit;
+        ++Last.CacheHits;
+      } else if (Rank == 0) {
+        R.Source = ResultSource::Fresh;
+        ++Last.Fresh;
+      } else {
+        R.Source = ResultSource::Deduped;
+        ++Last.Deduped;
+      }
+    }
+  }
+  return Results;
+}

@@ -1,0 +1,280 @@
+//===- cache/TraceCache.cpp - Content-addressed ITL trace store ---------------===//
+
+#include "cache/TraceCache.h"
+
+#include "itl/Parser.h"
+#include "smt/TermBuilder.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace islaris;
+using namespace islaris::cache;
+
+namespace fs = std::filesystem;
+
+std::string islaris::cache::resolveCacheDir() {
+  if (const char *Env = std::getenv("ISLARIS_CACHE_DIR"))
+    if (*Env)
+      return Env;
+  return "build/.trace-cache";
+}
+
+TraceCache::TraceCache(TraceCacheConfig C) : Cfg(std::move(C)) {
+  Directory = Cfg.Dir.empty() ? resolveCacheDir() : Cfg.Dir;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization.
+//===----------------------------------------------------------------------===//
+
+CacheEntry TraceCache::encode(const isla::ExecResult &R) {
+  assert(R.Ok && "only successful executions are cached");
+  CacheEntry E;
+  E.TraceText = R.Trace.toString();
+  for (const smt::Term *V : R.OpcodeVars)
+    E.OpcodeVars.emplace_back(V->varName(), V->width());
+  E.Stats = R.Stats;
+  return E;
+}
+
+bool TraceCache::decode(const CacheEntry &E, smt::TermBuilder &TB,
+                        isla::ExecResult &Out, std::string &Err) {
+  itl::TraceParser P(TB);
+  auto T = P.parseTrace(E.TraceText);
+  if (!T) {
+    Err = "cached trace does not re-parse (ITL adequacy bug): " + P.error();
+    return false;
+  }
+  Out.Trace = std::move(*T);
+  Out.OpcodeVars.clear();
+  for (const auto &[Name, Width] : E.OpcodeVars) {
+    auto It = P.vars().find(Name);
+    if (It != P.vars().end()) {
+      Out.OpcodeVars.push_back(It->second);
+      continue;
+    }
+    // Opcode variables are always declared inside the trace; tolerate a
+    // missing one (e.g. a hand-written entry) with a fresh stand-in.
+    Out.OpcodeVars.push_back(
+        TB.freshVar(smt::Sort::bitvec(Width ? Width : 1), Name));
+  }
+  Out.Stats = E.Stats;
+  Out.Error.clear();
+  Out.Ok = true;
+  return true;
+}
+
+std::string TraceCache::serializeEntry(const Fingerprint &K,
+                                       const CacheEntry &E) {
+  std::ostringstream OS;
+  OS << "(islaris-trace-cache 1 " << K.toHex() << " (opcode-vars";
+  for (const auto &[Name, Width] : E.OpcodeVars)
+    OS << " (|" << Name << "| " << Width << ")";
+  OS << ") (stats " << E.Stats.Paths << " " << E.Stats.PrunedBranches << " "
+     << E.Stats.SolverQueries << " " << E.Stats.Events << "))\n";
+  OS << E.TraceText << "\n";
+  return OS.str();
+}
+
+static std::string stripBars(const std::string &S) {
+  if (S.size() >= 2 && S.front() == '|' && S.back() == '|')
+    return S.substr(1, S.size() - 2);
+  return S;
+}
+
+bool TraceCache::parseEntry(const std::string &Text, const Fingerprint &K,
+                            CacheEntry &Out, std::string &Err) {
+  itl::SExprParser P(Text);
+  auto Header = P.parse();
+  if (!Header) {
+    Err = "bad cache entry header: " + P.error();
+    return false;
+  }
+  const std::vector<itl::SExpr> &L = Header->List;
+  if (Header->isAtom() || L.size() != 5 ||
+      L[0].Atom != "islaris-trace-cache" || L[1].Atom != "1") {
+    Err = "unrecognized cache entry header/version";
+    return false;
+  }
+  Fingerprint FileKey;
+  if (!Fingerprint::fromHex(L[2].Atom, FileKey) || FileKey != K) {
+    Err = "cache entry key mismatch";
+    return false;
+  }
+  if (L[3].isAtom() || L[3].List.empty() ||
+      L[3].List[0].Atom != "opcode-vars") {
+    Err = "bad opcode-vars list";
+    return false;
+  }
+  Out.OpcodeVars.clear();
+  for (size_t I = 1; I < L[3].List.size(); ++I) {
+    const itl::SExpr &V = L[3].List[I];
+    if (V.isAtom() || V.List.size() != 2 || !V.List[0].isAtom() ||
+        !V.List[1].isAtom()) {
+      Err = "bad opcode-var entry";
+      return false;
+    }
+    Out.OpcodeVars.emplace_back(stripBars(V.List[0].Atom),
+                                unsigned(std::stoul(V.List[1].Atom)));
+  }
+  if (L[4].isAtom() || L[4].List.size() != 5 ||
+      L[4].List[0].Atom != "stats") {
+    Err = "bad stats list";
+    return false;
+  }
+  Out.Stats.Paths = unsigned(std::stoul(L[4].List[1].Atom));
+  Out.Stats.PrunedBranches = unsigned(std::stoul(L[4].List[2].Atom));
+  Out.Stats.SolverQueries = unsigned(std::stoul(L[4].List[3].Atom));
+  Out.Stats.Events = unsigned(std::stoul(L[4].List[4].Atom));
+
+  // The remainder of the file is the trace text, kept verbatim so that a
+  // disk round-trip is byte-identical with the in-memory entry.
+  size_t Start = P.position();
+  while (Start < Text.size() &&
+         (Text[Start] == '\n' || Text[Start] == '\r' || Text[Start] == ' ' ||
+          Text[Start] == '\t'))
+    ++Start;
+  size_t End = Text.size();
+  while (End > Start && (Text[End - 1] == '\n' || Text[End - 1] == '\r'))
+    --End;
+  Out.TraceText = Text.substr(Start, End - Start);
+  if (Out.TraceText.empty()) {
+    Err = "cache entry has no trace";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Disk persistence.
+//===----------------------------------------------------------------------===//
+
+std::string TraceCache::entryPath(const Fingerprint &K) const {
+  return Directory + "/" + K.toHex() + ".itc";
+}
+
+std::optional<CacheEntry> TraceCache::loadFromDisk(const Fingerprint &K) {
+  std::ifstream In(entryPath(K), std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  CacheEntry E;
+  std::string Err;
+  if (!parseEntry(Buf.str(), K, E, Err))
+    return std::nullopt; // corrupt or stale-format entry: treat as a miss
+  return E;
+}
+
+void TraceCache::writeToDisk(const Fingerprint &K, const CacheEntry &E) {
+  std::error_code EC;
+  fs::create_directories(Directory, EC);
+  if (EC)
+    return;
+  std::string Path = entryPath(K);
+  if (fs::exists(Path, EC))
+    return; // entries are immutable: first writer wins
+  // Write-to-temp + rename keeps concurrent writers from exposing partial
+  // files; racing writers produce identical content anyway.
+  std::string Tmp = Path + ".tmp" + std::to_string(uintptr_t(&E));
+  {
+    std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OutF)
+      return;
+    OutF << serializeEntry(K, E);
+  }
+  fs::rename(Tmp, Path, EC);
+  if (EC)
+    fs::remove(Tmp, EC);
+  std::lock_guard<std::mutex> L(Mu);
+  ++St.DiskWrites;
+}
+
+//===----------------------------------------------------------------------===//
+// In-memory LRU map.
+//===----------------------------------------------------------------------===//
+
+std::optional<CacheEntry> TraceCache::lookup(const Fingerprint &K) {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Map.find(K);
+    if (It != Map.end()) {
+      Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+      ++St.Hits;
+      return It->second.Entry;
+    }
+  }
+  if (Cfg.Persist) {
+    if (auto E = loadFromDisk(K)) {
+      std::lock_guard<std::mutex> L(Mu);
+      ++St.DiskHits;
+      if (!Map.count(K)) { // promote into memory
+        Lru.push_front(K);
+        Map.emplace(K, Slot{*E, Lru.begin()});
+        while (Map.size() > Cfg.MaxEntries) {
+          Map.erase(Lru.back());
+          Lru.pop_back();
+          ++St.Evictions;
+        }
+      }
+      return E;
+    }
+  }
+  std::lock_guard<std::mutex> L(Mu);
+  ++St.Misses;
+  return std::nullopt;
+}
+
+void TraceCache::insert(const Fingerprint &K, CacheEntry E) {
+  bool Fresh = false;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Map.find(K);
+    if (It != Map.end()) {
+      // Entries are immutable by content-addressing; refresh recency only.
+      Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    } else {
+      Lru.push_front(K);
+      Map.emplace(K, Slot{E, Lru.begin()});
+      ++St.Insertions;
+      Fresh = true;
+      while (Map.size() > Cfg.MaxEntries) {
+        Map.erase(Lru.back());
+        Lru.pop_back();
+        ++St.Evictions;
+      }
+    }
+  }
+  if (Fresh && Cfg.Persist)
+    writeToDisk(K, E);
+}
+
+void TraceCache::clearMemory() {
+  std::lock_guard<std::mutex> L(Mu);
+  Map.clear();
+  Lru.clear();
+}
+
+size_t TraceCache::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Map.size();
+}
+
+CacheStats TraceCache::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return St;
+}
+
+//===----------------------------------------------------------------------===//
+// Ambient cache.
+//===----------------------------------------------------------------------===//
+
+static TraceCache *AmbientCache = nullptr;
+
+TraceCache *islaris::cache::ambientTraceCache() { return AmbientCache; }
+void islaris::cache::setAmbientTraceCache(TraceCache *C) {
+  AmbientCache = C;
+}

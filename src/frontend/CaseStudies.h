@@ -30,6 +30,10 @@
 #include <string>
 #include <vector>
 
+namespace islaris::cache {
+class TraceCache;
+}
+
 namespace islaris::frontend {
 
 /// One Fig. 12 row.
@@ -44,6 +48,9 @@ struct CaseResult {
   unsigned Hints = 0;      ///< "Proof" column analogue: manual hints
                            ///< (pure facts + invariants we had to supply).
   double IslaSeconds = 0;  ///< Symbolic-execution time.
+  unsigned TracesExecuted = 0; ///< Instructions symbolically executed.
+  unsigned CacheHits = 0;      ///< Instructions served by the trace cache.
+  unsigned Deduped = 0;        ///< Instructions deduplicated in-batch.
   seplogic::ProofStats Proof;
 };
 
@@ -67,8 +74,21 @@ CaseResult runBinSearchArm(unsigned N = 4);
 /// The RISC-V binary search.
 CaseResult runBinSearchRv(unsigned N = 4);
 
-/// All nine Fig. 12 rows, in the paper's order.
+/// How to run the suite: worker threads across case studies (the studies
+/// are fully independent — each owns a private Verifier/TermBuilder) and an
+/// optional shared trace cache installed as the ambient cache for the run.
+struct SuiteOptions {
+  unsigned Threads = 1; ///< 0 = hardware concurrency, 1 = serial.
+  cache::TraceCache *Cache = nullptr;
+};
+
+/// All nine Fig. 12 rows, in the paper's order (serial, uncached).
 std::vector<CaseResult> runAllCaseStudies();
+
+/// All nine rows under \p O: case studies run concurrently on O.Threads
+/// workers and share O.Cache.  Results are positionally identical to the
+/// serial overload.
+std::vector<CaseResult> runAllCaseStudies(const SuiteOptions &O);
 
 } // namespace islaris::frontend
 

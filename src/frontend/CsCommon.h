@@ -22,6 +22,9 @@ inline CaseResult finishResult(CaseResult R, Verifier &V, bool Ok,
   R.AsmInstrs = V.genStats().Instructions;
   R.ItlEvents = V.genStats().ItlEvents;
   R.IslaSeconds = V.genStats().Seconds;
+  R.TracesExecuted = V.genStats().Executed;
+  R.CacheHits = V.genStats().CacheHits;
+  R.Deduped = V.genStats().Deduped;
   R.SpecSize = SpecSize;
   R.Hints = Hints;
   R.Proof = V.engine().stats();

@@ -2,6 +2,7 @@
 
 #include "frontend/Verifier.h"
 
+#include "cache/BatchDriver.h"
 #include "models/Models.h"
 
 #include <chrono>
@@ -10,19 +11,22 @@ using namespace islaris;
 using namespace islaris::frontend;
 
 ArchInfo islaris::frontend::aarch64() {
-  return {&models::aarch64Model(), "_PC", [](const itl::Reg &R) -> unsigned {
+  return {&models::aarch64Model(), "_PC",
+          [](const itl::Reg &R) -> unsigned {
             if (R.Base == "PSTATE")
               return R.Field == "EL" ? 2 : 1;
             return 64;
-          }};
+          },
+          "aarch64"};
 }
 
 ArchInfo islaris::frontend::rv64() {
   return {&models::rv64Model(), "PC",
-          [](const itl::Reg &) -> unsigned { return 64; }};
+          [](const itl::Reg &) -> unsigned { return 64; }, "rv64"};
 }
 
-Verifier::Verifier(ArchInfo Arch) : Arch(std::move(Arch)) {}
+Verifier::Verifier(ArchInfo Arch)
+    : Arch(std::move(Arch)), Cache(cache::ambientTraceCache()) {}
 
 void Verifier::addCode(const std::map<uint64_t, uint32_t> &NewCode) {
   for (const auto &[Addr, Op] : NewCode) {
@@ -47,27 +51,67 @@ void Verifier::symbolicAt(uint64_t Addr, unsigned Hi, unsigned Lo) {
 
 bool Verifier::generateTraces(std::string &Err) {
   auto Start = std::chrono::steady_clock::now();
-  isla::Executor Ex(*Arch.Model, TB);
+
+  // One job per instruction.  The batch driver canonicalizes each job to
+  // its cache key, so repeated opcodes under the same assumptions (e.g.
+  // unrolled loop bodies) execute once, and a shared TraceCache can satisfy
+  // whole programs without running the executor at all.
+  std::vector<cache::TraceJob> Jobs;
+  std::vector<uint64_t> Addrs;
+  Jobs.reserve(Code.size());
   for (const auto &[Addr, Op] : Code) {
+    cache::TraceJob J;
+    J.Model = Arch.Model;
+    J.ArchName = Arch.Name;
     auto SpecIt = OpcodeSpecs.find(Addr);
-    isla::OpcodeSpec OS = SpecIt != OpcodeSpecs.end()
-                              ? SpecIt->second
-                              : isla::OpcodeSpec::concrete(Op);
+    J.Op = SpecIt != OpcodeSpecs.end() ? SpecIt->second
+                                       : isla::OpcodeSpec::concrete(Op);
     auto AIt = PerAddr.find(Addr);
-    const isla::Assumptions &A =
-        AIt != PerAddr.end() ? AIt->second : Defaults;
-    isla::ExecResult R = Ex.run(OS, A, Opts);
+    J.Assume = AIt != PerAddr.end() ? &AIt->second : &Defaults;
+    J.Opts = Opts;
+    J.Tag = Addr;
+    Jobs.push_back(std::move(J));
+    Addrs.push_back(Addr);
+  }
+
+  cache::BatchDriver Driver(GenThreads);
+  std::vector<cache::TraceJobResult> Results = Driver.run(Jobs, Cache);
+
+  // Materialize results in address order into this verifier's builder.
+  // Every path — fresh, deduped, or cached — round-trips through the
+  // printed ITL form, so the three are bit-identical by construction and
+  // each materialization re-checks the grammar's adequacy.
+  for (size_t I = 0; I < Results.size(); ++I) {
+    uint64_t Addr = Addrs[I];
+    cache::TraceJobResult &R = Results[I];
     if (!R.Ok) {
       Err = "instruction at " + BitVec(64, Addr).toHexString() + " (" +
-            BitVec(32, Op).toHexString() + "): " + R.Error;
+            BitVec(32, Code[Addr]).toHexString() + "): " + R.Error;
       return false;
     }
-    Traces[Addr] = std::move(R.Trace);
-    OpcodeVars[Addr] = std::move(R.OpcodeVars);
-    Gen.ItlEvents += R.Stats.Events;
-    Gen.Paths += R.Stats.Paths;
-    Gen.SolverQueries += R.Stats.SolverQueries;
+    isla::ExecResult Exec;
+    if (!cache::TraceCache::decode(R.Entry, TB, Exec, Err)) {
+      Err = "instruction at " + BitVec(64, Addr).toHexString() + ": " + Err;
+      return false;
+    }
+    Traces[Addr] = std::move(Exec.Trace);
+    OpcodeVars[Addr] = std::move(Exec.OpcodeVars);
+    Gen.ItlEvents += Exec.Stats.Events;
+    Gen.Paths += Exec.Stats.Paths;
     ++Gen.Instructions;
+    switch (R.Source) {
+    case cache::ResultSource::Fresh:
+      // Solver work is only accounted when it actually happened.
+      Gen.SolverQueries += Exec.Stats.SolverQueries;
+      ++Gen.Executed;
+      break;
+    case cache::ResultSource::CacheHit:
+      ++Gen.CacheHits;
+      break;
+    case cache::ResultSource::Deduped:
+      ++Gen.Deduped;
+      break;
+    }
   }
   for (const auto &[Addr, T] : Traces)
     InstrPtrs[Addr] = &T;

@@ -22,6 +22,10 @@
 #include <map>
 #include <memory>
 
+namespace islaris::cache {
+class TraceCache;
+}
+
 namespace islaris::frontend {
 
 /// Architecture bundle: model, PC register name, register width oracle.
@@ -29,6 +33,9 @@ struct ArchInfo {
   const sail::Model *Model;
   std::string PcName;
   std::function<unsigned(const itl::Reg &)> RegWidth;
+  /// Stable architecture name ("aarch64", "rv64"); part of the trace-cache
+  /// key so different ISAs can never alias.
+  std::string Name;
 };
 
 /// The Armv8-A architecture (models::aarch64Model).
@@ -36,13 +43,20 @@ ArchInfo aarch64();
 /// The RV64 architecture (models::rv64Model).
 ArchInfo rv64();
 
-/// Trace-generation statistics ("Isla time" of Fig. 12).
+/// Trace-generation statistics ("Isla time" of Fig. 12).  ItlEvents and
+/// Paths describe the generated traces (the paper's "ITL" column) and are
+/// identical however a trace was obtained; Executed / CacheHits / Deduped /
+/// SolverQueries describe the work actually performed, so cache and dedup
+/// savings are visible instead of silently folding into Seconds.
 struct GenStats {
   double Seconds = 0;
   unsigned Instructions = 0;
   unsigned ItlEvents = 0;
   unsigned Paths = 0;
-  unsigned SolverQueries = 0;
+  unsigned SolverQueries = 0; ///< Queries of executions actually run.
+  unsigned Executed = 0;      ///< Instructions symbolically executed.
+  unsigned CacheHits = 0;     ///< Instructions served from the trace cache.
+  unsigned Deduped = 0;       ///< Instructions sharing an in-batch twin.
 };
 
 /// Drives trace generation and verification for one program.
@@ -73,8 +87,23 @@ public:
   /// the E5 ablation).
   isla::ExecOptions &options() { return Opts; }
 
-  /// Runs the symbolic executor over every instruction.  Returns false and
-  /// sets \p Err on the first failure.
+  /// Attaches a trace cache (shared, not owned; thread-safe).  New
+  /// verifiers start with cache::ambientTraceCache(), which is null unless
+  /// a harness opted in — the default pipeline is unchanged.
+  void setTraceCache(cache::TraceCache *C) { Cache = C; }
+  cache::TraceCache *traceCache() const { return Cache; }
+
+  /// Worker threads for generateTraces (1 = serial on the calling thread,
+  /// 0 = hardware concurrency).  Distinct instructions are independent;
+  /// each worker owns a private TermBuilder/Executor and results are
+  /// deterministic regardless of the thread count.
+  void setParallelism(unsigned Threads) { GenThreads = Threads; }
+  unsigned parallelism() const { return GenThreads; }
+
+  /// Runs the symbolic executor over every instruction, deduplicating
+  /// identical (opcode, assumptions, options) requests within the call and
+  /// consulting the attached trace cache.  Returns false and sets \p Err on
+  /// the first failure (in address order).
   bool generateTraces(std::string &Err);
 
   /// Trace and opcode-variable access (valid after generateTraces).
@@ -105,6 +134,8 @@ private:
   std::map<uint64_t, std::vector<const smt::Term *>> OpcodeVars;
   std::unique_ptr<seplogic::ProofEngine> Engine;
   GenStats Gen;
+  cache::TraceCache *Cache = nullptr;
+  unsigned GenThreads = 1;
 };
 
 } // namespace islaris::frontend

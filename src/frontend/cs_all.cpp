@@ -2,12 +2,40 @@
 
 #include "frontend/CaseStudies.h"
 
+#include "cache/BatchDriver.h"
+
 using namespace islaris::frontend;
 
 std::vector<CaseResult> islaris::frontend::runAllCaseStudies() {
-  return {
-      runMemcpyArm(),    runMemcpyRv(), runHvc(),
-      runPkvm(),         runUnaligned(), runUart(),
-      runRbit(),         runBinSearchArm(), runBinSearchRv(),
+  return runAllCaseStudies(SuiteOptions());
+}
+
+std::vector<CaseResult>
+islaris::frontend::runAllCaseStudies(const SuiteOptions &O) {
+  using Runner = CaseResult (*)();
+  // Thunks in the paper's row order; defaulted-parameter runners need the
+  // wrapping.
+  static const Runner Runners[] = {
+      [] { return runMemcpyArm(); },    [] { return runMemcpyRv(); },
+      [] { return runHvc(); },          [] { return runPkvm(); },
+      [] { return runUnaligned(); },    [] { return runUart(); },
+      [] { return runRbit(); },         [] { return runBinSearchArm(); },
+      [] { return runBinSearchRv(); },
   };
+  constexpr size_t N = sizeof(Runners) / sizeof(Runners[0]);
+
+  // Install the shared cache as the ambient cache for the whole run so the
+  // per-study Verifiers pick it up without signature churn.  Set before the
+  // pool spawns and restored after it joins: the pointer itself is not
+  // synchronized, only the cache behind it is.
+  cache::TraceCache *Saved = cache::ambientTraceCache();
+  cache::setAmbientTraceCache(O.Cache ? O.Cache : Saved);
+
+  std::vector<CaseResult> Results(N);
+  cache::BatchDriver::parallelFor(
+      N, O.Threads == 0 ? cache::BatchDriver().threads() : O.Threads,
+      [&](size_t I) { Results[I] = Runners[I](); });
+
+  cache::setAmbientTraceCache(Saved);
+  return Results;
 }

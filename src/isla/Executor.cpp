@@ -62,6 +62,16 @@ struct Executor::RunState {
   }
 };
 
+unsigned islaris::isla::registerWidth(const sail::Model &M,
+                                      const itl::Reg &R) {
+  const sail::RegisterDecl *RD = M.findRegister(R.Base);
+  if (!RD)
+    return 0;
+  if (!R.hasField())
+    return RD->Width;
+  return RD->hasField(R.Field) ? RD->fieldWidth(R.Field) : 0;
+}
+
 Executor::Executor(const sail::Model &M, smt::TermBuilder &TB)
     : M(M), TB(TB), Solver(TB), RW(TB) {}
 
@@ -656,12 +666,11 @@ ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
       RS.RegCache[R] = TB.constBV(V);
     }
     for (const auto &[R, F] : A.Constraints) {
-      const sail::RegisterDecl *RD = M.findRegister(R.Base);
-      if (!RD) {
+      if (!M.findRegister(R.Base)) {
         Res.Error = "constraint on unknown register " + R.Base;
         return Res;
       }
-      unsigned W = R.hasField() ? RD->fieldWidth(R.Field) : RD->Width;
+      unsigned W = registerWidth(M, R);
       const Term *V = pooledVar(Sort::bitvec(W), RS);
       const Term *P = F(TB, V);
       RS.Events.push_back(Event::declareConst(V));

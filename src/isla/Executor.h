@@ -108,6 +108,13 @@ struct ExecResult {
   ExecStats Stats;
 };
 
+/// Width in bits of the register designator \p R under \p M's declarations
+/// (field-granular, e.g. PSTATE.EL is 2 bits); 0 if \p R is unknown.  Used
+/// by the executor's assumption preamble and by the trace-cache key
+/// derivation (cache/Fingerprint), which must agree on constraint-variable
+/// widths.
+unsigned registerWidth(const sail::Model &M, const itl::Reg &R);
+
 /// The symbolic executor.  One instance per (model, builder); run() may be
 /// called repeatedly.
 class Executor {

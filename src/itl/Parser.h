@@ -42,6 +42,10 @@ public:
   /// Parses all top-level S-expressions until end of input.
   std::optional<std::vector<SExpr>> parseAll();
   const std::string &error() const { return Error; }
+  /// Offset just past the last consumed token.  Lets callers parse a
+  /// leading S-expression header and keep the remainder of the input
+  /// verbatim (the trace-cache entry format does this).
+  size_t position() const { return Pos; }
 
 private:
   void skipWhitespace();

@@ -1,0 +1,461 @@
+//===- tests/cache_test.cpp - Trace cache subsystem -----------------------------===//
+//
+// Covers the cache::* layer end to end: fingerprint stability and
+// sensitivity, ExecResult serialization through the ITL printer/parser
+// round-trip, LRU bounding and hit/miss/evict counters, in-batch
+// deduplication, cross-verifier cache hits, cross-thread determinism of the
+// batch driver, on-disk persistence, and the warm-cache behavior of the
+// full Fig. 12 case-study suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/BatchDriver.h"
+#include "cache/Fingerprint.h"
+#include "cache/TraceCache.h"
+
+#include "arch/AArch64.h"
+#include "frontend/CaseStudies.h"
+#include "frontend/Verifier.h"
+#include "models/Models.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+using namespace islaris;
+using namespace islaris::cache;
+using islaris::frontend::Verifier;
+using islaris::itl::Reg;
+
+namespace {
+
+isla::Assumptions el1Assumptions() {
+  isla::Assumptions A;
+  A.assume(Reg("PSTATE", "EL"), BitVec(2, 0b01));
+  A.assume(Reg("PSTATE", "SP"), BitVec(1, 1));
+  A.assume(Reg("SCTLR_EL1"), BitVec(64, 0));
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprints.
+//===----------------------------------------------------------------------===//
+
+TEST(FingerprintTest, HexRoundTripAndDeterminism) {
+  Fingerprinter FP;
+  FP.str("hello").u64(42).boolean(true);
+  Fingerprint A = FP.digest();
+  Fingerprinter FP2;
+  FP2.str("hello").u64(42).boolean(true);
+  EXPECT_EQ(A, FP2.digest());
+
+  std::string Hex = A.toHex();
+  EXPECT_EQ(Hex.size(), 32u);
+  Fingerprint B;
+  ASSERT_TRUE(Fingerprint::fromHex(Hex, B));
+  EXPECT_EQ(A, B);
+  EXPECT_FALSE(Fingerprint::fromHex("zz", B));
+
+  // Length prefixing: a field boundary shift must change the digest.
+  Fingerprinter F3, F4;
+  F3.str("ab").str("c");
+  F4.str("a").str("bc");
+  EXPECT_NE(F3.digest(), F4.digest());
+}
+
+TEST(FingerprintTest, TraceKeySensitivity) {
+  const sail::Model &M = models::aarch64Model();
+  isla::Assumptions A = el1Assumptions();
+  isla::ExecOptions Opts;
+  namespace e = arch::aarch64::enc;
+  isla::OpcodeSpec Op = isla::OpcodeSpec::concrete(e::addImm(0, 0, 1));
+
+  Fingerprint Base = traceCacheKey("aarch64", M, Op, A, Opts);
+  EXPECT_EQ(Base, traceCacheKey("aarch64", M, Op, A, Opts));
+
+  // Every key ingredient must matter.
+  EXPECT_NE(Base, traceCacheKey("rv64", M, Op, A, Opts));
+  isla::OpcodeSpec Op2 = isla::OpcodeSpec::concrete(e::addImm(0, 0, 2));
+  EXPECT_NE(Base, traceCacheKey("aarch64", M, Op2, A, Opts));
+  isla::OpcodeSpec OpSym =
+      isla::OpcodeSpec::symbolicField(e::addImm(0, 0, 1), 21, 10);
+  EXPECT_NE(Base, traceCacheKey("aarch64", M, OpSym, A, Opts));
+  isla::Assumptions A2 = el1Assumptions();
+  A2.assume(Reg("HCR_EL2"), BitVec(64, 0));
+  EXPECT_NE(Base, traceCacheKey("aarch64", M, Op, A2, Opts));
+  isla::ExecOptions Opts2;
+  Opts2.SinksOnly = false;
+  EXPECT_NE(Base, traceCacheKey("aarch64", M, Op, A, Opts2));
+
+  // Structurally equal constraint closures key equal; different predicates
+  // key differently.
+  auto mkConstraint = [](uint64_t Bits) {
+    isla::Assumptions C;
+    C.assume(Reg("PSTATE", "EL"), BitVec(2, 0b10));
+    C.assume(Reg("PSTATE", "SP"), BitVec(1, 1));
+    C.constrain(Reg("SPSR_EL2"),
+                [Bits](smt::TermBuilder &TB, const smt::Term *V) {
+                  return TB.eqTerm(V, TB.constBV(64, Bits));
+                });
+    return C;
+  };
+  isla::Assumptions C1 = mkConstraint(5), C1b = mkConstraint(5),
+                    C2 = mkConstraint(9);
+  EXPECT_EQ(traceCacheKey("aarch64", M, Op, C1, Opts),
+            traceCacheKey("aarch64", M, Op, C1b, Opts));
+  EXPECT_NE(traceCacheKey("aarch64", M, Op, C1, Opts),
+            traceCacheKey("aarch64", M, Op, C2, Opts));
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization round-trips.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceCacheTest, EncodeDecodeRoundTripsSymbolicOpcode) {
+  const sail::Model &M = models::aarch64Model();
+  smt::TermBuilder TB;
+  isla::Executor Ex(M, TB);
+  namespace e = arch::aarch64::enc;
+  // Partially symbolic immediate (the pKVM relocation pattern): the result
+  // carries OpcodeVars that must survive serialization by name.
+  isla::OpcodeSpec Op =
+      isla::OpcodeSpec::symbolicField(e::movz(0, 0), 20, 5);
+  isla::ExecResult R = Ex.run(Op, el1Assumptions(), isla::ExecOptions());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_FALSE(R.OpcodeVars.empty());
+
+  CacheEntry E = TraceCache::encode(R);
+  EXPECT_EQ(E.TraceText, R.Trace.toString());
+  ASSERT_EQ(E.OpcodeVars.size(), R.OpcodeVars.size());
+
+  smt::TermBuilder TB2;
+  isla::ExecResult D;
+  std::string Err;
+  ASSERT_TRUE(TraceCache::decode(E, TB2, D, Err)) << Err;
+  EXPECT_TRUE(D.Ok);
+  EXPECT_EQ(D.Trace.toString(), R.Trace.toString());
+  ASSERT_EQ(D.OpcodeVars.size(), R.OpcodeVars.size());
+  for (size_t I = 0; I < D.OpcodeVars.size(); ++I) {
+    EXPECT_EQ(D.OpcodeVars[I]->varName(), R.OpcodeVars[I]->varName());
+    EXPECT_EQ(D.OpcodeVars[I]->width(), R.OpcodeVars[I]->width());
+  }
+  EXPECT_EQ(D.Stats.Events, R.Stats.Events);
+  EXPECT_EQ(D.Stats.Paths, R.Stats.Paths);
+}
+
+TEST(TraceCacheTest, EntryFileFormatRoundTrips) {
+  const sail::Model &M = models::aarch64Model();
+  smt::TermBuilder TB;
+  isla::Executor Ex(M, TB);
+  namespace e = arch::aarch64::enc;
+  isla::OpcodeSpec Op = isla::OpcodeSpec::symbolicField(e::movz(3, 0), 20, 5);
+  isla::ExecResult R = Ex.run(Op, el1Assumptions(), isla::ExecOptions());
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  Fingerprint K = traceCacheKey("aarch64", M, Op, el1Assumptions(),
+                                isla::ExecOptions());
+  CacheEntry E = TraceCache::encode(R);
+  std::string Text = TraceCache::serializeEntry(K, E);
+
+  CacheEntry E2;
+  std::string Err;
+  ASSERT_TRUE(TraceCache::parseEntry(Text, K, E2, Err)) << Err;
+  EXPECT_EQ(E2.TraceText, E.TraceText); // byte-identical, not just similar
+  EXPECT_EQ(E2.OpcodeVars, E.OpcodeVars);
+  EXPECT_EQ(E2.Stats.Events, E.Stats.Events);
+  EXPECT_EQ(E2.Stats.SolverQueries, E.Stats.SolverQueries);
+
+  // A mismatched key or mangled header is rejected, not misattributed.
+  Fingerprint Other = K;
+  Other.Lo ^= 1;
+  EXPECT_FALSE(TraceCache::parseEntry(Text, Other, E2, Err));
+  EXPECT_FALSE(TraceCache::parseEntry("(bogus)", K, E2, Err));
+  EXPECT_FALSE(TraceCache::parseEntry(Text.substr(0, 40), K, E2, Err));
+}
+
+//===----------------------------------------------------------------------===//
+// LRU bounding and counters.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceCacheTest, LruEvictionAndCounters) {
+  TraceCacheConfig Cfg;
+  Cfg.MaxEntries = 2;
+  TraceCache C(Cfg);
+
+  auto key = [](uint64_t N) {
+    Fingerprint F;
+    F.Hi = N;
+    F.Lo = ~N;
+    return F;
+  };
+  CacheEntry E;
+  E.TraceText = "(trace)";
+
+  C.insert(key(1), E);
+  C.insert(key(2), E);
+  EXPECT_TRUE(C.lookup(key(1)).has_value()); // 1 becomes most recent
+  C.insert(key(3), E);                       // evicts 2, the LRU entry
+  EXPECT_EQ(C.size(), 2u);
+  EXPECT_FALSE(C.lookup(key(2)).has_value());
+  EXPECT_TRUE(C.lookup(key(1)).has_value());
+  EXPECT_TRUE(C.lookup(key(3)).has_value());
+
+  CacheStats St = C.stats();
+  EXPECT_EQ(St.Insertions, 3u);
+  EXPECT_EQ(St.Evictions, 1u);
+  EXPECT_EQ(St.Hits, 3u);
+  EXPECT_EQ(St.Misses, 1u);
+
+  C.clearMemory();
+  EXPECT_EQ(C.size(), 0u);
+  EXPECT_EQ(C.stats().Insertions, 3u); // counters survive a clear
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier integration: dedup, cache hits, determinism.
+//===----------------------------------------------------------------------===//
+
+/// A straight-line program whose four middle instructions are the same
+/// opcode (a memcpy-loop-body shape): with dedup, one execution serves all.
+std::map<uint64_t, uint32_t> repeatedOpcodeProgram() {
+  namespace e = arch::aarch64::enc;
+  return {{0x1000, e::addImm(0, 0, 1)}, {0x1004, e::addImm(0, 0, 1)},
+          {0x1008, e::addImm(0, 0, 1)}, {0x100c, e::addImm(0, 0, 1)},
+          {0x1010, e::ret()}};
+}
+
+void setupVerifier(Verifier &V) {
+  V.addCode(repeatedOpcodeProgram());
+  V.defaults()
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b01))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 1))
+      .assume(Reg("SCTLR_EL1"), BitVec(64, 0));
+}
+
+std::map<uint64_t, std::string> traceTexts(const Verifier &V) {
+  std::map<uint64_t, std::string> Out;
+  for (const auto &[Addr, T] : V.instrMap())
+    Out[Addr] = T->toString();
+  return Out;
+}
+
+TEST(VerifierCacheTest, DedupsIdenticalWorkWithoutACache) {
+  Verifier V(frontend::aarch64());
+  ASSERT_EQ(V.traceCache(), nullptr);
+  setupVerifier(V);
+  std::string Err;
+  ASSERT_TRUE(V.generateTraces(Err)) << Err;
+  EXPECT_EQ(V.genStats().Instructions, 5u);
+  EXPECT_EQ(V.genStats().Executed, 2u); // addImm once, ret once
+  EXPECT_EQ(V.genStats().Deduped, 3u);
+  EXPECT_EQ(V.genStats().CacheHits, 0u);
+  // Deduplicated instructions materialize byte-identical traces.
+  auto Texts = traceTexts(V);
+  EXPECT_EQ(Texts.at(0x1000), Texts.at(0x1004));
+  EXPECT_EQ(Texts.at(0x1000), Texts.at(0x100c));
+  EXPECT_NE(Texts.at(0x1000), Texts.at(0x1010));
+}
+
+TEST(VerifierCacheTest, PerAddressAssumptionsDefeatDedup) {
+  // Same opcode under different assumptions must NOT dedup.
+  namespace e = arch::aarch64::enc;
+  Verifier V(frontend::aarch64());
+  V.addCode({{0x1000, e::addImm(0, 0, 1)}, {0x1004, e::addImm(0, 0, 1)}});
+  V.defaults()
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b10))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 1));
+  V.at(0x1004)
+      .assume(Reg("PSTATE", "EL"), BitVec(2, 0b01))
+      .assume(Reg("PSTATE", "SP"), BitVec(1, 1));
+  std::string Err;
+  ASSERT_TRUE(V.generateTraces(Err)) << Err;
+  EXPECT_EQ(V.genStats().Executed, 2u);
+  EXPECT_EQ(V.genStats().Deduped, 0u);
+}
+
+TEST(VerifierCacheTest, WarmCacheServesASecondVerifier) {
+  TraceCache C;
+  std::string Err;
+
+  Verifier V1(frontend::aarch64());
+  V1.setTraceCache(&C);
+  setupVerifier(V1);
+  ASSERT_TRUE(V1.generateTraces(Err)) << Err;
+  EXPECT_EQ(V1.genStats().Executed, 2u);
+  EXPECT_EQ(C.size(), 2u);
+
+  Verifier V2(frontend::aarch64());
+  V2.setTraceCache(&C);
+  setupVerifier(V2);
+  ASSERT_TRUE(V2.generateTraces(Err)) << Err;
+  EXPECT_EQ(V2.genStats().Executed, 0u);
+  EXPECT_EQ(V2.genStats().CacheHits, 5u);
+  EXPECT_EQ(V2.genStats().Deduped, 0u);
+
+  // Cached results are byte-identical with fresh ones, and the cached
+  // verifier still proves code: its trace events live in its own builder.
+  EXPECT_EQ(traceTexts(V1), traceTexts(V2));
+  // The driver dedups before consulting the cache: V2's five instructions
+  // become two unique keys, so the cache itself sees two lookups.
+  EXPECT_EQ(C.stats().Hits, 2u);
+  EXPECT_EQ(C.stats().Misses, 2u); // V1's cold run
+}
+
+TEST(VerifierCacheTest, ParallelGenerationIsDeterministic) {
+  std::string Err;
+  Verifier Serial(frontend::aarch64());
+  setupVerifier(Serial);
+  Serial.setParallelism(1);
+  ASSERT_TRUE(Serial.generateTraces(Err)) << Err;
+
+  Verifier Par(frontend::aarch64());
+  setupVerifier(Par);
+  Par.setParallelism(4);
+  ASSERT_TRUE(Par.generateTraces(Err)) << Err;
+
+  EXPECT_EQ(traceTexts(Serial), traceTexts(Par));
+  EXPECT_EQ(Par.genStats().Executed, Serial.genStats().Executed);
+  EXPECT_EQ(Par.genStats().ItlEvents, Serial.genStats().ItlEvents);
+}
+
+TEST(VerifierCacheTest, SymbolicOpcodeVarsSurviveTheCache) {
+  // The pKVM pattern: a partially symbolic opcode whose fresh immediate
+  // variables are consumed by the spec.  They must resolve after a cache
+  // hit exactly as after a fresh run.
+  namespace e = arch::aarch64::enc;
+  TraceCache C;
+  for (int Round = 0; Round < 2; ++Round) {
+    Verifier V(frontend::aarch64());
+    V.setTraceCache(&C);
+    V.addCode({{0x2000, e::movz(0, 0)}});
+    V.symbolicAt(0x2000, 20, 5);
+    V.defaults()
+        .assume(Reg("PSTATE", "EL"), BitVec(2, 0b01))
+        .assume(Reg("PSTATE", "SP"), BitVec(1, 1))
+        .assume(Reg("SCTLR_EL1"), BitVec(64, 0));
+    std::string Err;
+    ASSERT_TRUE(V.generateTraces(Err)) << Err;
+    const auto &Vars = V.opcodeVarsAt(0x2000);
+    ASSERT_EQ(Vars.size(), 1u);
+    EXPECT_EQ(Vars[0]->width(), 16u);
+    // The variable is the one declared inside this verifier's trace.
+    EXPECT_NE(V.traceAt(0x2000)->toString().find(Vars[0]->varName()),
+              std::string::npos);
+    EXPECT_EQ(V.genStats().CacheHits, Round == 0 ? 0u : 1u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence.
+//===----------------------------------------------------------------------===//
+
+struct TempDir {
+  std::filesystem::path Path;
+  TempDir() {
+    Path = std::filesystem::temp_directory_path() /
+           ("islaris-cache-test-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(Path);
+  }
+  ~TempDir() { std::filesystem::remove_all(Path); }
+};
+
+TEST(TraceCacheTest, PersistsAcrossCacheInstances) {
+  TempDir Tmp;
+  TraceCacheConfig Cfg;
+  Cfg.Persist = true;
+  Cfg.Dir = Tmp.Path.string();
+
+  std::string Err;
+  {
+    TraceCache C(Cfg);
+    Verifier V(frontend::aarch64());
+    V.setTraceCache(&C);
+    setupVerifier(V);
+    ASSERT_TRUE(V.generateTraces(Err)) << Err;
+    EXPECT_EQ(C.stats().DiskWrites, 2u);
+  }
+
+  // A brand-new cache instance (a "second process") over the same
+  // directory serves everything from disk.
+  TraceCache C2(Cfg);
+  Verifier V2(frontend::aarch64());
+  V2.setTraceCache(&C2);
+  setupVerifier(V2);
+  ASSERT_TRUE(V2.generateTraces(Err)) << Err;
+  EXPECT_EQ(V2.genStats().Executed, 0u);
+  EXPECT_EQ(V2.genStats().CacheHits, 5u);
+  EXPECT_EQ(C2.stats().DiskHits, 2u);
+  EXPECT_EQ(C2.stats().DiskWrites, 0u);
+
+  // A corrupt entry file degrades to a miss, never to a wrong trace.
+  TraceCache C3(Cfg);
+  for (const auto &F : std::filesystem::directory_iterator(Tmp.Path))
+    std::filesystem::resize_file(F.path(), 10);
+  Verifier V3(frontend::aarch64());
+  V3.setTraceCache(&C3);
+  setupVerifier(V3);
+  ASSERT_TRUE(V3.generateTraces(Err)) << Err;
+  EXPECT_EQ(V3.genStats().Executed, 2u);
+}
+
+TEST(TraceCacheTest, CacheDirResolution) {
+  ::setenv("ISLARIS_CACHE_DIR", "/tmp/islaris-override", 1);
+  EXPECT_EQ(resolveCacheDir(), "/tmp/islaris-override");
+  ::setenv("ISLARIS_CACHE_DIR", "", 1);
+  EXPECT_EQ(resolveCacheDir(), "build/.trace-cache"); // empty = unset
+  ::unsetenv("ISLARIS_CACHE_DIR");
+  EXPECT_EQ(resolveCacheDir(), "build/.trace-cache");
+}
+
+//===----------------------------------------------------------------------===//
+// The Fig. 12 suite under the cache and the batch driver.
+//===----------------------------------------------------------------------===//
+
+TEST(SuiteCacheTest, WarmSuiteRegeneratesNothingAndMatchesCold) {
+  // Every case-study trace round-trips through serialize -> parse on every
+  // materialization (decode fails loudly if the ITL grammar were
+  // inadequate), so a green warm run IS the round-trip check for all nine
+  // Fig. 12 rows.
+  TraceCache C;
+  frontend::SuiteOptions Opts;
+  Opts.Threads = 1;
+  Opts.Cache = &C;
+  std::vector<frontend::CaseResult> Cold =
+      frontend::runAllCaseStudies(Opts);
+  std::vector<frontend::CaseResult> Warm =
+      frontend::runAllCaseStudies(Opts);
+
+  ASSERT_EQ(Cold.size(), Warm.size());
+  unsigned WarmExecuted = 0;
+  for (size_t I = 0; I < Cold.size(); ++I) {
+    EXPECT_TRUE(Cold[I].Ok) << Cold[I].Name << ": " << Cold[I].Error;
+    EXPECT_TRUE(Warm[I].Ok) << Warm[I].Name << ": " << Warm[I].Error;
+    EXPECT_EQ(Warm[I].ItlEvents, Cold[I].ItlEvents) << Warm[I].Name;
+    EXPECT_EQ(Warm[I].AsmInstrs, Cold[I].AsmInstrs) << Warm[I].Name;
+    EXPECT_EQ(Warm[I].CacheHits, Warm[I].AsmInstrs) << Warm[I].Name;
+    WarmExecuted += Warm[I].TracesExecuted;
+  }
+  EXPECT_EQ(WarmExecuted, 0u); // 100% hit rate on the warm run
+}
+
+TEST(SuiteCacheTest, ParallelSuiteMatchesSerial) {
+  TraceCache C;
+  frontend::SuiteOptions Par;
+  Par.Threads = 4;
+  Par.Cache = &C;
+  std::vector<frontend::CaseResult> Rows =
+      frontend::runAllCaseStudies(Par);
+  std::vector<frontend::CaseResult> Serial =
+      frontend::runAllCaseStudies();
+  ASSERT_EQ(Rows.size(), Serial.size());
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    EXPECT_TRUE(Rows[I].Ok) << Rows[I].Name << ": " << Rows[I].Error;
+    EXPECT_EQ(Rows[I].Name, Serial[I].Name);
+    EXPECT_EQ(Rows[I].ItlEvents, Serial[I].ItlEvents) << Rows[I].Name;
+    EXPECT_EQ(Rows[I].Proof.PathsVerified, Serial[I].Proof.PathsVerified)
+        << Rows[I].Name;
+  }
+}
+
+} // namespace
