@@ -12,7 +12,12 @@
 
 #include "frontend/CaseStudies.h"
 
+#include "cache/SideCondCache.h"
+
 #include <cstdio>
+#include <filesystem>
+
+#include <unistd.h>
 
 using islaris::frontend::CaseResult;
 
@@ -73,7 +78,8 @@ int main() {
   // Surface it so the time column can be read against the work performed.
   std::printf("\nTrace generation reuse (per row: executed + deduped + "
               "cache hits = asm):\n");
-  unsigned TotExec = 0, TotDedup = 0, TotHits = 0, TotInstr = 0;
+  unsigned TotExec = 0, TotDedup = 0, TotHits = 0, TotInstr = 0,
+           TotMemo = 0;
   for (const CaseResult &R : Rows) {
     if (!R.Ok)
       continue;
@@ -84,12 +90,93 @@ int main() {
     TotDedup += R.Deduped;
     TotHits += R.CacheHits;
     TotInstr += R.AsmInstrs;
+    TotMemo += R.IslaMemoHits;
   }
   if (TotInstr)
     std::printf("  total: %u of %u instructions executed (%.0f%% saved by "
                 "dedup/cache)\n",
                 TotExec, TotInstr,
                 100.0 * double(TotInstr - TotExec) / double(TotInstr));
+  std::printf("  executor solver queries answered by the memo table: %u\n",
+              TotMemo);
+
+  // Side-condition solver cache: run the suite again twice against a
+  // persistent store in a scratch directory — once cold (populating it)
+  // and once warm in a fresh store instance (simulating a second process
+  // reading the same cache dir).  The cold pass must be bit-identical to
+  // the uncached baseline above; the warm pass must answer at least half
+  // of all side-condition SAT calls from the store.
+  namespace ifr = islaris::frontend;
+  namespace ica = islaris::cache;
+  std::string SideDir =
+      (std::filesystem::temp_directory_path() /
+       ("islaris-sidecond-bench-" + std::to_string(uint64_t(::getpid()))))
+          .string();
+  std::error_code EC;
+  std::filesystem::remove_all(SideDir, EC);
+  ica::SideCondConfig SCfg;
+  SCfg.Persist = true;
+  SCfg.Dir = SideDir;
+
+  auto satCalls = [](const std::vector<CaseResult> &Rs) {
+    uint64_t N = 0;
+    for (const CaseResult &R : Rs)
+      N += R.Proof.SolverSatCalls;
+    return N;
+  };
+  auto sameRows = [](const std::vector<CaseResult> &A,
+                     const std::vector<CaseResult> &B) {
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I < A.size(); ++I)
+      if (A[I].Ok != B[I].Ok || A[I].ItlEvents != B[I].ItlEvents ||
+          A[I].AsmInstrs != B[I].AsmInstrs ||
+          A[I].Proof.PathsVerified != B[I].Proof.PathsVerified ||
+          A[I].Proof.EventsProcessed != B[I].Proof.EventsProcessed ||
+          A[I].Proof.Entailments != B[I].Proof.Entailments ||
+          A[I].Proof.SolverQueries != B[I].Proof.SolverQueries)
+        return false;
+    return true;
+  };
+
+  std::vector<CaseResult> Cold, Warm;
+  {
+    ica::SideCondStore Store(SCfg);
+    ifr::SuiteOptions O;
+    O.SideCond = &Store;
+    Cold = ifr::runAllCaseStudies(O);
+  }
+  {
+    ica::SideCondStore Store(SCfg); // fresh instance: memory is cold
+    ifr::SuiteOptions O;
+    O.SideCond = &Store;
+    Warm = ifr::runAllCaseStudies(O);
+  }
+  std::filesystem::remove_all(SideDir, EC);
+
+  uint64_t ColdSat = satCalls(Cold), WarmSat = satCalls(Warm);
+  std::printf("\nSide-condition solver cache (cold populate -> warm rerun "
+              "from disk):\n");
+  for (size_t I = 0; I < Warm.size() && I < Cold.size(); ++I)
+    std::printf("  %-11s %-4s : SAT calls %4llu -> %3llu   (memo %llu, "
+                "store %llu of %llu queries)\n",
+                Warm[I].Name.c_str(), Warm[I].Isa.c_str(),
+                (unsigned long long)Cold[I].Proof.SolverSatCalls,
+                (unsigned long long)Warm[I].Proof.SolverSatCalls,
+                (unsigned long long)Warm[I].Proof.SolverMemoHits,
+                (unsigned long long)Warm[I].Proof.SolverStoreHits,
+                (unsigned long long)Warm[I].Proof.SolverQueries);
+  bool ColdIdentical = sameRows(Rows, Cold) && sameRows(Rows, Warm);
+  double Elim = ColdSat
+                    ? 100.0 * double(ColdSat - WarmSat) / double(ColdSat)
+                    : 100.0;
+  std::printf("  total: %llu -> %llu side-condition SAT calls "
+              "(%.0f%% eliminated; criterion >= 50%%) ...... %s\n",
+              (unsigned long long)ColdSat, (unsigned long long)WarmSat,
+              Elim, WarmSat * 2 <= ColdSat ? "ok" : "BELOW CRITERION");
+  std::printf("  cold-run results bit-identical to uncached ... %s\n",
+              ColdIdentical ? "yes" : "NO");
+  AllOk = AllOk && WarmSat * 2 <= ColdSat && ColdIdentical;
 
   std::printf("\nShape checks (the qualitative claims that must carry "
               "over):\n");

@@ -103,6 +103,47 @@ void BM_RbitEquivalence(benchmark::State &State) {
 }
 BENCHMARK(BM_RbitEquivalence)->Arg(8)->Arg(32)->Arg(64);
 
+/// Warm re-check of an identical side condition: after the first solve the
+/// in-run memo table answers, so this measures the cached query path the
+/// proof engine hits whenever branch contexts share pure prefixes.
+void BM_MemoizedRecheck(benchmark::State &State) {
+  TermBuilder TB;
+  Solver S(TB);
+  const Term *Base = TB.freshVar(Sort::bitvec(64), "base");
+  const Term *I = TB.freshVar(Sort::bitvec(64), "i");
+  S.assertTerm(TB.bvUlt(I, TB.constBV(64, 64)));
+  const Term *Off = TB.bvSub(TB.bvAdd(Base, I), Base);
+  const Term *Goal = TB.bvUlt(Off, TB.constBV(64, 64));
+  if (!S.isValid(Goal)) { // cold solve populating the memo
+    State.SkipWithError("containment not proven");
+    return;
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.isValid(Goal));
+}
+BENCHMARK(BM_MemoizedRecheck);
+
+/// Incremental push/pop with a *fresh* goal per frame: the shared context
+/// circuit ((base + i) - base) is bit-blasted once and its clauses reused,
+/// so each iteration only blasts the new comparison constant.  Before the
+/// persistent-core rework every frame rebuilt the entire CNF.
+void BM_IncrementalReblast(benchmark::State &State) {
+  TermBuilder TB;
+  Solver S(TB);
+  const Term *Base = TB.freshVar(Sort::bitvec(64), "base");
+  const Term *I = TB.freshVar(Sort::bitvec(64), "i");
+  S.assertTerm(TB.bvUlt(I, TB.constBV(64, 64)));
+  const Term *Off = TB.bvSub(TB.bvAdd(Base, I), Base);
+  uint64_t K = 64;
+  for (auto _ : State) {
+    S.push();
+    S.assertTerm(TB.bvUlt(Off, TB.constBV(64, ++K)));
+    benchmark::DoNotOptimize(int(S.check()));
+    S.pop();
+  }
+}
+BENCHMARK(BM_IncrementalReblast);
+
 /// Sorted-array lower-bound implication (binary search back-edge).
 void BM_SortedImplication(benchmark::State &State) {
   for (auto _ : State) {

@@ -1,0 +1,218 @@
+//===- cache/SideCondCache.cpp - Persistent side-condition store --------------===//
+
+#include "cache/SideCondCache.h"
+
+#include "cache/TraceCache.h" // resolveCacheDir, atomicWriteFile
+#include "itl/Parser.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace islaris;
+using namespace islaris::cache;
+
+namespace fs = std::filesystem;
+
+SideCondStore::SideCondStore(SideCondConfig C) : Cfg(std::move(C)) {
+  Directory = Cfg.Dir.empty() ? resolveCacheDir() + "/sidecond" : Cfg.Dir;
+}
+
+Fingerprint SideCondStore::key(const std::string &Closure) const {
+  Fingerprinter FP;
+  FP.str("islaris-sidecond");
+  FP.str(Closure);
+  FP.u64(Cfg.ModelSalt.Hi);
+  FP.u64(Cfg.ModelSalt.Lo);
+  return FP.digest();
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization.
+//===----------------------------------------------------------------------===//
+
+std::string SideCondStore::serializeEntry(const Fingerprint &K,
+                                          const CachedResult &R) {
+  std::ostringstream OS;
+  OS << "(islaris-sidecond-cache 1 " << K.toHex() << " (result "
+     << (R.Sat ? "sat" : "unsat") << ") (model";
+  for (const auto &[Name, Width, Bits] : R.Model)
+    OS << " (|" << Name << "| " << Width << " " << Bits.toString() << ")";
+  OS << "))\n";
+  return OS.str();
+}
+
+static std::string stripBars(const std::string &S) {
+  if (S.size() >= 2 && S.front() == '|' && S.back() == '|')
+    return S.substr(1, S.size() - 2);
+  return S;
+}
+
+bool SideCondStore::parseEntry(const std::string &Text, const Fingerprint &K,
+                               CachedResult &Out, std::string &Err) {
+  itl::SExprParser P(Text);
+  auto Header = P.parse();
+  if (!Header) {
+    Err = "bad side-condition entry: " + P.error();
+    return false;
+  }
+  const std::vector<itl::SExpr> &L = Header->List;
+  if (Header->isAtom() || L.size() != 5 ||
+      L[0].Atom != "islaris-sidecond-cache" || L[1].Atom != "1") {
+    Err = "unrecognized side-condition entry header/version";
+    return false;
+  }
+  Fingerprint FileKey;
+  if (!Fingerprint::fromHex(L[2].Atom, FileKey) || FileKey != K) {
+    Err = "side-condition entry key mismatch";
+    return false;
+  }
+  if (L[3].isAtom() || L[3].List.size() != 2 ||
+      L[3].List[0].Atom != "result" ||
+      (L[3].List[1].Atom != "sat" && L[3].List[1].Atom != "unsat")) {
+    Err = "bad result clause";
+    return false;
+  }
+  Out.Sat = L[3].List[1].Atom == "sat";
+  if (L[4].isAtom() || L[4].List.empty() || L[4].List[0].Atom != "model") {
+    Err = "bad model clause";
+    return false;
+  }
+  Out.Model.clear();
+  for (size_t I = 1; I < L[4].List.size(); ++I) {
+    const itl::SExpr &V = L[4].List[I];
+    if (V.isAtom() || V.List.size() != 3 || !V.List[0].isAtom() ||
+        !V.List[1].isAtom() || !V.List[2].isAtom()) {
+      Err = "bad model binding";
+      return false;
+    }
+    BitVec Bits;
+    if (!BitVec::fromString(V.List[2].Atom, Bits)) {
+      Err = "bad model value";
+      return false;
+    }
+    unsigned Width = unsigned(std::stoul(V.List[1].Atom));
+    // A declared width 0 marks a boolean (stored as one bit); otherwise the
+    // value must have exactly the declared width.
+    if (Width == 0 ? Bits.width() != 1 : Bits.width() != Width) {
+      Err = "model value width mismatch";
+      return false;
+    }
+    Out.Model.emplace_back(stripBars(V.List[0].Atom), Width,
+                           std::move(Bits));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Disk persistence.
+//===----------------------------------------------------------------------===//
+
+std::string SideCondStore::entryPath(const Fingerprint &K) const {
+  return Directory + "/" + K.toHex() + ".scc";
+}
+
+std::optional<smt::SolverCache::CachedResult>
+SideCondStore::loadFromDisk(const Fingerprint &K) {
+  std::ifstream In(entryPath(K), std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  CachedResult R;
+  std::string Err;
+  if (!parseEntry(Buf.str(), K, R, Err))
+    return std::nullopt; // corrupt or stale-format entry: treat as a miss
+  return R;
+}
+
+void SideCondStore::writeToDisk(const Fingerprint &K,
+                                const CachedResult &R) {
+  std::error_code EC;
+  fs::create_directories(Directory, EC);
+  if (EC)
+    return;
+  std::string Path = entryPath(K);
+  if (fs::exists(Path, EC))
+    return; // entries are immutable: first writer wins
+  if (!atomicWriteFile(Path, serializeEntry(K, R)))
+    return;
+  std::lock_guard<std::mutex> L(Mu);
+  ++St.DiskWrites;
+}
+
+//===----------------------------------------------------------------------===//
+// Store interface.
+//===----------------------------------------------------------------------===//
+
+std::optional<smt::SolverCache::CachedResult>
+SideCondStore::lookup(const std::string &Closure) {
+  Fingerprint K = key(Closure);
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Map.find(K);
+    if (It != Map.end()) {
+      ++St.Hits;
+      return It->second;
+    }
+  }
+  if (Cfg.Persist) {
+    if (auto R = loadFromDisk(K)) {
+      std::lock_guard<std::mutex> L(Mu);
+      ++St.DiskHits;
+      if (Map.size() < Cfg.MaxEntries)
+        Map.emplace(K, *R); // promote into memory
+      return R;
+    }
+  }
+  std::lock_guard<std::mutex> L(Mu);
+  ++St.Misses;
+  return std::nullopt;
+}
+
+void SideCondStore::store(const std::string &Closure,
+                          const CachedResult &R) {
+  Fingerprint K = key(Closure);
+  bool New = false;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (Map.size() < Cfg.MaxEntries || Map.count(K)) {
+      New = Map.emplace(K, R).second;
+      if (New)
+        ++St.Insertions;
+    } else {
+      New = true; // over the memory bound; disk still gets the entry
+    }
+  }
+  if (New && Cfg.Persist)
+    writeToDisk(K, R);
+}
+
+void SideCondStore::clearMemory() {
+  std::lock_guard<std::mutex> L(Mu);
+  Map.clear();
+}
+
+size_t SideCondStore::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Map.size();
+}
+
+SideCondStats SideCondStore::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return St;
+}
+
+//===----------------------------------------------------------------------===//
+// Ambient store.
+//===----------------------------------------------------------------------===//
+
+static SideCondStore *AmbientSideCond = nullptr;
+
+SideCondStore *islaris::cache::ambientSideCondCache() {
+  return AmbientSideCond;
+}
+
+void islaris::cache::setAmbientSideCondCache(SideCondStore *C) {
+  AmbientSideCond = C;
+}

@@ -1,0 +1,123 @@
+//===- cache/SideCondCache.h - Persistent side-condition store --*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-run half of the side-condition solver cache: a
+/// content-addressed store of SMT check() results, implementing the
+/// smt::SolverCache interface so warm re-verification skips SAT entirely.
+///
+/// Keys are 128-bit fingerprints over the solver's canonical *printed* goal
+/// closure (sorted goals plus sorted free-variable declarations — see
+/// Solver::printGoalClosure) salted with a model hash, normally
+/// cache::fingerprintModel of the ISA model in play.  The printed form is
+/// builder-independent, so a key matches across TermBuilders, processes,
+/// and runs; the salt means editing the ISA model invalidates every entry
+/// — a stale cache can only miss, never lie.  Queries whose printed form
+/// would be ambiguous (duplicate variable names) never reach this store.
+///
+/// Entries record the Sat/Unsat verdict and, for Sat, a full model of the
+/// closure's variables by (name, width, value), so a hit restores
+/// modelValue() behavior identical to a cold solve.  Disk layout follows
+/// the trace cache: one file per entry under a directory (default
+/// resolveCacheDir() + "/sidecond"), written atomically, first writer
+/// wins, corrupt entries degrade to misses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_CACHE_SIDECONDCACHE_H
+#define ISLARIS_CACHE_SIDECONDCACHE_H
+
+#include "cache/Fingerprint.h"
+#include "smt/Solver.h"
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace islaris::cache {
+
+/// Counters of store behavior, surfaced through bench_fig12.
+struct SideCondStats {
+  uint64_t Hits = 0;       ///< In-memory lookups that found an entry.
+  uint64_t DiskHits = 0;   ///< Memory misses satisfied from disk.
+  uint64_t Misses = 0;     ///< Lookups satisfied nowhere.
+  uint64_t Insertions = 0; ///< store() calls that added a new entry.
+  uint64_t DiskWrites = 0; ///< Entry files written.
+};
+
+struct SideCondConfig {
+  /// Bound on in-memory entries (entries are small: a verdict plus a few
+  /// model values).  Past the bound new results are still written to disk
+  /// (when persistent) but not kept in memory.
+  size_t MaxEntries = 1 << 16;
+  /// Also read/write entries under dir() (one file per fingerprint).
+  bool Persist = false;
+  /// Store directory; empty means resolveCacheDir() + "/sidecond".
+  std::string Dir;
+  /// Salt mixed into every key; pass cache::fingerprintModel(...) of the
+  /// ISA model(s) the side conditions are discharged against, so model
+  /// edits invalidate the store wholesale.
+  Fingerprint ModelSalt;
+};
+
+/// Thread-safe content-addressed store of side-condition results.  One
+/// instance is shared by every solver of a run (suite harnesses install it
+/// as the ambient store); all state sits behind one mutex, disk I/O
+/// happens outside it.
+class SideCondStore : public smt::SolverCache {
+public:
+  explicit SideCondStore(SideCondConfig C = SideCondConfig());
+
+  SideCondStore(const SideCondStore &) = delete;
+  SideCondStore &operator=(const SideCondStore &) = delete;
+
+  std::optional<CachedResult> lookup(const std::string &Closure) override;
+  void store(const std::string &Closure, const CachedResult &R) override;
+
+  /// Drops all in-memory entries (disk files are kept).  Counters survive.
+  /// Lets one process demonstrate a cold-disk warm start.
+  void clearMemory();
+
+  size_t size() const;
+  SideCondStats stats() const;
+  const SideCondConfig &config() const { return Cfg; }
+  const std::string &dir() const { return Directory; }
+
+  /// The fingerprint \p Closure is stored under (closure + salt).
+  Fingerprint key(const std::string &Closure) const;
+
+  /// The on-disk entry format, one line:
+  ///   (islaris-sidecond-cache 1 <keyhex> (result sat|unsat)
+  ///    (model (|name| width #x..|#b..) ...))
+  static std::string serializeEntry(const Fingerprint &K,
+                                    const CachedResult &R);
+  /// Inverse of serializeEntry; checks the embedded key against \p K.
+  static bool parseEntry(const std::string &Text, const Fingerprint &K,
+                         CachedResult &Out, std::string &Err);
+
+private:
+  std::string entryPath(const Fingerprint &K) const;
+  std::optional<CachedResult> loadFromDisk(const Fingerprint &K);
+  void writeToDisk(const Fingerprint &K, const CachedResult &R);
+
+  SideCondConfig Cfg;
+  std::string Directory;
+
+  mutable std::mutex Mu;
+  std::unordered_map<Fingerprint, CachedResult, FingerprintHash> Map;
+  SideCondStats St;
+};
+
+/// The process-wide ambient store consulted by newly constructed Verifiers
+/// (null by default: side-condition persistence is opt-in).  Same contract
+/// as ambientTraceCache: set before spawning concurrent case studies; the
+/// pointer itself is not synchronized.
+SideCondStore *ambientSideCondCache();
+void setAmbientSideCondCache(SideCondStore *C);
+
+} // namespace islaris::cache
+
+#endif // ISLARIS_CACHE_SIDECONDCACHE_H

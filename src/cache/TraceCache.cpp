@@ -5,10 +5,13 @@
 #include "itl/Parser.h"
 #include "smt/TermBuilder.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include <unistd.h>
 
 using namespace islaris;
 using namespace islaris::cache;
@@ -20,6 +23,35 @@ std::string islaris::cache::resolveCacheDir() {
     if (*Env)
       return Env;
   return "build/.trace-cache";
+}
+
+bool islaris::cache::atomicWriteFile(const std::string &Path,
+                                     const std::string &Content) {
+  static std::atomic<uint64_t> Counter{0};
+  std::string Tmp = Path + ".tmp." + std::to_string(uint64_t(::getpid())) +
+                    "." +
+                    std::to_string(
+                        Counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out << Content;
+    Out.flush();
+    if (!Out) {
+      std::error_code EC;
+      fs::remove(Tmp, EC);
+      return false;
+    }
+  }
+  std::error_code EC;
+  fs::rename(Tmp, Path, EC);
+  if (EC) {
+    std::error_code EC2;
+    fs::remove(Tmp, EC2);
+    return false;
+  }
+  return true;
 }
 
 TraceCache::TraceCache(TraceCacheConfig C) : Cfg(std::move(C)) {
@@ -179,16 +211,8 @@ void TraceCache::writeToDisk(const Fingerprint &K, const CacheEntry &E) {
     return; // entries are immutable: first writer wins
   // Write-to-temp + rename keeps concurrent writers from exposing partial
   // files; racing writers produce identical content anyway.
-  std::string Tmp = Path + ".tmp" + std::to_string(uintptr_t(&E));
-  {
-    std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
-    if (!OutF)
-      return;
-    OutF << serializeEntry(K, E);
-  }
-  fs::rename(Tmp, Path, EC);
-  if (EC)
-    fs::remove(Tmp, EC);
+  if (!atomicWriteFile(Path, serializeEntry(K, E)))
+    return;
   std::lock_guard<std::mutex> L(Mu);
   ++St.DiskWrites;
 }

@@ -75,6 +75,14 @@ struct TraceCacheConfig {
 /// directory, which for the tier-1 flow is the repository root).
 std::string resolveCacheDir();
 
+/// Atomically publishes \p Content at \p Path via write-to-temp + rename.
+/// The temp suffix combines the pid with a process-wide monotonic counter,
+/// so concurrent writers — in this process or another one sharing the cache
+/// directory — never collide on the temp name; on any failure the temp file
+/// is removed rather than left orphaned.  Returns false if \p Path could
+/// not be published (the caller treats that as "no entry written").
+bool atomicWriteFile(const std::string &Path, const std::string &Content);
+
 /// Thread-safe content-addressed trace store.  Shared by all BatchDriver
 /// workers behind an internal mutex; disk I/O happens outside the lock.
 class TraceCache {

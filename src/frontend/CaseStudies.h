@@ -32,6 +32,7 @@
 
 namespace islaris::cache {
 class TraceCache;
+class SideCondStore;
 }
 
 namespace islaris::frontend {
@@ -51,6 +52,7 @@ struct CaseResult {
   unsigned TracesExecuted = 0; ///< Instructions symbolically executed.
   unsigned CacheHits = 0;      ///< Instructions served by the trace cache.
   unsigned Deduped = 0;        ///< Instructions deduplicated in-batch.
+  unsigned IslaMemoHits = 0;   ///< Executor queries answered by the memo.
   seplogic::ProofStats Proof;
 };
 
@@ -80,6 +82,10 @@ CaseResult runBinSearchRv(unsigned N = 4);
 struct SuiteOptions {
   unsigned Threads = 1; ///< 0 = hardware concurrency, 1 = serial.
   cache::TraceCache *Cache = nullptr;
+  /// Shared persistent side-condition store, installed as the ambient
+  /// store so each study's proof engine reuses discharged SMT queries
+  /// across studies and — when the store persists — across runs.
+  cache::SideCondStore *SideCond = nullptr;
 };
 
 /// All nine Fig. 12 rows, in the paper's order (serial, uncached).

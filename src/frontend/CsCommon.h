@@ -25,6 +25,7 @@ inline CaseResult finishResult(CaseResult R, Verifier &V, bool Ok,
   R.TracesExecuted = V.genStats().Executed;
   R.CacheHits = V.genStats().CacheHits;
   R.Deduped = V.genStats().Deduped;
+  R.IslaMemoHits = V.genStats().SolverMemoHits;
   R.SpecSize = SpecSize;
   R.Hints = Hints;
   R.Proof = V.engine().stats();

@@ -3,6 +3,7 @@
 #include "frontend/Verifier.h"
 
 #include "cache/BatchDriver.h"
+#include "cache/SideCondCache.h"
 #include "models/Models.h"
 
 #include <chrono>
@@ -26,7 +27,8 @@ ArchInfo islaris::frontend::rv64() {
 }
 
 Verifier::Verifier(ArchInfo Arch)
-    : Arch(std::move(Arch)), Cache(cache::ambientTraceCache()) {}
+    : Arch(std::move(Arch)), Cache(cache::ambientTraceCache()),
+      SideCond(cache::ambientSideCondCache()) {}
 
 void Verifier::addCode(const std::map<uint64_t, uint32_t> &NewCode) {
   for (const auto &[Addr, Op] : NewCode) {
@@ -103,6 +105,7 @@ bool Verifier::generateTraces(std::string &Err) {
     case cache::ResultSource::Fresh:
       // Solver work is only accounted when it actually happened.
       Gen.SolverQueries += Exec.Stats.SolverQueries;
+      Gen.SolverMemoHits += Exec.Stats.SolverMemoHits;
       ++Gen.Executed;
       break;
     case cache::ResultSource::CacheHit:
@@ -144,6 +147,8 @@ seplogic::ProofEngine &Verifier::engine() {
     assert(!InstrPtrs.empty() && "engine() before generateTraces()");
     Engine = std::make_unique<seplogic::ProofEngine>(TB, InstrPtrs,
                                                      Arch.PcName);
+    if (SideCond)
+      Engine->setSideCondCache(SideCond);
   }
   return *Engine;
 }

@@ -57,6 +57,9 @@ struct GenStats {
   unsigned Executed = 0;      ///< Instructions symbolically executed.
   unsigned CacheHits = 0;     ///< Instructions served from the trace cache.
   unsigned Deduped = 0;       ///< Instructions sharing an in-batch twin.
+  /// Executor solver queries answered by the in-run memo table (a subset
+  /// of SolverQueries; the rest reached the SAT core or were syntactic).
+  unsigned SolverMemoHits = 0;
 };
 
 /// Drives trace generation and verification for one program.
@@ -92,6 +95,13 @@ public:
   /// a harness opted in — the default pipeline is unchanged.
   void setTraceCache(cache::TraceCache *C) { Cache = C; }
   cache::TraceCache *traceCache() const { return Cache; }
+
+  /// Attaches a persistent side-condition store (shared, not owned;
+  /// thread-safe) handed to the proof engine on creation.  New verifiers
+  /// start with cache::ambientSideCondCache(), null unless a harness opted
+  /// in.  Must be called before the first engine() use to take effect.
+  void setSideCondCache(smt::SolverCache *C) { SideCond = C; }
+  smt::SolverCache *sideCondCache() const { return SideCond; }
 
   /// Worker threads for generateTraces (1 = serial on the calling thread,
   /// 0 = hardware concurrency).  Distinct instructions are independent;
@@ -135,6 +145,7 @@ private:
   std::unique_ptr<seplogic::ProofEngine> Engine;
   GenStats Gen;
   cache::TraceCache *Cache = nullptr;
+  smt::SolverCache *SideCond = nullptr;
   unsigned GenThreads = 1;
 };
 

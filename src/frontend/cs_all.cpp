@@ -3,6 +3,7 @@
 #include "frontend/CaseStudies.h"
 
 #include "cache/BatchDriver.h"
+#include "cache/SideCondCache.h"
 
 using namespace islaris::frontend;
 
@@ -30,6 +31,8 @@ islaris::frontend::runAllCaseStudies(const SuiteOptions &O) {
   // synchronized, only the cache behind it is.
   cache::TraceCache *Saved = cache::ambientTraceCache();
   cache::setAmbientTraceCache(O.Cache ? O.Cache : Saved);
+  cache::SideCondStore *SavedSide = cache::ambientSideCondCache();
+  cache::setAmbientSideCondCache(O.SideCond ? O.SideCond : SavedSide);
 
   std::vector<CaseResult> Results(N);
   cache::BatchDriver::parallelFor(
@@ -37,5 +40,6 @@ islaris::frontend::runAllCaseStudies(const SuiteOptions &O) {
       [&](size_t I) { Results[I] = Runners[I](); });
 
   cache::setAmbientTraceCache(Saved);
+  cache::setAmbientSideCondCache(SavedSide);
   return Results;
 }

@@ -640,6 +640,7 @@ ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
   std::vector<const Term *> VarPool;
   std::vector<std::vector<Event>> PathEvents;
   ExecStats Stats;
+  uint64_t MemoHitsBefore = Solver.stats().NumMemoHits;
 
   const sail::FunctionDecl *Decode = M.findFunction("decode");
   if (!Decode || Decode->Params.size() != 1 ||
@@ -732,6 +733,8 @@ ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
   Res.Trace = mergePaths(PathEvents, std::move(All), 0);
   Stats.Paths = unsigned(PathEvents.size());
   Stats.Events = Res.Trace.countEvents();
+  Stats.SolverMemoHits =
+      unsigned(Solver.stats().NumMemoHits - MemoHitsBefore);
   Res.Stats = Stats;
   Res.Ok = true;
   return Res;

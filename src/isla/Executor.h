@@ -96,6 +96,10 @@ struct ExecStats {
   unsigned PrunedBranches = 0; ///< Branches cut by the solver.
   unsigned SolverQueries = 0;
   unsigned Events = 0; ///< Total events in the merged trace.
+  /// Queries of this run answered by the solver's memo table instead of a
+  /// SAT call (flipped-branch re-checks repeat heavily).  Derived, not part
+  /// of the serialized trace-cache entry format.
+  unsigned SolverMemoHits = 0;
 };
 
 /// Result of symbolically executing one opcode.

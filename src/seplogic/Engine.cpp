@@ -62,11 +62,13 @@ bool ProofEngine::prove(const Term *Goal, Ctx &C) {
   const Term *G = RW.simplify(substTerm(Goal, C));
   if (G->kind() == smt::Kind::ConstBool)
     return G->constBool();
-  // Side-condition memoization keyed on the goal plus the path-condition
-  // fingerprint (terms are hash-consed, so ids identify them).
-  uint64_t Key = uint64_t(G->id()) * 0x9e3779b97f4a7c15ull;
+  // Side-condition memoization keyed on the goal plus the path condition
+  // (terms are hash-consed, so ids identify them exactly).
+  std::vector<unsigned> Key;
+  Key.reserve(C.Pure.size() + 1);
+  Key.push_back(G->id());
   for (const Term *P : C.Pure)
-    Key = (Key ^ P->id()) * 1099511628211ull;
+    Key.push_back(P->id());
   auto Hit = ProveCache.find(Key);
   if (Hit != ProveCache.end()) {
     ++Stats.CacheHits;
@@ -85,7 +87,7 @@ bool ProofEngine::prove(const Term *Goal, Ctx &C) {
       fprintf(stderr, "[slow %.1fs, pure=%zu] %s\n", Dt, C.Pure.size(),
               G->toString().substr(0, 200).c_str());
   }
-  ProveCache[Key] = R;
+  ProveCache.emplace(std::move(Key), R);
   return R;
 }
 
@@ -644,8 +646,14 @@ bool ProofEngine::applyContract(const Contract &Co, Ctx C, unsigned Budget) {
     if (It == C.Regs.end())
       return fail("contract " + Co.Name + ": no chunk for clobbered " +
                   R.toString());
-    It->second = TB.freshVar(smt::Sort::bitvec(It->second->width()),
-                             "ret_" + R.toString());
+    // Number the havoc variables: several applications of the same
+    // contract along one path must not print identically, or the goal
+    // closures fed to the cross-run side-condition cache would be
+    // ambiguous (and excluded from caching).
+    It->second =
+        TB.freshVar(smt::Sort::bitvec(It->second->width()),
+                    "ret" + std::to_string(++HavocCounter) + "_" +
+                        R.toString());
   }
   auto postVal = [&](const Reg &R) -> const Term * {
     auto It = C.Regs.find(R);
@@ -688,6 +696,9 @@ bool ProofEngine::verifySpec(uint64_t Addr, const Spec *S) {
   }
 
   Stats.SolverQueries = Solver.stats().NumChecks;
+  Stats.SolverSatCalls = Solver.stats().NumSatCalls;
+  Stats.SolverMemoHits = Solver.stats().NumMemoHits;
+  Stats.SolverStoreHits = Solver.stats().NumStoreHits;
   Stats.SideCondSeconds += Solver.stats().TotalSeconds - SolverBefore;
   Stats.TotalSeconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)

@@ -53,6 +53,9 @@ struct ProofStats {
   unsigned Entailments = 0;
   uint64_t SolverQueries = 0;
   uint64_t CacheHits = 0; ///< Side conditions answered from the cache.
+  uint64_t SolverSatCalls = 0;  ///< Checks that reached the SAT core.
+  uint64_t SolverMemoHits = 0;  ///< Checks answered by the solver memo.
+  uint64_t SolverStoreHits = 0; ///< Checks answered by the persistent store.
   double TotalSeconds = 0;
   double SideCondSeconds = 0; ///< Spent inside the SMT solver.
   double automationSeconds() const {
@@ -82,6 +85,11 @@ public:
 
   const std::string &error() const { return Error; }
   const ProofStats &stats() const { return Stats; }
+
+  /// Attaches a persistent side-condition store (shared, not owned) to the
+  /// engine's solver; every discharged query is looked up in / written back
+  /// to it.  See smt::Solver::setCache.
+  void setSideCondCache(smt::SolverCache *C) { Solver.setCache(C); }
 
   /// Maximum instructions walked per verification path before giving up
   /// (a missing loop invariant shows up as exhaustion of this budget).
@@ -119,10 +127,25 @@ private:
   std::vector<std::pair<uint64_t, const Spec *>> Registered;
   std::string Error;
   ProofStats Stats;
-  /// Side-condition memo: (goal, path-condition fingerprint) -> result.
-  /// Branch contexts share long pure prefixes, so the same query recurs
-  /// many times across paths and loop iterations.
-  std::unordered_map<uint64_t, bool> ProveCache;
+  /// Side-condition memo: the exact (goal, path-condition) id sequence ->
+  /// result.  Branch contexts share long pure prefixes, so the same query
+  /// recurs many times across paths and loop iterations.  Keyed on the id
+  /// vector itself, not a folded hash: a hash collision here would silently
+  /// misprove a goal.
+  struct IdSeqHash {
+    size_t operator()(const std::vector<unsigned> &V) const {
+      uint64_t H = 0xcbf29ce484222325ull;
+      for (unsigned Id : V) {
+        H ^= Id;
+        H *= 1099511628211ull;
+      }
+      return size_t(H ^ (H >> 31));
+    }
+  };
+  std::unordered_map<std::vector<unsigned>, bool, IdSeqHash> ProveCache;
+  /// Monotonic counter making contract-havoc variable names unique, so
+  /// printed goal closures stay unambiguous and cacheable across runs.
+  unsigned HavocCounter = 0;
 };
 
 } // namespace islaris::seplogic

@@ -55,7 +55,9 @@ IoSpecPtr IoSpecNode::rec(std::function<IoSpecPtr(IoSpecPtr)> Gen) {
 
 IoSpecPtr IoSpecNode::unfold() const {
   assert(K == Kind::Rec && "unfold of a non-recursive node");
-  if (!Unfolded)
-    Unfolded = Gen(shared_from_this());
-  return Unfolded;
+  if (IoSpecPtr U = Unfolded.lock())
+    return U;
+  IoSpecPtr U = Gen(shared_from_this());
+  Unfolded = U;
+  return U;
 }

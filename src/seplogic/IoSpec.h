@@ -108,7 +108,12 @@ private:
   IoSpecPtr Next, Then, Else;
   const smt::Term *Cond = nullptr;
   std::function<IoSpecPtr(IoSpecPtr)> Gen;
-  mutable IoSpecPtr Unfolded; ///< Memoized unfolding of Rec nodes.
+  /// Memoized unfolding of Rec nodes.  Weak: the unfolded body captures a
+  /// strong reference back to this node (that is what srec means), so an
+  /// owning memo would form a shared_ptr cycle and leak the whole automaton.
+  /// Any consumer comparing unfoldings by identity necessarily holds the
+  /// previous unfolding alive, which keeps the memo valid.
+  mutable std::weak_ptr<const IoSpecNode> Unfolded;
 };
 
 } // namespace islaris::seplogic

@@ -213,8 +213,11 @@ void BitBlaster::divRem(const Bits &N, const Bits &D, Bits &Quot, Bits &Rem) {
 Lit BitBlaster::blastBool(const Term *T) {
   assert(T->isBool() && "blastBool needs a boolean term");
   auto It = BoolCache.find(T);
-  if (It != BoolCache.end())
+  if (It != BoolCache.end()) {
+    ++BStats.TermsReused;
     return It->second;
+  }
+  ++BStats.TermsBlasted;
 
   Lit R;
   switch (T->kind()) {
@@ -418,8 +421,11 @@ BitBlaster::Bits BitBlaster::blastNode(const Term *T) {
 const BitBlaster::Bits &BitBlaster::blastBV(const Term *T) {
   assert(T->sort().isBitVec() && "blastBV needs a bitvector term");
   auto It = BVCache.find(T);
-  if (It != BVCache.end())
+  if (It != BVCache.end()) {
+    ++BStats.TermsReused;
     return It->second;
+  }
+  ++BStats.TermsBlasted;
   Bits R = blastNode(T);
   assert(R.size() == T->width() && "blasted width mismatch");
   return BVCache.emplace(T, std::move(R)).first->second;

@@ -22,8 +22,17 @@
 
 namespace islaris::smt {
 
-/// Translates terms into clauses of an underlying SAT solver.  One blaster
-/// per solving episode; caches are per-instance.
+/// Translation-reuse counters: how much of the CNF built for earlier checks
+/// was shared by later ones (a long-lived blaster makes TermsReused grow).
+struct BlastStats {
+  uint64_t TermsBlasted = 0; ///< Cache misses: terms translated to clauses.
+  uint64_t TermsReused = 0;  ///< Cache hits: existing circuits reused.
+};
+
+/// Translates terms into clauses of an underlying SAT solver.  Terms are
+/// hash-consed, so the per-instance caches stay valid for as long as the
+/// TermBuilder lives: a blaster shared across checks reuses every circuit
+/// it has ever built.
 class BitBlaster {
 public:
   explicit BitBlaster(sat::Solver &S);
@@ -42,6 +51,8 @@ public:
 
   /// The always-true literal.
   sat::Lit trueLit() const { return TrueLit; }
+
+  const BlastStats &stats() const { return BStats; }
 
 private:
   sat::Lit freshLit();
@@ -70,6 +81,7 @@ private:
 
   sat::Solver &S;
   sat::Lit TrueLit;
+  BlastStats BStats;
   std::unordered_map<const Term *, Bits> BVCache;
   std::unordered_map<const Term *, sat::Lit> BoolCache;
   /// Cached quotient/remainder pairs so bvudiv/bvurem over the same

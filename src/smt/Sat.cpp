@@ -448,6 +448,10 @@ SatResult Solver::solve(const std::vector<Lit> &Assumptions) {
       if (value(A) == LBool::True) {
         TrailLim.push_back(int(Trail.size())); // dummy level
       } else if (value(A) == LBool::False) {
+        // Restore the root level before returning: earlier assumptions may
+        // already sit on the trail as pseudo-decisions, and the caller is
+        // entitled to addClause() (which requires level 0) after any solve.
+        cancelUntil(0);
         return SatResult::Unsat;
       } else {
         Next = A;

@@ -2,12 +2,18 @@
 
 #include "smt/Solver.h"
 
+#include <algorithm>
 #include <chrono>
+#include <map>
 
 using namespace islaris;
 using namespace islaris::smt;
 
+SolverCache::~SolverCache() = default;
+
 Solver::Solver(TermBuilder &TB) : TB(TB), RW(TB) {}
+
+Solver::~Solver() = default;
 
 void Solver::push() { ScopeMarks.push_back(Asserted.size()); }
 
@@ -15,11 +21,142 @@ void Solver::pop() {
   assert(!ScopeMarks.empty() && "pop without matching push");
   Asserted.resize(ScopeMarks.back());
   ScopeMarks.pop_back();
+  // The last model described the popped scope; a modelValue() now would be
+  // answered from a retracted assertion set.
+  invalidateModel();
 }
 
 void Solver::assertTerm(const Term *T) {
   assert(T->isBool() && "assertions must be boolean");
   Asserted.push_back(T);
+  invalidateModel();
+}
+
+static Value defaultValue(const Term *V) {
+  return V->isBool() ? Value(false) : Value(BitVec::zeros(V->width()));
+}
+
+std::string
+Solver::printGoalClosure(const std::vector<const Term *> &Goals) {
+  // Free-variable declarations, sorted by name.  Two distinct variables
+  // printing the same name would make the closure ambiguous (the printed
+  // formula conflates them); refuse to produce a key in that case.
+  std::map<std::string, const Term *> Decls;
+  for (const Term *G : Goals)
+    for (const Term *V : collectVars(G)) {
+      auto [It, New] = Decls.emplace(V->varName(), V);
+      if (!New && It->second != V)
+        return std::string();
+    }
+  std::vector<std::string> Printed;
+  Printed.reserve(Goals.size());
+  for (const Term *G : Goals)
+    Printed.push_back(G->toString());
+  std::sort(Printed.begin(), Printed.end());
+  Printed.erase(std::unique(Printed.begin(), Printed.end()), Printed.end());
+
+  std::string Out = "(goal-closure 1";
+  for (const auto &[Name, V] : Decls) {
+    Out += " (|" + Name + "| ";
+    Out += std::to_string(V->isBool() ? 0u : V->width());
+    Out += ")";
+  }
+  for (const std::string &P : Printed)
+    Out += " (assert " + P + ")";
+  Out += ")";
+  return Out;
+}
+
+Result Solver::solveGoals(const std::vector<const Term *> &Goals) {
+  ++Stats.NumSatCalls;
+  if (!Core) {
+    Core = std::make_unique<sat::Solver>();
+    Blaster = std::make_unique<BitBlaster>(*Core);
+  }
+  uint64_t ConflictsBefore = Core->numConflicts();
+  std::vector<sat::Lit> Assumps;
+  Assumps.reserve(Goals.size());
+  for (const Term *G : Goals)
+    Assumps.push_back(Blaster->blastBool(G));
+  sat::SatResult SR = Core->solve(Assumps);
+  Stats.NumConflicts += Core->numConflicts() - ConflictsBefore;
+  Stats.TermsBlasted = Blaster->stats().TermsBlasted;
+  Stats.TermsReused = Blaster->stats().TermsReused;
+  if (SR != sat::SatResult::Sat) {
+    invalidateModel();
+    return Result::Unsat;
+  }
+  // Extract the goal variables' values now: the SAT model is a snapshot
+  // that later checks overwrite, but this Env stays valid until the next
+  // assertTerm()/pop().
+  Model.clear();
+  for (const Term *G : Goals)
+    for (const Term *V : collectVars(G))
+      if (!Model.count(V->varId()))
+        Model.emplace(V->varId(), Blaster->modelValue(V));
+  HasModel = true;
+  return Result::Sat;
+}
+
+bool Solver::installCached(const std::vector<const Term *> &Goals,
+                           const SolverCache::CachedResult &C, Result &R) {
+  if (!C.Sat) {
+    invalidateModel();
+    R = Result::Unsat;
+    return true;
+  }
+  // Bind the stored (name, width, value) triples back to this builder's
+  // variables.  Any mismatch means the entry does not describe this goal
+  // set (e.g. a different-width variable of the same name): reject it and
+  // fall back to solving.
+  std::unordered_map<std::string, const Term *> ByName;
+  for (const Term *G : Goals)
+    for (const Term *V : collectVars(G))
+      ByName.emplace(V->varName(), V);
+  Env M;
+  for (const auto &[Name, Width, Bits] : C.Model) {
+    auto It = ByName.find(Name);
+    if (It == ByName.end())
+      return false;
+    const Term *V = It->second;
+    if (V->isBool()) {
+      if (Width != 0 || Bits.width() != 1)
+        return false;
+      M.emplace(V->varId(), Value(Bits.toUInt64() != 0));
+    } else {
+      if (Width != V->width() || Bits.width() != V->width())
+        return false;
+      M.emplace(V->varId(), Value(Bits));
+    }
+  }
+  if (M.size() != ByName.size())
+    return false; // some goal variable is unassigned
+  Model = std::move(M);
+  HasModel = true;
+  R = Result::Sat;
+  return true;
+}
+
+SolverCache::CachedResult
+Solver::exportResult(const std::vector<const Term *> &Goals,
+                     Result R) const {
+  SolverCache::CachedResult C;
+  C.Sat = R == Result::Sat;
+  if (!C.Sat)
+    return C;
+  std::map<std::string, const Term *> Vars;
+  for (const Term *G : Goals)
+    for (const Term *V : collectVars(G))
+      Vars.emplace(V->varName(), V);
+  for (const auto &[Name, V] : Vars) {
+    auto It = Model.find(V->varId());
+    Value Val = It != Model.end() ? It->second : defaultValue(V);
+    if (V->isBool())
+      C.Model.emplace_back(Name, 0u, BitVec(1, Val.asBool() ? 1 : 0));
+    else
+      C.Model.emplace_back(Name, V->width(), Val.asBitVec());
+  }
+  return C;
 }
 
 Result Solver::check(const std::vector<const Term *> &Assumptions) {
@@ -46,28 +183,46 @@ Result Solver::check(const std::vector<const Term *> &Assumptions) {
   Result R;
   if (TriviallyUnsat) {
     ++Stats.NumSyntactic;
-    LastSat.reset();
-    LastBlaster.reset();
+    invalidateModel();
     R = Result::Unsat;
   } else if (Goals.empty()) {
-    ++Stats.NumSyntactic;
     // All assertions simplified to true: the empty model satisfies them.
-    LastSat = std::make_unique<sat::Solver>();
-    LastBlaster = std::make_unique<BitBlaster>(*LastSat);
-    LastSat->solve();
+    // No SAT instance or blaster is built for this.
+    ++Stats.NumSyntactic;
+    Model.clear();
+    HasModel = true;
     R = Result::Sat;
   } else {
-    ++Stats.NumSatCalls;
-    LastSat = std::make_unique<sat::Solver>();
-    LastBlaster = std::make_unique<BitBlaster>(*LastSat);
+    // Canonical goal-set key: sorted, deduplicated hash-consed ids.
+    std::vector<unsigned> Key;
+    Key.reserve(Goals.size());
     for (const Term *G : Goals)
-      LastBlaster->assertTrue(G);
-    sat::SatResult SR = LastSat->solve();
-    Stats.NumConflicts += LastSat->numConflicts();
-    R = SR == sat::SatResult::Sat ? Result::Sat : Result::Unsat;
-    if (R == Result::Unsat) {
-      LastSat.reset();
-      LastBlaster.reset();
+      Key.push_back(G->id());
+    std::sort(Key.begin(), Key.end());
+    Key.erase(std::unique(Key.begin(), Key.end()), Key.end());
+
+    auto Hit = Memo.find(Key);
+    if (Hit != Memo.end()) {
+      ++Stats.NumMemoHits;
+      R = Hit->second.R;
+      Model = Hit->second.Model;
+      HasModel = R == Result::Sat;
+    } else {
+      std::string Closure =
+          Persist ? printGoalClosure(Goals) : std::string();
+      bool Answered = false;
+      if (!Closure.empty())
+        if (auto Cached = Persist->lookup(Closure))
+          if (installCached(Goals, *Cached, R)) {
+            ++Stats.NumStoreHits;
+            Answered = true;
+          }
+      if (!Answered) {
+        R = solveGoals(Goals);
+        if (!Closure.empty())
+          Persist->store(Closure, exportResult(Goals, R));
+      }
+      Memo.emplace(std::move(Key), MemoEntry{R, Model});
     }
   }
 
@@ -78,18 +233,40 @@ Result Solver::check(const std::vector<const Term *> &Assumptions) {
 }
 
 bool Solver::isValid(const Term *T) {
+  auto Start = std::chrono::steady_clock::now();
   const Term *S = RW.simplify(T);
   if (S->kind() == Kind::ConstBool && S->constBool()) {
     ++Stats.NumChecks;
     ++Stats.NumSyntactic;
+    // The fast path is still a check: account its (tiny) time so the
+    // automation/side-condition split stays consistent.
+    Stats.TotalSeconds += std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - Start)
+                              .count();
     return true;
   }
   return check({TB.notTerm(S)}) == Result::Unsat;
 }
 
 Value Solver::modelValue(const Term *Var) {
-  assert(LastBlaster && "modelValue requires a preceding Sat answer");
-  // The variable may have been simplified away; query the blaster for the
-  // simplified form (a variable simplifies to itself).
-  return LastBlaster->modelValue(RW.simplify(Var));
+  const Term *S = RW.simplify(Var);
+  if (S->kind() == Kind::ConstBool)
+    return Value(S->constBool());
+  if (S->kind() == Kind::ConstBV)
+    return Value(S->constBV());
+  assert(HasModel && "modelValue without a Sat answer newer than the last "
+                     "assertTerm()/pop()");
+  if (!HasModel)
+    return defaultValue(S);
+  if (S->kind() == Kind::Var) {
+    auto It = Model.find(S->varId());
+    return It != Model.end() ? It->second : defaultValue(S);
+  }
+  // Compound term: evaluate under the model, defaulting variables the
+  // model does not constrain.
+  Env E = Model;
+  for (const Term *V : collectVars(S))
+    E.emplace(V->varId(), defaultValue(V));
+  auto Val = evaluate(S, E);
+  return Val ? *Val : defaultValue(S);
 }

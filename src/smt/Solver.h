@@ -11,8 +11,22 @@
 ///
 /// Architecture: assertions are simplified by the Rewriter first; anything
 /// not decided syntactically is bit-blasted to CNF and handed to the CDCL
-/// core.  Each check builds a fresh SAT instance (formulas in this domain
-/// are small, and this keeps push/pop trivially correct).
+/// core.  The SAT instance and bit-blaster persist for the lifetime of the
+/// Solver: goals are passed as *assumptions* (never asserted as unit
+/// clauses), so the clause database stays satisfiable, push()/pop() is
+/// trivially correct, and the Tseitin circuits of recurring subterms are
+/// built once and reused across checks — the "scoped incrementality" half
+/// of the side-condition cache.
+///
+/// On top of that sit two caching layers:
+///
+///  - an in-memory memo table keyed on the canonical simplified goal set
+///    (sorted hash-consed term ids), so a query repeated anywhere within a
+///    run — across push/pop frames, paths, or specs — returns instantly
+///    with the same answer and model;
+///  - an optional persistent SolverCache (implemented by
+///    cache::SideCondStore), keyed on the *printed* goal closure so
+///    results survive across runs and processes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +39,8 @@
 #include "smt/TermBuilder.h"
 
 #include <memory>
+#include <optional>
+#include <tuple>
 
 namespace islaris::smt {
 
@@ -35,15 +51,42 @@ enum class Result { Sat, Unsat };
 struct SolverStats {
   uint64_t NumChecks = 0;
   uint64_t NumSyntactic = 0; ///< Checks decided without the SAT core.
-  uint64_t NumSatCalls = 0;
+  uint64_t NumMemoHits = 0;  ///< Checks answered by the in-run memo table.
+  uint64_t NumStoreHits = 0; ///< Checks answered by the persistent store.
+  uint64_t NumSatCalls = 0;  ///< Checks that reached the SAT core.
   uint64_t NumConflicts = 0;
+  uint64_t TermsBlasted = 0; ///< Terms translated to CNF (mirror of blaster).
+  uint64_t TermsReused = 0;  ///< Blaster cache hits: clauses reused.
   double TotalSeconds = 0;
+};
+
+/// Interface to a (typically persistent) store of side-condition results,
+/// keyed by the canonical printed goal closure — see
+/// Solver::printGoalClosure.  Implemented by cache::SideCondStore; declared
+/// here so the smt layer stays free of I/O and fingerprinting concerns.
+/// Implementations must be thread-safe (one store is shared by many
+/// solvers).
+class SolverCache {
+public:
+  virtual ~SolverCache();
+
+  /// A cached answer.  For Sat results the model assigns every free
+  /// variable of the goal closure by (name, width) — width 0 encodes a
+  /// boolean variable whose value is the low bit of a 1-bit vector.
+  struct CachedResult {
+    bool Sat = false;
+    std::vector<std::tuple<std::string, unsigned, BitVec>> Model;
+  };
+
+  virtual std::optional<CachedResult> lookup(const std::string &Closure) = 0;
+  virtual void store(const std::string &Closure, const CachedResult &R) = 0;
 };
 
 /// An incremental-interface QF_BV solver over a TermBuilder's terms.
 class Solver {
 public:
   explicit Solver(TermBuilder &TB);
+  ~Solver();
 
   /// Pushes/pops an assertion scope.
   void push();
@@ -59,26 +102,80 @@ public:
   /// (i.e. assertions ∧ ¬T is unsat).
   bool isValid(const Term *T);
 
-  /// After a Sat answer from check(): concrete value of a *variable* term.
+  /// After a Sat answer from check(): concrete value of a term under the
+  /// discovered model (variables directly, compound terms by evaluation).
+  /// The model is invalidated by assertTerm()/pop(); querying it afterwards
+  /// asserts, and in release builds degrades to the default (all-zeros)
+  /// assignment rather than silently reporting a retracted scope's model.
   Value modelValue(const Term *Var);
 
   /// Asserted terms, innermost scope last (diagnostics).
   const std::vector<const Term *> &assertions() const { return Asserted; }
+
+  /// Attaches \p C as the persistent side-condition store (shared, not
+  /// owned, thread-safe).  Consulted after a memo miss; solved queries are
+  /// written back.  Null detaches.
+  void setCache(SolverCache *C) { Persist = C; }
+  SolverCache *cache() const { return Persist; }
+
+  /// The canonical builder-independent key of a residual goal set: the
+  /// sorted printed goals plus sorted (name, width) declarations of their
+  /// free variables (width 0 = Bool).  Returns "" when two distinct
+  /// variables share a printed name — such a closure would be ambiguous,
+  /// so the query is excluded from cross-run caching (the id-keyed memo
+  /// still applies).
+  static std::string printGoalClosure(const std::vector<const Term *> &Goals);
 
   TermBuilder &builder() { return TB; }
   Rewriter &rewriter() { return RW; }
   const SolverStats &stats() const { return Stats; }
 
 private:
+  Result solveGoals(const std::vector<const Term *> &Goals);
+  bool installCached(const std::vector<const Term *> &Goals,
+                     const SolverCache::CachedResult &C, Result &R);
+  SolverCache::CachedResult
+  exportResult(const std::vector<const Term *> &Goals, Result R) const;
+  void invalidateModel() {
+    HasModel = false;
+    Model.clear();
+  }
+
   TermBuilder &TB;
   Rewriter RW;
   std::vector<const Term *> Asserted;
   std::vector<size_t> ScopeMarks;
   SolverStats Stats;
+  SolverCache *Persist = nullptr;
 
-  // State of the last Sat check, kept for model queries.
-  std::unique_ptr<sat::Solver> LastSat;
-  std::unique_ptr<BitBlaster> LastBlaster;
+  // The persistent SAT core and Tseitin translation, created on the first
+  // check that needs them and reused for the Solver's lifetime.  Goals are
+  // only ever assumed, so the clause database stays satisfiable.
+  std::unique_ptr<sat::Solver> Core;
+  std::unique_ptr<BitBlaster> Blaster;
+
+  // Model of the last Sat answer (goal variables only), extracted eagerly
+  // so it cannot be invalidated by later clause additions.
+  bool HasModel = false;
+  Env Model;
+
+  // In-run memo: canonical goal-id set -> result + model.  Terms are
+  // hash-consed, so ids identify goals and the key is builder-stable.
+  struct GoalKeyHash {
+    size_t operator()(const std::vector<unsigned> &K) const {
+      uint64_t H = 0xcbf29ce484222325ull;
+      for (unsigned Id : K) {
+        H ^= Id;
+        H *= 1099511628211ull;
+      }
+      return size_t(H ^ (H >> 31));
+    }
+  };
+  struct MemoEntry {
+    Result R;
+    Env Model;
+  };
+  std::unordered_map<std::vector<unsigned>, MemoEntry, GoalKeyHash> Memo;
 };
 
 } // namespace islaris::smt

@@ -11,6 +11,7 @@
 
 #include "cache/BatchDriver.h"
 #include "cache/Fingerprint.h"
+#include "cache/SideCondCache.h"
 #include "cache/TraceCache.h"
 
 #include "arch/AArch64.h"
@@ -22,6 +23,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <thread>
 
 using namespace islaris;
 using namespace islaris::cache;
@@ -437,6 +439,213 @@ TEST(SuiteCacheTest, WarmSuiteRegeneratesNothingAndMatchesCold) {
     WarmExecuted += Warm[I].TracesExecuted;
   }
   EXPECT_EQ(WarmExecuted, 0u); // 100% hit rate on the warm run
+}
+
+//===----------------------------------------------------------------------===//
+// Side-condition solver store.
+//===----------------------------------------------------------------------===//
+
+TEST(SideCondTest, EntrySerializationRoundTrips) {
+  smt::SolverCache::CachedResult R;
+  R.Sat = true;
+  R.Model.emplace_back("b", 0u, BitVec(1, 1));   // boolean (width 0)
+  R.Model.emplace_back("x", 16u, BitVec(16, 7)); // bitvector
+  Fingerprint K = Fingerprinter().str("k").digest();
+
+  std::string Text = SideCondStore::serializeEntry(K, R);
+  smt::SolverCache::CachedResult Out;
+  std::string Err;
+  ASSERT_TRUE(SideCondStore::parseEntry(Text, K, Out, Err)) << Err;
+  EXPECT_TRUE(Out.Sat);
+  ASSERT_EQ(Out.Model.size(), 2u);
+  EXPECT_EQ(std::get<0>(Out.Model[0]), "b");
+  EXPECT_EQ(std::get<1>(Out.Model[0]), 0u);
+  EXPECT_EQ(std::get<2>(Out.Model[0]).toUInt64(), 1u);
+  EXPECT_EQ(std::get<0>(Out.Model[1]), "x");
+  EXPECT_EQ(std::get<2>(Out.Model[1]).toUInt64(), 7u);
+
+  // Key mismatch and truncation degrade to parse failures (misses).
+  Fingerprint K2 = Fingerprinter().str("other").digest();
+  EXPECT_FALSE(SideCondStore::parseEntry(Text, K2, Out, Err));
+  EXPECT_FALSE(
+      SideCondStore::parseEntry(Text.substr(0, Text.size() / 2), K, Out,
+                                Err));
+
+  smt::SolverCache::CachedResult U; // unsat entries carry no model
+  std::string UText = SideCondStore::serializeEntry(K, U);
+  ASSERT_TRUE(SideCondStore::parseEntry(UText, K, Out, Err)) << Err;
+  EXPECT_FALSE(Out.Sat);
+  EXPECT_TRUE(Out.Model.empty());
+}
+
+TEST(SideCondTest, ModelSaltSeparatesKeys) {
+  SideCondConfig A, B;
+  B.ModelSalt = Fingerprinter().str("other-model").digest();
+  SideCondStore SA(A), SB(B);
+  EXPECT_NE(SA.key("(goal-closure 1)"), SB.key("(goal-closure 1)"));
+  EXPECT_EQ(SA.key("(goal-closure 1)"), SA.key("(goal-closure 1)"));
+}
+
+TEST(SideCondTest, PersistsAcrossStoreInstances) {
+  TempDir Tmp;
+  SideCondConfig Cfg;
+  Cfg.Persist = true;
+  Cfg.Dir = Tmp.Path.string();
+
+  // Populate through a real solver.
+  {
+    SideCondStore Store(Cfg);
+    smt::TermBuilder TB;
+    smt::Solver S(TB);
+    S.setCache(&Store);
+    const smt::Term *X = TB.freshVar(smt::Sort::bitvec(16), "x");
+    S.assertTerm(TB.eqTerm(TB.bvAdd(X, TB.constBV(16, 3)),
+                           TB.constBV(16, 10)));
+    ASSERT_EQ(S.check(), smt::Result::Sat);
+    EXPECT_EQ(S.modelValue(X).asBitVec().toUInt64(), 7u);
+    EXPECT_EQ(Store.stats().DiskWrites, 1u);
+  }
+
+  // A brand-new store instance (a "second process") over the same
+  // directory answers from disk: no SAT call, identical model.
+  SideCondStore Store2(Cfg);
+  smt::TermBuilder TB;
+  smt::Solver S(TB);
+  S.setCache(&Store2);
+  const smt::Term *X = TB.freshVar(smt::Sort::bitvec(16), "x");
+  S.assertTerm(TB.eqTerm(TB.bvAdd(X, TB.constBV(16, 3)),
+                         TB.constBV(16, 10)));
+  ASSERT_EQ(S.check(), smt::Result::Sat);
+  EXPECT_EQ(S.stats().NumSatCalls, 0u);
+  EXPECT_EQ(S.stats().NumStoreHits, 1u);
+  EXPECT_EQ(S.modelValue(X).asBitVec().toUInt64(), 7u);
+  EXPECT_EQ(Store2.stats().DiskHits, 1u);
+
+  // Corrupt entries degrade to misses, never to wrong verdicts.
+  SideCondStore Store3(Cfg);
+  for (const auto &F : std::filesystem::directory_iterator(Tmp.Path))
+    std::filesystem::resize_file(F.path(), 8);
+  smt::TermBuilder TB2;
+  smt::Solver S2(TB2);
+  S2.setCache(&Store3);
+  const smt::Term *Y = TB2.freshVar(smt::Sort::bitvec(16), "x");
+  S2.assertTerm(TB2.eqTerm(TB2.bvAdd(Y, TB2.constBV(16, 3)),
+                           TB2.constBV(16, 10)));
+  ASSERT_EQ(S2.check(), smt::Result::Sat);
+  EXPECT_EQ(S2.stats().NumSatCalls, 1u);
+  EXPECT_EQ(Store3.stats().Misses, 1u);
+}
+
+// Satellite regression: concurrent writers racing on the SAME keys from
+// several store/cache instances sharing one directory (the cross-process
+// scenario the old address-derived temp suffix could corrupt).  Every
+// entry must end up parseable and no ".tmp" litter may survive.
+TEST(SideCondTest, ConcurrentWritersWithCollidingKeys) {
+  TempDir Tmp;
+  constexpr unsigned Writers = 8, Keys = 16;
+
+  // Side-condition entries...
+  {
+    SideCondConfig Cfg;
+    Cfg.Persist = true;
+    Cfg.Dir = Tmp.Path.string();
+    smt::SolverCache::CachedResult R;
+    R.Sat = true;
+    R.Model.emplace_back("x", 8u, BitVec(8, 42));
+    std::vector<std::thread> Ts;
+    for (unsigned W = 0; W < Writers; ++W)
+      Ts.emplace_back([&] {
+        SideCondStore Store(Cfg); // each thread = its own "process"
+        for (unsigned K = 0; K < Keys; ++K)
+          Store.store("closure-" + std::to_string(K), R);
+      });
+    for (auto &T : Ts)
+      T.join();
+
+    SideCondStore Reader(Cfg);
+    for (unsigned K = 0; K < Keys; ++K) {
+      auto Hit = Reader.lookup("closure-" + std::to_string(K));
+      ASSERT_TRUE(Hit.has_value()) << K;
+      EXPECT_TRUE(Hit->Sat);
+      ASSERT_EQ(Hit->Model.size(), 1u);
+      EXPECT_EQ(std::get<2>(Hit->Model[0]).toUInt64(), 42u);
+    }
+    EXPECT_EQ(Reader.stats().DiskHits, Keys);
+  }
+
+  // ... and trace-cache entries through the shared atomic writer.
+  {
+    TraceCacheConfig Cfg;
+    Cfg.Persist = true;
+    Cfg.Dir = (Tmp.Path / "traces").string();
+    CacheEntry E;
+    E.TraceText = "(trace)";
+    E.Stats.Paths = 1;
+    std::vector<std::thread> Ts;
+    for (unsigned W = 0; W < Writers; ++W)
+      Ts.emplace_back([&] {
+        TraceCache C(Cfg);
+        for (unsigned K = 0; K < Keys; ++K)
+          C.insert(Fingerprinter().u64(K).digest(), E);
+      });
+    for (auto &T : Ts)
+      T.join();
+    TraceCache Reader(Cfg);
+    for (unsigned K = 0; K < Keys; ++K)
+      EXPECT_TRUE(
+          Reader.lookup(Fingerprinter().u64(K).digest()).has_value())
+          << K;
+  }
+
+  // No orphaned temp files anywhere under the shared directory.
+  for (const auto &F :
+       std::filesystem::recursive_directory_iterator(Tmp.Path))
+    EXPECT_EQ(F.path().string().find(".tmp"), std::string::npos)
+        << F.path();
+}
+
+TEST(SuiteCacheTest, WarmSideCondStoreEliminatesSatCalls) {
+  TempDir Tmp;
+  SideCondConfig Cfg;
+  Cfg.Persist = true;
+  Cfg.Dir = (Tmp.Path / "sidecond").string();
+
+  frontend::SuiteOptions Opts;
+  Opts.Threads = 1;
+  std::vector<frontend::CaseResult> Cold, Warm;
+  {
+    SideCondStore Store(Cfg);
+    Opts.SideCond = &Store;
+    Cold = frontend::runAllCaseStudies(Opts);
+  }
+  {
+    SideCondStore Store(Cfg); // fresh instance: only the disk is warm
+    Opts.SideCond = &Store;
+    Warm = frontend::runAllCaseStudies(Opts);
+    EXPECT_GT(Store.stats().DiskHits, 0u);
+  }
+
+  ASSERT_EQ(Cold.size(), Warm.size());
+  uint64_t ColdSat = 0, WarmSat = 0, WarmStoreHits = 0;
+  for (size_t I = 0; I < Cold.size(); ++I) {
+    EXPECT_TRUE(Cold[I].Ok) << Cold[I].Name << ": " << Cold[I].Error;
+    EXPECT_TRUE(Warm[I].Ok) << Warm[I].Name << ": " << Warm[I].Error;
+    // Verdicts and proof shape must be identical with and without hits.
+    EXPECT_EQ(Warm[I].ItlEvents, Cold[I].ItlEvents) << Warm[I].Name;
+    EXPECT_EQ(Warm[I].Proof.PathsVerified, Cold[I].Proof.PathsVerified)
+        << Warm[I].Name;
+    EXPECT_EQ(Warm[I].Proof.SolverQueries, Cold[I].Proof.SolverQueries)
+        << Warm[I].Name;
+    ColdSat += Cold[I].Proof.SolverSatCalls;
+    WarmSat += Warm[I].Proof.SolverSatCalls;
+    WarmStoreHits += Warm[I].Proof.SolverStoreHits;
+  }
+  EXPECT_GT(ColdSat, 0u);
+  EXPECT_GT(WarmStoreHits, 0u);
+  // The acceptance criterion: at least half of all side-condition SAT
+  // calls are answered by the store on a warm rerun.
+  EXPECT_LE(WarmSat * 2, ColdSat)
+      << "warm=" << WarmSat << " cold=" << ColdSat;
 }
 
 TEST(SuiteCacheTest, ParallelSuiteMatchesSerial) {

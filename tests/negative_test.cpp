@@ -15,6 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 using namespace islaris;
 using islaris::itl::Reg;
 using islaris::seplogic::IoSpecNode;
@@ -27,6 +30,9 @@ namespace {
 /// postcondition increment.
 struct AddFixture {
   frontend::Verifier V{frontend::aarch64()};
+  // The engine keeps references to registered specs, so the fixture owns
+  // them for its own lifetime.
+  std::vector<std::unique_ptr<Spec>> Owned;
   AddFixture() {
     namespace e = arch::aarch64::enc;
     V.addCode({{0x1000, e::addImm(0, 0, 5)}, {0x1004, e::ret()}});
@@ -36,10 +42,12 @@ struct AddFixture {
 
   bool verify(uint64_t ClaimedIncrement, bool OmitX30 = false) {
     smt::TermBuilder &TB = V.builder();
-    Spec *Post = new Spec(V.makeSpec("post")); // leaked: engine keeps refs
+    Owned.push_back(std::make_unique<Spec>(V.makeSpec("post")));
+    Spec *Post = Owned.back().get();
     const Term *PX = Post->param(64, "px");
     Post->reg(Reg("R0"), TB.bvAdd(PX, TB.constBV(64, ClaimedIncrement)));
-    Spec *Entry = new Spec(V.makeSpec("entry"));
+    Owned.push_back(std::make_unique<Spec>(V.makeSpec("entry")));
+    Spec *Entry = Owned.back().get();
     const Term *X = Entry->evar(64, "x");
     const Term *R = Entry->evar(64, "r");
     Entry->reg(Reg("R0"), X);

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <random>
 
 using namespace islaris;
@@ -372,6 +373,177 @@ TEST(SolverTest, SubstituteComposes) {
   const Term *R = TB.substitute(E, M);
   ASSERT_EQ(R->kind(), Kind::ConstBV);
   EXPECT_EQ(R->constBV().toUInt64(), 13u);
+}
+
+//===----------------------------------------------------------------------===//
+// Side-condition cache: memo table, model invalidation, persistent store.
+//===----------------------------------------------------------------------===//
+
+// Regression: modelValue() after pop()/assertTerm() used to answer from the
+// retracted scope's model.  The model must be invalidated by any state
+// mutation and repopulated by the next Sat check.
+TEST(SolverTest, ModelInvalidatedAcrossPushPop) {
+  TermBuilder TB;
+  Solver S(TB);
+  const Term *X = TB.freshVar(Sort::bitvec(8), "x");
+  S.assertTerm(TB.bvUlt(X, TB.constBV(8, 10)));
+  S.push();
+  S.assertTerm(TB.eqTerm(X, TB.constBV(8, 7)));
+  ASSERT_EQ(S.check(), Result::Sat);
+  EXPECT_EQ(S.modelValue(X).asBitVec().toUInt64(), 7u);
+  S.pop();
+  S.assertTerm(TB.eqTerm(X, TB.constBV(8, 3)));
+#ifndef NDEBUG
+  EXPECT_DEATH(S.modelValue(X), "modelValue without a Sat answer");
+#endif
+  ASSERT_EQ(S.check(), Result::Sat);
+  EXPECT_EQ(S.modelValue(X).asBitVec().toUInt64(), 3u);
+}
+
+// A memo hit must return the identical verdict and model as the cold solve,
+// without another SAT call.
+TEST(SolverTest, MemoHitMatchesColdSolve) {
+  TermBuilder TB;
+  Solver S(TB);
+  const Term *X = TB.freshVar(Sort::bitvec(16), "x");
+  S.assertTerm(TB.eqTerm(TB.bvAdd(X, TB.constBV(16, 3)), TB.constBV(16, 10)));
+  S.assertTerm(TB.bvUlt(X, TB.constBV(16, 100)));
+  ASSERT_EQ(S.check(), Result::Sat);
+  uint64_t Cold = S.modelValue(X).asBitVec().toUInt64();
+  EXPECT_EQ(S.stats().NumSatCalls, 1u);
+
+  ASSERT_EQ(S.check(), Result::Sat); // identical goal set: memo answers
+  EXPECT_EQ(S.stats().NumSatCalls, 1u);
+  EXPECT_EQ(S.stats().NumMemoHits, 1u);
+  EXPECT_EQ(S.modelValue(X).asBitVec().toUInt64(), Cold);
+
+  S.push(); // an empty frame does not change the canonical goal set
+  ASSERT_EQ(S.check(), Result::Sat);
+  EXPECT_EQ(S.stats().NumMemoHits, 2u);
+  S.pop();
+
+  S.push();
+  S.assertTerm(TB.bvUlt(TB.constBV(16, 50), X)); // now unsat (x = 7)
+  EXPECT_EQ(S.check(), Result::Unsat);
+  EXPECT_EQ(S.stats().NumSatCalls, 2u);
+  EXPECT_EQ(S.check(), Result::Unsat); // unsat results memoize too
+  EXPECT_EQ(S.stats().NumSatCalls, 2u);
+  EXPECT_EQ(S.stats().NumMemoHits, 3u);
+  S.pop();
+}
+
+// Trivial paths: no SAT core is ever constructed, yet checks are counted
+// and an (empty) model is available after a syntactic Sat.
+TEST(SolverTest, TrivialCheckPathsStaySyntactic) {
+  TermBuilder TB;
+  Solver S(TB);
+  const Term *X = TB.freshVar(Sort::bitvec(8), "x");
+  EXPECT_EQ(S.check(), Result::Sat); // nothing asserted
+  EXPECT_EQ(S.stats().NumSyntactic, 1u);
+  EXPECT_EQ(S.stats().NumSatCalls, 0u);
+  EXPECT_EQ(S.modelValue(X).asBitVec().toUInt64(), 0u); // default model
+
+  S.assertTerm(TB.trueTerm());
+  EXPECT_EQ(S.check(), Result::Sat); // simplifies to the empty goal set
+  EXPECT_TRUE(S.isValid(TB.trueTerm()));
+  S.assertTerm(TB.falseTerm());
+  EXPECT_EQ(S.check(), Result::Unsat);
+  EXPECT_EQ(S.stats().NumSyntactic, 4u);
+  EXPECT_EQ(S.stats().NumSatCalls, 0u);
+}
+
+namespace {
+/// In-memory SolverCache capturing store()/lookup() traffic.
+struct FakeSolverCache : SolverCache {
+  std::map<std::string, CachedResult> M;
+  std::optional<CachedResult> lookup(const std::string &C) override {
+    auto It = M.find(C);
+    return It == M.end() ? std::nullopt
+                         : std::optional<CachedResult>(It->second);
+  }
+  void store(const std::string &C, const CachedResult &R) override {
+    M.emplace(C, R);
+  }
+};
+} // namespace
+
+// A persistent-cache hit in a *different* TermBuilder (new ids, same
+// printed closure) must return the same verdict and model values with no
+// SAT call.
+TEST(SolverTest, PersistentCacheRoundTripAcrossBuilders) {
+  FakeSolverCache Cache;
+  uint64_t Cold;
+  {
+    TermBuilder TB;
+    Solver S(TB);
+    S.setCache(&Cache);
+    const Term *X = TB.freshVar(Sort::bitvec(16), "x");
+    S.assertTerm(
+        TB.eqTerm(TB.bvAdd(X, TB.constBV(16, 3)), TB.constBV(16, 10)));
+    ASSERT_EQ(S.check(), Result::Sat);
+    Cold = S.modelValue(X).asBitVec().toUInt64();
+    EXPECT_EQ(S.stats().NumSatCalls, 1u);
+    EXPECT_EQ(Cache.M.size(), 1u);
+  }
+  {
+    TermBuilder TB;
+    const Term *Pad = TB.freshVar(Sort::bitvec(8), "pad"); // shift var ids
+    (void)Pad;
+    Solver S(TB);
+    S.setCache(&Cache);
+    const Term *X = TB.freshVar(Sort::bitvec(16), "x");
+    S.assertTerm(
+        TB.eqTerm(TB.bvAdd(X, TB.constBV(16, 3)), TB.constBV(16, 10)));
+    ASSERT_EQ(S.check(), Result::Sat);
+    EXPECT_EQ(S.stats().NumSatCalls, 0u);
+    EXPECT_EQ(S.stats().NumStoreHits, 1u);
+    EXPECT_EQ(S.modelValue(X).asBitVec().toUInt64(), Cold);
+  }
+}
+
+// Two distinct variables printing the same name make the printed closure
+// ambiguous; such queries must never reach the persistent cache (the
+// id-keyed memo still works).
+TEST(SolverTest, AmbiguousNamesSkipPersistentCache) {
+  FakeSolverCache Cache;
+  TermBuilder TB;
+  Solver S(TB);
+  S.setCache(&Cache);
+  const Term *X1 = TB.freshVar(Sort::bitvec(8), "x");
+  const Term *X2 = TB.freshVar(Sort::bitvec(8), "x");
+  ASSERT_NE(X1, X2);
+  S.assertTerm(TB.bvUlt(X1, TB.constBV(8, 5)));
+  S.assertTerm(TB.bvUlt(TB.constBV(8, 9), X2));
+  EXPECT_EQ(S.check(), Result::Sat); // satisfiable: x1 and x2 are distinct
+  EXPECT_TRUE(Cache.M.empty());
+  EXPECT_EQ(S.check(), Result::Sat);
+  EXPECT_EQ(S.stats().NumMemoHits, 1u);
+}
+
+// The blaster survives across checks: re-solving related goals reuses the
+// previously built circuits instead of re-blasting the whole CNF.
+TEST(SolverTest, IncrementalBlastingReusesCircuits) {
+  TermBuilder TB;
+  Solver S(TB);
+  const Term *X = TB.freshVar(Sort::bitvec(32), "x");
+  const Term *Y = TB.freshVar(Sort::bitvec(32), "y");
+  const Term *Sum = TB.bvAdd(TB.bvMul(X, Y), Y);
+  S.assertTerm(TB.bvUlt(Sum, TB.constBV(32, 1000)));
+  S.push();
+  S.assertTerm(TB.eqTerm(X, TB.constBV(32, 2)));
+  ASSERT_EQ(S.check(), Result::Sat);
+  uint64_t BlastedAfterFirst = S.stats().TermsBlasted;
+  S.pop();
+  S.push();
+  S.assertTerm(TB.eqTerm(X, TB.constBV(32, 3))); // fresh goal, shared Sum
+  ASSERT_EQ(S.check(), Result::Sat);
+  S.pop();
+  EXPECT_EQ(S.stats().NumSatCalls, 2u);
+  EXPECT_GT(S.stats().TermsReused, 0u);
+  // The second check must not have re-blasted the shared circuit: only a
+  // handful of new terms (the new equality) get translated.
+  EXPECT_LT(S.stats().TermsBlasted - BlastedAfterFirst,
+            BlastedAfterFirst);
 }
 
 } // namespace
