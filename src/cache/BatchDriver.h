@@ -27,6 +27,7 @@
 #define ISLARIS_CACHE_BATCHDRIVER_H
 
 #include "cache/TraceCache.h"
+#include "support/Diag.h"
 
 #include <functional>
 
@@ -52,7 +53,9 @@ enum class ResultSource : uint8_t {
 
 struct TraceJobResult {
   bool Ok = false;
-  std::string Error; ///< Executor error when !Ok.
+  std::string Error;   ///< Executor error when !Ok (mirrors D.Message).
+  support::Diag D;     ///< Structured failure diagnostic when !Ok.
+  unsigned Attempts = 0; ///< Executions spent on this job's group (>1: retried).
   Fingerprint Key;
   CacheEntry Entry; ///< Valid when Ok.
   ResultSource Source = ResultSource::Fresh;
@@ -64,6 +67,22 @@ struct BatchStats {
   unsigned Fresh = 0;
   unsigned CacheHits = 0;
   unsigned Deduped = 0;
+  unsigned Failed = 0;     ///< Jobs that ended without a trace.
+  unsigned Retries = 0;    ///< Extra executions spent on retryable failures.
+  unsigned TimedOut = 0;   ///< Executions the watchdog cancelled.
+  unsigned Exceptions = 0; ///< Executions that ended in a caught exception.
+};
+
+/// Fault-tolerance knobs of a batch run.
+struct DriverOptions {
+  /// Per-job wall clock (seconds; 0 = none).  Past it the watchdog fires
+  /// the job's cancellation token; the job fails with JobTimeout and is
+  /// eligible for retry.
+  double JobTimeoutSeconds = 0;
+  /// Executions allowed beyond the first for retryable failures (timeouts,
+  /// escaped exceptions, injected faults) before the job is quarantined
+  /// with its last diagnostic.  Deterministic failures are never retried.
+  unsigned MaxRetries = 1;
 };
 
 class BatchDriver {
@@ -73,6 +92,9 @@ public:
   explicit BatchDriver(unsigned Threads = 0);
 
   unsigned threads() const { return NThreads; }
+
+  void setOptions(const DriverOptions &O) { Opts = O; }
+  const DriverOptions &options() const { return Opts; }
 
   /// Runs a batch.  Results are positionally aligned with \p Jobs.  When
   /// \p Cache is non-null, hits are served from it and fresh executions are
@@ -91,6 +113,7 @@ public:
 private:
   unsigned NThreads;
   BatchStats Last;
+  DriverOptions Opts;
 };
 
 } // namespace islaris::cache

@@ -4,6 +4,7 @@
 
 #include "cache/TraceCache.h" // resolveCacheDir, atomicWriteFile
 #include "itl/Parser.h"
+#include "support/FaultInjector.h"
 
 #include <filesystem>
 #include <fstream>
@@ -114,6 +115,8 @@ std::string SideCondStore::entryPath(const Fingerprint &K) const {
 
 std::optional<smt::SolverCache::CachedResult>
 SideCondStore::loadFromDisk(const Fingerprint &K) {
+  if (support::FaultInjector::fire(support::FaultSite::CacheRead))
+    return std::nullopt; // injected read failure: degrade to a miss
   std::ifstream In(entryPath(K), std::ios::binary);
   if (!In)
     return std::nullopt;
@@ -121,8 +124,16 @@ SideCondStore::loadFromDisk(const Fingerprint &K) {
   Buf << In.rdbuf();
   CachedResult R;
   std::string Err;
-  if (!parseEntry(Buf.str(), K, R, Err))
-    return std::nullopt; // corrupt or stale-format entry: treat as a miss
+  if (!parseEntry(Buf.str(), K, R, Err)) {
+    // Corrupt or stale-format entry: miss, and delete the corpse so a
+    // future first-writer-wins writeToDisk can repair this key.
+    std::error_code EC;
+    if (fs::remove(entryPath(K), EC)) {
+      std::lock_guard<std::mutex> L(Mu);
+      ++St.CorruptRemoved;
+    }
+    return std::nullopt;
+  }
   return R;
 }
 

@@ -46,6 +46,9 @@ struct SideCondStats {
   uint64_t Misses = 0;     ///< Lookups satisfied nowhere.
   uint64_t Insertions = 0; ///< store() calls that added a new entry.
   uint64_t DiskWrites = 0; ///< Entry files written.
+  /// Corrupt on-disk entries deleted on read (self-repair; see
+  /// CacheStats::CorruptRemoved).
+  uint64_t CorruptRemoved = 0;
 };
 
 struct SideCondConfig {

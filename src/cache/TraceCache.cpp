@@ -4,12 +4,14 @@
 
 #include "itl/Parser.h"
 #include "smt/TermBuilder.h"
+#include "support/FaultInjector.h"
 
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include <unistd.h>
 
@@ -27,6 +29,17 @@ std::string islaris::cache::resolveCacheDir() {
 
 bool islaris::cache::atomicWriteFile(const std::string &Path,
                                      const std::string &Content) {
+  using support::FaultInjector;
+  using support::FaultSite;
+  if (FaultInjector::fire(FaultSite::CacheWrite))
+    return false; // injected: entry file could not be created/written
+  // Injected torn write: only a prefix reaches disk, and the truncated file
+  // IS published — the one failure mode rename cannot mask, standing in for
+  // a crash mid-write on a filesystem that reorders data and rename.
+  bool Torn = FaultInjector::fire(FaultSite::CacheTornWrite);
+  std::string_view Payload(Content);
+  if (Torn)
+    Payload = Payload.substr(0, Payload.size() / 2);
   static std::atomic<uint64_t> Counter{0};
   std::string Tmp = Path + ".tmp." + std::to_string(uint64_t(::getpid())) +
                     "." +
@@ -36,13 +49,18 @@ bool islaris::cache::atomicWriteFile(const std::string &Path,
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
     if (!Out)
       return false;
-    Out << Content;
+    Out << Payload;
     Out.flush();
     if (!Out) {
       std::error_code EC;
       fs::remove(Tmp, EC);
       return false;
     }
+  }
+  if (FaultInjector::fire(FaultSite::CacheRename)) {
+    std::error_code EC2;
+    fs::remove(Tmp, EC2);
+    return false; // injected: publish rename failed, temp cleaned up
   }
   std::error_code EC;
   fs::rename(Tmp, Path, EC);
@@ -51,7 +69,7 @@ bool islaris::cache::atomicWriteFile(const std::string &Path,
     fs::remove(Tmp, EC2);
     return false;
   }
-  return true;
+  return !Torn;
 }
 
 TraceCache::TraceCache(TraceCacheConfig C) : Cfg(std::move(C)) {
@@ -177,6 +195,24 @@ bool TraceCache::parseEntry(const std::string &Text, const Fingerprint &K,
     Err = "cache entry has no trace";
     return false;
   }
+  // Structural torn-write check: the trace text must be one balanced
+  // S-expression.  A write cut short mid-entry (crash, full disk) leaves
+  // dangling parens; catching it here lets loadFromDisk treat the file as
+  // corrupt (miss + self-repair) instead of handing decode() garbage.
+  long Depth = 0;
+  bool InBars = false;
+  for (char Ch : Out.TraceText) {
+    if (Ch == '|')
+      InBars = !InBars;
+    else if (!InBars && Ch == '(')
+      ++Depth;
+    else if (!InBars && Ch == ')' && --Depth < 0)
+      break;
+  }
+  if (Depth != 0 || InBars) {
+    Err = "truncated trace text (torn write?)";
+    return false;
+  }
   return true;
 }
 
@@ -189,6 +225,8 @@ std::string TraceCache::entryPath(const Fingerprint &K) const {
 }
 
 std::optional<CacheEntry> TraceCache::loadFromDisk(const Fingerprint &K) {
+  if (support::FaultInjector::fire(support::FaultSite::CacheRead))
+    return std::nullopt; // injected read failure: degrade to a miss
   std::ifstream In(entryPath(K), std::ios::binary);
   if (!In)
     return std::nullopt;
@@ -196,8 +234,17 @@ std::optional<CacheEntry> TraceCache::loadFromDisk(const Fingerprint &K) {
   Buf << In.rdbuf();
   CacheEntry E;
   std::string Err;
-  if (!parseEntry(Buf.str(), K, E, Err))
-    return std::nullopt; // corrupt or stale-format entry: treat as a miss
+  if (!parseEntry(Buf.str(), K, E, Err)) {
+    // Corrupt or stale-format entry: treat as a miss AND delete the file.
+    // writeToDisk is first-writer-wins, so leaving the corpse in place
+    // would shadow every future rewrite of this key.
+    std::error_code EC;
+    if (fs::remove(entryPath(K), EC)) {
+      std::lock_guard<std::mutex> L(Mu);
+      ++St.CorruptRemoved;
+    }
+    return std::nullopt;
+  }
   return E;
 }
 

@@ -58,6 +58,9 @@ struct CacheStats {
   uint64_t Insertions = 0; ///< insert() calls that stored a new entry.
   uint64_t Evictions = 0;  ///< Entries dropped by the LRU bound.
   uint64_t DiskWrites = 0; ///< Entry files written.
+  /// Corrupt on-disk entries deleted on read (self-repair: writeToDisk is
+  /// first-writer-wins, so a torn entry left in place would never heal).
+  uint64_t CorruptRemoved = 0;
 };
 
 struct TraceCacheConfig {

@@ -26,6 +26,8 @@
 #define ISLARIS_FRONTEND_CASESTUDIES_H
 
 #include "seplogic/Engine.h"
+#include "support/Diag.h"
+#include "support/Guard.h"
 
 #include <string>
 #include <vector>
@@ -33,6 +35,10 @@
 namespace islaris::cache {
 class TraceCache;
 class SideCondStore;
+}
+
+namespace islaris::support {
+class FaultInjector;
 }
 
 namespace islaris::frontend {
@@ -43,6 +49,11 @@ struct CaseResult {
   std::string Isa;
   bool Ok = false;
   std::string Error;
+  /// Structured diagnostic when !Ok: distinguishes a genuine proof failure
+  /// (ProofFailed, SpecError, ...) from an infrastructure failure (budget
+  /// exhaustion, cancellation, injected fault, escaped exception) — see
+  /// support::isInfrastructureError.
+  support::Diag D;
   unsigned AsmInstrs = 0;  ///< "asm" column.
   unsigned ItlEvents = 0;  ///< "ITL" column.
   unsigned SpecSize = 0;   ///< "Spec" column (chunks + pures + binders).
@@ -86,7 +97,31 @@ struct SuiteOptions {
   /// store so each study's proof engine reuses discharged SMT queries
   /// across studies and — when the store persists — across runs.
   cache::SideCondStore *SideCond = nullptr;
+  /// Hard resource guards installed as the ambient support::RunLimits for
+  /// the run (all-zero = unguarded, exactly the seed behavior).
+  support::RunLimits Limits;
+  /// Fault injector activated for the duration of the run (chaos testing).
+  /// Null leaves whatever injector is already active — including one
+  /// configured from ISLARIS_FAULTS / ISLARIS_FAULT_SEED by the harness.
+  support::FaultInjector *Faults = nullptr;
 };
+
+/// Aggregate view of a suite run: every case study is always attempted
+/// (a failing study never aborts the rest), and the split between proof
+/// failures and infrastructure errors drives the exit code.
+struct SuiteSummary {
+  unsigned Passed = 0;
+  unsigned ProofFailures = 0; ///< !Ok with a non-infrastructure code.
+  unsigned InfraErrors = 0;   ///< !Ok with an infrastructure code.
+  bool allOk() const { return ProofFailures == 0 && InfraErrors == 0; }
+};
+
+SuiteSummary summarize(const std::vector<CaseResult> &Results);
+
+/// Process exit status for a suite run: 0 when every study verified,
+/// 1 when at least one proof failed, 2 when any study hit an
+/// infrastructure error (which dominates — the run is inconclusive).
+int suiteExitCode(const std::vector<CaseResult> &Results);
 
 /// All nine Fig. 12 rows, in the paper's order (serial, uncached).
 std::vector<CaseResult> runAllCaseStudies();

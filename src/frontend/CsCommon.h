@@ -13,12 +13,31 @@
 
 namespace islaris::frontend {
 
+/// Fills a CaseResult for a study whose generateTraces call failed: the
+/// verifier's structured diagnostic (guard trip, injected fault, corrupt
+/// cache, model error) is carried into the row so the suite can tell an
+/// infrastructure failure from a proof failure.
+inline CaseResult genFailed(CaseResult R, Verifier &V,
+                            const std::string &Err) {
+  R.Ok = false;
+  R.Error = Err;
+  R.D = V.diag();
+  if (R.D.ok())
+    R.D = support::Diag::error(support::ErrorCode::ModelError, "isla", Err);
+  return R;
+}
+
 /// Fills the bookkeeping fields of a CaseResult from a finished Verifier.
 inline CaseResult finishResult(CaseResult R, Verifier &V, bool Ok,
                                unsigned SpecSize, unsigned Hints) {
   R.Ok = Ok;
-  if (!Ok)
+  if (!Ok) {
     R.Error = V.engine().error();
+    R.D = V.engine().diag();
+    if (R.D.ok())
+      R.D = support::Diag::error(support::ErrorCode::ProofFailed,
+                                 "proof-engine", R.Error);
+  }
   R.AsmInstrs = V.genStats().Instructions;
   R.ItlEvents = V.genStats().ItlEvents;
   R.IslaSeconds = V.genStats().Seconds;

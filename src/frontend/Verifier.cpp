@@ -28,18 +28,36 @@ ArchInfo islaris::frontend::rv64() {
 
 Verifier::Verifier(ArchInfo Arch)
     : Arch(std::move(Arch)), Cache(cache::ambientTraceCache()),
-      SideCond(cache::ambientSideCondCache()) {}
+      SideCond(cache::ambientSideCondCache()),
+      Limits(support::ambientRunLimits()) {}
 
 void Verifier::addCode(const std::map<uint64_t, uint32_t> &NewCode) {
   for (const auto &[Addr, Op] : NewCode) {
-    assert(!Code.count(Addr) && "overlapping code regions");
+    if (Code.count(Addr)) {
+      // Overlapping images are a setup error, not UB: keep the first
+      // mapping, record the conflict, and let generateTraces refuse to run
+      // on a verifier whose code layout is ambiguous.
+      if (LastDiag.ok())
+        LastDiag = support::Diag::error(
+            support::ErrorCode::OverlappingCode, "frontend",
+            "overlapping code regions: two opcodes mapped at " +
+                BitVec(64, Addr).toHexString());
+      continue;
+    }
     Code[Addr] = Op;
   }
 }
 
 void Verifier::symbolicAt(uint64_t Addr, unsigned Hi, unsigned Lo) {
   auto It = Code.find(Addr);
-  assert(It != Code.end() && "symbolicAt before addCode");
+  if (It == Code.end()) {
+    if (LastDiag.ok())
+      LastDiag = support::Diag::error(
+          support::ErrorCode::UnknownSymbol, "frontend",
+          "symbolicAt(" + BitVec(64, Addr).toHexString() +
+              ") names an address with no code (call addCode first)");
+    return;
+  }
   auto SpecIt = OpcodeSpecs.find(Addr);
   if (SpecIt == OpcodeSpecs.end()) {
     OpcodeSpecs[Addr] = isla::OpcodeSpec::symbolicField(It->second, Hi, Lo);
@@ -53,6 +71,13 @@ void Verifier::symbolicAt(uint64_t Addr, unsigned Hi, unsigned Lo) {
 
 bool Verifier::generateTraces(std::string &Err) {
   auto Start = std::chrono::steady_clock::now();
+
+  if (!LastDiag.ok()) {
+    // A setup error (overlapping addCode, dangling symbolicAt) was recorded
+    // earlier; refuse to generate traces from an ambiguous configuration.
+    Err = LastDiag.render();
+    return false;
+  }
 
   // One job per instruction.  The batch driver canonicalizes each job to
   // its cache key, so repeated opcodes under the same assumptions (e.g.
@@ -71,12 +96,21 @@ bool Verifier::generateTraces(std::string &Err) {
     auto AIt = PerAddr.find(Addr);
     J.Assume = AIt != PerAddr.end() ? &AIt->second : &Defaults;
     J.Opts = Opts;
+    // Resource guards ride on the options but are excluded from the cache
+    // fingerprint (a guarded failure is never cached, so a guarded and an
+    // unguarded run share entries).
+    J.Opts.DeadlineSeconds = Limits.InstrSeconds;
+    J.Opts.SolverCheckSeconds = Limits.SolverCheckSeconds;
+    J.Opts.SolverConflicts = Limits.SolverConflicts;
+    J.Opts.SolverPropagations = Limits.SolverPropagations;
+    J.Opts.Cancel = Cancel;
     J.Tag = Addr;
     Jobs.push_back(std::move(J));
     Addrs.push_back(Addr);
   }
 
   cache::BatchDriver Driver(GenThreads);
+  Driver.setOptions({Limits.JobTimeoutSeconds, Limits.JobRetries});
   std::vector<cache::TraceJobResult> Results = Driver.run(Jobs, Cache);
 
   // Materialize results in address order into this verifier's builder.
@@ -89,11 +123,22 @@ bool Verifier::generateTraces(std::string &Err) {
     if (!R.Ok) {
       Err = "instruction at " + BitVec(64, Addr).toHexString() + " (" +
             BitVec(32, Code[Addr]).toHexString() + "): " + R.Error;
+      LastDiag = R.D.ok() ? support::Diag::error(
+                                support::ErrorCode::ModelError, "isla", Err)
+                          : R.D;
+      LastDiag.Message = Err;
       return false;
     }
     isla::ExecResult Exec;
     if (!cache::TraceCache::decode(R.Entry, TB, Exec, Err)) {
       Err = "instruction at " + BitVec(64, Addr).toHexString() + ": " + Err;
+      // A cached entry that parses as an entry but whose trace text does not
+      // re-parse is either a corrupt cache payload or an ITL adequacy bug.
+      LastDiag = support::Diag::error(
+          R.Source == cache::ResultSource::CacheHit
+              ? support::ErrorCode::CorruptCacheEntry
+              : support::ErrorCode::Internal,
+          "trace-cache", Err);
       return false;
     }
     Traces[Addr] = std::move(Exec.Trace);
@@ -144,11 +189,21 @@ seplogic::Spec Verifier::makeSpec(const std::string &Name) {
 
 seplogic::ProofEngine &Verifier::engine() {
   if (!Engine) {
-    assert(!InstrPtrs.empty() && "engine() before generateTraces()");
+    // An empty instruction map (engine() before generateTraces, or after a
+    // failed generation) is not UB: the engine is well-defined over an
+    // empty program and any instr() step simply fails its proof with a
+    // "no instruction" diagnostic.
     Engine = std::make_unique<seplogic::ProofEngine>(TB, InstrPtrs,
                                                      Arch.PcName);
     if (SideCond)
       Engine->setSideCondCache(SideCond);
+    smt::SolverLimits SL;
+    SL.MaxConflicts = Limits.SolverConflicts;
+    SL.MaxPropagations = Limits.SolverPropagations;
+    SL.MaxSeconds = Limits.SolverCheckSeconds;
+    SL.Cancel = Cancel;
+    if (!SL.unlimited())
+      Engine->setSolverLimits(SL);
   }
   return *Engine;
 }

@@ -110,6 +110,21 @@ public:
   void setParallelism(unsigned Threads) { GenThreads = Threads; }
   unsigned parallelism() const { return GenThreads; }
 
+  /// Resource guards for this verifier's trace generation and proof engine.
+  /// New verifiers start from support::ambientRunLimits() (all-zero unless
+  /// a harness opted in — the default pipeline is unguarded, as before).
+  void setLimits(const support::RunLimits &L) { Limits = L; }
+  const support::RunLimits &limits() const { return Limits; }
+
+  /// Cooperative cancellation token threaded into the executor jobs and
+  /// the proof engine's solver.  Inert by default.
+  void setCancelToken(const support::CancelToken &T) { Cancel = T; }
+
+  /// Structured diagnostic of the last failure recorded by this verifier —
+  /// a setup error (overlapping addCode, symbolicAt on a missing address)
+  /// or the failure generateTraces reported.  Ok when nothing failed.
+  const support::Diag &diag() const { return LastDiag; }
+
   /// Runs the symbolic executor over every instruction, deduplicating
   /// identical (opcode, assumptions, options) requests within the call and
   /// consulting the attached trace cache.  Returns false and sets \p Err on
@@ -147,6 +162,9 @@ private:
   cache::TraceCache *Cache = nullptr;
   smt::SolverCache *SideCond = nullptr;
   unsigned GenThreads = 1;
+  support::RunLimits Limits;
+  support::CancelToken Cancel;
+  support::Diag LastDiag;
 };
 
 } // namespace islaris::frontend

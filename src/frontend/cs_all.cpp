@@ -4,8 +4,11 @@
 
 #include "cache/BatchDriver.h"
 #include "cache/SideCondCache.h"
+#include "support/FaultInjector.h"
 
 using namespace islaris::frontend;
+using islaris::support::Diag;
+using islaris::support::ErrorCode;
 
 std::vector<CaseResult> islaris::frontend::runAllCaseStudies() {
   return runAllCaseStudies(SuiteOptions());
@@ -15,7 +18,8 @@ std::vector<CaseResult>
 islaris::frontend::runAllCaseStudies(const SuiteOptions &O) {
   using Runner = CaseResult (*)();
   // Thunks in the paper's row order; defaulted-parameter runners need the
-  // wrapping.
+  // wrapping.  Names mirror what each runner stamps into CaseResult::Name,
+  // so a study that dies before returning is still attributable.
   static const Runner Runners[] = {
       [] { return runMemcpyArm(); },    [] { return runMemcpyRv(); },
       [] { return runHvc(); },          [] { return runPkvm(); },
@@ -23,23 +27,85 @@ islaris::frontend::runAllCaseStudies(const SuiteOptions &O) {
       [] { return runRbit(); },         [] { return runBinSearchArm(); },
       [] { return runBinSearchRv(); },
   };
+  static const char *Names[] = {
+      "memcpy",    "memcpy",    "hvc",  "pkvm handler", "unaligned",
+      "uart putc", "inline asm", "binary search", "binary search",
+  };
   constexpr size_t N = sizeof(Runners) / sizeof(Runners[0]);
 
   // Install the shared cache as the ambient cache for the whole run so the
   // per-study Verifiers pick it up without signature churn.  Set before the
   // pool spawns and restored after it joins: the pointer itself is not
-  // synchronized, only the cache behind it is.
+  // synchronized, only the cache behind it is.  Resource limits and the
+  // fault injector follow the same ambient-install/restore protocol.
   cache::TraceCache *Saved = cache::ambientTraceCache();
   cache::setAmbientTraceCache(O.Cache ? O.Cache : Saved);
   cache::SideCondStore *SavedSide = cache::ambientSideCondCache();
   cache::setAmbientSideCondCache(O.SideCond ? O.SideCond : SavedSide);
+  support::RunLimits SavedLimits = support::ambientRunLimits();
+  support::setAmbientRunLimits(O.Limits);
+  support::FaultInjector *SavedFaults = support::FaultInjector::active();
+  // Explicit SuiteOptions::Faults wins; otherwise honor ISLARIS_FAULTS so
+  // any suite binary can be chaos-tested from the shell without a rebuild.
+  std::unique_ptr<support::FaultInjector> EnvFaults;
+  if (!O.Faults && !SavedFaults)
+    EnvFaults = support::FaultInjector::fromEnv();
+  support::FaultInjector *Installed =
+      O.Faults ? O.Faults : EnvFaults.get();
+  if (Installed)
+    support::FaultInjector::setActive(Installed);
 
   std::vector<CaseResult> Results(N);
   cache::BatchDriver::parallelFor(
       N, O.Threads == 0 ? cache::BatchDriver().threads() : O.Threads,
-      [&](size_t I) { Results[I] = Runners[I](); });
+      [&](size_t I) {
+        // One wedged or crashing study must never take down its siblings:
+        // an escaped exception becomes that row's infrastructure error and
+        // the pool keeps draining.
+        try {
+          Results[I] = Runners[I]();
+        } catch (const std::exception &E) {
+          Results[I].Name = Names[I];
+          Results[I].Ok = false;
+          Results[I].D = Diag::error(
+              ErrorCode::JobException, "suite",
+              std::string("exception escaped case study: ") + E.what());
+          Results[I].Error = Results[I].D.Message;
+        } catch (...) {
+          Results[I].Name = Names[I];
+          Results[I].Ok = false;
+          Results[I].D = Diag::error(ErrorCode::JobException, "suite",
+                                     "non-standard exception escaped "
+                                     "case study");
+          Results[I].Error = Results[I].D.Message;
+        }
+      });
 
+  if (Installed)
+    support::FaultInjector::setActive(SavedFaults);
+  support::setAmbientRunLimits(SavedLimits);
   cache::setAmbientTraceCache(Saved);
   cache::setAmbientSideCondCache(SavedSide);
   return Results;
+}
+
+SuiteSummary
+islaris::frontend::summarize(const std::vector<CaseResult> &Results) {
+  SuiteSummary S;
+  for (const CaseResult &R : Results) {
+    if (R.Ok)
+      ++S.Passed;
+    else if (support::isInfrastructureError(R.D.Code))
+      ++S.InfraErrors;
+    else
+      ++S.ProofFailures;
+  }
+  return S;
+}
+
+int islaris::frontend::suiteExitCode(const std::vector<CaseResult> &Results) {
+  SuiteSummary S = summarize(Results);
+  if (S.InfraErrors)
+    return 2;
+  return S.ProofFailures ? 1 : 0;
 }

@@ -103,10 +103,8 @@ CaseResult islaris::frontend::runBinSearchArm(unsigned N) {
   smt::TermBuilder &TB = V.builder();
   V.defaults() = armEl1Assumptions();
   std::string Err;
-  if (!V.generateTraces(Err)) {
-    Res.Error = Err;
-    return Res;
-  }
+  if (!V.generateTraces(Err))
+    return genFailed(std::move(Res), V, Err);
 
   auto X = [](unsigned I) { return arch::aarch64::xreg(I); };
 
@@ -241,10 +239,8 @@ CaseResult islaris::frontend::runBinSearchRv(unsigned N) {
   V.addCode(A.finish());
   smt::TermBuilder &TB = V.builder();
   std::string Err;
-  if (!V.generateTraces(Err)) {
-    Res.Error = Err;
-    return Res;
-  }
+  if (!V.generateTraces(Err))
+    return genFailed(std::move(Res), V, Err);
   auto X = [](unsigned I) { return xreg(I); };
 
   Contract Cmp;

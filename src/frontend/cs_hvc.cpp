@@ -100,10 +100,8 @@ CaseResult islaris::frontend::runHvc() {
                  });
 
   std::string Err;
-  if (!V.generateTraces(Err)) {
-    Res.Error = Err;
-    return Res;
-  }
+  if (!V.generateTraces(Err))
+    return genFailed(std::move(Res), V, Err);
 
   // Goal (registered at the hang loop): x0 == 42.  Verifying the goal spec
   // itself is the self-invariant proof for "b ." (it preserves x0).

@@ -53,10 +53,8 @@ CaseResult islaris::frontend::runMemcpyArm(unsigned N,
     V.options().SinksOnly = false;
   }
   std::string Err;
-  if (!V.generateTraces(Err)) {
-    Res.Error = Err;
-    return Res;
-  }
+  if (!V.generateTraces(Err))
+    return genFailed(std::move(Res), V, Err);
   smt::TermBuilder &TB = V.builder();
 
   // Post (the Q of Fig. 8 lines 5-8), parameterized over the binders of
@@ -155,10 +153,8 @@ CaseResult islaris::frontend::runMemcpyRv(unsigned N) {
   Verifier V(rv64());
   V.addCode(A.finish());
   std::string Err;
-  if (!V.generateTraces(Err)) {
-    Res.Error = Err;
-    return Res;
-  }
+  if (!V.generateTraces(Err))
+    return genFailed(std::move(Res), V, Err);
   smt::TermBuilder &TB = V.builder();
   auto X = [](unsigned I) { return xreg(I); };
 

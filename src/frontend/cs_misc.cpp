@@ -55,10 +55,8 @@ CaseResult islaris::frontend::runUnaligned() {
                  });
 
   std::string Err;
-  if (!V.generateTraces(Err)) {
-    Res.Error = Err;
-    return Res;
-  }
+  if (!V.generateTraces(Err))
+    return genFailed(std::move(Res), V, Err);
 
   // Fault continuation: registers banked and syndrome recorded.
   Spec FaultPost = V.makeSpec("fault_post");
@@ -137,10 +135,8 @@ CaseResult islaris::frontend::runUart() {
   V.defaults() = armEl1Assumptions();
 
   std::string Err;
-  if (!V.generateTraces(Err)) {
-    Res.Error = Err;
-    return Res;
-  }
+  if (!V.generateTraces(Err))
+    return genFailed(std::move(Res), V, Err);
 
   // The character value, shared by both registered specs and by the IO
   // specification's write predicate.
@@ -225,10 +221,8 @@ CaseResult islaris::frontend::runRbit() {
   V.addCode(A.finish());
   smt::TermBuilder &TB = V.builder();
   std::string Err;
-  if (!V.generateTraces(Err)) {
-    Res.Error = Err;
-    return Res;
-  }
+  if (!V.generateTraces(Err))
+    return genFailed(std::move(Res), V, Err);
 
   // Post: x0 holds the bit reversal of the argument.  The "intuitive
   // specification" is built independently of the trace's concat-of-extracts

@@ -106,10 +106,8 @@ CaseResult islaris::frontend::runPkvm() {
       });
 
   std::string Err;
-  if (!V.generateTraces(Err)) {
-    Res.Error = Err;
-    return Res;
-  }
+  if (!V.generateTraces(Err))
+    return genFailed(std::move(Res), V, Err);
 
   // The patched vector base, reconstructed from the symbolic immediates.
   auto OpVar = [&](uint64_t Addr) { return V.opcodeVarsAt(Addr).at(0); };

@@ -3,6 +3,10 @@
 #include "isla/Executor.h"
 
 #include "smt/Evaluator.h"
+#include "support/FaultInjector.h"
+
+#include <chrono>
+#include <stdexcept>
 
 using namespace islaris;
 using namespace islaris::isla;
@@ -52,13 +56,50 @@ struct Executor::RunState {
 
   unsigned Depth = 0;
   std::string Error;
+  support::ErrorCode Code = support::ErrorCode::Ok;
   unsigned PrunedBranches = 0;
   unsigned SolverQueries = 0;
 
+  // Resource guards for the enclosing run() (shared across its paths).
+  const std::atomic<bool> *CancelFlag = nullptr;
+  std::chrono::steady_clock::time_point Deadline =
+      std::chrono::steady_clock::time_point::max();
+  uint64_t StmtsSinceClock = 0;
+
   bool failed() const { return !Error.empty(); }
-  void fail(int Line, const std::string &Msg) {
-    if (Error.empty())
+  void fail(int Line, const std::string &Msg,
+            support::ErrorCode C = support::ErrorCode::ModelError) {
+    if (Error.empty()) {
       Error = "line " + std::to_string(Line) + ": " + Msg;
+      Code = C;
+    }
+  }
+  /// Guard failures are not tied to a model source line.
+  void failGuard(support::ErrorCode C, const std::string &Msg) {
+    if (Error.empty()) {
+      Error = Msg;
+      Code = C;
+    }
+  }
+
+  /// Statement-granular guard poll: cancellation every statement (one
+  /// relaxed atomic load), the wall clock every 256 statements.
+  bool guardTripped() {
+    if (CancelFlag && CancelFlag->load(std::memory_order_relaxed)) {
+      failGuard(support::ErrorCode::Cancelled,
+                "trace generation cancelled");
+      return true;
+    }
+    if (Deadline != std::chrono::steady_clock::time_point::max() &&
+        ++StmtsSinceClock >= 256) {
+      StmtsSinceClock = 0;
+      if (std::chrono::steady_clock::now() >= Deadline) {
+        failGuard(support::ErrorCode::DeadlineExceeded,
+                  "trace generation deadline exceeded");
+        return true;
+      }
+    }
+    return false;
   }
 };
 
@@ -250,14 +291,34 @@ bool Executor::decideBranch(const Term *Cond, RunState &RS) {
   }
 
   // Fresh decision: ask the solver which sides are reachable under the
-  // current path condition (this is Isla's branch pruning).
+  // current path condition (this is Isla's branch pruning).  An Unknown on
+  // either side means we cannot *soundly* prune or fork — treating it as
+  // Sat would fork on a possibly-infeasible side, treating it as Unsat
+  // would prune a possibly-feasible one — so the run fails with an
+  // attributed solver-budget diagnostic instead.
   std::vector<const Term *> Base = RS.PathCond;
   Base.push_back(S);
   RS.SolverQueries += 2;
-  bool TrueSat = Solver.check(Base) == smt::Result::Sat;
+  smt::Result TrueRes = Solver.check(Base);
   Base.back() = TB.notTerm(S);
-  bool FalseSat = Solver.check(Base) == smt::Result::Sat;
-  assert((TrueSat || FalseSat) && "path condition became unsatisfiable");
+  smt::Result FalseRes = Solver.check(Base);
+  if (TrueRes == smt::Result::Unknown || FalseRes == smt::Result::Unknown) {
+    RS.failGuard(RS.CancelFlag &&
+                         RS.CancelFlag->load(std::memory_order_relaxed)
+                     ? support::ErrorCode::Cancelled
+                     : support::ErrorCode::SolverBudgetExceeded,
+                 "solver gave up deciding a branch condition");
+    return false;
+  }
+  bool TrueSat = TrueRes == smt::Result::Sat;
+  bool FalseSat = FalseRes == smt::Result::Sat;
+  if (!TrueSat && !FalseSat) {
+    // The path condition itself became unsatisfiable — an executor
+    // invariant violation (decisions are only recorded on feasible sides).
+    RS.failGuard(support::ErrorCode::Internal,
+                 "internal: path condition became unsatisfiable");
+    return false;
+  }
 
   if (TrueSat != FalseSat) {
     ++RS.PrunedBranches;
@@ -352,7 +413,11 @@ const Term *Executor::evalExpr(const Expr &E, RunState &RS) {
     return nullptr;
   case ExprKind::VarRef: {
     const Term *V = RS.Locals[size_t(E.LocalIdx)];
-    assert(V && "read of uninitialized local");
+    if (!V) {
+      RS.fail(E.Line, "internal: read of uninitialized local",
+              support::ErrorCode::Internal);
+      return nullptr;
+    }
     return V;
   }
   case ExprKind::RegRead:
@@ -492,6 +557,8 @@ void Executor::execBlock(const std::vector<sail::StmtPtr> &Body, RunState &RS,
 }
 
 void Executor::execStmt(const Stmt &S, RunState &RS, bool &Returned) {
+  if (RS.guardTripped())
+    return;
   switch (S.Kind) {
   case StmtKind::Block:
     return execBlock(S.Body, RS, Returned);
@@ -548,7 +615,11 @@ void Executor::execStmt(const Stmt &S, RunState &RS, bool &Returned) {
     std::vector<const Term *> Query = RS.PathCond;
     Query.push_back(TB.notTerm(CS));
     ++RS.SolverQueries;
-    if (Solver.check(Query) == smt::Result::Sat)
+    smt::Result QR = Solver.check(Query);
+    if (QR == smt::Result::Unknown)
+      RS.failGuard(support::ErrorCode::SolverBudgetExceeded,
+                   "solver gave up on model assertion: " + S.Message);
+    else if (QR == smt::Result::Sat)
       RS.fail(S.Line, "model assertion not provable: " + S.Message);
     return;
   }
@@ -594,8 +665,12 @@ static bool eventEquals(const Event &A, const Event &B) {
 }
 
 /// Merges linear event paths (sharing deterministic prefixes) into a tree.
+/// Violated merge invariants (only possible if path enumeration produced an
+/// inconsistent set) are reported through \p Err instead of asserting, so a
+/// Release build fails the run cleanly rather than mis-merging.
 static Trace mergePaths(const std::vector<std::vector<Event>> &Paths,
-                        std::vector<size_t> Members, size_t From) {
+                        std::vector<size_t> Members, size_t From,
+                        std::string &Err) {
   Trace T;
   // Extend the common prefix.
   while (true) {
@@ -614,8 +689,10 @@ static Trace mergePaths(const std::vector<std::vector<Event>> &Paths,
   // Group by the divergence event (first-occurrence order).
   std::vector<std::vector<size_t>> Groups;
   for (size_t M : Members) {
-    assert(From < Paths[M].size() &&
-           "path is a strict prefix of another path");
+    if (From >= Paths[M].size()) {
+      Err = "internal: path is a strict prefix of another path";
+      return T;
+    }
     bool Placed = false;
     for (auto &G : Groups) {
       if (eventEquals(Paths[G[0]][From], Paths[M][From])) {
@@ -627,15 +704,53 @@ static Trace mergePaths(const std::vector<std::vector<Event>> &Paths,
     if (!Placed)
       Groups.push_back({M});
   }
-  assert(Groups.size() > 1 && "divergence with a single group");
-  for (auto &G : Groups)
-    T.Cases.push_back(mergePaths(Paths, std::move(G), From));
+  if (Groups.size() <= 1) {
+    Err = "internal: divergence with a single group";
+    return T;
+  }
+  for (auto &G : Groups) {
+    T.Cases.push_back(mergePaths(Paths, std::move(G), From, Err));
+    if (!Err.empty())
+      return T;
+  }
   return T;
 }
 
 ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
                          const ExecOptions &Opts) {
   ExecResult Res;
+  auto failRun = [&Res](support::ErrorCode C,
+                        const std::string &Msg) -> ExecResult & {
+    Res.Ok = false;
+    Res.Error = Msg;
+    Res.D = support::Diag::error(C, "executor", Msg);
+    return Res;
+  };
+
+  // Chaos hooks: exec-throw exercises the batch driver's exception
+  // containment, exec-step the ordinary Diag failure path.
+  if (support::FaultInjector::fire(support::FaultSite::ExecThrow))
+    throw std::runtime_error("injected executor fault (exec-throw)");
+  if (support::FaultInjector::fire(support::FaultSite::ExecStep))
+    return failRun(support::ErrorCode::InjectedFault,
+                   "injected executor fault (exec-step)");
+
+  // Install the per-check solver guards for this run.  The guards are not
+  // part of the trace-cache fingerprint: a guarded failure is never cached,
+  // and a success is budget-independent.
+  smt::SolverLimits SL;
+  SL.MaxConflicts = Opts.SolverConflicts;
+  SL.MaxPropagations = Opts.SolverPropagations;
+  SL.MaxSeconds = Opts.SolverCheckSeconds;
+  SL.Cancel = Opts.Cancel;
+  Solver.setLimits(SL);
+
+  auto Deadline = std::chrono::steady_clock::time_point::max();
+  if (Opts.DeadlineSeconds > 0)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(Opts.DeadlineSeconds));
+
   std::vector<Decision> Decisions;
   std::vector<const Term *> VarPool;
   std::vector<std::vector<Event>> PathEvents;
@@ -645,20 +760,29 @@ ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
   const sail::FunctionDecl *Decode = M.findFunction("decode");
   if (!Decode || Decode->Params.size() != 1 ||
       Decode->Params[0].Ty != sail::Type::bits(32)) {
-    Res.Error = "model has no decode(bits(32)) entry point";
-    return Res;
+    return failRun(support::ErrorCode::ModelError,
+                   "model has no decode(bits(32)) entry point");
   }
 
   while (true) {
     if (PathEvents.size() >= Opts.MaxPaths) {
-      Res.Error = "path budget exceeded (model blow-up?)";
-      return Res;
+      return failRun(support::ErrorCode::PathBudgetExceeded,
+                     "path budget exceeded (model blow-up?)");
     }
+    if (Opts.Cancel.cancelled())
+      return failRun(support::ErrorCode::Cancelled,
+                     "trace generation cancelled");
+    if (Deadline != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() >= Deadline)
+      return failRun(support::ErrorCode::DeadlineExceeded,
+                     "trace generation deadline exceeded");
     RunState RS;
     RS.A = &A;
     RS.Opts = &Opts;
     RS.Decisions = &Decisions;
     RS.VarPool = &VarPool;
+    RS.CancelFlag = Opts.Cancel.raw();
+    RS.Deadline = Deadline;
 
     // Assumption preamble: concrete assumed values first (Fig. 3 lines
     // 2-3), then constrained registers as declare/read/assume triples.
@@ -668,8 +792,8 @@ ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
     }
     for (const auto &[R, F] : A.Constraints) {
       if (!M.findRegister(R.Base)) {
-        Res.Error = "constraint on unknown register " + R.Base;
-        return Res;
+        return failRun(support::ErrorCode::UnknownRegister,
+                       "constraint on unknown register " + R.Base);
       }
       unsigned W = registerWidth(M, R);
       const Term *V = pooledVar(Sort::bitvec(W), RS);
@@ -707,10 +831,11 @@ ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
       Opcode = TB.concat(SegmentsLowFirst[K], Opcode);
 
     callFunction(*Decode, {Opcode}, RS);
-    if (RS.failed()) {
-      Res.Error = RS.Error;
-      return Res;
-    }
+    if (RS.failed())
+      return failRun(RS.Code == support::ErrorCode::Ok
+                         ? support::ErrorCode::ModelError
+                         : RS.Code,
+                     RS.Error);
     Stats.PrunedBranches += RS.PrunedBranches;
     Stats.SolverQueries += RS.SolverQueries;
     if (PathEvents.empty())
@@ -730,7 +855,10 @@ ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
   std::vector<size_t> All(PathEvents.size());
   for (size_t K = 0; K < All.size(); ++K)
     All[K] = K;
-  Res.Trace = mergePaths(PathEvents, std::move(All), 0);
+  std::string MergeErr;
+  Res.Trace = mergePaths(PathEvents, std::move(All), 0, MergeErr);
+  if (!MergeErr.empty())
+    return failRun(support::ErrorCode::Internal, MergeErr);
   Stats.Paths = unsigned(PathEvents.size());
   Stats.Events = Res.Trace.countEvents();
   Stats.SolverMemoHits =

@@ -27,6 +27,8 @@
 #include "itl/Trace.h"
 #include "sail/Ast.h"
 #include "smt/Solver.h"
+#include "support/Diag.h"
+#include "support/Guard.h"
 
 #include <functional>
 #include <optional>
@@ -77,7 +79,11 @@ struct OpcodeSpec {
   bool isConcrete() const { return SymMask.isZero(); }
 };
 
-/// Knobs for the E4/E5 ablation benchmarks.
+/// Knobs for the E4/E5 ablation benchmarks, plus the per-run resource
+/// guards.  Only the first three fields are semantic (they shape the emitted
+/// trace) and participate in the trace-cache fingerprint; the guards below
+/// them only decide whether a run *completes* — a guarded failure is never
+/// cached, so they must stay out of cache/Fingerprint.
 struct ExecOptions {
   /// Reuse the value of a register read within the instruction (Isla's
   /// trace simplification).  Off = every model-level read re-emits an event.
@@ -88,6 +94,18 @@ struct ExecOptions {
   bool SinksOnly = true;
   /// Instruction budget safeguard against model bugs.
   unsigned MaxPaths = 64;
+
+  /// Wall-clock deadline for this one trace generation (0 = none).  Checked
+  /// between statements, so a wedged SAT call is bounded separately by the
+  /// solver guards below.
+  double DeadlineSeconds = 0;
+  /// Per-solver-check guards (0 = unlimited), forwarded to smt::Solver.
+  double SolverCheckSeconds = 0;
+  uint64_t SolverConflicts = 0;
+  uint64_t SolverPropagations = 0;
+  /// Cooperative cancellation: polled every statement and inside the SAT
+  /// core; a fired token fails the run with ErrorCode::Cancelled.
+  support::CancelToken Cancel;
 };
 
 /// Statistics of one symbolic execution.
@@ -102,10 +120,12 @@ struct ExecStats {
   unsigned SolverMemoHits = 0;
 };
 
-/// Result of symbolically executing one opcode.
+/// Result of symbolically executing one opcode.  On failure, D carries the
+/// structured diagnostic (Error mirrors D.Message for older call sites).
 struct ExecResult {
   bool Ok = false;
   std::string Error;
+  support::Diag D;
   itl::Trace Trace;
   /// Fresh variables standing for symbolic opcode fields, low-to-high.
   std::vector<const smt::Term *> OpcodeVars;

@@ -37,15 +37,34 @@ ProofEngine::ProofEngine(smt::TermBuilder &TB,
       PcReg(std::move(PcReg)) {}
 
 void ProofEngine::registerSpec(uint64_t Addr, const Spec *S) {
-  assert(S->params().empty() &&
-         "registered specs must be closed (no parameters)");
+  if (!S->params().empty()) {
+    // Ill-formed specification: deferred to the next verify call so the
+    // caller gets a clean SpecError instead of an abort (or, under NDEBUG,
+    // an open spec silently treated as closed).
+    if (RegError.empty())
+      RegError = "registered spec " + S->name() + " at " +
+                 BitVec(64, Addr).toHexString() +
+                 " must be closed (has parameters)";
+    return;
+  }
   Registered.emplace_back(Addr, S);
 }
 
-bool ProofEngine::fail(const std::string &Msg) {
-  if (Error.empty())
+bool ProofEngine::fail(const std::string &Msg, support::ErrorCode C) {
+  if (Error.empty()) {
     Error = Msg;
+    DiagV = support::Diag::error(C, "proof-engine", Msg);
+  }
   return false;
+}
+
+void ProofEngine::noteSolverGaveUp(const std::string &Where) {
+  GaveUp = true;
+  bool Cancelled = Solver.limits().Cancel.cancelled();
+  fail("solver gave up on " + Where +
+           (Cancelled ? " (cancelled)" : " (budget exhausted)"),
+       Cancelled ? support::ErrorCode::Cancelled
+                 : support::ErrorCode::SolverBudgetExceeded);
 }
 
 //===----------------------------------------------------------------------===//
@@ -78,7 +97,7 @@ bool ProofEngine::prove(const Term *Goal, Ctx &C) {
   Query.push_back(TB.notTerm(G));
   ++Stats.SolverQueries;
   auto T0 = std::chrono::steady_clock::now();
-  bool R = Solver.check(Query) == smt::Result::Unsat;
+  smt::Result CR = Solver.check(Query);
   if (getenv("ISLARIS_DEBUG_SLOW")) {
     double Dt = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - T0)
@@ -87,13 +106,29 @@ bool ProofEngine::prove(const Term *Goal, Ctx &C) {
       fprintf(stderr, "[slow %.1fs, pure=%zu] %s\n", Dt, C.Pure.size(),
               G->toString().substr(0, 200).c_str());
   }
+  if (CR == smt::Result::Unknown) {
+    // "Not proven" is the sound answer, but it must not be memoized (a
+    // retry with a fresh budget may well prove it) and the spec as a whole
+    // must not succeed, so the give-up is recorded stickily.
+    noteSolverGaveUp("side condition " + G->toString().substr(0, 120));
+    return false;
+  }
+  bool R = CR == smt::Result::Unsat;
   ProveCache.emplace(std::move(Key), R);
   return R;
 }
 
 bool ProofEngine::pureSatisfiable(Ctx &C) {
   ++Stats.SolverQueries;
-  return Solver.check(C.Pure) == smt::Result::Sat;
+  smt::Result CR = Solver.check(C.Pure);
+  if (CR == smt::Result::Unknown) {
+    // Answering "unsatisfiable" here would PRUNE a possibly-feasible path —
+    // an unsound skip.  Keep walking the path (sound, possibly wasted work)
+    // and record the give-up so the verdict is failure, not silent success.
+    noteSolverGaveUp("path-condition satisfiability");
+    return true;
+  }
+  return CR == smt::Result::Sat;
 }
 
 std::optional<BitVec> ProofEngine::concretize(const Term *T, Ctx &C) {
@@ -103,7 +138,12 @@ std::optional<BitVec> ProofEngine::concretize(const Term *T, Ctx &C) {
   // Ask the solver for a model of the path condition, evaluate a candidate
   // value, then confirm it is the only one.
   ++Stats.SolverQueries;
-  if (Solver.check(C.Pure) != smt::Result::Sat)
+  smt::Result CR = Solver.check(C.Pure);
+  if (CR == smt::Result::Unknown) {
+    noteSolverGaveUp("concretization of " + S->toString().substr(0, 120));
+    return std::nullopt;
+  }
+  if (CR != smt::Result::Sat)
     return std::nullopt; // vacuous path; caller prunes via asserts
   smt::Env E;
   for (const Term *V : smt::collectVars(S))
@@ -198,8 +238,12 @@ bool ProofEngine::entail(const Spec &Q, Ctx &C,
   for (const Term *E : Q.exists())
     IsEvar[E->varId()] = true;
   // Parameters are bound up front by the @@ chunk's arguments.
-  assert(Args.size() == Q.params().size() &&
-         "instr-pre argument count mismatch");
+  if (Args.size() != Q.params().size())
+    return fail("entailment of " + Q.name() +
+                    ": instr-pre argument count mismatch (" +
+                    std::to_string(Args.size()) + " vs " +
+                    std::to_string(Q.params().size()) + ")",
+                support::ErrorCode::SpecError);
   for (size_t I = 0; I < Args.size(); ++I)
     Bind[Q.params()[I]->varId()] = Args[I];
 
@@ -296,6 +340,7 @@ bool ProofEngine::entail(const Spec &Q, Ctx &C,
       // roll the bindings back if this candidate fails.
       auto Snapshot = Bind;
       std::string SavedError = Error;
+      support::Diag SavedDiag = DiagV;
       bool ArgsOk = true;
       for (size_t K = 0; ArgsOk && K < I.Args.size(); ++K)
         ArgsOk = unify(I.Args[K], CI.Args[K],
@@ -306,6 +351,7 @@ bool ProofEngine::entail(const Spec &Q, Ctx &C,
       }
       Bind = std::move(Snapshot);
       Error = std::move(SavedError);
+      DiagV = std::move(SavedDiag);
     }
     if (!Found)
       return fail("entailment of " + Q.name() + ": missing @@ chunk at " +
@@ -566,6 +612,10 @@ ProofEngine::Step ProofEngine::wpEvent(const Event &E, Ctx &C) {
 }
 
 bool ProofEngine::wpTrace(const Trace &T, Ctx C, unsigned Budget) {
+  // Cooperative cancellation: one relaxed atomic load per event batch (the
+  // SAT core polls the same token at much finer grain).
+  if (Solver.limits().Cancel.cancelled())
+    return fail("proof search cancelled", support::ErrorCode::Cancelled);
   for (const Event &E : T.Events) {
     Step S = wpEvent(E, C);
     if (S == Step::Failed)
@@ -618,7 +668,8 @@ bool ProofEngine::wpInstrEnd(Ctx C, unsigned Budget) {
                 "is not part of any registered spec)");
   if (Budget == 0)
     return fail("instruction budget exhausted at " + CA->toHexString() +
-                " (missing loop invariant?)");
+                    " (missing loop invariant?)",
+                support::ErrorCode::InstrBudgetExhausted);
   if (getenv("ISLARIS_DEBUG_SLOW"))
     fprintf(stderr, "[instr %s budget=%u pure=%zu]\n",
             CA->toHexString().c_str(), Budget, C.Pure.size());
@@ -634,11 +685,24 @@ bool ProofEngine::applyContract(const Contract &Co, Ctx C, unsigned Budget) {
                 Co.RetReg.toString());
   const Term *Ret = RetIt->second;
 
-  // Snapshot pre-call values, then havoc the clobbers.
+  // Snapshot pre-call values, then havoc the clobbers.  A contract post
+  // reading a register the context does not own is a spec bug: flag it and
+  // hand the post a throwaway unknown so evaluation stays defined, then
+  // fail the path with a SpecError below.
   std::unordered_map<Reg, const Term *, RegHash> Pre = C.Regs;
+  bool UnownedRead = false;
+  std::string UnownedName;
+  auto unowned = [&](const Reg &R) -> const Term * {
+    UnownedRead = true;
+    if (UnownedName.empty())
+      UnownedName = R.toString();
+    return TB.freshVar(smt::Sort::bitvec(64),
+                       "unowned" + std::to_string(++HavocCounter));
+  };
   auto preVal = [&](const Reg &R) -> const Term * {
     auto It = Pre.find(R);
-    assert(It != Pre.end() && "contract reads an unowned register");
+    if (It == Pre.end())
+      return unowned(R);
     return It->second;
   };
   for (const Reg &R : Co.Clobbers) {
@@ -657,12 +721,17 @@ bool ProofEngine::applyContract(const Contract &Co, Ctx C, unsigned Budget) {
   }
   auto postVal = [&](const Reg &R) -> const Term * {
     auto It = C.Regs.find(R);
-    assert(It != C.Regs.end() && "contract reads an unowned register");
+    if (It == C.Regs.end())
+      return unowned(R);
     return It->second;
   };
   if (Co.Post)
     for (const Term *P : Co.Post(TB, preVal, postVal))
       C.Pure.push_back(P);
+  if (UnownedRead)
+    return fail("contract " + Co.Name + ": post reads register " +
+                    UnownedName + " the context does not own",
+                support::ErrorCode::SpecError);
 
   C.Regs[Reg(PcReg)] = Ret;
   return wpInstrEnd(std::move(C), Budget);
@@ -674,6 +743,10 @@ bool ProofEngine::applyContract(const Contract &Co, Ctx C, unsigned Budget) {
 
 bool ProofEngine::verifySpec(uint64_t Addr, const Spec *S) {
   Error.clear();
+  DiagV = support::Diag();
+  GaveUp = false;
+  if (!RegError.empty())
+    return fail(RegError, support::ErrorCode::SpecError);
   auto Start = std::chrono::steady_clock::now();
   double SolverBefore = Solver.stats().TotalSeconds;
 
@@ -693,6 +766,22 @@ bool ProofEngine::verifySpec(uint64_t Addr, const Spec *S) {
   } else {
     ++Stats.InstructionsWalked;
     Ok = wpTrace(*It->second, std::move(C), MaxInstrsPerPath);
+  }
+
+  if (GaveUp) {
+    // Some check() during the walk answered Unknown.  Whatever verdict the
+    // walk reached may rest on a missed prune or an unproven equality, so
+    // it is withdrawn; the sticky diagnostic attributes the give-up.
+    Ok = false;
+    if (Error.empty())
+      noteSolverGaveUp("proof search (give-up rolled back by a "
+                       "speculative entailment)");
+    else if (!DiagV)
+      DiagV = support::Diag::error(
+          Solver.limits().Cancel.cancelled()
+              ? support::ErrorCode::Cancelled
+              : support::ErrorCode::SolverBudgetExceeded,
+          "proof-engine", Error);
   }
 
   Stats.SolverQueries = Solver.stats().NumChecks;

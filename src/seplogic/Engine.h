@@ -39,6 +39,7 @@
 #include "itl/Trace.h"
 #include "seplogic/Spec.h"
 #include "smt/Solver.h"
+#include "support/Diag.h"
 
 #include <map>
 
@@ -84,7 +85,17 @@ public:
   bool verifySpec(uint64_t Addr, const Spec *S);
 
   const std::string &error() const { return Error; }
+  /// Structured diagnostic of the last failure (Ok when no failure); its
+  /// code distinguishes genuine proof failures from resource exhaustion,
+  /// cancellation, and spec errors.
+  const support::Diag &diag() const { return DiagV; }
   const ProofStats &stats() const { return Stats; }
+
+  /// Installs per-check resource guards on the engine's solver.  When a
+  /// guarded check gives up (Result::Unknown), the spec under verification
+  /// fails with an attributed solver-budget/cancellation diagnostic —
+  /// Unknown is never folded into "provable" or "unprovable".
+  void setSolverLimits(const smt::SolverLimits &L) { Solver.setLimits(L); }
 
   /// Attaches a persistent side-condition store (shared, not owned) to the
   /// engine's solver; every discharged query is looked up in / written back
@@ -117,7 +128,11 @@ private:
   /// Resolves Rec/Branch IO-spec nodes to the next Read/Write/Done node
   /// under the current path condition; null on undecidable branch.
   IoSpecPtr resolveIoState(IoSpecPtr S, Ctx &C);
-  bool fail(const std::string &Msg);
+  bool fail(const std::string &Msg,
+            support::ErrorCode C = support::ErrorCode::ProofFailed);
+  /// Records a solver give-up (Unknown) at a proof-search site; sticky for
+  /// the current verifySpec so the verdict cannot be silently wrong.
+  void noteSolverGaveUp(const std::string &Where);
 
   smt::TermBuilder &TB;
   smt::Solver Solver;
@@ -126,6 +141,13 @@ private:
   std::string PcReg;
   std::vector<std::pair<uint64_t, const Spec *>> Registered;
   std::string Error;
+  support::Diag DiagV;
+  /// A check() returned Unknown during this verifySpec: the walk may have
+  /// taken unsound shortcuts, so the spec must not report success.
+  bool GaveUp = false;
+  /// Deferred registration error (ill-formed spec passed to registerSpec);
+  /// reported by the next verifySpec/verifyAll instead of asserting.
+  std::string RegError;
   ProofStats Stats;
   /// Side-condition memo: the exact (goal, path-condition) id sequence ->
   /// result.  Branch contexts share long pure prefixes, so the same query

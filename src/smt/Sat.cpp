@@ -400,8 +400,47 @@ SatResult Solver::solve(const std::vector<Lit> &Assumptions) {
   uint64_t ConflictsThisRestart = 0;
   uint64_t MaxLearnts = 1000 + NumOrigClauses / 3;
 
+  // Budget accounting is per solve call; a fired budget abandons the search
+  // at the root level (learned clauses are kept — they are implied).
+  const bool Budgeted = !Budget.unlimited();
+  const uint64_t ConflictsAtStart = Conflicts;
+  const uint64_t PropagationsAtStart = Propagations;
+  uint64_t NextInterruptCheck = 0;
+  auto interrupted = [&]() -> bool {
+    if (!Budgeted)
+      return false;
+    if (Budget.MaxConflicts &&
+        Conflicts - ConflictsAtStart >= Budget.MaxConflicts)
+      return true;
+    if (Budget.MaxPropagations &&
+        Propagations - PropagationsAtStart >= Budget.MaxPropagations)
+      return true;
+    // Deadline/cancellation polls are rate-limited by conflict count: the
+    // clock costs more than the arithmetic above.
+    if (Conflicts >= NextInterruptCheck) {
+      NextInterruptCheck = Conflicts + 256;
+      if (Budget.Cancel && Budget.Cancel->load(std::memory_order_relaxed))
+        return true;
+      if (Budget.Deadline != std::chrono::steady_clock::time_point::max() &&
+          std::chrono::steady_clock::now() >= Budget.Deadline)
+        return true;
+    }
+    return false;
+  };
+  if (Budgeted) {
+    NextInterruptCheck = Conflicts; // force an immediate clock/cancel poll
+    if (interrupted()) {
+      cancelUntil(0);
+      return SatResult::Unknown;
+    }
+  }
+
   std::vector<Lit> Learnt;
   while (true) {
+    if (interrupted()) {
+      cancelUntil(0);
+      return SatResult::Unknown;
+    }
     ClauseRef Confl = propagate();
     if (Confl != NoReason) {
       ++Conflicts;

@@ -15,6 +15,8 @@
 #ifndef ISLARIS_SMT_SAT_H
 #define ISLARIS_SMT_SAT_H
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -48,8 +50,29 @@ private:
 /// Ternary truth value.
 enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
 
-/// Result of a solve call.
-enum class SatResult { Sat, Unsat };
+/// Result of a solve call.  Unknown is only produced when a Budget is in
+/// force and fires: the instance was neither proven satisfiable nor
+/// unsatisfiable within the allotted resources.
+enum class SatResult { Sat, Unsat, Unknown };
+
+/// Per-solve resource budget.  Zero / null fields are unlimited; the
+/// default-constructed budget never interrupts the search (the solver is
+/// complete, exactly as before).
+struct SatBudget {
+  uint64_t MaxConflicts = 0;    ///< Conflicts allowed within one solve call.
+  uint64_t MaxPropagations = 0; ///< Propagations allowed within one call.
+  /// Wall-clock deadline; time_point::max() means none.  Checked every few
+  /// hundred conflicts, so overshoot is bounded by one conflict batch.
+  std::chrono::steady_clock::time_point Deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Cooperative cancellation flag (borrowed); polled with the deadline.
+  const std::atomic<bool> *Cancel = nullptr;
+
+  bool unlimited() const {
+    return MaxConflicts == 0 && MaxPropagations == 0 && !Cancel &&
+           Deadline == std::chrono::steady_clock::time_point::max();
+  }
+};
 
 /// A CDCL solver.  Usage: newVar()* -> addClause()* -> solve(assumptions).
 /// Clauses persist across solve calls; assumptions do not.
@@ -72,6 +95,14 @@ public:
 
   /// Solves under the given assumption literals.
   SatResult solve(const std::vector<Lit> &Assumptions = {});
+
+  /// Installs the resource budget applied to every subsequent solve()
+  /// (counters are measured per call, not cumulatively).  A solve cut short
+  /// by the budget returns SatResult::Unknown with the solver left in a
+  /// consistent root-level state — clauses learned before the interruption
+  /// are kept and later calls may resume with a larger budget.
+  void setBudget(const SatBudget &B) { Budget = B; }
+  const SatBudget &budget() const { return Budget; }
 
   /// Model access after a Sat answer.
   bool modelValue(Var V) const { return Model[size_t(V)] == LBool::True; }
@@ -142,6 +173,7 @@ private:
 
   std::vector<uint8_t> Seen; // scratch for analyze()
   bool Unsat = false;
+  SatBudget Budget;
 
   uint64_t Conflicts = 0, Decisions = 0, Propagations = 0;
   size_t NumOrigClauses = 0;

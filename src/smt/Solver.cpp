@@ -1,6 +1,7 @@
 //===- smt/Solver.cpp - QF_BV satisfiability facade --------------------------===//
 
 #include "smt/Solver.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <chrono>
@@ -73,6 +74,19 @@ Result Solver::solveGoals(const std::vector<const Term *> &Goals) {
     Core = std::make_unique<sat::Solver>();
     Blaster = std::make_unique<BitBlaster>(*Core);
   }
+  // Translate the facade-level limits into a per-call SAT budget.  This is
+  // (re)installed on every call so a deadline is measured from the start of
+  // this check, not from when the limits were configured.
+  sat::SatBudget B;
+  B.MaxConflicts = Limits.MaxConflicts;
+  B.MaxPropagations = Limits.MaxPropagations;
+  if (Limits.MaxSeconds > 0)
+    B.Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(Limits.MaxSeconds));
+  if (Limits.Cancel.valid())
+    B.Cancel = Limits.Cancel.raw();
+  Core->setBudget(B);
   uint64_t ConflictsBefore = Core->numConflicts();
   std::vector<sat::Lit> Assumps;
   Assumps.reserve(Goals.size());
@@ -82,6 +96,11 @@ Result Solver::solveGoals(const std::vector<const Term *> &Goals) {
   Stats.NumConflicts += Core->numConflicts() - ConflictsBefore;
   Stats.TermsBlasted = Blaster->stats().TermsBlasted;
   Stats.TermsReused = Blaster->stats().TermsReused;
+  if (SR == sat::SatResult::Unknown) {
+    ++Stats.NumUnknown;
+    invalidateModel();
+    return Result::Unknown;
+  }
   if (SR != sat::SatResult::Sat) {
     invalidateModel();
     return Result::Unsat;
@@ -163,6 +182,15 @@ Result Solver::check(const std::vector<const Term *> &Assumptions) {
   auto Start = std::chrono::steady_clock::now();
   ++Stats.NumChecks;
 
+  // A cancellation requested before we even start: answer Unknown at once
+  // (the syntactic fast paths below would be sound, but a cancelled job
+  // should stop doing work, not keep simplifying terms).
+  if (Limits.Cancel.cancelled()) {
+    ++Stats.NumUnknown;
+    invalidateModel();
+    return Result::Unknown;
+  }
+
   // Simplify everything first; collect the residual (non-constant) goals.
   std::vector<const Term *> Goals;
   bool TriviallyUnsat = false;
@@ -192,6 +220,14 @@ Result Solver::check(const std::vector<const Term *> &Assumptions) {
     Model.clear();
     HasModel = true;
     R = Result::Sat;
+  } else if (support::FaultInjector::fire(support::FaultSite::SolverUnknown)) {
+    // Injected spurious give-up on the non-syntactic path, standing in for
+    // an external solver timing out.  Deliberately before the memo/store
+    // lookups so a repeated query can fail on one attempt and succeed on a
+    // retry — and, like a real Unknown, it is never cached.
+    ++Stats.NumUnknown;
+    invalidateModel();
+    R = Result::Unknown;
   } else {
     // Canonical goal-set key: sorted, deduplicated hash-consed ids.
     std::vector<unsigned> Key;
@@ -219,10 +255,14 @@ Result Solver::check(const std::vector<const Term *> &Assumptions) {
           }
       if (!Answered) {
         R = solveGoals(Goals);
-        if (!Closure.empty())
+        // An Unknown is a statement about this run's budget, not about the
+        // formula: memoizing or persisting it would convert a transient
+        // resource condition into a cached wrong-ish answer.
+        if (R != Result::Unknown && !Closure.empty())
           Persist->store(Closure, exportResult(Goals, R));
       }
-      Memo.emplace(std::move(Key), MemoEntry{R, Model});
+      if (R != Result::Unknown)
+        Memo.emplace(std::move(Key), MemoEntry{R, Model});
     }
   }
 

@@ -37,6 +37,7 @@
 #include "smt/Evaluator.h"
 #include "smt/Rewriter.h"
 #include "smt/TermBuilder.h"
+#include "support/Guard.h"
 
 #include <memory>
 #include <optional>
@@ -44,8 +45,26 @@
 
 namespace islaris::smt {
 
-/// Satisfiability result.
-enum class Result { Sat, Unsat };
+/// Satisfiability result.  Unknown appears only when a resource guard is
+/// installed (SolverLimits / cancellation) or a fault injector spoofs it;
+/// the unlimited default solver is complete and never returns it.  Callers
+/// MUST treat Unknown explicitly — folding it into Sat or Unsat by a `==`
+/// comparison silently weakens or unsounds the surrounding proof logic.
+enum class Result { Sat, Unsat, Unknown };
+
+/// Per-check() resource guards (0 = unlimited).  A check cut short returns
+/// Result::Unknown; Unknown answers are never memoized or persisted.
+struct SolverLimits {
+  uint64_t MaxConflicts = 0;    ///< SAT conflict budget per check().
+  uint64_t MaxPropagations = 0; ///< SAT propagation budget per check().
+  double MaxSeconds = 0;        ///< Wall-clock deadline per check().
+  support::CancelToken Cancel;  ///< Cooperative cancellation (shared).
+
+  bool unlimited() const {
+    return MaxConflicts == 0 && MaxPropagations == 0 && MaxSeconds <= 0 &&
+           !Cancel.valid();
+  }
+};
 
 /// Accumulated statistics, reported by the Fig. 12 benchmark harness.
 struct SolverStats {
@@ -54,6 +73,7 @@ struct SolverStats {
   uint64_t NumMemoHits = 0;  ///< Checks answered by the in-run memo table.
   uint64_t NumStoreHits = 0; ///< Checks answered by the persistent store.
   uint64_t NumSatCalls = 0;  ///< Checks that reached the SAT core.
+  uint64_t NumUnknown = 0;   ///< Checks cut short by a guard or fault.
   uint64_t NumConflicts = 0;
   uint64_t TermsBlasted = 0; ///< Terms translated to CNF (mirror of blaster).
   uint64_t TermsReused = 0;  ///< Blaster cache hits: clauses reused.
@@ -96,7 +116,14 @@ public:
   void assertTerm(const Term *T);
 
   /// Checks satisfiability of the asserted stack plus \p Assumptions.
+  /// Under installed limits the answer may be Result::Unknown.
   Result check(const std::vector<const Term *> &Assumptions = {});
+
+  /// Installs per-check resource guards (see SolverLimits).  The guards
+  /// apply to every subsequent check(); pass a default-constructed value to
+  /// remove them.
+  void setLimits(const SolverLimits &L) { Limits = L; }
+  const SolverLimits &limits() const { return Limits; }
 
   /// True if \p T holds in every model of the current assertions
   /// (i.e. assertions ∧ ¬T is unsat).
@@ -147,6 +174,7 @@ private:
   std::vector<size_t> ScopeMarks;
   SolverStats Stats;
   SolverCache *Persist = nullptr;
+  SolverLimits Limits;
 
   // The persistent SAT core and Tseitin translation, created on the first
   // check that needs them and reused for the Solver's lifetime.  Goals are

@@ -1,0 +1,114 @@
+//===- support/Diag.cpp - Structured pipeline diagnostics ---------------------===//
+
+#include "support/Diag.h"
+
+using namespace islaris::support;
+
+const char *islaris::support::errorCodeName(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::MalformedObjdump:
+    return "malformed-objdump";
+  case ErrorCode::MalformedTrace:
+    return "malformed-trace";
+  case ErrorCode::CorruptCacheEntry:
+    return "corrupt-cache-entry";
+  case ErrorCode::OverlappingCode:
+    return "overlapping-code";
+  case ErrorCode::UnknownSymbol:
+    return "unknown-symbol";
+  case ErrorCode::UnknownRegister:
+    return "unknown-register";
+  case ErrorCode::ModelError:
+    return "model-error";
+  case ErrorCode::ProofFailed:
+    return "proof-failed";
+  case ErrorCode::SpecError:
+    return "spec-error";
+  case ErrorCode::PathBudgetExceeded:
+    return "path-budget-exceeded";
+  case ErrorCode::InstrBudgetExhausted:
+    return "instr-budget-exhausted";
+  case ErrorCode::DeadlineExceeded:
+    return "deadline-exceeded";
+  case ErrorCode::SolverBudgetExceeded:
+    return "solver-budget-exceeded";
+  case ErrorCode::Cancelled:
+    return "cancelled";
+  case ErrorCode::JobTimeout:
+    return "job-timeout";
+  case ErrorCode::JobException:
+    return "job-exception";
+  case ErrorCode::IoError:
+    return "io-error";
+  case ErrorCode::InjectedFault:
+    return "injected-fault";
+  case ErrorCode::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+const char *islaris::support::severityName(Severity S) {
+  switch (S) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  case Severity::Fatal:
+    return "fatal";
+  }
+  return "error";
+}
+
+std::string Diag::render() const {
+  if (ok())
+    return "ok";
+  std::string Out = severityName(Sev);
+  Out += "[";
+  Out += errorCodeName(Code);
+  Out += "]";
+  if (!Stage.empty()) {
+    Out += " ";
+    Out += Stage;
+  }
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+bool islaris::support::isRetryable(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::JobTimeout:
+  case ErrorCode::Cancelled:
+  case ErrorCode::DeadlineExceeded:
+  case ErrorCode::JobException:
+  case ErrorCode::IoError:
+  case ErrorCode::InjectedFault:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool islaris::support::isInfrastructureError(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::JobTimeout:
+  case ErrorCode::Cancelled:
+  case ErrorCode::DeadlineExceeded:
+  case ErrorCode::SolverBudgetExceeded:
+  case ErrorCode::PathBudgetExceeded:
+  case ErrorCode::InstrBudgetExhausted:
+  case ErrorCode::JobException:
+  case ErrorCode::IoError:
+  case ErrorCode::InjectedFault:
+  case ErrorCode::CorruptCacheEntry:
+  case ErrorCode::Internal:
+    return true;
+  default:
+    return false;
+  }
+}
