@@ -24,8 +24,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <thread>
+
+#include <unistd.h>
 
 using namespace islaris;
 using islaris::frontend::CaseResult;
@@ -142,18 +145,35 @@ int main() {
 
   bool Ok = true;
 
-  std::printf("Full suite, shared in-memory cache:\n");
-  cache::TraceCache C;
+  // Persistence is on by default: the shared cache writes through to a
+  // scratch directory (wiped up front so the cold pass stays cold), and a
+  // dedicated pass re-reads the whole suite from disk through a cleared
+  // in-memory map.
+  std::string CacheDir =
+      (std::filesystem::temp_directory_path() /
+       ("islaris-bench-cache-" + std::to_string(uint64_t(::getpid()))))
+          .string();
+  std::error_code EC;
+  std::filesystem::remove_all(CacheDir, EC);
+  cache::TraceCacheConfig Cfg;
+  Cfg.Persist = true;
+  Cfg.Dir = CacheDir;
+
+  std::printf("Full suite, shared persistent cache:\n");
+  cache::TraceCache C(Cfg);
   SuiteRun ColdSerial = runSuite(1, &C);
   printRun("cold serial", ColdSerial);
   SuiteRun Warm = runSuite(1, &C);
   printRun("warm serial", Warm);
+  C.clearMemory();
+  SuiteRun Disk = runSuite(1, &C);
+  printRun("warm serial (from disk)", Disk);
   SuiteRun ParCold = runSuite(0, nullptr); // no cache: pure parallelism
   printRun("cold parallel (no cache)", ParCold);
   SuiteRun ParWarm = runSuite(0, &C);
   printRun("warm parallel", ParWarm);
 
-  Ok &= ColdSerial.Ok && Warm.Ok && ParCold.Ok && ParWarm.Ok;
+  Ok &= ColdSerial.Ok && Warm.Ok && Disk.Ok && ParCold.Ok && ParWarm.Ok;
 
   std::printf("\nChecks:\n");
   bool WarmAllHits = Warm.Executed == 0 && Warm.Hits == Warm.Instrs;
@@ -162,6 +182,13 @@ int main() {
               WarmAllHits ? "yes" : "NO", Warm.Executed, Warm.Hits,
               Warm.Instrs);
   Ok &= WarmAllHits;
+
+  bool DiskAllHits = Disk.Executed == 0 && Disk.Hits == Disk.Instrs;
+  std::printf("  disk-warm cache re-executes nothing .......... %s "
+              "(%u executed, %u/%u hits)\n",
+              DiskAllHits ? "yes" : "NO", Disk.Executed, Disk.Hits,
+              Disk.Instrs);
+  Ok &= DiskAllHits;
 
   bool SameEvents = true;
   for (size_t I = 0; I < ColdSerial.Rows.size(); ++I) {
@@ -189,6 +216,7 @@ int main() {
   std::printf("  warm speedup over cold ........................ %.2fx "
               "(informational)\n", WarmSpeedup);
 
+  std::filesystem::remove_all(CacheDir, EC);
   std::printf("\n%s\n", Ok ? "all cache checks passed"
                           : "CACHE CHECKS FAILED");
   return Ok ? 0 : 1;

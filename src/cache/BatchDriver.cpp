@@ -2,6 +2,7 @@
 
 #include "cache/BatchDriver.h"
 
+#include "cache/SideCondCache.h"
 #include "smt/TermBuilder.h"
 #include "support/Guard.h"
 
@@ -194,6 +195,12 @@ BatchDriver::run(const std::vector<TraceJob> &Jobs, TraceCache *Cache) {
     const Fingerprint &K = *Work[W].first;
     Group &G = *Work[W].second;
     const TraceJob &J = Jobs[G.Members.front()];
+    // Salt the shared side-condition store by this job's model so its
+    // pruning/assert queries can never be answered by another model's
+    // entries (fingerprintModel is memoized, so this is a map lookup).
+    std::optional<SaltedSolverCache> SideCond;
+    if (J.SideCond)
+      SideCond.emplace(*J.SideCond, fingerprintModel(*J.Model));
     for (unsigned Attempt = 0; Attempt <= DO.MaxRetries; ++Attempt) {
       ++G.Attempts;
       isla::ExecOptions EO = J.Opts;
@@ -209,6 +216,8 @@ BatchDriver::run(const std::vector<TraceJob> &Jobs, TraceCache *Cache) {
       bool Threw = false;
       try {
         isla::Executor Ex(*J.Model, TB);
+        if (SideCond)
+          Ex.setSolverCache(&*SideCond);
         R = Ex.run(J.Op, *J.Assume, EO);
       } catch (const std::exception &E) {
         Threw = true;

@@ -42,6 +42,12 @@ struct TraceJob {
   const isla::Assumptions *Assume = nullptr;
   isla::ExecOptions Opts;
   uint64_t Tag = 0; ///< Caller cookie (e.g. the instruction address).
+  /// Optional persistent store for the executor's branch-pruning and
+  /// assertion queries, installed on each worker's solver.  Must be
+  /// thread-safe (SideCondStore is).  The driver salts every query with
+  /// fingerprintModel(*Model), so one suite-wide store serves all models
+  /// without key collisions.  Borrowed; must outlive the batch.
+  smt::SolverCache *SideCond = nullptr;
 };
 
 /// Where a job's result came from.

@@ -110,6 +110,13 @@ bool SideCondStore::parseEntry(const std::string &Text, const Fingerprint &K,
 //===----------------------------------------------------------------------===//
 
 std::string SideCondStore::entryPath(const Fingerprint &K) const {
+  // Same 256-way fan-out as the trace cache: shard on the leading
+  // fingerprint byte so warm suite stores stay navigable.
+  std::string Hex = K.toHex();
+  return Directory + "/" + Hex.substr(0, 2) + "/" + Hex + ".scc";
+}
+
+std::string SideCondStore::legacyEntryPath(const Fingerprint &K) const {
   return Directory + "/" + K.toHex() + ".scc";
 }
 
@@ -117,9 +124,15 @@ std::optional<smt::SolverCache::CachedResult>
 SideCondStore::loadFromDisk(const Fingerprint &K) {
   if (support::FaultInjector::fire(support::FaultSite::CacheRead))
     return std::nullopt; // injected read failure: degrade to a miss
-  std::ifstream In(entryPath(K), std::ios::binary);
-  if (!In)
-    return std::nullopt;
+  std::string Path = entryPath(K);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    // Transparent read-through of pre-sharding stores (flat layout).
+    Path = legacyEntryPath(K);
+    In.open(Path, std::ios::binary);
+    if (!In)
+      return std::nullopt;
+  }
   std::ostringstream Buf;
   Buf << In.rdbuf();
   CachedResult R;
@@ -128,7 +141,7 @@ SideCondStore::loadFromDisk(const Fingerprint &K) {
     // Corrupt or stale-format entry: miss, and delete the corpse so a
     // future first-writer-wins writeToDisk can repair this key.
     std::error_code EC;
-    if (fs::remove(entryPath(K), EC)) {
+    if (fs::remove(Path, EC)) {
       std::lock_guard<std::mutex> L(Mu);
       ++St.CorruptRemoved;
     }
@@ -140,12 +153,14 @@ SideCondStore::loadFromDisk(const Fingerprint &K) {
 void SideCondStore::writeToDisk(const Fingerprint &K,
                                 const CachedResult &R) {
   std::error_code EC;
-  fs::create_directories(Directory, EC);
+  std::string Path = entryPath(K);
+  fs::create_directories(fs::path(Path).parent_path(), EC);
   if (EC)
     return;
-  std::string Path = entryPath(K);
-  if (fs::exists(Path, EC))
-    return; // entries are immutable: first writer wins
+  // Entries are immutable: first writer wins, including entries already
+  // present under the legacy flat layout.
+  if (fs::exists(Path, EC) || fs::exists(legacyEntryPath(K), EC))
+    return;
   if (!atomicWriteFile(Path, serializeEntry(K, R)))
     return;
   std::lock_guard<std::mutex> L(Mu);

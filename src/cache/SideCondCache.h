@@ -22,8 +22,10 @@
 /// closure's variables by (name, width, value), so a hit restores
 /// modelValue() behavior identical to a cold solve.  Disk layout follows
 /// the trace cache: one file per entry under a directory (default
-/// resolveCacheDir() + "/sidecond"), written atomically, first writer
-/// wins, corrupt entries degrade to misses.
+/// resolveCacheDir() + "/sidecond"), sharded into 256 fan-out
+/// subdirectories on the leading fingerprint byte (legacy flat stores are
+/// still read), written atomically, first writer wins, corrupt entries
+/// degrade to misses.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -102,7 +104,10 @@ public:
                          CachedResult &Out, std::string &Err);
 
 private:
+  /// Sharded path of \p K: dir/<first hex byte>/<hex>.scc.
   std::string entryPath(const Fingerprint &K) const;
+  /// Pre-sharding flat path (dir/<hex>.scc), still honored on read.
+  std::string legacyEntryPath(const Fingerprint &K) const;
   std::optional<CachedResult> loadFromDisk(const Fingerprint &K);
   void writeToDisk(const Fingerprint &K, const CachedResult &R);
 
@@ -112,6 +117,29 @@ private:
   mutable std::mutex Mu;
   std::unordered_map<Fingerprint, CachedResult, FingerprintHash> Map;
   SideCondStats St;
+};
+
+/// A zero-copy view of another SolverCache that prefixes every closure with
+/// a fingerprint salt before delegating.  Lets one shared store (whose own
+/// ModelSalt stays neutral) serve queries discharged against different ISA
+/// models — the batch driver wraps the suite store in the fingerprint of
+/// each job's model, so an aarch64 pruning query can never answer a riscv64
+/// one.  Stateless beyond the prefix; safe to construct per job.
+class SaltedSolverCache : public smt::SolverCache {
+public:
+  SaltedSolverCache(smt::SolverCache &Inner, const Fingerprint &Salt)
+      : Inner(Inner), Prefix("(salt " + Salt.toHex() + ") ") {}
+
+  std::optional<CachedResult> lookup(const std::string &Closure) override {
+    return Inner.lookup(Prefix + Closure);
+  }
+  void store(const std::string &Closure, const CachedResult &R) override {
+    Inner.store(Prefix + Closure, R);
+  }
+
+private:
+  smt::SolverCache &Inner;
+  std::string Prefix;
 };
 
 /// The process-wide ambient store consulted by newly constructed Verifiers

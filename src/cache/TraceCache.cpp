@@ -221,15 +221,29 @@ bool TraceCache::parseEntry(const std::string &Text, const Fingerprint &K,
 //===----------------------------------------------------------------------===//
 
 std::string TraceCache::entryPath(const Fingerprint &K) const {
+  // 256-way fan-out on the leading fingerprint byte keeps suite-scale
+  // stores (tens of thousands of entries) from piling into one directory.
+  std::string Hex = K.toHex();
+  return Directory + "/" + Hex.substr(0, 2) + "/" + Hex + ".itc";
+}
+
+std::string TraceCache::legacyEntryPath(const Fingerprint &K) const {
   return Directory + "/" + K.toHex() + ".itc";
 }
 
 std::optional<CacheEntry> TraceCache::loadFromDisk(const Fingerprint &K) {
   if (support::FaultInjector::fire(support::FaultSite::CacheRead))
     return std::nullopt; // injected read failure: degrade to a miss
-  std::ifstream In(entryPath(K), std::ios::binary);
-  if (!In)
-    return std::nullopt;
+  std::string Path = entryPath(K);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    // Transparent read-through of stores written before sharding: their
+    // entries sit flat at the directory root.
+    Path = legacyEntryPath(K);
+    In.open(Path, std::ios::binary);
+    if (!In)
+      return std::nullopt;
+  }
   std::ostringstream Buf;
   Buf << In.rdbuf();
   CacheEntry E;
@@ -239,7 +253,7 @@ std::optional<CacheEntry> TraceCache::loadFromDisk(const Fingerprint &K) {
     // writeToDisk is first-writer-wins, so leaving the corpse in place
     // would shadow every future rewrite of this key.
     std::error_code EC;
-    if (fs::remove(entryPath(K), EC)) {
+    if (fs::remove(Path, EC)) {
       std::lock_guard<std::mutex> L(Mu);
       ++St.CorruptRemoved;
     }
@@ -250,12 +264,14 @@ std::optional<CacheEntry> TraceCache::loadFromDisk(const Fingerprint &K) {
 
 void TraceCache::writeToDisk(const Fingerprint &K, const CacheEntry &E) {
   std::error_code EC;
-  fs::create_directories(Directory, EC);
+  std::string Path = entryPath(K);
+  fs::create_directories(fs::path(Path).parent_path(), EC);
   if (EC)
     return;
-  std::string Path = entryPath(K);
-  if (fs::exists(Path, EC))
-    return; // entries are immutable: first writer wins
+  // Entries are immutable: first writer wins, and an entry already present
+  // under the legacy flat layout counts as written.
+  if (fs::exists(Path, EC) || fs::exists(legacyEntryPath(K), EC))
+    return;
   // Write-to-temp + rename keeps concurrent writers from exposing partial
   // files; racing writers produce identical content anyway.
   if (!atomicWriteFile(Path, serializeEntry(K, E)))

@@ -17,7 +17,12 @@
 ///
 /// The in-memory map is LRU-bounded and fully thread-safe; optional
 /// persistence writes one file per entry under a cache directory
-/// (ISLARIS_CACHE_DIR env override, default build/.trace-cache).
+/// (ISLARIS_CACHE_DIR env override, default build/.trace-cache).  Entries
+/// are sharded into 256 fan-out subdirectories keyed on the leading
+/// fingerprint byte (dir/ab/ab...cd.itc) so large suite caches never pile
+/// tens of thousands of files into one directory; stores written by older
+/// versions with the flat layout (dir/ab...cd.itc) are still read
+/// transparently.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -139,7 +144,10 @@ public:
                          CacheEntry &Out, std::string &Err);
 
 private:
+  /// Sharded path of \p K: dir/<first hex byte>/<hex>.itc.
   std::string entryPath(const Fingerprint &K) const;
+  /// Pre-sharding flat path (dir/<hex>.itc), still honored on read.
+  std::string legacyEntryPath(const Fingerprint &K) const;
   std::optional<CacheEntry> loadFromDisk(const Fingerprint &K);
   void writeToDisk(const Fingerprint &K, const CacheEntry &E);
 

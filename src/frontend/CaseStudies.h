@@ -25,6 +25,7 @@
 #ifndef ISLARIS_FRONTEND_CASESTUDIES_H
 #define ISLARIS_FRONTEND_CASESTUDIES_H
 
+#include "isla/Executor.h"
 #include "seplogic/Engine.h"
 #include "support/Diag.h"
 #include "support/Guard.h"
@@ -64,6 +65,17 @@ struct CaseResult {
   unsigned CacheHits = 0;      ///< Instructions served by the trace cache.
   unsigned Deduped = 0;        ///< Instructions deduplicated in-batch.
   unsigned IslaMemoHits = 0;   ///< Executor queries answered by the memo.
+  /// Executor queries answered by the persistent side-condition store.
+  unsigned IslaStoreHits = 0;
+  /// Model statements dispatched by fresh executions, and statements the
+  /// snapshot engine restored from checkpoints instead of re-executing.
+  uint64_t IslaStmts = 0;
+  uint64_t IslaStmtsSkipped = 0;
+  unsigned HelperMemoHits = 0; ///< Pure-helper summary-memo hits.
+  /// Batch-driver fault tolerance: extra executions spent on retryable
+  /// failures, and jobs quarantined without a trace.
+  unsigned Retries = 0;
+  unsigned Quarantined = 0;
   seplogic::ProofStats Proof;
 };
 
@@ -104,6 +116,10 @@ struct SuiteOptions {
   /// Null leaves whatever injector is already active — including one
   /// configured from ISLARIS_FAULTS / ISLARIS_FAULT_SEED by the harness.
   support::FaultInjector *Faults = nullptr;
+  /// Path-exploration engine installed as the process default for the run
+  /// (both engines are bit-identical; Replay is the differential oracle
+  /// and ablation baseline).
+  isla::ExecEngine Engine = isla::ExecEngine::Snapshot;
 };
 
 /// Aggregate view of a suite run: every case study is always attempted

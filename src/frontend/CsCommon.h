@@ -45,6 +45,12 @@ inline CaseResult finishResult(CaseResult R, Verifier &V, bool Ok,
   R.CacheHits = V.genStats().CacheHits;
   R.Deduped = V.genStats().Deduped;
   R.IslaMemoHits = V.genStats().SolverMemoHits;
+  R.IslaStoreHits = V.genStats().SolverStoreHits;
+  R.IslaStmts = V.genStats().StmtsExecuted;
+  R.IslaStmtsSkipped = V.genStats().StmtsSkipped;
+  R.HelperMemoHits = V.genStats().HelperMemoHits;
+  R.Retries = V.genStats().Retries;
+  R.Quarantined = V.genStats().Quarantined;
   R.SpecSize = SpecSize;
   R.Hints = Hints;
   R.Proof = V.engine().stats();

@@ -104,6 +104,10 @@ bool Verifier::generateTraces(std::string &Err) {
     J.Opts.SolverConflicts = Limits.SolverConflicts;
     J.Opts.SolverPropagations = Limits.SolverPropagations;
     J.Opts.Cancel = Cancel;
+    // The executor's pruning/assert queries go through the same persistent
+    // side-condition store as the proof engine's entailments; the driver
+    // salts them with the job's model fingerprint.
+    J.SideCond = SideCond;
     J.Tag = Addr;
     Jobs.push_back(std::move(J));
     Addrs.push_back(Addr);
@@ -112,6 +116,9 @@ bool Verifier::generateTraces(std::string &Err) {
   cache::BatchDriver Driver(GenThreads);
   Driver.setOptions({Limits.JobTimeoutSeconds, Limits.JobRetries});
   std::vector<cache::TraceJobResult> Results = Driver.run(Jobs, Cache);
+  Gen.Retries += Driver.lastStats().Retries;
+  Gen.TimedOut += Driver.lastStats().TimedOut;
+  Gen.Quarantined += Driver.lastStats().Failed;
 
   // Materialize results in address order into this verifier's builder.
   // Every path — fresh, deduped, or cached — round-trips through the
@@ -151,6 +158,10 @@ bool Verifier::generateTraces(std::string &Err) {
       // Solver work is only accounted when it actually happened.
       Gen.SolverQueries += Exec.Stats.SolverQueries;
       Gen.SolverMemoHits += Exec.Stats.SolverMemoHits;
+      Gen.SolverStoreHits += Exec.Stats.SolverStoreHits;
+      Gen.StmtsExecuted += Exec.Stats.StmtsExecuted;
+      Gen.StmtsSkipped += Exec.Stats.StmtsSkippedBySnapshot;
+      Gen.HelperMemoHits += Exec.Stats.HelperMemoHits;
       ++Gen.Executed;
       break;
     case cache::ResultSource::CacheHit:

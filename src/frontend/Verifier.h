@@ -60,6 +60,22 @@ struct GenStats {
   /// Executor solver queries answered by the in-run memo table (a subset
   /// of SolverQueries; the rest reached the SAT core or were syntactic).
   unsigned SolverMemoHits = 0;
+  /// Executor queries answered by the persistent side-condition store
+  /// (subset of SolverQueries; only meaningful when one is attached).
+  unsigned SolverStoreHits = 0;
+  /// Model statements dispatched across fresh executions (the snapshot
+  /// engine's headline saving relative to replay's paths x model size).
+  uint64_t StmtsExecuted = 0;
+  /// Statements the snapshot engine restored from checkpoints instead of
+  /// re-executing.  Zero under the replay engine.
+  uint64_t StmtsSkipped = 0;
+  /// Pure-helper calls answered from the executor's per-run summary memo.
+  unsigned HelperMemoHits = 0;
+  /// Batch-driver fault-tolerance counters for the generation batches this
+  /// verifier ran (see cache::BatchStats).
+  unsigned Retries = 0;
+  unsigned TimedOut = 0;
+  unsigned Quarantined = 0; ///< Jobs that ended without a trace (Failed).
 };
 
 /// Drives trace generation and verification for one program.

@@ -44,6 +44,8 @@ islaris::frontend::runAllCaseStudies(const SuiteOptions &O) {
   cache::setAmbientSideCondCache(O.SideCond ? O.SideCond : SavedSide);
   support::RunLimits SavedLimits = support::ambientRunLimits();
   support::setAmbientRunLimits(O.Limits);
+  isla::ExecEngine SavedEngine = isla::defaultExecEngine();
+  isla::setDefaultExecEngine(O.Engine);
   support::FaultInjector *SavedFaults = support::FaultInjector::active();
   // Explicit SuiteOptions::Faults wins; otherwise honor ISLARIS_FAULTS so
   // any suite binary can be chaos-tested from the shell without a rebuild.
@@ -83,6 +85,7 @@ islaris::frontend::runAllCaseStudies(const SuiteOptions &O) {
 
   if (Installed)
     support::FaultInjector::setActive(SavedFaults);
+  isla::setDefaultExecEngine(SavedEngine);
   support::setAmbientRunLimits(SavedLimits);
   cache::setAmbientTraceCache(Saved);
   cache::setAmbientSideCondCache(SavedSide);

@@ -6,6 +6,8 @@
 #include "support/FaultInjector.h"
 
 #include <chrono>
+#include <cstddef>
+#include <map>
 #include <stdexcept>
 
 using namespace islaris;
@@ -59,6 +61,7 @@ struct Executor::RunState {
   support::ErrorCode Code = support::ErrorCode::Ok;
   unsigned PrunedBranches = 0;
   unsigned SolverQueries = 0;
+  uint64_t Stmts = 0; ///< Statements dispatched (ExecStats::StmtsExecuted).
 
   // Resource guards for the enclosing run() (shared across its paths).
   const std::atomic<bool> *CancelFlag = nullptr;
@@ -102,6 +105,14 @@ struct Executor::RunState {
     return false;
   }
 };
+
+// Ambient default engine (see defaultExecEngine in the header).  Same
+// discipline as cache::ambientTraceCache: installed before a suite run
+// spawns workers, restored after the pool joins.
+static ExecEngine AmbientEngine = ExecEngine::Snapshot;
+
+ExecEngine islaris::isla::defaultExecEngine() { return AmbientEngine; }
+void islaris::isla::setDefaultExecEngine(ExecEngine E) { AmbientEngine = E; }
 
 unsigned islaris::isla::registerWidth(const sail::Model &M,
                                       const itl::Reg &R) {
@@ -557,6 +568,7 @@ void Executor::execBlock(const std::vector<sail::StmtPtr> &Body, RunState &RS,
 }
 
 void Executor::execStmt(const Stmt &S, RunState &RS, bool &Returned) {
+  ++RS.Stmts;
   if (RS.guardTripped())
     return;
   switch (S.Kind) {
@@ -716,28 +728,11 @@ static Trace mergePaths(const std::vector<std::vector<Event>> &Paths,
   return T;
 }
 
-ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
-                         const ExecOptions &Opts) {
-  ExecResult Res;
-  auto failRun = [&Res](support::ErrorCode C,
-                        const std::string &Msg) -> ExecResult & {
-    Res.Ok = false;
-    Res.Error = Msg;
-    Res.D = support::Diag::error(C, "executor", Msg);
-    return Res;
-  };
-
-  // Chaos hooks: exec-throw exercises the batch driver's exception
-  // containment, exec-step the ordinary Diag failure path.
-  if (support::FaultInjector::fire(support::FaultSite::ExecThrow))
-    throw std::runtime_error("injected executor fault (exec-throw)");
-  if (support::FaultInjector::fire(support::FaultSite::ExecStep))
-    return failRun(support::ErrorCode::InjectedFault,
-                   "injected executor fault (exec-step)");
-
-  // Install the per-check solver guards for this run.  The guards are not
-  // part of the trace-cache fingerprint: a guarded failure is never cached,
-  // and a success is budget-independent.
+/// Installs the per-check solver guards for a run and computes its deadline.
+/// The guards are not part of the trace-cache fingerprint: a guarded failure
+/// is never cached, and a success is budget-independent.
+static std::chrono::steady_clock::time_point
+installGuards(smt::Solver &Solver, const ExecOptions &Opts) {
   smt::SolverLimits SL;
   SL.MaxConflicts = Opts.SolverConflicts;
   SL.MaxPropagations = Opts.SolverPropagations;
@@ -750,12 +745,79 @@ ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
     Deadline = std::chrono::steady_clock::now() +
                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                    std::chrono::duration<double>(Opts.DeadlineSeconds));
+  return Deadline;
+}
+
+const Term *Executor::emitPreamble(const OpcodeSpec &Op, const Assumptions &A,
+                                   RunState &RS,
+                                   std::vector<const Term *> &OpVars) {
+  // Assumption preamble: concrete assumed values first (Fig. 3 lines 2-3),
+  // then constrained registers as declare/read/assume triples.
+  for (const auto &[R, V] : A.Concrete) {
+    RS.Events.push_back(Event::assumeReg(R, TB.constBV(V)));
+    RS.RegCache[R] = TB.constBV(V);
+  }
+  for (const auto &[R, F] : A.Constraints) {
+    if (!M.findRegister(R.Base)) {
+      RS.failGuard(support::ErrorCode::UnknownRegister,
+                   "constraint on unknown register " + R.Base);
+      return nullptr;
+    }
+    unsigned W = registerWidth(M, R);
+    const Term *V = pooledVar(Sort::bitvec(W), RS);
+    const Term *P = F(TB, V);
+    RS.Events.push_back(Event::declareConst(V));
+    RS.Events.push_back(Event::readReg(R, V));
+    RS.Events.push_back(Event::assumeE(P));
+    RS.RegCache[R] = V;
+    RS.ReadEmitted[R] = true;
+    RS.PathCond.push_back(P);
+  }
+
+  // Build the opcode term: concrete segments folded, symbolic runs as
+  // fresh variables (partially symbolic opcodes, §3).
+  std::vector<const Term *> SegmentsLowFirst;
+  unsigned I = 0;
+  while (I < 32) {
+    unsigned J = I;
+    bool Sym = Op.SymMask.bit(I);
+    while (J < 32 && Op.SymMask.bit(J) == Sym)
+      ++J;
+    if (Sym) {
+      const Term *V = pooledVar(Sort::bitvec(J - I), RS);
+      RS.Events.push_back(Event::declareConst(V));
+      SegmentsLowFirst.push_back(V);
+      OpVars.push_back(V);
+    } else {
+      SegmentsLowFirst.push_back(TB.constBV(Op.Bits.extract(J - 1, I)));
+    }
+    I = J;
+  }
+  const Term *Opcode = SegmentsLowFirst[0];
+  for (size_t K = 1; K < SegmentsLowFirst.size(); ++K)
+    Opcode = TB.concat(SegmentsLowFirst[K], Opcode);
+  return Opcode;
+}
+
+ExecResult Executor::runReplay(const OpcodeSpec &Op, const Assumptions &A,
+                               const ExecOptions &Opts) {
+  ExecResult Res;
+  auto failRun = [&Res](support::ErrorCode C,
+                        const std::string &Msg) -> ExecResult & {
+    Res.Ok = false;
+    Res.Error = Msg;
+    Res.D = support::Diag::error(C, "executor", Msg);
+    return Res;
+  };
+
+  auto Deadline = installGuards(Solver, Opts);
 
   std::vector<Decision> Decisions;
   std::vector<const Term *> VarPool;
   std::vector<std::vector<Event>> PathEvents;
   ExecStats Stats;
   uint64_t MemoHitsBefore = Solver.stats().NumMemoHits;
+  uint64_t StoreHitsBefore = Solver.stats().NumStoreHits;
 
   const sail::FunctionDecl *Decode = M.findFunction("decode");
   if (!Decode || Decode->Params.size() != 1 ||
@@ -784,51 +846,10 @@ ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
     RS.CancelFlag = Opts.Cancel.raw();
     RS.Deadline = Deadline;
 
-    // Assumption preamble: concrete assumed values first (Fig. 3 lines
-    // 2-3), then constrained registers as declare/read/assume triples.
-    for (const auto &[R, V] : A.Concrete) {
-      RS.Events.push_back(Event::assumeReg(R, TB.constBV(V)));
-      RS.RegCache[R] = TB.constBV(V);
-    }
-    for (const auto &[R, F] : A.Constraints) {
-      if (!M.findRegister(R.Base)) {
-        return failRun(support::ErrorCode::UnknownRegister,
-                       "constraint on unknown register " + R.Base);
-      }
-      unsigned W = registerWidth(M, R);
-      const Term *V = pooledVar(Sort::bitvec(W), RS);
-      const Term *P = F(TB, V);
-      RS.Events.push_back(Event::declareConst(V));
-      RS.Events.push_back(Event::readReg(R, V));
-      RS.Events.push_back(Event::assumeE(P));
-      RS.RegCache[R] = V;
-      RS.ReadEmitted[R] = true;
-      RS.PathCond.push_back(P);
-    }
-
-    // Build the opcode term: concrete segments folded, symbolic runs as
-    // fresh variables (partially symbolic opcodes, §3).
-    std::vector<const Term *> SegmentsLowFirst;
     std::vector<const Term *> OpVars;
-    unsigned I = 0;
-    while (I < 32) {
-      unsigned J = I;
-      bool Sym = Op.SymMask.bit(I);
-      while (J < 32 && Op.SymMask.bit(J) == Sym)
-        ++J;
-      if (Sym) {
-        const Term *V = pooledVar(Sort::bitvec(J - I), RS);
-        RS.Events.push_back(Event::declareConst(V));
-        SegmentsLowFirst.push_back(V);
-        OpVars.push_back(V);
-      } else {
-        SegmentsLowFirst.push_back(TB.constBV(Op.Bits.extract(J - 1, I)));
-      }
-      I = J;
-    }
-    const Term *Opcode = SegmentsLowFirst[0];
-    for (size_t K = 1; K < SegmentsLowFirst.size(); ++K)
-      Opcode = TB.concat(SegmentsLowFirst[K], Opcode);
+    const Term *Opcode = emitPreamble(Op, A, RS, OpVars);
+    if (RS.failed())
+      return failRun(RS.Code, RS.Error);
 
     callFunction(*Decode, {Opcode}, RS);
     if (RS.failed())
@@ -838,6 +859,7 @@ ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
                      RS.Error);
     Stats.PrunedBranches += RS.PrunedBranches;
     Stats.SolverQueries += RS.SolverQueries;
+    Stats.StmtsExecuted += RS.Stmts;
     if (PathEvents.empty())
       Res.OpcodeVars = OpVars;
     PathEvents.push_back(std::move(RS.Events));
@@ -863,7 +885,752 @@ ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
   Stats.Events = Res.Trace.countEvents();
   Stats.SolverMemoHits =
       unsigned(Solver.stats().NumMemoHits - MemoHitsBefore);
+  Stats.SolverStoreHits =
+      unsigned(Solver.stats().NumStoreHits - StoreHitsBefore);
   Res.Stats = Stats;
   Res.Ok = true;
   return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// The snapshot-forking engine.
+//
+// The recursive interpreter above cannot resume a flipped branch without
+// re-running the model, so the snapshot engine is a defunctionalized
+// frame-stack machine: control is an explicit stack of copyable frames
+// (statements AND expressions — forks can occur inside expression-position
+// calls), values an explicit operand stack.  A both-feasible branch deep
+// inside nested calls is then checkpointable by value-copying the two
+// stacks plus the mutable RunState maps; restoring a checkpoint and
+// appending the flipped assertion continues the run as if the shared prefix
+// had been re-executed — except it wasn't, which is the whole point.
+//
+// Determinism invariants (what makes the output bit-identical to replay):
+//  * events and path conditions are append-only, so a checkpoint stores
+//    only their lengths and restore truncates;
+//  * pooled variable naming is position-stable: restoring VarCursor makes
+//    the flipped path draw exactly the variables the replay engine would
+//    re-draw while re-executing the prefix;
+//  * the branch condition is named (define-const, shared prefix) BEFORE the
+//    checkpoint and asserted AFTER it, mirroring decideBranch's order, so
+//    the merged tree diverges exactly at the Assert events (Fig. 6).
+//===----------------------------------------------------------------------===//
+
+struct Executor::Machine {
+  enum class FK : uint8_t {
+    Stmt,        ///< Dispatch one statement.
+    BlockStep,   ///< Run the next statement of a block body.
+    AssignLocal, ///< Store popped value into S->LocalIdx.
+    WriteReg,    ///< writeRegister(popped value).
+    IfCond,      ///< Decide a popped branch condition (the fork point).
+    Drop,        ///< Discard a popped value (ExprStmt).
+    ReturnValue, ///< Store popped value in the return slot, unwind.
+    AssertCond,  ///< Discharge a popped assert condition.
+    Expr,        ///< Dispatch one expression.
+    ApplyUnary,  ///< Combine 1 popped operand.
+    ApplyBinary, ///< Combine 2 popped operands.
+    IfExprCond,  ///< Branch-free ite: decide const vs. symbolic.
+    IteJoin,     ///< Combine popped then/else into an ite term.
+    ApplySlice,  ///< Extract from a popped operand.
+    ApplyExt,    ///< zero/sign-extend or truncate a popped operand.
+    ApplyRev,    ///< reverse_bits of a popped operand.
+    ReadMemFin,  ///< Emit read-mem events for a popped address.
+    WriteMemFin, ///< Emit a write-mem event for popped address + data.
+    CallArgsDone, ///< All arguments evaluated: enter the callee.
+    CallExit,    ///< Restore caller locals, push the return value.
+  };
+
+  /// One continuation frame.  Everything is an immutable AST pointer, an
+  /// index, or a hash-consed term, so frames (and thus snapshots) are plain
+  /// value copies.
+  struct Frame {
+    FK K;
+    const Stmt *S = nullptr;
+    const Expr *E = nullptr;
+    const std::vector<sail::StmtPtr> *Body = nullptr;
+    size_t Idx = 0;
+    const Term *T = nullptr; ///< IteJoin: the simplified condition.
+    // CallExit bookkeeping.
+    const sail::FunctionDecl *F = nullptr;
+    std::vector<const Term *> Saved; ///< Caller's locals.
+    bool Returned = false;
+    // Pure-helper memo bookkeeping (CallExit frames of candidates only).
+    bool MemoCand = false;
+    size_t EventsAtEntry = 0;
+    unsigned QueriesAtEntry = 0;
+    std::vector<const Term *> MemoArgs;
+  };
+
+  /// A checkpoint at a both-feasible branch: everything a flipped path
+  /// needs to continue as if it had re-executed the shared prefix.
+  struct Snapshot {
+    std::vector<Frame> Control;
+    std::vector<const Term *> Values;
+    std::vector<const Term *> Locals;
+    std::unordered_map<Reg, const Term *, RegHash> RegCache;
+    std::unordered_map<Reg, bool, RegHash> ReadEmitted;
+    std::unordered_map<Reg, bool, RegHash> Written;
+    size_t EventsLen = 0;
+    size_t PathCondLen = 0;
+    size_t VarCursor = 0;
+    unsigned Depth = 0;
+    uint64_t PathStmts = 0; ///< Logical path length at the fork point.
+    const Stmt *IfStmt = nullptr;
+    const Term *Cond = nullptr;  ///< Simplified condition (path-cond form).
+    const Term *Named = nullptr; ///< Named condition (event form).
+  };
+
+  Executor &X;
+  RunState RS;
+  ExecStats *Stats = nullptr;
+  std::vector<Frame> Control;
+  std::vector<const Term *> Values;
+  std::vector<Snapshot> Snaps; ///< DFS worklist of unexplored flips.
+  /// Per-run summaries of statically-pure helpers, keyed on the hash-consed
+  /// argument terms.  Exact-pointer lookups only, so the (nondeterministic)
+  /// map ordering never leaks into the trace.
+  std::map<std::pair<const sail::FunctionDecl *, std::vector<const Term *>>,
+           const Term *>
+      Memo;
+  uint64_t PathStmts = 0; ///< Logical statements of the current path.
+
+  explicit Machine(Executor &X) : X(X) {}
+
+  void push(FK K, const Stmt *S = nullptr, const Expr *E = nullptr) {
+    Frame Fr;
+    Fr.K = K;
+    Fr.S = S;
+    Fr.E = E;
+    Control.push_back(std::move(Fr));
+  }
+  void pushExpr(const Expr &E) { push(FK::Expr, nullptr, &E); }
+  void pushBlock(const std::vector<sail::StmtPtr> &Body) {
+    Frame Fr;
+    Fr.K = FK::BlockStep;
+    Fr.Body = &Body;
+    Control.push_back(std::move(Fr));
+  }
+  const Term *popValue() {
+    const Term *V = Values.back();
+    Values.pop_back();
+    return V;
+  }
+  /// Tail of the recursive evalExpr for compound results: name every
+  /// intermediate in the unsimplified baseline.
+  void finish(const Term *V) {
+    if (!RS.Opts->SinksOnly)
+      V = X.nameValue(V, RS);
+    Values.push_back(V);
+  }
+
+  /// Return-statement unwinding: pop frames down to (and keeping) the
+  /// innermost CallExit, which then sees Returned = true.
+  void unwindReturn() {
+    for (size_t I = Control.size(); I-- > 0;) {
+      if (Control[I].K == FK::CallExit) {
+        Control[I].Returned = true;
+        Control.resize(I + 1);
+        return;
+      }
+    }
+    Control.clear();
+  }
+
+  void enterFunction(const sail::FunctionDecl &F,
+                     std::vector<const Term *> Args) {
+    if (++RS.Depth > 128) {
+      RS.fail(F.Line, "call depth limit exceeded in " + F.Name);
+      --RS.Depth;
+      return;
+    }
+    bool Cand = F.IsPure;
+    if (Cand) {
+      auto It = Memo.find({&F, Args});
+      if (It != Memo.end()) {
+        ++Stats->HelperMemoHits;
+        --RS.Depth;
+        Values.push_back(It->second);
+        return;
+      }
+    }
+    Frame CE;
+    CE.K = FK::CallExit;
+    CE.F = &F;
+    CE.Saved = std::move(RS.Locals);
+    CE.MemoCand = Cand;
+    CE.EventsAtEntry = RS.Events.size();
+    CE.QueriesAtEntry = RS.SolverQueries;
+    if (Cand)
+      CE.MemoArgs = Args;
+    RS.Locals.assign(F.NumLocals + 1, nullptr); // +1: return slot at back()
+    for (size_t I = 0; I < Args.size(); ++I)
+      RS.Locals[I] = Args[I];
+    RS.Locals.back() = X.TB.constBV(1, 0); // unit default
+    Control.push_back(std::move(CE));
+    push(FK::Stmt, F.Body.get());
+  }
+
+  void takeSnapshot(const Stmt &S, const Term *Cond, const Term *Named) {
+    Snapshot Sn;
+    Sn.Control = Control;
+    Sn.Values = Values;
+    Sn.Locals = RS.Locals;
+    Sn.RegCache = RS.RegCache;
+    Sn.ReadEmitted = RS.ReadEmitted;
+    Sn.Written = RS.Written;
+    Sn.EventsLen = RS.Events.size();
+    Sn.PathCondLen = RS.PathCond.size();
+    Sn.VarCursor = RS.VarCursor;
+    Sn.Depth = RS.Depth;
+    Sn.PathStmts = PathStmts;
+    Sn.IfStmt = &S;
+    Sn.Cond = Cond;
+    Sn.Named = Named;
+    Snaps.push_back(std::move(Sn));
+  }
+
+  /// Restores the most recent checkpoint and enters the flipped (else)
+  /// side: the shared prefix is NOT re-executed, which is the engine's
+  /// entire reason to exist.
+  void resume() {
+    Snapshot Sn = std::move(Snaps.back());
+    Snaps.pop_back();
+    Stats->StmtsSkippedBySnapshot += Sn.PathStmts;
+    RS.Events.resize(Sn.EventsLen);
+    RS.PathCond.resize(Sn.PathCondLen);
+    RS.RegCache = std::move(Sn.RegCache);
+    RS.ReadEmitted = std::move(Sn.ReadEmitted);
+    RS.Written = std::move(Sn.Written);
+    RS.Locals = std::move(Sn.Locals);
+    RS.VarCursor = Sn.VarCursor;
+    RS.Depth = Sn.Depth;
+    Control = std::move(Sn.Control);
+    Values = std::move(Sn.Values);
+    PathStmts = Sn.PathStmts;
+    // Mirror decideBranch's replay of a flipped Both decision: assert the
+    // negated named condition and take the else side.
+    RS.Events.push_back(Event::assertE(X.TB.notTerm(Sn.Named)));
+    RS.PathCond.push_back(X.TB.notTerm(Sn.Cond));
+    pushBlock(Sn.IfStmt->Else);
+  }
+
+  void execStmtFrame(const Stmt &S) {
+    ++RS.Stmts;
+    ++PathStmts;
+    if (RS.guardTripped())
+      return;
+    switch (S.Kind) {
+    case StmtKind::Block:
+      pushBlock(S.Body);
+      return;
+    case StmtKind::Let:
+    case StmtKind::Assign:
+      push(FK::AssignLocal, &S);
+      pushExpr(*S.Value);
+      return;
+    case StmtKind::RegWrite:
+      push(FK::WriteReg, &S);
+      pushExpr(*S.Value);
+      return;
+    case StmtKind::If:
+      push(FK::IfCond, &S);
+      pushExpr(*S.Value);
+      return;
+    case StmtKind::ExprStmt:
+      push(FK::Drop, &S);
+      pushExpr(*S.Value);
+      return;
+    case StmtKind::Return:
+      if (S.Value) {
+        push(FK::ReturnValue, &S);
+        pushExpr(*S.Value);
+      } else {
+        unwindReturn();
+      }
+      return;
+    case StmtKind::Throw:
+      RS.fail(S.Line, "reachable model exception: " + S.Message);
+      return;
+    case StmtKind::Assert:
+      push(FK::AssertCond, &S);
+      pushExpr(*S.Value);
+      return;
+    }
+    RS.fail(S.Line, "internal: unhandled statement");
+  }
+
+  void evalExprFrame(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::BitsLit:
+      Values.push_back(X.TB.constBV(E.BitsVal));
+      return;
+    case ExprKind::BoolLit:
+      Values.push_back(X.TB.constBool(E.BoolVal));
+      return;
+    case ExprKind::IntLit:
+      RS.fail(E.Line, "internal: unresolved decimal literal");
+      return;
+    case ExprKind::VarRef: {
+      const Term *V = RS.Locals[size_t(E.LocalIdx)];
+      if (!V) {
+        RS.fail(E.Line, "internal: read of uninitialized local",
+                support::ErrorCode::Internal);
+        return;
+      }
+      Values.push_back(V);
+      return;
+    }
+    case ExprKind::RegRead:
+      Values.push_back(
+          X.readRegister(Reg(E.Name, E.Field), E.Ty.Width, RS));
+      return;
+    case ExprKind::Call:
+      evalCallFrame(E);
+      return;
+    case ExprKind::Unary:
+      push(FK::ApplyUnary, nullptr, &E);
+      pushExpr(*E.Args[0]);
+      return;
+    case ExprKind::Binary:
+      push(FK::ApplyBinary, nullptr, &E);
+      pushExpr(*E.Args[1]); // dispatched second (operand order preserved)
+      pushExpr(*E.Args[0]); // dispatched first
+      return;
+    case ExprKind::IfExpr:
+      push(FK::IfExprCond, nullptr, &E);
+      pushExpr(*E.Args[0]);
+      return;
+    case ExprKind::Slice:
+      push(FK::ApplySlice, nullptr, &E);
+      pushExpr(*E.Args[0]);
+      return;
+    }
+    RS.fail(E.Line, "internal: unhandled expression");
+  }
+
+  void evalCallFrame(const Expr &E) {
+    switch (E.BuiltinKind) {
+    case Builtin::ZeroExtend:
+    case Builtin::SignExtend:
+    case Builtin::Truncate:
+      push(FK::ApplyExt, nullptr, &E);
+      pushExpr(*E.Args[0]);
+      return;
+    case Builtin::ReverseBits:
+      push(FK::ApplyRev, nullptr, &E);
+      pushExpr(*E.Args[0]);
+      return;
+    case Builtin::ReadMem:
+      push(FK::ReadMemFin, nullptr, &E);
+      pushExpr(*E.Args[0]);
+      return;
+    case Builtin::WriteMem:
+      push(FK::WriteMemFin, nullptr, &E);
+      pushExpr(*E.Args[1]); // data, dispatched second
+      pushExpr(*E.Args[0]); // address, dispatched first
+      return;
+    case Builtin::None:
+      break;
+    }
+    push(FK::CallArgsDone, nullptr, &E);
+    for (size_t I = E.Args.size(); I-- > 0;)
+      pushExpr(*E.Args[I]); // reversed push = in-order dispatch
+  }
+
+  /// Decides a symbolic branch condition: the solver prunes one-sided
+  /// branches exactly as decideBranch does; a both-feasible branch takes a
+  /// checkpoint instead of recording a Decision.
+  void decide(const Frame &Fr) {
+    const Stmt &S = *Fr.S;
+    const Term *C = popValue();
+    const Term *CS = X.RW.simplify(C);
+    if (CS->kind() == smt::Kind::ConstBool) {
+      pushBlock(CS->constBool() ? S.Body : S.Else);
+      return;
+    }
+    std::vector<const Term *> Base = RS.PathCond;
+    Base.push_back(CS);
+    RS.SolverQueries += 2;
+    smt::Result TrueRes = X.Solver.check(Base);
+    Base.back() = X.TB.notTerm(CS);
+    smt::Result FalseRes = X.Solver.check(Base);
+    if (TrueRes == smt::Result::Unknown ||
+        FalseRes == smt::Result::Unknown) {
+      RS.failGuard(RS.CancelFlag &&
+                           RS.CancelFlag->load(std::memory_order_relaxed)
+                       ? support::ErrorCode::Cancelled
+                       : support::ErrorCode::SolverBudgetExceeded,
+                   "solver gave up deciding a branch condition");
+      return;
+    }
+    bool TrueSat = TrueRes == smt::Result::Sat;
+    bool FalseSat = FalseRes == smt::Result::Sat;
+    if (!TrueSat && !FalseSat) {
+      RS.failGuard(support::ErrorCode::Internal,
+                   "internal: path condition became unsatisfiable");
+      return;
+    }
+    if (TrueSat != FalseSat) {
+      ++RS.PrunedBranches;
+      pushBlock(TrueSat ? S.Body : S.Else);
+      return;
+    }
+    // Both feasible: name the condition (shared prefix), checkpoint, then
+    // assert the chosen side (head of the divergent suffix, Fig. 6).
+    const Term *Named = X.nameValue(CS, RS);
+    takeSnapshot(S, CS, Named);
+    RS.Events.push_back(Event::assertE(Named));
+    RS.PathCond.push_back(CS);
+    pushBlock(S.Body);
+  }
+
+  void step() {
+    Frame Fr = std::move(Control.back());
+    Control.pop_back();
+    switch (Fr.K) {
+    case FK::Stmt:
+      execStmtFrame(*Fr.S);
+      return;
+    case FK::BlockStep: {
+      if (Fr.Idx >= Fr.Body->size())
+        return;
+      const Stmt *Child = (*Fr.Body)[Fr.Idx].get();
+      ++Fr.Idx;
+      Control.push_back(std::move(Fr));
+      push(FK::Stmt, Child);
+      return;
+    }
+    case FK::AssignLocal:
+      RS.Locals[size_t(Fr.S->LocalIdx)] = popValue();
+      return;
+    case FK::WriteReg:
+      X.writeRegister(Reg(Fr.S->Name, Fr.S->Field), popValue(), RS);
+      return;
+    case FK::IfCond:
+      decide(Fr);
+      return;
+    case FK::Drop:
+      popValue();
+      return;
+    case FK::ReturnValue:
+      RS.Locals.back() = popValue();
+      unwindReturn();
+      return;
+    case FK::AssertCond: {
+      const Stmt &S = *Fr.S;
+      const Term *CS = X.RW.simplify(popValue());
+      if (CS->kind() == smt::Kind::ConstBool) {
+        if (!CS->constBool())
+          RS.fail(S.Line, "model assertion failed: " + S.Message);
+        return;
+      }
+      std::vector<const Term *> Query = RS.PathCond;
+      Query.push_back(X.TB.notTerm(CS));
+      ++RS.SolverQueries;
+      smt::Result QR = X.Solver.check(Query);
+      if (QR == smt::Result::Unknown)
+        RS.failGuard(support::ErrorCode::SolverBudgetExceeded,
+                     "solver gave up on model assertion: " + S.Message);
+      else if (QR == smt::Result::Sat)
+        RS.fail(S.Line, "model assertion not provable: " + S.Message);
+      return;
+    }
+    case FK::Expr:
+      evalExprFrame(*Fr.E);
+      return;
+    case FK::ApplyUnary: {
+      const Term *V = popValue();
+      switch (Fr.E->UOp) {
+      case UnOp::BoolNot:
+        finish(X.TB.notTerm(V));
+        return;
+      case UnOp::BvNot:
+        finish(X.TB.bvNot(V));
+        return;
+      case UnOp::BvNeg:
+        finish(X.TB.bvNeg(V));
+        return;
+      }
+      return;
+    }
+    case FK::ApplyBinary: {
+      const Term *R = popValue();
+      const Term *L = popValue();
+      smt::TermBuilder &TB = X.TB;
+      switch (Fr.E->BOp) {
+      case BinOp::BoolAnd:
+        finish(TB.andTerm(L, R));
+        return;
+      case BinOp::BoolOr:
+        finish(TB.orTerm(L, R));
+        return;
+      case BinOp::Eq:
+        finish(TB.eqTerm(L, R));
+        return;
+      case BinOp::Ne:
+        finish(TB.notTerm(TB.eqTerm(L, R)));
+        return;
+      case BinOp::Add:
+        finish(TB.bvAdd(L, R));
+        return;
+      case BinOp::Sub:
+        finish(TB.bvSub(L, R));
+        return;
+      case BinOp::Mul:
+        finish(TB.bvMul(L, R));
+        return;
+      case BinOp::UDiv:
+        finish(TB.bvUDiv(L, R));
+        return;
+      case BinOp::URem:
+        finish(TB.bvURem(L, R));
+        return;
+      case BinOp::BvAnd:
+        finish(TB.bvAnd(L, R));
+        return;
+      case BinOp::BvOr:
+        finish(TB.bvOr(L, R));
+        return;
+      case BinOp::BvXor:
+        finish(TB.bvXor(L, R));
+        return;
+      case BinOp::Shl:
+        finish(TB.bvShl(L, TB.zextTo(L->width(), R)));
+        return;
+      case BinOp::LShr:
+        finish(TB.bvLShr(L, TB.zextTo(L->width(), R)));
+        return;
+      case BinOp::AShr:
+        finish(TB.bvAShr(L, TB.zextTo(L->width(), R)));
+        return;
+      case BinOp::ULt:
+        finish(TB.bvUlt(L, R));
+        return;
+      case BinOp::ULe:
+        finish(TB.bvUle(L, R));
+        return;
+      case BinOp::SLt:
+        finish(TB.bvSlt(L, R));
+        return;
+      case BinOp::SLe:
+        finish(TB.bvSle(L, R));
+        return;
+      case BinOp::Concat:
+        finish(TB.concat(L, R));
+        return;
+      }
+      return;
+    }
+    case FK::IfExprCond: {
+      const Term *C = popValue();
+      const Term *CS = X.RW.simplify(C);
+      if (CS->kind() == smt::Kind::ConstBool) {
+        // Tail position in the recursive engine: the chosen arm's own
+        // dispatch decides naming, no extra finish() here.
+        pushExpr(*Fr.E->Args[CS->constBool() ? 1 : 2]);
+        return;
+      }
+      Frame J;
+      J.K = FK::IteJoin;
+      J.E = Fr.E;
+      J.T = CS;
+      Control.push_back(std::move(J));
+      pushExpr(*Fr.E->Args[2]); // else, dispatched second
+      pushExpr(*Fr.E->Args[1]); // then, dispatched first
+      return;
+    }
+    case FK::IteJoin: {
+      const Term *El = popValue();
+      const Term *Th = popValue();
+      finish(X.TB.iteTerm(Fr.T, Th, El));
+      return;
+    }
+    case FK::ApplySlice:
+      finish(X.TB.extract(Fr.E->SliceHi, Fr.E->SliceLo, popValue()));
+      return;
+    case FK::ApplyExt: {
+      const Term *V = popValue();
+      const Expr &E = *Fr.E;
+      // Builtins return raw (early-return in the recursive engine: no
+      // naming even in the unsimplified baseline).
+      if (E.BuiltinKind == Builtin::Truncate) {
+        Values.push_back(X.TB.extract(E.ExtWidth - 1, 0, V));
+        return;
+      }
+      unsigned Extra = E.ExtWidth - V->width();
+      Values.push_back(E.BuiltinKind == Builtin::ZeroExtend
+                           ? X.TB.zeroExtend(Extra, V)
+                           : X.TB.signExtend(Extra, V));
+      return;
+    }
+    case FK::ApplyRev: {
+      const Term *V = popValue();
+      if (V->kind() == smt::Kind::ConstBV) {
+        Values.push_back(X.TB.constBV(V->constBV().reverseBits()));
+        return;
+      }
+      const Term *R = X.TB.extract(0, 0, V);
+      for (unsigned I = 1; I < V->width(); ++I)
+        R = X.TB.concat(R, X.TB.extract(I, I, V));
+      Values.push_back(R);
+      return;
+    }
+    case FK::ReadMemFin: {
+      const Term *A = popValue();
+      const Term *V =
+          X.pooledVar(Sort::bitvec(Fr.E->MemBytes * 8), RS);
+      RS.Events.push_back(Event::declareConst(V));
+      RS.Events.push_back(Event::readMem(V, A, Fr.E->MemBytes));
+      Values.push_back(V);
+      return;
+    }
+    case FK::WriteMemFin: {
+      const Term *D = popValue();
+      const Term *A = popValue();
+      const Term *ND = X.nameValue(D, RS);
+      RS.Events.push_back(Event::writeMem(A, ND, Fr.E->MemBytes));
+      Values.push_back(X.TB.constBV(1, 0)); // unit placeholder
+      return;
+    }
+    case FK::CallArgsDone: {
+      size_t N = Fr.E->Args.size();
+      std::vector<const Term *> Args(Values.end() - ptrdiff_t(N),
+                                     Values.end());
+      Values.resize(Values.size() - N);
+      enterFunction(*Fr.E->Callee, std::move(Args));
+      return;
+    }
+    case FK::CallExit: {
+      const Term *Ret = RS.Locals.back();
+      RS.Locals = std::move(Fr.Saved);
+      --RS.Depth;
+      if (!Fr.Returned && !Fr.F->RetTy.isUnit()) {
+        RS.fail(Fr.F->Line,
+                "function " + Fr.F->Name + " fell off the end");
+        return;
+      }
+      // A candidate's summary is stored only if the call was dynamically
+      // effect-free on this path: no events (covers forks, register and
+      // memory traffic, and baseline-mode naming) and no solver queries
+      // (covers prunes and asserts, whose feasibility is path-dependent).
+      if (Fr.MemoCand && RS.Events.size() == Fr.EventsAtEntry &&
+          RS.SolverQueries == Fr.QueriesAtEntry && Ret)
+        Memo.emplace(std::make_pair(Fr.F, std::move(Fr.MemoArgs)), Ret);
+      Values.push_back(Ret);
+      return;
+    }
+    }
+  }
+};
+
+ExecResult Executor::runSnapshot(const OpcodeSpec &Op, const Assumptions &A,
+                                 const ExecOptions &Opts) {
+  ExecResult Res;
+  auto failRun = [&Res](support::ErrorCode C,
+                        const std::string &Msg) -> ExecResult & {
+    Res.Ok = false;
+    Res.Error = Msg;
+    Res.D = support::Diag::error(C, "executor", Msg);
+    return Res;
+  };
+
+  auto Deadline = installGuards(Solver, Opts);
+
+  const sail::FunctionDecl *Decode = M.findFunction("decode");
+  if (!Decode || Decode->Params.size() != 1 ||
+      Decode->Params[0].Ty != sail::Type::bits(32)) {
+    return failRun(support::ErrorCode::ModelError,
+                   "model has no decode(bits(32)) entry point");
+  }
+
+  std::vector<const Term *> VarPool;
+  std::vector<std::vector<Event>> PathEvents;
+  ExecStats Stats;
+  uint64_t MemoHitsBefore = Solver.stats().NumMemoHits;
+  uint64_t StoreHitsBefore = Solver.stats().NumStoreHits;
+
+  Machine Mc(*this);
+  Mc.Stats = &Stats;
+  RunState &RS = Mc.RS;
+  RS.A = &A;
+  RS.Opts = &Opts;
+  RS.VarPool = &VarPool;
+  RS.CancelFlag = Opts.Cancel.raw();
+  RS.Deadline = Deadline;
+
+  // The preamble and the decode entry happen ONCE: every fork checkpoint
+  // transitively extends this shared prefix.
+  std::vector<const Term *> OpVars;
+  const Term *Opcode = emitPreamble(Op, A, RS, OpVars);
+  if (RS.failed())
+    return failRun(RS.Code, RS.Error);
+  Res.OpcodeVars = std::move(OpVars);
+  Mc.enterFunction(*Decode, {Opcode});
+
+  while (true) {
+    // Guard placement mirrors the replay loop: budgets are checked before
+    // each path is (re)started, so failure attribution is identical.
+    if (PathEvents.size() >= Opts.MaxPaths) {
+      return failRun(support::ErrorCode::PathBudgetExceeded,
+                     "path budget exceeded (model blow-up?)");
+    }
+    if (Opts.Cancel.cancelled())
+      return failRun(support::ErrorCode::Cancelled,
+                     "trace generation cancelled");
+    if (Deadline != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() >= Deadline)
+      return failRun(support::ErrorCode::DeadlineExceeded,
+                     "trace generation deadline exceeded");
+
+    while (!Mc.Control.empty() && !RS.failed())
+      Mc.step();
+    if (RS.failed())
+      return failRun(RS.Code == support::ErrorCode::Ok
+                         ? support::ErrorCode::ModelError
+                         : RS.Code,
+                     RS.Error);
+    PathEvents.push_back(RS.Events); // copy: checkpoints share the prefix
+    if (Mc.Snaps.empty())
+      break;
+    Mc.resume();
+  }
+
+  std::vector<size_t> All(PathEvents.size());
+  for (size_t K = 0; K < All.size(); ++K)
+    All[K] = K;
+  std::string MergeErr;
+  Res.Trace = mergePaths(PathEvents, std::move(All), 0, MergeErr);
+  if (!MergeErr.empty())
+    return failRun(support::ErrorCode::Internal, MergeErr);
+  Stats.Paths = unsigned(PathEvents.size());
+  Stats.Events = Res.Trace.countEvents();
+  Stats.PrunedBranches = RS.PrunedBranches;
+  Stats.SolverQueries = RS.SolverQueries;
+  Stats.StmtsExecuted = RS.Stmts;
+  Stats.SolverMemoHits =
+      unsigned(Solver.stats().NumMemoHits - MemoHitsBefore);
+  Stats.SolverStoreHits =
+      unsigned(Solver.stats().NumStoreHits - StoreHitsBefore);
+  Res.Stats = Stats;
+  Res.Ok = true;
+  return Res;
+}
+
+ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
+                         const ExecOptions &Opts) {
+  // Chaos hooks: exec-throw exercises the batch driver's exception
+  // containment, exec-step the ordinary Diag failure path.  Fired here so
+  // both engines sit behind the same fault surface.
+  if (support::FaultInjector::fire(support::FaultSite::ExecThrow))
+    throw std::runtime_error("injected executor fault (exec-throw)");
+  if (support::FaultInjector::fire(support::FaultSite::ExecStep)) {
+    ExecResult Res;
+    Res.Ok = false;
+    Res.Error = "injected executor fault (exec-step)";
+    Res.D = support::Diag::error(support::ErrorCode::InjectedFault,
+                                 "executor", Res.Error);
+    return Res;
+  }
+  return Opts.Engine == ExecEngine::Replay ? runReplay(Op, A, Opts)
+                                           : runSnapshot(Op, A, Opts);
 }

@@ -10,14 +10,18 @@
 /// the mini-Sail model symbolically, pruning branches that are unreachable
 /// under the assumptions with the SMT solver, and emit an ITL trace.
 ///
-/// Path exploration is concolic-style re-execution: each run follows a
-/// recorded decision prefix and extends it at the first undecided symbolic
-/// branch; the resulting linear event sequences are merged into a trace tree
-/// by longest common prefix.  Variable naming is deterministic (a pooled
-/// allocator keyed by event position), so shared prefixes across runs are
-/// event-identical and the merged tree matches Isla's output shape: a shared
-/// prefix, then Cases() whose subtraces begin with Assert() of the branch
-/// condition (Fig. 6).
+/// Path exploration has two engines (ExecEngine).  The production Snapshot
+/// engine runs the model on an explicit frame-stack machine; at each
+/// both-feasible symbolic branch it checkpoints the run state (control and
+/// value stacks, register maps, event/path-condition lengths, pooled-variable
+/// cursor) and pushes the flipped alternative onto a DFS worklist, so shared
+/// prefixes execute exactly once.  The legacy Replay engine re-executes the
+/// whole model per path following a recorded decision prefix.  Both merge
+/// their linear event sequences into a trace tree by longest common prefix,
+/// and variable naming is deterministic (a pooled allocator keyed by event
+/// position), so the two engines are bit-identical: a shared prefix, then
+/// Cases() whose subtraces begin with Assert() of the branch condition
+/// (Fig. 6).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -79,6 +83,22 @@ struct OpcodeSpec {
   bool isConcrete() const { return SymMask.isZero(); }
 };
 
+/// Path-exploration engine.  Snapshot is the production engine: it forks by
+/// checkpointing the run state at each both-feasible branch and restoring it
+/// on backtrack, so shared prefixes execute exactly once.  Replay is the
+/// original concolic engine (re-runs the whole model per path following a
+/// recorded decision prefix), kept as a differential oracle and ablation
+/// baseline.  Both produce bit-identical merged traces, so the engine choice
+/// is NOT part of the trace-cache fingerprint.
+enum class ExecEngine : uint8_t { Snapshot, Replay };
+
+/// Process-wide default engine for newly constructed ExecOptions.  Follows
+/// the same ambient install/restore protocol as ambientTraceCache: set
+/// before a suite run, restore after (the pointer-sized store itself is not
+/// synchronized).
+ExecEngine defaultExecEngine();
+void setDefaultExecEngine(ExecEngine E);
+
 /// Knobs for the E4/E5 ablation benchmarks, plus the per-run resource
 /// guards.  Only the first three fields are semantic (they shape the emitted
 /// trace) and participate in the trace-cache fingerprint; the guards below
@@ -94,6 +114,11 @@ struct ExecOptions {
   bool SinksOnly = true;
   /// Instruction budget safeguard against model bugs.
   unsigned MaxPaths = 64;
+
+  /// Path-exploration engine (bit-identical output either way; excluded
+  /// from the cache fingerprint).  Defaults to the ambient engine so suite
+  /// harnesses can flip a whole run without threading the knob everywhere.
+  ExecEngine Engine = defaultExecEngine();
 
   /// Wall-clock deadline for this one trace generation (0 = none).  Checked
   /// between statements, so a wedged SAT call is bounded separately by the
@@ -118,6 +143,21 @@ struct ExecStats {
   /// SAT call (flipped-branch re-checks repeat heavily).  Derived, not part
   /// of the serialized trace-cache entry format.
   unsigned SolverMemoHits = 0;
+  /// Queries answered by a persistent side-condition store (when one is
+  /// installed via setSolverCache).  Derived, like SolverMemoHits.
+  unsigned SolverStoreHits = 0;
+  /// Model statements actually dispatched across all paths of this run.
+  /// Under the replay engine this is O(paths x model size); the snapshot
+  /// engine re-executes only divergent suffixes.  Derived.
+  uint64_t StmtsExecuted = 0;
+  /// Statements the snapshot engine did NOT re-execute because the shared
+  /// prefix was restored from a checkpoint: the sum over resumed forks of
+  /// the statements executed before the fork point.  Always 0 under the
+  /// replay engine.  Derived.
+  uint64_t StmtsSkippedBySnapshot = 0;
+  /// Calls to statically-pure model helpers answered from the per-run
+  /// (function, argument-terms) summary memo.  Derived.
+  unsigned HelperMemoHits = 0;
 };
 
 /// Result of symbolically executing one opcode.  On failure, D carries the
@@ -145,16 +185,33 @@ class Executor {
 public:
   Executor(const sail::Model &M, smt::TermBuilder &TB);
 
-  /// Symbolically executes `decode(opcode)` under \p A.
+  /// Symbolically executes `decode(opcode)` under \p A, dispatching on
+  /// Opts.Engine.
   ExecResult run(const OpcodeSpec &Op, const Assumptions &A,
                  const ExecOptions &Opts = ExecOptions());
+
+  /// Installs a persistent store for the executor's branch-pruning and
+  /// assertion side-condition queries (nullptr to detach).  The caller
+  /// keeps ownership and must salt the store by the model fingerprint if it
+  /// is shared across models (see cache::SaltedSolverCache).
+  void setSolverCache(smt::SolverCache *C) { Solver.setCache(C); }
 
   /// Cumulative solver statistics (for the Fig. 12 harness).
   const smt::SolverStats &solverStats() const { return Solver.stats(); }
 
 private:
   struct RunState;
-  class PathAbort {}; // thrown only as a control signal on run errors
+  struct Machine; // the snapshot-forking explicit-stack interpreter
+
+  ExecResult runReplay(const OpcodeSpec &Op, const Assumptions &A,
+                       const ExecOptions &Opts);
+  ExecResult runSnapshot(const OpcodeSpec &Op, const Assumptions &A,
+                         const ExecOptions &Opts);
+  /// Emits the shared per-path preamble (assumption events, opcode term).
+  /// On failure marks \p RS failed and returns nullptr.
+  const smt::Term *emitPreamble(const OpcodeSpec &Op, const Assumptions &A,
+                                RunState &RS,
+                                std::vector<const smt::Term *> &OpVars);
 
   const smt::Term *evalExpr(const sail::Expr &E, RunState &RS);
   const smt::Term *evalCall(const sail::Expr &E, RunState &RS);

@@ -192,6 +192,12 @@ struct FunctionDecl {
 
   /// Total number of local slots (params + lets), set by the resolver.
   unsigned NumLocals = 0;
+
+  /// Statically effect-free: no register or memory access, no throw/assert,
+  /// and only calls to pure functions (recursion is conservatively impure).
+  /// Set by the resolver; the executor may memoize calls to pure helpers
+  /// within a run, with a dynamic no-events-emitted check as a second fence.
+  bool IsPure = false;
 };
 
 /// A register declaration: a plain bitvector or a struct of named bitvector

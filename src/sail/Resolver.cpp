@@ -2,6 +2,8 @@
 
 #include "sail/Resolver.h"
 
+#include <unordered_map>
+
 using namespace islaris;
 using namespace islaris::sail;
 
@@ -32,7 +34,92 @@ bool Resolver::run() {
   for (const auto &F : M.Functions)
     if (!resolveFunction(*F))
       return false;
+  classifyPurity();
   return true;
+}
+
+namespace {
+
+/// Purity lattice for the fixed-point below.
+enum class Purity : uint8_t { Unvisited, InProgress, Pure, Impure };
+
+struct PurityScan {
+  std::unordered_map<const FunctionDecl *, Purity> State;
+
+  bool stmtPure(const Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::RegWrite:
+    case StmtKind::Throw:
+    case StmtKind::Assert:
+      // Throw/assert shape the path set (and assert queries the solver), so
+      // a function containing either is never a memoizable summary.
+      return false;
+    case StmtKind::Block: {
+      for (const StmtPtr &C : S.Body)
+        if (!stmtPure(*C))
+          return false;
+      return true;
+    }
+    case StmtKind::If: {
+      if (!exprPure(*S.Value))
+        return false;
+      for (const StmtPtr &C : S.Body)
+        if (!stmtPure(*C))
+          return false;
+      for (const StmtPtr &C : S.Else)
+        if (!stmtPure(*C))
+          return false;
+      return true;
+    }
+    case StmtKind::Let:
+    case StmtKind::Assign:
+    case StmtKind::ExprStmt:
+      return exprPure(*S.Value);
+    case StmtKind::Return:
+      return !S.Value || exprPure(*S.Value);
+    }
+    return false;
+  }
+
+  bool exprPure(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::RegRead:
+      return false;
+    case ExprKind::Call:
+      if (E.BuiltinKind == Builtin::ReadMem ||
+          E.BuiltinKind == Builtin::WriteMem)
+        return false;
+      if (E.BuiltinKind == Builtin::None && !fnPure(*E.Callee))
+        return false;
+      break;
+    default:
+      break;
+    }
+    for (const ExprPtr &A : E.Args)
+      if (!exprPure(*A))
+        return false;
+    return true;
+  }
+
+  bool fnPure(const FunctionDecl &F) {
+    Purity &P = State[&F];
+    if (P == Purity::InProgress)
+      return false; // recursion: conservatively impure
+    if (P != Purity::Unvisited)
+      return P == Purity::Pure;
+    P = Purity::InProgress;
+    bool Pure = stmtPure(*F.Body);
+    State[&F] = Pure ? Purity::Pure : Purity::Impure;
+    return Pure;
+  }
+};
+
+} // namespace
+
+void Resolver::classifyPurity() {
+  PurityScan Scan;
+  for (const auto &F : M.Functions)
+    F->IsPure = Scan.fnPure(*F);
 }
 
 bool Resolver::resolveFunction(FunctionDecl &F) {

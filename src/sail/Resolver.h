@@ -42,6 +42,7 @@ private:
   bool resolveStmt(Stmt &S);
   bool resolveExpr(Expr &E);
   bool resolveCall(Expr &E);
+  void classifyPurity();
   Local *lookupLocal(const std::string &Name);
   bool fail(int Line, const std::string &Msg);
 

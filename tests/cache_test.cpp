@@ -392,13 +392,70 @@ TEST(TraceCacheTest, PersistsAcrossCacheInstances) {
 
   // A corrupt entry file degrades to a miss, never to a wrong trace.
   TraceCache C3(Cfg);
-  for (const auto &F : std::filesystem::directory_iterator(Tmp.Path))
-    std::filesystem::resize_file(F.path(), 10);
+  for (const auto &F :
+       std::filesystem::recursive_directory_iterator(Tmp.Path))
+    if (F.is_regular_file())
+      std::filesystem::resize_file(F.path(), 10);
   Verifier V3(frontend::aarch64());
   V3.setTraceCache(&C3);
   setupVerifier(V3);
   ASSERT_TRUE(V3.generateTraces(Err)) << Err;
   EXPECT_EQ(V3.genStats().Executed, 2u);
+}
+
+// Satellite regression: entries are sharded into 256 fan-out
+// subdirectories keyed on the leading fingerprint byte, and a store laid
+// out flat by an older version is still read transparently.
+TEST(TraceCacheTest, ShardedLayoutAndLegacyReadThrough) {
+  TempDir Tmp;
+  TraceCacheConfig Cfg;
+  Cfg.Persist = true;
+  Cfg.Dir = Tmp.Path.string();
+
+  std::string Err;
+  {
+    TraceCache C(Cfg);
+    Verifier V(frontend::aarch64());
+    V.setTraceCache(&C);
+    setupVerifier(V);
+    ASSERT_TRUE(V.generateTraces(Err)) << Err;
+    EXPECT_EQ(C.stats().DiskWrites, 2u);
+  }
+
+  // Every entry file sits one level deep, in a subdirectory named by the
+  // first two hex characters of its own fingerprint.
+  unsigned Files = 0;
+  for (const auto &F :
+       std::filesystem::recursive_directory_iterator(Tmp.Path)) {
+    if (!F.is_regular_file())
+      continue;
+    ++Files;
+    std::string Name = F.path().filename().string();
+    std::string Shard = F.path().parent_path().filename().string();
+    EXPECT_EQ(Shard.size(), 2u);
+    EXPECT_EQ(Name.substr(0, 2), Shard);
+  }
+  EXPECT_EQ(Files, 2u);
+
+  // Flatten the store into the legacy layout; a fresh instance must still
+  // serve every entry from disk.
+  std::vector<std::filesystem::path> Entries;
+  for (const auto &F :
+       std::filesystem::recursive_directory_iterator(Tmp.Path))
+    if (F.is_regular_file())
+      Entries.push_back(F.path());
+  for (const auto &P : Entries)
+    std::filesystem::rename(P, Tmp.Path / P.filename());
+  TraceCache C2(Cfg);
+  Verifier V2(frontend::aarch64());
+  V2.setTraceCache(&C2);
+  setupVerifier(V2);
+  ASSERT_TRUE(V2.generateTraces(Err)) << Err;
+  EXPECT_EQ(V2.genStats().Executed, 0u);
+  EXPECT_EQ(C2.stats().DiskHits, 2u);
+  // First-writer-wins extends across layouts: the legacy files already
+  // hold these entries, so nothing is rewritten into the shards.
+  EXPECT_EQ(C2.stats().DiskWrites, 0u);
 }
 
 TEST(TraceCacheTest, CacheDirResolution) {
@@ -523,8 +580,10 @@ TEST(SideCondTest, PersistsAcrossStoreInstances) {
 
   // Corrupt entries degrade to misses, never to wrong verdicts.
   SideCondStore Store3(Cfg);
-  for (const auto &F : std::filesystem::directory_iterator(Tmp.Path))
-    std::filesystem::resize_file(F.path(), 8);
+  for (const auto &F :
+       std::filesystem::recursive_directory_iterator(Tmp.Path))
+    if (F.is_regular_file())
+      std::filesystem::resize_file(F.path(), 8);
   smt::TermBuilder TB2;
   smt::Solver S2(TB2);
   S2.setCache(&Store3);
@@ -534,6 +593,53 @@ TEST(SideCondTest, PersistsAcrossStoreInstances) {
   ASSERT_EQ(S2.check(), smt::Result::Sat);
   EXPECT_EQ(S2.stats().NumSatCalls, 1u);
   EXPECT_EQ(Store3.stats().Misses, 1u);
+}
+
+// Satellite regression: side-condition entries use the same 256-way
+// sharded layout as the trace cache and read legacy flat stores through.
+TEST(SideCondTest, ShardedLayoutAndLegacyReadThrough) {
+  TempDir Tmp;
+  SideCondConfig Cfg;
+  Cfg.Persist = true;
+  Cfg.Dir = Tmp.Path.string();
+
+  {
+    SideCondStore Store(Cfg);
+    smt::TermBuilder TB;
+    smt::Solver S(TB);
+    S.setCache(&Store);
+    const smt::Term *X = TB.freshVar(smt::Sort::bitvec(16), "x");
+    S.assertTerm(TB.eqTerm(TB.bvAdd(X, TB.constBV(16, 3)),
+                           TB.constBV(16, 10)));
+    ASSERT_EQ(S.check(), smt::Result::Sat);
+    EXPECT_EQ(Store.stats().DiskWrites, 1u);
+  }
+
+  // The entry landed in a two-hex-character shard subdirectory matching
+  // its own fingerprint prefix; then flatten it to the legacy layout and
+  // check a fresh store still answers from disk.
+  std::vector<std::filesystem::path> Entries;
+  for (const auto &F :
+       std::filesystem::recursive_directory_iterator(Tmp.Path))
+    if (F.is_regular_file())
+      Entries.push_back(F.path());
+  for (const auto &P : Entries) {
+    std::string Name = P.filename().string();
+    std::string Shard = P.parent_path().filename().string();
+    EXPECT_EQ(Shard.size(), 2u);
+    EXPECT_EQ(Name.substr(0, 2), Shard);
+    std::filesystem::rename(P, Tmp.Path / Name);
+  }
+  SideCondStore Store2(Cfg);
+  smt::TermBuilder TB;
+  smt::Solver S(TB);
+  S.setCache(&Store2);
+  const smt::Term *X = TB.freshVar(smt::Sort::bitvec(16), "x");
+  S.assertTerm(TB.eqTerm(TB.bvAdd(X, TB.constBV(16, 3)),
+                         TB.constBV(16, 10)));
+  ASSERT_EQ(S.check(), smt::Result::Sat);
+  EXPECT_EQ(S.stats().NumSatCalls, 0u);
+  EXPECT_EQ(Store2.stats().DiskHits, 1u);
 }
 
 // Satellite regression: concurrent writers racing on the SAME keys from

@@ -426,6 +426,15 @@ TEST(MalformedInputTest, SymbolicAtUnknownAddressIsADiag) {
 // Persistent caches: corruption detection and self-repair.
 //===----------------------------------------------------------------------===//
 
+/// On-disk path of an entry under the sharded fan-out layout
+/// (dir/<first hex byte>/<hex><ext>).
+static std::string shardedPath(const std::string &Dir,
+                               const cache::Fingerprint &K,
+                               const std::string &Ext) {
+  std::string Hex = K.toHex();
+  return Dir + "/" + Hex.substr(0, 2) + "/" + Hex + Ext;
+}
+
 TEST(CacheFaultTest, CorruptTraceEntryIsAMissAndSelfRepairs) {
   ScopedDir Dir("trace-corrupt");
   cache::TraceCacheConfig Cfg;
@@ -446,7 +455,7 @@ TEST(CacheFaultTest, CorruptTraceEntryIsAMissAndSelfRepairs) {
   }
 
   // Corrupt the entry on disk.
-  std::string Path = Dir.Path + "/" + Key.toHex() + ".itc";
+  std::string Path = shardedPath(Dir.Path, Key, ".itc");
   ASSERT_TRUE(fs::exists(Path));
   {
     std::ofstream Out(Path, std::ios::trunc);
@@ -488,7 +497,7 @@ TEST(CacheFaultTest, TornWriteIsDetectedOnRead) {
     Key = Rs[0].Key;
   }
   // The torn file WAS published — exactly the failure rename cannot mask.
-  std::string Path = Dir.Path + "/" + Key.toHex() + ".itc";
+  std::string Path = shardedPath(Dir.Path, Key, ".itc");
   ASSERT_TRUE(fs::exists(Path));
 
   cache::TraceCache C2(Cfg);
@@ -510,7 +519,7 @@ TEST(CacheFaultTest, CorruptSideCondEntryIsAMissAndIsRemoved) {
   ASSERT_EQ(S.stats().DiskWrites, 1u);
 
   std::string Path =
-      Dir.Path + "/" + S.key("(goals (= a b))").toHex() + ".scc";
+      shardedPath(Dir.Path, S.key("(goals (= a b))"), ".scc");
   ASSERT_TRUE(fs::exists(Path));
   {
     std::ofstream Out(Path, std::ios::trunc);
@@ -544,12 +553,12 @@ TEST(CacheFaultTest, WriteAndRenameFaultsOnlySuppressTheEntry) {
   EXPECT_TRUE(Rs[0].Ok);
   EXPECT_TRUE(Rs[1].Ok);
   EXPECT_EQ(C.stats().DiskWrites, 0u);
-  // No entry files and no orphaned temp files.
+  // No entry files and no orphaned temp files (empty shard directories
+  // from the aborted writes are fine).
   unsigned Files = 0;
-  for (const auto &E : fs::directory_iterator(Dir.Path)) {
-    (void)E;
-    ++Files;
-  }
+  for (const auto &E : fs::recursive_directory_iterator(Dir.Path))
+    if (E.is_regular_file())
+      ++Files;
   EXPECT_EQ(Files, 0u);
 }
 

@@ -1,0 +1,294 @@
+//===- tests/snapshot_test.cpp - Snapshot-forking engine tests -----------------===//
+//
+// The snapshot engine's contract: traces bit-identical to the replay
+// engine (the differential oracle) while executing strictly fewer model
+// statements on multi-path instructions, plus the purity classification
+// and pure-helper summary memo that ride on it, and the persistent
+// side-condition store wired into the executor's pruning queries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/AArch64.h"
+#include "cache/SideCondCache.h"
+#include "frontend/CaseStudies.h"
+#include "isla/Executor.h"
+#include "models/Models.h"
+#include "sail/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace islaris;
+using namespace islaris::isla;
+using islaris::itl::Reg;
+
+namespace {
+
+Assumptions el1Assumptions() {
+  Assumptions A;
+  A.assume(Reg("PSTATE", "EL"), BitVec(2, 0b01));
+  A.assume(Reg("PSTATE", "SP"), BitVec(1, 1));
+  A.assume(Reg("SCTLR_EL1"), BitVec(64, 0));
+  return A;
+}
+
+/// Runs \p Op under both engines in fresh builders.  The results' traces
+/// point into the builders, so both live here together.
+struct EnginePair {
+  smt::TermBuilder TBr, TBs;
+  ExecResult R, S; ///< Replay / snapshot results.
+
+  EnginePair(const OpcodeSpec &Op, const Assumptions &A) {
+    ExecOptions Rep;
+    Rep.Engine = ExecEngine::Replay;
+    Executor Er(models::aarch64Model(), TBr);
+    R = Er.run(Op, A, Rep);
+
+    ExecOptions Snap;
+    Snap.Engine = ExecEngine::Snapshot;
+    Executor Es(models::aarch64Model(), TBs);
+    S = Es.run(Op, A, Snap);
+  }
+};
+
+/// Bit-identity of the merged trace plus the stats both engines must agree
+/// on.  SolverQueries is deliberately NOT compared: replay legitimately
+/// re-issues per-path assertion checks that the snapshot engine runs once.
+void expectIdentical(const ExecResult &R, const ExecResult &S,
+                     const std::string &What) {
+  ASSERT_EQ(R.Ok, S.Ok) << What << ": " << R.Error << " / " << S.Error;
+  if (!R.Ok)
+    return;
+  EXPECT_EQ(R.Trace.toString(), S.Trace.toString()) << What;
+  EXPECT_EQ(R.Stats.Paths, S.Stats.Paths) << What;
+  EXPECT_EQ(R.Stats.Events, S.Stats.Events) << What;
+  EXPECT_EQ(R.Stats.PrunedBranches, S.Stats.PrunedBranches) << What;
+  ASSERT_EQ(R.OpcodeVars.size(), S.OpcodeVars.size()) << What;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Differential: snapshot vs replay.
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotDifferentialTest, FuzzCorpusBitIdentical) {
+  namespace e = arch::aarch64::enc;
+  // A deterministic corpus spanning the model's shapes: every condition
+  // code of a flag branch, arithmetic over several register selections,
+  // memory, and symbolic opcode fields (immediate and destination).
+  std::vector<std::pair<std::string, OpcodeSpec>> Corpus;
+  for (unsigned C = 0; C < 16; ++C)
+    Corpus.push_back({"bcond-" + std::to_string(C),
+                      OpcodeSpec::concrete(0x54000000u | (0x10u << 5) | C)});
+  for (unsigned D = 0; D < 31; D += 7)
+    Corpus.push_back({"add-rd" + std::to_string(D),
+                      OpcodeSpec::concrete(e::addImm(D, D, D + 1))});
+  Corpus.push_back({"ldr", OpcodeSpec::concrete(e::ldrImm(0, 2, 0, 0))});
+  Corpus.push_back({"str", OpcodeSpec::concrete(e::strImm(0, 2, 1, 0))});
+  Corpus.push_back({"ret", OpcodeSpec::concrete(e::ret())});
+  Corpus.push_back(
+      {"sym-imm", OpcodeSpec::symbolicField(e::addImm(0, 0, 1), 21, 10)});
+  Corpus.push_back(
+      {"sym-rd", OpcodeSpec::symbolicField(e::addImm(0, 0, 1), 4, 0)});
+
+  for (const auto &[Name, Op] : Corpus) {
+    EnginePair P(Op, el1Assumptions());
+    expectIdentical(P.R, P.S, Name);
+  }
+  // And the unconstrained flag branch, which forks.
+  EnginePair P(OpcodeSpec::concrete(0x54000000u | (0x7fff0u << 5)),
+               Assumptions());
+  expectIdentical(P.R, P.S, "beq-unconstrained");
+  EXPECT_GE(P.S.Stats.Paths, 2u);
+}
+
+TEST(SnapshotDifferentialTest, AllNineCaseStudiesAgree) {
+  frontend::SuiteOptions Rep;
+  Rep.Engine = ExecEngine::Replay;
+  std::vector<frontend::CaseResult> R = frontend::runAllCaseStudies(Rep);
+
+  frontend::SuiteOptions Snap;
+  Snap.Engine = ExecEngine::Snapshot;
+  std::vector<frontend::CaseResult> S = frontend::runAllCaseStudies(Snap);
+
+  ASSERT_EQ(R.size(), S.size());
+  for (size_t I = 0; I < R.size(); ++I) {
+    EXPECT_EQ(R[I].Ok, S[I].Ok) << R[I].Name;
+    EXPECT_EQ(R[I].ItlEvents, S[I].ItlEvents) << R[I].Name;
+    EXPECT_EQ(R[I].AsmInstrs, S[I].AsmInstrs) << R[I].Name;
+    EXPECT_EQ(R[I].Proof.PathsVerified, S[I].Proof.PathsVerified)
+        << R[I].Name;
+    EXPECT_EQ(R[I].Proof.EventsProcessed, S[I].Proof.EventsProcessed)
+        << R[I].Name;
+    EXPECT_EQ(R[I].Proof.Entailments, S[I].Proof.Entailments) << R[I].Name;
+    // The whole point: the snapshot engine never re-executes a shared
+    // prefix, the replay engine always does.
+    EXPECT_LE(S[I].IslaStmts, R[I].IslaStmts) << R[I].Name;
+    EXPECT_EQ(R[I].IslaStmtsSkipped, 0u) << R[I].Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The performance contract.
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotPerfTest, MultiPathStmtsAtLeastHalved) {
+  namespace e = arch::aarch64::enc;
+  // A symbolic destination register forks through the register-select
+  // chain: 32 paths sharing one long decode prefix.
+  OpcodeSpec Op = OpcodeSpec::symbolicField(e::addImm(0, 0, 1), 4, 0);
+  EnginePair P(Op, el1Assumptions());
+  expectIdentical(P.R, P.S, "sym-rd");
+  ASSERT_GT(P.S.Stats.Paths, 1u);
+
+  // Replay re-dispatches the shared prefix once per path; the snapshot
+  // engine restores it from checkpoints, so it executes at most half the
+  // statements and the skipped count accounts for the difference.
+  EXPECT_LE(P.S.Stats.StmtsExecuted * 2, P.R.Stats.StmtsExecuted);
+  EXPECT_GT(P.S.Stats.StmtsSkippedBySnapshot, 0u);
+  EXPECT_EQ(P.R.Stats.StmtsSkippedBySnapshot, 0u);
+  // Strictly below paths x per-path cost (replay's figure is exactly the
+  // per-path sum, so this is the "shared prefixes execute once" claim).
+  EXPECT_LT(P.S.Stats.StmtsExecuted, P.R.Stats.StmtsExecuted);
+}
+
+//===----------------------------------------------------------------------===//
+// Purity classification and the pure-helper summary memo.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *MemoArch = R"(
+register X0 : bits(64)
+register X1 : bits(64)
+register _PC : bits(64)
+
+function dbl(x : bits(64)) -> bits(64) = {
+  return x + x;
+}
+
+function quad(x : bits(64)) -> bits(64) = {
+  return dbl(dbl(x));
+}
+
+function bump() -> unit = {
+  X1 = X1 + 0x0000000000000001;
+}
+
+function decode(opcode : bits(32)) -> unit = {
+  X1 = dbl(X0);
+  X1 = dbl(X0);
+  X1 = quad(X0);
+  bump();
+  _PC = _PC + 0x0000000000000004;
+}
+)";
+
+std::unique_ptr<sail::Model> parseMemoArch() {
+  std::string Err;
+  auto M = sail::parseModel(MemoArch, Err);
+  EXPECT_TRUE(M != nullptr) << Err;
+  return M;
+}
+
+const sail::FunctionDecl *findFn(const sail::Model &M,
+                                 const std::string &Name) {
+  for (const auto &F : M.Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+} // namespace
+
+TEST(PurityTest, ClassifierSeparatesPureFromEffectful) {
+  auto M = parseMemoArch();
+  ASSERT_TRUE(M);
+  ASSERT_TRUE(findFn(*M, "dbl"));
+  EXPECT_TRUE(findFn(*M, "dbl")->IsPure);
+  ASSERT_TRUE(findFn(*M, "quad"));
+  EXPECT_TRUE(findFn(*M, "quad")->IsPure); // pure via pure callee
+  ASSERT_TRUE(findFn(*M, "bump"));
+  EXPECT_FALSE(findFn(*M, "bump")->IsPure); // writes a register
+  ASSERT_TRUE(findFn(*M, "decode"));
+  EXPECT_FALSE(findFn(*M, "decode")->IsPure);
+}
+
+TEST(PurityTest, ProductionModelsClassifyRegisterAccessAsImpure) {
+  // Spot check on the real models: anything touching registers or memory
+  // must be impure, or the memo could replay stale machine state.
+  const sail::Model &Arm = models::aarch64Model();
+  for (const char *N : {"decode", "rget", "rset", "aget_SP", "aset_SP"}) {
+    const sail::FunctionDecl *F = findFn(Arm, N);
+    if (F)
+      EXPECT_FALSE(F->IsPure) << N;
+  }
+}
+
+TEST(HelperMemoTest, RepeatedPureCallsHitTheMemo) {
+  auto M = parseMemoArch();
+  ASSERT_TRUE(M);
+
+  ExecOptions Rep;
+  Rep.Engine = ExecEngine::Replay;
+  smt::TermBuilder TBr;
+  Executor Er(*M, TBr);
+  ExecResult R = Er.run(OpcodeSpec::concrete(0), Assumptions(), Rep);
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  ExecOptions Snap;
+  Snap.Engine = ExecEngine::Snapshot;
+  smt::TermBuilder TBs;
+  Executor Es(*M, TBs);
+  ExecResult S = Es.run(OpcodeSpec::concrete(0), Assumptions(), Snap);
+  ASSERT_TRUE(S.Ok) << S.Error;
+
+  // dbl(X0) is called four times with the same argument term (the cached
+  // X0 read): the 2nd, and both inner calls of quad's outer dbl(dbl(X0))
+  // — the inner dbl(X0) and the outer dbl(v) after the first compute.
+  EXPECT_GE(S.Stats.HelperMemoHits, 2u);
+  // Memoization must not change the trace.
+  EXPECT_EQ(R.Trace.toString(), S.Trace.toString());
+  EXPECT_EQ(R.Stats.Events, S.Stats.Events);
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent side-condition store wired into branch pruning.
+//===----------------------------------------------------------------------===//
+
+TEST(ExecutorSideCondTest, SecondRunAnswersPruningFromStore) {
+  // In-memory store shared by two fresh (builder, executor) pairs — the
+  // shape of two batch jobs or two processes sharing a cache dir.
+  cache::SideCondStore Store{cache::SideCondConfig()};
+
+  OpcodeSpec Beq = OpcodeSpec::concrete(0x54000000u | (0x7fff0u << 5));
+
+  smt::TermBuilder TB1;
+  Executor E1(models::aarch64Model(), TB1);
+  E1.setSolverCache(&Store);
+  ExecResult R1 = E1.run(Beq, Assumptions());
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  ASSERT_GT(R1.Stats.SolverQueries, 0u);
+  EXPECT_EQ(R1.Stats.SolverStoreHits, 0u); // cold store
+
+  smt::TermBuilder TB2;
+  Executor E2(models::aarch64Model(), TB2);
+  E2.setSolverCache(&Store);
+  ExecResult R2 = E2.run(Beq, Assumptions());
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_GT(R2.Stats.SolverStoreHits, 0u);
+  EXPECT_EQ(R1.Trace.toString(), R2.Trace.toString());
+
+  // The salted view keys the same queries differently, so a different
+  // model's fingerprint can never serve these entries.
+  cache::Fingerprint OtherSalt;
+  OtherSalt.Lo = 0x1234;
+  cache::SaltedSolverCache Salted(Store, OtherSalt);
+  smt::TermBuilder TB3;
+  Executor E3(models::aarch64Model(), TB3);
+  E3.setSolverCache(&Salted);
+  ExecResult R3 = E3.run(Beq, Assumptions());
+  ASSERT_TRUE(R3.Ok) << R3.Error;
+  EXPECT_EQ(R3.Stats.SolverStoreHits, 0u);
+  EXPECT_EQ(R3.Trace.toString(), R1.Trace.toString());
+}
