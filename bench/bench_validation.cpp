@@ -11,6 +11,7 @@
 #include "arch/RiscV.h"
 #include "isla/Executor.h"
 #include "models/Models.h"
+#include "support/Guard.h"
 #include "validation/Validator.h"
 
 #include <chrono>
@@ -30,6 +31,12 @@ bool validateSet(const char *Title, const sail::Model &M,
               "--------------------\n");
   smt::TermBuilder TB;
   isla::Executor Ex(M, TB);
+  // Harness guards (ROADMAP follow-up): a wedged solver fails one opcode's
+  // row with an attributed guard Diag instead of hanging the bench.
+  support::RunLimits Limits;
+  Limits.SolverCheckSeconds = 10;
+  Limits.InstrSeconds = 120;
+  support::CancelToken Cancel = support::CancelToken::create();
   bool AllOk = true;
   for (const auto &[Name, Op] : Ops) {
     auto T0 = std::chrono::steady_clock::now();
@@ -42,7 +49,8 @@ bool validateSet(const char *Title, const sail::Model &M,
       continue;
     }
     validation::ValidationResult VR = validation::validateInstruction(
-        M, TB, Op, isla::Assumptions(), R.Trace, PcName, 8, Op);
+        M, TB, Op, isla::Assumptions(), R.Trace, PcName, 8, Op, &Limits,
+        Cancel);
     double Ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - T0)
                     .count();

@@ -1,0 +1,229 @@
+//===- cache/Journal.cpp - Append-only run journal ----------------------------===//
+
+#include "cache/Journal.h"
+
+#include "cache/TraceCache.h" // fnv1a64, fsync policy shared with the stores
+#include "support/FaultInjector.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace islaris;
+using namespace islaris::cache;
+
+namespace fs = std::filesystem;
+
+static constexpr std::string_view JournalMagic = "(islaris-journal 1 ";
+
+static bool fsyncEnabled() {
+  const char *E = std::getenv("ISLARIS_NO_FSYNC");
+  return !E || !*E;
+}
+
+RunJournal::RunJournal(std::string Path) : FilePath(std::move(Path)) {}
+
+RunJournal::~RunJournal() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+void RunJournal::noteDiag(support::Diag D) {
+  if (Diags.size() < 64)
+    Diags.push_back(std::move(D));
+}
+
+std::string RunJournal::encodeRecord(const Fingerprint &K,
+                                     const std::string &Payload) {
+  std::ostringstream OS;
+  OS << JournalMagic << K.toHex() << " " << Payload.size() << " "
+     << std::hex << std::setfill('0') << std::setw(16) << fnv1a64(Payload)
+     << ")\n"
+     << Payload << "\n";
+  return OS.str();
+}
+
+static bool isHex(std::string_view S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (!((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f') ||
+          (C >= 'A' && C <= 'F')))
+      return false;
+  return true;
+}
+
+static bool isDigits(std::string_view S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (C < '0' || C > '9')
+      return false;
+  return true;
+}
+
+bool RunJournal::open() {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Fd >= 0)
+    return true;
+  std::error_code EC;
+  fs::path Parent = fs::path(FilePath).parent_path();
+  if (!Parent.empty())
+    fs::create_directories(Parent, EC);
+
+  // Recovery scan: accept the longest prefix of valid records; everything
+  // after the first malformed byte is a torn tail from a crash mid-append
+  // and is truncated away (it cannot describe completed work: the append
+  // protocol syncs the record before the job is reported complete).
+  std::string Text;
+  {
+    std::ifstream In(FilePath, std::ios::binary);
+    if (In) {
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      Text = Buf.str();
+    }
+  }
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Start = Pos;
+    if (Text.compare(Pos, JournalMagic.size(), JournalMagic) != 0)
+      break;
+    size_t NL = Text.find('\n', Pos);
+    if (NL == std::string::npos)
+      break;
+    // "<keyhex> <len> <fnv64-hex>)" between the magic and the newline.
+    std::string_view Header(Text.data() + Pos + JournalMagic.size(),
+                            NL - Pos - JournalMagic.size());
+    size_t Sp1 = Header.find(' ');
+    size_t Sp2 = Sp1 == std::string_view::npos
+                     ? std::string_view::npos
+                     : Header.find(' ', Sp1 + 1);
+    if (Sp2 == std::string_view::npos || Header.empty() ||
+        Header.back() != ')')
+      break;
+    std::string_view KeyHex = Header.substr(0, Sp1);
+    std::string_view Len = Header.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+    std::string_view Sum = Header.substr(Sp2 + 1, Header.size() - Sp2 - 2);
+    Fingerprint K;
+    if (!isHex(KeyHex) || !Fingerprint::fromHex(std::string(KeyHex), K) ||
+        !isDigits(Len) || Sum.size() != 16 || !isHex(Sum))
+      break;
+    uint64_t WantLen = std::strtoull(std::string(Len).c_str(), nullptr, 10);
+    uint64_t WantSum = std::strtoull(std::string(Sum).c_str(), nullptr, 16);
+    size_t PayloadStart = NL + 1;
+    // The payload plus its trailing newline must be fully present.
+    if (PayloadStart + WantLen + 1 > Text.size())
+      break;
+    std::string_view Payload(Text.data() + PayloadStart, WantLen);
+    if (Text[PayloadStart + WantLen] != '\n' || fnv1a64(Payload) != WantSum)
+      break;
+    Map[K] = std::string(Payload); // last record for a key wins
+    Pos = PayloadStart + WantLen + 1;
+    (void)Start;
+  }
+  if (Pos < Text.size()) {
+    TornBytes = Text.size() - Pos;
+    if (::truncate(FilePath.c_str(), off_t(Pos)) != 0) {
+      noteDiag(support::Diag::error(
+          support::ErrorCode::IoError, "journal",
+          "could not truncate torn journal tail: " + FilePath));
+      return false;
+    }
+    noteDiag(support::Diag(
+        support::ErrorCode::ChecksumMismatch, "journal",
+        "truncated " + std::to_string(TornBytes) +
+            " bytes of torn journal tail (crash mid-append): " + FilePath,
+        support::Severity::Warning));
+  }
+
+  Fd = ::open(FilePath.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (Fd < 0) {
+    noteDiag(support::Diag::error(
+        support::ErrorCode::IoError, "journal",
+        "could not open run journal for append: " + FilePath));
+    return false;
+  }
+  return true;
+}
+
+bool RunJournal::append(const Fingerprint &K, const std::string &Payload) {
+  using support::FaultInjector;
+  using support::FaultSite;
+  std::string Record = encodeRecord(K, Payload);
+  std::lock_guard<std::mutex> L(Mu);
+  if (Fd < 0)
+    return false;
+  // Crash-storm probe #1: die before any byte of the record lands — the job
+  // simply re-runs on resume.
+  if (FaultInjector::fire(FaultSite::CrashJournal))
+    std::_Exit(42);
+  // The record is written in two halves with a crash probe between them so
+  // the storm harness can manufacture a genuinely torn tail (a single
+  // write(2) would be all-or-nothing on most filesystems).
+  size_t Half = Record.size() / 2;
+  auto WriteAll = [&](const char *Data, size_t Size) {
+    size_t Off = 0;
+    while (Off < Size) {
+      ssize_t N = ::write(Fd, Data + Off, Size - Off);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        return false;
+      }
+      Off += size_t(N);
+    }
+    return true;
+  };
+  if (!WriteAll(Record.data(), Half)) {
+    noteDiag(support::Diag::error(support::ErrorCode::IoError, "journal",
+                                  "journal append failed: " + FilePath));
+    return false;
+  }
+  // Crash-storm probe #2: die with half a record on disk — recovery must
+  // truncate it away.
+  if (FaultInjector::fire(FaultSite::CrashJournal))
+    std::_Exit(42);
+  if (!WriteAll(Record.data() + Half, Record.size() - Half)) {
+    noteDiag(support::Diag::error(support::ErrorCode::IoError, "journal",
+                                  "journal append failed: " + FilePath));
+    return false;
+  }
+  if (fsyncEnabled())
+    ::fsync(Fd);
+  // Crash-storm probe #3: die after the sync — the record must survive and
+  // the job must be skipped on resume.
+  if (FaultInjector::fire(FaultSite::CrashJournal))
+    std::_Exit(42);
+  Map[K] = Payload;
+  return true;
+}
+
+const std::string *RunJournal::find(const Fingerprint &K) const {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Map.find(K);
+  return It == Map.end() ? nullptr : &It->second;
+}
+
+size_t RunJournal::records() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Map.size();
+}
+
+uint64_t RunJournal::tornBytesDiscarded() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return TornBytes;
+}
+
+std::vector<support::Diag> RunJournal::drainDiags() {
+  std::lock_guard<std::mutex> L(Mu);
+  std::vector<support::Diag> Out;
+  Out.swap(Diags);
+  return Out;
+}

@@ -1,0 +1,71 @@
+//===- cache/Scrub.h - Offline store scrub & compaction ---------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline maintenance pass over a persistent store directory
+/// (TraceCache or SideCondStore — both share the entry envelope and the
+/// sharded layout, so one scrubber serves both).  A scrub:
+///
+///   - reaps stale ".tmp." files left by crashed writers,
+///   - verifies every entry's durability envelope, quarantining files whose
+///     checksum, version, or embedded key does not hold,
+///   - migrates legacy files — headerless payloads and flat-layout
+///     placement — into checksummed entries in their proper shard,
+///   - enforces an optional size budget by evicting least-recently-touched
+///     entries (LRU by mtime; readers re-derive evicted results, so
+///     eviction is always safe).
+///
+/// Exposed as a library call for tests and as the `cachectl` mini-tool for
+/// operators.  Scrubbing a live store is safe: entry publishing is
+/// first-writer-wins atomic-rename, so the worst interleaving costs a
+/// recomputation, never a wrong hit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_CACHE_SCRUB_H
+#define ISLARIS_CACHE_SCRUB_H
+
+#include "support/Diag.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace islaris::cache {
+
+struct ScrubOptions {
+  /// Store root to scrub (one of the per-store directories, e.g.
+  /// resolveCacheDir() or resolveCacheDir() + "/sidecond").
+  std::string Dir;
+  /// Entry size budget in bytes; 0 disables compaction.  When the store
+  /// exceeds the budget, oldest-mtime entries are evicted until it fits.
+  uint64_t MaxBytes = 0;
+  /// Report what would change without touching the store.
+  bool DryRun = false;
+};
+
+struct ScrubReport {
+  uint64_t FilesScanned = 0;   ///< Regular files visited (excl. quarantine/).
+  uint64_t OkEntries = 0;      ///< Entries whose envelope verified.
+  uint64_t LegacyMigrated = 0; ///< Headerless and/or flat-layout entries
+                               ///< rewritten as enveloped sharded files.
+  uint64_t Quarantined = 0;    ///< Corrupt files moved to quarantine/.
+  uint64_t TempsRemoved = 0;   ///< Stale writer temp files reaped.
+  uint64_t Evicted = 0;        ///< Entries evicted by the size budget.
+  uint64_t BytesReclaimed = 0; ///< Bytes freed by reaping + eviction.
+  uint64_t BytesInUse = 0;     ///< Entry bytes remaining after the pass.
+  std::vector<support::Diag> Diags;
+
+  bool clean() const { return Quarantined == 0 && Diags.empty(); }
+};
+
+/// Runs one scrub/compaction pass over \p O.Dir.  A missing directory is a
+/// no-op (empty report), not an error.
+ScrubReport scrubStore(const ScrubOptions &O);
+
+} // namespace islaris::cache
+
+#endif // ISLARIS_CACHE_SCRUB_H

@@ -10,6 +10,8 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 using namespace islaris;
 using namespace islaris::cache;
 
@@ -120,6 +122,51 @@ std::string SideCondStore::legacyEntryPath(const Fingerprint &K) const {
   return Directory + "/" + K.toHex() + ".scc";
 }
 
+void SideCondStore::discardCorrupt(const std::string &Path,
+                                   support::ErrorCode Code,
+                                   const std::string &Why) {
+  // Miss + displace the corpse (into dir()/quarantine/) so a future
+  // first-writer-wins writeToDisk can repair this key.
+  bool Freed = quarantineFile(Directory, Path);
+  std::lock_guard<std::mutex> L(Mu);
+  if (Freed) {
+    ++St.CorruptRemoved;
+    ++St.Quarantined;
+  }
+  if (Diags.size() < 64)
+    Diags.push_back(
+        support::Diag::error(Code, "cache", Why + ": " + Path));
+}
+
+void SideCondStore::noteWriteFailure(const std::string &Path) {
+  // One-time Diag when the store directory is genuinely unwritable; see
+  // TraceCache::noteWriteFailure.
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (WarnedUnwritable)
+      return;
+  }
+  std::string Parent = fs::path(Path).parent_path().string();
+  if (::access(Parent.c_str(), W_OK) == 0)
+    return;
+  std::lock_guard<std::mutex> L(Mu);
+  if (WarnedUnwritable)
+    return;
+  WarnedUnwritable = true;
+  if (Diags.size() < 64)
+    Diags.push_back(support::Diag::error(
+        support::ErrorCode::IoError, "cache",
+        "side-condition store directory is not writable, running uncached: " +
+            Directory));
+}
+
+std::vector<support::Diag> SideCondStore::drainDiags() {
+  std::lock_guard<std::mutex> L(Mu);
+  std::vector<support::Diag> Out;
+  Out.swap(Diags);
+  return Out;
+}
+
 std::optional<smt::SolverCache::CachedResult>
 SideCondStore::loadFromDisk(const Fingerprint &K) {
   if (support::FaultInjector::fire(support::FaultSite::CacheRead))
@@ -135,16 +182,30 @@ SideCondStore::loadFromDisk(const Fingerprint &K) {
   }
   std::ostringstream Buf;
   Buf << In.rdbuf();
+  // Envelope first: integrity failures are attributed precisely before any
+  // bytes reach the parser (see TraceCache::loadFromDisk).
+  std::string Payload;
+  EnvelopeResult E = unwrapDurableEntry(Buf.str(), Payload);
+  switch (E) {
+  case EnvelopeResult::Ok:
+  case EnvelopeResult::Legacy:
+    break;
+  case EnvelopeResult::Empty:
+    discardCorrupt(Path, envelopeErrorCode(E), "zero-length entry file");
+    return std::nullopt;
+  case EnvelopeResult::BadVersion:
+    discardCorrupt(Path, envelopeErrorCode(E),
+                   "entry written by an unknown format version");
+    return std::nullopt;
+  case EnvelopeResult::Corrupt:
+    discardCorrupt(Path, envelopeErrorCode(E),
+                   "entry checksum did not verify (torn or corrupt)");
+    return std::nullopt;
+  }
   CachedResult R;
   std::string Err;
-  if (!parseEntry(Buf.str(), K, R, Err)) {
-    // Corrupt or stale-format entry: miss, and delete the corpse so a
-    // future first-writer-wins writeToDisk can repair this key.
-    std::error_code EC;
-    if (fs::remove(Path, EC)) {
-      std::lock_guard<std::mutex> L(Mu);
-      ++St.CorruptRemoved;
-    }
+  if (!parseEntry(Payload, K, R, Err)) {
+    discardCorrupt(Path, support::ErrorCode::CorruptCacheEntry, Err);
     return std::nullopt;
   }
   return R;
@@ -155,14 +216,24 @@ void SideCondStore::writeToDisk(const Fingerprint &K,
   std::error_code EC;
   std::string Path = entryPath(K);
   fs::create_directories(fs::path(Path).parent_path(), EC);
-  if (EC)
+  if (EC) {
+    noteWriteFailure(Path);
     return;
-  // Entries are immutable: first writer wins, including entries already
-  // present under the legacy flat layout.
-  if (fs::exists(Path, EC) || fs::exists(legacyEntryPath(K), EC))
+  }
+  // Entries are immutable: first writer wins on the sharded path.
+  if (fs::exists(Path, EC))
     return;
-  if (!atomicWriteFile(Path, serializeEntry(K, R)))
+  std::string Legacy = legacyEntryPath(K);
+  bool HadLegacy = fs::exists(Legacy, EC);
+  if (!atomicWriteFile(Path, wrapDurableEntry(serializeEntry(K, R)))) {
+    noteWriteFailure(Path);
     return;
+  }
+  // A publish upgrades any legacy headerless flat-layout twin in place.
+  if (HadLegacy) {
+    std::error_code EC2;
+    fs::remove(Legacy, EC2);
+  }
   std::lock_guard<std::mutex> L(Mu);
   ++St.DiskWrites;
 }

@@ -34,10 +34,12 @@
 
 #include "cache/Fingerprint.h"
 #include "smt/Solver.h"
+#include "support/Diag.h"
 
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 namespace islaris::cache {
 
@@ -48,9 +50,12 @@ struct SideCondStats {
   uint64_t Misses = 0;     ///< Lookups satisfied nowhere.
   uint64_t Insertions = 0; ///< store() calls that added a new entry.
   uint64_t DiskWrites = 0; ///< Entry files written.
-  /// Corrupt on-disk entries deleted on read (self-repair; see
+  /// Corrupt on-disk entries displaced on read (self-repair; see
   /// CacheStats::CorruptRemoved).
   uint64_t CorruptRemoved = 0;
+  /// Corrupt entries preserved under dir()/quarantine/ (a subset of
+  /// CorruptRemoved).
+  uint64_t Quarantined = 0;
 };
 
 struct SideCondConfig {
@@ -90,6 +95,9 @@ public:
   SideCondStats stats() const;
   const SideCondConfig &config() const { return Cfg; }
   const std::string &dir() const { return Directory; }
+  /// Returns and clears disk-I/O diagnostics (bounded to 64 between
+  /// drains); same contract as TraceCache::drainDiags.
+  std::vector<support::Diag> drainDiags();
 
   /// The fingerprint \p Closure is stored under (closure + salt).
   Fingerprint key(const std::string &Closure) const;
@@ -110,11 +118,16 @@ private:
   std::string legacyEntryPath(const Fingerprint &K) const;
   std::optional<CachedResult> loadFromDisk(const Fingerprint &K);
   void writeToDisk(const Fingerprint &K, const CachedResult &R);
+  void discardCorrupt(const std::string &Path, support::ErrorCode Code,
+                      const std::string &Why);
+  void noteWriteFailure(const std::string &Path);
 
   SideCondConfig Cfg;
   std::string Directory;
 
   mutable std::mutex Mu;
+  bool WarnedUnwritable = false;
+  std::vector<support::Diag> Diags;
   std::unordered_map<Fingerprint, CachedResult, FingerprintHash> Map;
   SideCondStats St;
 };

@@ -7,12 +7,15 @@
 #include "support/FaultInjector.h"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 #include <string_view>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 using namespace islaris;
@@ -25,6 +28,25 @@ std::string islaris::cache::resolveCacheDir() {
     if (*Env)
       return Env;
   return "build/.trace-cache";
+}
+
+/// ISLARIS_NO_FSYNC=1 (any non-empty value) skips the durability syncs —
+/// tests and throwaway caches don't need crash safety and fsync dominates
+/// their wall time on some filesystems.  Read per call: it is two libc
+/// lookups, and tests toggle the variable at runtime.
+static bool fsyncEnabled() {
+  const char *E = std::getenv("ISLARIS_NO_FSYNC");
+  return !E || !*E;
+}
+
+/// fsync on the *directory* makes the rename itself durable (POSIX persists
+/// a renamed dirent only once the containing directory is synced).
+static void fsyncDir(const fs::path &Dir) {
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd >= 0) {
+    ::fsync(Fd);
+    ::close(Fd);
+  }
 }
 
 bool islaris::cache::atomicWriteFile(const std::string &Path,
@@ -45,18 +67,37 @@ bool islaris::cache::atomicWriteFile(const std::string &Path,
                     "." +
                     std::to_string(
                         Counter.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out)
-      return false;
-    Out << Payload;
-    Out.flush();
-    if (!Out) {
-      std::error_code EC;
-      fs::remove(Tmp, EC);
-      return false;
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return false;
+  bool WriteOk = true;
+  size_t Off = 0;
+  while (Off < Payload.size()) {
+    ssize_t N = ::write(Fd, Payload.data() + Off, Payload.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      WriteOk = false;
+      break;
     }
+    Off += size_t(N);
   }
+  // Sync the temp file's *data* before the rename publishes it, so a crash
+  // right after the rename cannot expose a file whose blocks never hit the
+  // platter (the failure mode the old comment here only described).
+  if (WriteOk && fsyncEnabled() && ::fsync(Fd) != 0)
+    WriteOk = false;
+  if (::close(Fd) != 0)
+    WriteOk = false;
+  if (!WriteOk) {
+    std::error_code EC;
+    fs::remove(Tmp, EC);
+    return false;
+  }
+  // Crash-storm probe #1: die with the temp durable but not yet visible.  A
+  // resumed run must see a clean miss (plus a stale .tmp for scrub to reap).
+  if (FaultInjector::fire(FaultSite::CrashPublish))
+    std::_Exit(42);
   if (FaultInjector::fire(FaultSite::CacheRename)) {
     std::error_code EC2;
     fs::remove(Tmp, EC2);
@@ -69,7 +110,116 @@ bool islaris::cache::atomicWriteFile(const std::string &Path,
     fs::remove(Tmp, EC2);
     return false;
   }
+  // Crash-storm probe #2: die after the rename but before the directory
+  // sync — the published entry may or may not survive; either state must be
+  // recoverable.
+  if (FaultInjector::fire(FaultSite::CrashPublish))
+    std::_Exit(42);
+  if (fsyncEnabled())
+    fsyncDir(fs::path(Path).parent_path());
   return !Torn;
+}
+
+//===----------------------------------------------------------------------===//
+// Durability envelope.
+//===----------------------------------------------------------------------===//
+
+uint64_t islaris::cache::fnv1a64(std::string_view Data) {
+  uint64_t H = 14695981039346656037ull;
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+static constexpr std::string_view EnvelopeMagic = "(islaris-entry ";
+
+std::string islaris::cache::wrapDurableEntry(const std::string &Payload) {
+  std::ostringstream OS;
+  OS << EnvelopeMagic << DurableFormatVersion << " " << std::hex
+     << std::setfill('0') << std::setw(16) << fnv1a64(Payload) << std::dec
+     << " " << Payload.size() << ")\n"
+     << Payload;
+  return OS.str();
+}
+
+static bool isDigits(std::string_view S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (C < '0' || C > '9')
+      return false;
+  return true;
+}
+
+EnvelopeResult islaris::cache::unwrapDurableEntry(const std::string &File,
+                                                  std::string &Payload) {
+  if (File.empty())
+    return EnvelopeResult::Empty;
+  if (File.compare(0, EnvelopeMagic.size(), EnvelopeMagic) != 0) {
+    Payload = File;
+    return EnvelopeResult::Legacy;
+  }
+  size_t NL = File.find('\n');
+  if (NL == std::string::npos)
+    return EnvelopeResult::Corrupt; // header torn mid-line
+  // "<version> <fnv64-hex> <size>)" between the magic and the newline.
+  std::string_view Header(File.data() + EnvelopeMagic.size(),
+                          NL - EnvelopeMagic.size());
+  size_t Sp1 = Header.find(' ');
+  if (Sp1 == std::string_view::npos)
+    return EnvelopeResult::Corrupt;
+  size_t Sp2 = Header.find(' ', Sp1 + 1);
+  if (Sp2 == std::string_view::npos || Header.empty() ||
+      Header.back() != ')')
+    return EnvelopeResult::Corrupt;
+  std::string_view Ver = Header.substr(0, Sp1);
+  std::string_view Sum = Header.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  std::string_view Size = Header.substr(Sp2 + 1, Header.size() - Sp2 - 2);
+  if (!isDigits(Ver))
+    return EnvelopeResult::Corrupt;
+  if (Ver != std::to_string(DurableFormatVersion))
+    return EnvelopeResult::BadVersion; // don't guess at future layouts
+  if (Sum.size() != 16 || !isDigits(Size))
+    return EnvelopeResult::Corrupt;
+  uint64_t WantSum = std::strtoull(std::string(Sum).c_str(), nullptr, 16);
+  uint64_t WantSize = std::strtoull(std::string(Size).c_str(), nullptr, 10);
+  std::string_view Body(File.data() + NL + 1, File.size() - NL - 1);
+  if (Body.size() != WantSize || fnv1a64(Body) != WantSum)
+    return EnvelopeResult::Corrupt; // truncated or bit-flipped payload
+  Payload.assign(Body);
+  return EnvelopeResult::Ok;
+}
+
+support::ErrorCode islaris::cache::envelopeErrorCode(EnvelopeResult R) {
+  switch (R) {
+  case EnvelopeResult::BadVersion:
+    return support::ErrorCode::CacheVersionMismatch;
+  case EnvelopeResult::Corrupt:
+    return support::ErrorCode::ChecksumMismatch;
+  case EnvelopeResult::Ok:
+  case EnvelopeResult::Legacy:
+  case EnvelopeResult::Empty:
+    break;
+  }
+  return support::ErrorCode::CorruptCacheEntry;
+}
+
+bool islaris::cache::quarantineFile(const std::string &Dir,
+                                    const std::string &Path) {
+  std::error_code EC;
+  fs::path Dest = fs::path(Dir) / "quarantine" / fs::path(Path).filename();
+  fs::create_directories(Dest.parent_path(), EC);
+  if (!EC) {
+    // rename overwrites an existing corpse of the same name: keeping the
+    // latest is enough for post-mortem, and it cannot accumulate unboundedly.
+    fs::rename(Path, Dest, EC);
+    if (!EC)
+      return true;
+  }
+  fs::remove(Path, EC);
+  return !fs::exists(Path, EC);
 }
 
 TraceCache::TraceCache(TraceCacheConfig C) : Cfg(std::move(C)) {
@@ -231,6 +381,58 @@ std::string TraceCache::legacyEntryPath(const Fingerprint &K) const {
   return Directory + "/" + K.toHex() + ".itc";
 }
 
+void TraceCache::discardCorrupt(const std::string &Path,
+                                support::ErrorCode Code,
+                                const std::string &Why) {
+  // Treat as a miss AND displace the file: writeToDisk is first-writer-wins,
+  // so leaving the corpse in place would shadow every future rewrite of
+  // this key.  The corpse moves to dir()/quarantine/ for post-mortem.
+  bool Freed = quarantineFile(Directory, Path);
+  std::lock_guard<std::mutex> L(Mu);
+  if (Freed) {
+    ++St.CorruptRemoved;
+    ++St.Quarantined;
+  }
+  if (Diags.size() < 64)
+    Diags.push_back(
+        support::Diag::error(Code, "cache", Why + ": " + Path));
+}
+
+void TraceCache::noteDiag(support::Diag D) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Diags.size() < 64)
+    Diags.push_back(std::move(D));
+}
+
+void TraceCache::noteWriteFailure(const std::string &Path) {
+  // Only surface the one-time infrastructure Diag when the directory really
+  // is unwritable/uncreatable — a FaultInjector-failed publish into a
+  // healthy directory is a different (already-attributed) event.
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (WarnedUnwritable)
+      return;
+  }
+  std::string Parent = fs::path(Path).parent_path().string();
+  if (::access(Parent.c_str(), W_OK) == 0)
+    return;
+  std::lock_guard<std::mutex> L(Mu);
+  if (WarnedUnwritable)
+    return;
+  WarnedUnwritable = true;
+  if (Diags.size() < 64)
+    Diags.push_back(support::Diag::error(
+        support::ErrorCode::IoError, "cache",
+        "cache directory is not writable, running uncached: " + Directory));
+}
+
+std::vector<support::Diag> TraceCache::drainDiags() {
+  std::lock_guard<std::mutex> L(Mu);
+  std::vector<support::Diag> Out;
+  Out.swap(Diags);
+  return Out;
+}
+
 std::optional<CacheEntry> TraceCache::loadFromDisk(const Fingerprint &K) {
   if (support::FaultInjector::fire(support::FaultSite::CacheRead))
     return std::nullopt; // injected read failure: degrade to a miss
@@ -246,17 +448,31 @@ std::optional<CacheEntry> TraceCache::loadFromDisk(const Fingerprint &K) {
   }
   std::ostringstream Buf;
   Buf << In.rdbuf();
+  // Verify the durability envelope *before* parsing: a checksum or version
+  // mismatch is attributed precisely instead of surfacing as whatever parse
+  // error the garbage happens to trigger.
+  std::string Payload;
+  EnvelopeResult R = unwrapDurableEntry(Buf.str(), Payload);
+  switch (R) {
+  case EnvelopeResult::Ok:
+  case EnvelopeResult::Legacy:
+    break;
+  case EnvelopeResult::Empty:
+    discardCorrupt(Path, envelopeErrorCode(R), "zero-length entry file");
+    return std::nullopt;
+  case EnvelopeResult::BadVersion:
+    discardCorrupt(Path, envelopeErrorCode(R),
+                   "entry written by an unknown format version");
+    return std::nullopt;
+  case EnvelopeResult::Corrupt:
+    discardCorrupt(Path, envelopeErrorCode(R),
+                   "entry checksum did not verify (torn or corrupt)");
+    return std::nullopt;
+  }
   CacheEntry E;
   std::string Err;
-  if (!parseEntry(Buf.str(), K, E, Err)) {
-    // Corrupt or stale-format entry: treat as a miss AND delete the file.
-    // writeToDisk is first-writer-wins, so leaving the corpse in place
-    // would shadow every future rewrite of this key.
-    std::error_code EC;
-    if (fs::remove(Path, EC)) {
-      std::lock_guard<std::mutex> L(Mu);
-      ++St.CorruptRemoved;
-    }
+  if (!parseEntry(Payload, K, E, Err)) {
+    discardCorrupt(Path, support::ErrorCode::CorruptCacheEntry, Err);
     return std::nullopt;
   }
   return E;
@@ -266,16 +482,27 @@ void TraceCache::writeToDisk(const Fingerprint &K, const CacheEntry &E) {
   std::error_code EC;
   std::string Path = entryPath(K);
   fs::create_directories(fs::path(Path).parent_path(), EC);
-  if (EC)
+  if (EC) {
+    noteWriteFailure(Path);
     return;
-  // Entries are immutable: first writer wins, and an entry already present
-  // under the legacy flat layout counts as written.
-  if (fs::exists(Path, EC) || fs::exists(legacyEntryPath(K), EC))
+  }
+  // Entries are immutable: first writer wins on the sharded path.
+  if (fs::exists(Path, EC))
     return;
+  std::string Legacy = legacyEntryPath(K);
+  bool HadLegacy = fs::exists(Legacy, EC);
   // Write-to-temp + rename keeps concurrent writers from exposing partial
   // files; racing writers produce identical content anyway.
-  if (!atomicWriteFile(Path, serializeEntry(K, E)))
+  if (!atomicWriteFile(Path, wrapDurableEntry(serializeEntry(K, E)))) {
+    noteWriteFailure(Path);
     return;
+  }
+  // A publish upgrades any legacy headerless flat-layout twin in place: the
+  // new enveloped sharded entry now serves all readers.
+  if (HadLegacy) {
+    std::error_code EC2;
+    fs::remove(Legacy, EC2);
+  }
   std::lock_guard<std::mutex> L(Mu);
   ++St.DiskWrites;
 }

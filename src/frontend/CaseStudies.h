@@ -76,8 +76,18 @@ struct CaseResult {
   /// failures, and jobs quarantined without a trace.
   unsigned Retries = 0;
   unsigned Quarantined = 0;
+  /// True when this row was restored from a run journal instead of being
+  /// re-verified (SuiteOptions::Resume); the restored fields are the ones
+  /// the original run recorded.
+  bool Resumed = false;
   seplogic::ProofStats Proof;
 };
+
+/// Journal codec for CaseResult rows.  Round-trips every field (Resumed
+/// excepted — the decoder's caller decides that); doubles travel as
+/// hexfloats so a resumed row is bit-identical to the recorded one.
+std::string encodeCaseResult(const CaseResult &R);
+bool decodeCaseResult(const std::string &Text, CaseResult &Out);
 
 /// Runs memcpy (Fig. 7, GCC-shaped Arm code) copying \p N bytes with
 /// symbolic contents and addresses.
@@ -120,6 +130,14 @@ struct SuiteOptions {
   /// (both engines are bit-identical; Replay is the differential oracle
   /// and ablation baseline).
   isla::ExecEngine Engine = isla::ExecEngine::Snapshot;
+  /// Write-ahead run journal: when non-empty, every completed study appends
+  /// a checksummed record (keyed on study identity + suite configuration)
+  /// at this path, so a killed run can be resumed.
+  std::string JournalPath;
+  /// Skip studies whose journal record survived a previous (possibly
+  /// killed) run with the same configuration, restoring their recorded
+  /// rows verbatim (CaseResult::Resumed).  Requires JournalPath.
+  bool Resume = false;
 };
 
 /// Aggregate view of a suite run: every case study is always attempted
@@ -129,6 +147,7 @@ struct SuiteSummary {
   unsigned Passed = 0;
   unsigned ProofFailures = 0; ///< !Ok with a non-infrastructure code.
   unsigned InfraErrors = 0;   ///< !Ok with an infrastructure code.
+  unsigned JobsResumed = 0;   ///< Rows restored from the run journal.
   bool allOk() const { return ProofFailures == 0 && InfraErrors == 0; }
 };
 

@@ -3,12 +3,160 @@
 #include "frontend/CaseStudies.h"
 
 #include "cache/BatchDriver.h"
+#include "cache/Journal.h"
 #include "cache/SideCondCache.h"
 #include "support/FaultInjector.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
 
 using namespace islaris::frontend;
 using islaris::support::Diag;
 using islaris::support::ErrorCode;
+
+//===----------------------------------------------------------------------===//
+// Journal codec.  Length-prefixed strings ("<len>:<bytes>") survive any
+// embedded spaces/parens; doubles travel as hexfloats so a resumed row is
+// bit-for-bit the recorded one, not a decimal approximation.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void putStr(std::ostringstream &OS, const std::string &S) {
+  OS << S.size() << ":" << S << " ";
+}
+
+void putF(std::ostringstream &OS, double D) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof Buf, "%a", D);
+  OS << Buf << " ";
+}
+
+/// Sequential token reader over the encoded form; any malformed field trips
+/// Fail and every later read degrades to a zero value.
+struct Cursor {
+  const std::string &T;
+  size_t P = 0;
+  bool Fail = false;
+
+  explicit Cursor(const std::string &T) : T(T) {}
+
+  void skip() {
+    while (P < T.size() && T[P] == ' ')
+      ++P;
+  }
+  std::string tok() {
+    skip();
+    size_t S = P;
+    while (P < T.size() && T[P] != ' ')
+      ++P;
+    if (P == S)
+      Fail = true;
+    return T.substr(S, P - S);
+  }
+  uint64_t u64() { return std::strtoull(tok().c_str(), nullptr, 10); }
+  double f() { return std::strtod(tok().c_str(), nullptr); }
+  std::string str() {
+    skip();
+    size_t S = P;
+    while (P < T.size() && T[P] >= '0' && T[P] <= '9')
+      ++P;
+    if (P == S || P >= T.size() || T[P] != ':') {
+      Fail = true;
+      return "";
+    }
+    size_t Len = std::strtoull(T.substr(S, P - S).c_str(), nullptr, 10);
+    ++P; // ':'
+    if (P + Len > T.size()) {
+      Fail = true;
+      return "";
+    }
+    std::string Out = T.substr(P, Len);
+    P += Len;
+    return Out;
+  }
+};
+
+} // namespace
+
+std::string islaris::frontend::encodeCaseResult(const CaseResult &R) {
+  std::ostringstream OS;
+  OS << "case 1 ";
+  putStr(OS, R.Name);
+  putStr(OS, R.Isa);
+  OS << (R.Ok ? 1 : 0) << " ";
+  putStr(OS, R.Error);
+  OS << unsigned(R.D.Code) << " " << unsigned(R.D.Sev) << " ";
+  putStr(OS, R.D.Stage);
+  putStr(OS, R.D.Message);
+  OS << R.AsmInstrs << " " << R.ItlEvents << " " << R.SpecSize << " "
+     << R.Hints << " ";
+  putF(OS, R.IslaSeconds);
+  OS << R.TracesExecuted << " " << R.CacheHits << " " << R.Deduped << " "
+     << R.IslaMemoHits << " " << R.IslaStoreHits << " " << R.IslaStmts
+     << " " << R.IslaStmtsSkipped << " " << R.HelperMemoHits << " "
+     << R.Retries << " " << R.Quarantined << " ";
+  const seplogic::ProofStats &PS = R.Proof;
+  OS << PS.EventsProcessed << " " << PS.InstructionsWalked << " "
+     << PS.PathsVerified << " " << PS.PathsPruned << " " << PS.Entailments
+     << " " << PS.SolverQueries << " " << PS.CacheHits << " "
+     << PS.SolverSatCalls << " " << PS.SolverMemoHits << " "
+     << PS.SolverStoreHits << " ";
+  putF(OS, PS.TotalSeconds);
+  putF(OS, PS.SideCondSeconds);
+  return OS.str();
+}
+
+bool islaris::frontend::decodeCaseResult(const std::string &Text,
+                                         CaseResult &Out) {
+  Cursor C(Text);
+  if (C.tok() != "case" || C.tok() != "1")
+    return false;
+  CaseResult R;
+  R.Name = C.str();
+  R.Isa = C.str();
+  R.Ok = C.u64() != 0;
+  R.Error = C.str();
+  R.D.Code = ErrorCode(unsigned(C.u64()));
+  R.D.Sev = support::Severity(unsigned(C.u64()));
+  R.D.Stage = C.str();
+  R.D.Message = C.str();
+  R.AsmInstrs = unsigned(C.u64());
+  R.ItlEvents = unsigned(C.u64());
+  R.SpecSize = unsigned(C.u64());
+  R.Hints = unsigned(C.u64());
+  R.IslaSeconds = C.f();
+  R.TracesExecuted = unsigned(C.u64());
+  R.CacheHits = unsigned(C.u64());
+  R.Deduped = unsigned(C.u64());
+  R.IslaMemoHits = unsigned(C.u64());
+  R.IslaStoreHits = unsigned(C.u64());
+  R.IslaStmts = C.u64();
+  R.IslaStmtsSkipped = C.u64();
+  R.HelperMemoHits = unsigned(C.u64());
+  R.Retries = unsigned(C.u64());
+  R.Quarantined = unsigned(C.u64());
+  seplogic::ProofStats &PS = R.Proof;
+  PS.EventsProcessed = unsigned(C.u64());
+  PS.InstructionsWalked = unsigned(C.u64());
+  PS.PathsVerified = unsigned(C.u64());
+  PS.PathsPruned = unsigned(C.u64());
+  PS.Entailments = unsigned(C.u64());
+  PS.SolverQueries = C.u64();
+  PS.CacheHits = C.u64();
+  PS.SolverSatCalls = C.u64();
+  PS.SolverMemoHits = C.u64();
+  PS.SolverStoreHits = C.u64();
+  PS.TotalSeconds = C.f();
+  PS.SideCondSeconds = C.f();
+  if (C.Fail)
+    return false;
+  Out = std::move(R);
+  return true;
+}
 
 std::vector<CaseResult> islaris::frontend::runAllCaseStudies() {
   return runAllCaseStudies(SuiteOptions());
@@ -57,10 +205,54 @@ islaris::frontend::runAllCaseStudies(const SuiteOptions &O) {
   if (Installed)
     support::FaultInjector::setActive(Installed);
 
+  // Write-ahead run journal.  Records are keyed on the study's identity
+  // *and* the result-affecting suite configuration (engine, limits): a
+  // resumed run with different guards must not restore rows those guards
+  // would have failed.  Threads and cache pointers stay out of the key —
+  // results are bit-identical across them by construction.
+  std::unique_ptr<cache::RunJournal> Journal;
+  if (!O.JournalPath.empty()) {
+    Journal = std::make_unique<cache::RunJournal>(O.JournalPath);
+    Journal->open(); // on failure appends fail cleanly and nothing resumes
+  }
+  auto JobKey = [&](size_t I) {
+    cache::Fingerprinter FP;
+    FP.str("islaris-suite-job");
+    FP.u64(uint64_t(I));
+    FP.str(Names[I]);
+    FP.u64(uint64_t(O.Engine));
+    auto Bits = [](double D) {
+      uint64_t U;
+      static_assert(sizeof(U) == sizeof(D));
+      std::memcpy(&U, &D, sizeof(U));
+      return U;
+    };
+    FP.u64(Bits(O.Limits.SolverCheckSeconds));
+    FP.u64(O.Limits.SolverConflicts);
+    FP.u64(O.Limits.SolverPropagations);
+    FP.u64(Bits(O.Limits.InstrSeconds));
+    FP.u64(Bits(O.Limits.JobTimeoutSeconds));
+    FP.u64(O.Limits.JobRetries);
+    return FP.digest();
+  };
+
   std::vector<CaseResult> Results(N);
   cache::BatchDriver::parallelFor(
       N, O.Threads == 0 ? cache::BatchDriver().threads() : O.Threads,
       [&](size_t I) {
+        // Resume: restore the recorded row instead of re-verifying.  Only
+        // rows that completed (journal append is the *last* step below)
+        // ever match, so a crash mid-study just re-runs the study.
+        if (Journal && O.Resume) {
+          if (const std::string *Rec = Journal->find(JobKey(I))) {
+            CaseResult R;
+            if (decodeCaseResult(*Rec, R)) {
+              R.Resumed = true;
+              Results[I] = std::move(R);
+              return;
+            }
+          }
+        }
         // One wedged or crashing study must never take down its siblings:
         // an escaped exception becomes that row's infrastructure error and
         // the pool keeps draining.
@@ -81,6 +273,8 @@ islaris::frontend::runAllCaseStudies(const SuiteOptions &O) {
                                      "case study");
           Results[I].Error = Results[I].D.Message;
         }
+        if (Journal)
+          Journal->append(JobKey(I), encodeCaseResult(Results[I]));
       });
 
   if (Installed)
@@ -96,6 +290,8 @@ SuiteSummary
 islaris::frontend::summarize(const std::vector<CaseResult> &Results) {
   SuiteSummary S;
   for (const CaseResult &R : Results) {
+    if (R.Resumed)
+      ++S.JobsResumed;
     if (R.Ok)
       ++S.Passed;
     else if (support::isInfrastructureError(R.D.Code))

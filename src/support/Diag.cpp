@@ -14,6 +14,10 @@ const char *islaris::support::errorCodeName(ErrorCode C) {
     return "malformed-trace";
   case ErrorCode::CorruptCacheEntry:
     return "corrupt-cache-entry";
+  case ErrorCode::ChecksumMismatch:
+    return "checksum-mismatch";
+  case ErrorCode::CacheVersionMismatch:
+    return "cache-version-mismatch";
   case ErrorCode::OverlappingCode:
     return "overlapping-code";
   case ErrorCode::UnknownSymbol:
@@ -106,6 +110,8 @@ bool islaris::support::isInfrastructureError(ErrorCode C) {
   case ErrorCode::IoError:
   case ErrorCode::InjectedFault:
   case ErrorCode::CorruptCacheEntry:
+  case ErrorCode::ChecksumMismatch:
+  case ErrorCode::CacheVersionMismatch:
   case ErrorCode::Internal:
     return true;
   default:

@@ -39,6 +39,8 @@ enum class ErrorCode : unsigned {
   MalformedObjdump,   ///< objdump text did not parse.
   MalformedTrace,     ///< ITL trace text did not parse.
   CorruptCacheEntry,  ///< persistent cache entry failed validation.
+  ChecksumMismatch,   ///< store entry's payload checksum did not verify.
+  CacheVersionMismatch, ///< store entry written by an unknown format version.
   OverlappingCode,    ///< addCode over an already-populated address.
   UnknownSymbol,      ///< symbol lookup in an image that lacks it.
   UnknownRegister,    ///< constraint or access on an undeclared register.

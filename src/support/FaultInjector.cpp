@@ -24,6 +24,10 @@ const char *islaris::support::faultSiteName(FaultSite S) {
     return "exec-step";
   case FaultSite::ExecThrow:
     return "exec-throw";
+  case FaultSite::CrashPublish:
+    return "crash-publish";
+  case FaultSite::CrashJournal:
+    return "crash-journal";
   }
   return "unknown";
 }
@@ -40,6 +44,11 @@ void FaultInjector::failFirst(FaultSite S, uint64_t N) {
   Sites[unsigned(S)].FailFirst = N;
 }
 
+void FaultInjector::failAt(FaultSite S, uint64_t N) {
+  std::lock_guard<std::mutex> L(Mu);
+  Sites[unsigned(S)].FailAt = N;
+}
+
 /// splitmix64: a full-period mixer; decisions are a pure function of
 /// (seed, site, counter).
 static uint64_t mix(uint64_t X) {
@@ -54,7 +63,7 @@ bool FaultInjector::shouldFail(FaultSite S) {
   SiteState &St = Sites[unsigned(S)];
   uint64_t Probe = St.Probes++;
   bool Fail;
-  if (Probe < St.FailFirst) {
+  if (Probe < St.FailFirst || Probe == St.FailAt) {
     Fail = true;
   } else if (St.Rate <= 0) {
     Fail = false;
@@ -120,6 +129,8 @@ std::unique_ptr<FaultInjector> FaultInjector::fromEnv() {
       continue;
     if (Val.rfind("first:", 0) == 0)
       F->failFirst(Site, std::strtoull(Val.c_str() + 6, nullptr, 0));
+    else if (Val.rfind("at:", 0) == 0)
+      F->failAt(Site, std::strtoull(Val.c_str() + 3, nullptr, 0));
     else
       F->setRate(Site, std::strtod(Val.c_str(), nullptr));
   }

@@ -20,6 +20,14 @@
 ///                     attributed injected-fault Diag (retryable)
 ///   exec-throw        the symbolic executor throws, exercising the batch
 ///                     driver's per-job exception containment
+///   crash-publish     the process exits hard (std::_Exit) inside a store
+///                     publish — after the temp file is written, before or
+///                     after the rename — standing in for a crash/power cut
+///                     mid-write.  Only meaningful under the crash-storm
+///                     child harness; never enable it in-process.
+///   crash-journal     the process exits hard inside a run-journal append,
+///                     leaving a torn tail record the resume path must
+///                     detect and truncate away.
 ///
 /// Decisions are a pure function of (seed, site, per-site probe counter), so
 /// a run with a fixed seed and thread-free scheduling is exactly
@@ -30,9 +38,11 @@
 ///   ISLARIS_FAULT_SEED=42
 ///   ISLARIS_FAULTS="cache-read=0.2,solver-unknown=0.01,exec-throw=first:3"
 ///
-/// where `site=p` injects with probability p and `site=first:n` fails
-/// exactly the first n probes of that site (the deterministic shape the
-/// retry tests use).
+/// where `site=p` injects with probability p, `site=first:n` fails exactly
+/// the first n probes of that site (the deterministic shape the retry tests
+/// use), and `site=at:k` fails exactly the probe with zero-based index k
+/// (the shape the crash-storm harness uses to pick one abort point per
+/// run).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -54,8 +64,10 @@ enum class FaultSite : unsigned {
   SolverUnknown,
   ExecStep,
   ExecThrow,
+  CrashPublish,
+  CrashJournal,
 };
-inline constexpr unsigned NumFaultSites = 7;
+inline constexpr unsigned NumFaultSites = 9;
 
 /// Stable site name ("cache-read", ...); the ISLARIS_FAULTS syntax.
 const char *faultSiteName(FaultSite S);
@@ -70,6 +82,11 @@ public:
   /// Fails exactly the first \p N probes of \p S, then none (overrides any
   /// rate for those probes; later probes fall back to the rate).
   void failFirst(FaultSite S, uint64_t N);
+
+  /// Fails exactly the probe with zero-based index \p N of \p S and no
+  /// other.  The crash-storm harness uses this to abort the process at one
+  /// seeded point per run.
+  void failAt(FaultSite S, uint64_t N);
 
   /// One probe of \p S: returns true when the fault fires.  Thread-safe;
   /// advances the per-site counter either way.
@@ -104,6 +121,7 @@ private:
   struct SiteState {
     double Rate = 0;
     uint64_t FailFirst = 0;
+    uint64_t FailAt = UINT64_MAX; ///< UINT64_MAX = no exact-probe fault.
     uint64_t Probes = 0;
     uint64_t Injected = 0;
   };

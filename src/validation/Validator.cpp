@@ -5,6 +5,7 @@
 #include "sail/Interpreter.h"
 #include "smt/Evaluator.h"
 
+#include <chrono>
 #include <random>
 
 using namespace islaris;
@@ -139,7 +140,10 @@ bool runComparison(const sail::Model &M, smt::TermBuilder &TB,
 ValidationResult islaris::validation::validateInstruction(
     const sail::Model &M, smt::TermBuilder &TB, uint32_t Opcode,
     const isla::Assumptions &A, const Trace &T, const std::string &PcName,
-    unsigned RandomTrials, uint64_t Seed) {
+    unsigned RandomTrials, uint64_t Seed, const support::RunLimits *Limits,
+    support::CancelToken Cancel) {
+  using support::Diag;
+  using support::ErrorCode;
   ValidationResult Res;
   std::mt19937_64 Rng(Seed * 0x9e3779b97f4a7c15ull + 1);
 
@@ -149,8 +153,41 @@ ValidationResult islaris::validation::validateInstruction(
 
   smt::Solver Solver(TB);
 
+  // Resource guards (ROADMAP follow-up): the harness's RunLimits bound the
+  // internal solver per check(), InstrSeconds caps the whole validation's
+  // wall clock, and the CancelToken is polled between trials (the solver
+  // polls it inside checks).
+  support::RunLimits L = Limits ? *Limits : support::ambientRunLimits();
+  smt::SolverLimits SL;
+  SL.MaxConflicts = L.SolverConflicts;
+  SL.MaxPropagations = L.SolverPropagations;
+  SL.MaxSeconds = L.SolverCheckSeconds;
+  SL.Cancel = Cancel;
+  Solver.setLimits(SL);
+  auto Start = std::chrono::steady_clock::now();
+  auto guardFired = [&]() {
+    if (Cancel.cancelled()) {
+      Res.D = Diag::error(ErrorCode::Cancelled, "validation",
+                          "validation cancelled");
+      Res.Error = Res.D.Message;
+      return true;
+    }
+    if (L.InstrSeconds > 0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+                .count() > L.InstrSeconds) {
+      Res.D = Diag::error(ErrorCode::DeadlineExceeded, "validation",
+                          "validation deadline exceeded");
+      Res.Error = Res.D.Message;
+      return true;
+    }
+    return false;
+  };
+
   // Per-path witness states.
   for (const auto &Path : Paths) {
+    if (guardFired())
+      return Res;
     // Gather the path condition and the read bindings.
     std::vector<const Term *> Cond;
     std::vector<std::pair<Reg, const Term *>> RegReads;
@@ -234,6 +271,7 @@ ValidationResult islaris::validation::validateInstruction(
     if (!runComparison(M, TB, Opcode, T, std::move(Init), Seed ^ Rng(),
                        Error)) {
       Res.Error = "path witness: " + Error;
+      Res.D = Diag::error(ErrorCode::ModelError, "validation", Res.Error);
       return Res;
     }
     ++Res.PathsCovered;
@@ -242,6 +280,8 @@ ValidationResult islaris::validation::validateInstruction(
   // Randomized trials (respecting the concrete assumptions; constrained
   // registers get a solver witness of their constraint).
   for (unsigned Trial = 0; Trial < RandomTrials; ++Trial) {
+    if (guardFired())
+      return Res;
     MachineState Init = baseState(M, PcName, Rng);
     for (const auto &[R, C] : A.Concrete)
       Init.setReg(R, Value(C));
@@ -258,6 +298,7 @@ ValidationResult islaris::validation::validateInstruction(
     if (!runComparison(M, TB, Opcode, T, std::move(Init), Seed ^ Rng(),
                        Error)) {
       Res.Error = "random trial: " + Error;
+      Res.D = Diag::error(ErrorCode::ModelError, "validation", Res.Error);
       return Res;
     }
   }

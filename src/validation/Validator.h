@@ -34,6 +34,8 @@
 #include "itl/OpSem.h"
 #include "sail/Ast.h"
 #include "smt/Solver.h"
+#include "support/Diag.h"
+#include "support/Guard.h"
 
 namespace islaris::validation {
 
@@ -41,6 +43,11 @@ namespace islaris::validation {
 struct ValidationResult {
   bool Ok = false;
   std::string Error;
+  /// Structured failure: distinguishes a genuine disagreement (the
+  /// Theorem 2 alarm) from a resource guard firing (deadline, budget,
+  /// cancellation) — the latter leaves the validation inconclusive, not
+  /// failed.
+  support::Diag D;
   unsigned Paths = 0;        ///< Linear paths in the trace.
   unsigned PathsCovered = 0; ///< Paths exercised with a solver witness.
   unsigned Trials = 0;       ///< Total concrete-vs-trace comparisons run.
@@ -50,13 +57,18 @@ struct ValidationResult {
 /// concrete interpretation of \p M.  \p PcName is the architecture's PC
 /// register.  \p RandomTrials extra randomized states are checked on top
 /// of the per-path witnesses.
-ValidationResult validateInstruction(const sail::Model &M,
-                                     smt::TermBuilder &TB, uint32_t Opcode,
-                                     const isla::Assumptions &A,
-                                     const itl::Trace &Trace,
-                                     const std::string &PcName,
-                                     unsigned RandomTrials = 8,
-                                     uint64_t Seed = 1);
+///
+/// Resource guards: \p Limits (null = the ambient support::RunLimits)
+/// bounds the internal solver per check() and, via RunLimits::InstrSeconds,
+/// the whole validation wall clock; \p Cancel cancels cooperatively between
+/// trials and inside solver checks.  A fired guard returns !Ok with the
+/// matching infrastructure Diag code.
+ValidationResult validateInstruction(
+    const sail::Model &M, smt::TermBuilder &TB, uint32_t Opcode,
+    const isla::Assumptions &A, const itl::Trace &Trace,
+    const std::string &PcName, unsigned RandomTrials = 8, uint64_t Seed = 1,
+    const support::RunLimits *Limits = nullptr,
+    support::CancelToken Cancel = support::CancelToken());
 
 } // namespace islaris::validation
 

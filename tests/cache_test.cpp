@@ -11,6 +11,8 @@
 
 #include "cache/BatchDriver.h"
 #include "cache/Fingerprint.h"
+#include "cache/Journal.h"
+#include "cache/Scrub.h"
 #include "cache/SideCondCache.h"
 #include "cache/TraceCache.h"
 
@@ -21,8 +23,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 
 using namespace islaris;
@@ -752,6 +756,689 @@ TEST(SuiteCacheTest, WarmSideCondStoreEliminatesSatCalls) {
   // calls are answered by the store on a warm rerun.
   EXPECT_LE(WarmSat * 2, ColdSat)
       << "warm=" << WarmSat << " cold=" << ColdSat;
+}
+
+//===----------------------------------------------------------------------===//
+// Durability envelope.
+//===----------------------------------------------------------------------===//
+
+std::string readFileRaw(const std::filesystem::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+void writeFileRaw(const std::filesystem::path &P, const std::string &S) {
+  std::ofstream Out(P, std::ios::binary | std::ios::trunc);
+  Out.write(S.data(), std::streamsize(S.size()));
+}
+
+/// Entry files under \p Root, excluding the quarantine area.
+std::vector<std::filesystem::path>
+entryFiles(const std::filesystem::path &Root) {
+  std::vector<std::filesystem::path> Out;
+  if (!std::filesystem::exists(Root))
+    return Out;
+  for (const auto &F : std::filesystem::recursive_directory_iterator(Root))
+    if (F.is_regular_file() &&
+        F.path().string().find("quarantine") == std::string::npos)
+      Out.push_back(F.path());
+  return Out;
+}
+
+TEST(EnvelopeTest, WrapUnwrapAndFailureTaxonomy) {
+  std::string Payload = "(islaris-trace-cache 1 00ff) body\nwith newline";
+  std::string File = wrapDurableEntry(Payload);
+  ASSERT_EQ(File.compare(0, 15, "(islaris-entry "), 0);
+  std::string Out;
+  EXPECT_EQ(unwrapDurableEntry(File, Out), EnvelopeResult::Ok);
+  EXPECT_EQ(Out, Payload);
+
+  // Headerless pre-envelope files pass through as Legacy, byte-identical.
+  EXPECT_EQ(unwrapDurableEntry(Payload, Out), EnvelopeResult::Legacy);
+  EXPECT_EQ(Out, Payload);
+  EXPECT_EQ(unwrapDurableEntry("", Out), EnvelopeResult::Empty);
+
+  // Every corruption shape is detected before any parser sees the bytes.
+  std::string Flip = File;
+  Flip.back() = char(Flip.back() ^ 0x40);
+  EXPECT_EQ(unwrapDurableEntry(Flip, Out), EnvelopeResult::Corrupt);
+  EXPECT_EQ(unwrapDurableEntry(File.substr(0, File.size() - 1), Out),
+            EnvelopeResult::Corrupt); // truncated payload
+  EXPECT_EQ(unwrapDurableEntry(File.substr(0, 20), Out),
+            EnvelopeResult::Corrupt); // header torn mid-line
+  std::string BadVer = File;
+  BadVer[15] = '7'; // an unknown-but-well-formed version is NOT guessed at
+  EXPECT_EQ(unwrapDurableEntry(BadVer, Out), EnvelopeResult::BadVersion);
+
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull); // FNV-1a offset basis
+  EXPECT_EQ(fnv1a64("islaris"), fnv1a64("islaris"));
+  EXPECT_NE(fnv1a64("islaris"), fnv1a64("islariS"));
+
+  using support::ErrorCode;
+  EXPECT_EQ(envelopeErrorCode(EnvelopeResult::Corrupt),
+            ErrorCode::ChecksumMismatch);
+  EXPECT_EQ(envelopeErrorCode(EnvelopeResult::BadVersion),
+            ErrorCode::CacheVersionMismatch);
+  EXPECT_EQ(envelopeErrorCode(EnvelopeResult::Empty),
+            ErrorCode::CorruptCacheEntry);
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption matrix: every corruption class, against both stores, must be
+// detected, attributed with the right Diag code, and quarantined — never a
+// crash, never a wrong hit.
+//===----------------------------------------------------------------------===//
+
+struct CorruptionCase {
+  const char *What;
+  unsigned Kind;
+  support::ErrorCode Expect;
+};
+
+constexpr CorruptionCase CorruptionMatrix[] = {
+    {"truncated payload", 0, support::ErrorCode::ChecksumMismatch},
+    {"bit-flipped byte", 1, support::ErrorCode::ChecksumMismatch},
+    {"wrong version header", 2, support::ErrorCode::CacheVersionMismatch},
+    {"zero-length file", 3, support::ErrorCode::CorruptCacheEntry},
+};
+
+void corruptFile(const std::filesystem::path &P, unsigned Kind) {
+  std::string T = readFileRaw(P);
+  switch (Kind) {
+  case 0:
+    writeFileRaw(P, T.substr(0, T.size() - 5));
+    break;
+  case 1: {
+    size_t NL = T.find('\n');
+    size_t At = NL + 1 + (T.size() - NL) / 2;
+    T[At] = char(T[At] ^ 0x01);
+    writeFileRaw(P, T);
+    break;
+  }
+  case 2:
+    T[15] = '9'; // "(islaris-entry 9 ..." — valid shape, unknown version
+    writeFileRaw(P, T);
+    break;
+  case 3:
+    writeFileRaw(P, "");
+    break;
+  }
+}
+
+TEST(CorruptionMatrixTest, TraceStoreDetectsAttributesAndQuarantines) {
+  for (const CorruptionCase &TC : CorruptionMatrix) {
+    TempDir Tmp;
+    TraceCacheConfig Cfg;
+    Cfg.Persist = true;
+    Cfg.Dir = Tmp.Path.string();
+    Fingerprint K = Fingerprinter().str("matrix-key").digest();
+    CacheEntry E;
+    E.TraceText = "(trace)";
+    E.Stats.Paths = 1;
+    {
+      TraceCache C(Cfg);
+      C.insert(K, E);
+    }
+    auto Files = entryFiles(Tmp.Path);
+    ASSERT_EQ(Files.size(), 1u) << TC.What;
+    corruptFile(Files[0], TC.Kind);
+
+    TraceCache C2(Cfg);
+    EXPECT_FALSE(C2.lookup(K).has_value()) << TC.What; // miss, never garbage
+    CacheStats St = C2.stats();
+    EXPECT_EQ(St.Misses, 1u) << TC.What;
+    EXPECT_EQ(St.CorruptRemoved, 1u) << TC.What;
+    EXPECT_EQ(St.Quarantined, 1u) << TC.What;
+    auto Ds = C2.drainDiags();
+    ASSERT_EQ(Ds.size(), 1u) << TC.What;
+    EXPECT_EQ(Ds[0].Code, TC.Expect) << TC.What;
+    EXPECT_TRUE(support::isInfrastructureError(Ds[0].Code)) << TC.What;
+    EXPECT_TRUE(C2.drainDiags().empty()) << TC.What; // drain clears
+
+    // The corpse moved under quarantine/ and the entry path is free, so the
+    // next publish self-repairs the store.
+    EXPECT_FALSE(std::filesystem::exists(Files[0])) << TC.What;
+    EXPECT_TRUE(std::filesystem::exists(Tmp.Path / "quarantine" /
+                                        Files[0].filename()))
+        << TC.What;
+    C2.insert(K, E);
+    TraceCache C3(Cfg);
+    auto Hit = C3.lookup(K);
+    ASSERT_TRUE(Hit.has_value()) << TC.What;
+    EXPECT_EQ(Hit->TraceText, E.TraceText) << TC.What;
+  }
+}
+
+TEST(CorruptionMatrixTest, SideCondStoreDetectsAttributesAndQuarantines) {
+  for (const CorruptionCase &TC : CorruptionMatrix) {
+    TempDir Tmp;
+    SideCondConfig Cfg;
+    Cfg.Persist = true;
+    Cfg.Dir = Tmp.Path.string();
+    smt::SolverCache::CachedResult R;
+    R.Sat = true;
+    R.Model.emplace_back("x", 8u, BitVec(8, 42));
+    {
+      SideCondStore S(Cfg);
+      S.store("goal-closure", R);
+    }
+    auto Files = entryFiles(Tmp.Path);
+    ASSERT_EQ(Files.size(), 1u) << TC.What;
+    corruptFile(Files[0], TC.Kind);
+
+    SideCondStore S2(Cfg);
+    EXPECT_FALSE(S2.lookup("goal-closure").has_value()) << TC.What;
+    SideCondStats St = S2.stats();
+    EXPECT_EQ(St.Misses, 1u) << TC.What;
+    EXPECT_EQ(St.CorruptRemoved, 1u) << TC.What;
+    EXPECT_EQ(St.Quarantined, 1u) << TC.What;
+    auto Ds = S2.drainDiags();
+    ASSERT_EQ(Ds.size(), 1u) << TC.What;
+    EXPECT_EQ(Ds[0].Code, TC.Expect) << TC.What;
+    EXPECT_FALSE(std::filesystem::exists(Files[0])) << TC.What;
+    EXPECT_TRUE(std::filesystem::exists(Tmp.Path / "quarantine" /
+                                        Files[0].filename()))
+        << TC.What;
+
+    // Self-repair: republish, and a fresh instance serves the real verdict.
+    S2.store("goal-closure", R);
+    SideCondStore S3(Cfg);
+    auto Hit = S3.lookup("goal-closure");
+    ASSERT_TRUE(Hit.has_value()) << TC.What;
+    EXPECT_TRUE(Hit->Sat) << TC.What;
+    ASSERT_EQ(Hit->Model.size(), 1u) << TC.What;
+    EXPECT_EQ(std::get<2>(Hit->Model[0]).toUInt64(), 42u) << TC.What;
+  }
+}
+
+TEST(CorruptionMatrixTest, StaleTempFilesNeverServeReadsAndScrubReaps) {
+  TempDir Tmp;
+  TraceCacheConfig Cfg;
+  Cfg.Persist = true;
+  Cfg.Dir = Tmp.Path.string();
+  Fingerprint K = Fingerprinter().str("live-entry").digest();
+  CacheEntry E;
+  E.TraceText = "(trace)";
+  {
+    TraceCache C(Cfg);
+    C.insert(K, E);
+  }
+  auto Files = entryFiles(Tmp.Path);
+  ASSERT_EQ(Files.size(), 1u);
+  // A crash between create and rename leaves "<entry>.tmp.<pid>.<n>".
+  std::filesystem::path Stale = Files[0];
+  Stale += ".tmp.12345.0";
+  writeFileRaw(Stale, "half-written garbage");
+
+  // Readers never even look at temps: full hit, no diagnostics.
+  TraceCache C2(Cfg);
+  ASSERT_TRUE(C2.lookup(K).has_value());
+  EXPECT_EQ(C2.stats().CorruptRemoved, 0u);
+  EXPECT_TRUE(C2.drainDiags().empty());
+
+  // Scrub reaps the temp and leaves the live entry alone.
+  ScrubOptions O;
+  O.Dir = Tmp.Path.string();
+  ScrubReport Rep = scrubStore(O);
+  EXPECT_EQ(Rep.TempsRemoved, 1u);
+  EXPECT_EQ(Rep.OkEntries, 1u);
+  EXPECT_EQ(Rep.Quarantined, 0u);
+  EXPECT_GT(Rep.BytesReclaimed, 0u);
+  EXPECT_FALSE(std::filesystem::exists(Stale));
+  EXPECT_TRUE(std::filesystem::exists(Files[0]));
+}
+
+//===----------------------------------------------------------------------===//
+// Run journal.
+//===----------------------------------------------------------------------===//
+
+Fingerprint jkey(const char *S) { return Fingerprinter().str(S).digest(); }
+
+TEST(RunJournalTest, AppendsSurviveReopenAndLastRecordWins) {
+  TempDir Tmp;
+  std::string Path = (Tmp.Path / "suite.journal").string();
+  {
+    RunJournal J(Path);
+    ASSERT_TRUE(J.open());
+    EXPECT_EQ(J.records(), 0u);
+    EXPECT_TRUE(J.append(jkey("a"), "row one"));
+    EXPECT_TRUE(J.append(jkey("b"), "row two"));
+    EXPECT_TRUE(J.append(jkey("a"), "row one (rewrite)"));
+    EXPECT_EQ(J.records(), 2u);
+  }
+  RunJournal J2(Path);
+  ASSERT_TRUE(J2.open());
+  EXPECT_EQ(J2.records(), 2u);
+  EXPECT_EQ(J2.tornBytesDiscarded(), 0u);
+  ASSERT_NE(J2.find(jkey("a")), nullptr);
+  EXPECT_EQ(*J2.find(jkey("a")), "row one (rewrite)"); // last record wins
+  ASSERT_NE(J2.find(jkey("b")), nullptr);
+  EXPECT_EQ(*J2.find(jkey("b")), "row two");
+  EXPECT_EQ(J2.find(jkey("c")), nullptr);
+  EXPECT_TRUE(J2.drainDiags().empty());
+}
+
+TEST(RunJournalTest, PayloadsAreBinarySafe) {
+  TempDir Tmp;
+  std::string Path = (Tmp.Path / "suite.journal").string();
+  // A payload that *contains* a well-formed journal record must not confuse
+  // the recovery scan: records are length-directed, not delimiter-directed.
+  std::string Tricky =
+      "line one\n" + RunJournal::encodeRecord(jkey("inner"), "decoy") +
+      "(islaris-journal 1 trailing garbage";
+  {
+    RunJournal J(Path);
+    ASSERT_TRUE(J.open());
+    EXPECT_TRUE(J.append(jkey("t"), Tricky));
+  }
+  RunJournal J2(Path);
+  ASSERT_TRUE(J2.open());
+  EXPECT_EQ(J2.records(), 1u);
+  EXPECT_EQ(J2.tornBytesDiscarded(), 0u);
+  ASSERT_NE(J2.find(jkey("t")), nullptr);
+  EXPECT_EQ(*J2.find(jkey("t")), Tricky);
+  EXPECT_EQ(J2.find(jkey("inner")), nullptr);
+}
+
+TEST(RunJournalTest, TornTailIsTruncatedAndAppendsContinue) {
+  TempDir Tmp;
+  std::string Path = (Tmp.Path / "suite.journal").string();
+  {
+    RunJournal J(Path);
+    ASSERT_TRUE(J.open());
+    EXPECT_TRUE(J.append(jkey("a"), "alpha"));
+    EXPECT_TRUE(J.append(jkey("b"), "beta"));
+  }
+  // A crash mid-append leaves half a record at the tail.
+  std::string Torn = RunJournal::encodeRecord(jkey("c"), "gamma");
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::app);
+    Out.write(Torn.data(), std::streamsize(Torn.size() / 2));
+  }
+  RunJournal J2(Path);
+  ASSERT_TRUE(J2.open());
+  EXPECT_EQ(J2.records(), 2u); // the two durable records survive
+  EXPECT_EQ(J2.tornBytesDiscarded(), Torn.size() / 2);
+  auto Ds = J2.drainDiags();
+  ASSERT_EQ(Ds.size(), 1u);
+  EXPECT_EQ(Ds[0].Code, support::ErrorCode::ChecksumMismatch);
+  EXPECT_EQ(Ds[0].Sev, support::Severity::Warning);
+  EXPECT_EQ(J2.find(jkey("c")), nullptr); // the torn job just re-runs
+
+  // The truncation restored a clean tail: appends and reopens continue.
+  EXPECT_TRUE(J2.append(jkey("c"), "gamma"));
+  RunJournal J3(Path);
+  ASSERT_TRUE(J3.open());
+  EXPECT_EQ(J3.records(), 3u);
+  EXPECT_EQ(J3.tornBytesDiscarded(), 0u);
+  ASSERT_NE(J3.find(jkey("c")), nullptr);
+  EXPECT_EQ(*J3.find(jkey("c")), "gamma");
+}
+
+TEST(RunJournalTest, UnopenablePathFailsCleanly) {
+  TempDir Tmp;
+  std::filesystem::create_directories(Tmp.Path);
+  std::filesystem::path Blocker = Tmp.Path / "blocker";
+  writeFileRaw(Blocker, "a regular file where a directory must go");
+  RunJournal J((Blocker / "suite.journal").string());
+  EXPECT_FALSE(J.open());
+  EXPECT_FALSE(J.append(jkey("a"), "row")); // disabled, not crashed
+  auto Ds = J.drainDiags();
+  ASSERT_GE(Ds.size(), 1u);
+  EXPECT_EQ(Ds.back().Code, support::ErrorCode::IoError);
+}
+
+//===----------------------------------------------------------------------===//
+// Scrub and compaction.
+//===----------------------------------------------------------------------===//
+
+TEST(ScrubTest, MigratesLegacyFormatAndPlacementIntoShards) {
+  TempDir Tmp;
+  TraceCacheConfig Cfg;
+  Cfg.Persist = true;
+  Cfg.Dir = Tmp.Path.string();
+  Fingerprint K = Fingerprinter().str("legacy-entry").digest();
+  CacheEntry E;
+  E.TraceText = "(trace)";
+  {
+    TraceCache C(Cfg);
+    C.insert(K, E);
+  }
+  auto Files = entryFiles(Tmp.Path);
+  ASSERT_EQ(Files.size(), 1u);
+  std::string Hex = K.toHex();
+
+  // Regress the entry to what an old version would have left: headerless
+  // payload, flat at the store root.
+  std::string Payload;
+  ASSERT_EQ(unwrapDurableEntry(readFileRaw(Files[0]), Payload),
+            EnvelopeResult::Ok);
+  std::filesystem::remove(Files[0]);
+  std::filesystem::path Flat = Tmp.Path / (Hex + ".itc");
+  writeFileRaw(Flat, Payload);
+
+  ScrubOptions O;
+  O.Dir = Tmp.Path.string();
+  ScrubReport Rep = scrubStore(O);
+  EXPECT_EQ(Rep.LegacyMigrated, 1u);
+  EXPECT_EQ(Rep.Quarantined, 0u);
+  EXPECT_TRUE(Rep.clean());
+
+  // Migrated into its shard, enveloped, payload byte-identical; flat copy
+  // retired.
+  EXPECT_FALSE(std::filesystem::exists(Flat));
+  std::filesystem::path Shard = Tmp.Path / Hex.substr(0, 2) / (Hex + ".itc");
+  ASSERT_TRUE(std::filesystem::exists(Shard));
+  std::string Out;
+  EXPECT_EQ(unwrapDurableEntry(readFileRaw(Shard), Out), EnvelopeResult::Ok);
+  EXPECT_EQ(Out, Payload);
+
+  TraceCache C2(Cfg);
+  auto Hit = C2.lookup(K);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->TraceText, E.TraceText);
+
+  // A second pass is a fixpoint.
+  ScrubReport Rep2 = scrubStore(O);
+  EXPECT_EQ(Rep2.LegacyMigrated, 0u);
+  EXPECT_EQ(Rep2.OkEntries, 1u);
+  EXPECT_TRUE(Rep2.clean());
+}
+
+TEST(ScrubTest, QuarantinesCorruptAndMisnamedEntries) {
+  TempDir Tmp;
+  TraceCacheConfig Cfg;
+  Cfg.Persist = true;
+  Cfg.Dir = Tmp.Path.string();
+  Fingerprint K = Fingerprinter().str("scrub-corrupt").digest();
+  CacheEntry E;
+  E.TraceText = "(trace)";
+  {
+    TraceCache C(Cfg);
+    C.insert(K, E);
+  }
+  auto Files = entryFiles(Tmp.Path);
+  ASSERT_EQ(Files.size(), 1u);
+  corruptFile(Files[0], 1); // bit flip
+
+  // And an entry whose envelope verifies but whose payload does not embed
+  // the fingerprint its filename promises (renamed / cross-linked file):
+  // serving it would answer the wrong key.
+  std::string OtherHex(32, 'f');
+  std::filesystem::path Misnamed = Tmp.Path / "ff" / (OtherHex + ".itc");
+  std::filesystem::create_directories(Misnamed.parent_path());
+  writeFileRaw(Misnamed,
+               wrapDurableEntry("(islaris-trace-cache 1 " + K.toHex() +
+                                " (opcode-vars) (stats 1 0 0 0))\n(trace)\n"));
+
+  ScrubOptions O;
+  O.Dir = Tmp.Path.string();
+  ScrubReport Rep = scrubStore(O);
+  EXPECT_EQ(Rep.Quarantined, 2u);
+  EXPECT_EQ(Rep.OkEntries, 0u);
+  EXPECT_FALSE(Rep.clean());
+  EXPECT_FALSE(std::filesystem::exists(Files[0]));
+  EXPECT_FALSE(std::filesystem::exists(Misnamed));
+  EXPECT_TRUE(std::filesystem::exists(Tmp.Path / "quarantine" /
+                                      Files[0].filename()));
+  EXPECT_TRUE(std::filesystem::exists(Tmp.Path / "quarantine" /
+                                      (OtherHex + ".itc")));
+}
+
+TEST(ScrubTest, CompactionEvictsLruByMtimeUnderBudget) {
+  TempDir Tmp;
+  TraceCacheConfig Cfg;
+  Cfg.Persist = true;
+  Cfg.Dir = Tmp.Path.string();
+  std::vector<std::filesystem::path> Paths;
+  uint64_t Total = 0;
+  {
+    TraceCache C(Cfg);
+    auto Now = std::filesystem::file_time_type::clock::now();
+    for (int I = 0; I < 4; ++I) {
+      Fingerprint K = Fingerprinter().str("evict").u64(uint64_t(I)).digest();
+      CacheEntry E;
+      E.TraceText = "(trace)";
+      C.insert(K, E);
+      std::string Hex = K.toHex();
+      std::filesystem::path P =
+          Tmp.Path / Hex.substr(0, 2) / (Hex + ".itc");
+      ASSERT_TRUE(std::filesystem::exists(P)) << I;
+      // Entry I was last touched (4 - I) days ago: index 0 is the oldest.
+      std::filesystem::last_write_time(P,
+                                       Now - std::chrono::hours(24 * (4 - I)));
+      Paths.push_back(P);
+      Total += std::filesystem::file_size(P);
+    }
+  }
+
+  ScrubOptions O;
+  O.Dir = Tmp.Path.string();
+  O.MaxBytes = Total - std::filesystem::file_size(Paths[0]) -
+               std::filesystem::file_size(Paths[1]);
+  ScrubReport Rep = scrubStore(O);
+  EXPECT_EQ(Rep.Evicted, 2u);
+  EXPECT_LE(Rep.BytesInUse, O.MaxBytes);
+  // Oldest-first: the two stalest entries go, the two freshest stay.
+  EXPECT_FALSE(std::filesystem::exists(Paths[0]));
+  EXPECT_FALSE(std::filesystem::exists(Paths[1]));
+  EXPECT_TRUE(std::filesystem::exists(Paths[2]));
+  EXPECT_TRUE(std::filesystem::exists(Paths[3]));
+}
+
+TEST(ScrubTest, DryRunReportsWithoutMutating) {
+  TempDir Tmp;
+  TraceCacheConfig Cfg;
+  Cfg.Persist = true;
+  Cfg.Dir = Tmp.Path.string();
+  Fingerprint Good = Fingerprinter().str("dry-good").digest();
+  Fingerprint Bad = Fingerprinter().str("dry-bad").digest();
+  CacheEntry E;
+  E.TraceText = "(trace)";
+  {
+    TraceCache C(Cfg);
+    C.insert(Good, E);
+    C.insert(Bad, E);
+  }
+  std::string BadHex = Bad.toHex();
+  std::filesystem::path BadPath =
+      Tmp.Path / BadHex.substr(0, 2) / (BadHex + ".itc");
+  corruptFile(BadPath, 1);
+  std::filesystem::path Stale = BadPath;
+  Stale += ".tmp.999.1";
+  writeFileRaw(Stale, "stale");
+  // A legacy flat headerless entry to (not) migrate.
+  Fingerprint Leg = Fingerprinter().str("dry-legacy").digest();
+  std::filesystem::path Flat = Tmp.Path / (Leg.toHex() + ".itc");
+  writeFileRaw(Flat, TraceCache::serializeEntry(Leg, E));
+
+  ScrubOptions Dry;
+  Dry.Dir = Tmp.Path.string();
+  Dry.DryRun = true;
+  ScrubReport Rep = scrubStore(Dry);
+  EXPECT_EQ(Rep.TempsRemoved, 1u);
+  EXPECT_EQ(Rep.Quarantined, 1u);
+  EXPECT_EQ(Rep.LegacyMigrated, 1u);
+  EXPECT_EQ(Rep.OkEntries, 1u);
+  // ...but nothing moved: same corrupt bytes, same temp, same flat file.
+  EXPECT_TRUE(std::filesystem::exists(BadPath));
+  EXPECT_TRUE(std::filesystem::exists(Stale));
+  EXPECT_TRUE(std::filesystem::exists(Flat));
+  EXPECT_FALSE(std::filesystem::exists(Tmp.Path / "quarantine"));
+
+  // The wet pass then performs exactly what the dry pass promised.
+  Dry.DryRun = false;
+  ScrubReport Wet = scrubStore(Dry);
+  EXPECT_EQ(Wet.TempsRemoved, 1u);
+  EXPECT_EQ(Wet.Quarantined, 1u);
+  EXPECT_EQ(Wet.LegacyMigrated, 1u);
+  EXPECT_FALSE(std::filesystem::exists(Stale));
+  EXPECT_FALSE(std::filesystem::exists(Flat));
+  EXPECT_TRUE(std::filesystem::exists(Tmp.Path / "quarantine"));
+}
+
+TEST(ScrubTest, NestedSiblingStoreIsNotOursToMigrate) {
+  // cachectl scrubs the trace store at the root with the side-condition
+  // store nested at <root>/sidecond.  The trace-store pass must not
+  // descend into it: its entries would look "misplaced" relative to the
+  // trace root and a wet scrub would relocate them — wiping the store.
+  TempDir Tmp;
+  TraceCacheConfig Cfg;
+  Cfg.Persist = true;
+  Cfg.Dir = Tmp.Path.string();
+  Fingerprint K = Fingerprinter().str("nested-trace").digest();
+  CacheEntry E;
+  E.TraceText = "(trace)";
+  {
+    TraceCache C(Cfg);
+    C.insert(K, E);
+  }
+  Fingerprint SK = Fingerprinter().str("nested-sidecond").digest();
+  std::string SKHex = SK.toHex();
+  std::filesystem::path Nested =
+      Tmp.Path / "sidecond" / SKHex.substr(0, 2) / (SKHex + ".scc");
+  std::filesystem::create_directories(Nested.parent_path());
+  writeFileRaw(Nested, wrapDurableEntry("(sidecond-payload " + SKHex + ")"));
+
+  ScrubOptions SO;
+  SO.Dir = Tmp.Path.string();
+  ScrubReport Rep = scrubStore(SO);
+  EXPECT_EQ(Rep.FilesScanned, 1u); // the trace entry only
+  EXPECT_EQ(Rep.OkEntries, 1u);
+  EXPECT_EQ(Rep.LegacyMigrated, 0u);
+  EXPECT_TRUE(Rep.clean());
+  EXPECT_TRUE(std::filesystem::exists(Nested)); // untouched, in place
+
+  // Scrubbing the nested store by its own root still sees its entry.
+  SO.Dir = (Tmp.Path / "sidecond").string();
+  ScrubReport SRep = scrubStore(SO);
+  EXPECT_EQ(SRep.OkEntries, 1u);
+  EXPECT_TRUE(std::filesystem::exists(Nested));
+}
+
+//===----------------------------------------------------------------------===//
+// Suite journal: codec round-trip and resumable runs.
+//===----------------------------------------------------------------------===//
+
+TEST(SuiteJournalTest, CaseResultCodecRoundTrips) {
+  frontend::CaseResult R;
+  R.Name = "pkvm handler (with spaces)";
+  R.Isa = "aarch64";
+  R.Ok = false;
+  R.Error = "witness: (parens) 12:34\nsecond line";
+  R.D = support::Diag::error(support::ErrorCode::JobException, "suite",
+                             R.Error);
+  R.AsmInstrs = 17;
+  R.ItlEvents = 321;
+  R.SpecSize = 9;
+  R.Hints = 3;
+  R.IslaSeconds = 0.1; // not exactly representable in decimal
+  R.TracesExecuted = 5;
+  R.CacheHits = 12;
+  R.Deduped = 2;
+  R.IslaMemoHits = 1;
+  R.IslaStoreHits = 4;
+  R.IslaStmts = 1234567;
+  R.IslaStmtsSkipped = 7;
+  R.HelperMemoHits = 8;
+  R.Retries = 1;
+  R.Quarantined = 1;
+  R.Proof.EventsProcessed = 1000;
+  R.Proof.PathsVerified = 33;
+  R.Proof.Entailments = 44;
+  R.Proof.SolverQueries = 55;
+  R.Proof.TotalSeconds = 1.0 / 3.0;
+  R.Proof.SideCondSeconds = 2.5e-7;
+
+  std::string Enc = frontend::encodeCaseResult(R);
+  frontend::CaseResult Out;
+  ASSERT_TRUE(frontend::decodeCaseResult(Enc, Out));
+  EXPECT_EQ(Out.Name, R.Name);
+  EXPECT_EQ(Out.Isa, R.Isa);
+  EXPECT_EQ(Out.Ok, R.Ok);
+  EXPECT_EQ(Out.Error, R.Error);
+  EXPECT_EQ(Out.D.Code, R.D.Code);
+  EXPECT_EQ(Out.D.Stage, R.D.Stage);
+  EXPECT_EQ(Out.D.Message, R.D.Message);
+  EXPECT_EQ(Out.AsmInstrs, R.AsmInstrs);
+  EXPECT_EQ(Out.ItlEvents, R.ItlEvents);
+  EXPECT_EQ(Out.SpecSize, R.SpecSize);
+  EXPECT_EQ(Out.Hints, R.Hints);
+  EXPECT_EQ(Out.IslaSeconds, R.IslaSeconds); // hexfloat: bit-exact
+  EXPECT_EQ(Out.TracesExecuted, R.TracesExecuted);
+  EXPECT_EQ(Out.CacheHits, R.CacheHits);
+  EXPECT_EQ(Out.Deduped, R.Deduped);
+  EXPECT_EQ(Out.IslaStmts, R.IslaStmts);
+  EXPECT_EQ(Out.Retries, R.Retries);
+  EXPECT_EQ(Out.Quarantined, R.Quarantined);
+  EXPECT_EQ(Out.Proof.EventsProcessed, R.Proof.EventsProcessed);
+  EXPECT_EQ(Out.Proof.PathsVerified, R.Proof.PathsVerified);
+  EXPECT_EQ(Out.Proof.Entailments, R.Proof.Entailments);
+  EXPECT_EQ(Out.Proof.SolverQueries, R.Proof.SolverQueries);
+  EXPECT_EQ(Out.Proof.TotalSeconds, R.Proof.TotalSeconds);
+  EXPECT_EQ(Out.Proof.SideCondSeconds, R.Proof.SideCondSeconds);
+
+  // Version and truncation failures are detected, not misdecoded.
+  std::string BadVer = Enc;
+  BadVer[5] = '2'; // "case 2 "
+  frontend::CaseResult Junk;
+  EXPECT_FALSE(frontend::decodeCaseResult(BadVer, Junk));
+  EXPECT_FALSE(frontend::decodeCaseResult(Enc.substr(0, Enc.size() / 2),
+                                          Junk));
+  EXPECT_FALSE(frontend::decodeCaseResult("", Junk));
+}
+
+TEST(SuiteJournalTest, ResumedSuiteRestoresRowsBitIdentical) {
+  TempDir Tmp;
+  frontend::SuiteOptions Opts;
+  Opts.Threads = 1;
+  Opts.JournalPath = (Tmp.Path / "suite.journal").string();
+  std::vector<frontend::CaseResult> Cold =
+      frontend::runAllCaseStudies(Opts);
+  for (const frontend::CaseResult &R : Cold)
+    EXPECT_FALSE(R.Resumed) << R.Name;
+  EXPECT_EQ(frontend::summarize(Cold).JobsResumed, 0u);
+
+  // Same options + Resume: every row restores from the journal — including
+  // the recorded timings, bit-for-bit — and no study re-runs.
+  Opts.Resume = true;
+  std::vector<frontend::CaseResult> Resumed =
+      frontend::runAllCaseStudies(Opts);
+  ASSERT_EQ(Resumed.size(), Cold.size());
+  EXPECT_EQ(frontend::summarize(Resumed).JobsResumed,
+            unsigned(Resumed.size()));
+  for (size_t I = 0; I < Cold.size(); ++I) {
+    EXPECT_TRUE(Resumed[I].Resumed) << Resumed[I].Name;
+    EXPECT_EQ(Resumed[I].Name, Cold[I].Name);
+    EXPECT_EQ(Resumed[I].Ok, Cold[I].Ok) << Resumed[I].Name;
+    EXPECT_EQ(Resumed[I].Error, Cold[I].Error) << Resumed[I].Name;
+    EXPECT_EQ(Resumed[I].AsmInstrs, Cold[I].AsmInstrs) << Resumed[I].Name;
+    EXPECT_EQ(Resumed[I].ItlEvents, Cold[I].ItlEvents) << Resumed[I].Name;
+    EXPECT_EQ(Resumed[I].SpecSize, Cold[I].SpecSize) << Resumed[I].Name;
+    EXPECT_EQ(Resumed[I].IslaSeconds, Cold[I].IslaSeconds)
+        << Resumed[I].Name;
+    EXPECT_EQ(Resumed[I].Proof.PathsVerified, Cold[I].Proof.PathsVerified)
+        << Resumed[I].Name;
+    EXPECT_EQ(Resumed[I].Proof.EventsProcessed,
+              Cold[I].Proof.EventsProcessed)
+        << Resumed[I].Name;
+    EXPECT_EQ(Resumed[I].Proof.SolverQueries, Cold[I].Proof.SolverQueries)
+        << Resumed[I].Name;
+    EXPECT_EQ(Resumed[I].Proof.TotalSeconds, Cold[I].Proof.TotalSeconds)
+        << Resumed[I].Name;
+  }
+
+  // A result-affecting configuration change keys differently: nothing from
+  // the old run may be restored under the new guards.
+  frontend::SuiteOptions Other = Opts;
+  Other.Limits.InstrSeconds = 3600;
+  std::vector<frontend::CaseResult> Fresh =
+      frontend::runAllCaseStudies(Other);
+  EXPECT_EQ(frontend::summarize(Fresh).JobsResumed, 0u);
+  for (const frontend::CaseResult &R : Fresh)
+    EXPECT_TRUE(R.Ok) << R.Name << ": " << R.Error;
 }
 
 TEST(SuiteCacheTest, ParallelSuiteMatchesSerial) {

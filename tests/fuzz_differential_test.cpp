@@ -12,6 +12,7 @@
 #include "arch/RiscV.h"
 #include "isla/Executor.h"
 #include "models/Models.h"
+#include "support/Guard.h"
 #include "validation/Validator.h"
 
 #include <gtest/gtest.h>
@@ -22,6 +23,16 @@ using namespace islaris;
 using islaris::itl::Reg;
 
 namespace {
+
+/// Guards for every fuzz validation: generous enough to never fire on a
+/// healthy pipeline, tight enough that a wedged solver fails the round with
+/// an attributed Diag instead of hanging the whole suite.
+support::RunLimits fuzzLimits() {
+  support::RunLimits L;
+  L.SolverCheckSeconds = 10;
+  L.InstrSeconds = 60;
+  return L;
+}
 
 class FuzzTest : public ::testing::TestWithParam<int> {};
 
@@ -159,9 +170,10 @@ TEST_P(FuzzTest, ArmUserLevelInstructions) {
 
     isla::ExecResult R = Ex.run(isla::OpcodeSpec::concrete(Op), A);
     ASSERT_TRUE(R.Ok) << BitVec(32, Op).toHexString() << ": " << R.Error;
+    support::RunLimits Limits = fuzzLimits();
     validation::ValidationResult VR = validation::validateInstruction(
         models::aarch64Model(), TB, Op, A, R.Trace, "_PC",
-        /*RandomTrials=*/3, Op ^ uint64_t(GetParam()));
+        /*RandomTrials=*/3, Op ^ uint64_t(GetParam()), &Limits);
     EXPECT_TRUE(VR.Ok) << BitVec(32, Op).toHexString() << ": " << VR.Error;
     EXPECT_EQ(VR.PathsCovered, VR.Paths) << BitVec(32, Op).toHexString();
   }
@@ -280,14 +292,79 @@ TEST_P(FuzzTest, RvInstructions) {
     isla::ExecResult R =
         Ex.run(isla::OpcodeSpec::concrete(Op), isla::Assumptions());
     ASSERT_TRUE(R.Ok) << BitVec(32, Op).toHexString() << ": " << R.Error;
+    support::RunLimits Limits = fuzzLimits();
     validation::ValidationResult VR = validation::validateInstruction(
         models::rv64Model(), TB, Op, isla::Assumptions(), R.Trace, "PC",
-        /*RandomTrials=*/3, Op ^ uint64_t(GetParam()));
+        /*RandomTrials=*/3, Op ^ uint64_t(GetParam()), &Limits);
     EXPECT_TRUE(VR.Ok) << BitVec(32, Op).toHexString() << ": " << VR.Error;
     EXPECT_EQ(VR.PathsCovered, VR.Paths) << BitVec(32, Op).toHexString();
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(1, 2, 3, 4));
+
+//===----------------------------------------------------------------------===//
+// Guard threading (the ROADMAP follow-up): a fired guard must surface as an
+// attributed infrastructure Diag, never a hang, a crash, or a silent pass.
+//===----------------------------------------------------------------------===//
+
+TEST(GuardedValidation, ExpiredDeadlineAttributed) {
+  namespace e = arch::rv64::enc;
+  smt::TermBuilder TB;
+  isla::Executor Ex(models::rv64Model(), TB);
+  uint32_t Op = e::addi(5, 6, 42);
+  isla::ExecResult R =
+      Ex.run(isla::OpcodeSpec::concrete(Op), isla::Assumptions());
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  support::RunLimits L;
+  L.InstrSeconds = 1e-9; // already expired when validation starts
+  validation::ValidationResult VR = validation::validateInstruction(
+      models::rv64Model(), TB, Op, isla::Assumptions(), R.Trace, "PC", 3, 1,
+      &L);
+  EXPECT_FALSE(VR.Ok);
+  EXPECT_EQ(VR.D.Code, support::ErrorCode::DeadlineExceeded);
+  EXPECT_TRUE(support::isInfrastructureError(VR.D.Code));
+}
+
+TEST(GuardedValidation, CancelledTokenAttributed) {
+  namespace e = arch::rv64::enc;
+  smt::TermBuilder TB;
+  isla::Executor Ex(models::rv64Model(), TB);
+  uint32_t Op = e::addi(5, 6, 42);
+  isla::ExecResult R =
+      Ex.run(isla::OpcodeSpec::concrete(Op), isla::Assumptions());
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  support::CancelToken Cancel = support::CancelToken::create();
+  Cancel.requestCancel();
+  validation::ValidationResult VR = validation::validateInstruction(
+      models::rv64Model(), TB, Op, isla::Assumptions(), R.Trace, "PC", 3, 1,
+      nullptr, Cancel);
+  EXPECT_FALSE(VR.Ok);
+  EXPECT_EQ(VR.D.Code, support::ErrorCode::Cancelled);
+}
+
+TEST(GuardedValidation, GenerousGuardsDoNotPerturb) {
+  namespace e = arch::rv64::enc;
+  smt::TermBuilder TB;
+  isla::Executor Ex(models::rv64Model(), TB);
+  uint32_t Op = e::sltu(3, 4, 5);
+  isla::ExecResult R =
+      Ex.run(isla::OpcodeSpec::concrete(Op), isla::Assumptions());
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  validation::ValidationResult Bare = validation::validateInstruction(
+      models::rv64Model(), TB, Op, isla::Assumptions(), R.Trace, "PC", 3, 7);
+  support::RunLimits L = fuzzLimits();
+  validation::ValidationResult Guarded = validation::validateInstruction(
+      models::rv64Model(), TB, Op, isla::Assumptions(), R.Trace, "PC", 3, 7,
+      &L, support::CancelToken::create());
+  EXPECT_TRUE(Bare.Ok) << Bare.Error;
+  EXPECT_TRUE(Guarded.Ok) << Guarded.Error;
+  EXPECT_EQ(Bare.Paths, Guarded.Paths);
+  EXPECT_EQ(Bare.PathsCovered, Guarded.PathsCovered);
+  EXPECT_EQ(Bare.Trials, Guarded.Trials);
+}
 
 } // namespace
