@@ -1,0 +1,273 @@
+//===- bench/bench_server.cpp - islarisd load generator (E8) -------------------===//
+//
+// Measures the resident server the way a client fleet sees it: an
+// in-process islarisd on a Unix socket, driven by N concurrent clients
+// replaying thousands of mixed requests.
+//
+//   cold phase  — every distinct key requested once (fresh executions,
+//                 serial: unloaded latency);
+//   warm phase  — the same keys re-requested serially (cache hits + wire
+//                 round-trip: unloaded warm latency, the apples-to-apples
+//                 comparison against cold);
+//   fleet phase — thousands of requests over the same keys from 8
+//                 concurrent client connections (loaded throughput).
+//
+// Emits BENCH_server.json with throughput and p50/p95/p99 latency per
+// phase, and self-checks the headline claim of the server work: warm p50
+// latency at least 10x below cold p50 (the resident state is what a
+// short-lived batch process cannot keep).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+#include "server/Server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace islaris;
+namespace fs = std::filesystem;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point T) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - T).count();
+}
+
+double pct(std::vector<double> &V, double P) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  size_t I = size_t(P * double(V.size() - 1) + 0.5);
+  return V[std::min(I, V.size() - 1)];
+}
+
+/// add x<rd>, x<rn>, #imm with a *symbolic* destination register and one
+/// symbolic source-index bit (64 merged paths, as in the paper's
+/// symbolic-operand executions) and a distinct immediate per key index:
+/// one key = one distinct, genuinely expensive symbolic execution.
+server::TraceRequest requestFor(unsigned Key) {
+  server::TraceRequest T;
+  T.Arch = "aarch64";
+  T.Opcode = 0x910003e0u | ((Key & 0xfffu) << 10);
+  T.SymMask = 0x3fu; // rd + low rn bit symbolic
+  T.Assumes.push_back({"PSTATE", "EL", 2, 2});
+  T.Assumes.push_back({"PSTATE", "SP", 1, 1});
+  return T;
+}
+
+struct Phase {
+  std::vector<double> LatMs;
+  double WallSeconds = 0;
+  unsigned Failures = 0;
+};
+
+} // namespace
+
+int main() {
+  // Throwaway store, no durability syncs: this benchmark measures the
+  // server, not the disk.
+  ::setenv("ISLARIS_NO_FSYNC", "1", 1);
+  char DirTmpl[] = "/tmp/islaris-bench-XXXXXX";
+  std::string Root = ::mkdtemp(DirTmpl);
+  std::string Sock = Root + "/d.sock";
+
+  server::ServerConfig Cfg;
+  Cfg.SocketPath = Sock;
+  Cfg.Workers = 4;
+  Cfg.MaxQueueDepth = 1u << 14;
+  Cfg.CacheDir = Root + "/cache";
+  server::Server S(Cfg);
+  std::string Err;
+  if (!S.start(Err)) {
+    std::fprintf(stderr, "bench_server: %s\n", Err.c_str());
+    return 2;
+  }
+
+  constexpr unsigned Keys = 48;
+  constexpr unsigned WarmRequests = 480;
+  constexpr unsigned FleetRequests = 2000;
+  constexpr unsigned ClientThreads = 8;
+
+  std::printf("=== islarisd load generation ===\n\n");
+
+  // The first request pays the one-time model parse; keep that out of the
+  // cold latency distribution (it is the daemon's startup cost, not a
+  // per-request one).
+  {
+    server::Client C;
+    if (!C.connect(Sock, Err)) {
+      std::fprintf(stderr, "bench_server: %s\n", Err.c_str());
+      return 2;
+    }
+    server::TraceRequest W = requestFor(0);
+    W.Opcode |= 0xfffu << 10; // an immediate outside the key range
+    server::Client::TraceResult R;
+    if (!C.runTrace(W, R, Err) || !R.Ok) {
+      std::fprintf(stderr, "bench_server: warmup failed: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+
+  // --- Cold phase: each distinct key once, serially (fresh executions).
+  Phase Cold;
+  {
+    server::Client C;
+    if (!C.connect(Sock, Err)) {
+      std::fprintf(stderr, "bench_server: %s\n", Err.c_str());
+      return 2;
+    }
+    Clock::time_point T0 = Clock::now();
+    for (unsigned K = 0; K < Keys; ++K) {
+      Clock::time_point R0 = Clock::now();
+      server::Client::TraceResult R;
+      if (!C.runTrace(requestFor(K), R, Err) || !R.Ok)
+        ++Cold.Failures;
+      Cold.LatMs.push_back(msSince(R0));
+    }
+    Cold.WallSeconds = msSince(T0) / 1e3;
+  }
+
+  // --- Warm phase: the same keys again, serially, from a fresh client —
+  // the unloaded warm latency a single caller observes.
+  Phase Warm;
+  {
+    server::Client C;
+    if (!C.connect(Sock, Err)) {
+      std::fprintf(stderr, "bench_server: %s\n", Err.c_str());
+      return 2;
+    }
+    Clock::time_point T0 = Clock::now();
+    for (unsigned I = 0; I < WarmRequests; ++I) {
+      Clock::time_point R0 = Clock::now();
+      server::Client::TraceResult R;
+      if (!C.runTrace(requestFor(I % Keys), R, Err) || !R.Ok)
+        ++Warm.Failures;
+      Warm.LatMs.push_back(msSince(R0));
+    }
+    Warm.WallSeconds = msSince(T0) / 1e3;
+  }
+
+  // --- Fleet phase: the same keys, thousands of times, from concurrent
+  // clients (one connection per thread, as real clients would).
+  Phase Fleet;
+  {
+    std::vector<std::vector<double>> PerThread(ClientThreads);
+    std::vector<unsigned> Fail(ClientThreads, 0);
+    std::atomic<unsigned> Next{0};
+    Clock::time_point T0 = Clock::now();
+    std::vector<std::thread> Ts;
+    for (unsigned W = 0; W < ClientThreads; ++W)
+      Ts.emplace_back([&, W] {
+        server::Client C;
+        std::string E;
+        if (!C.connect(Sock, E)) {
+          ++Fail[W];
+          return;
+        }
+        while (true) {
+          unsigned I = Next.fetch_add(1, std::memory_order_relaxed);
+          if (I >= FleetRequests)
+            return;
+          Clock::time_point R0 = Clock::now();
+          server::Client::TraceResult R;
+          if (!C.runTrace(requestFor(I % Keys), R, E) || !R.Ok)
+            ++Fail[W];
+          PerThread[W].push_back(msSince(R0));
+        }
+      });
+    for (std::thread &T : Ts)
+      T.join();
+    Fleet.WallSeconds = msSince(T0) / 1e3;
+    for (unsigned W = 0; W < ClientThreads; ++W) {
+      Fleet.LatMs.insert(Fleet.LatMs.end(), PerThread[W].begin(),
+                         PerThread[W].end());
+      Fleet.Failures += Fail[W];
+    }
+  }
+
+  server::ServerStats St = S.stats();
+  S.requestShutdown();
+  S.wait();
+
+  double ColdP50 = pct(Cold.LatMs, 0.50), ColdP95 = pct(Cold.LatMs, 0.95),
+         ColdP99 = pct(Cold.LatMs, 0.99);
+  double WarmP50 = pct(Warm.LatMs, 0.50), WarmP95 = pct(Warm.LatMs, 0.95),
+         WarmP99 = pct(Warm.LatMs, 0.99);
+  double FleetP50 = pct(Fleet.LatMs, 0.50), FleetP95 = pct(Fleet.LatMs, 0.95),
+         FleetP99 = pct(Fleet.LatMs, 0.99);
+  double FleetRps = double(Fleet.LatMs.size()) / Fleet.WallSeconds;
+
+  std::printf("phase |     n | threads |   p50 ms |   p95 ms |   p99 ms |  req/s\n");
+  std::printf("--------------------------------------------------------------------\n");
+  std::printf("cold  | %5zu | %7u | %8.3f | %8.3f | %8.3f | %6.0f\n",
+              Cold.LatMs.size(), 1u, ColdP50, ColdP95, ColdP99,
+              double(Cold.LatMs.size()) / Cold.WallSeconds);
+  std::printf("warm  | %5zu | %7u | %8.3f | %8.3f | %8.3f | %6.0f\n",
+              Warm.LatMs.size(), 1u, WarmP50, WarmP95, WarmP99,
+              double(Warm.LatMs.size()) / Warm.WallSeconds);
+  std::printf("fleet | %5zu | %7u | %8.3f | %8.3f | %8.3f | %6.0f\n\n",
+              Fleet.LatMs.size(), ClientThreads, FleetP50, FleetP95, FleetP99,
+              FleetRps);
+  std::printf("server: executed=%llu warm_hits=%llu dedup_fanout=%llu "
+              "rejected=%llu\n\n",
+              (unsigned long long)St.Executed,
+              (unsigned long long)St.WarmHits,
+              (unsigned long long)St.DedupFanout,
+              (unsigned long long)St.Rejected);
+
+  bool NoFailures =
+      Cold.Failures == 0 && Warm.Failures == 0 && Fleet.Failures == 0;
+  // Dedup attach counts as warm service here: either way the request did
+  // not pay for its own execution.  Everything after the cold phase (plus
+  // the warmup request) should have been served from resident state.
+  bool WarmServed =
+      St.WarmHits + St.DedupFanout >= uint64_t(WarmRequests + FleetRequests);
+  bool Speedup = WarmP50 * 10.0 <= ColdP50;
+  std::printf("  no failed requests .......................... %s\n",
+              NoFailures ? "yes" : "NO");
+  std::printf("  warm+fleet served without re-execution ...... %s\n",
+              WarmServed ? "yes" : "NO");
+  std::printf("  warm p50 at least 10x below cold p50 ........ %s "
+              "(%.3f ms vs %.3f ms)\n",
+              Speedup ? "yes" : "NO", WarmP50, ColdP50);
+
+  std::FILE *J = std::fopen("BENCH_server.json", "w");
+  if (J) {
+    std::fprintf(
+        J,
+        "{\"bench\":\"server\",\"keys\":%u,\"client_threads\":%u,"
+        "\"cold\":{\"n\":%zu,\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,"
+        "\"wall_s\":%.4f},"
+        "\"warm\":{\"n\":%zu,\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,"
+        "\"wall_s\":%.4f},"
+        "\"fleet\":{\"n\":%zu,\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,"
+        "\"wall_s\":%.4f,\"req_per_s\":%.1f},"
+        "\"server\":{\"executed\":%llu,\"warm_hits\":%llu,"
+        "\"dedup_fanout\":%llu},"
+        "\"warm_p50_speedup\":%.1f}\n",
+        Keys, ClientThreads, Cold.LatMs.size(), ColdP50, ColdP95, ColdP99,
+        Cold.WallSeconds, Warm.LatMs.size(), WarmP50, WarmP95, WarmP99,
+        Warm.WallSeconds, Fleet.LatMs.size(), FleetP50, FleetP95, FleetP99,
+        Fleet.WallSeconds, FleetRps, (unsigned long long)St.Executed,
+        (unsigned long long)St.WarmHits, (unsigned long long)St.DedupFanout,
+        WarmP50 > 0 ? ColdP50 / WarmP50 : 0.0);
+    std::fclose(J);
+    std::printf("\n  wrote BENCH_server.json\n");
+  }
+
+  std::error_code EC;
+  fs::remove_all(Root, EC);
+  return NoFailures && WarmServed && Speedup ? 0 : 1;
+}

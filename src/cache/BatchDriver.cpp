@@ -2,6 +2,7 @@
 
 #include "cache/BatchDriver.h"
 
+#include "cache/Generations.h"
 #include "cache/SideCondCache.h"
 #include "smt/TermBuilder.h"
 #include "support/Guard.h"
@@ -177,6 +178,11 @@ BatchDriver::run(const std::vector<TraceJob> &Jobs, TraceCache *Cache) {
         G.Entry = std::move(*E);
         G.Ok = true;
         G.FromCache = true;
+        // A warm hit keeps its model's generation current, so steady-state
+        // traffic never ages a live model into GC range.
+        if (Cache->config().Persist)
+          touchGeneration(Cache->dir(),
+                          fingerprintModel(*Jobs[G.Members.front()].Model));
         continue;
       }
     }
@@ -241,8 +247,15 @@ BatchDriver::run(const std::vector<TraceJob> &Jobs, TraceCache *Cache) {
         G.Ok = true;
         G.Error.clear();
         G.D = support::Diag();
-        if (Cache)
+        if (Cache) {
           Cache->insert(K, G.Entry);
+          // Generation bookkeeping for persistent stores: a fresh
+          // execution mints an entry against this job's model, so record
+          // the (model, key) pair for `cachectl gc --keep-generations`.
+          if (Cache->config().Persist)
+            recordEntryGeneration(Cache->dir(), fingerprintModel(*J.Model),
+                                  K);
+        }
         return;
       }
       G.Exceptions += Threw ? 1 : 0;

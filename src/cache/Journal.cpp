@@ -5,12 +5,14 @@
 #include "cache/TraceCache.h" // fnv1a64, fsync policy shared with the stores
 #include "support/FaultInjector.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <vector>
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -124,10 +126,17 @@ bool RunJournal::open() {
     std::string_view Payload(Text.data() + PayloadStart, WantLen);
     if (Text[PayloadStart + WantLen] != '\n' || fnv1a64(Payload) != WantSum)
       break;
+    size_t RecordSize = PayloadStart + WantLen + 1 - Pos;
+    auto It = Map.find(K);
+    if (It == Map.end())
+      LiveBytes += RecordSize;
+    else
+      LiveBytes += RecordSize - encodeRecord(K, It->second).size();
     Map[K] = std::string(Payload); // last record for a key wins
     Pos = PayloadStart + WantLen + 1;
     (void)Start;
   }
+  FileBytes = Pos;
   if (Pos < Text.size()) {
     TornBytes = Text.size() - Pos;
     if (::truncate(FilePath.c_str(), off_t(Pos)) != 0) {
@@ -201,7 +210,74 @@ bool RunJournal::append(const Fingerprint &K, const std::string &Payload) {
   // the job must be skipped on resume.
   if (FaultInjector::fire(FaultSite::CrashJournal))
     std::_Exit(42);
+  FileBytes += Record.size();
+  auto It = Map.find(K);
+  if (It == Map.end())
+    LiveBytes += Record.size();
+  else
+    LiveBytes += Record.size() - encodeRecord(K, It->second).size();
   Map[K] = Payload;
+  // Rotation: once the file outgrows the threshold and at least half of it
+  // is dead (superseded records), rewrite it.  The half-dead gate keeps a
+  // journal of mostly-distinct keys from recompacting on every append.
+  if (CompactThreshold && FileBytes > CompactThreshold &&
+      LiveBytes <= FileBytes / 2)
+    compactLocked();
+  return true;
+}
+
+void RunJournal::setCompactThreshold(uint64_t Bytes) {
+  std::lock_guard<std::mutex> L(Mu);
+  CompactThreshold = Bytes;
+}
+
+bool RunJournal::compact() {
+  std::lock_guard<std::mutex> L(Mu);
+  return compactLocked();
+}
+
+bool RunJournal::compactLocked() {
+  if (Fd < 0)
+    return false;
+  // Deterministic record order: sorted by key, so two compactions of the
+  // same logical state produce byte-identical files.
+  std::vector<const Fingerprint *> Keys;
+  Keys.reserve(Map.size());
+  for (const auto &[K, V] : Map) {
+    (void)V;
+    Keys.push_back(&K);
+  }
+  std::sort(Keys.begin(), Keys.end(),
+            [](const Fingerprint *A, const Fingerprint *B) { return *A < *B; });
+  std::string Text;
+  Text.reserve(LiveBytes);
+  for (const Fingerprint *K : Keys)
+    Text += encodeRecord(*K, Map.at(*K));
+  uint64_t Reclaimed = FileBytes > Text.size() ? FileBytes - Text.size() : 0;
+  // atomicWriteFile gives the full write-temp/fsync/rename/fsync-dir
+  // protocol; the old append descriptor then points at the unlinked inode
+  // and must be swapped for one on the new file.
+  if (!atomicWriteFile(FilePath, Text)) {
+    noteDiag(support::Diag::error(support::ErrorCode::IoError, "journal",
+                                  "journal compaction rewrite failed: " +
+                                      FilePath));
+    return false;
+  }
+  ::close(Fd);
+  Fd = ::open(FilePath.c_str(), O_WRONLY | O_APPEND, 0644);
+  if (Fd < 0) {
+    noteDiag(support::Diag::error(
+        support::ErrorCode::IoError, "journal",
+        "could not reopen journal after compaction: " + FilePath));
+    return false;
+  }
+  FileBytes = LiveBytes = Text.size();
+  ++Compactions;
+  noteDiag(support::Diag(
+      support::ErrorCode::Ok, "journal",
+      "compacted run journal (" + std::to_string(Reclaimed) +
+          " bytes of superseded records reclaimed): " + FilePath,
+      support::Severity::Note));
   return true;
 }
 
@@ -219,6 +295,16 @@ size_t RunJournal::records() const {
 uint64_t RunJournal::tornBytesDiscarded() const {
   std::lock_guard<std::mutex> L(Mu);
   return TornBytes;
+}
+
+uint64_t RunJournal::fileBytes() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return FileBytes;
+}
+
+unsigned RunJournal::compactions() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Compactions;
 }
 
 std::vector<support::Diag> RunJournal::drainDiags() {

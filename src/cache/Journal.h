@@ -64,13 +64,34 @@ public:
 
   /// Appends a record durably (write + fsync before returning).  Returns
   /// false when the journal is closed or the write failed; the in-memory
-  /// map is only updated on success.
+  /// map is only updated on success.  When a compaction threshold is set
+  /// and the file has outgrown it, the append triggers a compaction pass.
   bool append(const Fingerprint &K, const std::string &Payload);
+
+  /// Arms automatic rotation: once the journal file exceeds \p Bytes after
+  /// an append AND rewriting last-record-per-key would reclaim at least
+  /// half the file (long-lived suites re-append every key each run, so the
+  /// dead-record fraction grows without bound), the file is compacted in
+  /// place.  0 (the default) disables automatic compaction.
+  void setCompactThreshold(uint64_t Bytes);
+
+  /// One rotation/compaction pass: rewrites the last record per key into a
+  /// fresh file and atomically swaps it over the journal (write-temp,
+  /// fsync, rename — the same durability protocol as the entry stores), so
+  /// a crash at any point leaves either the old or the new file, never a
+  /// mix.  The append descriptor is reopened on the new file.  Returns
+  /// false when the rewrite or the reopen failed (the journal is then
+  /// closed — appends fail cleanly rather than landing on a stale inode).
+  bool compact();
 
   /// Number of distinct keys with a surviving record.
   size_t records() const;
   /// Bytes of torn tail discarded by open() (0 on a clean file).
   uint64_t tornBytesDiscarded() const;
+  /// Current journal file size in bytes (valid records only).
+  uint64_t fileBytes() const;
+  /// Compaction passes run (automatic and explicit) since open().
+  unsigned compactions() const;
   const std::string &path() const { return FilePath; }
 
   /// Returns and clears diagnostics (torn-tail truncation, I/O failures);
@@ -88,9 +109,15 @@ private:
   mutable std::mutex Mu;
   std::unordered_map<Fingerprint, std::string, FingerprintHash> Map;
   uint64_t TornBytes = 0;
+  uint64_t FileBytes = 0;    ///< Valid bytes on disk (append-tracked).
+  uint64_t LiveBytes = 0;    ///< Bytes a compacted rewrite would occupy.
+  uint64_t CompactThreshold = 0;
+  unsigned Compactions = 0;
   std::vector<support::Diag> Diags;
 
   void noteDiag(support::Diag D);
+  /// compact() body; requires Mu held.
+  bool compactLocked();
 };
 
 } // namespace islaris::cache

@@ -192,3 +192,101 @@ ScrubReport islaris::cache::scrubStore(const ScrubOptions &O) {
   }
   return R;
 }
+
+//===----------------------------------------------------------------------===//
+// Clean-shutdown marker & scrub-on-open.
+//===----------------------------------------------------------------------===//
+
+bool islaris::cache::writeCleanShutdownMarker(const std::string &Dir) {
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  std::ofstream Out(fs::path(Dir) / CleanShutdownMarker,
+                    std::ios::binary | std::ios::trunc);
+  Out << "clean\n";
+  return bool(Out);
+}
+
+bool islaris::cache::hasCleanShutdownMarker(const std::string &Dir) {
+  std::error_code EC;
+  return fs::exists(fs::path(Dir) / CleanShutdownMarker, EC);
+}
+
+void islaris::cache::clearCleanShutdownMarker(const std::string &Dir) {
+  std::error_code EC;
+  fs::remove(fs::path(Dir) / CleanShutdownMarker, EC);
+}
+
+QuickScrubReport islaris::cache::scrubOnOpen(const std::string &Dir,
+                                             size_t MaxSpotChecks) {
+  QuickScrubReport R;
+  fs::path Root(Dir);
+  std::error_code EC;
+  if (!fs::is_directory(Root, EC))
+    return R;
+  if (hasCleanShutdownMarker(Dir)) {
+    // The previous owner drained cleanly; consume the marker (this store is
+    // live again — only a clean close rewrites it) and skip the pass.
+    clearCleanShutdownMarker(Dir);
+    R.WasClean = true;
+    return R;
+  }
+  R.Ran = true;
+
+  auto Note = [&R](support::ErrorCode Code, const std::string &Msg) {
+    if (R.Diags.size() < 64)
+      R.Diags.push_back(support::Diag(Code, "scrub", Msg,
+                                      support::Severity::Warning));
+  };
+
+  try {
+    fs::recursive_directory_iterator It(
+        Root, fs::directory_options::skip_permission_denied);
+    for (auto End = fs::end(It); It != End; ++It) {
+      if (It->is_directory()) {
+        std::string D = It->path().filename().string();
+        if (!(D.size() == 2 && isHex(D)))
+          It.disable_recursion_pending(); // quarantine/, nested stores
+        continue;
+      }
+      if (!It->is_regular_file())
+        continue;
+      const fs::path &P = It->path();
+      std::string Name = P.filename().string();
+      if (Name.find(".tmp.") != std::string::npos) {
+        // A crashed writer's temp: never read, only reaped.
+        fs::remove(P, EC);
+        ++R.TempsRemoved;
+        continue;
+      }
+      std::string Ext = P.extension().string();
+      std::string Stem = P.stem().string();
+      if ((Ext != ".itc" && Ext != ".scc") || Stem.size() != 32 ||
+          !isHex(Stem))
+        continue;
+      if (R.EntriesChecked >= MaxSpotChecks)
+        continue; // keep reaping temps, stop opening entries
+      ++R.EntriesChecked;
+      std::string Text;
+      {
+        std::ifstream In(P, std::ios::binary);
+        if (!In)
+          continue;
+        std::ostringstream Buf;
+        Buf << In.rdbuf();
+        Text = Buf.str();
+      }
+      std::string Payload;
+      EnvelopeResult V = unwrapDurableEntry(Text, Payload);
+      if (V == EnvelopeResult::Ok || V == EnvelopeResult::Legacy)
+        continue;
+      quarantineFile(Root.string(), P.string());
+      ++R.Quarantined;
+      Note(envelopeErrorCode(V),
+           "scrub-on-open quarantined corrupt entry: " + P.string());
+    }
+  } catch (const fs::filesystem_error &E) {
+    Note(support::ErrorCode::IoError,
+         std::string("scrub-on-open walk failed: ") + E.what());
+  }
+  return R;
+}

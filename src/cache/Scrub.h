@@ -66,6 +66,46 @@ struct ScrubReport {
 /// no-op (empty report), not an error.
 ScrubReport scrubStore(const ScrubOptions &O);
 
+//===----------------------------------------------------------------------===//
+// Clean-shutdown marker & scrub-on-open.  A long-lived process (islarisd)
+// writes a marker file into each store directory when it drains cleanly; a
+// store opened with ScrubOnOpen enabled consumes the marker (the store is
+// in use again — a crash from here leaves it absent) and, when the marker
+// is MISSING, runs a quick scrub first: reap stale writer temps and
+// spot-check a bounded sample of entry envelopes, quarantining corruption
+// before the first read can trip over it.  Entry publishing is atomic
+// first-writer-wins, so an unclean shutdown can only leave temps and torn
+// files — exactly what the quick pass looks for.
+//===----------------------------------------------------------------------===//
+
+/// Marker file name inside a store directory.
+inline constexpr const char *CleanShutdownMarker = ".clean-shutdown";
+
+/// Writes \p Dir's clean-shutdown marker (creating the directory as
+/// needed).  Returns false on I/O failure.
+bool writeCleanShutdownMarker(const std::string &Dir);
+bool hasCleanShutdownMarker(const std::string &Dir);
+void clearCleanShutdownMarker(const std::string &Dir);
+
+struct QuickScrubReport {
+  /// False when the directory does not exist or the marker attested a
+  /// clean shutdown (no pass was needed).
+  bool Ran = false;
+  /// True when the marker was present and consumed.
+  bool WasClean = false;
+  uint64_t TempsRemoved = 0;
+  uint64_t EntriesChecked = 0; ///< Envelopes spot-checked.
+  uint64_t Quarantined = 0;    ///< Spot-checked entries that failed.
+  std::vector<support::Diag> Diags;
+};
+
+/// The scrub-on-open pass: consumes the clean-shutdown marker if present
+/// (skipping the scrub), otherwise reaps every stale ".tmp." file and
+/// verifies the envelopes of up to \p MaxSpotChecks entries, quarantining
+/// failures.  Bounded by design — this runs on the open path.
+QuickScrubReport scrubOnOpen(const std::string &Dir,
+                             size_t MaxSpotChecks = 32);
+
 } // namespace islaris::cache
 
 #endif // ISLARIS_CACHE_SCRUB_H

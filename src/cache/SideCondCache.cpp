@@ -2,7 +2,9 @@
 
 #include "cache/SideCondCache.h"
 
-#include "cache/TraceCache.h" // resolveCacheDir, atomicWriteFile
+#include "cache/Generations.h" // per-model entry manifests
+#include "cache/Scrub.h"       // scrub-on-open protocol
+#include "cache/TraceCache.h"  // resolveCacheDir, atomicWriteFile
 #include "itl/Parser.h"
 #include "support/FaultInjector.h"
 
@@ -19,6 +21,16 @@ namespace fs = std::filesystem;
 
 SideCondStore::SideCondStore(SideCondConfig C) : Cfg(std::move(C)) {
   Directory = Cfg.Dir.empty() ? resolveCacheDir() + "/sidecond" : Cfg.Dir;
+  if (Cfg.Persist && Cfg.ScrubOnOpen) {
+    // See TraceCache: missing clean-shutdown marker means the previous
+    // owner died mid-flight — reap temps and spot-check envelopes now.
+    QuickScrubReport R = scrubOnOpen(Directory);
+    St.CorruptRemoved += R.Quarantined;
+    St.Quarantined += R.Quarantined;
+    for (support::Diag &D : R.Diags)
+      if (Diags.size() < 64)
+        Diags.push_back(std::move(D));
+  }
 }
 
 Fingerprint SideCondStore::key(const std::string &Closure) const {
@@ -211,23 +223,23 @@ SideCondStore::loadFromDisk(const Fingerprint &K) {
   return R;
 }
 
-void SideCondStore::writeToDisk(const Fingerprint &K,
+bool SideCondStore::writeToDisk(const Fingerprint &K,
                                 const CachedResult &R) {
   std::error_code EC;
   std::string Path = entryPath(K);
   fs::create_directories(fs::path(Path).parent_path(), EC);
   if (EC) {
     noteWriteFailure(Path);
-    return;
+    return false;
   }
   // Entries are immutable: first writer wins on the sharded path.
   if (fs::exists(Path, EC))
-    return;
+    return false;
   std::string Legacy = legacyEntryPath(K);
   bool HadLegacy = fs::exists(Legacy, EC);
   if (!atomicWriteFile(Path, wrapDurableEntry(serializeEntry(K, R)))) {
     noteWriteFailure(Path);
-    return;
+    return false;
   }
   // A publish upgrades any legacy headerless flat-layout twin in place.
   if (HadLegacy) {
@@ -236,6 +248,7 @@ void SideCondStore::writeToDisk(const Fingerprint &K,
   }
   std::lock_guard<std::mutex> L(Mu);
   ++St.DiskWrites;
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -281,8 +294,29 @@ void SideCondStore::store(const std::string &Closure,
       New = true; // over the memory bound; disk still gets the entry
     }
   }
-  if (New && Cfg.Persist)
-    writeToDisk(K, R);
+  if (New && Cfg.Persist && writeToDisk(K, R)) {
+    // Generation bookkeeping: attribute the entry to the model it was
+    // discharged against — the SaltedSolverCache prefix when the store is
+    // shared across models, the config salt otherwise.
+    Fingerprint Salt;
+    if (extractClosureSalt(Closure, Salt))
+      recordEntryGeneration(Directory, Salt, K);
+    else if (Cfg.ModelSalt.Hi || Cfg.ModelSalt.Lo)
+      recordEntryGeneration(Directory, Cfg.ModelSalt, K);
+  }
+}
+
+bool islaris::cache::extractClosureSalt(const std::string &Closure,
+                                        Fingerprint &Out) {
+  // The SaltedSolverCache prefix: "(salt <32 hex>) ".
+  constexpr std::string_view Magic = "(salt ";
+  constexpr size_t HexLen = 32;
+  if (Closure.size() < Magic.size() + HexLen + 2 ||
+      Closure.compare(0, Magic.size(), Magic) != 0 ||
+      Closure[Magic.size() + HexLen] != ')' ||
+      Closure[Magic.size() + HexLen + 1] != ' ')
+    return false;
+  return Fingerprint::fromHex(Closure.substr(Magic.size(), HexLen), Out);
 }
 
 void SideCondStore::clearMemory() {

@@ -71,6 +71,9 @@ struct SideCondConfig {
   /// ISA model(s) the side conditions are discharged against, so model
   /// edits invalidate the store wholesale.
   Fingerprint ModelSalt;
+  /// Run the clean-shutdown-marker protocol on construction (see
+  /// cache/Scrub.h).  Same contract as TraceCacheConfig::ScrubOnOpen.
+  bool ScrubOnOpen = false;
 };
 
 /// Thread-safe content-addressed store of side-condition results.  One
@@ -117,7 +120,8 @@ private:
   /// Pre-sharding flat path (dir/<hex>.scc), still honored on read.
   std::string legacyEntryPath(const Fingerprint &K) const;
   std::optional<CachedResult> loadFromDisk(const Fingerprint &K);
-  void writeToDisk(const Fingerprint &K, const CachedResult &R);
+  /// Returns true when this call published a new entry file.
+  bool writeToDisk(const Fingerprint &K, const CachedResult &R);
   void discardCorrupt(const std::string &Path, support::ErrorCode Code,
                       const std::string &Why);
   void noteWriteFailure(const std::string &Path);
@@ -154,6 +158,11 @@ private:
   smt::SolverCache &Inner;
   std::string Prefix;
 };
+
+/// Parses the SaltedSolverCache "(salt <32 hex>) " closure prefix into
+/// \p Out; false when \p Closure is unsalted.  Exposed for the generation
+/// bookkeeping and its tests.
+bool extractClosureSalt(const std::string &Closure, Fingerprint &Out);
 
 /// The process-wide ambient store consulted by newly constructed Verifiers
 /// (null by default: side-condition persistence is opt-in).  Same contract

@@ -2,6 +2,7 @@
 
 #include "cache/TraceCache.h"
 
+#include "cache/Scrub.h"
 #include "itl/Parser.h"
 #include "smt/TermBuilder.h"
 #include "support/FaultInjector.h"
@@ -224,6 +225,16 @@ bool islaris::cache::quarantineFile(const std::string &Dir,
 
 TraceCache::TraceCache(TraceCacheConfig C) : Cfg(std::move(C)) {
   Directory = Cfg.Dir.empty() ? resolveCacheDir() : Cfg.Dir;
+  if (Cfg.Persist && Cfg.ScrubOnOpen) {
+    // Unclean-shutdown detection: no marker means the previous owner died
+    // mid-flight — reap its temps and spot-check envelopes before the
+    // first lookup can trip over a torn file.
+    QuickScrubReport R = scrubOnOpen(Directory);
+    St.CorruptRemoved += R.Quarantined;
+    St.Quarantined += R.Quarantined;
+    for (support::Diag &D : R.Diags)
+      noteDiag(std::move(D));
+  }
 }
 
 //===----------------------------------------------------------------------===//

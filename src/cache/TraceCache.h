@@ -82,6 +82,12 @@ struct TraceCacheConfig {
   bool Persist = false;
   /// Cache directory; empty means resolveCacheDir().
   std::string Dir;
+  /// Run the clean-shutdown-marker protocol on construction (see
+  /// cache/Scrub.h): consume the marker when present, otherwise reap stale
+  /// writer temps and spot-check entry envelopes before first use.
+  /// Long-lived owners (islarisd) enable this; batch runs keep the seed
+  /// behavior of validating entries lazily on read.
+  bool ScrubOnOpen = false;
 };
 
 /// Resolves the on-disk cache location: $ISLARIS_CACHE_DIR if set and

@@ -6,6 +6,7 @@
 #include "cache/Journal.h"
 #include "cache/SideCondCache.h"
 #include "support/FaultInjector.h"
+#include "support/Wire.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,69 +19,15 @@ using islaris::support::Diag;
 using islaris::support::ErrorCode;
 
 //===----------------------------------------------------------------------===//
-// Journal codec.  Length-prefixed strings ("<len>:<bytes>") survive any
-// embedded spaces/parens; doubles travel as hexfloats so a resumed row is
-// bit-for-bit the recorded one, not a decimal approximation.
+// Journal codec: the shared support::wire field codec (length-prefixed
+// strings survive any embedded spaces/parens; doubles travel as hexfloats so
+// a resumed row is bit-for-bit the recorded one).  The same codec carries
+// CaseResult rows over the islarisd wire protocol.
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-void putStr(std::ostringstream &OS, const std::string &S) {
-  OS << S.size() << ":" << S << " ";
-}
-
-void putF(std::ostringstream &OS, double D) {
-  char Buf[64];
-  std::snprintf(Buf, sizeof Buf, "%a", D);
-  OS << Buf << " ";
-}
-
-/// Sequential token reader over the encoded form; any malformed field trips
-/// Fail and every later read degrades to a zero value.
-struct Cursor {
-  const std::string &T;
-  size_t P = 0;
-  bool Fail = false;
-
-  explicit Cursor(const std::string &T) : T(T) {}
-
-  void skip() {
-    while (P < T.size() && T[P] == ' ')
-      ++P;
-  }
-  std::string tok() {
-    skip();
-    size_t S = P;
-    while (P < T.size() && T[P] != ' ')
-      ++P;
-    if (P == S)
-      Fail = true;
-    return T.substr(S, P - S);
-  }
-  uint64_t u64() { return std::strtoull(tok().c_str(), nullptr, 10); }
-  double f() { return std::strtod(tok().c_str(), nullptr); }
-  std::string str() {
-    skip();
-    size_t S = P;
-    while (P < T.size() && T[P] >= '0' && T[P] <= '9')
-      ++P;
-    if (P == S || P >= T.size() || T[P] != ':') {
-      Fail = true;
-      return "";
-    }
-    size_t Len = std::strtoull(T.substr(S, P - S).c_str(), nullptr, 10);
-    ++P; // ':'
-    if (P + Len > T.size()) {
-      Fail = true;
-      return "";
-    }
-    std::string Out = T.substr(P, Len);
-    P += Len;
-    return Out;
-  }
-};
-
-} // namespace
+using islaris::support::wire::Cursor;
+using islaris::support::wire::putF;
+using islaris::support::wire::putStr;
 
 std::string islaris::frontend::encodeCaseResult(const CaseResult &R) {
   std::ostringstream OS;

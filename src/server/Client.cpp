@@ -1,0 +1,305 @@
+//===- server/Client.cpp - islarisd client library -----------------------------===//
+
+#include "server/Client.h"
+
+#include "support/Wire.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace islaris;
+using namespace islaris::server;
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::connect(const std::string &SocketPath, std::string &Err) {
+  close();
+  sockaddr_un Addr{};
+  if (SocketPath.size() >= sizeof Addr.sun_path) {
+    Err = "socket path too long: " + SocketPath;
+    return false;
+  }
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) < 0) {
+    Err = "connect(" + SocketPath + "): " + std::strerror(errno);
+    close();
+    return false;
+  }
+  // Handshake.
+  std::ostringstream OS;
+  support::wire::putU64(OS, ProtocolVersion);
+  support::wire::putStr(OS, "islaris-client");
+  if (!send(Frame{FrameType::Hello, OS.str()}, Err)) {
+    close();
+    return false;
+  }
+  Frame F;
+  if (!recv(F, Err)) {
+    close();
+    return false;
+  }
+  if (F.Type == FrameType::Error) {
+    Err = "server refused handshake: " + F.Payload;
+    close();
+    return false;
+  }
+  if (F.Type != FrameType::Welcome) {
+    Err = std::string("expected welcome, got ") + frameTypeName(F.Type);
+    close();
+    return false;
+  }
+  support::wire::Cursor C(F.Payload);
+  uint64_t Ver = C.u64();
+  if (C.Fail || Ver != ProtocolVersion) {
+    Err = "server speaks protocol " + std::to_string(Ver) + ", client " +
+          std::to_string(ProtocolVersion);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::sendRaw(const std::string &Bytes, std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N =
+        ::send(Fd, Bytes.data() + Off, Bytes.size() - Off, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = std::string("send(): ") + std::strerror(errno);
+      return false;
+    }
+    Off += size_t(N);
+  }
+  return true;
+}
+
+bool Client::send(const Frame &F, std::string &Err) {
+  return sendRaw(encodeFrame(F), Err);
+}
+
+bool Client::recv(Frame &Out, std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  char Buf[64 * 1024];
+  while (true) {
+    FrameReader::Status S = Reader.next(Out, &Err);
+    if (S == FrameReader::Status::Frame)
+      return true;
+    if (S == FrameReader::Status::Malformed)
+      return false;
+    ssize_t N = ::recv(Fd, Buf, sizeof Buf, 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0) {
+      Err = std::string("recv(): ") + std::strerror(errno);
+      return false;
+    }
+    if (N == 0) {
+      Err = "connection closed by server";
+      return false;
+    }
+    Reader.feed(Buf, size_t(N));
+  }
+}
+
+bool Client::runTrace(const TraceRequest &R, TraceResult &Out,
+                      std::string &Err) {
+  Out = TraceResult();
+  Request Req;
+  Req.Id = nextId();
+  Req.K = Request::Kind::Trace;
+  Req.Trace = R;
+  if (!send(Frame{FrameType::Request, encodeRequest(Req)}, Err))
+    return false;
+  Frame F;
+  while (recv(F, Err)) {
+    uint64_t Id = 0;
+    std::string Body;
+    switch (F.Type) {
+    case FrameType::Accepted:
+      continue;
+    case FrameType::Rejected:
+      if (decodeIdPayload(F.Payload, Id, Body) && Id == Req.Id) {
+        Out.Rejected = true;
+        Out.RejectReason = Body;
+        return true;
+      }
+      continue;
+    case FrameType::Trace:
+      if (decodeIdPayload(F.Payload, Id, Body) && Id == Req.Id)
+        Out.EntryText = std::move(Body);
+      continue;
+    case FrameType::Done: {
+      DoneInfo D;
+      if (decodeDone(F.Payload, D) && D.Id == Req.Id) {
+        Out.Done = D;
+        Out.Ok = D.Status == 0;
+        return true;
+      }
+      continue;
+    }
+    case FrameType::Error:
+      Err = "server error: " + F.Payload;
+      return false;
+    case FrameType::Bye:
+      Err = "server shut down before the result arrived";
+      return false;
+    default:
+      continue; // diag/stats frames for other ids: skip
+    }
+  }
+  return false;
+}
+
+bool Client::runStudy(
+    const std::string &Name, StudyResult &Out, std::string &Err,
+    const std::function<void(const frontend::CaseResult &)> &OnRow) {
+  Out = StudyResult();
+  Request Req;
+  Req.Id = nextId();
+  Req.K = Request::Kind::Study;
+  Req.Study = Name;
+  if (!send(Frame{FrameType::Request, encodeRequest(Req)}, Err))
+    return false;
+  Frame F;
+  while (recv(F, Err)) {
+    uint64_t Id = 0;
+    std::string Body;
+    switch (F.Type) {
+    case FrameType::Accepted:
+      continue;
+    case FrameType::Rejected:
+      if (decodeIdPayload(F.Payload, Id, Body) && Id == Req.Id) {
+        Out.Rejected = true;
+        Out.RejectReason = Body;
+        return true;
+      }
+      continue;
+    case FrameType::Row: {
+      if (!decodeIdPayload(F.Payload, Id, Body) || Id != Req.Id)
+        continue;
+      frontend::CaseResult R;
+      if (!frontend::decodeCaseResult(Body, R)) {
+        Err = "undecodable case-result row from server";
+        return false;
+      }
+      Out.Rows.push_back(R);
+      if (OnRow)
+        OnRow(R);
+      continue;
+    }
+    case FrameType::Done: {
+      DoneInfo D;
+      if (decodeDone(F.Payload, D) && D.Id == Req.Id) {
+        Out.Done = D;
+        Out.Ok = D.Status == 0;
+        return true;
+      }
+      continue;
+    }
+    case FrameType::Error:
+      Err = "server error: " + F.Payload;
+      return false;
+    case FrameType::Bye:
+      Err = "server shut down before the result arrived";
+      return false;
+    default:
+      continue;
+    }
+  }
+  return false;
+}
+
+bool Client::ping(std::string &Err) {
+  if (!send(Frame{FrameType::Ping, ""}, Err))
+    return false;
+  Frame F;
+  while (recv(F, Err)) {
+    if (F.Type == FrameType::Pong)
+      return true;
+    if (F.Type == FrameType::Error || F.Type == FrameType::Bye) {
+      Err = "server error: " + F.Payload;
+      return false;
+    }
+  }
+  return false;
+}
+
+bool Client::getStats(std::string &Out, std::string &Err) {
+  Request Req;
+  Req.Id = nextId();
+  Req.K = Request::Kind::Stats;
+  if (!send(Frame{FrameType::Request, encodeRequest(Req)}, Err))
+    return false;
+  Frame F;
+  bool Got = false;
+  while (recv(F, Err)) {
+    uint64_t Id = 0;
+    std::string Body;
+    if (F.Type == FrameType::Stats &&
+        decodeIdPayload(F.Payload, Id, Body) && Id == Req.Id) {
+      Out = std::move(Body);
+      Got = true;
+      continue;
+    }
+    if (F.Type == FrameType::Done) {
+      DoneInfo D;
+      if (decodeDone(F.Payload, D) && D.Id == Req.Id)
+        return Got;
+      continue;
+    }
+    if (F.Type == FrameType::Rejected &&
+        decodeIdPayload(F.Payload, Id, Body) && Id == Req.Id) {
+      Err = "stats request rejected: " + Body;
+      return false;
+    }
+    if (F.Type == FrameType::Error || F.Type == FrameType::Bye) {
+      Err = "server error: " + F.Payload;
+      return false;
+    }
+  }
+  return false;
+}
+
+bool Client::shutdownServer(std::string &Err) {
+  if (!send(Frame{FrameType::Shutdown, ""}, Err))
+    return false;
+  Frame F;
+  while (recv(F, Err)) {
+    if (F.Type == FrameType::Accepted || F.Type == FrameType::Bye)
+      return true;
+    if (F.Type == FrameType::Error) {
+      Err = "server error: " + F.Payload;
+      return false;
+    }
+  }
+  // EOF after a shutdown request is success too: the server drained and
+  // closed before the ack was read.
+  return true;
+}

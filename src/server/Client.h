@@ -1,0 +1,97 @@
+//===- server/Client.h - islarisd client library ----------------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the islarisd protocol: a blocking connection that
+/// handshakes on connect and exposes one-call helpers for the request
+/// kinds (trace, study, stats, ping, shutdown).  Each helper issues one
+/// request and consumes frames until its `done` (or `rejected`) arrives;
+/// concurrency comes from opening multiple clients, one per thread, which
+/// is exactly how bench_server and the dedup tests drive the daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SERVER_CLIENT_H
+#define ISLARIS_SERVER_CLIENT_H
+
+#include "frontend/CaseStudies.h"
+#include "server/Protocol.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace islaris::server {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects and performs the hello/welcome handshake.
+  bool connect(const std::string &SocketPath, std::string &Err);
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  /// Low-level frame I/O (used by the protocol tests).
+  bool send(const Frame &F, std::string &Err);
+  /// Sends raw bytes, bypassing the frame encoder (malformed-input tests).
+  bool sendRaw(const std::string &Bytes, std::string &Err);
+  /// Blocks for the next frame.  False on EOF, framing error, or I/O
+  /// error.
+  bool recv(Frame &Out, std::string &Err);
+
+  /// Outcome of one trace request.
+  struct TraceResult {
+    bool Ok = false;
+    bool Rejected = false;
+    std::string RejectReason;
+    /// Serialized cache entry (TraceCache::serializeEntry form) — the
+    /// bit-identical artifact the dedup test compares across clients.
+    std::string EntryText;
+    DoneInfo Done;
+  };
+  /// Issues a trace request and consumes frames until done/rejected.
+  bool runTrace(const TraceRequest &R, TraceResult &Out, std::string &Err);
+
+  /// Outcome of one study/suite request.
+  struct StudyResult {
+    bool Ok = false;
+    bool Rejected = false;
+    std::string RejectReason;
+    std::vector<frontend::CaseResult> Rows;
+    DoneInfo Done; ///< Done.Status is the suite exit code (0/1/2).
+  };
+  /// Issues a study request ("suite" or one of the nine study names),
+  /// streaming each row through \p OnRow as it arrives.
+  bool runStudy(const std::string &Name, StudyResult &Out, std::string &Err,
+                const std::function<void(const frontend::CaseResult &)>
+                    &OnRow = nullptr);
+
+  /// Round-trips a ping.
+  bool ping(std::string &Err);
+
+  /// Fetches the server's stats JSON.
+  bool getStats(std::string &Out, std::string &Err);
+
+  /// Asks the server to drain and exit.  Returns once the request is
+  /// acknowledged (the drain completes asynchronously).
+  bool shutdownServer(std::string &Err);
+
+private:
+  uint64_t nextId() { return ++LastId; }
+
+  int Fd = -1;
+  uint64_t LastId = 0;
+  FrameReader Reader;
+};
+
+} // namespace islaris::server
+
+#endif // ISLARIS_SERVER_CLIENT_H

@@ -1,0 +1,289 @@
+//===- server/Protocol.cpp - islarisd wire protocol ---------------------------===//
+
+#include "server/Protocol.h"
+
+#include "cache/TraceCache.h" // fnv1a64, shared with the journal codec
+#include "support/Wire.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+
+using namespace islaris;
+using namespace islaris::server;
+using islaris::support::wire::Cursor;
+using islaris::support::wire::putStr;
+using islaris::support::wire::putU64;
+
+static constexpr std::string_view FrameMagic = "(islaris-frame 1 ";
+
+const char *islaris::server::frameTypeName(FrameType T) {
+  switch (T) {
+  case FrameType::Hello:
+    return "hello";
+  case FrameType::Request:
+    return "request";
+  case FrameType::Ping:
+    return "ping";
+  case FrameType::Shutdown:
+    return "shutdown";
+  case FrameType::Welcome:
+    return "welcome";
+  case FrameType::Accepted:
+    return "accepted";
+  case FrameType::Rejected:
+    return "rejected";
+  case FrameType::Trace:
+    return "trace";
+  case FrameType::Row:
+    return "row";
+  case FrameType::Diag:
+    return "diag";
+  case FrameType::Stats:
+    return "stats";
+  case FrameType::Done:
+    return "done";
+  case FrameType::Pong:
+    return "pong";
+  case FrameType::Bye:
+    return "bye";
+  case FrameType::Error:
+    return "error";
+  }
+  return "error";
+}
+
+bool islaris::server::frameTypeFromName(const std::string &Name,
+                                        FrameType &Out) {
+  static const FrameType All[] = {
+      FrameType::Hello,    FrameType::Request, FrameType::Ping,
+      FrameType::Shutdown, FrameType::Welcome, FrameType::Accepted,
+      FrameType::Rejected, FrameType::Trace,   FrameType::Row,
+      FrameType::Diag,     FrameType::Stats,   FrameType::Done,
+      FrameType::Pong,     FrameType::Bye,     FrameType::Error,
+  };
+  for (FrameType T : All)
+    if (Name == frameTypeName(T)) {
+      Out = T;
+      return true;
+    }
+  return false;
+}
+
+std::string islaris::server::encodeFrame(const Frame &F) {
+  std::ostringstream OS;
+  OS << FrameMagic << frameTypeName(F.Type) << " " << F.Payload.size() << " "
+     << std::hex << std::setfill('0') << std::setw(16)
+     << cache::fnv1a64(F.Payload) << ")\n"
+     << F.Payload << "\n";
+  return OS.str();
+}
+
+void FrameReader::feed(const char *Data, size_t N) {
+  // Compact lazily: once the consumed prefix dominates, shift it off so a
+  // long-lived connection does not grow its buffer without bound.
+  if (Pos > 4096 && Pos > Buf.size() / 2) {
+    Buf.erase(0, Pos);
+    Pos = 0;
+  }
+  Buf.append(Data, N);
+}
+
+static bool isHexSV(std::string_view S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (!((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f') ||
+          (C >= 'A' && C <= 'F')))
+      return false;
+  return true;
+}
+
+static bool isDigitsSV(std::string_view S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (C < '0' || C > '9')
+      return false;
+  return true;
+}
+
+FrameReader::Status FrameReader::next(Frame &Out, std::string *Err) {
+  auto Die = [&](const char *Why) {
+    Dead = true;
+    if (Err)
+      *Err = Why;
+    return Status::Malformed;
+  };
+  if (Dead)
+    return Die("frame stream already dead");
+
+  std::string_view Rest(Buf.data() + Pos, Buf.size() - Pos);
+  if (Rest.empty())
+    return Status::NeedMore;
+
+  // Magic.  A partial prefix of the magic is NeedMore; a byte that can
+  // never extend to the magic is Malformed.
+  size_t CmpLen = std::min(Rest.size(), FrameMagic.size());
+  if (Rest.compare(0, CmpLen, FrameMagic.substr(0, CmpLen)) != 0)
+    return Die("bad frame magic");
+  if (Rest.size() < FrameMagic.size())
+    return Status::NeedMore;
+
+  size_t NL = Rest.find('\n');
+  if (NL == std::string_view::npos) {
+    // Headers are short; a kilobyte without a newline is corruption, not a
+    // slow sender.
+    if (Rest.size() > 1024)
+      return Die("unterminated frame header");
+    return Status::NeedMore;
+  }
+
+  // "<type> <len> <fnv64-hex>)" between the magic and the newline.
+  std::string_view Header =
+      Rest.substr(FrameMagic.size(), NL - FrameMagic.size());
+  size_t Sp1 = Header.find(' ');
+  size_t Sp2 = Sp1 == std::string_view::npos ? std::string_view::npos
+                                             : Header.find(' ', Sp1 + 1);
+  if (Sp2 == std::string_view::npos || Header.empty() || Header.back() != ')')
+    return Die("malformed frame header");
+  std::string TypeName(Header.substr(0, Sp1));
+  std::string_view Len = Header.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  std::string_view Sum = Header.substr(Sp2 + 1, Header.size() - Sp2 - 2);
+  FrameType T;
+  if (!frameTypeFromName(TypeName, T))
+    return Die("unknown frame type");
+  if (!isDigitsSV(Len) || Sum.size() != 16 || !isHexSV(Sum))
+    return Die("malformed frame header");
+  uint64_t WantLen = std::strtoull(std::string(Len).c_str(), nullptr, 10);
+  uint64_t WantSum = std::strtoull(std::string(Sum).c_str(), nullptr, 16);
+  if (WantLen > MaxFramePayload)
+    return Die("frame payload exceeds protocol bound");
+
+  size_t PayloadStart = NL + 1;
+  if (PayloadStart + WantLen + 1 > Rest.size())
+    return Status::NeedMore; // payload + trailing newline not all here yet
+  std::string_view Payload = Rest.substr(PayloadStart, WantLen);
+  if (Rest[PayloadStart + WantLen] != '\n')
+    return Die("missing frame terminator");
+  if (cache::fnv1a64(Payload) != WantSum)
+    return Die("frame checksum mismatch");
+
+  Out.Type = T;
+  Out.Payload = std::string(Payload);
+  Pos += PayloadStart + WantLen + 1;
+  return Status::Frame;
+}
+
+//===----------------------------------------------------------------------===//
+// Payload codecs.
+//===----------------------------------------------------------------------===//
+
+std::string islaris::server::encodeRequest(const Request &R) {
+  std::ostringstream OS;
+  putU64(OS, R.Id);
+  switch (R.K) {
+  case Request::Kind::Trace: {
+    putStr(OS, "trace");
+    const TraceRequest &T = R.Trace;
+    putStr(OS, T.Arch);
+    putU64(OS, T.Opcode);
+    putU64(OS, T.SymMask);
+    putU64(OS, T.CacheRegReads);
+    putU64(OS, T.SinksOnly);
+    putU64(OS, T.MaxPaths);
+    putU64(OS, T.Assumes.size());
+    for (const TraceRequest::Assume &A : T.Assumes) {
+      putStr(OS, A.Base);
+      putStr(OS, A.Field);
+      putU64(OS, A.Width);
+      putU64(OS, A.Value);
+    }
+    break;
+  }
+  case Request::Kind::Study:
+    putStr(OS, "study");
+    putStr(OS, R.Study);
+    break;
+  case Request::Kind::Stats:
+    putStr(OS, "stats");
+    break;
+  }
+  return OS.str();
+}
+
+bool islaris::server::decodeRequest(const std::string &Payload, Request &Out) {
+  Cursor C(Payload);
+  Out = Request();
+  Out.Id = C.u64();
+  std::string Kind = C.str();
+  if (Kind == "trace") {
+    Out.K = Request::Kind::Trace;
+    TraceRequest &T = Out.Trace;
+    T.Arch = C.str();
+    T.Opcode = uint32_t(C.u64());
+    T.SymMask = uint32_t(C.u64());
+    T.CacheRegReads = C.u64() != 0;
+    T.SinksOnly = C.u64() != 0;
+    T.MaxPaths = unsigned(C.u64());
+    uint64_t N = C.u64();
+    if (C.Fail || N > 4096)
+      return false;
+    T.Assumes.resize(size_t(N));
+    for (TraceRequest::Assume &A : T.Assumes) {
+      A.Base = C.str();
+      A.Field = C.str();
+      A.Width = unsigned(C.u64());
+      A.Value = C.u64();
+    }
+  } else if (Kind == "study") {
+    Out.K = Request::Kind::Study;
+    Out.Study = C.str();
+  } else if (Kind == "stats") {
+    Out.K = Request::Kind::Stats;
+  } else {
+    return false;
+  }
+  return !C.Fail;
+}
+
+std::string islaris::server::encodeDone(const DoneInfo &D) {
+  std::ostringstream OS;
+  putU64(OS, D.Id);
+  putU64(OS, D.Status);
+  putStr(OS, D.Source);
+  putU64(OS, D.Attempts);
+  support::wire::putF(OS, D.Seconds);
+  putStr(OS, D.Error);
+  return OS.str();
+}
+
+bool islaris::server::decodeDone(const std::string &Payload, DoneInfo &Out) {
+  Cursor C(Payload);
+  Out = DoneInfo();
+  Out.Id = C.u64();
+  Out.Status = unsigned(C.u64());
+  Out.Source = C.str();
+  Out.Attempts = C.u64();
+  Out.Seconds = C.f();
+  Out.Error = C.str();
+  return !C.Fail;
+}
+
+std::string islaris::server::encodeIdPayload(uint64_t Id,
+                                             const std::string &Body) {
+  std::ostringstream OS;
+  putU64(OS, Id);
+  putStr(OS, Body);
+  return OS.str();
+}
+
+bool islaris::server::decodeIdPayload(const std::string &Payload, uint64_t &Id,
+                                      std::string &Body) {
+  Cursor C(Payload);
+  Id = C.u64();
+  Body = C.str();
+  return !C.Fail;
+}

@@ -1,0 +1,172 @@
+//===- server/Protocol.h - islarisd wire protocol ---------------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framing and request/response payloads of the islarisd protocol: a
+/// byte stream of self-delimiting, individually checksummed frames in the
+/// run-journal record grammar,
+///
+///   (islaris-frame 1 <type> <payload-len> <fnv64-hex>)\n<payload>\n
+///
+/// so the same recovery property holds on the wire as in the journal: a
+/// reader accepts the longest valid prefix of the stream and attributes the
+/// first malformed byte precisely (truncated header, bad length, checksum
+/// mismatch) instead of desynchronizing silently.  Payload fields use the
+/// support::wire codec the journal's CaseResult rows already travel in.
+///
+/// Conversation shape:
+///
+///   client                               server
+///   ------                               ------
+///   hello  ─────────────────────────────▶
+///          ◀─────────────────────────────  welcome
+///   request(id, trace|study|stats) ─────▶
+///          ◀─────────────────────────────  accepted(id) | rejected(id)
+///          ◀─────────────────────────────  trace(id)* | row(id)* | stats(id)
+///          ◀─────────────────────────────  done(id, status, source)
+///   ping   ─────────────────────────────▶
+///          ◀─────────────────────────────  pong
+///   shutdown ───────────────────────────▶   (drain: every accepted id
+///          ◀─────────────────────────────    still gets its done)
+///          ◀─────────────────────────────  bye
+///
+/// Versioning: the frame header carries the format version (1); `hello`
+/// and `welcome` carry the protocol version.  A server that cannot speak
+/// the client's protocol answers with an `error` frame and closes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SERVER_PROTOCOL_H
+#define ISLARIS_SERVER_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace islaris::server {
+
+/// Protocol version spoken by hello/welcome.
+inline constexpr uint64_t ProtocolVersion = 1;
+
+/// Hard bound on a frame payload; a header advertising more is malformed
+/// (protects the reader from allocating on behalf of a corrupt length
+/// field).
+inline constexpr uint64_t MaxFramePayload = 64ull << 20;
+
+enum class FrameType : uint8_t {
+  // client -> server
+  Hello,
+  Request,
+  Ping,
+  Shutdown,
+  // server -> client
+  Welcome,
+  Accepted,
+  Rejected,
+  Trace,
+  Row,
+  Diag,
+  Stats,
+  Done,
+  Pong,
+  Bye,
+  Error,
+};
+
+/// Stable wire token ("hello", "request", ...).
+const char *frameTypeName(FrameType T);
+bool frameTypeFromName(const std::string &Name, FrameType &Out);
+
+struct Frame {
+  FrameType Type = FrameType::Error;
+  std::string Payload;
+};
+
+/// Serializes one frame in the journal-record grammar above.
+std::string encodeFrame(const Frame &F);
+
+/// Incremental frame decoder over a byte stream.  Feed bytes as they
+/// arrive; next() yields complete frames until the buffer runs dry or a
+/// malformed frame kills the stream.
+class FrameReader {
+public:
+  void feed(const char *Data, size_t N);
+
+  enum class Status {
+    Frame,    ///< \p Out holds the next frame.
+    NeedMore, ///< No complete frame buffered yet.
+    Malformed, ///< Unrecoverable framing error; the stream is dead.
+  };
+  Status next(Frame &Out, std::string *Err = nullptr);
+
+  /// Bytes buffered but not yet consumed by next().
+  size_t buffered() const { return Buf.size() - Pos; }
+
+private:
+  std::string Buf;
+  size_t Pos = 0;
+  bool Dead = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Request payloads.
+//===----------------------------------------------------------------------===//
+
+/// One wire-transportable symbolic-execution request: a single opcode with
+/// optional symbolic bits, concrete register assumptions, and the semantic
+/// ExecOptions knobs.  (Predicate constraints and separation-logic specs
+/// are C++ values and do not travel; whole-spec verification goes through
+/// the named case-study requests instead.)
+struct TraceRequest {
+  std::string Arch; ///< "aarch64" | "rv64".
+  uint32_t Opcode = 0;
+  uint32_t SymMask = 0; ///< 1-bits of the opcode that are symbolic.
+  struct Assume {
+    std::string Base, Field;
+    unsigned Width = 0;
+    uint64_t Value = 0;
+  };
+  std::vector<Assume> Assumes;
+  bool CacheRegReads = true;
+  bool SinksOnly = true;
+  unsigned MaxPaths = 64;
+};
+
+/// A parsed `request` frame payload.
+struct Request {
+  uint64_t Id = 0;
+  enum class Kind : uint8_t { Trace, Study, Stats } K = Kind::Trace;
+  TraceRequest Trace;  ///< Valid when K == Trace.
+  std::string Study;   ///< Study name or "suite" when K == Study.
+};
+
+std::string encodeRequest(const Request &R);
+bool decodeRequest(const std::string &Payload, Request &Out);
+
+/// `done` frame payload: terminal status of one request id.
+struct DoneInfo {
+  uint64_t Id = 0;
+  /// Suite-style status: 0 ok, 1 proof failure, 2 infrastructure error.
+  unsigned Status = 0;
+  /// Where the result came from: "fresh", "warm", "dedup", "failed".
+  std::string Source;
+  uint64_t Attempts = 0;
+  double Seconds = 0; ///< Server-side queue + execution time.
+  std::string Error;  ///< Failure message when Status != 0.
+};
+
+std::string encodeDone(const DoneInfo &D);
+bool decodeDone(const std::string &Payload, DoneInfo &Out);
+
+/// Payload helpers for the id-tagged streaming frames (trace / row / stats
+/// / accepted / rejected): "<id> <len>:<body>".
+std::string encodeIdPayload(uint64_t Id, const std::string &Body);
+bool decodeIdPayload(const std::string &Payload, uint64_t &Id,
+                     std::string &Body);
+
+} // namespace islaris::server
+
+#endif // ISLARIS_SERVER_PROTOCOL_H

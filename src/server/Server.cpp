@@ -1,0 +1,852 @@
+//===- server/Server.cpp - Resident verification server -----------------------===//
+
+#include "server/Server.h"
+
+#include "cache/BatchDriver.h"
+#include "cache/Scrub.h"
+#include "cache/SideCondCache.h"
+#include "cache/TraceCache.h"
+#include "frontend/CaseStudies.h"
+#include "models/Models.h"
+#include "support/Diag.h"
+#include "support/Wire.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace islaris;
+using namespace islaris::server;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T) {
+  return std::chrono::duration<double>(Clock::now() - T).count();
+}
+
+/// One accepted connection.  The reader thread owns recv(); any thread may
+/// send through the write mutex.  Open flips false exactly once, after
+/// which sends become no-ops (a disconnected client's queued jobs still
+/// execute — their frames just fall on the floor).
+struct Conn {
+  int Fd = -1;
+  uint64_t Id = 0;
+  std::mutex WriteMu;
+  std::atomic<bool> Open{true};
+  std::thread Reader;
+};
+
+bool sendAll(Conn &C, const std::string &Bytes) {
+  std::lock_guard<std::mutex> L(C.WriteMu);
+  if (!C.Open.load(std::memory_order_relaxed))
+    return false;
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::send(C.Fd, Bytes.data() + Off, Bytes.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      C.Open.store(false, std::memory_order_relaxed);
+      return false;
+    }
+    Off += size_t(N);
+  }
+  return true;
+}
+
+bool sendFrame(Conn &C, FrameType T, const std::string &Payload) {
+  return sendAll(C, encodeFrame(Frame{T, Payload}));
+}
+
+/// A client waiting on a result: the connection plus the request id the
+/// result frames must carry, plus the enqueue instant for the done-frame
+/// latency field.
+struct Waiter {
+  std::shared_ptr<Conn> C;
+  uint64_t ReqId = 0;
+  Clock::time_point Enqueued;
+};
+
+/// The in-flight group of one distinct trace key: every waiter attached
+/// before the result fans out shares the single execution.  All mutation
+/// happens under the scheduler mutex.
+struct TraceGroup {
+  cache::Fingerprint Key;
+  const sail::Model *Model = nullptr;
+  std::string Arch;
+  isla::OpcodeSpec Op;
+  isla::Assumptions Assume; ///< Owned: the batch driver borrows it.
+  isla::ExecOptions Opts;
+  std::vector<Waiter> Waiters; ///< [0] is the primary requester.
+};
+
+/// One queued unit of work.
+struct Job {
+  enum class Kind : uint8_t { Trace, Study, Stats } K = Kind::Trace;
+  Waiter W;
+  std::shared_ptr<TraceGroup> Group; ///< Trace jobs.
+  std::string Study;                 ///< Study name or "suite".
+};
+
+} // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerConfig C) : Cfg(std::move(C)) {}
+
+  ServerConfig Cfg;
+  Clock::time_point StartedAt;
+
+  int ListenFd = -1;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> Draining{false};
+  bool TornDown = false;
+  std::mutex TeardownMu;
+
+  std::unique_ptr<cache::TraceCache> Cache;
+  std::unique_ptr<cache::SideCondStore> SideCond;
+  cache::TraceCache *PrevCache = nullptr;
+  cache::SideCondStore *PrevSide = nullptr;
+  support::RunLimits PrevLimits;
+
+  mutable std::mutex StatsMu;
+  ServerStats St;
+
+  std::mutex ConnMu;
+  std::vector<std::shared_ptr<Conn>> Conns;
+  uint64_t NextConnId = 1;
+  std::thread AcceptTh;
+
+  // Scheduler state: per-client FIFOs, the round-robin cursor over client
+  // ids, the dedup index, and the activity clock — all under QMu.
+  mutable std::mutex QMu;
+  /// Wakes workers only.  Anyone else sleeping on QCv could steal an
+  /// enqueue's notify_one and strand the job (the waitImpl/idleLoop
+  /// waiters have their own cvs for exactly that reason).
+  std::condition_variable QCv;
+  /// Wakes threads blocked in wait() when a drain begins.
+  std::condition_variable ShutCv;
+  std::map<uint64_t, std::deque<std::shared_ptr<Job>>> Queues;
+  uint64_t RRCursor = 0; ///< Last client id served; pick the next above it.
+  size_t TotalQueued = 0;
+  unsigned ActiveJobs = 0;
+  std::map<cache::Fingerprint, std::shared_ptr<TraceGroup>> Inflight;
+  Clock::time_point LastActivity = Clock::now();
+  bool EvictedSinceActivity = false;
+
+  std::vector<std::thread> WorkerThs;
+  std::thread IdleTh;
+  /// The idle timer ticks on its own cv: were it to share QCv, an
+  /// enqueue's notify_one could wake the timer instead of a worker and
+  /// strand the job until the next notification (a lost wakeup).
+  std::mutex IdleMu;
+  std::condition_variable IdleCv;
+
+  /// Serializes study requests: the study runners consult process-wide
+  /// ambient state, so two concurrent suite runs would race on it.
+  std::mutex StudyMu;
+
+  void bump(uint64_t ServerStats::*F, uint64_t N = 1) {
+    std::lock_guard<std::mutex> L(StatsMu);
+    St.*F += N;
+  }
+
+  void touchActivity() {
+    LastActivity = Clock::now();
+    EvictedSinceActivity = false;
+  }
+
+  const sail::Model *modelFor(const std::string &Arch) {
+    if (Arch == "aarch64")
+      return &models::aarch64Model();
+    if (Arch == "rv64")
+      return &models::rv64Model();
+    return nullptr;
+  }
+
+  isla::ExecOptions execOptionsFor(const TraceRequest &T) {
+    isla::ExecOptions EO;
+    EO.CacheRegReads = T.CacheRegReads;
+    EO.SinksOnly = T.SinksOnly;
+    EO.MaxPaths = T.MaxPaths;
+    EO.DeadlineSeconds = Cfg.Limits.InstrSeconds;
+    EO.SolverCheckSeconds = Cfg.Limits.SolverCheckSeconds;
+    EO.SolverConflicts = Cfg.Limits.SolverConflicts;
+    EO.SolverPropagations = Cfg.Limits.SolverPropagations;
+    return EO;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Listener + per-connection reader.
+  //===--------------------------------------------------------------------===//
+
+  void acceptLoop() {
+    while (!Draining.load(std::memory_order_relaxed)) {
+      pollfd P{ListenFd, POLLIN, 0};
+      int R = ::poll(&P, 1, 200);
+      if (R <= 0)
+        continue;
+      int Fd = ::accept(ListenFd, nullptr, nullptr);
+      if (Fd < 0)
+        continue;
+      auto C = std::make_shared<Conn>();
+      C->Fd = Fd;
+      {
+        std::lock_guard<std::mutex> L(ConnMu);
+        C->Id = NextConnId++;
+        Conns.push_back(C);
+      }
+      bump(&ServerStats::Connections);
+      C->Reader = std::thread([this, C] { readLoop(C); });
+    }
+  }
+
+  void readLoop(std::shared_ptr<Conn> C) {
+    FrameReader FR;
+    char Buf[64 * 1024];
+    while (C->Open.load(std::memory_order_relaxed)) {
+      ssize_t N = ::recv(C->Fd, Buf, sizeof Buf, 0);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        break;
+      FR.feed(Buf, size_t(N));
+      Frame F;
+      std::string Err;
+      FrameReader::Status S;
+      while ((S = FR.next(F, &Err)) == FrameReader::Status::Frame)
+        if (!handleFrame(C, F))
+          goto out;
+      if (S == FrameReader::Status::Malformed) {
+        bump(&ServerStats::Malformed);
+        sendFrame(*C, FrameType::Error, "malformed frame: " + Err);
+        break;
+      }
+    }
+  out:
+    C->Open.store(false, std::memory_order_relaxed);
+    ::shutdown(C->Fd, SHUT_RDWR);
+  }
+
+  /// Returns false when the connection should close.
+  bool handleFrame(const std::shared_ptr<Conn> &C, const Frame &F) {
+    switch (F.Type) {
+    case FrameType::Hello: {
+      support::wire::Cursor Cur(F.Payload);
+      uint64_t Ver = Cur.u64();
+      if (Cur.Fail || Ver != ProtocolVersion) {
+        sendFrame(*C, FrameType::Error,
+                  "unsupported protocol version " + std::to_string(Ver) +
+                      " (server speaks " + std::to_string(ProtocolVersion) +
+                      ")");
+        return false;
+      }
+      std::ostringstream OS;
+      support::wire::putU64(OS, ProtocolVersion);
+      support::wire::putU64(OS, uint64_t(::getpid()));
+      support::wire::putStr(OS, "islarisd");
+      return sendFrame(*C, FrameType::Welcome, OS.str());
+    }
+    case FrameType::Ping:
+      return sendFrame(*C, FrameType::Pong, "");
+    case FrameType::Shutdown:
+      sendFrame(*C, FrameType::Accepted, encodeIdPayload(0, "shutdown"));
+      requestShutdownImpl();
+      return true;
+    case FrameType::Request: {
+      Request R;
+      if (!decodeRequest(F.Payload, R)) {
+        bump(&ServerStats::Malformed);
+        sendFrame(*C, FrameType::Error, "malformed request payload");
+        return false;
+      }
+      admit(C, R);
+      return true;
+    }
+    default:
+      // A server-to-client frame type arriving at the server is a protocol
+      // violation, same as a framing error.
+      bump(&ServerStats::Malformed);
+      sendFrame(*C, FrameType::Error,
+                std::string("unexpected frame type: ") +
+                    frameTypeName(F.Type));
+      return false;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Admission.
+  //===--------------------------------------------------------------------===//
+
+  void reject(Conn &C, uint64_t Id, const std::string &Why) {
+    bump(&ServerStats::Rejected);
+    sendFrame(C, FrameType::Rejected, encodeIdPayload(Id, Why));
+  }
+
+  void admit(const std::shared_ptr<Conn> &C, const Request &R) {
+    bump(&ServerStats::Requests);
+    if (Draining.load(std::memory_order_relaxed)) {
+      reject(*C, R.Id, "server draining");
+      return;
+    }
+
+    Waiter W{C, R.Id, Clock::now()};
+    auto J = std::make_shared<Job>();
+    J->W = W;
+
+    switch (R.K) {
+    case Request::Kind::Stats:
+      bump(&ServerStats::StatsRequests);
+      J->K = Job::Kind::Stats;
+      break;
+    case Request::Kind::Study: {
+      bump(&ServerStats::StudyRequests);
+      if (!validStudy(R.Study)) {
+        reject(*C, R.Id, "unknown case study: " + R.Study);
+        return;
+      }
+      J->K = Job::Kind::Study;
+      J->Study = R.Study;
+      break;
+    }
+    case Request::Kind::Trace: {
+      bump(&ServerStats::TraceRequests);
+      const sail::Model *M = modelFor(R.Trace.Arch);
+      if (!M) {
+        reject(*C, R.Id, "unknown architecture: " + R.Trace.Arch);
+        return;
+      }
+      auto G = std::make_shared<TraceGroup>();
+      G->Model = M;
+      G->Arch = R.Trace.Arch;
+      G->Op = isla::OpcodeSpec{BitVec(32, R.Trace.Opcode),
+                               BitVec(32, R.Trace.SymMask)};
+      for (const TraceRequest::Assume &A : R.Trace.Assumes)
+        G->Assume.assume(itl::Reg(A.Base, A.Field),
+                         BitVec(A.Width, A.Value));
+      G->Opts = execOptionsFor(R.Trace);
+      G->Key = cache::traceCacheKey(G->Arch, *M, G->Op, G->Assume, G->Opts);
+      G->Waiters.push_back(W);
+
+      std::unique_lock<std::mutex> L(QMu);
+      touchActivity();
+      // Cross-client dedup: an identical request already queued or
+      // executing absorbs this one — no new queue entry, one execution,
+      // result fan-out.  Attach is exempt from the queue bound because it
+      // adds no work.
+      auto It = Inflight.find(G->Key);
+      if (It != Inflight.end()) {
+        It->second->Waiters.push_back(W);
+        L.unlock();
+        bump(&ServerStats::DedupFanout);
+        sendFrame(*C, FrameType::Accepted, encodeIdPayload(R.Id, "dedup"));
+        return;
+      }
+      if (TotalQueued >= Cfg.MaxQueueDepth) {
+        L.unlock();
+        reject(*C, R.Id, "queue full");
+        return;
+      }
+      J->K = Job::Kind::Trace;
+      J->Group = G;
+      Inflight[G->Key] = G;
+      Queues[C->Id].push_back(J);
+      ++TotalQueued;
+      L.unlock();
+      QCv.notify_one();
+      sendFrame(*C, FrameType::Accepted, encodeIdPayload(R.Id, "queued"));
+      return;
+    }
+    }
+
+    // Stats/study jobs share the same bounded, per-client-fair queue.
+    std::unique_lock<std::mutex> L(QMu);
+    touchActivity();
+    if (TotalQueued >= Cfg.MaxQueueDepth) {
+      L.unlock();
+      reject(*C, R.Id, "queue full");
+      return;
+    }
+    Queues[C->Id].push_back(J);
+    ++TotalQueued;
+    L.unlock();
+    QCv.notify_one();
+    sendFrame(*C, FrameType::Accepted, encodeIdPayload(R.Id, "queued"));
+  }
+
+  static bool validStudy(const std::string &S) {
+    static const char *Names[] = {"memcpy-arm",    "memcpy-rv", "hvc",
+                                  "pkvm",          "unaligned", "uart",
+                                  "rbit",          "binsearch-arm",
+                                  "binsearch-rv",  "suite"};
+    for (const char *N : Names)
+      if (S == N)
+        return true;
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Workers.
+  //===--------------------------------------------------------------------===//
+
+  /// Round-robin pop: the next client id (cyclically) above the cursor
+  /// with queued work.  A flooding client advances the cursor past itself
+  /// after every pop, so other clients' single requests interleave 1:1
+  /// with its backlog.
+  std::shared_ptr<Job> popLocked() {
+    if (TotalQueued == 0)
+      return nullptr;
+    auto It = Queues.upper_bound(RRCursor);
+    for (size_t Hops = 0; Hops <= Queues.size(); ++Hops) {
+      if (It == Queues.end())
+        It = Queues.begin();
+      if (!It->second.empty()) {
+        RRCursor = It->first;
+        auto J = It->second.front();
+        It->second.pop_front();
+        --TotalQueued;
+        return J;
+      }
+      ++It;
+    }
+    return nullptr;
+  }
+
+  void workerLoop() {
+    while (true) {
+      std::shared_ptr<Job> J;
+      {
+        std::unique_lock<std::mutex> L(QMu);
+        QCv.wait(L, [&] {
+          return TotalQueued > 0 || Draining.load(std::memory_order_relaxed);
+        });
+        J = popLocked();
+        if (!J) {
+          if (Draining.load(std::memory_order_relaxed))
+            return;
+          continue;
+        }
+        ++ActiveJobs;
+      }
+      switch (J->K) {
+      case Job::Kind::Trace:
+        runTraceJob(*J);
+        break;
+      case Job::Kind::Study:
+        runStudyJob(*J);
+        break;
+      case Job::Kind::Stats: {
+        sendFrame(*J->W.C, FrameType::Stats,
+                  encodeIdPayload(J->W.ReqId, renderStatsImpl()));
+        DoneInfo D;
+        D.Id = J->W.ReqId;
+        D.Source = "stats";
+        D.Seconds = secondsSince(J->W.Enqueued);
+        sendFrame(*J->W.C, FrameType::Done, encodeDone(D));
+        break;
+      }
+      }
+      {
+        std::lock_guard<std::mutex> L(QMu);
+        --ActiveJobs;
+        touchActivity();
+      }
+      QCv.notify_all();
+    }
+  }
+
+  void runTraceJob(Job &J) {
+    TraceGroup &G = *J.Group;
+    bool Ok = false;
+    bool Fresh = false;
+    std::string EntryText, Error;
+    unsigned Attempts = 0;
+    unsigned Status = 0;
+
+    if (auto E = Cache->lookup(G.Key)) {
+      Ok = true;
+      EntryText = cache::TraceCache::serializeEntry(G.Key, *E);
+      bump(&ServerStats::WarmHits);
+    } else {
+      if (Cfg.ExecDelaySeconds > 0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(Cfg.ExecDelaySeconds));
+      cache::BatchDriver BD(1);
+      cache::DriverOptions DO;
+      DO.JobTimeoutSeconds = Cfg.Limits.JobTimeoutSeconds;
+      DO.MaxRetries = Cfg.Limits.JobRetries;
+      BD.setOptions(DO);
+      cache::TraceJob TJ;
+      TJ.Model = G.Model;
+      TJ.ArchName = G.Arch;
+      TJ.Op = G.Op;
+      TJ.Assume = &G.Assume;
+      TJ.Opts = G.Opts;
+      TJ.SideCond = SideCond.get();
+      auto R = BD.run({TJ}, Cache.get());
+      const cache::TraceJobResult &TR = R.front();
+      Ok = TR.Ok;
+      Attempts = TR.Attempts;
+      if (Ok) {
+        EntryText = cache::TraceCache::serializeEntry(TR.Key, TR.Entry);
+        if (TR.Source == cache::ResultSource::CacheHit) {
+          // Another worker published the key between our lookup and the
+          // driver's: a warm hit after all.
+          bump(&ServerStats::WarmHits);
+        } else {
+          Fresh = true;
+          bump(&ServerStats::Executed);
+        }
+      } else {
+        Error = TR.Error;
+        Status = support::isInfrastructureError(TR.D.Code) ? 2 : 1;
+      }
+    }
+
+    // Retire the group *before* fanning out, so a request arriving during
+    // the sends starts a new group (and hits the now-warm cache) instead of
+    // attaching to a group that will never signal it again.
+    std::vector<Waiter> Waiters;
+    {
+      std::lock_guard<std::mutex> L(QMu);
+      Inflight.erase(G.Key);
+      Waiters = std::move(G.Waiters);
+    }
+    for (size_t I = 0; I < Waiters.size(); ++I) {
+      Waiter &W = Waiters[I];
+      if (Ok)
+        sendFrame(*W.C, FrameType::Trace,
+                  encodeIdPayload(W.ReqId, EntryText));
+      DoneInfo D;
+      D.Id = W.ReqId;
+      D.Status = Ok ? 0 : Status;
+      D.Source = !Ok ? "failed" : (I == 0 ? (Fresh ? "fresh" : "warm")
+                                          : "dedup");
+      D.Attempts = Attempts;
+      D.Seconds = secondsSince(W.Enqueued);
+      D.Error = Error;
+      sendFrame(*W.C, FrameType::Done, encodeDone(D));
+    }
+  }
+
+  frontend::CaseResult runOneStudy(const std::string &Name) {
+    if (Name == "memcpy-arm")
+      return frontend::runMemcpyArm();
+    if (Name == "memcpy-rv")
+      return frontend::runMemcpyRv();
+    if (Name == "hvc")
+      return frontend::runHvc();
+    if (Name == "pkvm")
+      return frontend::runPkvm();
+    if (Name == "unaligned")
+      return frontend::runUnaligned();
+    if (Name == "uart")
+      return frontend::runUart();
+    if (Name == "rbit")
+      return frontend::runRbit();
+    if (Name == "binsearch-arm")
+      return frontend::runBinSearchArm();
+    return frontend::runBinSearchRv();
+  }
+
+  void runStudyJob(Job &J) {
+    // Studies consult the ambient stores the server installed at start;
+    // the ambient protocol is per-process, so study execution is strictly
+    // serialized even on a multi-worker server.
+    std::lock_guard<std::mutex> SL(StudyMu);
+    std::vector<std::string> Names;
+    if (J.Study == "suite")
+      Names = {"memcpy-arm", "memcpy-rv",    "hvc",
+               "pkvm",       "unaligned",    "uart",
+               "rbit",       "binsearch-arm", "binsearch-rv"};
+    else
+      Names = {J.Study};
+
+    std::vector<frontend::CaseResult> Rows;
+    for (const std::string &N : Names) {
+      frontend::CaseResult R = runOneStudy(N);
+      Rows.push_back(R);
+      bump(&ServerStats::RowsStreamed);
+      sendFrame(*J.W.C, FrameType::Row,
+                encodeIdPayload(J.W.ReqId, frontend::encodeCaseResult(R)));
+      if (!R.Ok)
+        sendFrame(*J.W.C, FrameType::Diag,
+                  encodeIdPayload(J.W.ReqId,
+                                  N + ": " + (R.Error.empty() ? "failed"
+                                                              : R.Error)));
+    }
+    DoneInfo D;
+    D.Id = J.W.ReqId;
+    D.Status = unsigned(frontend::suiteExitCode(Rows));
+    D.Source = "study";
+    D.Seconds = secondsSince(J.W.Enqueued);
+    if (D.Status != 0)
+      for (const frontend::CaseResult &R : Rows)
+        if (!R.Ok) {
+          D.Error = R.Name + ": " + R.Error;
+          break;
+        }
+    sendFrame(*J.W.C, FrameType::Done, encodeDone(D));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Idle eviction.
+  //===--------------------------------------------------------------------===//
+
+  void idleLoop() {
+    while (!Draining.load(std::memory_order_relaxed)) {
+      {
+        std::unique_lock<std::mutex> IL(IdleMu);
+        IdleCv.wait_for(IL, std::chrono::milliseconds(200));
+      }
+      if (Draining.load(std::memory_order_relaxed))
+        return;
+      {
+        std::lock_guard<std::mutex> L(QMu);
+        if (Cfg.IdleEvictSeconds <= 0 || EvictedSinceActivity)
+          continue;
+        if (TotalQueued > 0 || ActiveJobs > 0)
+          continue;
+        if (secondsSince(LastActivity) < Cfg.IdleEvictSeconds)
+          continue;
+        EvictedSinceActivity = true;
+      }
+      // Disk entries survive; only the hot sets drop.  The next request
+      // repopulates from disk at disk-hit (not cold-execution) cost.
+      Cache->clearMemory();
+      SideCond->clearMemory();
+      bump(&ServerStats::IdleEvictions);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Lifecycle.
+  //===--------------------------------------------------------------------===//
+
+  bool startImpl(std::string &Err) {
+    if (Cfg.SocketPath.empty()) {
+      Err = "empty socket path";
+      return false;
+    }
+    sockaddr_un Addr{};
+    if (Cfg.SocketPath.size() >= sizeof Addr.sun_path) {
+      Err = "socket path too long for sockaddr_un (" +
+            std::to_string(Cfg.SocketPath.size()) + " bytes): " +
+            Cfg.SocketPath;
+      return false;
+    }
+
+    cache::TraceCacheConfig TC;
+    TC.MaxEntries = Cfg.CacheMaxEntries;
+    TC.Persist = Cfg.Persist;
+    TC.Dir = Cfg.CacheDir;
+    TC.ScrubOnOpen = Cfg.Persist; // unclean-shutdown scrub (cache/Scrub.h)
+    Cache = std::make_unique<cache::TraceCache>(TC);
+
+    cache::SideCondConfig SC;
+    SC.Persist = Cfg.Persist;
+    SC.Dir = Cache->dir() + "/sidecond";
+    SC.ScrubOnOpen = Cfg.Persist;
+    SideCond = std::make_unique<cache::SideCondStore>(SC);
+
+    // Mark the stores dirty for the daemon's lifetime: only a clean drain
+    // rewrites the markers, so a crash leaves the next open to scrub.
+    if (Cfg.Persist) {
+      cache::clearCleanShutdownMarker(Cache->dir());
+      cache::clearCleanShutdownMarker(SideCond->dir());
+    }
+
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0) {
+      Err = std::string("socket(): ") + std::strerror(errno);
+      return false;
+    }
+    ::unlink(Cfg.SocketPath.c_str()); // stale socket from a dead daemon
+    Addr.sun_family = AF_UNIX;
+    std::memcpy(Addr.sun_path, Cfg.SocketPath.c_str(),
+                Cfg.SocketPath.size() + 1);
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) <
+        0) {
+      Err = "bind(" + Cfg.SocketPath + "): " + std::strerror(errno);
+      ::close(ListenFd);
+      ListenFd = -1;
+      return false;
+    }
+    if (::listen(ListenFd, 64) < 0) {
+      Err = std::string("listen(): ") + std::strerror(errno);
+      ::close(ListenFd);
+      ListenFd = -1;
+      ::unlink(Cfg.SocketPath.c_str());
+      return false;
+    }
+
+    // Install the resident stores and guards as the process ambients for
+    // the daemon's lifetime (study runners pick them up).
+    PrevCache = cache::ambientTraceCache();
+    PrevSide = cache::ambientSideCondCache();
+    PrevLimits = support::ambientRunLimits();
+    cache::setAmbientTraceCache(Cache.get());
+    cache::setAmbientSideCondCache(SideCond.get());
+    support::setAmbientRunLimits(Cfg.Limits);
+
+    StartedAt = Clock::now();
+    Running.store(true, std::memory_order_relaxed);
+    AcceptTh = std::thread([this] { acceptLoop(); });
+    unsigned Workers = Cfg.Workers ? Cfg.Workers : 1;
+    for (unsigned I = 0; I < Workers; ++I)
+      WorkerThs.emplace_back([this] { workerLoop(); });
+    IdleTh = std::thread([this] { idleLoop(); });
+    return true;
+  }
+
+  void requestShutdownImpl() {
+    bool Expected = false;
+    if (!Draining.compare_exchange_strong(Expected, true))
+      return;
+    QCv.notify_all();
+    ShutCv.notify_all();
+    IdleCv.notify_all();
+  }
+
+  void waitImpl() {
+    if (!Running.load(std::memory_order_relaxed))
+      return;
+    // Block until a drain begins, then tear down exactly once.
+    {
+      std::unique_lock<std::mutex> L(QMu);
+      ShutCv.wait(L,
+                  [&] { return Draining.load(std::memory_order_relaxed); });
+    }
+    std::lock_guard<std::mutex> TL(TeardownMu);
+    if (TornDown)
+      return;
+    TornDown = true;
+
+    if (AcceptTh.joinable())
+      AcceptTh.join();
+    QCv.notify_all();
+    for (std::thread &T : WorkerThs)
+      T.join(); // workers drain every queued job before exiting
+    WorkerThs.clear();
+    if (IdleTh.joinable())
+      IdleTh.join();
+
+    // Every accepted request has its done frame out; say goodbye.
+    {
+      std::lock_guard<std::mutex> L(ConnMu);
+      for (auto &C : Conns) {
+        sendFrame(*C, FrameType::Bye, "drained");
+        C->Open.store(false, std::memory_order_relaxed);
+        ::shutdown(C->Fd, SHUT_RDWR);
+      }
+      for (auto &C : Conns) {
+        if (C->Reader.joinable())
+          C->Reader.join();
+        ::close(C->Fd);
+      }
+      Conns.clear();
+    }
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    ::unlink(Cfg.SocketPath.c_str());
+
+    cache::setAmbientTraceCache(PrevCache);
+    cache::setAmbientSideCondCache(PrevSide);
+    support::setAmbientRunLimits(PrevLimits);
+
+    // A completed drain is a clean shutdown: the next open may skip its
+    // scrub.
+    if (Cfg.Persist) {
+      cache::writeCleanShutdownMarker(Cache->dir());
+      cache::writeCleanShutdownMarker(SideCond->dir());
+    }
+    Running.store(false, std::memory_order_relaxed);
+  }
+
+  std::string renderStatsImpl() const {
+    ServerStats S;
+    {
+      std::lock_guard<std::mutex> L(StatsMu);
+      S = St;
+    }
+    size_t Depth;
+    unsigned Active;
+    {
+      std::lock_guard<std::mutex> L(QMu);
+      Depth = TotalQueued;
+      Active = ActiveJobs;
+    }
+    cache::CacheStats CS = Cache->stats();
+    cache::SideCondStats SS = SideCond->stats();
+    std::ostringstream OS;
+    OS << "{\"uptime_seconds\":" << secondsSince(StartedAt)
+       << ",\"connections\":" << S.Connections
+       << ",\"requests\":" << S.Requests
+       << ",\"trace_requests\":" << S.TraceRequests
+       << ",\"study_requests\":" << S.StudyRequests
+       << ",\"rejected\":" << S.Rejected
+       << ",\"malformed\":" << S.Malformed
+       << ",\"executed\":" << S.Executed
+       << ",\"warm_hits\":" << S.WarmHits
+       << ",\"dedup_fanout\":" << S.DedupFanout
+       << ",\"rows_streamed\":" << S.RowsStreamed
+       << ",\"idle_evictions\":" << S.IdleEvictions
+       << ",\"queue_depth\":" << Depth << ",\"active_jobs\":" << Active
+       << ",\"trace_cache\":{\"hits\":" << CS.Hits
+       << ",\"disk_hits\":" << CS.DiskHits << ",\"misses\":" << CS.Misses
+       << ",\"insertions\":" << CS.Insertions << "}"
+       << ",\"sidecond\":{\"hits\":" << SS.Hits
+       << ",\"disk_hits\":" << SS.DiskHits << ",\"misses\":" << SS.Misses
+       << ",\"insertions\":" << SS.Insertions << "}}";
+    return OS.str();
+  }
+};
+
+Server::Server(ServerConfig C) : I(std::make_unique<Impl>(std::move(C))) {}
+
+Server::~Server() {
+  if (I->Running.load(std::memory_order_relaxed)) {
+    I->requestShutdownImpl();
+    I->waitImpl();
+  }
+}
+
+bool Server::start(std::string &Err) { return I->startImpl(Err); }
+
+void Server::requestShutdown() { I->requestShutdownImpl(); }
+
+void Server::wait() { I->waitImpl(); }
+
+bool Server::running() const {
+  return I->Running.load(std::memory_order_relaxed);
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> L(I->StatsMu);
+  return I->St;
+}
+
+const std::string &Server::socketPath() const { return I->Cfg.SocketPath; }
+
+cache::TraceCache *Server::traceCache() { return I->Cache.get(); }
+
+cache::SideCondStore *Server::sideCondStore() { return I->SideCond.get(); }
+
+std::string Server::renderStats() const { return I->renderStatsImpl(); }

@@ -1,0 +1,149 @@
+//===- server/Server.h - Resident verification server -----------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The islarisd core: a resident verification service on a Unix-domain
+/// socket.  One process keeps the expensive state warm across requests —
+/// the persistent TraceCache and SideCondStore (installed as the ambient
+/// stores), their in-memory hot sets, and the parsed ISA models — so a
+/// short-lived client pays none of the cold-start cost the batch tools pay
+/// on every invocation.
+///
+/// Scheduling discipline:
+///
+///  - Admission control: the total queue is bounded (ServerConfig::
+///    MaxQueueDepth); a request past the bound is *rejected immediately*
+///    with a `rejected` frame rather than queued into unbounded latency.
+///
+///  - Fairness: queued work is organized as one FIFO per client connection
+///    and workers pick round-robin across clients, so a client flooding
+///    thousands of requests cannot starve a client with one.
+///
+///  - Cross-client dedup: trace requests are canonicalized to their
+///    cache::traceCacheKey at admission; a request whose key is already
+///    queued or executing attaches to the in-flight group instead of
+///    executing again, and the one result fans out to every waiter —
+///    bit-identically, since results travel in serialized CacheEntry form.
+///
+///  - Drain: shutdown (signal or `shutdown` frame) stops accepting new
+///    work but completes everything already accepted, so every accepted
+///    request id receives its `done` frame before `bye`.  A clean drain
+///    writes the stores' clean-shutdown markers (cache/Scrub.h), making
+///    the next open skip its scrub.
+///
+///  - Idle eviction: after ServerConfig::IdleEvictSeconds without work the
+///    in-memory hot sets are dropped (clearMemory; disk entries remain),
+///    bounding the resident footprint of an idle daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SERVER_SERVER_H
+#define ISLARIS_SERVER_SERVER_H
+
+#include "server/Protocol.h"
+#include "support/Guard.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace islaris::cache {
+class TraceCache;
+class SideCondStore;
+}
+
+namespace islaris::server {
+
+struct ServerConfig {
+  /// Unix-domain socket path.  Keep it short: sockaddr_un caps paths at
+  /// ~107 bytes, so prefer /tmp/... over deep build trees.
+  std::string SocketPath;
+  /// Worker threads executing requests (1 = strictly serial execution,
+  /// which makes dedup and fairness tests deterministic).
+  unsigned Workers = 2;
+  /// Admission bound on queued-but-not-executing requests across all
+  /// clients; past it requests are rejected, not queued.
+  size_t MaxQueueDepth = 256;
+  /// Seconds of idle after which in-memory cache hot sets are dropped
+  /// (0 = never).
+  double IdleEvictSeconds = 0;
+  /// Resource guards applied to request execution (JobTimeoutSeconds /
+  /// JobRetries feed the batch driver; the rest go into ExecOptions).
+  support::RunLimits Limits;
+  /// Keep the trace/side-condition stores on disk under CacheDir.
+  bool Persist = true;
+  /// Store root; empty = cache::resolveCacheDir().  Side conditions live
+  /// under <CacheDir>/sidecond.
+  std::string CacheDir;
+  /// In-memory LRU bound of the resident trace cache.
+  size_t CacheMaxEntries = 4096;
+  /// Test hook: artificial seconds of latency added to each *fresh*
+  /// execution, giving dedup/fairness tests a deterministic window in
+  /// which to race a second client against an in-flight request.
+  double ExecDelaySeconds = 0;
+};
+
+/// Monotonic counters; readable while the server runs.
+struct ServerStats {
+  uint64_t Connections = 0;
+  uint64_t Requests = 0;      ///< Request frames parsed (any kind).
+  uint64_t TraceRequests = 0;
+  uint64_t StudyRequests = 0;
+  uint64_t StatsRequests = 0;
+  uint64_t Rejected = 0;      ///< Admission-control rejections.
+  uint64_t Malformed = 0;     ///< Connections killed by framing errors.
+  uint64_t Executed = 0;      ///< Fresh symbolic executions performed.
+  uint64_t WarmHits = 0;      ///< Trace requests served from the cache.
+  uint64_t DedupFanout = 0;   ///< Requests attached to an in-flight group.
+  uint64_t RowsStreamed = 0;  ///< Case-study rows streamed to clients.
+  uint64_t IdleEvictions = 0; ///< Hot-set drops by the idle timer.
+};
+
+/// The resident verification server.  start() spawns the listener and
+/// worker threads and returns; requestShutdown() begins a drain; wait()
+/// blocks until the drain completes and every thread has been joined.
+class Server {
+public:
+  explicit Server(ServerConfig C);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket, installs the ambient stores, spawns threads.
+  /// False (with \p Err set) if the socket could not be bound.
+  bool start(std::string &Err);
+
+  /// Begins a graceful drain: stop accepting connections and requests,
+  /// finish everything already accepted.  Idempotent; safe from signal
+  /// handlers' notify threads and from connection readers.
+  void requestShutdown();
+
+  /// Blocks until the server has fully stopped (drain complete, threads
+  /// joined, markers written).  Also reached by destruction.
+  void wait();
+
+  bool running() const;
+  ServerStats stats() const;
+  const std::string &socketPath() const;
+
+  /// The resident stores (valid between start() and wait()); exposed for
+  /// tests and the stats endpoint.
+  cache::TraceCache *traceCache();
+  cache::SideCondStore *sideCondStore();
+
+  /// Renders the stats payload served to `stats` requests (JSON object,
+  /// one line).
+  std::string renderStats() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace islaris::server
+
+#endif // ISLARIS_SERVER_SERVER_H

@@ -1,0 +1,90 @@
+//===- support/Wire.h - Shared field-level wire codec -----------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The field-level codec shared by the run-journal CaseResult rows and the
+/// islarisd wire protocol.  Values are space-separated tokens; strings are
+/// length-prefixed ("<len>:<bytes>") so embedded spaces, parens and newlines
+/// survive; doubles travel as hexfloats so a decoded value is bit-for-bit
+/// the encoded one, not a decimal approximation.
+///
+/// Decoding is fail-soft: any malformed field trips Cursor::Fail and every
+/// later read degrades to a zero value, so callers validate once at the end
+/// instead of threading error returns through every field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SUPPORT_WIRE_H
+#define ISLARIS_SUPPORT_WIRE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace islaris::support::wire {
+
+inline void putStr(std::ostringstream &OS, const std::string &S) {
+  OS << S.size() << ":" << S << " ";
+}
+
+inline void putU64(std::ostringstream &OS, uint64_t V) { OS << V << " "; }
+
+inline void putF(std::ostringstream &OS, double D) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof Buf, "%a", D);
+  OS << Buf << " ";
+}
+
+/// Sequential token reader over the encoded form; any malformed field trips
+/// Fail and every later read degrades to a zero value.
+struct Cursor {
+  const std::string &T;
+  size_t P = 0;
+  bool Fail = false;
+
+  explicit Cursor(const std::string &T) : T(T) {}
+
+  void skip() {
+    while (P < T.size() && T[P] == ' ')
+      ++P;
+  }
+  std::string tok() {
+    skip();
+    size_t S = P;
+    while (P < T.size() && T[P] != ' ')
+      ++P;
+    if (P == S)
+      Fail = true;
+    return T.substr(S, P - S);
+  }
+  uint64_t u64() { return std::strtoull(tok().c_str(), nullptr, 10); }
+  double f() { return std::strtod(tok().c_str(), nullptr); }
+  std::string str() {
+    skip();
+    size_t S = P;
+    while (P < T.size() && T[P] >= '0' && T[P] <= '9')
+      ++P;
+    if (P == S || P >= T.size() || T[P] != ':') {
+      Fail = true;
+      return "";
+    }
+    size_t Len = std::strtoull(T.substr(S, P - S).c_str(), nullptr, 10);
+    ++P; // ':'
+    if (P + Len > T.size()) {
+      Fail = true;
+      return "";
+    }
+    std::string Out = T.substr(P, Len);
+    P += Len;
+    return Out;
+  }
+};
+
+} // namespace islaris::support::wire
+
+#endif // ISLARIS_SUPPORT_WIRE_H

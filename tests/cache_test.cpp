@@ -11,6 +11,7 @@
 
 #include "cache/BatchDriver.h"
 #include "cache/Fingerprint.h"
+#include "cache/Generations.h"
 #include "cache/Journal.h"
 #include "cache/Scrub.h"
 #include "cache/SideCondCache.h"
@@ -416,6 +417,14 @@ TEST(TraceCacheTest, ShardedLayoutAndLegacyReadThrough) {
   Cfg.Persist = true;
   Cfg.Dir = Tmp.Path.string();
 
+  // The generation registry and its manifests live alongside the entries
+  // but are not entries; the layout assertions below apply only to entry
+  // files.
+  auto IsBookkeeping = [](const std::filesystem::path &P) {
+    return P.filename() == "generations.txt" ||
+           P.parent_path().filename() == "manifests";
+  };
+
   std::string Err;
   {
     TraceCache C(Cfg);
@@ -431,7 +440,7 @@ TEST(TraceCacheTest, ShardedLayoutAndLegacyReadThrough) {
   unsigned Files = 0;
   for (const auto &F :
        std::filesystem::recursive_directory_iterator(Tmp.Path)) {
-    if (!F.is_regular_file())
+    if (!F.is_regular_file() || IsBookkeeping(F.path()))
       continue;
     ++Files;
     std::string Name = F.path().filename().string();
@@ -446,7 +455,7 @@ TEST(TraceCacheTest, ShardedLayoutAndLegacyReadThrough) {
   std::vector<std::filesystem::path> Entries;
   for (const auto &F :
        std::filesystem::recursive_directory_iterator(Tmp.Path))
-    if (F.is_regular_file())
+    if (F.is_regular_file() && !IsBookkeeping(F.path()))
       Entries.push_back(F.path());
   for (const auto &P : Entries)
     std::filesystem::rename(P, Tmp.Path / P.filename());
@@ -1458,6 +1467,217 @@ TEST(SuiteCacheTest, ParallelSuiteMatchesSerial) {
     EXPECT_EQ(Rows[I].Proof.PathsVerified, Serial[I].Proof.PathsVerified)
         << Rows[I].Name;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Journal rotation/compaction.
+//===----------------------------------------------------------------------===//
+
+TEST(RunJournalTest, ExplicitCompactKeepsLastRecordPerKey) {
+  TempDir Tmp;
+  std::filesystem::path Path = Tmp.Path / "suite.journal";
+  RunJournal J(Path.string());
+  ASSERT_TRUE(J.open());
+  // A long-lived suite re-appends every key each run: most of the file is
+  // dead records.
+  for (int Run = 0; Run < 8; ++Run)
+    for (const char *K : {"a", "b", "c"})
+      ASSERT_TRUE(J.append(jkey(K), std::string(K) + "-run" +
+                                        std::to_string(Run)));
+  uint64_t Before = J.fileBytes();
+  ASSERT_TRUE(J.compact());
+  EXPECT_EQ(J.compactions(), 1u);
+  EXPECT_LT(J.fileBytes(), Before / 2);
+  EXPECT_EQ(J.records(), 3u);
+  ASSERT_NE(J.find(jkey("b")), nullptr);
+  EXPECT_EQ(*J.find(jkey("b")), "b-run7");
+
+  // Appends continue on the swapped file, and a reopen sees exactly the
+  // compacted state plus the new record.
+  ASSERT_TRUE(J.append(jkey("d"), "d-post"));
+  RunJournal J2(Path.string());
+  ASSERT_TRUE(J2.open());
+  EXPECT_EQ(J2.records(), 4u);
+  EXPECT_EQ(J2.tornBytesDiscarded(), 0u);
+  ASSERT_NE(J2.find(jkey("a")), nullptr);
+  EXPECT_EQ(*J2.find(jkey("a")), "a-run7");
+  ASSERT_NE(J2.find(jkey("d")), nullptr);
+  EXPECT_EQ(*J2.find(jkey("d")), "d-post");
+}
+
+TEST(RunJournalTest, AutoCompactionTriggersPastThreshold) {
+  TempDir Tmp;
+  RunJournal J((Tmp.Path / "auto.journal").string());
+  ASSERT_TRUE(J.open());
+  J.setCompactThreshold(4096);
+  // One hot key re-appended far past the threshold: almost all bytes are
+  // dead, so rotation must kick in on its own.
+  std::string Payload(128, 'x');
+  for (int I = 0; I < 200; ++I)
+    ASSERT_TRUE(J.append(jkey("hot"), Payload + std::to_string(I)));
+  EXPECT_GE(J.compactions(), 1u);
+  EXPECT_LT(J.fileBytes(), 4096u);
+  EXPECT_EQ(J.records(), 1u);
+  ASSERT_NE(J.find(jkey("hot")), nullptr);
+  EXPECT_EQ(*J.find(jkey("hot")), Payload + "199");
+}
+
+//===----------------------------------------------------------------------===//
+// Clean-shutdown markers and scrub-on-open.
+//===----------------------------------------------------------------------===//
+
+TEST(ScrubTest, CleanShutdownMarkerIsConsumedAndSkipsScrub) {
+  TempDir Tmp;
+  std::string Dir = Tmp.Path.string();
+  std::filesystem::create_directories(Tmp.Path);
+  // A stale writer temp that a scrub would reap.
+  writeFileRaw(Tmp.Path / "deadbeef.itc.tmp.1234.1", "torn write");
+
+  ASSERT_TRUE(writeCleanShutdownMarker(Dir));
+  ASSERT_TRUE(hasCleanShutdownMarker(Dir));
+
+  // Marker present: the open-path scrub trusts the attestation, consumes
+  // the marker, touches nothing.
+  QuickScrubReport Clean = scrubOnOpen(Dir);
+  EXPECT_TRUE(Clean.WasClean);
+  EXPECT_EQ(Clean.TempsRemoved, 0u);
+  EXPECT_FALSE(hasCleanShutdownMarker(Dir));
+  EXPECT_TRUE(
+      std::filesystem::exists(Tmp.Path / "deadbeef.itc.tmp.1234.1"));
+
+  // Marker absent (an unclean shutdown): the same open now scrubs.
+  QuickScrubReport Dirty = scrubOnOpen(Dir);
+  EXPECT_FALSE(Dirty.WasClean);
+  EXPECT_EQ(Dirty.TempsRemoved, 1u);
+  EXPECT_FALSE(
+      std::filesystem::exists(Tmp.Path / "deadbeef.itc.tmp.1234.1"));
+}
+
+TEST(ScrubTest, TraceCacheScrubOnOpenConfigRunsTheProtocol) {
+  TempDir Tmp;
+  TraceCacheConfig Cfg;
+  Cfg.Persist = true;
+  Cfg.Dir = Tmp.Path.string();
+  Cfg.ScrubOnOpen = true;
+  std::filesystem::create_directories(Tmp.Path);
+  writeFileRaw(Tmp.Path / "stale.itc.tmp.99.2", "torn");
+  ASSERT_TRUE(writeCleanShutdownMarker(Cfg.Dir));
+  {
+    TraceCache C(Cfg); // consumes the marker, skips the scrub
+  }
+  EXPECT_FALSE(hasCleanShutdownMarker(Cfg.Dir));
+  EXPECT_TRUE(std::filesystem::exists(Tmp.Path / "stale.itc.tmp.99.2"));
+  {
+    TraceCache C(Cfg); // no marker now: reaps the stale temp
+  }
+  EXPECT_FALSE(std::filesystem::exists(Tmp.Path / "stale.itc.tmp.99.2"));
+}
+
+//===----------------------------------------------------------------------===//
+// Store generations.
+//===----------------------------------------------------------------------===//
+
+TEST(GenerationsTest, TouchRecordAndGcRetireOldModels) {
+  TempDir Tmp;
+  std::string Dir = Tmp.Path.string();
+  Fingerprint OldModel = Fingerprinter().str("model-v1").digest();
+  Fingerprint NewModel = Fingerprinter().str("model-v2").digest();
+  Fingerprint OldKey = Fingerprinter().str("entry-old").digest();
+  Fingerprint NewKey = Fingerprinter().str("entry-new").digest();
+
+  auto entryPath = [&](const Fingerprint &K) {
+    std::string Hex = K.toHex();
+    return Tmp.Path / Hex.substr(0, 2) / (Hex + ".itc");
+  };
+  std::filesystem::create_directories(entryPath(OldKey).parent_path());
+  std::filesystem::create_directories(entryPath(NewKey).parent_path());
+  writeFileRaw(entryPath(OldKey), "old-model entry bytes");
+  writeFileRaw(entryPath(NewKey), "new-model entry bytes");
+
+  touchGeneration(Dir, OldModel);
+  recordEntryGeneration(Dir, OldModel, OldKey);
+  touchGeneration(Dir, NewModel);
+  recordEntryGeneration(Dir, NewModel, NewKey);
+
+  std::vector<GenerationRecord> Gens = readGenerations(Dir);
+  ASSERT_EQ(Gens.size(), 2u);
+  EXPECT_EQ(Gens.front().ModelFp, OldModel); // oldest first
+  EXPECT_EQ(Gens.back().ModelFp, NewModel);
+  EXPECT_LT(Gens.front().Seq, Gens.back().Seq);
+
+  GenerationGcOptions O;
+  O.Dir = Dir;
+  O.KeepGenerations = 1;
+
+  // Dry run: counts what retirement would remove, deletes nothing.
+  O.DryRun = true;
+  GenerationGcReport Dry = gcGenerations(O);
+  EXPECT_EQ(Dry.Retired, 1u);
+  EXPECT_EQ(Dry.EntriesRemoved, 1u);
+  EXPECT_TRUE(std::filesystem::exists(entryPath(OldKey)));
+  ASSERT_EQ(readGenerations(Dir).size(), 2u);
+
+  // Real pass: the old model's manifest entries go, the new model's stay,
+  // and the registry drops the retired row.
+  O.DryRun = false;
+  GenerationGcReport Rep = gcGenerations(O);
+  EXPECT_EQ(Rep.Generations, 2u);
+  EXPECT_EQ(Rep.Retired, 1u);
+  EXPECT_EQ(Rep.EntriesRemoved, 1u);
+  EXPECT_GT(Rep.BytesReclaimed, 0u);
+  EXPECT_FALSE(std::filesystem::exists(entryPath(OldKey)));
+  EXPECT_TRUE(std::filesystem::exists(entryPath(NewKey)));
+
+  std::vector<GenerationRecord> After = readGenerations(Dir);
+  ASSERT_EQ(After.size(), 1u);
+  EXPECT_EQ(After.front().ModelFp, NewModel);
+
+  // Idempotent: nothing left to retire.
+  GenerationGcReport Again = gcGenerations(O);
+  EXPECT_EQ(Again.Retired, 0u);
+  EXPECT_EQ(Again.EntriesRemoved, 0u);
+}
+
+TEST(GenerationsTest, BatchDriverRecordsGenerationsForFreshEntries) {
+  TempDir Tmp;
+  TraceCacheConfig Cfg;
+  Cfg.Persist = true;
+  Cfg.Dir = Tmp.Path.string();
+  TraceCache C(Cfg);
+
+  const sail::Model &M = models::aarch64Model();
+  isla::Assumptions A;
+  namespace e = arch::aarch64::enc;
+  cache::TraceJob TJ;
+  TJ.Model = &M;
+  TJ.ArchName = "aarch64";
+  TJ.Op = isla::OpcodeSpec::concrete(e::addImm(0, 0, 7));
+  TJ.Assume = &A;
+  BatchDriver BD(1);
+  auto R = BD.run({TJ}, &C);
+  ASSERT_TRUE(R.front().Ok) << R.front().Error;
+
+  // The run registered the model's generation and recorded the entry
+  // against it, so a later `cachectl gc` can retire it precisely.
+  std::vector<GenerationRecord> Gens = readGenerations(Cfg.Dir);
+  ASSERT_EQ(Gens.size(), 1u);
+  EXPECT_EQ(Gens.front().ModelFp, fingerprintModel(M));
+  std::filesystem::path Manifest =
+      Tmp.Path / "manifests" / (fingerprintModel(M).toHex() + ".mf");
+  ASSERT_TRUE(std::filesystem::exists(Manifest));
+  EXPECT_NE(readFileRaw(Manifest).find(R.front().Key.toHex()),
+            std::string::npos);
+}
+
+TEST(SideCondTest, ExtractClosureSaltParsesSaltedClosures) {
+  Fingerprint Salt = Fingerprinter().str("some-model").digest();
+  std::string Closure = "(salt " + Salt.toHex() + ") (assert (= x 1))";
+  Fingerprint Out;
+  ASSERT_TRUE(extractClosureSalt(Closure, Out));
+  EXPECT_EQ(Out, Salt);
+  EXPECT_FALSE(extractClosureSalt("(assert (= x 1))", Out));
+  EXPECT_FALSE(extractClosureSalt("(salt nothex) (assert)", Out));
+  EXPECT_FALSE(extractClosureSalt("", Out));
 }
 
 } // namespace

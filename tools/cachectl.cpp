@@ -1,20 +1,27 @@
 //===- tools/cachectl.cpp - Cache maintenance mini-tool -----------------------===//
 //
-// Operator entry point for the offline scrub/compaction pass:
+// Operator entry point for the offline maintenance passes:
 //
 //   cachectl scrub [--dir DIR] [--max-bytes N] [--dry-run]
+//   cachectl gc    [--dir DIR] [--keep-generations N] [--dry-run]
 //
-// Scrubs both stores under DIR (default resolveCacheDir(): the trace store
-// at the root, the side-condition store under DIR/sidecond): verifies every
-// entry checksum, quarantines corruption, reaps stale temp files, migrates
-// legacy entries into enveloped sharded form, and (with --max-bytes)
-// evicts least-recently-used entries until the store fits.
+// `scrub` works over both stores under DIR (default resolveCacheDir(): the
+// trace store at the root, the side-condition store under DIR/sidecond):
+// verifies every entry checksum, quarantines corruption, reaps stale temp
+// files, migrates legacy entries into enveloped sharded form, and (with
+// --max-bytes) evicts least-recently-used entries until the store fits.
+//
+// `gc` retires store generations: every model fingerprint outside the N
+// most recently touched (default 2) has its manifest's entries deleted —
+// the entries minted against retired model text that lookups can never hit
+// again.  Also applied to both stores.
 //
 // Exit codes: 0 = clean, 1 = scrub found corruption (quarantined), 2 = bad
 // usage or the pass itself failed.
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/Generations.h"
 #include "cache/Scrub.h"
 #include "cache/TraceCache.h"
 
@@ -41,17 +48,28 @@ static void printReport(const char *Label, const cache::ScrubReport &R) {
     std::printf("  %s\n", D.render().c_str());
 }
 
+static void printGcReport(const char *Label,
+                          const cache::GenerationGcReport &R) {
+  std::printf("%s: %llu generation(s), %llu retired, %llu entries removed "
+              "(%llu bytes reclaimed)\n",
+              Label, (unsigned long long)R.Generations,
+              (unsigned long long)R.Retired,
+              (unsigned long long)R.EntriesRemoved,
+              (unsigned long long)R.BytesReclaimed);
+  for (const support::Diag &D : R.Diags)
+    std::printf("  %s\n", D.render().c_str());
+}
+
 static int usage() {
   std::fprintf(stderr,
                "usage: cachectl scrub [--dir DIR] [--max-bytes N] "
+               "[--dry-run]\n"
+               "       cachectl gc    [--dir DIR] [--keep-generations N] "
                "[--dry-run]\n");
   return 2;
 }
 
-int main(int Argc, char **Argv) {
-  if (Argc < 2 || std::strcmp(Argv[1], "scrub") != 0)
-    return usage();
-
+static int runScrub(int Argc, char **Argv) {
   std::string Dir;
   uint64_t MaxBytes = 0;
   bool DryRun = false;
@@ -83,4 +101,49 @@ int main(int Argc, char **Argv) {
   if (!Traces.clean() || !SideCond.clean())
     return 1;
   return 0;
+}
+
+static int runGc(int Argc, char **Argv) {
+  std::string Dir;
+  unsigned Keep = 2;
+  bool DryRun = false;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--dir") == 0 && I + 1 < Argc)
+      Dir = Argv[++I];
+    else if (std::strcmp(Argv[I], "--keep-generations") == 0 && I + 1 < Argc)
+      Keep = unsigned(std::strtoul(Argv[++I], nullptr, 0));
+    else if (std::strcmp(Argv[I], "--dry-run") == 0)
+      DryRun = true;
+    else
+      return usage();
+  }
+  if (Keep == 0) {
+    std::fprintf(stderr, "cachectl: --keep-generations must be >= 1\n");
+    return 2;
+  }
+  if (Dir.empty())
+    Dir = cache::resolveCacheDir();
+
+  cache::GenerationGcOptions O;
+  O.KeepGenerations = Keep;
+  O.DryRun = DryRun;
+
+  O.Dir = Dir;
+  cache::GenerationGcReport Traces = cache::gcGenerations(O);
+  printGcReport("trace store", Traces);
+
+  O.Dir = Dir + "/sidecond";
+  cache::GenerationGcReport SideCond = cache::gcGenerations(O);
+  printGcReport("sidecond store", SideCond);
+  return 0;
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  if (std::strcmp(Argv[1], "scrub") == 0)
+    return runScrub(Argc, Argv);
+  if (std::strcmp(Argv[1], "gc") == 0)
+    return runGc(Argc, Argv);
+  return usage();
 }

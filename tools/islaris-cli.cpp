@@ -1,0 +1,189 @@
+//===- tools/islaris-cli.cpp - islarisd command-line client --------------------===//
+//
+// Thin client over server::Client:
+//
+//   islaris-cli --socket PATH ping
+//   islaris-cli --socket PATH stats
+//   islaris-cli --socket PATH study NAME|suite
+//   islaris-cli --socket PATH trace ARCH OPCODE-HEX [--sym-mask HEX]
+//               [--assume BASE[.FIELD]=WIDTH:VALUE]...
+//   islaris-cli --socket PATH shutdown
+//
+// Exit codes follow the suite convention: 0 verified/ok, 1 proof failure,
+// 2 infrastructure error (connection failure, rejection, malformed reply).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace islaris;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: islaris-cli --socket PATH COMMAND\n"
+      "commands:\n"
+      "  ping                          round-trip liveness check\n"
+      "  stats                         print the server's stats JSON\n"
+      "  study NAME|suite              run one case study or all nine\n"
+      "  trace ARCH OPCODE-HEX         symbolically execute one opcode\n"
+      "    [--sym-mask HEX]            symbolic opcode bits\n"
+      "    [--assume B[.F]=W:V]...     concrete register assumption\n"
+      "  shutdown                      drain and stop the server\n");
+  return 2;
+}
+
+/// "BASE[.FIELD]=WIDTH:VALUE" (value decimal or 0x-hex).
+bool parseAssume(const std::string &S, server::TraceRequest::Assume &Out) {
+  size_t Eq = S.find('=');
+  if (Eq == std::string::npos)
+    return false;
+  std::string Reg = S.substr(0, Eq);
+  std::string Val = S.substr(Eq + 1);
+  size_t Dot = Reg.find('.');
+  Out.Base = Reg.substr(0, Dot);
+  Out.Field = Dot == std::string::npos ? "" : Reg.substr(Dot + 1);
+  size_t Colon = Val.find(':');
+  if (Colon == std::string::npos || Out.Base.empty())
+    return false;
+  Out.Width = unsigned(std::strtoul(Val.substr(0, Colon).c_str(), nullptr, 10));
+  Out.Value = std::strtoull(Val.substr(Colon + 1).c_str(), nullptr, 0);
+  return Out.Width > 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Socket;
+  std::vector<std::string> Args;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--socket") {
+      if (I + 1 >= argc)
+        return usage();
+      Socket = argv[++I];
+    } else {
+      Args.push_back(A);
+    }
+  }
+  if (Socket.empty() || Args.empty())
+    return usage();
+
+  server::Client C;
+  std::string Err;
+  if (!C.connect(Socket, Err)) {
+    std::fprintf(stderr, "islaris-cli: %s\n", Err.c_str());
+    return 2;
+  }
+
+  const std::string &Cmd = Args[0];
+  if (Cmd == "ping") {
+    if (!C.ping(Err)) {
+      std::fprintf(stderr, "islaris-cli: ping failed: %s\n", Err.c_str());
+      return 2;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+
+  if (Cmd == "stats") {
+    std::string Json;
+    if (!C.getStats(Json, Err)) {
+      std::fprintf(stderr, "islaris-cli: stats failed: %s\n", Err.c_str());
+      return 2;
+    }
+    std::printf("%s\n", Json.c_str());
+    return 0;
+  }
+
+  if (Cmd == "shutdown") {
+    if (!C.shutdownServer(Err)) {
+      std::fprintf(stderr, "islaris-cli: shutdown failed: %s\n", Err.c_str());
+      return 2;
+    }
+    std::printf("islaris-cli: server draining\n");
+    return 0;
+  }
+
+  if (Cmd == "study") {
+    if (Args.size() != 2)
+      return usage();
+    server::Client::StudyResult R;
+    bool Sent = C.runStudy(Args[1], R, Err,
+                           [](const frontend::CaseResult &Row) {
+                             std::printf("%-14s %-8s %s%s%s\n",
+                                         Row.Name.c_str(), Row.Isa.c_str(),
+                                         Row.Ok ? "ok" : "FAILED",
+                                         Row.Ok ? "" : ": ",
+                                         Row.Ok ? "" : Row.Error.c_str());
+                             std::fflush(stdout);
+                           });
+    if (!Sent) {
+      std::fprintf(stderr, "islaris-cli: study failed: %s\n", Err.c_str());
+      return 2;
+    }
+    if (R.Rejected) {
+      std::fprintf(stderr, "islaris-cli: rejected: %s\n",
+                   R.RejectReason.c_str());
+      return 2;
+    }
+    std::printf("islaris-cli: %zu row(s), status %u, %.3fs server time\n",
+                R.Rows.size(), R.Done.Status, R.Done.Seconds);
+    return int(R.Done.Status);
+  }
+
+  if (Cmd == "trace") {
+    if (Args.size() < 3)
+      return usage();
+    server::TraceRequest T;
+    T.Arch = Args[1];
+    T.Opcode = uint32_t(std::strtoul(Args[2].c_str(), nullptr, 16));
+    for (size_t I = 3; I < Args.size(); ++I) {
+      if (Args[I] == "--sym-mask" && I + 1 < Args.size()) {
+        T.SymMask = uint32_t(std::strtoul(Args[++I].c_str(), nullptr, 16));
+      } else if (Args[I] == "--assume" && I + 1 < Args.size()) {
+        server::TraceRequest::Assume A;
+        if (!parseAssume(Args[++I], A)) {
+          std::fprintf(stderr, "islaris-cli: bad --assume %s\n",
+                       Args[I].c_str());
+          return 2;
+        }
+        T.Assumes.push_back(A);
+      } else {
+        return usage();
+      }
+    }
+    server::Client::TraceResult R;
+    if (!C.runTrace(T, R, Err)) {
+      std::fprintf(stderr, "islaris-cli: trace failed: %s\n", Err.c_str());
+      return 2;
+    }
+    if (R.Rejected) {
+      std::fprintf(stderr, "islaris-cli: rejected: %s\n",
+                   R.RejectReason.c_str());
+      return 2;
+    }
+    if (!R.Ok) {
+      std::fprintf(stderr, "islaris-cli: %s (status %u)\n",
+                   R.Done.Error.c_str(), R.Done.Status);
+      return int(R.Done.Status ? R.Done.Status : 2);
+    }
+    std::printf("%s", R.EntryText.c_str());
+    std::fprintf(stderr,
+                 "islaris-cli: %s result in %.3fs (attempts %llu)\n",
+                 R.Done.Source.c_str(), R.Done.Seconds,
+                 (unsigned long long)R.Done.Attempts);
+    return 0;
+  }
+
+  std::fprintf(stderr, "islaris-cli: unknown command %s\n", Cmd.c_str());
+  return usage();
+}

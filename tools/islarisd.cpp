@@ -1,0 +1,118 @@
+//===- tools/islarisd.cpp - Resident verification daemon ----------------------===//
+//
+// The islarisd entry point: parse flags, start server::Server, wait for a
+// drain (SIGINT/SIGTERM or a client `shutdown` frame), exit 0 on a clean
+// drain.
+//
+//   islarisd --socket /tmp/islaris.sock [--workers N] [--queue-depth N]
+//            [--idle-evict SECONDS] [--cache-dir DIR] [--no-persist]
+//            [--job-timeout SECONDS] [--exec-delay SECONDS]
+//
+// Prints "islarisd: listening on <path>" once the socket is live, so
+// harnesses (CI, tests) can wait for readiness by watching stdout.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace islaris;
+
+namespace {
+
+server::Server *ActiveServer = nullptr;
+std::atomic<int> SignalsSeen{0};
+
+void onSignal(int) {
+  // First signal: graceful drain.  Third: something is wedged, die hard.
+  int N = SignalsSeen.fetch_add(1) + 1;
+  if (N >= 3)
+    std::_Exit(2);
+  if (ActiveServer)
+    ActiveServer->requestShutdown();
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH [--workers N] [--queue-depth N]\n"
+      "          [--idle-evict SECONDS] [--cache-dir DIR] [--no-persist]\n"
+      "          [--job-timeout SECONDS] [--exec-delay SECONDS]\n",
+      Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  server::ServerConfig Cfg;
+  Cfg.Limits.JobRetries = 1;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "islarisd: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (A == "--socket")
+      Cfg.SocketPath = Next("--socket");
+    else if (A == "--workers")
+      Cfg.Workers = unsigned(std::atoi(Next("--workers")));
+    else if (A == "--queue-depth")
+      Cfg.MaxQueueDepth = size_t(std::atoll(Next("--queue-depth")));
+    else if (A == "--idle-evict")
+      Cfg.IdleEvictSeconds = std::atof(Next("--idle-evict"));
+    else if (A == "--cache-dir")
+      Cfg.CacheDir = Next("--cache-dir");
+    else if (A == "--no-persist")
+      Cfg.Persist = false;
+    else if (A == "--job-timeout")
+      Cfg.Limits.JobTimeoutSeconds = std::atof(Next("--job-timeout"));
+    else if (A == "--exec-delay")
+      Cfg.ExecDelaySeconds = std::atof(Next("--exec-delay"));
+    else if (A == "--help" || A == "-h")
+      return usage(argv[0]);
+    else {
+      std::fprintf(stderr, "islarisd: unknown flag %s\n", A.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (Cfg.SocketPath.empty())
+    return usage(argv[0]);
+
+  server::Server S(Cfg);
+  std::string Err;
+  if (!S.start(Err)) {
+    std::fprintf(stderr, "islarisd: %s\n", Err.c_str());
+    return 2;
+  }
+
+  ActiveServer = &S;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  std::printf("islarisd: listening on %s\n", Cfg.SocketPath.c_str());
+  std::fflush(stdout);
+
+  S.wait();
+  ActiveServer = nullptr;
+
+  server::ServerStats St = S.stats();
+  std::printf("islarisd: drained (%llu requests, %llu executed, "
+              "%llu warm hits, %llu deduped, %llu rejected)\n",
+              (unsigned long long)St.Requests,
+              (unsigned long long)St.Executed,
+              (unsigned long long)St.WarmHits,
+              (unsigned long long)St.DedupFanout,
+              (unsigned long long)St.Rejected);
+  return 0;
+}
