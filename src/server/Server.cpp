@@ -48,6 +48,9 @@ struct Conn {
   uint64_t Id = 0;
   std::mutex WriteMu;
   std::atomic<bool> Open{true};
+  /// Set as the reader thread exits; tells the accept loop this Conn can
+  /// be joined, closed, and dropped from the connection table.
+  std::atomic<bool> ReaderDone{false};
   std::thread Reader;
 };
 
@@ -199,6 +202,7 @@ struct Server::Impl {
     while (!Draining.load(std::memory_order_relaxed)) {
       pollfd P{ListenFd, POLLIN, 0};
       int R = ::poll(&P, 1, 200);
+      reapConns();
       if (R <= 0)
         continue;
       int Fd = ::accept(ListenFd, nullptr, nullptr);
@@ -241,6 +245,37 @@ struct Server::Impl {
   out:
     C->Open.store(false, std::memory_order_relaxed);
     ::shutdown(C->Fd, SHUT_RDWR);
+    C->ReaderDone.store(true, std::memory_order_release);
+  }
+
+  /// Drop connections whose reader has exited: join the thread, close the
+  /// fd, erase from the table.  Without this a long-lived daemon leaks one
+  /// fd plus one joinable thread per short-lived client until accept()
+  /// fails on fd exhaustion.  Late result frames for a reaped client are
+  /// already no-ops: sendAll checks Open under WriteMu, and the close
+  /// happens under the same mutex, so no send can race the fd.
+  void reapConns() {
+    std::vector<std::shared_ptr<Conn>> Dead;
+    {
+      std::lock_guard<std::mutex> L(ConnMu);
+      for (auto It = Conns.begin(); It != Conns.end();) {
+        if ((*It)->ReaderDone.load(std::memory_order_acquire)) {
+          Dead.push_back(*It);
+          It = Conns.erase(It);
+        } else {
+          ++It;
+        }
+      }
+    }
+    for (auto &C : Dead) {
+      if (C->Reader.joinable())
+        C->Reader.join();
+      std::lock_guard<std::mutex> WL(C->WriteMu);
+      if (C->Fd >= 0) {
+        ::close(C->Fd);
+        C->Fd = -1;
+      }
+    }
   }
 
   /// Returns false when the connection should close.
@@ -331,6 +366,19 @@ struct Server::Impl {
         reject(*C, R.Id, "unknown architecture: " + R.Trace.Arch);
         return;
       }
+      // Widths come off the wire: BitVec(Width) allocates (Width+63)/64
+      // words, so an unchecked width near 2^32 across thousands of assumes
+      // would force multi-GB allocations (and an uncaught bad_alloc) in
+      // the reader thread.  Register fields never exceed the 64-bit
+      // target register width.
+      for (const TraceRequest::Assume &A : R.Trace.Assumes) {
+        if (A.Width == 0 || A.Width > 64) {
+          reject(*C, R.Id,
+                 "assume width out of range (1..64): " +
+                     std::to_string(A.Width));
+          return;
+        }
+      }
       auto G = std::make_shared<TraceGroup>();
       G->Model = M;
       G->Arch = R.Trace.Arch;
@@ -420,6 +468,11 @@ struct Server::Impl {
         auto J = It->second.front();
         It->second.pop_front();
         --TotalQueued;
+        // Drop drained clients from the table so it tracks clients with
+        // work, not every client ever seen; the cursor tolerates missing
+        // ids via upper_bound.
+        if (It->second.empty())
+          Queues.erase(It);
         return J;
       }
       ++It;
@@ -715,11 +768,21 @@ struct Server::Impl {
   }
 
   void requestShutdownImpl() {
+    // Draining must flip while holding the waiters' mutexes: a worker or
+    // waitImpl waiter that checked its predicate under QMu and is about to
+    // block would otherwise miss a notify sent between its check and its
+    // sleep — the only wakeup ever sent — and hang the drain forever.
     bool Expected = false;
-    if (!Draining.compare_exchange_strong(Expected, true))
-      return;
-    QCv.notify_all();
-    ShutCv.notify_all();
+    {
+      std::lock_guard<std::mutex> QL(QMu);
+      if (!Draining.compare_exchange_strong(Expected, true))
+        return;
+      QCv.notify_all();
+      ShutCv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> IL(IdleMu);
+    }
     IdleCv.notify_all();
   }
 
@@ -844,6 +907,11 @@ ServerStats Server::stats() const {
 }
 
 const std::string &Server::socketPath() const { return I->Cfg.SocketPath; }
+
+size_t Server::openConnections() const {
+  std::lock_guard<std::mutex> L(I->ConnMu);
+  return I->Conns.size();
+}
 
 cache::TraceCache *Server::traceCache() { return I->Cache.get(); }
 

@@ -130,6 +130,11 @@ public:
   ServerStats stats() const;
   const std::string &socketPath() const;
 
+  /// Connections currently held in the table (accepted and not yet
+  /// reaped); exposed so tests can assert disconnected clients are
+  /// actually dropped rather than leaked.
+  size_t openConnections() const;
+
   /// The resident stores (valid between start() and wait()); exposed for
   /// tests and the stats endpoint.
   cache::TraceCache *traceCache();

@@ -359,6 +359,59 @@ TEST(ServerTest, UnknownArchitectureAndStudyAreRejected) {
   S.wait();
 }
 
+TEST(ServerTest, OversizedAssumeWidthIsRejectedAtAdmission) {
+  TempDir D;
+  server::Server S(baseConfig(D));
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  server::Client C;
+  ASSERT_TRUE(C.connect(S.socketPath(), Err)) << Err;
+
+  // A wire-supplied width near 2^32 would otherwise allocate ~512MB per
+  // assume in the reader thread before the trace key is even computed.
+  server::TraceRequest T = addImm(1);
+  T.Assumes.push_back({"PSTATE", "EL", 0xfffffff0u, 2});
+  server::Client::TraceResult TR;
+  ASSERT_TRUE(C.runTrace(T, TR, Err)) << Err;
+  EXPECT_FALSE(TR.Ok);
+  EXPECT_TRUE(TR.Rejected);
+  EXPECT_NE(TR.RejectReason.find("width"), std::string::npos)
+      << TR.RejectReason;
+
+  // Zero-width assumes are equally meaningless.
+  T.Assumes.clear();
+  T.Assumes.push_back({"PSTATE", "EL", 0, 0});
+  ASSERT_TRUE(C.runTrace(T, TR, Err)) << Err;
+  EXPECT_TRUE(TR.Rejected);
+
+  S.requestShutdown();
+  S.wait();
+}
+
+TEST(ServerTest, DisconnectedClientsAreReaped) {
+  TempDir D;
+  server::Server S(baseConfig(D));
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  // Churn short-lived connections, then verify the connection table does
+  // not retain them (each leaked Conn would pin an fd + a reader thread).
+  for (int I = 0; I < 8; ++I) {
+    server::Client C;
+    ASSERT_TRUE(C.connect(S.socketPath(), Err)) << Err;
+    ASSERT_TRUE(C.ping(Err)) << Err;
+    C.close();
+  }
+  // The accept loop reaps on its 200ms poll tick.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  EXPECT_EQ(S.stats().Connections, 8u);
+  EXPECT_EQ(S.openConnections(), 0u);
+
+  S.requestShutdown();
+  S.wait();
+}
+
 //===----------------------------------------------------------------------===//
 // Execution: warm hits, bit-identical results, case studies over the wire.
 //===----------------------------------------------------------------------===//

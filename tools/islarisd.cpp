@@ -16,26 +16,31 @@
 #include "server/Server.h"
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 using namespace islaris;
 
 namespace {
 
-server::Server *ActiveServer = nullptr;
 std::atomic<int> SignalsSeen{0};
 
 void onSignal(int) {
-  // First signal: graceful drain.  Third: something is wedged, die hard.
-  int N = SignalsSeen.fetch_add(1) + 1;
+  // Only async-signal-safe work here: requestShutdown takes mutexes and
+  // notifies condition variables, which can deadlock if the signal lands
+  // on a thread already inside cv/mutex internals.  A watcher thread polls
+  // the flag and drains from normal thread context.
+  //
+  // First signal: graceful drain.  Third: something is wedged, die hard
+  // (_Exit is signal-safe).
+  int N = SignalsSeen.fetch_add(1, std::memory_order_relaxed) + 1;
   if (N >= 3)
     std::_Exit(2);
-  if (ActiveServer)
-    ActiveServer->requestShutdown();
 }
 
 int usage(const char *Argv0) {
@@ -96,15 +101,27 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  ActiveServer = &S;
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
+
+  // Translate the signal flag into a drain from regular thread context.
+  // Exits on its own once the server drains for any other reason (e.g. a
+  // client shutdown frame): wait() flips running() after teardown.
+  std::thread SigWatch([&S] {
+    while (S.running()) {
+      if (SignalsSeen.load(std::memory_order_relaxed) > 0) {
+        S.requestShutdown();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
 
   std::printf("islarisd: listening on %s\n", Cfg.SocketPath.c_str());
   std::fflush(stdout);
 
   S.wait();
-  ActiveServer = nullptr;
+  SigWatch.join();
 
   server::ServerStats St = S.stats();
   std::printf("islarisd: drained (%llu requests, %llu executed, "
