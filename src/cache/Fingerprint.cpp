@@ -148,5 +148,15 @@ Fingerprint islaris::cache::traceCacheKey(const std::string &ArchName,
   FP.boolean(Opts.CacheRegReads);
   FP.boolean(Opts.SinksOnly);
   FP.u64(Opts.MaxPaths);
+  // The Snapshot and Replay engines emit bit-identical traces, so the engine
+  // knob stays out of their shared key space.  Merged traces are only
+  // semantically equivalent — different bytes — so the merge engine is
+  // salted into its own keys (budget included: it decides where merging
+  // falls back to enumeration, hence the trace shape).
+  if (Opts.Engine == isla::ExecEngine::Merge) {
+    FP.str("merge-engine");
+    FP.u64(Opts.MergeTermBudget);
+    FP.str(Opts.MergePcName);
+  }
   return FP.digest();
 }

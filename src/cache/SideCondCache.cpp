@@ -7,6 +7,7 @@
 #include "cache/TraceCache.h"  // resolveCacheDir, atomicWriteFile
 #include "itl/Parser.h"
 #include "support/FaultInjector.h"
+#include "support/Parse.h"
 
 #include <filesystem>
 #include <fstream>
@@ -106,7 +107,13 @@ bool SideCondStore::parseEntry(const std::string &Text, const Fingerprint &K,
       Err = "bad model value";
       return false;
     }
-    unsigned Width = unsigned(std::stoul(V.List[1].Atom));
+    // Untrusted number: reject non-numeric/negative/oversized atoms with a
+    // parse error (-> miss + quarantine) instead of throwing or wrapping.
+    unsigned Width = 0;
+    if (!support::parseUnsigned(V.List[1].Atom, 1u << 16, Width)) {
+      Err = "bad model binding width '" + V.List[1].Atom + "'";
+      return false;
+    }
     // A declared width 0 marks a boolean (stored as one bit); otherwise the
     // value must have exactly the declared width.
     if (Width == 0 ? Bits.width() != 1 : Bits.width() != Width) {

@@ -6,6 +6,7 @@
 #include "itl/Parser.h"
 #include "smt/TermBuilder.h"
 #include "support/FaultInjector.h"
+#include "support/Parse.h"
 
 #include <atomic>
 #include <cerrno>
@@ -328,18 +329,29 @@ bool TraceCache::parseEntry(const std::string &Text, const Fingerprint &K,
       Err = "bad opcode-var entry";
       return false;
     }
-    Out.OpcodeVars.emplace_back(stripBars(V.List[0].Atom),
-                                unsigned(std::stoul(V.List[1].Atom)));
+    // Untrusted number: a checksum-valid but hand-written/fuzzed entry can
+    // carry "abc", "-1" or 2^64-scale atoms here; degrade to a parse error
+    // (-> miss + quarantine), never a throw or a silent wrap.
+    unsigned Width = 0;
+    if (!support::parseUnsigned(V.List[1].Atom, 1u << 16, Width)) {
+      Err = "bad opcode-var width '" + V.List[1].Atom + "'";
+      return false;
+    }
+    Out.OpcodeVars.emplace_back(stripBars(V.List[0].Atom), Width);
   }
   if (L[4].isAtom() || L[4].List.size() != 5 ||
       L[4].List[0].Atom != "stats") {
     Err = "bad stats list";
     return false;
   }
-  Out.Stats.Paths = unsigned(std::stoul(L[4].List[1].Atom));
-  Out.Stats.PrunedBranches = unsigned(std::stoul(L[4].List[2].Atom));
-  Out.Stats.SolverQueries = unsigned(std::stoul(L[4].List[3].Atom));
-  Out.Stats.Events = unsigned(std::stoul(L[4].List[4].Atom));
+  unsigned *StatFields[4] = {&Out.Stats.Paths, &Out.Stats.PrunedBranches,
+                             &Out.Stats.SolverQueries, &Out.Stats.Events};
+  for (size_t I = 0; I < 4; ++I)
+    if (!support::parseUnsigned(L[4].List[I + 1].Atom, 0xFFFFFFFFu,
+                                *StatFields[I])) {
+      Err = "bad stats atom '" + L[4].List[I + 1].Atom + "'";
+      return false;
+    }
 
   // The remainder of the file is the trace text, kept verbatim so that a
   // disk round-trip is byte-identical with the in-memory entry.

@@ -72,6 +72,16 @@ struct CaseResult {
   uint64_t IslaStmts = 0;
   uint64_t IslaStmtsSkipped = 0;
   unsigned HelperMemoHits = 0; ///< Pure-helper summary-memo hits.
+  /// Merge-engine counters (zero under Snapshot/Replay): forks collapsed
+  /// at their post-dominator join, forks demoted to enumeration, and ite
+  /// terms the joins introduced.
+  unsigned PathsMerged = 0;
+  unsigned MergeFallbacks = 0;
+  uint64_t IteTermsIntroduced = 0;
+  /// Rewriter fixpoint-cap hits observed by this study's executions —
+  /// nonzero means two rewrite rules are ping-ponging (a regression that
+  /// used to be silent).
+  uint64_t FixpointCapHits = 0;
   /// Batch-driver fault tolerance: extra executions spent on retryable
   /// failures, and jobs quarantined without a trace.
   unsigned Retries = 0;
@@ -126,9 +136,11 @@ struct SuiteOptions {
   /// Null leaves whatever injector is already active — including one
   /// configured from ISLARIS_FAULTS / ISLARIS_FAULT_SEED by the harness.
   support::FaultInjector *Faults = nullptr;
-  /// Path-exploration engine installed as the process default for the run
-  /// (both engines are bit-identical; Replay is the differential oracle
-  /// and ablation baseline).
+  /// Path-exploration engine installed as the process default for the run.
+  /// Snapshot and Replay are bit-identical (Replay is the differential
+  /// oracle and ablation baseline); Merge collapses both-feasible forks at
+  /// their join points into ite values, so its traces are semantically
+  /// equivalent but differently shaped.
   isla::ExecEngine Engine = isla::ExecEngine::Snapshot;
   /// Write-ahead run journal: when non-empty, every completed study appends
   /// a checksummed record (keyed on study identity + suite configuration)

@@ -96,6 +96,11 @@ bool Verifier::generateTraces(std::string &Err) {
     auto AIt = PerAddr.find(Addr);
     J.Assume = AIt != PerAddr.end() ? &AIt->second : &Defaults;
     J.Opts = Opts;
+    // The merge engine must not fold control-flow forks into ite jump
+    // targets the proof engine cannot resolve; telling it the PC keeps
+    // per-instruction successor addresses concrete per path.
+    if (J.Opts.MergePcName.empty())
+      J.Opts.MergePcName = Arch.PcName;
     // Resource guards ride on the options but are excluded from the cache
     // fingerprint (a guarded failure is never cached, so a guarded and an
     // unguarded run share entries).
@@ -162,6 +167,10 @@ bool Verifier::generateTraces(std::string &Err) {
       Gen.StmtsExecuted += Exec.Stats.StmtsExecuted;
       Gen.StmtsSkipped += Exec.Stats.StmtsSkippedBySnapshot;
       Gen.HelperMemoHits += Exec.Stats.HelperMemoHits;
+      Gen.PathsMerged += Exec.Stats.PathsMerged;
+      Gen.MergeFallbacks += Exec.Stats.MergeFallbacks;
+      Gen.IteTermsIntroduced += Exec.Stats.IteTermsIntroduced;
+      Gen.FixpointCapHits += Exec.Stats.FixpointCapHits;
       ++Gen.Executed;
       break;
     case cache::ResultSource::CacheHit:

@@ -71,6 +71,16 @@ struct GenStats {
   uint64_t StmtsSkipped = 0;
   /// Pure-helper calls answered from the executor's per-run summary memo.
   unsigned HelperMemoHits = 0;
+  /// Merge engine: forks collapsed at their join, forks demoted to plain
+  /// enumeration, and ite terms the register/local joins introduced (all
+  /// zero under Snapshot/Replay) — see isla::ExecStats.
+  unsigned PathsMerged = 0;
+  unsigned MergeFallbacks = 0;
+  uint64_t IteTermsIntroduced = 0;
+  /// Rewriter fixpoint-cap hits across the executions actually run (see
+  /// smt::Rewriter::fixpointCapHits); persistently zero in a healthy rule
+  /// set, so any nonzero value is a rules regression made visible.
+  uint64_t FixpointCapHits = 0;
   /// Batch-driver fault-tolerance counters for the generation batches this
   /// verifier ran (see cache::BatchStats).
   unsigned Retries = 0;

@@ -31,7 +31,9 @@ using islaris::support::wire::putStr;
 
 std::string islaris::frontend::encodeCaseResult(const CaseResult &R) {
   std::ostringstream OS;
-  OS << "case 1 ";
+  // Version 2: merge-engine and rewriter-cap counters appended.  Version-1
+  // journal rows fail to decode, so a resumed run simply re-verifies them.
+  OS << "case 2 ";
   putStr(OS, R.Name);
   putStr(OS, R.Isa);
   OS << (R.Ok ? 1 : 0) << " ";
@@ -45,6 +47,8 @@ std::string islaris::frontend::encodeCaseResult(const CaseResult &R) {
   OS << R.TracesExecuted << " " << R.CacheHits << " " << R.Deduped << " "
      << R.IslaMemoHits << " " << R.IslaStoreHits << " " << R.IslaStmts
      << " " << R.IslaStmtsSkipped << " " << R.HelperMemoHits << " "
+     << R.PathsMerged << " " << R.MergeFallbacks << " "
+     << R.IteTermsIntroduced << " " << R.FixpointCapHits << " "
      << R.Retries << " " << R.Quarantined << " ";
   const seplogic::ProofStats &PS = R.Proof;
   OS << PS.EventsProcessed << " " << PS.InstructionsWalked << " "
@@ -60,7 +64,7 @@ std::string islaris::frontend::encodeCaseResult(const CaseResult &R) {
 bool islaris::frontend::decodeCaseResult(const std::string &Text,
                                          CaseResult &Out) {
   Cursor C(Text);
-  if (C.tok() != "case" || C.tok() != "1")
+  if (C.tok() != "case" || C.tok() != "2")
     return false;
   CaseResult R;
   R.Name = C.str();
@@ -84,6 +88,10 @@ bool islaris::frontend::decodeCaseResult(const std::string &Text,
   R.IslaStmts = C.u64();
   R.IslaStmtsSkipped = C.u64();
   R.HelperMemoHits = unsigned(C.u64());
+  R.PathsMerged = unsigned(C.u64());
+  R.MergeFallbacks = unsigned(C.u64());
+  R.IteTermsIntroduced = C.u64();
+  R.FixpointCapHits = C.u64();
   R.Retries = unsigned(C.u64());
   R.Quarantined = unsigned(C.u64());
   seplogic::ProofStats &PS = R.Proof;

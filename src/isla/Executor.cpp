@@ -9,10 +9,12 @@
 #include <cstddef>
 #include <map>
 #include <stdexcept>
+#include <unordered_set>
 
 using namespace islaris;
 using namespace islaris::isla;
 using islaris::itl::Event;
+using islaris::itl::EventKind;
 using islaris::itl::Reg;
 using islaris::itl::RegHash;
 using islaris::itl::Trace;
@@ -818,6 +820,8 @@ ExecResult Executor::runReplay(const OpcodeSpec &Op, const Assumptions &A,
   ExecStats Stats;
   uint64_t MemoHitsBefore = Solver.stats().NumMemoHits;
   uint64_t StoreHitsBefore = Solver.stats().NumStoreHits;
+  uint64_t CapHitsBefore =
+      RW.fixpointCapHits() + Solver.stats().FixpointCapHits;
 
   const sail::FunctionDecl *Decode = M.findFunction("decode");
   if (!Decode || Decode->Params.size() != 1 ||
@@ -887,6 +891,8 @@ ExecResult Executor::runReplay(const OpcodeSpec &Op, const Assumptions &A,
       unsigned(Solver.stats().NumMemoHits - MemoHitsBefore);
   Stats.SolverStoreHits =
       unsigned(Solver.stats().NumStoreHits - StoreHitsBefore);
+  Stats.FixpointCapHits = RW.fixpointCapHits() +
+                          Solver.stats().FixpointCapHits - CapHitsBefore;
   Res.Stats = Stats;
   Res.Ok = true;
   return Res;
@@ -1112,6 +1118,408 @@ struct Executor::Machine {
     RS.Events.push_back(Event::assertE(X.TB.notTerm(Sn.Named)));
     RS.PathCond.push_back(X.TB.notTerm(Sn.Cond));
     pushBlock(Sn.IfStmt->Else);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Path merging at post-dominator joins (ExecEngine::Merge).
+  //
+  // The fork's post-dominator needs no CFG analysis: mini-Sail is
+  // structured, so both arms of an if rejoin exactly when the control stack
+  // shrinks back to its depth at decide() time.  runMerge records every
+  // both-feasible fork on the Pending stack (nested forks have strictly
+  // increasing join depths) and checks the stack depth after every step.
+  // At the then-join the engine captures the arm's effects and flips to the
+  // else arm WITHOUT restoring the variable cursor — both arms' values must
+  // coexist in one linear trace — and at the else-join the two run states
+  // collapse into one: divergent registers and locals become
+  // ite(cond, then, else), the two fork asserts and per-arm write-reg
+  // events are dropped, and the path condition reverts to the shared
+  // prefix's.  The merged trace is semantically equivalent to the
+  // enumerated pair but not bit-identical, which is why Merge is salted
+  // into the trace-cache key and validated through the equivalence checker.
+  //
+  // Any arm with effects an ite cannot express — memory traffic, a nested
+  // fork that itself fell back (its Assert poisons the segment), control
+  // stacks that do not re-converge (a return unwinding past the join), or
+  // an ite value past MergeTermBudget — demotes the fork to plain
+  // enumeration: the unexplored side is queued on the Work list and the
+  // current path simply continues.  Work is kept sorted by snapshot event
+  // length (deepest resumed first) so the append-only-prefix invariant of
+  // the snapshot discipline survives out-of-order fallbacks.
+  //===--------------------------------------------------------------------===//
+
+  /// A both-feasible fork awaiting its join.  Until the then-join only
+  /// Snap/JoinDepth are set; captureThenAndFlip fills the Then* fields and
+  /// re-runs the else arm from the snapshot.
+  struct PendingMerge {
+    Snapshot Snap;
+    size_t JoinDepth = 0;
+    bool InElse = false;
+    std::vector<Event> ThenSeg; ///< Events from the fork to the then-join.
+    std::vector<Frame> ThenControl;
+    std::vector<const Term *> ThenValues;
+    std::vector<const Term *> ThenLocals;
+    std::unordered_map<Reg, const Term *, RegHash> ThenRegCache;
+    std::unordered_map<Reg, bool, RegHash> ThenReadEmitted;
+    std::unordered_map<Reg, bool, RegHash> ThenWritten;
+    size_t ThenVarCursor = 0;
+    unsigned ThenDepth = 0;
+    uint64_t ThenPathStmts = 0;
+  };
+
+  /// A queued resumption after a fallback.  !Continuation: the fork's else
+  /// side, resumed exactly like the plain snapshot engine.  Continuation:
+  /// the then-join state of a fork whose merge failed at the else-join —
+  /// the then path, already executed up to its join, resumes from there.
+  struct ResumePoint {
+    bool Continuation = false;
+    PendingMerge PM;
+  };
+
+  std::vector<PendingMerge> Pending; ///< Open forks, innermost last.
+  std::vector<ResumePoint> Work;     ///< Sorted ascending by Snap.EventsLen.
+
+  /// Sorted insert keyed on the fork snapshot's event length: the worklist
+  /// pops from the back, and a resumption must never outlive a shallower
+  /// one whose restore would truncate its shared prefix.
+  void pushWork(ResumePoint RP) {
+    size_t Key = RP.PM.Snap.EventsLen;
+    size_t I = Work.size();
+    while (I > 0 && Work[I - 1].PM.Snap.EventsLen > Key)
+      --I;
+    Work.insert(Work.begin() + ptrdiff_t(I), std::move(RP));
+  }
+
+  void resumeWork() {
+    ResumePoint RP = std::move(Work.back());
+    Work.pop_back();
+    PendingMerge &PM = RP.PM;
+    Snapshot &Sn = PM.Snap;
+    if (!RP.Continuation) {
+      // Plain flipped-else resume (the Machine::resume body, minus the
+      // Snaps-stack pop).
+      Stats->StmtsSkippedBySnapshot += Sn.PathStmts;
+      RS.Events.resize(Sn.EventsLen);
+      RS.PathCond.resize(Sn.PathCondLen);
+      RS.RegCache = std::move(Sn.RegCache);
+      RS.ReadEmitted = std::move(Sn.ReadEmitted);
+      RS.Written = std::move(Sn.Written);
+      RS.Locals = std::move(Sn.Locals);
+      RS.VarCursor = Sn.VarCursor;
+      RS.Depth = Sn.Depth;
+      Control = std::move(Sn.Control);
+      Values = std::move(Sn.Values);
+      PathStmts = Sn.PathStmts;
+      RS.Events.push_back(Event::assertE(X.TB.notTerm(Sn.Named)));
+      RS.PathCond.push_back(X.TB.notTerm(Sn.Cond));
+      pushBlock(Sn.IfStmt->Else);
+      return;
+    }
+    // Mid-path continuation: the then arm ran to its join before the merge
+    // was abandoned, so restart it exactly there (its fork assert is the
+    // head of ThenSeg).
+    Stats->StmtsSkippedBySnapshot += PM.ThenPathStmts;
+    RS.Events.resize(Sn.EventsLen);
+    RS.Events.insert(RS.Events.end(), PM.ThenSeg.begin(), PM.ThenSeg.end());
+    RS.PathCond.resize(Sn.PathCondLen);
+    RS.PathCond.push_back(Sn.Cond);
+    RS.RegCache = std::move(PM.ThenRegCache);
+    RS.ReadEmitted = std::move(PM.ThenReadEmitted);
+    RS.Written = std::move(PM.ThenWritten);
+    RS.Locals = std::move(PM.ThenLocals);
+    RS.VarCursor = PM.ThenVarCursor;
+    RS.Depth = PM.ThenDepth;
+    Control = std::move(PM.ThenControl);
+    Values = std::move(PM.ThenValues);
+    PathStmts = PM.ThenPathStmts;
+  }
+
+  /// True iff events [From..end) are the fork's own assert followed only by
+  /// register-level effects.  Memory traffic cannot be collapsed into an
+  /// ite, and a second Assert is a nested fork that fell back to
+  /// enumeration — merging across it would lose its path split, so the
+  /// poisoning cascades outward by construction.
+  bool segMergeable(size_t From) const {
+    if (From >= RS.Events.size() || RS.Events[From].K != EventKind::Assert)
+      return false;
+    for (size_t I = From + 1; I < RS.Events.size(); ++I) {
+      switch (RS.Events[I].K) {
+      case EventKind::DeclareConst:
+      case EventKind::DefineConst:
+      case EventKind::ReadReg:
+      case EventKind::WriteReg:
+        continue;
+      default:
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static bool frameEq(const Frame &A, const Frame &B) {
+    return A.K == B.K && A.S == B.S && A.E == B.E && A.Body == B.Body &&
+           A.Idx == B.Idx && A.T == B.T && A.F == B.F &&
+           A.Saved == B.Saved && A.Returned == B.Returned &&
+           A.MemoCand == B.MemoCand &&
+           A.EventsAtEntry == B.EventsAtEntry &&
+           A.QueriesAtEntry == B.QueriesAtEntry &&
+           A.MemoArgs == B.MemoArgs;
+  }
+
+  /// Distinct-node count of a term DAG, stopping early past \p Cap.
+  static size_t dagSizeCapped(const Term *T,
+                              std::unordered_set<const Term *> &Seen,
+                              size_t Cap) {
+    if (Seen.size() > Cap || !Seen.insert(T).second)
+      return Seen.size();
+    for (const Term *Op : T->operands()) {
+      dagSizeCapped(Op, Seen, Cap);
+      if (Seen.size() > Cap)
+        break;
+    }
+    return Seen.size();
+  }
+
+  /// At the then-join of a mergeable then arm: record the arm's final state
+  /// and re-run the else arm from the fork snapshot.  The variable cursor is
+  /// deliberately NOT restored — the else arm draws fresh pooled variables
+  /// so both arms' definitions coexist in the one merged event sequence.
+  void captureThenAndFlip(PendingMerge &PM) {
+    Snapshot &Sn = PM.Snap;
+    PM.ThenSeg.assign(RS.Events.begin() + ptrdiff_t(Sn.EventsLen),
+                      RS.Events.end());
+    PM.ThenControl = Control;
+    PM.ThenValues = Values;
+    PM.ThenLocals = RS.Locals;
+    PM.ThenRegCache = RS.RegCache;
+    PM.ThenReadEmitted = RS.ReadEmitted;
+    PM.ThenWritten = RS.Written;
+    PM.ThenVarCursor = RS.VarCursor;
+    PM.ThenDepth = RS.Depth;
+    PM.ThenPathStmts = PathStmts;
+    PM.InElse = true;
+    // Copies, not moves: the snapshot must survive for a possible Mode-B
+    // fallback (tryMerge failure) at the else-join.
+    Stats->StmtsSkippedBySnapshot += Sn.PathStmts;
+    RS.Events.resize(Sn.EventsLen);
+    RS.PathCond.resize(Sn.PathCondLen);
+    RS.RegCache = Sn.RegCache;
+    RS.ReadEmitted = Sn.ReadEmitted;
+    RS.Written = Sn.Written;
+    RS.Locals = Sn.Locals;
+    RS.Depth = Sn.Depth;
+    Control = Sn.Control;
+    Values = Sn.Values;
+    PathStmts = Sn.PathStmts;
+    RS.Events.push_back(Event::assertE(X.TB.notTerm(Sn.Named)));
+    RS.PathCond.push_back(X.TB.notTerm(Sn.Cond));
+    pushBlock(Sn.IfStmt->Else);
+  }
+
+  /// At the else-join: collapse the two arms into the current run state if
+  /// every divergence is expressible as an ite within budget.  Performs no
+  /// mutation until every check has passed.
+  bool tryMerge(PendingMerge &PM) {
+    Snapshot &Sn = PM.Snap;
+    size_t From = Sn.EventsLen;
+    if (!segMergeable(From))
+      return false;
+    // The arms must reconverge on identical control state: same frames
+    // (the only in-place mutation visible exactly at the join is a
+    // CallExit's Returned flag, when one arm returned and the other fell
+    // through — not mergeable), same operand stack, same call depth.
+    if (RS.Depth != PM.ThenDepth ||
+        Control.size() != PM.ThenControl.size() ||
+        Values.size() != PM.ThenValues.size() ||
+        RS.Locals.size() != PM.ThenLocals.size())
+      return false;
+    for (size_t I = 0; I < Control.size(); ++I)
+      if (!frameEq(Control[I], PM.ThenControl[I]))
+        return false;
+    for (size_t I = 0; I < Values.size(); ++I)
+      if (Values[I] != PM.ThenValues[I])
+        return false;
+    // A local initialized in one arm only has no value to ite against.
+    for (size_t I = 0; I < RS.Locals.size(); ++I)
+      if ((PM.ThenLocals[I] == nullptr) != (RS.Locals[I] == nullptr))
+        return false;
+
+    // Registers written by either arm, then-arm order first.  The side
+    // that wrote always has a cache entry; the other side falls back to
+    // the fork-time value (inherited cache entry) or a fresh read.
+    std::vector<Reg> WriteOrder;
+    auto addWrites = [&](const std::vector<Event> &Evs, size_t Lo) {
+      for (size_t I = Lo; I < Evs.size(); ++I) {
+        if (Evs[I].K != EventKind::WriteReg)
+          continue;
+        bool SeenReg = false;
+        for (const Reg &R : WriteOrder)
+          if (R == Evs[I].R) {
+            SeenReg = true;
+            break;
+          }
+        if (!SeenReg)
+          WriteOrder.push_back(Evs[I].R);
+      }
+    };
+    addWrites(PM.ThenSeg, 0);
+    addWrites(RS.Events, From);
+
+    // Arms that disagree on the program counter stay enumerated: an ite
+    // jump target is opaque to consumers that walk the trace as a CFG
+    // (the proof engine resolves each instruction's successor address), so
+    // control-flow forks demote while data forks keep merging.
+    if (!RS.Opts->MergePcName.empty()) {
+      for (const Reg &R : WriteOrder) {
+        if (R.Base != RS.Opts->MergePcName)
+          continue;
+        auto TI = PM.ThenRegCache.find(R);
+        auto EI = RS.RegCache.find(R);
+        if (TI == PM.ThenRegCache.end() || EI == RS.RegCache.end() ||
+            TI->second != EI->second)
+          return false;
+      }
+    }
+
+    // Budget: every candidate ite's operand DAG must stay under
+    // MergeTermBudget, or pathological branch nests would compound ites
+    // into an exponential term graph.
+    const Term *Named = Sn.Named;
+    size_t Cap = RS.Opts->MergeTermBudget;
+    auto overBudget = [&](const Term *A, const Term *B) {
+      if (A == B)
+        return false;
+      std::unordered_set<const Term *> DagSeen;
+      dagSizeCapped(Named, DagSeen, Cap);
+      if (A)
+        dagSizeCapped(A, DagSeen, Cap);
+      if (B)
+        dagSizeCapped(B, DagSeen, Cap);
+      return DagSeen.size() > Cap;
+    };
+    for (const Reg &R : WriteOrder) {
+      auto TI = PM.ThenRegCache.find(R);
+      auto EI = RS.RegCache.find(R);
+      if (overBudget(TI == PM.ThenRegCache.end() ? nullptr : TI->second,
+                     EI == RS.RegCache.end() ? nullptr : EI->second))
+        return false;
+    }
+    for (size_t I = 0; I < RS.Locals.size(); ++I)
+      if (overBudget(PM.ThenLocals[I], RS.Locals[I]))
+        return false;
+
+    // ---- Commit.  Capture the else side before rebuilding. ----
+    std::vector<Event> ElseSeg(RS.Events.begin() + ptrdiff_t(From),
+                               RS.Events.end());
+    auto ElseRegCache = std::move(RS.RegCache);
+
+    // Events: shared prefix, then both arms' effects with the fork asserts
+    // and write-reg markers dropped.  Reads inside a segment always bind
+    // pre-fork values (a write populates the register cache, suppressing
+    // later read events), so hoisting the writes past them into the merged
+    // section preserves every binding.
+    RS.Events.resize(Sn.EventsLen);
+    auto appendKept = [&](const std::vector<Event> &Evs) {
+      for (size_t I = 1; I < Evs.size(); ++I) // [0] is the fork assert
+        if (Evs[I].K != EventKind::WriteReg)
+          RS.Events.push_back(Evs[I]);
+    };
+    appendKept(PM.ThenSeg);
+    appendKept(ElseSeg);
+
+    // Maps: fork-time state plus the segments' first-occurrence reads (when
+    // both arms read the same unseen register, the then-arm variable wins;
+    // the else-arm twin stays declared and the ITL read-event semantics
+    // equates the two).
+    RS.RegCache = std::move(Sn.RegCache);
+    RS.ReadEmitted = std::move(Sn.ReadEmitted);
+    RS.Written = std::move(Sn.Written);
+    for (size_t I = Sn.EventsLen; I < RS.Events.size(); ++I) {
+      const Event &E = RS.Events[I];
+      if (E.K == EventKind::ReadReg && !RS.RegCache.count(E.R)) {
+        RS.RegCache[E.R] = E.Val;
+        RS.ReadEmitted[E.R] = true;
+      }
+    }
+    RS.PathCond.resize(Sn.PathCondLen);
+
+    // Locals: divergent slots collapse to ite(cond, then, else).
+    for (size_t I = 0; I < RS.Locals.size(); ++I) {
+      const Term *TV = PM.ThenLocals[I];
+      if (TV != RS.Locals[I]) {
+        RS.Locals[I] = X.TB.iteTerm(Named, TV, RS.Locals[I]);
+        ++Stats->IteTermsIntroduced;
+      }
+    }
+
+    // Registers: one merged write per register either arm wrote.
+    for (const Reg &R : WriteOrder) {
+      auto TI = PM.ThenRegCache.find(R);
+      auto EI = ElseRegCache.find(R);
+      const Term *TV = TI == PM.ThenRegCache.end() ? nullptr : TI->second;
+      const Term *EV = EI == ElseRegCache.end() ? nullptr : EI->second;
+      unsigned W = (TV ? TV : EV)->width();
+      auto freshRead = [&]() {
+        // The arm never observed R, so its side of the ite is R's pre-fork
+        // value: sound to read here because the per-arm writes were
+        // dropped above and the merged write is not emitted yet.
+        const Term *V = X.pooledVar(Sort::bitvec(W), RS);
+        RS.Events.push_back(Event::declareConst(V));
+        RS.Events.push_back(Event::readReg(R, V));
+        return V;
+      };
+      if (!TV)
+        TV = freshRead();
+      if (!EV)
+        EV = freshRead();
+      const Term *V = TV;
+      if (TV != EV) {
+        V = X.TB.iteTerm(Named, TV, EV);
+        ++Stats->IteTermsIntroduced;
+      }
+      X.writeRegister(R, V, RS);
+    }
+    return true;
+  }
+
+  /// After every step of runMerge: resolve any pending forks whose join
+  /// depth the control stack has reached (or unwound past).
+  void checkJoin() {
+    while (!Pending.empty() && !RS.failed()) {
+      PendingMerge &PM = Pending.back();
+      if (Control.size() > PM.JoinDepth)
+        return; // still inside an arm
+      auto fallBack = [&] {
+        ++Stats->MergeFallbacks;
+        ResumePoint RP;
+        RP.Continuation = PM.InElse;
+        RP.PM = std::move(Pending.back());
+        pushWork(std::move(RP));
+        Pending.pop_back();
+      };
+      if (Control.size() < PM.JoinDepth) {
+        // A return unwound past the join: the arms never reconverge.  The
+        // current path keeps running; the unexplored side (or the parked
+        // then continuation) becomes ordinary enumerated work.  The unwind
+        // may have jumped outer joins too, hence the loop.
+        fallBack();
+        continue;
+      }
+      if (!PM.InElse) {
+        if (!segMergeable(PM.Snap.EventsLen)) {
+          fallBack(); // cheap reject before paying for the else capture
+          continue;
+        }
+        captureThenAndFlip(PM);
+        return; // now exploring the else arm
+      }
+      if (tryMerge(PM)) {
+        ++Stats->PathsMerged;
+        Pending.pop_back();
+        continue;
+      }
+      fallBack();
+    }
   }
 
   void execStmtFrame(const Stmt &S) {
@@ -1548,6 +1956,8 @@ ExecResult Executor::runSnapshot(const OpcodeSpec &Op, const Assumptions &A,
   ExecStats Stats;
   uint64_t MemoHitsBefore = Solver.stats().NumMemoHits;
   uint64_t StoreHitsBefore = Solver.stats().NumStoreHits;
+  uint64_t CapHitsBefore =
+      RW.fixpointCapHits() + Solver.stats().FixpointCapHits;
 
   Machine Mc(*this);
   Mc.Stats = &Stats;
@@ -1611,6 +2021,116 @@ ExecResult Executor::runSnapshot(const OpcodeSpec &Op, const Assumptions &A,
       unsigned(Solver.stats().NumMemoHits - MemoHitsBefore);
   Stats.SolverStoreHits =
       unsigned(Solver.stats().NumStoreHits - StoreHitsBefore);
+  Stats.FixpointCapHits = RW.fixpointCapHits() +
+                          Solver.stats().FixpointCapHits - CapHitsBefore;
+  Res.Stats = Stats;
+  Res.Ok = true;
+  return Res;
+}
+
+ExecResult Executor::runMerge(const OpcodeSpec &Op, const Assumptions &A,
+                              const ExecOptions &Opts) {
+  ExecResult Res;
+  auto failRun = [&Res](support::ErrorCode C,
+                        const std::string &Msg) -> ExecResult & {
+    Res.Ok = false;
+    Res.Error = Msg;
+    Res.D = support::Diag::error(C, "executor", Msg);
+    return Res;
+  };
+
+  auto Deadline = installGuards(Solver, Opts);
+
+  const sail::FunctionDecl *Decode = M.findFunction("decode");
+  if (!Decode || Decode->Params.size() != 1 ||
+      Decode->Params[0].Ty != sail::Type::bits(32)) {
+    return failRun(support::ErrorCode::ModelError,
+                   "model has no decode(bits(32)) entry point");
+  }
+
+  std::vector<const Term *> VarPool;
+  std::vector<std::vector<Event>> PathEvents;
+  ExecStats Stats;
+  uint64_t MemoHitsBefore = Solver.stats().NumMemoHits;
+  uint64_t StoreHitsBefore = Solver.stats().NumStoreHits;
+  uint64_t CapHitsBefore =
+      RW.fixpointCapHits() + Solver.stats().FixpointCapHits;
+
+  Machine Mc(*this);
+  Mc.Stats = &Stats;
+  RunState &RS = Mc.RS;
+  RS.A = &A;
+  RS.Opts = &Opts;
+  RS.VarPool = &VarPool;
+  RS.CancelFlag = Opts.Cancel.raw();
+  RS.Deadline = Deadline;
+
+  std::vector<const Term *> OpVars;
+  const Term *Opcode = emitPreamble(Op, A, RS, OpVars);
+  if (RS.failed())
+    return failRun(RS.Code, RS.Error);
+  Res.OpcodeVars = std::move(OpVars);
+  Mc.enterFunction(*Decode, {Opcode});
+
+  while (true) {
+    if (PathEvents.size() >= Opts.MaxPaths) {
+      return failRun(support::ErrorCode::PathBudgetExceeded,
+                     "path budget exceeded (model blow-up?)");
+    }
+    if (Opts.Cancel.cancelled())
+      return failRun(support::ErrorCode::Cancelled,
+                     "trace generation cancelled");
+    if (Deadline != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() >= Deadline)
+      return failRun(support::ErrorCode::DeadlineExceeded,
+                     "trace generation deadline exceeded");
+
+    while (!Mc.Control.empty() && !RS.failed()) {
+      Mc.step();
+      if (!Mc.Snaps.empty()) {
+        // decide() just checkpointed a both-feasible fork; park it for
+        // join-point merging instead of plain DFS enumeration.  The join
+        // depth is the stack depth at decide() time — one less than now,
+        // since decide() already pushed the then block.
+        Machine::PendingMerge PM;
+        PM.Snap = std::move(Mc.Snaps.back());
+        Mc.Snaps.pop_back();
+        PM.JoinDepth = Mc.Control.size() - 1;
+        Mc.Pending.push_back(std::move(PM));
+      }
+      Mc.checkJoin();
+    }
+    if (RS.failed())
+      return failRun(RS.Code == support::ErrorCode::Ok
+                         ? support::ErrorCode::ModelError
+                         : RS.Code,
+                     RS.Error);
+    // checkJoin drained Pending when Control emptied (every open fork
+    // merged or fell back), so the finished path is fully resolved.
+    PathEvents.push_back(RS.Events);
+    if (Mc.Work.empty())
+      break;
+    Mc.resumeWork();
+  }
+
+  std::vector<size_t> All(PathEvents.size());
+  for (size_t K = 0; K < All.size(); ++K)
+    All[K] = K;
+  std::string MergeErr;
+  Res.Trace = mergePaths(PathEvents, std::move(All), 0, MergeErr);
+  if (!MergeErr.empty())
+    return failRun(support::ErrorCode::Internal, MergeErr);
+  Stats.Paths = unsigned(PathEvents.size());
+  Stats.Events = Res.Trace.countEvents();
+  Stats.PrunedBranches = RS.PrunedBranches;
+  Stats.SolverQueries = RS.SolverQueries;
+  Stats.StmtsExecuted = RS.Stmts;
+  Stats.SolverMemoHits =
+      unsigned(Solver.stats().NumMemoHits - MemoHitsBefore);
+  Stats.SolverStoreHits =
+      unsigned(Solver.stats().NumStoreHits - StoreHitsBefore);
+  Stats.FixpointCapHits = RW.fixpointCapHits() +
+                          Solver.stats().FixpointCapHits - CapHitsBefore;
   Res.Stats = Stats;
   Res.Ok = true;
   return Res;
@@ -1631,6 +2151,13 @@ ExecResult Executor::run(const OpcodeSpec &Op, const Assumptions &A,
                                  "executor", Res.Error);
     return Res;
   }
-  return Opts.Engine == ExecEngine::Replay ? runReplay(Op, A, Opts)
-                                           : runSnapshot(Op, A, Opts);
+  switch (Opts.Engine) {
+  case ExecEngine::Replay:
+    return runReplay(Op, A, Opts);
+  case ExecEngine::Merge:
+    return runMerge(Op, A, Opts);
+  case ExecEngine::Snapshot:
+    break;
+  }
+  return runSnapshot(Op, A, Opts);
 }

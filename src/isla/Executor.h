@@ -88,9 +88,22 @@ struct OpcodeSpec {
 /// on backtrack, so shared prefixes execute exactly once.  Replay is the
 /// original concolic engine (re-runs the whole model per path following a
 /// recorded decision prefix), kept as a differential oracle and ablation
-/// baseline.  Both produce bit-identical merged traces, so the engine choice
-/// is NOT part of the trace-cache fingerprint.
-enum class ExecEngine : uint8_t { Snapshot, Replay };
+/// baseline.  Snapshot and Replay produce bit-identical merged traces, so
+/// choosing between them is NOT part of the trace-cache fingerprint.
+///
+/// Merge extends Snapshot with path merging at post-dominator join points:
+/// when both arms of a both-feasible branch reach the branch's control-flow
+/// join with purely register-level effects, the two run states are collapsed
+/// into one — divergent register values become ite(cond, then, else) terms —
+/// instead of enumerating both suffixes.  Merged traces are semantically
+/// equivalent to the enumerated ones but NOT bit-identical (one linear path
+/// with ite values replaces a Cases() split), so Merge is salted into the
+/// trace-cache key and validated against Snapshot through the validation
+/// equivalence checker, not by byte comparison.  Arms whose effects cannot
+/// be merged (memory events, assumptions, nested unmerged forks, or ite
+/// terms past MergeTermBudget) fall back to plain enumeration for that fork
+/// only (ExecStats::MergeFallbacks).
+enum class ExecEngine : uint8_t { Snapshot, Replay, Merge };
 
 /// Process-wide default engine for newly constructed ExecOptions.  Follows
 /// the same ambient install/restore protocol as ambientTraceCache: set
@@ -115,10 +128,29 @@ struct ExecOptions {
   /// Instruction budget safeguard against model bugs.
   unsigned MaxPaths = 64;
 
-  /// Path-exploration engine (bit-identical output either way; excluded
-  /// from the cache fingerprint).  Defaults to the ambient engine so suite
-  /// harnesses can flip a whole run without threading the knob everywhere.
+  /// Path-exploration engine.  Snapshot and Replay are bit-identical and
+  /// share cache keys; Merge emits semantically equivalent but differently
+  /// shaped traces and is salted into the fingerprint.  Defaults to the
+  /// ambient engine so suite harnesses can flip a whole run without
+  /// threading the knob everywhere.
   ExecEngine Engine = defaultExecEngine();
+
+  /// Merge engine only: ceiling on the term-DAG size (distinct nodes) of
+  /// any single merged ite register value.  A join whose merged value would
+  /// exceed the budget falls back to plain enumeration for that fork, so
+  /// pathological branch nests cannot blow up the term graph.  Semantic
+  /// under Engine == Merge (it shapes the trace) and fingerprinted there.
+  unsigned MergeTermBudget = 4096;
+
+  /// Merge engine only: name of the architecture's program-counter register.
+  /// When set, forks whose arms disagree on this register's value fall back
+  /// to enumeration instead of merging — an ite jump target is opaque to
+  /// consumers that walk the trace as a CFG (the proof engine resolves each
+  /// instruction's successor address), so control-flow forks stay enumerated
+  /// while data forks merge.  Empty merges the PC like any other register
+  /// (fine for standalone trace generation and validation).  Semantic under
+  /// Engine == Merge and fingerprinted there.
+  std::string MergePcName;
 
   /// Wall-clock deadline for this one trace generation (0 = none).  Checked
   /// between statements, so a wedged SAT call is bounded separately by the
@@ -158,6 +190,20 @@ struct ExecStats {
   /// Calls to statically-pure model helpers answered from the per-run
   /// (function, argument-terms) summary memo.  Derived.
   unsigned HelperMemoHits = 0;
+  /// Merge engine: both-feasible forks whose arms were collapsed at their
+  /// join point instead of enumerated (each merge halves the suffix count
+  /// below it).  Always 0 under Snapshot/Replay.  Derived.
+  unsigned PathsMerged = 0;
+  /// Merge engine: both-feasible forks that fell back to plain enumeration
+  /// (unmergeable segment effects, control divergence at the join, or a
+  /// merged value past MergeTermBudget).  Derived.
+  unsigned MergeFallbacks = 0;
+  /// Merge engine: ite terms introduced by register joins.  Derived.
+  uint64_t IteTermsIntroduced = 0;
+  /// Times the rewriter's root-rule loop hit its defensive iteration cap
+  /// during this run (see smt::Rewriter::fixpointCapHits) — counts both the
+  /// executor's own rewriter and its solver's.  Zero in a healthy rule set.
+  uint64_t FixpointCapHits = 0;
 };
 
 /// Result of symbolically executing one opcode.  On failure, D carries the
@@ -207,6 +253,10 @@ private:
                        const ExecOptions &Opts);
   ExecResult runSnapshot(const OpcodeSpec &Op, const Assumptions &A,
                          const ExecOptions &Opts);
+  /// Snapshot engine extended with post-dominator path merging (see
+  /// ExecEngine::Merge).
+  ExecResult runMerge(const OpcodeSpec &Op, const Assumptions &A,
+                      const ExecOptions &Opts);
   /// Emits the shared per-path preamble (assumption events, opcode term).
   /// On failure marks \p RS failed and returns nullptr.
   const smt::Term *emitPreamble(const OpcodeSpec &Op, const Assumptions &A,

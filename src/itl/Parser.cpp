@@ -2,6 +2,8 @@
 
 #include "itl/Parser.h"
 
+#include "support/Parse.h"
+
 using namespace islaris;
 using namespace islaris::itl;
 using smt::Sort;
@@ -113,6 +115,17 @@ static std::string stripBars(const std::string &S) {
   return S;
 }
 
+/// Trace text reaches this parser from untrusted bytes (disk cache entries,
+/// islarisd wire payloads), so every embedded number must be validated: a
+/// 20-digit extract index must become a parse error, not an uncaught
+/// std::out_of_range in a server worker thread.  Widths/indices are capped
+/// well above any real ISA width but far below allocation-bomb territory.
+static constexpr uint64_t MaxTraceNumber = 1u << 16;
+
+static bool parseNum(const SExpr &S, unsigned &Out) {
+  return S.isAtom() && support::parseUnsigned(S.Atom, MaxTraceNumber, Out);
+}
+
 const Term *TraceParser::fail(const std::string &Msg) {
   if (Error.empty())
     Error = Msg;
@@ -129,7 +142,11 @@ std::optional<Sort> TraceParser::buildSort(const SExpr &S) {
   // (_ BitVec N)
   if (S.List.size() == 3 && S.List[0].Atom == "_" &&
       S.List[1].Atom == "BitVec") {
-    unsigned W = unsigned(std::stoul(S.List[2].Atom));
+    unsigned W = 0;
+    if (!parseNum(S.List[2], W) || W == 0) {
+      Error = "bad bitvector width in " + S.toString();
+      return std::nullopt;
+    }
     return Sort::bitvec(W);
   }
   Error = "unknown sort " + S.toString();
@@ -160,22 +177,28 @@ const Term *TraceParser::buildTermExpr(const SExpr &S) {
     return fail("empty expression");
 
   // Indexed operators: ((_ extract hi lo) e), ((_ zero_extend n) e), ...
-  if (!L[0].isAtom() && !L[0].List.empty() && L[0].List[0].Atom == "_") {
+  if (!L[0].isAtom() && L[0].List.size() >= 2 && L[0].List[0].Atom == "_") {
     const std::vector<SExpr> &Idx = L[0].List;
     const std::string &Op = Idx[1].Atom;
     if (Op == "extract" && Idx.size() == 4 && L.size() == 2) {
+      unsigned Hi = 0, Lo = 0;
+      if (!parseNum(Idx[2], Hi) || !parseNum(Idx[3], Lo) || Lo > Hi)
+        return fail("bad extract indices in " + S.toString());
       const Term *E = buildTermExpr(L[1]);
       if (!E)
         return nullptr;
-      return TB.extract(unsigned(std::stoul(Idx[2].Atom)),
-                        unsigned(std::stoul(Idx[3].Atom)), E);
+      if (E->sort().isBool() || Hi >= E->sort().width())
+        return fail("extract out of range in " + S.toString());
+      return TB.extract(Hi, Lo, E);
     }
     if ((Op == "zero_extend" || Op == "sign_extend") && Idx.size() == 3 &&
         L.size() == 2) {
+      unsigned N = 0;
+      if (!parseNum(Idx[2], N))
+        return fail("bad extension width in " + S.toString());
       const Term *E = buildTermExpr(L[1]);
       if (!E)
         return nullptr;
-      unsigned N = unsigned(std::stoul(Idx[2].Atom));
       return Op == "zero_extend" ? TB.zeroExtend(N, E) : TB.signExtend(N, E);
     }
     return fail("unknown indexed operator " + S.toString());
@@ -318,20 +341,26 @@ std::optional<Event> TraceParser::buildEvent(const SExpr &S) {
   if (Head == "read-mem") {
     if (S.List.size() != 4)
       return err("read-mem arity");
+    unsigned N = 0;
+    if (!parseNum(S.List[3], N))
+      return err("bad read-mem byte count");
     const Term *D = buildTermExpr(S.List[1]);
     const Term *A = buildTermExpr(S.List[2]);
     if (!D || !A)
       return std::nullopt;
-    return Event::readMem(D, A, unsigned(std::stoul(S.List[3].Atom)));
+    return Event::readMem(D, A, N);
   }
   if (Head == "write-mem") {
     if (S.List.size() != 4)
       return err("write-mem arity");
+    unsigned N = 0;
+    if (!parseNum(S.List[3], N))
+      return err("bad write-mem byte count");
     const Term *A = buildTermExpr(S.List[1]);
     const Term *D = buildTermExpr(S.List[2]);
     if (!A || !D)
       return std::nullopt;
-    return Event::writeMem(A, D, unsigned(std::stoul(S.List[3].Atom)));
+    return Event::writeMem(A, D, N);
   }
   if (Head == "declare-const") {
     if (S.List.size() != 3 || !S.List[1].isAtom())

@@ -221,6 +221,27 @@ struct Server::Impl {
   }
 
   void readLoop(std::shared_ptr<Conn> C) {
+    // Catch-all: the frame/payload decoders validate their inputs, but a
+    // hostile payload that finds any remaining throwing path (bad_alloc
+    // from an absurd length, a std::stoul deep in a parser, a container
+    // at()) must cost the client its connection, not the daemon its life —
+    // an exception escaping a thread entry point is std::terminate.
+    try {
+      readLoopInner(C);
+    } catch (const std::exception &E) {
+      bump(&ServerStats::Malformed);
+      sendFrame(*C, FrameType::Error,
+                std::string("internal error handling request: ") + E.what());
+    } catch (...) {
+      bump(&ServerStats::Malformed);
+      sendFrame(*C, FrameType::Error, "internal error handling request");
+    }
+    C->Open.store(false, std::memory_order_relaxed);
+    ::shutdown(C->Fd, SHUT_RDWR);
+    C->ReaderDone.store(true, std::memory_order_release);
+  }
+
+  void readLoopInner(const std::shared_ptr<Conn> &C) {
     FrameReader FR;
     char Buf[64 * 1024];
     while (C->Open.load(std::memory_order_relaxed)) {
@@ -228,24 +249,20 @@ struct Server::Impl {
       if (N < 0 && errno == EINTR)
         continue;
       if (N <= 0)
-        break;
+        return;
       FR.feed(Buf, size_t(N));
       Frame F;
       std::string Err;
       FrameReader::Status S;
       while ((S = FR.next(F, &Err)) == FrameReader::Status::Frame)
         if (!handleFrame(C, F))
-          goto out;
+          return;
       if (S == FrameReader::Status::Malformed) {
         bump(&ServerStats::Malformed);
         sendFrame(*C, FrameType::Error, "malformed frame: " + Err);
-        break;
+        return;
       }
     }
-  out:
-    C->Open.store(false, std::memory_order_relaxed);
-    ::shutdown(C->Fd, SHUT_RDWR);
-    C->ReaderDone.store(true, std::memory_order_release);
   }
 
   /// Drop connections whose reader has exited: join the thread, close the

@@ -340,10 +340,13 @@ const Term *Rewriter::simplify(const Term *T) {
 
   // Apply root rules to a fixpoint (rules may expose further rules; cap the
   // iteration count defensively).
+  bool Converged = false;
   for (int Iter = 0; Iter < 64; ++Iter) {
     const Term *Next = applyRules(Cur);
-    if (Next == Cur)
+    if (Next == Cur) {
+      Converged = true;
       break;
+    }
     // The result of a rule may itself need child simplification (rules can
     // construct fresh compound children); re-enter through the memo.
     if (Next->numOperands() != 0 && Memo.find(Next) == Memo.end() &&
@@ -352,6 +355,12 @@ const Term *Rewriter::simplify(const Term *T) {
     }
     Cur = Next;
   }
+  // Hitting the cap is sound (every rule is semantics-preserving) but means
+  // the result may be unnormalized — count it instead of hiding it, so a
+  // ping-ponging rule pair shows up in stats rather than as a silent
+  // simplification regression.
+  if (!Converged)
+    ++CapHits;
 
   Memo[T] = Cur;
   return Cur;

@@ -32,6 +32,13 @@ public:
   /// Returns a simplified term equivalent to \p T.
   const Term *simplify(const Term *T);
 
+  /// Times the root-rule loop exhausted its 64-iteration defensive cap and
+  /// returned a term that might not be fully normalized.  Persistently zero
+  /// in a healthy rule set; a nonzero value after a rules change means two
+  /// rules are ping-ponging (a regression that was previously silent).
+  /// Surfaced through SolverStats/ExecStats as FixpointCapHits.
+  uint64_t fixpointCapHits() const { return CapHits; }
+
 private:
   const Term *rebuild(const Term *T, const std::vector<const Term *> &Ops);
   /// Applies root rules to an already-children-simplified term; returns the
@@ -40,6 +47,7 @@ private:
 
   TermBuilder &TB;
   std::unordered_map<const Term *, const Term *> Memo;
+  uint64_t CapHits = 0;
 };
 
 } // namespace islaris::smt

@@ -77,6 +77,10 @@ struct SolverStats {
   uint64_t NumConflicts = 0;
   uint64_t TermsBlasted = 0; ///< Terms translated to CNF (mirror of blaster).
   uint64_t TermsReused = 0;  ///< Blaster cache hits: clauses reused.
+  /// Times the Rewriter's root-rule loop hit its defensive iteration cap
+  /// and returned a possibly-unnormalized term (see
+  /// Rewriter::fixpointCapHits).  Zero in a healthy rule set.
+  uint64_t FixpointCapHits = 0;
   double TotalSeconds = 0;
 };
 
@@ -155,7 +159,12 @@ public:
 
   TermBuilder &builder() { return TB; }
   Rewriter &rewriter() { return RW; }
-  const SolverStats &stats() const { return Stats; }
+  const SolverStats &stats() const {
+    // The rewriter owns the live counter; mirror it on read so callers see
+    // an up-to-date value without the hot simplify path touching Stats.
+    Stats.FixpointCapHits = RW.fixpointCapHits();
+    return Stats;
+  }
 
 private:
   Result solveGoals(const std::vector<const Term *> &Goals);
@@ -172,7 +181,7 @@ private:
   Rewriter RW;
   std::vector<const Term *> Asserted;
   std::vector<size_t> ScopeMarks;
-  SolverStats Stats;
+  mutable SolverStats Stats;
   SolverCache *Persist = nullptr;
   SolverLimits Limits;
 

@@ -962,6 +962,106 @@ TEST(CorruptionMatrixTest, SideCondStoreDetectsAttributesAndQuarantines) {
   }
 }
 
+// Hostile numbers behind a VALID checksum: the envelope only protects
+// against accidental corruption, so a hand-written or fuzzed entry can
+// carry non-numeric, negative, or 2^64-scale atoms in any numeric field.
+// These used to flow into std::stoul and throw straight through lookup()
+// (crashing the caller — in the daemon, a worker thread); every one must
+// instead be a parse error -> attributed miss + quarantine.
+
+constexpr const char *HostileNumbers[] = {
+    "abc",                  // non-numeric
+    "-1",                   // negative
+    "18446744073709551616", // 2^64: out_of_range for any 64-bit parse
+    "4294967296",           // 2^32: overflows the unsigned stats fields
+    "0x20",                 // digits only; radix prefixes are not numbers
+};
+
+/// Rewrites the single entry under \p Root by applying \p Mutate to its
+/// (checksum-verified) payload and re-wrapping, so the tampered file still
+/// passes the envelope — only the semantic parser can catch it.
+void rewriteEntryPayload(
+    const std::filesystem::path &Root,
+    const std::function<void(std::string &)> &Mutate) {
+  auto Files = entryFiles(Root);
+  ASSERT_EQ(Files.size(), 1u);
+  std::string Payload;
+  ASSERT_EQ(unwrapDurableEntry(readFileRaw(Files[0]), Payload),
+            EnvelopeResult::Ok);
+  Mutate(Payload);
+  writeFileRaw(Files[0], wrapDurableEntry(Payload));
+}
+
+TEST(CorruptionMatrixTest, TraceStoreHostileNumbersMissNeverThrow) {
+  for (const char *H : HostileNumbers) {
+    for (bool InStats : {true, false}) {
+      TempDir Tmp;
+      TraceCacheConfig Cfg;
+      Cfg.Persist = true;
+      Cfg.Dir = Tmp.Path.string();
+      Fingerprint K = Fingerprinter().str("hostile-num-key").digest();
+      CacheEntry E;
+      E.TraceText = "(trace)";
+      E.OpcodeVars.emplace_back("v0", 32u);
+      E.Stats.Paths = 7;
+      E.Stats.PrunedBranches = 3;
+      E.Stats.SolverQueries = 11;
+      E.Stats.Events = 19;
+      {
+        TraceCache C(Cfg);
+        C.insert(K, E);
+      }
+      rewriteEntryPayload(Tmp.Path, [&](std::string &P) {
+        std::string From = InStats ? "(stats 7" : "(|v0| 32)";
+        std::string To = InStats ? std::string("(stats ") + H
+                                 : std::string("(|v0| ") + H + ")";
+        size_t At = P.find(From);
+        ASSERT_NE(At, std::string::npos);
+        P.replace(At, From.size(), To);
+      });
+
+      TraceCache C2(Cfg);
+      // The pre-fix code threw std::invalid_argument / out_of_range here.
+      EXPECT_FALSE(C2.lookup(K).has_value()) << H;
+      EXPECT_EQ(C2.stats().Quarantined, 1u) << H;
+      auto Ds = C2.drainDiags();
+      ASSERT_EQ(Ds.size(), 1u) << H;
+      EXPECT_EQ(Ds[0].Code, support::ErrorCode::CorruptCacheEntry) << H;
+      // The diagnostic names the offending atom, so a quarantined corpse
+      // is attributable without re-reading it.
+      EXPECT_NE(Ds[0].Message.find(H), std::string::npos) << Ds[0].Message;
+    }
+  }
+}
+
+TEST(CorruptionMatrixTest, SideCondStoreHostileWidthsMissNeverThrow) {
+  for (const char *H : HostileNumbers) {
+    TempDir Tmp;
+    SideCondConfig Cfg;
+    Cfg.Persist = true;
+    Cfg.Dir = Tmp.Path.string();
+    smt::SolverCache::CachedResult R;
+    R.Sat = true;
+    R.Model.emplace_back("x", 8u, BitVec(8, 42));
+    {
+      SideCondStore S(Cfg);
+      S.store("hostile-width-goal", R);
+    }
+    rewriteEntryPayload(Tmp.Path, [&](std::string &P) {
+      size_t At = P.find("(|x| 8 ");
+      ASSERT_NE(At, std::string::npos);
+      P.replace(At, 7, std::string("(|x| ") + H + " ");
+    });
+
+    SideCondStore S2(Cfg);
+    EXPECT_FALSE(S2.lookup("hostile-width-goal").has_value()) << H;
+    EXPECT_EQ(S2.stats().Quarantined, 1u) << H;
+    auto Ds = S2.drainDiags();
+    ASSERT_EQ(Ds.size(), 1u) << H;
+    EXPECT_EQ(Ds[0].Code, support::ErrorCode::CorruptCacheEntry) << H;
+  }
+}
+
 TEST(CorruptionMatrixTest, StaleTempFilesNeverServeReadsAndScrubReaps) {
   TempDir Tmp;
   TraceCacheConfig Cfg;
@@ -1391,7 +1491,7 @@ TEST(SuiteJournalTest, CaseResultCodecRoundTrips) {
 
   // Version and truncation failures are detected, not misdecoded.
   std::string BadVer = Enc;
-  BadVer[5] = '2'; // "case 2 "
+  BadVer[5] = '9'; // "case 9 " — an unknown codec version
   frontend::CaseResult Junk;
   EXPECT_FALSE(frontend::decodeCaseResult(BadVer, Junk));
   EXPECT_FALSE(frontend::decodeCaseResult(Enc.substr(0, Enc.size() / 2),

@@ -124,6 +124,30 @@ TEST(TraceTest, ParserRejectsMalformedInput) {
   EXPECT_FALSE(P4.parseTrace("(trace").has_value());
 }
 
+TEST(TraceTest, ParserRejectsHostileNumbersWithoutThrowing) {
+  // Numbers in trace text are untrusted (cache files cross processes and
+  // machines): non-numeric, negative, and 2^64-scale atoms used to reach
+  // std::stoul and throw out of the parser; each must be a plain parse
+  // error.  The width/index cap also bounds allocation: a 20-digit extract
+  // index can neither wrap nor build a pathologically wide term.
+  smt::TermBuilder TB;
+  const char *Hostile[] = {
+      "(trace (declare-const v0 (_ BitVec 18446744073709551616)))",
+      "(trace (declare-const v0 (_ BitVec -64)))",
+      "(trace (declare-const v0 (_ BitVec abc)))",
+      "(trace (declare-const v0 (_ BitVec 64))"
+      " (define-const v1 ((_ extract 99999999999999999999 0) v0)))",
+      "(trace (declare-const v0 (_ BitVec 64))"
+      " (define-const v1 ((_ zero_extend 18446744073709551615) v0)))",
+      "(trace (declare-const v0 (_ BitVec 64))"
+      " (read-mem v0 v0 184467440737095516160))",
+  };
+  for (const char *Text : Hostile) {
+    TraceParser P(TB);
+    EXPECT_FALSE(P.parseTrace(Text).has_value()) << Text;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Operational semantics (Fig. 10).
 //===----------------------------------------------------------------------===//

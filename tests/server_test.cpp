@@ -31,6 +31,7 @@
 
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
@@ -407,6 +408,108 @@ TEST(ServerTest, DisconnectedClientsAreReaped) {
   std::this_thread::sleep_for(std::chrono::milliseconds(600));
   EXPECT_EQ(S.stats().Connections, 8u);
   EXPECT_EQ(S.openConnections(), 0u);
+
+  S.requestShutdown();
+  S.wait();
+}
+
+TEST(ServerTest, MalformedRequestNumbersGetErrorFrameAndDaemonSurvives) {
+  TempDir D;
+  server::Server S(baseConfig(D));
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  // A frame that passes the envelope (type, length, checksum all valid)
+  // but whose payload is not a decodable request: hostile tokens where the
+  // codec expects numbers and length-prefixed strings.  The daemon must
+  // answer with an attributed error frame, not die in the reader thread.
+  server::Client C;
+  ASSERT_TRUE(C.connect(S.socketPath(), Err)) << Err;
+  ASSERT_TRUE(C.send({server::FrameType::Request,
+                      "18446744073709551616999 not-a-length-prefixed-kind"},
+                     Err))
+      << Err;
+  server::Frame F;
+  ASSERT_TRUE(C.recv(F, Err)) << Err;
+  EXPECT_EQ(F.Type, server::FrameType::Error);
+  EXPECT_NE(F.Payload.find("malformed"), std::string::npos) << F.Payload;
+  EXPECT_FALSE(C.recv(F, Err)); // that connection is closed...
+
+  // ...but the daemon itself is unharmed: a fresh client gets real work.
+  server::Client C2;
+  ASSERT_TRUE(C2.connect(S.socketPath(), Err)) << Err;
+  server::Client::TraceResult TR;
+  ASSERT_TRUE(C2.runTrace(addImm(5), TR, Err)) << Err;
+  EXPECT_TRUE(TR.Ok) << TR.Done.Error;
+  EXPECT_GE(S.stats().Malformed, 1u);
+
+  S.requestShutdown();
+  S.wait();
+}
+
+TEST(ServerTest, PoisonedCacheEntryIsAMissNotACrash) {
+  // A checksum-VALID entry with a hostile number inside used to reach
+  // std::stoul in the trace-store parser on a worker thread and take the
+  // whole daemon down via std::terminate.  It must instead be an
+  // attributed miss: the corpse is quarantined and the request simply
+  // re-executes fresh.
+  TempDir D;
+  std::string Err;
+  server::TraceRequest T = addImm(0x77);
+  std::string FreshText;
+  {
+    server::Server S(baseConfig(D));
+    ASSERT_TRUE(S.start(Err)) << Err;
+    server::Client C;
+    ASSERT_TRUE(C.connect(S.socketPath(), Err)) << Err;
+    server::Client::TraceResult TR;
+    ASSERT_TRUE(C.runTrace(T, TR, Err)) << Err;
+    ASSERT_TRUE(TR.Ok) << TR.Done.Error;
+    EXPECT_EQ(TR.Done.Source, "fresh");
+    FreshText = TR.EntryText;
+    S.requestShutdown();
+    S.wait();
+  }
+
+  // Replace the first stats number with 2^64 and re-wrap so the envelope
+  // checksum still verifies — only the semantic parser can catch this.
+  std::vector<fs::path> Entries;
+  for (const auto &E :
+       fs::recursive_directory_iterator(D.Path + "/cache"))
+    if (E.is_regular_file() && E.path().extension() == ".itc")
+      Entries.push_back(E.path());
+  ASSERT_EQ(Entries.size(), 1u);
+  std::string Raw;
+  {
+    std::ifstream In(Entries[0], std::ios::binary);
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Raw = SS.str();
+  }
+  std::string Payload;
+  ASSERT_EQ(cache::unwrapDurableEntry(Raw, Payload),
+            cache::EnvelopeResult::Ok);
+  size_t At = Payload.find("(stats ");
+  ASSERT_NE(At, std::string::npos);
+  size_t NumBegin = At + 7;
+  size_t NumEnd = Payload.find(' ', NumBegin);
+  ASSERT_NE(NumEnd, std::string::npos);
+  Payload.replace(NumBegin, NumEnd - NumBegin, "18446744073709551616");
+  {
+    std::ofstream Out(Entries[0], std::ios::binary | std::ios::trunc);
+    Out << cache::wrapDurableEntry(Payload);
+  }
+
+  server::Server S(baseConfig(D));
+  ASSERT_TRUE(S.start(Err)) << Err;
+  server::Client C;
+  ASSERT_TRUE(C.connect(S.socketPath(), Err)) << Err;
+  server::Client::TraceResult TR;
+  ASSERT_TRUE(C.runTrace(T, TR, Err)) << Err; // pre-fix: daemon terminated
+  ASSERT_TRUE(TR.Ok) << TR.Done.Error;
+  EXPECT_EQ(TR.Done.Source, "fresh"); // the poisoned entry never served
+  EXPECT_EQ(TR.EntryText, FreshText); // re-execution is bit-identical
+  EXPECT_TRUE(C.ping(Err)) << Err;    // and the daemon is still alive
 
   S.requestShutdown();
   S.wait();

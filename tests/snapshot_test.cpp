@@ -14,6 +14,7 @@
 #include "isla/Executor.h"
 #include "models/Models.h"
 #include "sail/Parser.h"
+#include "validation/Validator.h"
 
 #include <gtest/gtest.h>
 
@@ -291,4 +292,295 @@ TEST(ExecutorSideCondTest, SecondRunAnswersPruningFromStore) {
   ASSERT_TRUE(R3.Ok) << R3.Error;
   EXPECT_EQ(R3.Stats.SolverStoreHits, 0u);
   EXPECT_EQ(R3.Trace.toString(), R1.Trace.toString());
+}
+
+//===----------------------------------------------------------------------===//
+// Post-dominator path merging.
+//
+// The merge engine's contract is weaker than snapshot's bit-identity: its
+// traces are *semantically equivalent* (each fork's arms collapse into ite
+// values at the join, so variable naming and event layout differ), so the
+// differential oracle here is the §5 validation checker — per-path solver
+// witnesses plus randomized states replayed through the concrete reference
+// interpreter — rather than string equality.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs \p Op under the snapshot engine (the enumeration baseline) and the
+/// merge engine in fresh builders.
+struct MergePair {
+  smt::TermBuilder TBs, TBm;
+  ExecResult S, M; ///< Snapshot / merge results.
+
+  MergePair(const sail::Model &Mod, const OpcodeSpec &Op,
+            const Assumptions &A, unsigned Budget = 0) {
+    ExecOptions Snap;
+    Snap.Engine = ExecEngine::Snapshot;
+    Executor Es(Mod, TBs);
+    S = Es.run(Op, A, Snap);
+
+    ExecOptions Mrg;
+    Mrg.Engine = ExecEngine::Merge;
+    if (Budget)
+      Mrg.MergeTermBudget = Budget;
+    Executor Em(Mod, TBm);
+    M = Em.run(Op, A, Mrg);
+  }
+};
+
+/// Semantic equivalence of a (possibly merged) trace for a concrete opcode
+/// via the validation checker: every linear path solver-witnessed and
+/// replayed against the concrete model interpreter.
+void expectValidates(const sail::Model &Mod, smt::TermBuilder &TB,
+                     uint32_t Opcode, const Assumptions &A,
+                     const ExecResult &R, const std::string &What) {
+  ASSERT_TRUE(R.Ok) << What << ": " << R.Error;
+  validation::ValidationResult VR = validation::validateInstruction(
+      Mod, TB, Opcode, A, R.Trace, "_PC", /*RandomTrials=*/4, Opcode);
+  EXPECT_TRUE(VR.Ok) << What << ": " << VR.Error;
+  EXPECT_EQ(VR.PathsCovered, VR.Paths) << What;
+}
+
+} // namespace
+
+TEST(MergeDifferentialTest, ForkingBranchCollapsesToOnePath) {
+  // beq with unconstrained flags: both arms feasible, joining at the end
+  // of decode.  The merge engine must collapse them into a single path
+  // whose register writes are ite terms on the branch condition.
+  uint32_t Beq = 0x54000000u | (0x7fff0u << 5);
+  MergePair P(models::aarch64Model(), OpcodeSpec::concrete(Beq),
+              Assumptions());
+  ASSERT_TRUE(P.S.Ok) << P.S.Error;
+  ASSERT_TRUE(P.M.Ok) << P.M.Error;
+  EXPECT_GE(P.S.Stats.Paths, 2u);
+  EXPECT_EQ(P.M.Stats.Paths, 1u);
+  EXPECT_GE(P.M.Stats.PathsMerged, 1u);
+  EXPECT_EQ(P.M.Stats.MergeFallbacks, 0u);
+  EXPECT_GT(P.M.Stats.IteTermsIntroduced, 0u);
+  // One fork saves the post-join suffix re-execution; never costs more.
+  EXPECT_LE(P.M.Stats.StmtsExecuted, P.S.Stats.StmtsExecuted);
+  // A healthy rewrite-rule set never hits the fixpoint cap, ite terms
+  // included.
+  EXPECT_EQ(P.M.Stats.FixpointCapHits, 0u);
+  expectValidates(models::aarch64Model(), P.TBm, Beq, Assumptions(), P.M,
+                  "beq-merged");
+}
+
+TEST(MergeDifferentialTest, FuzzCorpusSemanticallyEquivalent) {
+  namespace e = arch::aarch64::enc;
+  // The snapshot corpus's concrete opcodes, revalidated under merging:
+  // same Ok verdict, never more paths than enumeration, and the merged
+  // trace semantically equivalent per the validation checker.
+  std::vector<std::pair<std::string, uint32_t>> Corpus;
+  for (unsigned C = 0; C < 16; C += 3)
+    Corpus.push_back({"bcond-" + std::to_string(C),
+                      0x54000000u | (0x10u << 5) | C});
+  Corpus.push_back({"add", e::addImm(3, 3, 4)});
+  Corpus.push_back({"ldr", e::ldrImm(0, 2, 0, 0)});
+  Corpus.push_back({"str", e::strImm(0, 2, 1, 0)});
+  Corpus.push_back({"ret", e::ret()});
+
+  unsigned TotalMerged = 0;
+  for (const auto &[Name, Op] : Corpus) {
+    MergePair P(models::aarch64Model(), OpcodeSpec::concrete(Op),
+                el1Assumptions());
+    ASSERT_EQ(P.S.Ok, P.M.Ok) << Name << ": " << P.S.Error << " / "
+                              << P.M.Error;
+    if (!P.S.Ok)
+      continue;
+    EXPECT_LE(P.M.Stats.Paths, P.S.Stats.Paths) << Name;
+    ASSERT_EQ(P.S.OpcodeVars.size(), P.M.OpcodeVars.size()) << Name;
+    TotalMerged += P.M.Stats.PathsMerged;
+    expectValidates(models::aarch64Model(), P.TBm, Op, el1Assumptions(),
+                    P.M, Name);
+  }
+  // The flag-condition branches fork, so at least one of them must have
+  // actually merged — otherwise the engine silently degenerated into
+  // enumeration and this test proves nothing.
+  EXPECT_GE(TotalMerged, 1u);
+}
+
+namespace {
+
+/// Independent two-way forks: enumeration explores 2^N leaves, merging
+/// collapses each fork at its join and re-reaches the next one once.
+const char *ManyBranchArch = R"(
+register X0 : bits(64)
+register X1 : bits(64)
+register X2 : bits(64)
+register X3 : bits(64)
+register _PC : bits(64)
+
+function decode(opcode : bits(32)) -> unit = {
+  if opcode[0] == 0b1 then { X1 = X0 + X0; } else { X1 = X0; };
+  if opcode[1] == 0b1 then { X2 = X1 + X1; } else { X2 = X1; };
+  if opcode[2] == 0b1 then { X3 = X2 + X2; } else { X3 = X2; };
+  _PC = _PC + 0x0000000000000004;
+}
+)";
+
+std::unique_ptr<sail::Model> parseArch(const char *Src) {
+  std::string Err;
+  auto M = sail::parseModel(Src, Err);
+  EXPECT_TRUE(M != nullptr) << Err;
+  return M;
+}
+
+} // namespace
+
+TEST(MergeDifferentialTest, IndependentForksMergeSuperLinearly) {
+  auto M = parseArch(ManyBranchArch);
+  ASSERT_TRUE(M);
+  // Bits 2..0 symbolic: three independent both-feasible forks.
+  OpcodeSpec Op = OpcodeSpec::symbolicField(0, 2, 0);
+  MergePair P(*M, Op, Assumptions());
+  ASSERT_TRUE(P.S.Ok) << P.S.Error;
+  ASSERT_TRUE(P.M.Ok) << P.M.Error;
+  EXPECT_EQ(P.S.Stats.Paths, 8u);
+  EXPECT_EQ(P.M.Stats.Paths, 1u);
+  EXPECT_EQ(P.M.Stats.PathsMerged, 3u);
+  EXPECT_EQ(P.M.Stats.MergeFallbacks, 0u);
+  EXPECT_GE(P.M.Stats.IteTermsIntroduced, 3u);
+  // The super-linear claim: enumeration re-executes every suffix once per
+  // leaf (tree of 2^N paths); merging executes each arm exactly once.
+  EXPECT_LT(P.M.Stats.StmtsExecuted * 2, P.S.Stats.StmtsExecuted);
+}
+
+namespace {
+
+/// A fork nested inside another fork's then-arm.  The inner fork merges
+/// first; its joined events (defines, reads, ite writes — no assert) keep
+/// the outer arm mergeable, so the outer fork merges too.
+const char *NestedForkArch = R"(
+register X0 : bits(64)
+register X1 : bits(64)
+register X2 : bits(64)
+register _PC : bits(64)
+
+function decode(opcode : bits(32)) -> unit = {
+  if opcode[0] == 0b1 then {
+    if opcode[1] == 0b1 then { X1 = X0 + X0; } else { X1 = X0; };
+    X2 = X1;
+  } else {
+    X2 = X0;
+  };
+  _PC = _PC + 0x0000000000000004;
+}
+)";
+
+/// An arm that returns early never reaches the join: the fork must demote
+/// to plain enumeration (and, being pure enumeration, stay bit-identical
+/// to the snapshot engine).
+const char *EarlyReturnArch = R"(
+register X0 : bits(64)
+register X1 : bits(64)
+register X2 : bits(64)
+register _PC : bits(64)
+
+function decode(opcode : bits(32)) -> unit = {
+  if opcode[0] == 0b1 then { X1 = X0; return; } else { X1 = X0 + X0; };
+  X2 = X1;
+  _PC = _PC + 0x0000000000000004;
+}
+)";
+
+/// An arm with a memory event: joins on memory state are out of scope, so
+/// the fork must fall back at the join check.
+const char *MemWriteArch = R"(
+register X0 : bits(64)
+register X1 : bits(64)
+register _PC : bits(64)
+
+function decode(opcode : bits(32)) -> unit = {
+  if opcode[0] == 0b1 then {
+    write_mem(0x0000000000001000, truncate(X0, 8), 1);
+  } else {
+    X1 = X0 + X0;
+  };
+  _PC = _PC + 0x0000000000000004;
+}
+)";
+
+} // namespace
+
+TEST(MergeDifferentialTest, NestedForksMergeHierarchically) {
+  auto M = parseArch(NestedForkArch);
+  ASSERT_TRUE(M);
+  OpcodeSpec Op = OpcodeSpec::symbolicField(0, 1, 0);
+  MergePair P(*M, Op, Assumptions());
+  ASSERT_TRUE(P.S.Ok) << P.S.Error;
+  ASSERT_TRUE(P.M.Ok) << P.M.Error;
+  EXPECT_EQ(P.S.Stats.Paths, 3u);
+  EXPECT_EQ(P.M.Stats.Paths, 1u);
+  EXPECT_EQ(P.M.Stats.PathsMerged, 2u);
+  EXPECT_EQ(P.M.Stats.MergeFallbacks, 0u);
+}
+
+TEST(MergeDifferentialTest, EarlyReturnFallsBackToEnumeration) {
+  auto M = parseArch(EarlyReturnArch);
+  ASSERT_TRUE(M);
+  OpcodeSpec Op = OpcodeSpec::symbolicField(0, 0, 0);
+  MergePair P(*M, Op, Assumptions());
+  ASSERT_TRUE(P.S.Ok) << P.S.Error;
+  ASSERT_TRUE(P.M.Ok) << P.M.Error;
+  EXPECT_EQ(P.M.Stats.PathsMerged, 0u);
+  EXPECT_EQ(P.M.Stats.MergeFallbacks, 1u);
+  EXPECT_EQ(P.M.Stats.Paths, P.S.Stats.Paths);
+  // A then-arm fallback happens before any else-side work, so the demoted
+  // fork enumerates exactly like the snapshot engine — bit-identical.
+  EXPECT_EQ(P.M.Trace.toString(), P.S.Trace.toString());
+}
+
+TEST(MergeDifferentialTest, MemoryEventFallsBackToEnumeration) {
+  auto M = parseArch(MemWriteArch);
+  ASSERT_TRUE(M);
+  OpcodeSpec Op = OpcodeSpec::symbolicField(0, 0, 0);
+  MergePair P(*M, Op, Assumptions());
+  ASSERT_TRUE(P.S.Ok) << P.S.Error;
+  ASSERT_TRUE(P.M.Ok) << P.M.Error;
+  EXPECT_EQ(P.M.Stats.PathsMerged, 0u);
+  EXPECT_EQ(P.M.Stats.MergeFallbacks, 1u);
+  EXPECT_EQ(P.M.Stats.Paths, P.S.Stats.Paths);
+  EXPECT_EQ(P.M.Trace.toString(), P.S.Trace.toString());
+}
+
+TEST(MergeDifferentialTest, TinyBudgetFallsBackToEnumeration) {
+  // A one-node term budget rejects every ite candidate, so the engine must
+  // demote cleanly to enumeration — same path count, still validated.
+  uint32_t Beq = 0x54000000u | (0x7fff0u << 5);
+  MergePair P(models::aarch64Model(), OpcodeSpec::concrete(Beq),
+              Assumptions(), /*Budget=*/1);
+  ASSERT_TRUE(P.S.Ok) << P.S.Error;
+  ASSERT_TRUE(P.M.Ok) << P.M.Error;
+  EXPECT_EQ(P.M.Stats.PathsMerged, 0u);
+  EXPECT_GE(P.M.Stats.MergeFallbacks, 1u);
+  EXPECT_EQ(P.M.Stats.IteTermsIntroduced, 0u);
+  EXPECT_EQ(P.M.Stats.Paths, P.S.Stats.Paths);
+  expectValidates(models::aarch64Model(), P.TBm, Beq, Assumptions(), P.M,
+                  "beq-budget-fallback");
+}
+
+TEST(MergeSuiteTest, AllNineCaseStudiesVerifyUnderMerge) {
+  // End-to-end semantic equivalence: every Fig. 12 proof must go through
+  // against merged traces exactly as it does against enumerated ones.
+  frontend::SuiteOptions Snap;
+  Snap.Engine = ExecEngine::Snapshot;
+  std::vector<frontend::CaseResult> S = frontend::runAllCaseStudies(Snap);
+
+  frontend::SuiteOptions Mrg;
+  Mrg.Engine = ExecEngine::Merge;
+  std::vector<frontend::CaseResult> M = frontend::runAllCaseStudies(Mrg);
+
+  ASSERT_EQ(S.size(), M.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    EXPECT_EQ(S[I].Ok, M[I].Ok)
+        << S[I].Name << ": " << S[I].Error << " / " << M[I].Error;
+    EXPECT_EQ(S[I].AsmInstrs, M[I].AsmInstrs) << S[I].Name;
+    EXPECT_EQ(S[I].FixpointCapHits, 0u) << S[I].Name;
+    EXPECT_EQ(M[I].FixpointCapHits, 0u) << M[I].Name;
+    // Snapshot never merges; its counters must stay zero.
+    EXPECT_EQ(S[I].PathsMerged, 0u) << S[I].Name;
+    EXPECT_EQ(S[I].MergeFallbacks, 0u) << S[I].Name;
+  }
 }
