@@ -10,15 +10,21 @@
 //                 round-trip: unloaded warm latency, the apples-to-apples
 //                 comparison against cold);
 //   fleet phase — thousands of requests over the same keys from 8
-//                 concurrent client connections (loaded throughput).
+//                 concurrent client connections (loaded throughput);
+//   lossy phase — the warm keys again, but over TCP through a fixed-seed
+//                 chaos proxy (splits, delays, corruption, resets): what
+//                 the retry/backoff client costs on a hostile network.
 //
 // Emits BENCH_server.json with throughput and p50/p95/p99 latency per
-// phase, and self-checks the headline claim of the server work: warm p50
-// latency at least 10x below cold p50 (the resident state is what a
-// short-lived batch process cannot keep).
+// phase (plus the lossy phase's retry/shed/deadline counters), and
+// self-checks the headline claims: warm p50 latency at least 10x below
+// cold p50 (the resident state is what a short-lived batch process cannot
+// keep), and zero failed requests even on the lossy wire (injected faults
+// end as retries, never wrong results).
 //
 //===----------------------------------------------------------------------===//
 
+#include "server/ChaosProxy.h"
 #include "server/Client.h"
 #include "server/Server.h"
 
@@ -197,6 +203,85 @@ int main() {
     }
   }
 
+  // --- Lossy phase: the warm keys once more, but across TCP through a
+  // fixed-seed chaos proxy injecting the hostile-network fault mix.  The
+  // retrying client must absorb every fault; what we measure is what that
+  // absorption costs in tail latency.
+  constexpr unsigned LossyRequests = 120;
+  constexpr unsigned LossyThreads = 2;
+  Phase Lossy;
+  server::ClientNetStats LossyNet;
+  server::ChaosStats LossyChaos;
+  {
+    server::ChaosConfig CC;
+    CC.Seed = 42; // fixed: the fault schedule is part of the benchmark
+    CC.SplitProb = 0.25;
+    CC.DelayProb = 0.15;
+    CC.DelayMaxMs = 2;
+    CC.CorruptProb = 0.02;
+    CC.ResetProb = 0.01;
+    server::ChaosProxy P(CC);
+    if (!P.start("127.0.0.1:0", Sock, Err)) {
+      std::fprintf(stderr, "bench_server: chaos proxy: %s\n", Err.c_str());
+      return 2;
+    }
+    std::string Via = P.boundEndpoint().str();
+
+    std::vector<std::vector<double>> PerThread(LossyThreads);
+    std::vector<unsigned> Fail(LossyThreads, 0);
+    std::vector<server::ClientNetStats> NetPer(LossyThreads);
+    std::atomic<unsigned> Next{0};
+    Clock::time_point T0 = Clock::now();
+    std::vector<std::thread> Ts;
+    for (unsigned W = 0; W < LossyThreads; ++W)
+      Ts.emplace_back([&, W] {
+        server::ClientOptions CO;
+        CO.Name = "bench-lossy";
+        CO.MaxAttempts = 12;
+        CO.BackoffBaseSeconds = 0.01;
+        CO.BackoffCapSeconds = 0.25;
+        // A corrupted client->server frame kills the connection on the
+        // server side; the client's only detector is silence.  Keep it
+        // tight so the lossy phase measures retry cost, not patience.
+        CO.SilenceTimeoutSeconds = 2;
+        CO.HeartbeatSeconds = 0.5;
+        CO.Seed = 42 + W;
+        server::Client C(CO);
+        std::string E;
+        if (!C.connect(Via, E)) {
+          ++Fail[W];
+          return;
+        }
+        while (true) {
+          unsigned I = Next.fetch_add(1, std::memory_order_relaxed);
+          if (I >= LossyRequests)
+            break;
+          Clock::time_point R0 = Clock::now();
+          server::Client::TraceResult R;
+          if (!C.runTrace(requestFor(I % Keys), R, E) || !R.Ok)
+            ++Fail[W];
+          PerThread[W].push_back(msSince(R0));
+        }
+        NetPer[W] = C.netStats();
+      });
+    for (std::thread &T : Ts)
+      T.join();
+    Lossy.WallSeconds = msSince(T0) / 1e3;
+    for (unsigned W = 0; W < LossyThreads; ++W) {
+      Lossy.LatMs.insert(Lossy.LatMs.end(), PerThread[W].begin(),
+                         PerThread[W].end());
+      Lossy.Failures += Fail[W];
+      LossyNet.Retries += NetPer[W].Retries;
+      LossyNet.Sheds += NetPer[W].Sheds;
+      LossyNet.Reconnects += NetPer[W].Reconnects;
+      LossyNet.HeartbeatsSent += NetPer[W].HeartbeatsSent;
+      LossyNet.HeartbeatsSeen += NetPer[W].HeartbeatsSeen;
+      LossyNet.DeadlineExpired += NetPer[W].DeadlineExpired;
+    }
+    P.stop();
+    LossyChaos = P.stats();
+  }
+
   server::ServerStats St = S.stats();
   S.requestShutdown();
   S.wait();
@@ -208,6 +293,8 @@ int main() {
   double FleetP50 = pct(Fleet.LatMs, 0.50), FleetP95 = pct(Fleet.LatMs, 0.95),
          FleetP99 = pct(Fleet.LatMs, 0.99);
   double FleetRps = double(Fleet.LatMs.size()) / Fleet.WallSeconds;
+  double LossyP50 = pct(Lossy.LatMs, 0.50), LossyP95 = pct(Lossy.LatMs, 0.95),
+         LossyP99 = pct(Lossy.LatMs, 0.99);
 
   std::printf("phase |     n | threads |   p50 ms |   p95 ms |   p99 ms |  req/s\n");
   std::printf("--------------------------------------------------------------------\n");
@@ -217,31 +304,51 @@ int main() {
   std::printf("warm  | %5zu | %7u | %8.3f | %8.3f | %8.3f | %6.0f\n",
               Warm.LatMs.size(), 1u, WarmP50, WarmP95, WarmP99,
               double(Warm.LatMs.size()) / Warm.WallSeconds);
-  std::printf("fleet | %5zu | %7u | %8.3f | %8.3f | %8.3f | %6.0f\n\n",
+  std::printf("fleet | %5zu | %7u | %8.3f | %8.3f | %8.3f | %6.0f\n",
               Fleet.LatMs.size(), ClientThreads, FleetP50, FleetP95, FleetP99,
               FleetRps);
+  std::printf("lossy | %5zu | %7u | %8.3f | %8.3f | %8.3f | %6.0f\n\n",
+              Lossy.LatMs.size(), LossyThreads, LossyP50, LossyP95, LossyP99,
+              double(Lossy.LatMs.size()) / Lossy.WallSeconds);
   std::printf("server: executed=%llu warm_hits=%llu dedup_fanout=%llu "
-              "rejected=%llu\n\n",
+              "rejected=%llu shed=%llu deadline_expired=%llu\n",
               (unsigned long long)St.Executed,
               (unsigned long long)St.WarmHits,
               (unsigned long long)St.DedupFanout,
-              (unsigned long long)St.Rejected);
+              (unsigned long long)St.Rejected, (unsigned long long)St.Shed,
+              (unsigned long long)St.DeadlineExpired);
+  std::printf("lossy : retries=%llu sheds=%llu reconnects=%llu | proxy "
+              "splits=%llu delays=%llu corruptions=%llu resets=%llu\n\n",
+              (unsigned long long)LossyNet.Retries,
+              (unsigned long long)LossyNet.Sheds,
+              (unsigned long long)LossyNet.Reconnects,
+              (unsigned long long)LossyChaos.Splits,
+              (unsigned long long)LossyChaos.Delays,
+              (unsigned long long)LossyChaos.Corruptions,
+              (unsigned long long)LossyChaos.Resets);
 
-  bool NoFailures =
-      Cold.Failures == 0 && Warm.Failures == 0 && Fleet.Failures == 0;
+  bool NoFailures = Cold.Failures == 0 && Warm.Failures == 0 &&
+                    Fleet.Failures == 0 && Lossy.Failures == 0;
   // Dedup attach counts as warm service here: either way the request did
   // not pay for its own execution.  Everything after the cold phase (plus
   // the warmup request) should have been served from resident state.
   bool WarmServed =
       St.WarmHits + St.DedupFanout >= uint64_t(WarmRequests + FleetRequests);
   bool Speedup = WarmP50 * 10.0 <= ColdP50;
-  std::printf("  no failed requests .......................... %s\n",
+  // The lossy phase only proves something if the proxy actually mangled
+  // the stream; a quiet proxy would pass vacuously.
+  bool FaultsFired = LossyChaos.Splits + LossyChaos.Delays +
+                         LossyChaos.Corruptions + LossyChaos.Resets >
+                     0;
+  std::printf("  no failed requests (lossy wire included) .... %s\n",
               NoFailures ? "yes" : "NO");
   std::printf("  warm+fleet served without re-execution ...... %s\n",
               WarmServed ? "yes" : "NO");
   std::printf("  warm p50 at least 10x below cold p50 ........ %s "
               "(%.3f ms vs %.3f ms)\n",
               Speedup ? "yes" : "NO", WarmP50, ColdP50);
+  std::printf("  chaos proxy injected faults ................. %s\n",
+              FaultsFired ? "yes" : "NO");
 
   std::FILE *J = std::fopen("BENCH_server.json", "w");
   if (J) {
@@ -254,14 +361,32 @@ int main() {
         "\"wall_s\":%.4f},"
         "\"fleet\":{\"n\":%zu,\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,"
         "\"wall_s\":%.4f,\"req_per_s\":%.1f},"
+        "\"lossy\":{\"n\":%zu,\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,"
+        "\"wall_s\":%.4f,\"retries\":%llu,\"sheds\":%llu,"
+        "\"reconnects\":%llu,\"deadline_expired\":%llu,"
+        "\"proxy_splits\":%llu,\"proxy_delays\":%llu,"
+        "\"proxy_corruptions\":%llu,\"proxy_resets\":%llu},"
         "\"server\":{\"executed\":%llu,\"warm_hits\":%llu,"
-        "\"dedup_fanout\":%llu},"
+        "\"dedup_fanout\":%llu,\"shed\":%llu,\"deadline_expired\":%llu,"
+        "\"heartbeats_sent\":%llu,\"heartbeats_seen\":%llu},"
         "\"warm_p50_speedup\":%.1f}\n",
         Keys, ClientThreads, Cold.LatMs.size(), ColdP50, ColdP95, ColdP99,
         Cold.WallSeconds, Warm.LatMs.size(), WarmP50, WarmP95, WarmP99,
         Warm.WallSeconds, Fleet.LatMs.size(), FleetP50, FleetP95, FleetP99,
-        Fleet.WallSeconds, FleetRps, (unsigned long long)St.Executed,
-        (unsigned long long)St.WarmHits, (unsigned long long)St.DedupFanout,
+        Fleet.WallSeconds, FleetRps, Lossy.LatMs.size(), LossyP50, LossyP95,
+        LossyP99, Lossy.WallSeconds, (unsigned long long)LossyNet.Retries,
+        (unsigned long long)LossyNet.Sheds,
+        (unsigned long long)LossyNet.Reconnects,
+        (unsigned long long)LossyNet.DeadlineExpired,
+        (unsigned long long)LossyChaos.Splits,
+        (unsigned long long)LossyChaos.Delays,
+        (unsigned long long)LossyChaos.Corruptions,
+        (unsigned long long)LossyChaos.Resets,
+        (unsigned long long)St.Executed, (unsigned long long)St.WarmHits,
+        (unsigned long long)St.DedupFanout, (unsigned long long)St.Shed,
+        (unsigned long long)St.DeadlineExpired,
+        (unsigned long long)St.HeartbeatsSent,
+        (unsigned long long)St.HeartbeatsSeen,
         WarmP50 > 0 ? ColdP50 / WarmP50 : 0.0);
     std::fclose(J);
     std::printf("\n  wrote BENCH_server.json\n");
@@ -269,5 +394,5 @@ int main() {
 
   std::error_code EC;
   fs::remove_all(Root, EC);
-  return NoFailures && WarmServed && Speedup ? 0 : 1;
+  return NoFailures && WarmServed && Speedup && FaultsFired ? 0 : 1;
 }

@@ -2,18 +2,29 @@
 
 #include "server/Client.h"
 
+#include "server/Transport.h"
+#include "support/Backoff.h"
 #include "support/Wire.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 using namespace islaris;
 using namespace islaris::server;
+
+namespace {
+double nowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+} // namespace
 
 Client::~Client() { close(); }
 
@@ -22,48 +33,26 @@ void Client::close() {
     ::close(Fd);
     Fd = -1;
   }
+  Reader = FrameReader(); // drop any half-frame from the dead stream
 }
 
-bool Client::connect(const std::string &SocketPath, std::string &Err) {
-  close();
-  sockaddr_un Addr{};
-  if (SocketPath.size() >= sizeof Addr.sun_path) {
-    Err = "socket path too long: " + SocketPath;
+bool Client::sendHello(std::string &Err) {
+  HelloInfo H;
+  H.Version = ProtocolVersion;
+  H.ClientName = Opt.Name;
+  H.DefaultDeadlineMs = Opt.DeadlineMs;
+  H.HeartbeatMs = uint64_t(Opt.HeartbeatSeconds * 1000);
+  if (!send(Frame{FrameType::Hello, encodeHello(H)}, Err))
     return false;
-  }
-  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (Fd < 0) {
-    Err = std::string("socket(): ") + std::strerror(errno);
-    return false;
-  }
-  Addr.sun_family = AF_UNIX;
-  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) < 0) {
-    Err = "connect(" + SocketPath + "): " + std::strerror(errno);
-    close();
-    return false;
-  }
-  // Handshake.
-  std::ostringstream OS;
-  support::wire::putU64(OS, ProtocolVersion);
-  support::wire::putStr(OS, "islaris-client");
-  if (!send(Frame{FrameType::Hello, OS.str()}, Err)) {
-    close();
-    return false;
-  }
   Frame F;
-  if (!recv(F, Err)) {
-    close();
+  if (!recv(F, Err))
     return false;
-  }
   if (F.Type == FrameType::Error) {
     Err = "server refused handshake: " + F.Payload;
-    close();
     return false;
   }
   if (F.Type != FrameType::Welcome) {
     Err = std::string("expected welcome, got ") + frameTypeName(F.Type);
-    close();
     return false;
   }
   support::wire::Cursor C(F.Payload);
@@ -71,9 +60,57 @@ bool Client::connect(const std::string &SocketPath, std::string &Err) {
   if (C.Fail || Ver != ProtocolVersion) {
     Err = "server speaks protocol " + std::to_string(Ver) + ", client " +
           std::to_string(ProtocolVersion);
+    return false;
+  }
+  return true;
+}
+
+bool Client::connectOnce(std::string &Err) {
+  close();
+  Fd = connectSpec(Spec, Opt.ConnectTimeoutSeconds, Err);
+  if (Fd < 0)
+    return false;
+  if (!sendHello(Err)) {
     close();
     return false;
   }
+  return true;
+}
+
+bool Client::connect(const std::string &EndpointSpec, std::string &Err) {
+  Spec = EndpointSpec;
+  // The initial dial gets the same retry discipline as everything else: a
+  // reset during the hello/welcome exchange is just as transient as one
+  // mid-request, and on a hostile wire it happens.  (reconnect() stays
+  // single-attempt — retryLoop already paces re-dials with this backoff.)
+  support::Backoff B(Opt.BackoffBaseSeconds, Opt.BackoffCapSeconds,
+                     Opt.Seed);
+  net::Deadline Overall =
+      Opt.DeadlineMs > 0
+          ? net::Deadline::in(double(Opt.DeadlineMs) / 1000.0)
+          : net::Deadline();
+  unsigned Max = Opt.MaxAttempts ? Opt.MaxAttempts : 1;
+  for (unsigned A = 0;; ++A) {
+    if (connectOnce(Err))
+      return true;
+    if (A + 1 >= Max || Overall.expired())
+      return false;
+    Net.Retries++;
+    double Delay = B.next();
+    if (!Overall.infinite() && Overall.secondsLeft() <= Delay)
+      return false;
+    std::this_thread::sleep_for(std::chrono::duration<double>(Delay));
+  }
+}
+
+bool Client::reconnect(std::string &Err) {
+  if (Spec.empty()) {
+    Err = "no endpoint to reconnect to";
+    return false;
+  }
+  if (!connectOnce(Err))
+    return false;
+  Net.Reconnects++;
   return true;
 }
 
@@ -82,18 +119,18 @@ bool Client::sendRaw(const std::string &Bytes, std::string &Err) {
     Err = "not connected";
     return false;
   }
-  size_t Off = 0;
-  while (Off < Bytes.size()) {
-    ssize_t N =
-        ::send(Fd, Bytes.data() + Off, Bytes.size() - Off, MSG_NOSIGNAL);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      Err = std::string("send(): ") + std::strerror(errno);
-      return false;
-    }
-    Off += size_t(N);
+  // The one client-side write path: deadline-bounded, partial-write and
+  // EINTR safe, SIGPIPE-free (server/Net.h) — a stalled or vanished server
+  // costs one bounded send, never a wedged caller.
+  net::Deadline D = Opt.WriteTimeoutSeconds > 0
+                        ? net::Deadline::in(Opt.WriteTimeoutSeconds)
+                        : net::Deadline();
+  net::IoStatus S = net::writeAll(Fd, Bytes.data(), Bytes.size(), D);
+  if (S != net::IoStatus::Ok) {
+    Err = std::string("send(): ") + net::ioStatusName(S);
+    return false;
   }
+  LastSendSec = nowSec();
   return true;
 }
 
@@ -128,119 +165,303 @@ bool Client::recv(Frame &Out, std::string &Err) {
   }
 }
 
-bool Client::runTrace(const TraceRequest &R, TraceResult &Out,
-                      std::string &Err) {
-  Out = TraceResult();
-  Request Req;
-  Req.Id = nextId();
-  Req.K = Request::Kind::Trace;
-  Req.Trace = R;
-  if (!send(Frame{FrameType::Request, encodeRequest(Req)}, Err))
+bool Client::awaitFrame(Frame &Out, const net::Deadline &Overall,
+                        std::string &Err, bool &Transient) {
+  Transient = false;
+  if (Fd < 0) {
+    Err = "not connected";
+    Transient = true;
     return false;
-  Frame F;
-  while (recv(F, Err)) {
-    uint64_t Id = 0;
-    std::string Body;
-    switch (F.Type) {
-    case FrameType::Accepted:
-      continue;
-    case FrameType::Rejected:
-      if (decodeIdPayload(F.Payload, Id, Body) && Id == Req.Id) {
-        Out.Rejected = true;
-        Out.RejectReason = Body;
-        return true;
+  }
+  char Buf[64 * 1024];
+  double LastRecv = nowSec();
+  while (true) {
+    // Drain buffered frames first; heartbeats are liveness, not answers.
+    FrameReader::Status S = Reader.next(Out, &Err);
+    if (S == FrameReader::Status::Frame) {
+      if (Out.Type == FrameType::Heartbeat) {
+        Net.HeartbeatsSeen++;
+        continue;
       }
-      continue;
-    case FrameType::Trace:
-      if (decodeIdPayload(F.Payload, Id, Body) && Id == Req.Id)
-        Out.EntryText = std::move(Body);
-      continue;
-    case FrameType::Done: {
-      DoneInfo D;
-      if (decodeDone(F.Payload, D) && D.Id == Req.Id) {
-        Out.Done = D;
-        Out.Ok = D.Status == 0;
-        return true;
+      return true;
+    }
+    if (S == FrameReader::Status::Malformed) {
+      // Corruption on the wire (the checksum caught it): the stream is
+      // unrecoverable but the request is retryable on a fresh one.
+      Err = "malformed frame from server: " + Err;
+      Transient = true;
+      return false;
+    }
+
+    if (Overall.expired()) {
+      Err = "deadline expired waiting for server";
+      Net.DeadlineExpired++;
+      return false;
+    }
+    double Tick = 0.2;
+    if (!Overall.infinite() && Overall.secondsLeft() < Tick)
+      Tick = Overall.secondsLeft() > 0.01 ? Overall.secondsLeft() : 0.01;
+
+    // Heartbeat on the pacing clock regardless of inbound traffic: a
+    // chatty server (its own heartbeats, streamed rows) must not suppress
+    // ours, or it could never tell us apart from a vanished peer.
+    if (Opt.HeartbeatSeconds > 0 &&
+        nowSec() - LastSendSec >= Opt.HeartbeatSeconds) {
+      std::string HbErr;
+      if (send(Frame{FrameType::Heartbeat, ""}, HbErr))
+        Net.HeartbeatsSent++;
+      else {
+        Err = "heartbeat send failed: " + HbErr;
+        Transient = true;
+        return false;
+      }
+    }
+
+    size_t Got = 0;
+    net::IoStatus IS =
+        net::readSome(Fd, Buf, sizeof Buf, net::Deadline::in(Tick), Got);
+    if (IS == net::IoStatus::Timeout) {
+      double Now = nowSec();
+      if (Opt.SilenceTimeoutSeconds > 0 &&
+          Now - LastRecv > Opt.SilenceTimeoutSeconds) {
+        Err = "server silent for " +
+              std::to_string(Opt.SilenceTimeoutSeconds) +
+              "s (half-open connection?)";
+        Transient = true;
+        return false;
       }
       continue;
     }
-    case FrameType::Error:
-      Err = "server error: " + F.Payload;
+    if (IS != net::IoStatus::Ok) {
+      Err = std::string("recv(): ") + net::ioStatusName(IS);
+      Transient = true;
       return false;
-    case FrameType::Bye:
-      Err = "server shut down before the result arrived";
-      return false;
-    default:
-      continue; // diag/stats frames for other ids: skip
     }
+    LastRecv = nowSec();
+    Reader.feed(Buf, Got);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Retry driver.
+//===----------------------------------------------------------------------===//
+
+bool Client::retryLoop(
+    std::string &Err,
+    const std::function<Outcome(const net::Deadline &, std::string &,
+                                double &)> &Attempt) {
+  support::Backoff B(Opt.BackoffBaseSeconds, Opt.BackoffCapSeconds,
+                     Opt.Seed ^ (LastId * 0x9e3779b97f4a7c15ull));
+  net::Deadline Overall = Opt.DeadlineMs > 0
+                              ? net::Deadline::in(double(Opt.DeadlineMs) /
+                                                  1000.0)
+                              : net::Deadline();
+  unsigned Max = Opt.MaxAttempts ? Opt.MaxAttempts : 1;
+  std::string LastErr;
+  for (unsigned A = 0; A < Max; ++A) {
+    if (A > 0)
+      Net.Retries++;
+    if (!connected()) {
+      std::string CErr;
+      if (!reconnect(CErr)) {
+        LastErr = CErr;
+        double Delay = B.next();
+        if (!Overall.infinite() && Overall.secondsLeft() <= Delay) {
+          Err = "deadline expired reconnecting: " + CErr;
+          Net.DeadlineExpired++;
+          return false;
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double>(Delay));
+        continue;
+      }
+    }
+    std::string AErr;
+    double RetryAfterSeconds = 0;
+    Outcome O = Attempt(Overall, AErr, RetryAfterSeconds);
+    switch (O) {
+    case Outcome::Done:
+      Err = AErr;
+      return AErr.empty();
+    case Outcome::Shed:
+      Net.Sheds++;
+      break;
+    case Outcome::Transient:
+      close(); // next iteration re-dials
+      break;
+    }
+    LastErr = AErr;
+    if (Overall.expired())
+      break;
+    double Delay =
+        O == Outcome::Shed ? B.next(RetryAfterSeconds) : B.next();
+    if (!Overall.infinite() && Overall.secondsLeft() <= Delay)
+      break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(Delay));
+  }
+  Err = LastErr.empty() ? "request failed after retries" : LastErr;
+  if (Overall.expired()) {
+    Net.DeadlineExpired++;
+    Err = "deadline expired: " + Err;
   }
   return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers.
+//===----------------------------------------------------------------------===//
+
+bool Client::runTrace(const TraceRequest &R, TraceResult &Out,
+                      std::string &Err) {
+  Request Req;
+  Req.Id = nextId(); // one id across every retry: idempotent replay
+  Req.K = Request::Kind::Trace;
+  Req.Trace = R;
+
+  return retryLoop(Err, [&](const net::Deadline &Overall, std::string &E,
+                            double &RetryAfterSeconds) -> Outcome {
+    Out = TraceResult();
+    Req.DeadlineMs = Opt.DeadlineMs
+                         ? uint64_t(Overall.secondsLeft() * 1000) + 1
+                         : 0;
+    if (!send(Frame{FrameType::Request, encodeRequest(Req)}, E))
+      return Outcome::Transient;
+    Frame F;
+    bool Transient = false;
+    while (awaitFrame(F, Overall, E, Transient)) {
+      uint64_t Id = 0;
+      std::string Body;
+      switch (F.Type) {
+      case FrameType::Accepted:
+        continue;
+      case FrameType::Rejected: {
+        if (!decodeIdPayload(F.Payload, Id, Body) || Id != Req.Id)
+          continue;
+        std::string Reason;
+        uint64_t RetryMs = 0;
+        decodeRejectBody(Body, Reason, RetryMs);
+        Out.Rejected = true;
+        Out.RejectReason = Reason;
+        Out.RetryAfterMs = RetryMs;
+        if (RetryMs > 0) {
+          RetryAfterSeconds = double(RetryMs) / 1000.0;
+          E = "shed: " + Reason;
+          return Outcome::Shed;
+        }
+        return Outcome::Done; // permanent: surface via Out.Rejected
+      }
+      case FrameType::Trace:
+        if (decodeIdPayload(F.Payload, Id, Body) && Id == Req.Id)
+          Out.EntryText = std::move(Body);
+        continue;
+      case FrameType::Done: {
+        DoneInfo D;
+        if (decodeDone(F.Payload, D) && D.Id == Req.Id) {
+          Out.Done = D;
+          Out.Ok = D.Status == 0;
+          return Outcome::Done;
+        }
+        continue;
+      }
+      case FrameType::Error:
+        E = "server error: " + F.Payload;
+        return Outcome::Transient;
+      case FrameType::Bye:
+        E = "server shut down before the result arrived";
+        return Outcome::Done; // a drained server will not come back
+      default:
+        continue; // diag/stats frames for other ids: skip
+      }
+    }
+    return Transient ? Outcome::Transient : Outcome::Done;
+  });
 }
 
 bool Client::runStudy(
     const std::string &Name, StudyResult &Out, std::string &Err,
     const std::function<void(const frontend::CaseResult &)> &OnRow) {
-  Out = StudyResult();
   Request Req;
   Req.Id = nextId();
   Req.K = Request::Kind::Study;
   Req.Study = Name;
-  if (!send(Frame{FrameType::Request, encodeRequest(Req)}, Err))
-    return false;
-  Frame F;
-  while (recv(F, Err)) {
-    uint64_t Id = 0;
-    std::string Body;
-    switch (F.Type) {
-    case FrameType::Accepted:
-      continue;
-    case FrameType::Rejected:
-      if (decodeIdPayload(F.Payload, Id, Body) && Id == Req.Id) {
-        Out.Rejected = true;
-        Out.RejectReason = Body;
-        return true;
-      }
-      continue;
-    case FrameType::Row: {
-      if (!decodeIdPayload(F.Payload, Id, Body) || Id != Req.Id)
+
+  return retryLoop(Err, [&](const net::Deadline &Overall, std::string &E,
+                            double &RetryAfterSeconds) -> Outcome {
+    Out = StudyResult(); // a retry restarts the row stream from scratch
+    Req.DeadlineMs = Opt.DeadlineMs
+                         ? uint64_t(Overall.secondsLeft() * 1000) + 1
+                         : 0;
+    if (!send(Frame{FrameType::Request, encodeRequest(Req)}, E))
+      return Outcome::Transient;
+    Frame F;
+    bool Transient = false;
+    while (awaitFrame(F, Overall, E, Transient)) {
+      uint64_t Id = 0;
+      std::string Body;
+      switch (F.Type) {
+      case FrameType::Accepted:
         continue;
-      frontend::CaseResult R;
-      if (!frontend::decodeCaseResult(Body, R)) {
-        Err = "undecodable case-result row from server";
-        return false;
+      case FrameType::Rejected: {
+        if (!decodeIdPayload(F.Payload, Id, Body) || Id != Req.Id)
+          continue;
+        std::string Reason;
+        uint64_t RetryMs = 0;
+        decodeRejectBody(Body, Reason, RetryMs);
+        Out.Rejected = true;
+        Out.RejectReason = Reason;
+        Out.RetryAfterMs = RetryMs;
+        if (RetryMs > 0) {
+          RetryAfterSeconds = double(RetryMs) / 1000.0;
+          E = "shed: " + Reason;
+          return Outcome::Shed;
+        }
+        return Outcome::Done;
       }
-      Out.Rows.push_back(R);
-      if (OnRow)
-        OnRow(R);
-      continue;
-    }
-    case FrameType::Done: {
-      DoneInfo D;
-      if (decodeDone(F.Payload, D) && D.Id == Req.Id) {
-        Out.Done = D;
-        Out.Ok = D.Status == 0;
-        return true;
+      case FrameType::Row: {
+        if (!decodeIdPayload(F.Payload, Id, Body) || Id != Req.Id)
+          continue;
+        frontend::CaseResult R;
+        if (!frontend::decodeCaseResult(Body, R)) {
+          E = "undecodable case-result row from server";
+          return Outcome::Transient;
+        }
+        Out.Rows.push_back(R);
+        if (OnRow)
+          OnRow(R);
+        continue;
       }
-      continue;
+      case FrameType::Done: {
+        DoneInfo D;
+        if (decodeDone(F.Payload, D) && D.Id == Req.Id) {
+          Out.Done = D;
+          Out.Ok = D.Status == 0;
+          return Outcome::Done;
+        }
+        continue;
+      }
+      case FrameType::Error:
+        E = "server error: " + F.Payload;
+        return Outcome::Transient;
+      case FrameType::Bye:
+        E = "server shut down before the result arrived";
+        return Outcome::Done;
+      default:
+        continue;
+      }
     }
-    case FrameType::Error:
-      Err = "server error: " + F.Payload;
-      return false;
-    case FrameType::Bye:
-      Err = "server shut down before the result arrived";
-      return false;
-    default:
-      continue;
-    }
-  }
-  return false;
+    return Transient ? Outcome::Transient : Outcome::Done;
+  });
 }
 
 bool Client::ping(std::string &Err) {
   if (!send(Frame{FrameType::Ping, ""}, Err))
     return false;
+  net::Deadline Overall = Opt.DeadlineMs > 0
+                              ? net::Deadline::in(double(Opt.DeadlineMs) /
+                                                  1000.0)
+                              : net::Deadline();
   Frame F;
-  while (recv(F, Err)) {
+  bool Transient = false;
+  while (awaitFrame(F, Overall, Err, Transient)) {
     if (F.Type == FrameType::Pong)
       return true;
     if (F.Type == FrameType::Error || F.Type == FrameType::Bye) {
@@ -255,36 +476,56 @@ bool Client::getStats(std::string &Out, std::string &Err) {
   Request Req;
   Req.Id = nextId();
   Req.K = Request::Kind::Stats;
-  if (!send(Frame{FrameType::Request, encodeRequest(Req)}, Err))
-    return false;
-  Frame F;
-  bool Got = false;
-  while (recv(F, Err)) {
-    uint64_t Id = 0;
-    std::string Body;
-    if (F.Type == FrameType::Stats &&
-        decodeIdPayload(F.Payload, Id, Body) && Id == Req.Id) {
-      Out = std::move(Body);
-      Got = true;
-      continue;
+
+  return retryLoop(Err, [&](const net::Deadline &Overall, std::string &E,
+                            double &RetryAfterSeconds) -> Outcome {
+    Req.DeadlineMs = Opt.DeadlineMs
+                         ? uint64_t(Overall.secondsLeft() * 1000) + 1
+                         : 0;
+    if (!send(Frame{FrameType::Request, encodeRequest(Req)}, E))
+      return Outcome::Transient;
+    Frame F;
+    bool Got = false;
+    bool Transient = false;
+    while (awaitFrame(F, Overall, E, Transient)) {
+      uint64_t Id = 0;
+      std::string Body;
+      if (F.Type == FrameType::Stats &&
+          decodeIdPayload(F.Payload, Id, Body) && Id == Req.Id) {
+        Out = std::move(Body);
+        Got = true;
+        continue;
+      }
+      if (F.Type == FrameType::Done) {
+        DoneInfo D;
+        if (decodeDone(F.Payload, D) && D.Id == Req.Id) {
+          if (Got)
+            return Outcome::Done;
+          E = "stats done without a stats frame (" + D.Error + ")";
+          return Outcome::Done;
+        }
+        continue;
+      }
+      if (F.Type == FrameType::Rejected &&
+          decodeIdPayload(F.Payload, Id, Body) && Id == Req.Id) {
+        std::string Reason;
+        uint64_t RetryMs = 0;
+        decodeRejectBody(Body, Reason, RetryMs);
+        if (RetryMs > 0) {
+          RetryAfterSeconds = double(RetryMs) / 1000.0;
+          E = "shed: " + Reason;
+          return Outcome::Shed;
+        }
+        E = "stats request rejected: " + Reason;
+        return Outcome::Done;
+      }
+      if (F.Type == FrameType::Error || F.Type == FrameType::Bye) {
+        E = "server error: " + F.Payload;
+        return Outcome::Done;
+      }
     }
-    if (F.Type == FrameType::Done) {
-      DoneInfo D;
-      if (decodeDone(F.Payload, D) && D.Id == Req.Id)
-        return Got;
-      continue;
-    }
-    if (F.Type == FrameType::Rejected &&
-        decodeIdPayload(F.Payload, Id, Body) && Id == Req.Id) {
-      Err = "stats request rejected: " + Body;
-      return false;
-    }
-    if (F.Type == FrameType::Error || F.Type == FrameType::Bye) {
-      Err = "server error: " + F.Payload;
-      return false;
-    }
-  }
-  return false;
+    return Transient ? Outcome::Transient : Outcome::Done;
+  });
 }
 
 bool Client::shutdownServer(std::string &Err) {
@@ -294,6 +535,8 @@ bool Client::shutdownServer(std::string &Err) {
   while (recv(F, Err)) {
     if (F.Type == FrameType::Accepted || F.Type == FrameType::Bye)
       return true;
+    if (F.Type == FrameType::Heartbeat)
+      continue;
     if (F.Type == FrameType::Error) {
       Err = "server error: " + F.Payload;
       return false;

@@ -12,12 +12,35 @@
 /// concurrency comes from opening multiple clients, one per thread, which
 /// is exactly how bench_server and the dedup tests drive the daemon.
 ///
+/// Hostile-network discipline (PR 8):
+///
+///  - Endpoints: connect() takes the Transport grammar (Unix path or TCP
+///    "host:port"), so the same client crosses a real network.
+///
+///  - Deadlines: ClientOptions::DeadlineMs bounds each helper end to end;
+///    the remaining patience travels in every request so the server can
+///    abandon work this client will no longer read.
+///
+///  - Retries: sheds (rejected + retry-after) and transient transport
+///    failures (reset, EOF mid-stream, corrupted frame, silence) are
+///    retried with capped exponential backoff and deterministic seeded
+///    jitter (support::Backoff), reconnecting as needed.  Retrying is safe
+///    by construction: request ids are idempotent per client, and trace
+///    requests are canonicalized and deduped at admission, so a replay
+///    can only re-observe or attach — never recompute divergently.
+///
+///  - Heartbeats: while a helper waits it emits client->server heartbeats
+///    and expects bytes (results or server heartbeats) within
+///    SilenceTimeoutSeconds, so a dead server is detected and retried
+///    rather than awaited forever.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ISLARIS_SERVER_CLIENT_H
 #define ISLARIS_SERVER_CLIENT_H
 
 #include "frontend/CaseStudies.h"
+#include "server/Net.h"
 #include "server/Protocol.h"
 
 #include <functional>
@@ -26,16 +49,58 @@
 
 namespace islaris::server {
 
+/// Network behavior knobs; the defaults are tuned for a trustworthy local
+/// socket (generous, retrying).  Tests and the chaos harness tighten them.
+struct ClientOptions {
+  std::string Name = "islaris-client";
+  /// End-to-end bound on each helper call, milliseconds; 0 = none.  Also
+  /// carried to the server as this client's patience.
+  uint64_t DeadlineMs = 0;
+  /// Client->server heartbeat interval while waiting for frames (0 = off).
+  double HeartbeatSeconds = 2;
+  /// Declare the server dead after this much silence while waiting
+  /// (0 = wait forever).  The server heartbeats every few seconds while
+  /// work is in flight, so silence past this is a wedged link, not a slow
+  /// job.
+  double SilenceTimeoutSeconds = 30;
+  double ConnectTimeoutSeconds = 5;
+  /// Deadline on each socket write (0 = block forever).
+  double WriteTimeoutSeconds = 10;
+  /// Total tries per helper call, including the first (1 = never retry).
+  unsigned MaxAttempts = 5;
+  double BackoffBaseSeconds = 0.05;
+  double BackoffCapSeconds = 2.0;
+  /// Jitter seed; fixed seed => reproducible retry instants.
+  uint64_t Seed = 1;
+};
+
+/// Monotonic per-client counters for the retry machinery.
+struct ClientNetStats {
+  uint64_t Retries = 0;        ///< Re-attempts after the first try.
+  uint64_t Sheds = 0;          ///< rejected(retry-after > 0) seen.
+  uint64_t Reconnects = 0;     ///< Successful re-dials mid-call.
+  uint64_t HeartbeatsSent = 0;
+  uint64_t HeartbeatsSeen = 0;
+  uint64_t DeadlineExpired = 0; ///< Calls that died on DeadlineMs.
+};
+
 class Client {
 public:
   Client() = default;
+  explicit Client(ClientOptions O) : Opt(std::move(O)) {}
   ~Client();
 
   Client(const Client &) = delete;
   Client &operator=(const Client &) = delete;
 
-  /// Connects and performs the hello/welcome handshake.
-  bool connect(const std::string &SocketPath, std::string &Err);
+  /// Adjust options (takes effect on the next call; set before connect()).
+  void setOptions(ClientOptions O) { Opt = std::move(O); }
+  const ClientOptions &options() const { return Opt; }
+  ClientNetStats netStats() const { return Net; }
+
+  /// Connects to \p Spec (Unix path or TCP "host:port") and performs the
+  /// hello/welcome handshake.
+  bool connect(const std::string &Spec, std::string &Err);
   void close();
   bool connected() const { return Fd >= 0; }
 
@@ -52,12 +117,14 @@ public:
     bool Ok = false;
     bool Rejected = false;
     std::string RejectReason;
+    uint64_t RetryAfterMs = 0; ///< Hint from the final shed, when Rejected.
     /// Serialized cache entry (TraceCache::serializeEntry form) — the
     /// bit-identical artifact the dedup test compares across clients.
     std::string EntryText;
     DoneInfo Done;
   };
-  /// Issues a trace request and consumes frames until done/rejected.
+  /// Issues a trace request and consumes frames until done/rejected,
+  /// retrying sheds and transient transport failures per ClientOptions.
   bool runTrace(const TraceRequest &R, TraceResult &Out, std::string &Err);
 
   /// Outcome of one study/suite request.
@@ -65,11 +132,14 @@ public:
     bool Ok = false;
     bool Rejected = false;
     std::string RejectReason;
+    uint64_t RetryAfterMs = 0;
     std::vector<frontend::CaseResult> Rows;
     DoneInfo Done; ///< Done.Status is the suite exit code (0/1/2).
   };
   /// Issues a study request ("suite" or one of the nine study names),
-  /// streaming each row through \p OnRow as it arrives.
+  /// streaming each row through \p OnRow as it arrives.  On a retry the
+  /// row vector restarts from scratch (OnRow may see rows twice; rows are
+  /// deterministic, so the final vector is the authoritative one).
   bool runStudy(const std::string &Name, StudyResult &Out, std::string &Err,
                 const std::function<void(const frontend::CaseResult &)>
                     &OnRow = nullptr);
@@ -87,9 +157,36 @@ public:
 private:
   uint64_t nextId() { return ++LastId; }
 
+  /// One attempt's terminal state, driving the retry loop.
+  enum class Outcome {
+    Done,      ///< Result (or permanent rejection) delivered; stop.
+    Transient, ///< Transport died; reconnect and retry.
+    Shed,      ///< Server shed the request; back off (honor hint), retry.
+  };
+
+  /// One dial + handshake attempt (no retries); connect() wraps it in the
+  /// backoff loop, reconnect() relies on retryLoop's pacing instead.
+  bool connectOnce(std::string &Err);
+  bool reconnect(std::string &Err);
+  bool sendHello(std::string &Err);
+  /// Waits for the next non-heartbeat frame, ticking heartbeats out and
+  /// enforcing silence/overall deadlines.  False with \p Transient telling
+  /// the caller whether a retry could help.
+  bool awaitFrame(Frame &Out, const net::Deadline &Overall, std::string &Err,
+                  bool &Transient);
+  /// Shared retry driver around one attempt closure.
+  bool retryLoop(
+      std::string &Err,
+      const std::function<Outcome(const net::Deadline &, std::string &,
+                                  double & /*RetryAfterSeconds*/)> &Attempt);
+
+  ClientOptions Opt;
+  ClientNetStats Net;
+  std::string Spec;    ///< Endpoint of the last connect(), for re-dials.
   int Fd = -1;
   uint64_t LastId = 0;
   FrameReader Reader;
+  double LastSendSec = 0; ///< Heartbeat pacing (steady-clock seconds).
 };
 
 } // namespace islaris::server

@@ -1,0 +1,101 @@
+//===- server/Net.cpp - Deadline-bounded socket I/O ----------------------------===//
+
+#include "server/Net.h"
+
+#include <cerrno>
+
+#include <poll.h>
+#include <sys/socket.h>
+
+using namespace islaris::server;
+using namespace islaris::server::net;
+
+const char *islaris::server::net::ioStatusName(IoStatus S) {
+  switch (S) {
+  case IoStatus::Ok:
+    return "ok";
+  case IoStatus::Timeout:
+    return "timeout";
+  case IoStatus::Closed:
+    return "closed";
+  case IoStatus::Error:
+    return "error";
+  }
+  return "error";
+}
+
+/// Polls \p Fd for \p Events under \p D.  Ok when ready; Timeout when the
+/// deadline passed; Error on a poll failure or error/hangup-only
+/// revents.  POLLHUP alongside the requested event is left to the actual
+/// read/write to classify (a half-closed socket can still hold buffered
+/// data worth reading).
+static IoStatus pollFor(int Fd, short Events, const Deadline &D) {
+  while (true) {
+    pollfd P{Fd, Events, 0};
+    int Ms = D.pollMs();
+    if (Ms == 0)
+      return IoStatus::Timeout;
+    int R = ::poll(&P, 1, Ms);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return IoStatus::Error;
+    }
+    if (R == 0) {
+      // poll's own timeout; re-check the deadline (it may be infinite and
+      // this a spurious zero, though with Ms==-1 poll never returns 0).
+      if (D.expired())
+        return IoStatus::Timeout;
+      continue;
+    }
+    if (P.revents & (POLLIN | POLLOUT))
+      return IoStatus::Ok;
+    if (P.revents & (POLLERR | POLLHUP | POLLNVAL))
+      return IoStatus::Closed;
+    return IoStatus::Error;
+  }
+}
+
+IoStatus islaris::server::net::writeAll(int Fd, const char *Data, size_t N,
+                                        const Deadline &D) {
+  size_t Off = 0;
+  while (Off < N) {
+    IoStatus S = pollFor(Fd, POLLOUT, D);
+    if (S != IoStatus::Ok)
+      return S;
+    ssize_t W = ::send(Fd, Data + Off, N - Off, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue; // poll again; the kernel buffer refilled under us
+      if (errno == EPIPE || errno == ECONNRESET)
+        return IoStatus::Closed;
+      return IoStatus::Error;
+    }
+    Off += size_t(W);
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus islaris::server::net::readSome(int Fd, char *Buf, size_t N,
+                                        const Deadline &D, size_t &Got) {
+  Got = 0;
+  while (true) {
+    IoStatus S = pollFor(Fd, POLLIN, D);
+    if (S != IoStatus::Ok && S != IoStatus::Closed)
+      return S;
+    // On Closed revents still try the recv: buffered bytes outlive a peer
+    // hangup, and recv distinguishes data / EOF / reset for us.
+    ssize_t R = ::recv(Fd, Buf, N, 0);
+    if (R < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      if (errno == ECONNRESET)
+        return IoStatus::Closed;
+      return IoStatus::Error;
+    }
+    if (R == 0)
+      return IoStatus::Closed;
+    Got = size_t(R);
+    return IoStatus::Ok;
+  }
+}

@@ -1,0 +1,109 @@
+//===- server/Net.h - Deadline-bounded socket I/O ---------------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one socket I/O layer every islarisd byte travels through, on both
+/// ends of the wire.  Two properties hold at every call site because they
+/// hold here:
+///
+///  - No write is ever un-deadlined.  writeAll poll()s for writability
+///    before each send and gives up (IoStatus::Timeout) when the deadline
+///    passes, so a peer that stops draining its receive buffer (slow-loris
+///    by reading, or a half-open TCP connection) can stall one send for a
+///    bounded time, never wedge a worker, the heartbeat tick, or the drain
+///    path forever.
+///
+///  - No write ever raises SIGPIPE and no partial send is ever dropped:
+///    MSG_NOSIGNAL on every send, EINTR retried, short sends resumed —
+///    the historical per-site `::send` loops are all gone (PR 8).
+///
+/// Reads go through readSome with the same poll discipline, so a reader
+/// thread can wake on a timer tick (to send heartbeats or notice a dead
+/// peer) without threading signals or nonblocking-mode state through the
+/// socket.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SERVER_NET_H
+#define ISLARIS_SERVER_NET_H
+
+#include <chrono>
+#include <cstddef>
+
+namespace islaris::server::net {
+
+/// A wall-clock point after which an I/O operation should give up.
+/// Default-constructed deadlines are infinite (block forever), preserving
+/// the pre-PR-8 behavior for callers that opt out.
+class Deadline {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  /// A deadline \p Seconds from now; <= 0 means infinite.
+  static Deadline in(double Seconds) {
+    Deadline D;
+    if (Seconds > 0) {
+      D.Infinite = false;
+      D.At = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(Seconds));
+    }
+    return D;
+  }
+
+  bool infinite() const { return Infinite; }
+
+  bool expired() const { return !Infinite && Clock::now() >= At; }
+
+  /// Remaining budget as a poll() timeout: -1 for infinite, 0 when already
+  /// expired, else milliseconds left (at least 1 so a sub-millisecond
+  /// remainder still polls instead of spinning).
+  int pollMs() const {
+    if (Infinite)
+      return -1;
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        At - Clock::now());
+    if (Left.count() <= 0)
+      return 0;
+    return int(Left.count() < 1 ? 1 : Left.count());
+  }
+
+  double secondsLeft() const {
+    if (Infinite)
+      return -1;
+    return std::chrono::duration<double>(At - Clock::now()).count();
+  }
+
+private:
+  Clock::time_point At{};
+  bool Infinite = true;
+};
+
+enum class IoStatus {
+  Ok,      ///< The operation completed.
+  Timeout, ///< The deadline passed first; the peer is stalled or dead.
+  Closed,  ///< Orderly EOF (reads) or EPIPE/ECONNRESET (writes).
+  Error,   ///< Any other socket error; errno holds the cause.
+};
+
+const char *ioStatusName(IoStatus S);
+
+/// Writes all \p N bytes to \p Fd or reports why it could not: poll for
+/// writability under the deadline, send with MSG_NOSIGNAL, retry EINTR,
+/// resume short sends.  Timeout means the peer stopped draining us.
+IoStatus writeAll(int Fd, const char *Data, size_t N, const Deadline &D);
+
+/// Reads up to \p N bytes into \p Buf under the deadline.  Got is set on
+/// Ok (>= 1 byte); Timeout means no bytes arrived in time (the caller
+/// decides whether that is a heartbeat tick or a dead peer), Closed is a
+/// clean EOF.
+IoStatus readSome(int Fd, char *Buf, size_t N, const Deadline &D,
+                  size_t &Got);
+
+} // namespace islaris::server::net
+
+#endif // ISLARIS_SERVER_NET_H

@@ -51,6 +51,8 @@ const char *islaris::server::frameTypeName(FrameType T) {
     return "bye";
   case FrameType::Error:
     return "error";
+  case FrameType::Heartbeat:
+    return "heartbeat";
   }
   return "error";
 }
@@ -63,6 +65,7 @@ bool islaris::server::frameTypeFromName(const std::string &Name,
       FrameType::Rejected, FrameType::Trace,   FrameType::Row,
       FrameType::Diag,     FrameType::Stats,   FrameType::Done,
       FrameType::Pong,     FrameType::Bye,     FrameType::Error,
+      FrameType::Heartbeat,
   };
   for (FrameType T : All)
     if (Name == frameTypeName(T)) {
@@ -184,6 +187,7 @@ FrameReader::Status FrameReader::next(Frame &Out, std::string *Err) {
 std::string islaris::server::encodeRequest(const Request &R) {
   std::ostringstream OS;
   putU64(OS, R.Id);
+  putU64(OS, R.DeadlineMs);
   switch (R.K) {
   case Request::Kind::Trace: {
     putStr(OS, "trace");
@@ -218,6 +222,7 @@ bool islaris::server::decodeRequest(const std::string &Payload, Request &Out) {
   Cursor C(Payload);
   Out = Request();
   Out.Id = C.u64();
+  Out.DeadlineMs = C.u64();
   std::string Kind = C.str();
   if (Kind == "trace") {
     Out.K = Request::Kind::Trace;
@@ -247,6 +252,62 @@ bool islaris::server::decodeRequest(const std::string &Payload, Request &Out) {
     return false;
   }
   return !C.Fail;
+}
+
+std::string islaris::server::encodeHello(const HelloInfo &H) {
+  std::ostringstream OS;
+  putU64(OS, H.Version);
+  putStr(OS, H.ClientName);
+  putU64(OS, H.DefaultDeadlineMs);
+  putU64(OS, H.HeartbeatMs);
+  return OS.str();
+}
+
+bool islaris::server::decodeHello(const std::string &Payload, HelloInfo &Out) {
+  Cursor C(Payload);
+  Out = HelloInfo();
+  Out.Version = C.u64();
+  if (C.Fail)
+    return false;
+  Out.ClientName = C.str();
+  if (C.Fail) {
+    // Version-only hello: acceptable (the extras are informational).
+    Out.ClientName.clear();
+    return true;
+  }
+  // Protocol-1 hellos stop here; missing deadline/heartbeat fields stay 0.
+  uint64_t Deadline = C.u64();
+  if (C.Fail)
+    return true;
+  Out.DefaultDeadlineMs = Deadline;
+  uint64_t Hb = C.u64();
+  if (!C.Fail)
+    Out.HeartbeatMs = Hb;
+  return true;
+}
+
+std::string islaris::server::encodeRejectBody(const std::string &Reason,
+                                              uint64_t RetryAfterMs) {
+  std::ostringstream OS;
+  putStr(OS, Reason);
+  putU64(OS, RetryAfterMs);
+  return OS.str();
+}
+
+void islaris::server::decodeRejectBody(const std::string &Body,
+                                       std::string &Reason,
+                                       uint64_t &RetryAfterMs) {
+  Cursor C(Body);
+  std::string R = C.str();
+  if (C.Fail) {
+    // Legacy bare-string reason; no hint.
+    Reason = Body;
+    RetryAfterMs = 0;
+    return;
+  }
+  Reason = R;
+  uint64_t RA = C.u64();
+  RetryAfterMs = C.Fail ? 0 : RA;
 }
 
 std::string islaris::server::encodeDone(const DoneInfo &D) {

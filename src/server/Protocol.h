@@ -21,12 +21,16 @@
 ///
 ///   client                               server
 ///   ------                               ------
-///   hello  ─────────────────────────────▶
+///   hello(deadline, hb-interval) ───────▶
 ///          ◀─────────────────────────────  welcome
-///   request(id, trace|study|stats) ─────▶
-///          ◀─────────────────────────────  accepted(id) | rejected(id)
+///   request(id, deadline, kind) ────────▶
+///          ◀─────────────────────────────  accepted(id) | rejected(id,
+///          ◀─────────────────────────────    retry-after-ms)
 ///          ◀─────────────────────────────  trace(id)* | row(id)* | stats(id)
 ///          ◀─────────────────────────────  done(id, status, source)
+///   heartbeat ◀────────────────────────▶    (either direction, any time;
+///                                            refreshes peer liveness,
+///                                            never answered)
 ///   ping   ─────────────────────────────▶
 ///          ◀─────────────────────────────  pong
 ///   shutdown ───────────────────────────▶   (drain: every accepted id
@@ -36,6 +40,14 @@
 /// Versioning: the frame header carries the format version (1); `hello`
 /// and `welcome` carry the protocol version.  A server that cannot speak
 /// the client's protocol answers with an `error` frame and closes.
+///
+/// Hostile-network discipline (PR 8): request payloads carry the client's
+/// end-to-end deadline (milliseconds of patience remaining) so the server
+/// can abandon work nobody is waiting for; `rejected` payloads carry a
+/// retry-after hint so shed clients back off by the server's estimate
+/// instead of guessing; `heartbeat` frames flow in both directions so a
+/// half-open connection (peer vanished without a FIN) is detectable by
+/// silence on an otherwise-busy link.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,8 +60,10 @@
 
 namespace islaris::server {
 
-/// Protocol version spoken by hello/welcome.
-inline constexpr uint64_t ProtocolVersion = 1;
+/// Protocol version spoken by hello/welcome.  Version 2 (PR 8) added
+/// heartbeat frames, request deadlines, and retry-after hints on
+/// rejections.
+inline constexpr uint64_t ProtocolVersion = 2;
 
 /// Hard bound on a frame payload; a header advertising more is malformed
 /// (protects the reader from allocating on behalf of a corrupt length
@@ -74,6 +88,8 @@ enum class FrameType : uint8_t {
   Pong,
   Bye,
   Error,
+  // either direction: liveness only, never answered
+  Heartbeat,
 };
 
 /// Stable wire token ("hello", "request", ...).
@@ -138,6 +154,10 @@ struct TraceRequest {
 /// A parsed `request` frame payload.
 struct Request {
   uint64_t Id = 0;
+  /// Client patience remaining at send time, in milliseconds; 0 = wait
+  /// forever.  The server rebases it to its own clock at admission and
+  /// abandons (or never starts) work whose waiters have all timed out.
+  uint64_t DeadlineMs = 0;
   enum class Kind : uint8_t { Trace, Study, Stats } K = Kind::Trace;
   TraceRequest Trace;  ///< Valid when K == Trace.
   std::string Study;   ///< Study name or "suite" when K == Study.
@@ -145,6 +165,33 @@ struct Request {
 
 std::string encodeRequest(const Request &R);
 bool decodeRequest(const std::string &Payload, Request &Out);
+
+/// A parsed `hello` frame payload.  The deadline/heartbeat fields were
+/// added in protocol 2; decodeHello tolerates their absence (fields stay
+/// zero) so a minimal hello still handshakes.
+struct HelloInfo {
+  uint64_t Version = ProtocolVersion;
+  std::string ClientName;
+  /// Connection-default request deadline; a request's own DeadlineMs
+  /// overrides it.  0 = none.
+  uint64_t DefaultDeadlineMs = 0;
+  /// Interval at which this client intends to emit heartbeats while
+  /// waiting (informational; lets the server size its silence threshold).
+  uint64_t HeartbeatMs = 0;
+};
+
+std::string encodeHello(const HelloInfo &H);
+bool decodeHello(const std::string &Payload, HelloInfo &Out);
+
+/// `rejected` body codec (the body inside the id-tagged payload): a
+/// human-readable reason plus a machine retry-after hint.  RetryAfterMs 0
+/// means "do not retry — the request itself is invalid"; nonzero marks a
+/// load shed worth retrying after the hinted delay.  decodeRejectBody
+/// tolerates a bare legacy reason string (hint degrades to 0).
+std::string encodeRejectBody(const std::string &Reason,
+                             uint64_t RetryAfterMs);
+void decodeRejectBody(const std::string &Body, std::string &Reason,
+                      uint64_t &RetryAfterMs);
 
 /// `done` frame payload: terminal status of one request id.
 struct DoneInfo {

@@ -8,6 +8,8 @@
 #include "cache/TraceCache.h"
 #include "frontend/CaseStudies.h"
 #include "models/Models.h"
+#include "server/Net.h"
+#include "server/Transport.h"
 #include "support/Diag.h"
 #include "support/Wire.h"
 
@@ -51,39 +53,37 @@ struct Conn {
   /// Set as the reader thread exits; tells the accept loop this Conn can
   /// be joined, closed, and dropped from the connection table.
   std::atomic<bool> ReaderDone{false};
+  /// Instant of the last byte received from this peer, as seconds on the
+  /// steady clock; the half-open reaper compares silence against it.
+  std::atomic<double> LastRecvSec{0};
+  /// Requests accepted for this connection and not yet answered with a
+  /// done/rejected; the per-client quota and the half-open policy (a
+  /// silent peer with work in flight is waiting, not dead) both read it.
+  std::atomic<uint32_t> InFlight{0};
+  /// Connection-default request deadline from the hello (0 = none).
+  std::atomic<uint64_t> DefaultDeadlineMs{0};
   std::thread Reader;
 };
 
-bool sendAll(Conn &C, const std::string &Bytes) {
-  std::lock_guard<std::mutex> L(C.WriteMu);
-  if (!C.Open.load(std::memory_order_relaxed))
-    return false;
-  size_t Off = 0;
-  while (Off < Bytes.size()) {
-    ssize_t N = ::send(C.Fd, Bytes.data() + Off, Bytes.size() - Off,
-                       MSG_NOSIGNAL);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      C.Open.store(false, std::memory_order_relaxed);
-      return false;
-    }
-    Off += size_t(N);
-  }
-  return true;
-}
-
-bool sendFrame(Conn &C, FrameType T, const std::string &Payload) {
-  return sendAll(C, encodeFrame(Frame{T, Payload}));
-}
-
 /// A client waiting on a result: the connection plus the request id the
 /// result frames must carry, plus the enqueue instant for the done-frame
-/// latency field.
+/// latency field and the instant after which the client has given up.
 struct Waiter {
   std::shared_ptr<Conn> C;
   uint64_t ReqId = 0;
   Clock::time_point Enqueued;
+  bool HasDeadline = false;
+  Clock::time_point Deadline{};
+
+  bool expired(Clock::time_point Now) const {
+    return HasDeadline && Now >= Deadline;
+  }
+  /// Seconds of patience left; <0 when expired, a huge value when none.
+  double secondsLeft(Clock::time_point Now) const {
+    if (!HasDeadline)
+      return 1e18;
+    return std::chrono::duration<double>(Deadline - Now).count();
+  }
 };
 
 /// The in-flight group of one distinct trace key: every waiter attached
@@ -115,7 +115,7 @@ struct Server::Impl {
   ServerConfig Cfg;
   Clock::time_point StartedAt;
 
-  int ListenFd = -1;
+  Listener Lsn;
   std::atomic<bool> Running{false};
   std::atomic<bool> Draining{false};
   bool TornDown = false;
@@ -165,8 +165,38 @@ struct Server::Impl {
   std::mutex StudyMu;
 
   void bump(uint64_t ServerStats::*F, uint64_t N = 1) {
-    std::lock_guard<std::mutex> L(StatsMu);
+    std::lock_guard<std::mutex> SL(StatsMu);
     St.*F += N;
+  }
+
+  static double nowSec() {
+    return std::chrono::duration<double>(Clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// The one write path every server-side byte takes (PR 8): deadline-
+  /// bounded, EINTR/partial-write safe, SIGPIPE-free.  A timed-out or
+  /// failed send declares the connection dead and wakes its reader so the
+  /// accept loop reaps it — a stalled peer costs one WriteTimeoutSeconds
+  /// window, never a wedged worker or drain.
+  bool sendAll(Conn &C, const std::string &Bytes) {
+    std::lock_guard<std::mutex> WL(C.WriteMu);
+    if (!C.Open.load(std::memory_order_relaxed))
+      return false;
+    net::IoStatus S =
+        net::writeAll(C.Fd, Bytes.data(), Bytes.size(),
+                      net::Deadline::in(Cfg.WriteTimeoutSeconds));
+    if (S == net::IoStatus::Ok)
+      return true;
+    if (S == net::IoStatus::Timeout)
+      bump(&ServerStats::StalledWrites);
+    C.Open.store(false, std::memory_order_relaxed);
+    ::shutdown(C.Fd, SHUT_RDWR);
+    return false;
+  }
+
+  bool sendFrame(Conn &C, FrameType T, const std::string &Payload) {
+    return sendAll(C, encodeFrame(Frame{T, Payload}));
   }
 
   void touchActivity() {
@@ -200,18 +230,19 @@ struct Server::Impl {
 
   void acceptLoop() {
     while (!Draining.load(std::memory_order_relaxed)) {
-      pollfd P{ListenFd, POLLIN, 0};
+      pollfd P{Lsn.fd(), POLLIN, 0};
       int R = ::poll(&P, 1, 200);
       reapConns();
       if (R <= 0)
         continue;
-      int Fd = ::accept(ListenFd, nullptr, nullptr);
+      int Fd = Lsn.acceptOne();
       if (Fd < 0)
         continue;
       auto C = std::make_shared<Conn>();
       C->Fd = Fd;
+      C->LastRecvSec.store(nowSec(), std::memory_order_relaxed);
       {
-        std::lock_guard<std::mutex> L(ConnMu);
+        std::lock_guard<std::mutex> CL(ConnMu);
         C->Id = NextConnId++;
         Conns.push_back(C);
       }
@@ -244,20 +275,45 @@ struct Server::Impl {
   void readLoopInner(const std::shared_ptr<Conn> &C) {
     FrameReader FR;
     char Buf[64 * 1024];
+    Clock::time_point LastHbSent = Clock::now();
+    // Poll in short ticks rather than blocking in recv: each tick is a
+    // chance to heartbeat a waiting client and to notice a half-open peer,
+    // without a second thread per connection.
+    double Tick = 0.2;
+    if (Cfg.HeartbeatSeconds > 0 && Cfg.HeartbeatSeconds < Tick)
+      Tick = Cfg.HeartbeatSeconds;
     while (C->Open.load(std::memory_order_relaxed)) {
-      ssize_t N = ::recv(C->Fd, Buf, sizeof Buf, 0);
-      if (N < 0 && errno == EINTR)
+      size_t Got = 0;
+      net::IoStatus S =
+          net::readSome(C->Fd, Buf, sizeof Buf, net::Deadline::in(Tick), Got);
+      if (S == net::IoStatus::Timeout) {
+        if (Cfg.HeartbeatSeconds > 0 &&
+            C->InFlight.load(std::memory_order_relaxed) > 0 &&
+            secondsSince(LastHbSent) >= Cfg.HeartbeatSeconds) {
+          LastHbSent = Clock::now();
+          if (sendFrame(*C, FrameType::Heartbeat, ""))
+            bump(&ServerStats::HeartbeatsSent);
+        }
+        if (Cfg.HalfOpenReapSeconds > 0 &&
+            C->InFlight.load(std::memory_order_relaxed) == 0 &&
+            nowSec() - C->LastRecvSec.load(std::memory_order_relaxed) >
+                Cfg.HalfOpenReapSeconds) {
+          bump(&ServerStats::HalfOpenReaped);
+          return;
+        }
         continue;
-      if (N <= 0)
+      }
+      if (S != net::IoStatus::Ok)
         return;
-      FR.feed(Buf, size_t(N));
+      C->LastRecvSec.store(nowSec(), std::memory_order_relaxed);
+      FR.feed(Buf, Got);
       Frame F;
       std::string Err;
-      FrameReader::Status S;
-      while ((S = FR.next(F, &Err)) == FrameReader::Status::Frame)
+      FrameReader::Status FS;
+      while ((FS = FR.next(F, &Err)) == FrameReader::Status::Frame)
         if (!handleFrame(C, F))
           return;
-      if (S == FrameReader::Status::Malformed) {
+      if (FS == FrameReader::Status::Malformed) {
         bump(&ServerStats::Malformed);
         sendFrame(*C, FrameType::Error, "malformed frame: " + Err);
         return;
@@ -299,21 +355,26 @@ struct Server::Impl {
   bool handleFrame(const std::shared_ptr<Conn> &C, const Frame &F) {
     switch (F.Type) {
     case FrameType::Hello: {
-      support::wire::Cursor Cur(F.Payload);
-      uint64_t Ver = Cur.u64();
-      if (Cur.Fail || Ver != ProtocolVersion) {
+      HelloInfo H;
+      if (!decodeHello(F.Payload, H) || H.Version != ProtocolVersion) {
         sendFrame(*C, FrameType::Error,
-                  "unsupported protocol version " + std::to_string(Ver) +
+                  "unsupported protocol version " + std::to_string(H.Version) +
                       " (server speaks " + std::to_string(ProtocolVersion) +
                       ")");
         return false;
       }
+      C->DefaultDeadlineMs.store(H.DefaultDeadlineMs,
+                                 std::memory_order_relaxed);
       std::ostringstream OS;
       support::wire::putU64(OS, ProtocolVersion);
       support::wire::putU64(OS, uint64_t(::getpid()));
       support::wire::putStr(OS, "islarisd");
       return sendFrame(*C, FrameType::Welcome, OS.str());
     }
+    case FrameType::Heartbeat:
+      // Liveness only: the byte arrival already refreshed LastRecvSec.
+      bump(&ServerStats::HeartbeatsSeen);
+      return true;
     case FrameType::Ping:
       return sendFrame(*C, FrameType::Pong, "");
     case FrameType::Shutdown:
@@ -345,9 +406,26 @@ struct Server::Impl {
   // Admission.
   //===--------------------------------------------------------------------===//
 
+  /// Permanent rejection: the request itself is invalid, retrying is
+  /// pointless (retry-after 0).
   void reject(Conn &C, uint64_t Id, const std::string &Why) {
     bump(&ServerStats::Rejected);
-    sendFrame(C, FrameType::Rejected, encodeIdPayload(Id, Why));
+    sendFrame(C, FrameType::Rejected,
+              encodeIdPayload(Id, encodeRejectBody(Why, 0)));
+  }
+
+  /// Load shed: the request is fine, the server is not — carry a
+  /// retry-after hint scaled by queue pressure so a polite client comes
+  /// back when there is room.  Call with QMu NOT held.
+  void shed(Conn &C, uint64_t Id, const std::string &Why,
+            size_t QueuedNow) {
+    bump(&ServerStats::Rejected);
+    bump(&ServerStats::Shed);
+    uint64_t Base = Cfg.ShedRetryAfterMs ? Cfg.ShedRetryAfterMs : 100;
+    size_t Depth = Cfg.MaxQueueDepth ? Cfg.MaxQueueDepth : 1;
+    uint64_t Hint = Base + Base * uint64_t(QueuedNow) / uint64_t(Depth);
+    sendFrame(C, FrameType::Rejected,
+              encodeIdPayload(Id, encodeRejectBody(Why, Hint)));
   }
 
   void admit(const std::shared_ptr<Conn> &C, const Request &R) {
@@ -358,6 +436,33 @@ struct Server::Impl {
     }
 
     Waiter W{C, R.Id, Clock::now()};
+    uint64_t DeadlineMs = R.DeadlineMs
+                              ? R.DeadlineMs
+                              : C->DefaultDeadlineMs.load(
+                                    std::memory_order_relaxed);
+    if (DeadlineMs > 0) {
+      W.HasDeadline = true;
+      W.Deadline = W.Enqueued + std::chrono::milliseconds(DeadlineMs);
+    }
+
+    // Per-client quota: a connection flooding requests past its in-flight
+    // cap is shed before its work touches the queue, independently of the
+    // global bound — admission-tier isolation, not just fairness at pop.
+    if (Cfg.MaxInflightPerClient > 0 &&
+        C->InFlight.load(std::memory_order_relaxed) >=
+            Cfg.MaxInflightPerClient) {
+      size_t Q;
+      {
+        std::lock_guard<std::mutex> QL(QMu);
+        Q = TotalQueued;
+      }
+      shed(*C, R.Id,
+           "client quota exceeded (" +
+               std::to_string(Cfg.MaxInflightPerClient) + " in flight)",
+           Q);
+      return;
+    }
+
     auto J = std::make_shared<Job>();
     J->W = W;
 
@@ -418,13 +523,15 @@ struct Server::Impl {
       if (It != Inflight.end()) {
         It->second->Waiters.push_back(W);
         L.unlock();
+        C->InFlight.fetch_add(1, std::memory_order_relaxed);
         bump(&ServerStats::DedupFanout);
         sendFrame(*C, FrameType::Accepted, encodeIdPayload(R.Id, "dedup"));
         return;
       }
       if (TotalQueued >= Cfg.MaxQueueDepth) {
+        size_t Q = TotalQueued;
         L.unlock();
-        reject(*C, R.Id, "queue full");
+        shed(*C, R.Id, "queue full", Q);
         return;
       }
       J->K = Job::Kind::Trace;
@@ -433,6 +540,7 @@ struct Server::Impl {
       Queues[C->Id].push_back(J);
       ++TotalQueued;
       L.unlock();
+      C->InFlight.fetch_add(1, std::memory_order_relaxed);
       QCv.notify_one();
       sendFrame(*C, FrameType::Accepted, encodeIdPayload(R.Id, "queued"));
       return;
@@ -443,15 +551,38 @@ struct Server::Impl {
     std::unique_lock<std::mutex> L(QMu);
     touchActivity();
     if (TotalQueued >= Cfg.MaxQueueDepth) {
+      size_t Q = TotalQueued;
       L.unlock();
-      reject(*C, R.Id, "queue full");
+      shed(*C, R.Id, "queue full", Q);
       return;
     }
     Queues[C->Id].push_back(J);
     ++TotalQueued;
     L.unlock();
+    C->InFlight.fetch_add(1, std::memory_order_relaxed);
     QCv.notify_one();
     sendFrame(*C, FrameType::Accepted, encodeIdPayload(R.Id, "queued"));
+  }
+
+  /// One request id retired: the done (or deadline-expiry) frame is out,
+  /// the per-client quota slot frees up.
+  static void retire(Waiter &W) {
+    W.C->InFlight.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Tell a waiter its deadline passed before (or while) its work ran.
+  /// Status 2 = infrastructure, Source "deadline": the verdict was never
+  /// computed, so this can never be mistaken for a proof failure.
+  void expireWaiter(Waiter &W, const char *Why) {
+    bump(&ServerStats::DeadlineExpired);
+    DoneInfo D;
+    D.Id = W.ReqId;
+    D.Status = 2;
+    D.Source = "deadline";
+    D.Seconds = secondsSince(W.Enqueued);
+    D.Error = Why;
+    sendFrame(*W.C, FrameType::Done, encodeDone(D));
+    retire(W);
   }
 
   static bool validStudy(const std::string &S) {
@@ -521,6 +652,10 @@ struct Server::Impl {
         runStudyJob(*J);
         break;
       case Job::Kind::Stats: {
+        if (J->W.expired(Clock::now())) {
+          expireWaiter(J->W, "deadline expired in queue");
+          break;
+        }
         sendFrame(*J->W.C, FrameType::Stats,
                   encodeIdPayload(J->W.ReqId, renderStatsImpl()));
         DoneInfo D;
@@ -528,6 +663,7 @@ struct Server::Impl {
         D.Source = "stats";
         D.Seconds = secondsSince(J->W.Enqueued);
         sendFrame(*J->W.C, FrameType::Done, encodeDone(D));
+        retire(J->W);
         break;
       }
       }
@@ -548,6 +684,47 @@ struct Server::Impl {
     unsigned Attempts = 0;
     unsigned Status = 0;
 
+    // Pre-execution pruning: drop waiters that disconnected or timed out
+    // while the job sat in the queue.  When nobody live remains, retire
+    // the group without executing — work no one is waiting for costs queue
+    // time, never solver time.  Live deadlines also bound the execution:
+    // if every live waiter is bounded, the job watchdog is tightened to
+    // the most patient one (an unbounded waiter keeps the configured cap).
+    std::vector<Waiter> Expired;
+    bool Abandoned = false;
+    bool AllBounded = true;
+    double MaxLeft = 0;
+    {
+      std::lock_guard<std::mutex> QL(QMu);
+      Clock::time_point Now = Clock::now();
+      auto &Ws = G.Waiters;
+      for (auto It = Ws.begin(); It != Ws.end();) {
+        if (!It->C->Open.load(std::memory_order_relaxed)) {
+          retire(*It);
+          It = Ws.erase(It);
+        } else if (It->expired(Now)) {
+          Expired.push_back(*It);
+          It = Ws.erase(It);
+        } else {
+          if (!It->HasDeadline)
+            AllBounded = false;
+          else if (It->secondsLeft(Now) > MaxLeft)
+            MaxLeft = It->secondsLeft(Now);
+          ++It;
+        }
+      }
+      if (Ws.empty()) {
+        // Un-registering under the same lock the pruning ran under means
+        // no attacher can slip in between: attach goes through Inflight.
+        Inflight.erase(G.Key);
+        Abandoned = true;
+      }
+    }
+    for (Waiter &W : Expired)
+      expireWaiter(W, "deadline expired before execution");
+    if (Abandoned)
+      return;
+
     if (auto E = Cache->lookup(G.Key)) {
       Ok = true;
       EntryText = cache::TraceCache::serializeEntry(G.Key, *E);
@@ -560,6 +737,15 @@ struct Server::Impl {
       cache::DriverOptions DO;
       DO.JobTimeoutSeconds = Cfg.Limits.JobTimeoutSeconds;
       DO.MaxRetries = Cfg.Limits.JobRetries;
+      // Deadline propagation: the watchdog (a driver knob, not part of the
+      // fingerprinted ExecOptions — cache keys stay bit-identical) is
+      // tightened to the most patient live waiter, so execution nobody
+      // will wait out is cut off rather than run to the configured cap.
+      if (AllBounded) {
+        double Bound = MaxLeft < 0.05 ? 0.05 : MaxLeft;
+        if (DO.JobTimeoutSeconds <= 0 || Bound < DO.JobTimeoutSeconds)
+          DO.JobTimeoutSeconds = Bound;
+      }
       BD.setOptions(DO);
       cache::TraceJob TJ;
       TJ.Model = G.Model;
@@ -611,6 +797,7 @@ struct Server::Impl {
       D.Seconds = secondsSince(W.Enqueued);
       D.Error = Error;
       sendFrame(*W.C, FrameType::Done, encodeDone(D));
+      retire(W);
     }
   }
 
@@ -635,6 +822,10 @@ struct Server::Impl {
   }
 
   void runStudyJob(Job &J) {
+    if (J.W.expired(Clock::now())) {
+      expireWaiter(J.W, "deadline expired in queue");
+      return;
+    }
     // Studies consult the ambient stores the server installed at start;
     // the ambient protocol is per-process, so study execution is strictly
     // serialized even on a multi-worker server.
@@ -672,6 +863,7 @@ struct Server::Impl {
           break;
         }
     sendFrame(*J.W.C, FrameType::Done, encodeDone(D));
+    retire(J.W);
   }
 
   //===--------------------------------------------------------------------===//
@@ -709,17 +901,9 @@ struct Server::Impl {
   //===--------------------------------------------------------------------===//
 
   bool startImpl(std::string &Err) {
-    if (Cfg.SocketPath.empty()) {
-      Err = "empty socket path";
+    Endpoint E;
+    if (!parseEndpoint(Cfg.SocketPath, E, Err))
       return false;
-    }
-    sockaddr_un Addr{};
-    if (Cfg.SocketPath.size() >= sizeof Addr.sun_path) {
-      Err = "socket path too long for sockaddr_un (" +
-            std::to_string(Cfg.SocketPath.size()) + " bytes): " +
-            Cfg.SocketPath;
-      return false;
-    }
 
     cache::TraceCacheConfig TC;
     TC.MaxEntries = Cfg.CacheMaxEntries;
@@ -741,29 +925,11 @@ struct Server::Impl {
       cache::clearCleanShutdownMarker(SideCond->dir());
     }
 
-    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (ListenFd < 0) {
-      Err = std::string("socket(): ") + std::strerror(errno);
+    // Transport bind (PR 8): unix paths probe-connect before unlinking so
+    // a second daemon refuses to steal a live one's socket; TCP resolves
+    // host:port (port 0 ephemerally) — see server/Transport.cpp.
+    if (!Lsn.listenOn(E, Err))
       return false;
-    }
-    ::unlink(Cfg.SocketPath.c_str()); // stale socket from a dead daemon
-    Addr.sun_family = AF_UNIX;
-    std::memcpy(Addr.sun_path, Cfg.SocketPath.c_str(),
-                Cfg.SocketPath.size() + 1);
-    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) <
-        0) {
-      Err = "bind(" + Cfg.SocketPath + "): " + std::strerror(errno);
-      ::close(ListenFd);
-      ListenFd = -1;
-      return false;
-    }
-    if (::listen(ListenFd, 64) < 0) {
-      Err = std::string("listen(): ") + std::strerror(errno);
-      ::close(ListenFd);
-      ListenFd = -1;
-      ::unlink(Cfg.SocketPath.c_str());
-      return false;
-    }
 
     // Install the resident stores and guards as the process ambients for
     // the daemon's lifetime (study runners pick them up).
@@ -841,11 +1007,7 @@ struct Server::Impl {
       }
       Conns.clear();
     }
-    if (ListenFd >= 0) {
-      ::close(ListenFd);
-      ListenFd = -1;
-    }
-    ::unlink(Cfg.SocketPath.c_str());
+    Lsn.close(); // unlinks a unix socket path itself
 
     cache::setAmbientTraceCache(PrevCache);
     cache::setAmbientSideCondCache(PrevSide);
@@ -888,6 +1050,13 @@ struct Server::Impl {
        << ",\"dedup_fanout\":" << S.DedupFanout
        << ",\"rows_streamed\":" << S.RowsStreamed
        << ",\"idle_evictions\":" << S.IdleEvictions
+       << ",\"shed\":" << S.Shed
+       << ",\"deadline_expired\":" << S.DeadlineExpired
+       << ",\"heartbeats_sent\":" << S.HeartbeatsSent
+       << ",\"heartbeats_seen\":" << S.HeartbeatsSeen
+       << ",\"half_open_reaped\":" << S.HalfOpenReaped
+       << ",\"stalled_writes\":" << S.StalledWrites
+       << ",\"listen\":\"" << Lsn.local().str() << "\""
        << ",\"queue_depth\":" << Depth << ",\"active_jobs\":" << Active
        << ",\"trace_cache\":{\"hits\":" << CS.Hits
        << ",\"disk_hits\":" << CS.DiskHits << ",\"misses\":" << CS.Misses
@@ -924,6 +1093,8 @@ ServerStats Server::stats() const {
 }
 
 const std::string &Server::socketPath() const { return I->Cfg.SocketPath; }
+
+Endpoint Server::boundEndpoint() const { return I->Lsn.local(); }
 
 size_t Server::openConnections() const {
   std::lock_guard<std::mutex> L(I->ConnMu);

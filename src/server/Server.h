@@ -44,6 +44,7 @@
 #define ISLARIS_SERVER_SERVER_H
 
 #include "server/Protocol.h"
+#include "server/Transport.h"
 #include "support/Guard.h"
 
 #include <cstdint>
@@ -58,8 +59,10 @@ class SideCondStore;
 namespace islaris::server {
 
 struct ServerConfig {
-  /// Unix-domain socket path.  Keep it short: sockaddr_un caps paths at
-  /// ~107 bytes, so prefer /tmp/... over deep build trees.
+  /// Listen endpoint in the Transport grammar: a Unix socket path (keep it
+  /// short: sockaddr_un caps paths at ~107 bytes, so prefer /tmp/...) or a
+  /// TCP "host:port" (port 0 binds ephemerally; read the real port back
+  /// from Server::boundEndpoint()).
   std::string SocketPath;
   /// Worker threads executing requests (1 = strictly serial execution,
   /// which makes dedup and fairness tests deterministic).
@@ -84,6 +87,29 @@ struct ServerConfig {
   /// execution, giving dedup/fairness tests a deterministic window in
   /// which to race a second client against an in-flight request.
   double ExecDelaySeconds = 0;
+
+  //===--- Hostile-network hardening (PR 8) -------------------------------===//
+
+  /// Deadline on every socket write.  A peer that stops draining its
+  /// receive buffer stalls one send for at most this long, after which the
+  /// connection is declared dead — a worker, the heartbeat tick, and the
+  /// drain path can never wedge on a stalled peer.  0 = block forever
+  /// (pre-PR-8 behavior; do not use on untrusted networks).
+  double WriteTimeoutSeconds = 10;
+  /// Interval of server->client heartbeat frames on connections with
+  /// requests in flight, so a client waiting minutes for a cold execution
+  /// can tell a slow server from a dead one.  0 = off.
+  double HeartbeatSeconds = 5;
+  /// A connection that has sent no bytes for this long *and* has nothing
+  /// in flight is half-open (peer vanished without a FIN) and is reaped.
+  /// 0 = never reap.
+  double HalfOpenReapSeconds = 30;
+  /// Per-connection cap on requests queued or executing; past it requests
+  /// are shed with a retry-after hint.  0 = unlimited.
+  size_t MaxInflightPerClient = 0;
+  /// Base retry-after hint (milliseconds) carried by load-shed
+  /// rejections; scaled up with queue pressure.
+  uint64_t ShedRetryAfterMs = 100;
 };
 
 /// Monotonic counters; readable while the server runs.
@@ -100,6 +126,14 @@ struct ServerStats {
   uint64_t DedupFanout = 0;   ///< Requests attached to an in-flight group.
   uint64_t RowsStreamed = 0;  ///< Case-study rows streamed to clients.
   uint64_t IdleEvictions = 0; ///< Hot-set drops by the idle timer.
+  uint64_t Shed = 0;          ///< Load-shed rejections (queue/quota), a
+                              ///< subset of Rejected; carried retry-after.
+  uint64_t DeadlineExpired = 0; ///< Requests abandoned (or never started)
+                                ///< because every waiter's deadline passed.
+  uint64_t HeartbeatsSent = 0;  ///< Server->client heartbeat frames.
+  uint64_t HeartbeatsSeen = 0;  ///< Client->server heartbeat frames.
+  uint64_t HalfOpenReaped = 0;  ///< Connections reaped for silence.
+  uint64_t StalledWrites = 0;   ///< Sends abandoned at WriteTimeoutSeconds.
 };
 
 /// The resident verification server.  start() spawns the listener and
@@ -129,6 +163,10 @@ public:
   bool running() const;
   ServerStats stats() const;
   const std::string &socketPath() const;
+
+  /// The endpoint actually bound (valid between start() and wait()); for
+  /// TCP with port 0 this carries the kernel-assigned port.
+  Endpoint boundEndpoint() const;
 
   /// Connections currently held in the table (accepted and not yet
   /// reaped); exposed so tests can assert disconnected clients are

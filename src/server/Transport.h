@@ -1,0 +1,106 @@
+//===- server/Transport.h - Listener/endpoint abstraction -------*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport layer under the islarisd frame protocol: one Endpoint
+/// grammar and one Listener type covering both address families, so the
+/// server, the client, the chaos proxy, and the tools all speak
+///
+///   /path/to/daemon.sock        AF_UNIX stream socket
+///   host:port                   TCP (SO_REUSEADDR; TCP_NODELAY per
+///                               connection — frames are small and
+///                               latency-sensitive, Nagle only hurts)
+///
+/// and the frame protocol above never learns which one carried it.  A TCP
+/// port of 0 binds ephemerally and local() reports the kernel-assigned
+/// port, which is how the tests and the chaos proxy avoid fixed-port
+/// collisions.
+///
+/// Unix-path binding is probe-first (PR 8): a path that already holds a
+/// *live* daemon is refused instead of silently unlink()ed out from under
+/// it — the historical unconditional unlink let a second islarisd orphan a
+/// running daemon's socket, stranding its clients.  Only a socket nobody
+/// answers (a previous daemon died without cleanup) is considered stale
+/// and reclaimed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SERVER_TRANSPORT_H
+#define ISLARIS_SERVER_TRANSPORT_H
+
+#include <cstdint>
+#include <string>
+
+namespace islaris::server {
+
+struct Endpoint {
+  enum class Kind : uint8_t { Unix, Tcp } K = Kind::Unix;
+  std::string Path;    ///< Unix: socket path.
+  std::string Host;    ///< Tcp: numeric or resolvable host.
+  uint16_t Port = 0;   ///< Tcp: 0 = bind ephemeral.
+
+  /// Renders back to the spec grammar ("path" or "host:port").
+  std::string str() const;
+};
+
+/// Parses the endpoint grammar above.  "host:port" with an all-digit port
+/// in [0, 65535] is TCP; everything else (and anything starting with '/'
+/// or '.') is a Unix path.  False with \p Err set on an empty spec or an
+/// out-of-range port.
+bool parseEndpoint(const std::string &Spec, Endpoint &Out, std::string &Err);
+
+/// True when a Unix socket at \p Path has a live listener: probe-connect
+/// and see whether anyone accepts.  ECONNREFUSED (or a missing/non-socket
+/// file) means stale.
+bool unixSocketAlive(const std::string &Path);
+
+/// One bound, listening socket of either family.
+class Listener {
+public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(const Listener &) = delete;
+  Listener &operator=(const Listener &) = delete;
+
+  /// Binds and listens on \p E.  For Unix endpoints, refuses a path with a
+  /// live daemon (probe-first) and reclaims a stale one.  For TCP, sets
+  /// SO_REUSEADDR and resolves the actual port into local().
+  bool listenOn(const Endpoint &E, std::string &Err);
+
+  /// Accepts one connection; -1 when none is pending or on error.  TCP
+  /// connections get TCP_NODELAY.
+  int acceptOne();
+
+  /// Closes the listening socket (and unlinks an owned Unix path).
+  void close();
+
+  int fd() const { return Fd; }
+  bool listening() const { return Fd >= 0; }
+
+  /// The bound endpoint with the real port filled in (TCP port 0 resolves
+  /// to the kernel-assigned one).
+  const Endpoint &local() const { return Local; }
+
+private:
+  int Fd = -1;
+  Endpoint Local;
+  bool OwnsUnixPath = false;
+};
+
+/// Connects to \p E, TCP_NODELAY applied for TCP, bounded by
+/// \p TimeoutSeconds (<= 0 = the OS default).  Returns the fd or -1 with
+/// \p Err set.
+int connectEndpoint(const Endpoint &E, double TimeoutSeconds,
+                    std::string &Err);
+
+/// parse + connect in one step for callers holding a spec string.
+int connectSpec(const std::string &Spec, double TimeoutSeconds,
+                std::string &Err);
+
+} // namespace islaris::server
+
+#endif // ISLARIS_SERVER_TRANSPORT_H

@@ -1,0 +1,29 @@
+//===- support/Backoff.cpp - Capped exponential retry backoff ------------------===//
+
+#include "support/Backoff.h"
+
+using namespace islaris::support;
+
+double Backoff::nextUnit() {
+  State += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  Z ^= Z >> 31;
+  return double(Z >> 11) * (1.0 / 9007199254740992.0); // 53-bit mantissa
+}
+
+double Backoff::next() {
+  double Nominal = Base;
+  for (unsigned I = 0; I < Attempt && Nominal < Cap; ++I)
+    Nominal *= 2;
+  if (Nominal > Cap)
+    Nominal = Cap;
+  ++Attempt;
+  return Nominal * (0.5 + 0.5 * nextUnit());
+}
+
+double Backoff::next(double RetryAfterSeconds) {
+  double D = next();
+  return D < RetryAfterSeconds ? RetryAfterSeconds : D;
+}

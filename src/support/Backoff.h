@@ -1,0 +1,67 @@
+//===- support/Backoff.h - Capped exponential retry backoff -----*- C++ -*-===//
+//
+// Part of Islaris-CPP (PLDI 2022 "Islaris" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The retry-pacing policy shared by the islarisd client, the CLI, and the
+/// benchmarks: capped exponential backoff with *deterministic* seeded
+/// jitter, in the same spirit as the FaultInjector — a run with a fixed
+/// seed retries at exactly the same instants every time, so a flaky
+/// network test is reproducible from its logged seed.
+///
+/// The delay for attempt k (0-based) is
+///
+///   min(Cap, Base * 2^k) * jitter,   jitter in [1/2, 1)
+///
+/// the classic "equal jitter" shape: enough spread to de-synchronize a
+/// fleet of clients retrying the same shed, never less than half the
+/// nominal delay so pressure provably decays.  A server-supplied
+/// retry-after hint overrides the computed delay when it is larger —
+/// the server knows its own queue better than the client's exponent does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISLARIS_SUPPORT_BACKOFF_H
+#define ISLARIS_SUPPORT_BACKOFF_H
+
+#include <cstdint>
+
+namespace islaris::support {
+
+class Backoff {
+public:
+  /// \p BaseSeconds first-retry delay, \p CapSeconds ceiling on the
+  /// exponential, \p Seed for the jitter stream.
+  Backoff(double BaseSeconds, double CapSeconds, uint64_t Seed)
+      : Base(BaseSeconds), Cap(CapSeconds), State(Seed ? Seed : 1) {}
+
+  /// The delay (seconds) to sleep before the next attempt; advances the
+  /// attempt counter and the jitter stream.
+  double next();
+
+  /// next(), but honoring a server retry-after hint: the result is at
+  /// least \p RetryAfterSeconds (the hint still consumes the attempt, so
+  /// repeated sheds keep escalating).
+  double next(double RetryAfterSeconds);
+
+  /// Restarts the exponent (a success ends the incident); the jitter
+  /// stream keeps advancing so later incidents see fresh jitter.
+  void reset() { Attempt = 0; }
+
+  unsigned attempt() const { return Attempt; }
+
+private:
+  double Base, Cap;
+  uint64_t State;
+  unsigned Attempt = 0;
+
+  /// splitmix64: the same tiny deterministic generator the FaultInjector
+  /// family uses; uniform in [0, 1).
+  double nextUnit();
+};
+
+} // namespace islaris::support
+
+#endif // ISLARIS_SUPPORT_BACKOFF_H

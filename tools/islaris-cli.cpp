@@ -2,12 +2,19 @@
 //
 // Thin client over server::Client:
 //
-//   islaris-cli --socket PATH ping
-//   islaris-cli --socket PATH stats
-//   islaris-cli --socket PATH study NAME|suite
-//   islaris-cli --socket PATH trace ARCH OPCODE-HEX [--sym-mask HEX]
+//   islaris-cli --socket ENDPOINT ping
+//   islaris-cli --socket ENDPOINT stats
+//   islaris-cli --socket ENDPOINT study NAME|suite
+//   islaris-cli --socket ENDPOINT trace ARCH OPCODE-HEX [--sym-mask HEX]
 //               [--assume BASE[.FIELD]=WIDTH:VALUE]...
-//   islaris-cli --socket PATH shutdown
+//   islaris-cli --socket ENDPOINT shutdown
+//
+// ENDPOINT is a Unix socket path or a TCP "host:port".  Retry knobs:
+// --deadline-ms N bounds each command end to end (and travels to the
+// server), --retries N caps attempts, --retry-seed N fixes the backoff
+// jitter stream so chaos runs replay, --quiet-retries hides retry noise.
+// Sheds and transient transport failures are retried transparently; the
+// exit code reflects only the final outcome.
 //
 // Exit codes follow the suite convention: 0 verified/ok, 1 proof failure,
 // 2 infrastructure error (connection failure, rejection, malformed reply).
@@ -29,7 +36,9 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: islaris-cli --socket PATH COMMAND\n"
+      "usage: islaris-cli --socket ENDPOINT [--deadline-ms N]\n"
+      "                   [--retries N] [--retry-seed N] COMMAND\n"
+      "  ENDPOINT: unix socket path or TCP host:port\n"
       "commands:\n"
       "  ping                          round-trip liveness check\n"
       "  stats                         print the server's stats JSON\n"
@@ -63,21 +72,33 @@ bool parseAssume(const std::string &S, server::TraceRequest::Assume &Out) {
 
 int main(int argc, char **argv) {
   std::string Socket;
+  server::ClientOptions Opt;
+  Opt.Name = "islaris-cli";
   std::vector<std::string> Args;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
-    if (A == "--socket") {
-      if (I + 1 >= argc)
-        return usage();
-      Socket = argv[++I];
-    } else {
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "islaris-cli: %s needs a value\n", A.c_str());
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (A == "--socket")
+      Socket = Next();
+    else if (A == "--deadline-ms")
+      Opt.DeadlineMs = std::strtoull(Next(), nullptr, 10);
+    else if (A == "--retries")
+      Opt.MaxAttempts = unsigned(std::atoi(Next()));
+    else if (A == "--retry-seed")
+      Opt.Seed = std::strtoull(Next(), nullptr, 10);
+    else
       Args.push_back(A);
-    }
   }
   if (Socket.empty() || Args.empty())
     return usage();
 
-  server::Client C;
+  server::Client C(Opt);
   std::string Err;
   if (!C.connect(Socket, Err)) {
     std::fprintf(stderr, "islaris-cli: %s\n", Err.c_str());
@@ -135,8 +156,16 @@ int main(int argc, char **argv) {
                    R.RejectReason.c_str());
       return 2;
     }
+    server::ClientNetStats NS = C.netStats();
     std::printf("islaris-cli: %zu row(s), status %u, %.3fs server time\n",
                 R.Rows.size(), R.Done.Status, R.Done.Seconds);
+    if (NS.Retries || NS.Sheds)
+      std::fprintf(stderr,
+                   "islaris-cli: net retries=%llu sheds=%llu "
+                   "reconnects=%llu\n",
+                   (unsigned long long)NS.Retries,
+                   (unsigned long long)NS.Sheds,
+                   (unsigned long long)NS.Reconnects);
     return int(R.Done.Status);
   }
 
@@ -177,10 +206,14 @@ int main(int argc, char **argv) {
       return int(R.Done.Status ? R.Done.Status : 2);
     }
     std::printf("%s", R.EntryText.c_str());
+    server::ClientNetStats NS = C.netStats();
     std::fprintf(stderr,
-                 "islaris-cli: %s result in %.3fs (attempts %llu)\n",
+                 "islaris-cli: %s result in %.3fs (attempts %llu, "
+                 "net retries %llu, sheds %llu)\n",
                  R.Done.Source.c_str(), R.Done.Seconds,
-                 (unsigned long long)R.Done.Attempts);
+                 (unsigned long long)R.Done.Attempts,
+                 (unsigned long long)NS.Retries,
+                 (unsigned long long)NS.Sheds);
     return 0;
   }
 

@@ -4,12 +4,15 @@
 // drain (SIGINT/SIGTERM or a client `shutdown` frame), exit 0 on a clean
 // drain.
 //
-//   islarisd --socket /tmp/islaris.sock [--workers N] [--queue-depth N]
+//   islarisd --socket /tmp/islaris.sock | --listen host:port
+//            [--workers N] [--queue-depth N] [--max-inflight N]
 //            [--idle-evict SECONDS] [--cache-dir DIR] [--no-persist]
 //            [--job-timeout SECONDS] [--exec-delay SECONDS]
+//            [--write-timeout S] [--heartbeat S] [--half-open-reap S]
 //
-// Prints "islarisd: listening on <path>" once the socket is live, so
-// harnesses (CI, tests) can wait for readiness by watching stdout.
+// Prints "islarisd: listening on <endpoint>" once the socket is live (for
+// TCP port 0, with the kernel-assigned port), so harnesses (CI, tests)
+// can wait for readiness and learn the port by watching stdout.
 //
 //===----------------------------------------------------------------------===//
 
@@ -46,9 +49,11 @@ void onSignal(int) {
 int usage(const char *Argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --socket PATH [--workers N] [--queue-depth N]\n"
-      "          [--idle-evict SECONDS] [--cache-dir DIR] [--no-persist]\n"
-      "          [--job-timeout SECONDS] [--exec-delay SECONDS]\n",
+      "usage: %s (--socket PATH | --listen HOST:PORT) [--workers N]\n"
+      "          [--queue-depth N] [--max-inflight N] [--idle-evict S]\n"
+      "          [--cache-dir DIR] [--no-persist] [--job-timeout S]\n"
+      "          [--exec-delay S] [--write-timeout S] [--heartbeat S]\n"
+      "          [--half-open-reap S]\n",
       Argv0);
   return 2;
 }
@@ -70,6 +75,16 @@ int main(int argc, char **argv) {
     };
     if (A == "--socket")
       Cfg.SocketPath = Next("--socket");
+    else if (A == "--listen")
+      Cfg.SocketPath = Next("--listen"); // same endpoint grammar
+    else if (A == "--max-inflight")
+      Cfg.MaxInflightPerClient = size_t(std::atoll(Next("--max-inflight")));
+    else if (A == "--write-timeout")
+      Cfg.WriteTimeoutSeconds = std::atof(Next("--write-timeout"));
+    else if (A == "--heartbeat")
+      Cfg.HeartbeatSeconds = std::atof(Next("--heartbeat"));
+    else if (A == "--half-open-reap")
+      Cfg.HalfOpenReapSeconds = std::atof(Next("--half-open-reap"));
     else if (A == "--workers")
       Cfg.Workers = unsigned(std::atoi(Next("--workers")));
     else if (A == "--queue-depth")
@@ -117,7 +132,8 @@ int main(int argc, char **argv) {
     }
   });
 
-  std::printf("islarisd: listening on %s\n", Cfg.SocketPath.c_str());
+  std::printf("islarisd: listening on %s\n",
+              S.boundEndpoint().str().c_str());
   std::fflush(stdout);
 
   S.wait();
@@ -125,11 +141,15 @@ int main(int argc, char **argv) {
 
   server::ServerStats St = S.stats();
   std::printf("islarisd: drained (%llu requests, %llu executed, "
-              "%llu warm hits, %llu deduped, %llu rejected)\n",
+              "%llu warm hits, %llu deduped, %llu rejected, "
+              "%llu shed, %llu deadline-expired, %llu half-open reaped)\n",
               (unsigned long long)St.Requests,
               (unsigned long long)St.Executed,
               (unsigned long long)St.WarmHits,
               (unsigned long long)St.DedupFanout,
-              (unsigned long long)St.Rejected);
+              (unsigned long long)St.Rejected,
+              (unsigned long long)St.Shed,
+              (unsigned long long)St.DeadlineExpired,
+              (unsigned long long)St.HalfOpenReaped);
   return 0;
 }

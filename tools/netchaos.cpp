@@ -1,0 +1,122 @@
+//===- tools/netchaos.cpp - Fault-injecting proxy for islarisd -----------------===//
+//
+// Standalone wrapper over server::ChaosProxy: sit between islarisd clients
+// and a daemon and mangle the byte stream deterministically.
+//
+//   netchaos --listen ENDPOINT --upstream ENDPOINT [--seed N]
+//            [--delay P] [--delay-max-ms MS] [--split P] [--corrupt P]
+//            [--drop P] [--reset P]
+//
+// Flags default from the environment (ISLARIS_FAULT_SEED, ISLARIS_NETCHAOS
+// — the FaultInjector convention) and override it.  Prints
+// "netchaos: listening on <endpoint> (seed N)" once live, echoing the seed
+// so a failing chaos run is replayable from its log, then runs until
+// SIGINT/SIGTERM, printing injection counters on the way out.
+//
+// The CI netchaos job kills this process mid-stream on purpose: everything
+// downstream must see resets, not hangs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ChaosProxy.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+using namespace islaris;
+
+namespace {
+
+std::atomic<bool> Stop{false};
+
+void onSignal(int) { Stop.store(true, std::memory_order_relaxed); }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: netchaos --listen ENDPOINT --upstream ENDPOINT [--seed N]\n"
+      "                [--delay P] [--delay-max-ms MS] [--split P]\n"
+      "                [--corrupt P] [--drop P] [--reset P]\n"
+      "  ENDPOINT: unix socket path or TCP host:port (port 0 = ephemeral)\n"
+      "  defaults come from ISLARIS_FAULT_SEED / ISLARIS_NETCHAOS\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  server::ChaosConfig Cfg = server::ChaosConfig::fromEnv();
+  std::string Listen, Upstream;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "netchaos: %s needs a value\n", A.c_str());
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (A == "--listen")
+      Listen = Next();
+    else if (A == "--upstream")
+      Upstream = Next();
+    else if (A == "--seed")
+      Cfg.Seed = std::strtoull(Next(), nullptr, 10);
+    else if (A == "--delay")
+      Cfg.DelayProb = std::atof(Next());
+    else if (A == "--delay-max-ms")
+      Cfg.DelayMaxMs = std::atof(Next());
+    else if (A == "--split")
+      Cfg.SplitProb = std::atof(Next());
+    else if (A == "--corrupt")
+      Cfg.CorruptProb = std::atof(Next());
+    else if (A == "--drop")
+      Cfg.DropProb = std::atof(Next());
+    else if (A == "--reset")
+      Cfg.ResetProb = std::atof(Next());
+    else if (A == "--help" || A == "-h")
+      return usage();
+    else {
+      std::fprintf(stderr, "netchaos: unknown flag %s\n", A.c_str());
+      return usage();
+    }
+  }
+  if (Listen.empty() || Upstream.empty())
+    return usage();
+
+  server::ChaosProxy P(Cfg);
+  std::string Err;
+  if (!P.start(Listen, Upstream, Err)) {
+    std::fprintf(stderr, "netchaos: %s\n", Err.c_str());
+    return 2;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  std::printf("netchaos: listening on %s (seed %llu)\n",
+              P.boundEndpoint().str().c_str(),
+              (unsigned long long)Cfg.Seed);
+  std::fflush(stdout);
+
+  while (!Stop.load(std::memory_order_relaxed))
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  P.stop();
+  server::ChaosStats St = P.stats();
+  std::printf("netchaos: done (%llu conns, %llu bytes, delays %llu, "
+              "splits %llu, corruptions %llu, drops %llu, resets %llu)\n",
+              (unsigned long long)St.Connections,
+              (unsigned long long)St.BytesForwarded,
+              (unsigned long long)St.Delays, (unsigned long long)St.Splits,
+              (unsigned long long)St.Corruptions,
+              (unsigned long long)St.Drops, (unsigned long long)St.Resets);
+  return 0;
+}
