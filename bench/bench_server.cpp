@@ -14,19 +14,28 @@
 //   lossy phase — the warm keys again, but over TCP through a fixed-seed
 //                 chaos proxy (splits, delays, corruption, resets): what
 //                 the retry/backoff client costs on a hostile network.
+//   failover    — the warm keys from 8 clients spread across a 3-daemon
+//                 fleet sharing the store; one daemon is drained and a
+//                 second hot-reloads its models mid-run: what losing a
+//                 daemon costs the fleet's latency tail.
+//   degraded    — fresh keys against a daemon whose store publishes fail
+//                 (injected disk-full): the throughput of cache-off
+//                 degraded mode, which must be a slowdown, not an outage.
 //
 // Emits BENCH_server.json with throughput and p50/p95/p99 latency per
 // phase (plus the lossy phase's retry/shed/deadline counters), and
 // self-checks the headline claims: warm p50 latency at least 10x below
 // cold p50 (the resident state is what a short-lived batch process cannot
-// keep), and zero failed requests even on the lossy wire (injected faults
-// end as retries, never wrong results).
+// keep), and zero failed requests even on the lossy wire, across the
+// daemon kill, and in degraded mode (faults end as retries or slower
+// service, never wrong results).
 //
 //===----------------------------------------------------------------------===//
 
 #include "server/ChaosProxy.h"
 #include "server/Client.h"
 #include "server/Server.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <atomic>
@@ -34,6 +43,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -282,9 +292,197 @@ int main() {
     LossyChaos = P.stats();
   }
 
+  // The single daemon's work is done; the remaining phases run against a
+  // fleet of their own.  (Collect its counters before the drain.)
   server::ServerStats St = S.stats();
   S.requestShutdown();
   S.wait();
+
+  // --- Failover phase: the warm keys again from 8 clients, but spread
+  // over a 3-daemon fleet sharing the store, each client carrying the
+  // full endpoint list.  A third of the way in, one daemon is drained
+  // out from under its clients; two thirds in, a second daemon
+  // hot-reloads its models.  Both events must cost latency, not
+  // requests.  (Trace requests only: in-process servers share ambient
+  // per-process state that separate daemon processes would not.)
+  constexpr unsigned FailoverRequests = 600;
+  constexpr unsigned FailoverThreads = 8;
+  constexpr unsigned FleetSize = 3;
+  constexpr unsigned DegradedRequests = 24;
+  constexpr unsigned DegradedThreads = 4;
+  Phase Failover;
+  std::vector<double> PostKillLat;
+  server::ClientNetStats FailNet;
+  uint64_t ReloadGeneration = 0;
+  uint64_t FleetExecuted = 0, FleetWarmHits = 0;
+  Phase Degraded;
+  uint64_t DegradedEntered = 0, DegradedHealed = 0, DegradedPublishFails = 0;
+  {
+    std::vector<std::string> FSock;
+    std::vector<std::unique_ptr<server::Server>> FleetD;
+    for (unsigned D = 0; D < FleetSize; ++D) {
+      server::ServerConfig FC;
+      FC.SocketPath = Root + "/f" + std::to_string(D) + ".sock";
+      FC.Workers = 2;
+      FC.MaxQueueDepth = 1u << 14;
+      FC.CacheDir = Root + "/cache"; // shared: the fleet serves one store
+      FC.DegradedProbeSeconds = 0.2; // so the degraded phase can self-heal
+      FSock.push_back(FC.SocketPath);
+      FleetD.emplace_back(new server::Server(FC));
+      if (!FleetD.back()->start(Err)) {
+        std::fprintf(stderr, "bench_server: fleet daemon %u: %s\n", D,
+                     Err.c_str());
+        return 2;
+      }
+    }
+
+    std::vector<std::vector<double>> PreLat(FailoverThreads);
+    std::vector<std::vector<double>> PostLat(FailoverThreads);
+    std::vector<unsigned> Fail(FailoverThreads, 0);
+    std::vector<server::ClientNetStats> NetPer(FailoverThreads);
+    std::atomic<unsigned> Next{0};
+    std::atomic<bool> Killed{false};
+    Clock::time_point T0 = Clock::now();
+    std::vector<std::thread> Ts;
+    for (unsigned W = 0; W < FailoverThreads; ++W)
+      Ts.emplace_back([&, W] {
+        server::ClientOptions CO;
+        CO.Name = "bench-failover";
+        CO.MaxAttempts = 25;
+        CO.BackoffBaseSeconds = 0.01;
+        CO.BackoffCapSeconds = 0.2;
+        CO.ConnectTimeoutSeconds = 2;
+        CO.SilenceTimeoutSeconds = 5;
+        CO.HeartbeatSeconds = 0.5;
+        CO.Seed = 7 + W;
+        server::Client C(CO);
+        // Rotate each thread's starting daemon so the load (and the kill)
+        // spreads across the ring.
+        std::string Eps = FSock[W % FleetSize] + "," +
+                          FSock[(W + 1) % FleetSize] + "," +
+                          FSock[(W + 2) % FleetSize];
+        std::string E;
+        if (!C.connect(Eps, E)) {
+          ++Fail[W];
+          return;
+        }
+        while (true) {
+          unsigned I = Next.fetch_add(1, std::memory_order_relaxed);
+          if (I >= FailoverRequests)
+            break;
+          bool Post = Killed.load(std::memory_order_relaxed);
+          Clock::time_point R0 = Clock::now();
+          server::Client::TraceResult R;
+          if (!C.runTrace(requestFor(I % Keys), R, E) || !R.Ok)
+            ++Fail[W];
+          (Post ? PostLat : PreLat)[W].push_back(msSince(R0));
+        }
+        NetPer[W] = C.netStats();
+      });
+
+    // Controller: drain daemon 0 a third of the way in, hot-reload
+    // daemon 1 two thirds in.
+    while (Next.load(std::memory_order_relaxed) < FailoverRequests / 3)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    FleetD[0]->requestShutdown();
+    Killed.store(true, std::memory_order_relaxed);
+    FleetD[0]->wait();
+    while (Next.load(std::memory_order_relaxed) < 2 * FailoverRequests / 3)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::string RErr;
+    if (!FleetD[1]->reloadModels(RErr))
+      std::fprintf(stderr, "bench_server: mid-run reload: %s\n",
+                   RErr.c_str());
+
+    for (std::thread &T : Ts)
+      T.join();
+    Failover.WallSeconds = msSince(T0) / 1e3;
+    for (unsigned W = 0; W < FailoverThreads; ++W) {
+      Failover.LatMs.insert(Failover.LatMs.end(), PreLat[W].begin(),
+                            PreLat[W].end());
+      Failover.LatMs.insert(Failover.LatMs.end(), PostLat[W].begin(),
+                            PostLat[W].end());
+      PostKillLat.insert(PostKillLat.end(), PostLat[W].begin(),
+                         PostLat[W].end());
+      Failover.Failures += Fail[W];
+      FailNet.Retries += NetPer[W].Retries;
+      FailNet.Sheds += NetPer[W].Sheds;
+      FailNet.Reconnects += NetPer[W].Reconnects;
+      FailNet.DialsRefused += NetPer[W].DialsRefused;
+      FailNet.DialsTimedOut += NetPer[W].DialsTimedOut;
+      FailNet.EndpointRotations += NetPer[W].EndpointRotations;
+    }
+    ReloadGeneration = FleetD[1]->healthSnapshot().Generation;
+
+    // --- Degraded phase: fresh keys (never-seen immediates, so every
+    // request is a real execution that wants to publish) against the
+    // surviving daemon 2 while every store write fails with an injected
+    // disk-full.  The first failed publish flips it into cache-off
+    // degraded mode; throughput from there is what a daemon on a full
+    // disk still delivers.  Disarming the injector lets the self-heal
+    // probe bring the store back.
+    {
+      support::FaultInjector FI(7);
+      FI.setRate(support::FaultSite::DiskFull, 1.0);
+      support::FaultInjector::setActive(&FI);
+
+      std::vector<std::vector<double>> PerThread(DegradedThreads);
+      std::vector<unsigned> DFail(DegradedThreads, 0);
+      std::atomic<unsigned> DNext{0};
+      Clock::time_point T1 = Clock::now();
+      std::vector<std::thread> DTs;
+      for (unsigned W = 0; W < DegradedThreads; ++W)
+        DTs.emplace_back([&, W] {
+          server::Client C;
+          std::string E;
+          if (!C.connect(FSock[2], E)) {
+            ++DFail[W];
+            return;
+          }
+          while (true) {
+            unsigned I = DNext.fetch_add(1, std::memory_order_relaxed);
+            if (I >= DegradedRequests)
+              break;
+            Clock::time_point R0 = Clock::now();
+            server::Client::TraceResult R;
+            // 0x400+: outside both the key range and the warmup immediate.
+            if (!C.runTrace(requestFor(0x400u + I), R, E) || !R.Ok)
+              ++DFail[W];
+            PerThread[W].push_back(msSince(R0));
+          }
+        });
+      for (std::thread &T : DTs)
+        T.join();
+      Degraded.WallSeconds = msSince(T1) / 1e3;
+      for (unsigned W = 0; W < DegradedThreads; ++W) {
+        Degraded.LatMs.insert(Degraded.LatMs.end(), PerThread[W].begin(),
+                              PerThread[W].end());
+        Degraded.Failures += DFail[W];
+      }
+
+      // Disarm and give the self-heal probe a moment to notice.
+      FI.setRate(support::FaultSite::DiskFull, 0.0);
+      Clock::time_point H0 = Clock::now();
+      while (FleetD[2]->healthSnapshot().DegradedFlags != 0 &&
+             msSince(H0) < 5000)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      support::FaultInjector::setActive(nullptr);
+    }
+
+    for (unsigned D = 1; D < FleetSize; ++D) {
+      server::ServerStats FS = FleetD[D]->stats();
+      FleetExecuted += FS.Executed;
+      FleetWarmHits += FS.WarmHits;
+      DegradedEntered += FS.DegradedEntered;
+      DegradedHealed += FS.DegradedHealed;
+      DegradedPublishFails += FS.PublishFailures;
+      FleetD[D]->requestShutdown();
+      FleetD[D]->wait();
+    }
+    server::ServerStats F0 = FleetD[0]->stats();
+    FleetExecuted += F0.Executed;
+    FleetWarmHits += F0.WarmHits;
+  }
 
   double ColdP50 = pct(Cold.LatMs, 0.50), ColdP95 = pct(Cold.LatMs, 0.95),
          ColdP99 = pct(Cold.LatMs, 0.99);
@@ -295,6 +493,15 @@ int main() {
   double FleetRps = double(Fleet.LatMs.size()) / Fleet.WallSeconds;
   double LossyP50 = pct(Lossy.LatMs, 0.50), LossyP95 = pct(Lossy.LatMs, 0.95),
          LossyP99 = pct(Lossy.LatMs, 0.99);
+  double FailP50 = pct(Failover.LatMs, 0.50),
+         FailP95 = pct(Failover.LatMs, 0.95),
+         FailP99 = pct(Failover.LatMs, 0.99);
+  double PostKillP50 = pct(PostKillLat, 0.50),
+         PostKillP95 = pct(PostKillLat, 0.95);
+  double DegrP50 = pct(Degraded.LatMs, 0.50),
+         DegrP95 = pct(Degraded.LatMs, 0.95),
+         DegrP99 = pct(Degraded.LatMs, 0.99);
+  double DegrRps = double(Degraded.LatMs.size()) / Degraded.WallSeconds;
 
   std::printf("phase |     n | threads |   p50 ms |   p95 ms |   p99 ms |  req/s\n");
   std::printf("--------------------------------------------------------------------\n");
@@ -307,9 +514,15 @@ int main() {
   std::printf("fleet | %5zu | %7u | %8.3f | %8.3f | %8.3f | %6.0f\n",
               Fleet.LatMs.size(), ClientThreads, FleetP50, FleetP95, FleetP99,
               FleetRps);
-  std::printf("lossy | %5zu | %7u | %8.3f | %8.3f | %8.3f | %6.0f\n\n",
+  std::printf("lossy | %5zu | %7u | %8.3f | %8.3f | %8.3f | %6.0f\n",
               Lossy.LatMs.size(), LossyThreads, LossyP50, LossyP95, LossyP99,
               double(Lossy.LatMs.size()) / Lossy.WallSeconds);
+  std::printf("failov| %5zu | %7u | %8.3f | %8.3f | %8.3f | %6.0f\n",
+              Failover.LatMs.size(), FailoverThreads, FailP50, FailP95,
+              FailP99, double(Failover.LatMs.size()) / Failover.WallSeconds);
+  std::printf("degrad| %5zu | %7u | %8.3f | %8.3f | %8.3f | %6.0f\n\n",
+              Degraded.LatMs.size(), DegradedThreads, DegrP50, DegrP95,
+              DegrP99, DegrRps);
   std::printf("server: executed=%llu warm_hits=%llu dedup_fanout=%llu "
               "rejected=%llu shed=%llu deadline_expired=%llu\n",
               (unsigned long long)St.Executed,
@@ -326,9 +539,25 @@ int main() {
               (unsigned long long)LossyChaos.Delays,
               (unsigned long long)LossyChaos.Corruptions,
               (unsigned long long)LossyChaos.Resets);
+  std::printf("failov: rotations=%llu dials_refused=%llu retries=%llu "
+              "sheds=%llu post-kill p50=%.3f ms p95=%.3f ms "
+              "reload_generation=%llu fleet_executed=%llu "
+              "fleet_warm_hits=%llu\n",
+              (unsigned long long)FailNet.EndpointRotations,
+              (unsigned long long)FailNet.DialsRefused,
+              (unsigned long long)FailNet.Retries,
+              (unsigned long long)FailNet.Sheds, PostKillP50, PostKillP95,
+              (unsigned long long)ReloadGeneration,
+              (unsigned long long)FleetExecuted,
+              (unsigned long long)FleetWarmHits);
+  std::printf("degrad: entered=%llu healed=%llu publish_failures=%llu\n\n",
+              (unsigned long long)DegradedEntered,
+              (unsigned long long)DegradedHealed,
+              (unsigned long long)DegradedPublishFails);
 
   bool NoFailures = Cold.Failures == 0 && Warm.Failures == 0 &&
-                    Fleet.Failures == 0 && Lossy.Failures == 0;
+                    Fleet.Failures == 0 && Lossy.Failures == 0 &&
+                    Failover.Failures == 0 && Degraded.Failures == 0;
   // Dedup attach counts as warm service here: either way the request did
   // not pay for its own execution.  Everything after the cold phase (plus
   // the warmup request) should have been served from resident state.
@@ -340,6 +569,12 @@ int main() {
   bool FaultsFired = LossyChaos.Splits + LossyChaos.Delays +
                          LossyChaos.Corruptions + LossyChaos.Resets >
                      0;
+  // The kill only proves something if clients actually had to walk their
+  // rings, and the mid-run reload must have landed (generation bumped).
+  bool FailedOver = FailNet.EndpointRotations > 0 && ReloadGeneration >= 1;
+  // Degraded mode must have been entered (publish failure observed) and
+  // the self-heal probe must have brought the store back once disarmed.
+  bool DegradedRan = DegradedEntered >= 1 && DegradedHealed >= 1;
   std::printf("  no failed requests (lossy wire included) .... %s\n",
               NoFailures ? "yes" : "NO");
   std::printf("  warm+fleet served without re-execution ...... %s\n",
@@ -349,6 +584,13 @@ int main() {
               Speedup ? "yes" : "NO", WarmP50, ColdP50);
   std::printf("  chaos proxy injected faults ................. %s\n",
               FaultsFired ? "yes" : "NO");
+  std::printf("  fleet failed over + reloaded mid-run ........ %s "
+              "(%llu rotations, generation %llu)\n",
+              FailedOver ? "yes" : "NO",
+              (unsigned long long)FailNet.EndpointRotations,
+              (unsigned long long)ReloadGeneration);
+  std::printf("  degraded mode entered and self-healed ....... %s\n",
+              DegradedRan ? "yes" : "NO");
 
   std::FILE *J = std::fopen("BENCH_server.json", "w");
   if (J) {
@@ -366,6 +608,14 @@ int main() {
         "\"reconnects\":%llu,\"deadline_expired\":%llu,"
         "\"proxy_splits\":%llu,\"proxy_delays\":%llu,"
         "\"proxy_corruptions\":%llu,\"proxy_resets\":%llu},"
+        "\"failover\":{\"n\":%zu,\"p50_ms\":%.4f,\"p95_ms\":%.4f,"
+        "\"p99_ms\":%.4f,\"post_kill_p50_ms\":%.4f,\"post_kill_p95_ms\":%.4f,"
+        "\"wall_s\":%.4f,\"req_per_s\":%.1f,\"rotations\":%llu,"
+        "\"dials_refused\":%llu,\"retries\":%llu,\"sheds\":%llu,"
+        "\"reload_generation\":%llu},"
+        "\"degraded\":{\"n\":%zu,\"p50_ms\":%.4f,\"p95_ms\":%.4f,"
+        "\"p99_ms\":%.4f,\"wall_s\":%.4f,\"req_per_s\":%.1f,"
+        "\"publish_failures\":%llu,\"entered\":%llu,\"healed\":%llu},"
         "\"server\":{\"executed\":%llu,\"warm_hits\":%llu,"
         "\"dedup_fanout\":%llu,\"shed\":%llu,\"deadline_expired\":%llu,"
         "\"heartbeats_sent\":%llu,\"heartbeats_seen\":%llu},"
@@ -381,7 +631,18 @@ int main() {
         (unsigned long long)LossyChaos.Splits,
         (unsigned long long)LossyChaos.Delays,
         (unsigned long long)LossyChaos.Corruptions,
-        (unsigned long long)LossyChaos.Resets,
+        (unsigned long long)LossyChaos.Resets, Failover.LatMs.size(), FailP50,
+        FailP95, FailP99, PostKillP50, PostKillP95, Failover.WallSeconds,
+        double(Failover.LatMs.size()) / Failover.WallSeconds,
+        (unsigned long long)FailNet.EndpointRotations,
+        (unsigned long long)FailNet.DialsRefused,
+        (unsigned long long)FailNet.Retries,
+        (unsigned long long)FailNet.Sheds,
+        (unsigned long long)ReloadGeneration, Degraded.LatMs.size(), DegrP50,
+        DegrP95, DegrP99, Degraded.WallSeconds, DegrRps,
+        (unsigned long long)DegradedPublishFails,
+        (unsigned long long)DegradedEntered,
+        (unsigned long long)DegradedHealed,
         (unsigned long long)St.Executed, (unsigned long long)St.WarmHits,
         (unsigned long long)St.DedupFanout, (unsigned long long)St.Shed,
         (unsigned long long)St.DeadlineExpired,
@@ -394,5 +655,8 @@ int main() {
 
   std::error_code EC;
   fs::remove_all(Root, EC);
-  return NoFailures && WarmServed && Speedup && FaultsFired ? 0 : 1;
+  return NoFailures && WarmServed && Speedup && FaultsFired && FailedOver &&
+                 DegradedRan
+             ? 0
+             : 1;
 }

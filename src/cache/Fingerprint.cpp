@@ -94,11 +94,16 @@ Fingerprint Fingerprinter::digest() const {
 }
 
 Fingerprint islaris::cache::fingerprintModel(const sail::Model &M) {
+  // Memoized by the model's process-unique Uid, NOT its address: hot
+  // reloads (and test suites running many servers) parse and free Model
+  // instances, and a recycled heap address must never resurrect a dead
+  // model's fingerprint into fresh cache keys.  Entries for dead models
+  // linger, but they are 24 bytes per parse ever performed.
   static std::mutex Mu;
-  static std::unordered_map<const sail::Model *, Fingerprint> Memo;
+  static std::unordered_map<uint64_t, Fingerprint> Memo;
   {
     std::lock_guard<std::mutex> L(Mu);
-    auto It = Memo.find(&M);
+    auto It = Memo.find(M.Uid);
     if (It != Memo.end())
       return It->second;
   }
@@ -108,7 +113,7 @@ Fingerprint islaris::cache::fingerprintModel(const sail::Model &M) {
   FP.str(sail::printModel(M));
   Fingerprint F = FP.digest();
   std::lock_guard<std::mutex> L(Mu);
-  Memo.emplace(&M, F);
+  Memo.emplace(M.Uid, F);
   return F;
 }
 

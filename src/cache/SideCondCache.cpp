@@ -158,10 +158,12 @@ void SideCondStore::discardCorrupt(const std::string &Path,
 }
 
 void SideCondStore::noteWriteFailure(const std::string &Path) {
-  // One-time Diag when the store directory is genuinely unwritable; see
+  // Every failed publish counts (degraded-mode detector input); the Diag
+  // below stays one-time and unwritable-directory-only — see
   // TraceCache::noteWriteFailure.
   {
     std::lock_guard<std::mutex> L(Mu);
+    ++St.WriteFailures;
     if (WarnedUnwritable)
       return;
   }
@@ -188,6 +190,8 @@ std::vector<support::Diag> SideCondStore::drainDiags() {
 
 std::optional<smt::SolverCache::CachedResult>
 SideCondStore::loadFromDisk(const Fingerprint &K) {
+  if (diskDisabled())
+    return std::nullopt; // degraded mode: leave the failing device alone
   if (support::FaultInjector::fire(support::FaultSite::CacheRead))
     return std::nullopt; // injected read failure: degrade to a miss
   std::string Path = entryPath(K);
@@ -232,6 +236,8 @@ SideCondStore::loadFromDisk(const Fingerprint &K) {
 
 bool SideCondStore::writeToDisk(const Fingerprint &K,
                                 const CachedResult &R) {
+  if (diskDisabled())
+    return false; // degraded mode: serve from memory, stop hammering disk
   std::error_code EC;
   std::string Path = entryPath(K);
   fs::create_directories(fs::path(Path).parent_path(), EC);

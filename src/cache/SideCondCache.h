@@ -36,6 +36,7 @@
 #include "smt/Solver.h"
 #include "support/Diag.h"
 
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -56,6 +57,9 @@ struct SideCondStats {
   /// Corrupt entries preserved under dir()/quarantine/ (a subset of
   /// CorruptRemoved).
   uint64_t Quarantined = 0;
+  /// Entry publishes that failed (see CacheStats::WriteFailures; islarisd's
+  /// degraded-mode detector watches both stores).
+  uint64_t WriteFailures = 0;
 };
 
 struct SideCondConfig {
@@ -98,6 +102,15 @@ public:
   SideCondStats stats() const;
   const SideCondConfig &config() const { return Cfg; }
   const std::string &dir() const { return Directory; }
+
+  /// Degraded-mode switch; same contract as TraceCache::setDiskDisabled
+  /// (memory keeps serving, disk is left alone until re-enabled).
+  void setDiskDisabled(bool Off) {
+    DiskDisabled.store(Off, std::memory_order_relaxed);
+  }
+  bool diskDisabled() const {
+    return DiskDisabled.load(std::memory_order_relaxed);
+  }
   /// Returns and clears disk-I/O diagnostics (bounded to 64 between
   /// drains); same contract as TraceCache::drainDiags.
   std::vector<support::Diag> drainDiags();
@@ -130,6 +143,7 @@ private:
   std::string Directory;
 
   mutable std::mutex Mu;
+  std::atomic<bool> DiskDisabled{false};
   bool WarnedUnwritable = false;
   std::vector<support::Diag> Diags;
   std::unordered_map<Fingerprint, CachedResult, FingerprintHash> Map;

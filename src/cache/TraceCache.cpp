@@ -55,6 +55,8 @@ bool islaris::cache::atomicWriteFile(const std::string &Path,
                                      const std::string &Content) {
   using support::FaultInjector;
   using support::FaultSite;
+  if (FaultInjector::fire(FaultSite::DiskFull))
+    return false; // injected ENOSPC: the device stays full until disarmed
   if (FaultInjector::fire(FaultSite::CacheWrite))
     return false; // injected: entry file could not be created/written
   // Injected torn write: only a prefix reaches disk, and the truncated file
@@ -428,11 +430,14 @@ void TraceCache::noteDiag(support::Diag D) {
 }
 
 void TraceCache::noteWriteFailure(const std::string &Path) {
-  // Only surface the one-time infrastructure Diag when the directory really
-  // is unwritable/uncreatable — a FaultInjector-failed publish into a
-  // healthy directory is a different (already-attributed) event.
+  // Every failed publish counts, whatever the cause — islarisd's degraded-
+  // mode detector watches this counter, not the one-time Diag below, which
+  // only fires when the directory really is unwritable/uncreatable (a
+  // FaultInjector-failed publish into a healthy directory is a different,
+  // already-attributed event).
   {
     std::lock_guard<std::mutex> L(Mu);
+    ++St.WriteFailures;
     if (WarnedUnwritable)
       return;
   }
@@ -457,6 +462,8 @@ std::vector<support::Diag> TraceCache::drainDiags() {
 }
 
 std::optional<CacheEntry> TraceCache::loadFromDisk(const Fingerprint &K) {
+  if (diskDisabled())
+    return std::nullopt; // degraded mode: leave the failing device alone
   if (support::FaultInjector::fire(support::FaultSite::CacheRead))
     return std::nullopt; // injected read failure: degrade to a miss
   std::string Path = entryPath(K);
@@ -502,6 +509,8 @@ std::optional<CacheEntry> TraceCache::loadFromDisk(const Fingerprint &K) {
 }
 
 void TraceCache::writeToDisk(const Fingerprint &K, const CacheEntry &E) {
+  if (diskDisabled())
+    return; // degraded mode: serve from memory, stop hammering the disk
   std::error_code EC;
   std::string Path = entryPath(K);
   fs::create_directories(fs::path(Path).parent_path(), EC);

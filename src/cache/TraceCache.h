@@ -33,6 +33,7 @@
 #include "itl/Trace.h"
 #include "support/Diag.h"
 
+#include <atomic>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -72,6 +73,10 @@ struct CacheStats {
   /// Corrupt entries preserved under dir()/quarantine/ for post-mortem
   /// instead of being deleted outright (a subset of CorruptRemoved).
   uint64_t Quarantined = 0;
+  /// Entry publishes that failed (directory unwritable, device full, rename
+  /// refused).  islarisd watches this to flip into cache-off degraded mode
+  /// instead of emitting one error per request.
+  uint64_t WriteFailures = 0;
 };
 
 struct TraceCacheConfig {
@@ -187,6 +192,19 @@ public:
   /// is off, for diagnostics).
   const std::string &dir() const { return Directory; }
 
+  /// Degraded-mode switch: while disabled, lookup() never touches disk and
+  /// insert() never publishes, but the in-memory LRU keeps working — the
+  /// daemon's answer to a full or failing device is "serve from memory,
+  /// stop hammering the disk" rather than one error per request.  Counters
+  /// and existing on-disk entries are untouched; re-enabling resumes normal
+  /// persistence (first-writer-wins fills any holes).
+  void setDiskDisabled(bool Off) {
+    DiskDisabled.store(Off, std::memory_order_relaxed);
+  }
+  bool diskDisabled() const {
+    return DiskDisabled.load(std::memory_order_relaxed);
+  }
+
   //===------------------------------------------------------------------===//
   // Serialization (also used directly by tests and the batch driver).
   //===------------------------------------------------------------------===//
@@ -231,6 +249,7 @@ private:
   std::string Directory;
 
   mutable std::mutex Mu;
+  std::atomic<bool> DiskDisabled{false};
   bool WarnedUnwritable = false;
   std::vector<support::Diag> Diags;
   struct Slot {

@@ -24,6 +24,7 @@
 
 #include "support/BitVec.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -228,6 +229,13 @@ struct RegisterDecl {
 /// entry point is `decode(opcode : bits(32)) -> unit`, which executes one
 /// instruction including the PC update.
 struct Model {
+  /// Process-unique identity, minted at construction and never reused.
+  /// Identity caches (cache::fingerprintModel's memo) key on this instead
+  /// of the address: with hot model reloads parsing and freeing Model
+  /// instances, a recycled heap address must not resurrect a dead model's
+  /// cached fingerprint into fresh cache keys.
+  const uint64_t Uid = nextUid();
+
   std::vector<RegisterDecl> Registers;
   std::vector<std::unique_ptr<FunctionDecl>> Functions;
 
@@ -245,6 +253,12 @@ struct Model {
 
   /// Non-whitespace source line count (for DESIGN/EXPERIMENTS reporting).
   unsigned SourceLines = 0;
+
+private:
+  static uint64_t nextUid() {
+    static std::atomic<uint64_t> Counter{0};
+    return Counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 };
 
 } // namespace islaris::sail

@@ -57,58 +57,206 @@ bool Client::sendHello(std::string &Err) {
   }
   support::wire::Cursor C(F.Payload);
   uint64_t Ver = C.u64();
-  if (C.Fail || Ver != ProtocolVersion) {
+  // The welcome carries the *negotiated* version: min(ours, the
+  // server's).  Anything in the range we speak is a successful handshake;
+  // a protocol-2 peer simply means the protocol-3 helpers (health,
+  // reload) will fail fast client-side.
+  if (C.Fail || Ver < MinProtocolVersion || Ver > ProtocolVersion) {
     Err = "server speaks protocol " + std::to_string(Ver) + ", client " +
+          std::to_string(MinProtocolVersion) + ".." +
           std::to_string(ProtocolVersion);
     return false;
   }
+  PeerVer = Ver;
   return true;
 }
 
-bool Client::connectOnce(std::string &Err) {
+bool Client::dialEndpoint(size_t I, std::string &Err, DialError &DE) {
   close();
-  Fd = connectSpec(Spec, Opt.ConnectTimeoutSeconds, Err);
+  DE = DialError::None;
+  Fd = connectSpec(Eps[I].Spec, Opt.ConnectTimeoutSeconds, Err, &DE);
   if (Fd < 0)
     return false;
   if (!sendHello(Err)) {
     close();
+    // A listener that accepted but failed the handshake is trouble of the
+    // non-rotate-forever kind; classify like a slow endpoint.
+    DE = DialError::Other;
     return false;
   }
   return true;
 }
 
+bool Client::dialAny(std::string &Err) {
+  if (Eps.empty()) {
+    Err = "no endpoint to dial";
+    return false;
+  }
+  // When every endpoint is dead and still backing off, probe anyway: a
+  // client with nothing reachable should be trying, not deadlocking on
+  // its own pacing (the caller's retry backoff still bounds the rate).
+  double Now = nowSec();
+  bool AnyDue = false;
+  for (const EndpointHealth &E : Eps)
+    if (!E.Dead || E.RetryAtSec <= Now) {
+      AnyDue = true;
+      break;
+    }
+  std::string LastErr;
+  for (size_t Hop = 0; Hop < Eps.size(); ++Hop) {
+    size_t I = (Cur + Hop) % Eps.size();
+    EndpointHealth &E = Eps[I];
+    if (AnyDue && E.Dead && E.RetryAtSec > Now)
+      continue; // not due for a re-probe yet
+    DialError DE = DialError::None;
+    std::string DErr;
+    if (dialEndpoint(I, DErr, DE)) {
+      if (I != Cur) {
+        Cur = I;
+        Net.EndpointRotations++;
+      }
+      E.Dead = false;
+      E.Probe.reset();
+      return true;
+    }
+    LastErr = E.Spec + ": " + DErr;
+    E.Dead = true;
+    E.RetryAtSec = nowSec() + E.Probe.next();
+    if (DE == DialError::Refused) {
+      // Nobody listening: definitively down right now — rotate to the
+      // next candidate immediately, no backoff sleep.
+      Net.DialsRefused++;
+      continue;
+    }
+    if (DE == DialError::Timeout)
+      Net.DialsTimedOut++;
+    // Slow (or odd) endpoint: stop the walk and let the caller's backoff
+    // pace the retry — hammering the rest of the ring after a timeout
+    // risks paying a full connect timeout per endpoint per attempt.  The
+    // next walk resumes *past* the offender, so one slow endpoint that
+    // keeps coming due for re-probes cannot shadow a healthy neighbor.
+    Cur = (I + 1) % Eps.size();
+    break;
+  }
+  Err = LastErr.empty() ? "every endpoint is backing off" : LastErr;
+  return false;
+}
+
 bool Client::connect(const std::string &EndpointSpec, std::string &Err) {
   Spec = EndpointSpec;
+  Eps.clear();
+  Cur = 0;
+  ShedStreak = 0;
+  // Parse the comma-separated failover ring; each endpoint gets its own
+  // deterministic re-probe pacer.
+  size_t Pos = 0;
+  while (Pos <= EndpointSpec.size()) {
+    size_t Comma = EndpointSpec.find(',', Pos);
+    bool Last = Comma == std::string::npos;
+    if (Last)
+      Comma = EndpointSpec.size();
+    std::string One = EndpointSpec.substr(Pos, Comma - Pos);
+    size_t B = One.find_first_not_of(" \t");
+    size_t E = One.find_last_not_of(" \t");
+    if (B != std::string::npos)
+      One = One.substr(B, E - B + 1);
+    else
+      One.clear();
+    if (!One.empty())
+      Eps.push_back(EndpointHealth{
+          One, false, 0,
+          support::Backoff(Opt.BackoffBaseSeconds, Opt.BackoffCapSeconds,
+                           Opt.Seed ^
+                               (Eps.size() * 0x9e3779b97f4a7c15ull))});
+    if (Last)
+      break;
+    Pos = Comma + 1;
+  }
+  if (Eps.empty()) {
+    Err = "empty endpoint spec";
+    return false;
+  }
+  RetryB.emplace(Opt.BackoffBaseSeconds, Opt.BackoffCapSeconds, Opt.Seed);
+
   // The initial dial gets the same retry discipline as everything else: a
   // reset during the hello/welcome exchange is just as transient as one
   // mid-request, and on a hostile wire it happens.  (reconnect() stays
   // single-attempt — retryLoop already paces re-dials with this backoff.)
-  support::Backoff B(Opt.BackoffBaseSeconds, Opt.BackoffCapSeconds,
-                     Opt.Seed);
   net::Deadline Overall =
       Opt.DeadlineMs > 0
           ? net::Deadline::in(double(Opt.DeadlineMs) / 1000.0)
           : net::Deadline();
   unsigned Max = Opt.MaxAttempts ? Opt.MaxAttempts : 1;
   for (unsigned A = 0;; ++A) {
-    if (connectOnce(Err))
+    if (dialAny(Err)) {
+      RetryB->reset();
+      if (Opt.PreferLeastLoaded && Eps.size() > 1)
+        settleLeastLoaded();
       return true;
+    }
     if (A + 1 >= Max || Overall.expired())
       return false;
     Net.Retries++;
-    double Delay = B.next();
+    double Delay = RetryB->next();
     if (!Overall.infinite() && Overall.secondsLeft() <= Delay)
       return false;
     std::this_thread::sleep_for(std::chrono::duration<double>(Delay));
   }
 }
 
+void Client::settleLeastLoaded() {
+  if (PeerVer < 3)
+    return; // the probe needs the protocol-3 health request
+  // Probe the ring in order, remembering each endpoint's instantaneous
+  // load; endpoints that fail to dial or to answer are left marked by
+  // dialAny/awaitFrame and simply not preferred.
+  size_t Best = Cur;
+  uint64_t BestLoad = UINT64_MAX;
+  size_t Started = Cur;
+  for (size_t Hop = 0; Hop < Eps.size(); ++Hop) {
+    size_t I = (Started + Hop) % Eps.size();
+    if (I != Cur || Fd < 0) {
+      DialError DE;
+      std::string DErr;
+      if (!dialEndpoint(I, DErr, DE))
+        continue;
+      Cur = I;
+    }
+    HealthInfo H;
+    std::string HErr;
+    bool Transient = false;
+    double Wait = Opt.ConnectTimeoutSeconds > 0 ? Opt.ConnectTimeoutSeconds
+                                                : 5;
+    if (!healthOnce(H, net::Deadline::in(Wait), HErr, Transient))
+      continue;
+    uint64_t Load = H.QueueDepth + H.ActiveJobs + (H.Draining ? 1u << 20 : 0);
+    if (Load < BestLoad) {
+      BestLoad = Load;
+      Best = I;
+    }
+  }
+  if (Best != Cur || Fd < 0) {
+    DialError DE;
+    std::string DErr;
+    if (dialEndpoint(Best, DErr, DE)) {
+      if (Best != Cur)
+        Net.EndpointRotations++;
+      Cur = Best;
+    } else {
+      // The winner vanished between probe and settle; fall back to the
+      // normal walk.
+      std::string AErr;
+      dialAny(AErr);
+    }
+  }
+}
+
 bool Client::reconnect(std::string &Err) {
-  if (Spec.empty()) {
+  if (Eps.empty()) {
     Err = "no endpoint to reconnect to";
     return false;
   }
-  if (!connectOnce(Err))
+  if (!dialAny(Err))
     return false;
   Net.Reconnects++;
   return true;
@@ -250,8 +398,12 @@ bool Client::retryLoop(
     std::string &Err,
     const std::function<Outcome(const net::Deadline &, std::string &,
                                 double &)> &Attempt) {
-  support::Backoff B(Opt.BackoffBaseSeconds, Opt.BackoffCapSeconds,
-                     Opt.Seed ^ (LastId * 0x9e3779b97f4a7c15ull));
+  // One pacer shared by every helper call: a shed storm keeps its long
+  // delays across calls, and a success resets the streak (below) so one
+  // healthy answer restores fast retries.
+  if (!RetryB)
+    RetryB.emplace(Opt.BackoffBaseSeconds, Opt.BackoffCapSeconds, Opt.Seed);
+  support::Backoff &B = *RetryB;
   net::Deadline Overall = Opt.DeadlineMs > 0
                               ? net::Deadline::in(double(Opt.DeadlineMs) /
                                                   1000.0)
@@ -281,12 +433,33 @@ bool Client::retryLoop(
     switch (O) {
     case Outcome::Done:
       Err = AErr;
+      if (AErr.empty()) {
+        ShedStreak = 0;
+        B.reset(); // success ends the failure streak: next retry is fast
+      }
       return AErr.empty();
     case Outcome::Shed:
       Net.Sheds++;
+      // Shed storm: a daemon that sheds twice in a row is saturated; with
+      // a failover ring, move the next dial to the neighbor instead of
+      // queueing politely behind the flood.
+      if (++ShedStreak >= 2 && Eps.size() > 1) {
+        ShedStreak = 0;
+        close();
+        Cur = (Cur + 1) % Eps.size();
+        Net.EndpointRotations++;
+      }
       break;
     case Outcome::Transient:
-      close(); // next iteration re-dials
+      ShedStreak = 0;
+      close(); // next iteration re-dials...
+      if (Eps.size() > 1) {
+        // ...starting at the neighbor: a reset/reap mid-request is the
+        // failover signal, and the dedup'd request id makes landing on a
+        // different daemon an attach-or-reread, never a recompute.
+        Cur = (Cur + 1) % Eps.size();
+        Net.EndpointRotations++;
+      }
       break;
     }
     LastErr = AErr;
@@ -518,6 +691,107 @@ bool Client::getStats(std::string &Out, std::string &Err) {
         }
         E = "stats request rejected: " + Reason;
         return Outcome::Done;
+      }
+      if (F.Type == FrameType::Error || F.Type == FrameType::Bye) {
+        E = "server error: " + F.Payload;
+        return Outcome::Done;
+      }
+    }
+    return Transient ? Outcome::Transient : Outcome::Done;
+  });
+}
+
+bool Client::healthOnce(HealthInfo &Out, const net::Deadline &Overall,
+                        std::string &Err, bool &Transient) {
+  Transient = false;
+  Request Req;
+  Req.Id = nextId();
+  Req.K = Request::Kind::Health;
+  Req.DeadlineMs =
+      Overall.infinite() ? 0 : uint64_t(Overall.secondsLeft() * 1000) + 1;
+  if (!send(Frame{FrameType::Request, encodeRequest(Req)}, Err)) {
+    Transient = true;
+    return false;
+  }
+  Frame F;
+  bool Got = false;
+  while (awaitFrame(F, Overall, Err, Transient)) {
+    uint64_t Id = 0;
+    std::string Body;
+    if (F.Type == FrameType::Health && decodeIdPayload(F.Payload, Id, Body) &&
+        Id == Req.Id) {
+      if (!decodeHealth(Body, Out)) {
+        Err = "malformed health payload";
+        Transient = true;
+        return false;
+      }
+      Got = true;
+      continue;
+    }
+    if (F.Type == FrameType::Done) {
+      DoneInfo D;
+      if (decodeDone(F.Payload, D) && D.Id == Req.Id) {
+        if (Got)
+          return true;
+        Err = "health done without a snapshot (" + D.Error + ")";
+        return false;
+      }
+      continue;
+    }
+    if (F.Type == FrameType::Error || F.Type == FrameType::Bye) {
+      // A protocol-2 daemon answers `health` with an error frame and
+      // closes; that is a permanent version mismatch, not a flaky link.
+      Err = "server error: " + F.Payload;
+      return false;
+    }
+  }
+  return false;
+}
+
+bool Client::health(HealthInfo &Out, std::string &Err) {
+  return retryLoop(Err, [&](const net::Deadline &Overall, std::string &E,
+                            double &) -> Outcome {
+    if (PeerVer < 3) {
+      E = "peer speaks protocol " + std::to_string(PeerVer) +
+          "; health needs protocol 3";
+      return Outcome::Done;
+    }
+    bool Transient = false;
+    if (healthOnce(Out, Overall, E, Transient))
+      return Outcome::Done;
+    return Transient ? Outcome::Transient : Outcome::Done;
+  });
+}
+
+bool Client::reloadServer(std::string &Err) {
+  Request Req;
+  Req.Id = nextId();
+  Req.K = Request::Kind::Reload;
+
+  return retryLoop(Err, [&](const net::Deadline &Overall, std::string &E,
+                            double &) -> Outcome {
+    if (PeerVer < 3) {
+      E = "peer speaks protocol " + std::to_string(PeerVer) +
+          "; reload needs protocol 3";
+      return Outcome::Done;
+    }
+    Req.DeadlineMs = Opt.DeadlineMs
+                         ? uint64_t(Overall.secondsLeft() * 1000) + 1
+                         : 0;
+    if (!send(Frame{FrameType::Request, encodeRequest(Req)}, E))
+      return Outcome::Transient;
+    Frame F;
+    bool Transient = false;
+    while (awaitFrame(F, Overall, E, Transient)) {
+      if (F.Type == FrameType::Done) {
+        DoneInfo D;
+        if (decodeDone(F.Payload, D) && D.Id == Req.Id) {
+          if (D.Status == 0)
+            return Outcome::Done;
+          E = D.Error.empty() ? "reload failed" : D.Error;
+          return Outcome::Done;
+        }
+        continue;
       }
       if (F.Type == FrameType::Error || F.Type == FrameType::Bye) {
         E = "server error: " + F.Payload;

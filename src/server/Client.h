@@ -12,6 +12,15 @@
 /// concurrency comes from opening multiple clients, one per thread, which
 /// is exactly how bench_server and the dedup tests drive the daemon.
 ///
+/// Fleet failover (PR 10): connect() accepts a comma-separated endpoint
+/// list.  The retry machinery keeps per-endpoint health — an endpoint
+/// whose dial is *refused* (nobody listening) is rotated past immediately,
+/// one that *times out* (slow, saturated) costs one backoff delay — and a
+/// dead endpoint is re-probed on its own capped-exponential schedule.  The
+/// request id is minted once per helper call and survives rotation, so a
+/// replay that lands on a different daemon sharing the store dedups or
+/// re-reads the published entry; it never recomputes divergently.
+///
 /// Hostile-network discipline (PR 8):
 ///
 ///  - Endpoints: connect() takes the Transport grammar (Unix path or TCP
@@ -42,8 +51,11 @@
 #include "frontend/CaseStudies.h"
 #include "server/Net.h"
 #include "server/Protocol.h"
+#include "server/Transport.h"
+#include "support/Backoff.h"
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -72,6 +84,11 @@ struct ClientOptions {
   double BackoffCapSeconds = 2.0;
   /// Jitter seed; fixed seed => reproducible retry instants.
   uint64_t Seed = 1;
+  /// With a multi-endpoint spec: probe every endpoint's health at
+  /// connect() and settle on the least loaded (queue depth + active jobs)
+  /// instead of the first reachable one.  Off by default — list order is
+  /// deterministic, which the tests and CI rely on.
+  bool PreferLeastLoaded = false;
 };
 
 /// Monotonic per-client counters for the retry machinery.
@@ -82,6 +99,10 @@ struct ClientNetStats {
   uint64_t HeartbeatsSent = 0;
   uint64_t HeartbeatsSeen = 0;
   uint64_t DeadlineExpired = 0; ///< Calls that died on DeadlineMs.
+  uint64_t DialsRefused = 0;   ///< Dials answered "nobody listening"
+                               ///< (rotated past without a backoff sleep).
+  uint64_t DialsTimedOut = 0;  ///< Dials that ran out the connect timer.
+  uint64_t EndpointRotations = 0; ///< Active-endpoint switches.
 };
 
 class Client {
@@ -98,11 +119,25 @@ public:
   const ClientOptions &options() const { return Opt; }
   ClientNetStats netStats() const { return Net; }
 
-  /// Connects to \p Spec (Unix path or TCP "host:port") and performs the
-  /// hello/welcome handshake.
+  /// Connects to \p Spec — one endpoint (Unix path or TCP "host:port") or
+  /// a comma-separated failover list — and performs the hello/welcome
+  /// handshake with the first reachable endpoint (or, with
+  /// PreferLeastLoaded, the least-loaded one).
   bool connect(const std::string &Spec, std::string &Err);
   void close();
   bool connected() const { return Fd >= 0; }
+
+  /// The protocol version negotiated at the last handshake (0 before any).
+  uint64_t peerVersion() const { return PeerVer; }
+  /// The endpoint currently (or most recently) connected to.
+  std::string activeEndpoint() const {
+    return Eps.empty() ? Spec : Eps[Cur].Spec;
+  }
+  /// Attempt index of the shared retry backoff — 0 right after a success
+  /// (the streak resets); test observability for the pacing contract.
+  unsigned retryBackoffAttempt() const {
+    return RetryB ? RetryB->attempt() : 0;
+  }
 
   /// Low-level frame I/O (used by the protocol tests).
   bool send(const Frame &F, std::string &Err);
@@ -150,6 +185,16 @@ public:
   /// Fetches the server's stats JSON.
   bool getStats(std::string &Out, std::string &Err);
 
+  /// Fetches the server's readiness snapshot (protocol 3; fails fast with
+  /// a version error against a protocol-2 peer).
+  bool health(HealthInfo &Out, std::string &Err);
+
+  /// Asks the server to hot-reload its ISA models (protocol 3).  True when
+  /// the daemon swapped in the new parse; false with \p Err when the
+  /// reload was rejected (e.g. the new source does not parse — the daemon
+  /// keeps serving the old generation).
+  bool reloadServer(std::string &Err);
+
   /// Asks the server to drain and exit.  Returns once the request is
   /// acknowledged (the drain completes asynchronously).
   bool shutdownServer(std::string &Err);
@@ -164,9 +209,30 @@ private:
     Shed,      ///< Server shed the request; back off (honor hint), retry.
   };
 
-  /// One dial + handshake attempt (no retries); connect() wraps it in the
-  /// backoff loop, reconnect() relies on retryLoop's pacing instead.
-  bool connectOnce(std::string &Err);
+  /// Per-endpoint health for the failover walk: a dead endpoint is skipped
+  /// until its Backoff-paced re-probe instant arrives.
+  struct EndpointHealth {
+    std::string Spec;
+    bool Dead = false;
+    double RetryAtSec = 0; ///< Steady-clock second of the next re-probe.
+    support::Backoff Probe;
+  };
+
+  /// One dial + handshake against endpoint \p I (no retries); classifies
+  /// the failure into \p DE for the rotation policy.
+  bool dialEndpoint(size_t I, std::string &Err, DialError &DE);
+  /// Walks the endpoint ring from Cur: refused endpoints are rotated past
+  /// immediately, a timeout/other failure ends the walk (the caller's
+  /// backoff paces the retry).  Dead endpoints not yet due for a re-probe
+  /// are skipped unless every endpoint is backing off.
+  bool dialAny(std::string &Err);
+  /// Probes every endpoint's health and re-dials the least-loaded one
+  /// (connect()-time only, behind ClientOptions::PreferLeastLoaded).
+  void settleLeastLoaded();
+  /// Sends one health request on the current connection and waits for its
+  /// snapshot (no retries; health() wraps it in the retry loop).
+  bool healthOnce(HealthInfo &Out, const net::Deadline &Overall,
+                  std::string &Err, bool &Transient);
   bool reconnect(std::string &Err);
   bool sendHello(std::string &Err);
   /// Waits for the next non-heartbeat frame, ticking heartbeats out and
@@ -182,7 +248,15 @@ private:
 
   ClientOptions Opt;
   ClientNetStats Net;
-  std::string Spec;    ///< Endpoint of the last connect(), for re-dials.
+  std::string Spec; ///< Raw spec of the last connect() (possibly a list).
+  std::vector<EndpointHealth> Eps; ///< Parsed failover ring.
+  size_t Cur = 0;                  ///< Index of the active endpoint.
+  uint64_t PeerVer = 0;            ///< Negotiated protocol version.
+  unsigned ShedStreak = 0; ///< Consecutive sheds from the active endpoint.
+  /// The shared retry pacer: persists across helper calls so a shed storm
+  /// keeps its long delays between calls, and resets on every success so
+  /// one healthy answer restores fast retries.
+  std::optional<support::Backoff> RetryB;
   int Fd = -1;
   uint64_t LastId = 0;
   FrameReader Reader;

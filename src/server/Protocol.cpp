@@ -53,6 +53,8 @@ const char *islaris::server::frameTypeName(FrameType T) {
     return "error";
   case FrameType::Heartbeat:
     return "heartbeat";
+  case FrameType::Health:
+    return "health";
   }
   return "error";
 }
@@ -65,7 +67,7 @@ bool islaris::server::frameTypeFromName(const std::string &Name,
       FrameType::Rejected, FrameType::Trace,   FrameType::Row,
       FrameType::Diag,     FrameType::Stats,   FrameType::Done,
       FrameType::Pong,     FrameType::Bye,     FrameType::Error,
-      FrameType::Heartbeat,
+      FrameType::Heartbeat, FrameType::Health,
   };
   for (FrameType T : All)
     if (Name == frameTypeName(T)) {
@@ -214,6 +216,12 @@ std::string islaris::server::encodeRequest(const Request &R) {
   case Request::Kind::Stats:
     putStr(OS, "stats");
     break;
+  case Request::Kind::Health:
+    putStr(OS, "health");
+    break;
+  case Request::Kind::Reload:
+    putStr(OS, "reload");
+    break;
   }
   return OS.str();
 }
@@ -248,7 +256,14 @@ bool islaris::server::decodeRequest(const std::string &Payload, Request &Out) {
     Out.Study = C.str();
   } else if (Kind == "stats") {
     Out.K = Request::Kind::Stats;
+  } else if (Kind == "health") {
+    Out.K = Request::Kind::Health;
+  } else if (Kind == "reload") {
+    Out.K = Request::Kind::Reload;
   } else {
+    // A protocol-2 server lands here for "health"/"reload" and answers
+    // with its malformed-request error frame — the negotiated downgrade
+    // the v3 client expects.
     return false;
   }
   return !C.Fail;
@@ -283,6 +298,55 @@ bool islaris::server::decodeHello(const std::string &Payload, HelloInfo &Out) {
   uint64_t Hb = C.u64();
   if (!C.Fail)
     Out.HeartbeatMs = Hb;
+  return true;
+}
+
+std::string islaris::server::encodeHealth(const HealthInfo &H) {
+  std::ostringstream OS;
+  putU64(OS, H.Version);
+  putU64(OS, H.Pid);
+  support::wire::putF(OS, H.UptimeSeconds);
+  putU64(OS, H.QueueDepth);
+  putU64(OS, H.ActiveJobs);
+  putU64(OS, H.Draining);
+  putU64(OS, H.Generation);
+  putStr(OS, H.ModelFpHex);
+  putU64(OS, H.DegradedFlags);
+  putU64(OS, H.PublishFailures);
+  support::wire::putF(OS, H.DegradedSeconds);
+  return OS.str();
+}
+
+bool islaris::server::decodeHealth(const std::string &Payload,
+                                   HealthInfo &Out) {
+  Cursor C(Payload);
+  Out = HealthInfo();
+  Out.Version = C.u64();
+  Out.Pid = C.u64();
+  Out.UptimeSeconds = C.f();
+  Out.QueueDepth = C.u64();
+  Out.ActiveJobs = C.u64();
+  Out.Draining = C.u64();
+  Out.Generation = C.u64();
+  if (C.Fail)
+    return false;
+  // Trailing fields appended by later versions decode fail-soft, the same
+  // discipline as decodeHello: absent fields keep their zero defaults.
+  std::string Fp = C.str();
+  if (C.Fail)
+    return true;
+  Out.ModelFpHex = Fp;
+  uint64_t Flags = C.u64();
+  if (C.Fail)
+    return true;
+  Out.DegradedFlags = Flags;
+  uint64_t PF = C.u64();
+  if (C.Fail)
+    return true;
+  Out.PublishFailures = PF;
+  double DS = C.f();
+  if (!C.Fail)
+    Out.DegradedSeconds = DS;
   return true;
 }
 

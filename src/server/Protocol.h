@@ -62,8 +62,17 @@ namespace islaris::server {
 
 /// Protocol version spoken by hello/welcome.  Version 2 (PR 8) added
 /// heartbeat frames, request deadlines, and retry-after hints on
-/// rejections.
-inline constexpr uint64_t ProtocolVersion = 2;
+/// rejections.  Version 3 (PR 10) added the `health` readiness probe and
+/// the `reload` hot-model-reload request.
+inline constexpr uint64_t ProtocolVersion = 3;
+
+/// Oldest protocol the server still accepts in a hello.  Version 3 is a
+/// strict superset of 2 (two new request kinds, one new response frame
+/// that only v3 requests elicit), so a v2 peer negotiates and works
+/// unchanged; a v2 *server* answers the new kinds with its existing
+/// malformed-request error frame, which is exactly what a v3 client
+/// treats as "no health endpoint here".
+inline constexpr uint64_t MinProtocolVersion = 2;
 
 /// Hard bound on a frame payload; a header advertising more is malformed
 /// (protects the reader from allocating on behalf of a corrupt length
@@ -90,6 +99,8 @@ enum class FrameType : uint8_t {
   Error,
   // either direction: liveness only, never answered
   Heartbeat,
+  // server -> client (protocol 3): readiness-probe snapshot
+  Health,
 };
 
 /// Stable wire token ("hello", "request", ...).
@@ -158,7 +169,16 @@ struct Request {
   /// forever.  The server rebases it to its own clock at admission and
   /// abandons (or never starts) work whose waiters have all timed out.
   uint64_t DeadlineMs = 0;
-  enum class Kind : uint8_t { Trace, Study, Stats } K = Kind::Trace;
+  /// Health and Reload are protocol-3 kinds: Health is answered inline
+  /// (never queued — a readiness probe must work under a full queue),
+  /// Reload swaps the server's model set for freshly parsed sources.
+  enum class Kind : uint8_t {
+    Trace,
+    Study,
+    Stats,
+    Health,
+    Reload,
+  } K = Kind::Trace;
   TraceRequest Trace;  ///< Valid when K == Trace.
   std::string Study;   ///< Study name or "suite" when K == Study.
 };
@@ -192,6 +212,35 @@ std::string encodeRejectBody(const std::string &Reason,
                              uint64_t RetryAfterMs);
 void decodeRejectBody(const std::string &Body, std::string &Reason,
                       uint64_t &RetryAfterMs);
+
+/// `health` frame payload (protocol 3): the readiness snapshot a probe or
+/// a failover client reads before committing work to a daemon.  Decoding
+/// tolerates missing trailing fields (same discipline as decodeHello) so
+/// later versions can append fields without breaking v3 readers.
+struct HealthInfo {
+  uint64_t Version = ProtocolVersion; ///< Responder's protocol version.
+  uint64_t Pid = 0;
+  double UptimeSeconds = 0;
+  uint64_t QueueDepth = 0; ///< Queued-but-not-executing requests.
+  uint64_t ActiveJobs = 0; ///< Requests executing right now.
+  uint64_t Draining = 0;   ///< 1 once a shutdown drain has begun.
+  /// Model generation: reload count since start.  A SIGHUP/`reload` that
+  /// swapped the model set bumps it, so a probe can confirm a rollout.
+  uint64_t Generation = 0;
+  /// Store generation fingerprint: combined fingerprint of the live model
+  /// set (the same fingerprints the generation registry is keyed on).
+  std::string ModelFpHex;
+  /// Degraded-mode flags; bit 0 = cache-off (store publishes failing, disk
+  /// I/O suspended until the self-heal probe succeeds).
+  uint64_t DegradedFlags = 0;
+  uint64_t PublishFailures = 0; ///< Store publish failures observed.
+  double DegradedSeconds = 0;   ///< Total time spent degraded.
+};
+
+inline constexpr uint64_t HealthDegradedCacheOff = 1;
+
+std::string encodeHealth(const HealthInfo &H);
+bool decodeHealth(const std::string &Payload, HealthInfo &Out);
 
 /// `done` frame payload: terminal status of one request id.
 struct DoneInfo {

@@ -3,11 +3,14 @@
 #include "server/Server.h"
 
 #include "cache/BatchDriver.h"
+#include "cache/Fingerprint.h"
+#include "cache/Generations.h"
 #include "cache/Scrub.h"
 #include "cache/SideCondCache.h"
 #include "cache/TraceCache.h"
 #include "frontend/CaseStudies.h"
 #include "models/Models.h"
+#include "sail/Parser.h"
 #include "server/Net.h"
 #include "server/Transport.h"
 #include "support/Diag.h"
@@ -17,8 +20,10 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -62,6 +67,10 @@ struct Conn {
   std::atomic<uint32_t> InFlight{0};
   /// Connection-default request deadline from the hello (0 = none).
   std::atomic<uint64_t> DefaultDeadlineMs{0};
+  /// Protocol version negotiated at hello: min(client's, ours).  Gates the
+  /// protocol-3 request kinds so a v2 peer sees exactly the protocol-2
+  /// behavior it negotiated.
+  std::atomic<uint64_t> Version{ProtocolVersion};
   std::thread Reader;
 };
 
@@ -91,7 +100,10 @@ struct Waiter {
 /// happens under the scheduler mutex.
 struct TraceGroup {
   cache::Fingerprint Key;
-  const sail::Model *Model = nullptr;
+  /// Shared ownership pins the model generation the group was admitted
+  /// under: a hot reload swaps the registry but an in-flight group keeps
+  /// executing against the parse its cache key was derived from.
+  std::shared_ptr<const sail::Model> Model;
   std::string Arch;
   isla::OpcodeSpec Op;
   isla::Assumptions Assume; ///< Owned: the batch driver borrows it.
@@ -105,6 +117,18 @@ struct Job {
   Waiter W;
   std::shared_ptr<TraceGroup> Group; ///< Trace jobs.
   std::string Study;                 ///< Study name or "suite".
+};
+
+/// One parsed generation of the ISA models.  Immutable once published;
+/// modelFor hands out shared_ptrs, so a generation stays alive while any
+/// in-flight group still executes against it.
+struct ModelSet {
+  std::shared_ptr<const sail::Model> A64, Rv;
+  uint64_t Generation = 0;
+  /// Combined fingerprint of both models (hex) — the store-generation
+  /// identity health probes report, so a fleet client can tell whether two
+  /// daemons serve the same model revision.
+  std::string FpHex;
 };
 
 } // namespace
@@ -164,6 +188,28 @@ struct Server::Impl {
   /// ambient state, so two concurrent suite runs would race on it.
   std::mutex StudyMu;
 
+  // Model registry (PR 10): the current generation behind ModelMu (held
+  // only for pointer reads/swaps — never across a parse).  In-flight jobs
+  // pin the generation they were admitted against via the TraceGroup's
+  // shared_ptr; a retired set dies with its last job.  (Identity safety
+  // across the free is the fingerprint memo's job: it keys on Model::Uid,
+  // which is never reused, not on the recyclable address.)
+  mutable std::mutex ModelMu;
+  std::shared_ptr<const ModelSet> Models;
+  /// Serializes whole reloads (parse + touch + swap) without blocking
+  /// modelFor readers.
+  std::mutex ReloadMu;
+
+  // Degraded-mode state (PR 10): entered when the stores report publish
+  // failures (device full, dying disk), left when a periodic write probe
+  // succeeds.  Seen* remember the store counters already accounted for.
+  mutable std::mutex DegradeMu;
+  bool Degraded = false;
+  Clock::time_point DegradedAt;
+  Clock::time_point LastProbeAt;
+  double DegradedAccumSeconds = 0;
+  uint64_t SeenCacheWF = 0, SeenSideWF = 0;
+
   void bump(uint64_t ServerStats::*F, uint64_t N = 1) {
     std::lock_guard<std::mutex> SL(StatsMu);
     St.*F += N;
@@ -204,12 +250,81 @@ struct Server::Impl {
     EvictedSinceActivity = false;
   }
 
-  const sail::Model *modelFor(const std::string &Arch) {
+  std::shared_ptr<const sail::Model> modelFor(const std::string &Arch) {
+    std::lock_guard<std::mutex> ML(ModelMu);
     if (Arch == "aarch64")
-      return &models::aarch64Model();
+      return Models->A64;
     if (Arch == "rv64")
-      return &models::rv64Model();
+      return Models->Rv;
     return nullptr;
+  }
+
+  /// Parses one model generation from the built-in sources, with per-arch
+  /// file overrides from Cfg.ModelDir when present.  Null with \p Err set
+  /// when a source does not parse; nothing is published.
+  std::shared_ptr<const ModelSet> parseModelSet(uint64_t Generation,
+                                                std::string &Err) {
+    std::string A64Src = models::aarch64Source();
+    std::string RvSrc = models::rv64Source();
+    if (!Cfg.ModelDir.empty()) {
+      auto Override = [&](const char *File, std::string &Src) {
+        std::ifstream In(Cfg.ModelDir + "/" + File, std::ios::binary);
+        if (!In)
+          return; // missing override keeps the builtin
+        std::ostringstream Buf;
+        Buf << In.rdbuf();
+        Src = Buf.str();
+      };
+      Override("aarch64.sail", A64Src);
+      Override("rv64.sail", RvSrc);
+    }
+    std::string PErr;
+    std::shared_ptr<const sail::Model> A = sail::parseModel(A64Src, PErr);
+    if (!A) {
+      Err = "aarch64 model: " + PErr;
+      return nullptr;
+    }
+    std::shared_ptr<const sail::Model> R = sail::parseModel(RvSrc, PErr);
+    if (!R) {
+      Err = "rv64 model: " + PErr;
+      return nullptr;
+    }
+    auto S = std::make_shared<ModelSet>();
+    S->A64 = std::move(A);
+    S->Rv = std::move(R);
+    S->Generation = Generation;
+    cache::Fingerprinter FP;
+    FP.str(cache::fingerprintModel(*S->A64).toHex());
+    FP.str(cache::fingerprintModel(*S->Rv).toHex());
+    S->FpHex = FP.digest().toHex();
+    return S;
+  }
+
+  bool reloadModelsImpl(std::string &Err) {
+    std::lock_guard<std::mutex> RL(ReloadMu);
+    uint64_t NextGen;
+    {
+      std::lock_guard<std::mutex> ML(ModelMu);
+      NextGen = Models->Generation + 1;
+    }
+    auto S = parseModelSet(NextGen, Err);
+    if (!S) {
+      bump(&ServerStats::ReloadFailures);
+      return false;
+    }
+    // Record the fresh fingerprints in the store's generation index before
+    // the swap, so a health probe that sees the new generation never races
+    // a store whose bookkeeping predates it.
+    if (Cfg.Persist) {
+      cache::touchGeneration(Cache->dir(), cache::fingerprintModel(*S->A64));
+      cache::touchGeneration(Cache->dir(), cache::fingerprintModel(*S->Rv));
+    }
+    {
+      std::lock_guard<std::mutex> ML(ModelMu);
+      Models = std::move(S); // in-flight groups keep the old set alive
+    }
+    bump(&ServerStats::Reloads);
+    return true;
   }
 
   isla::ExecOptions execOptionsFor(const TraceRequest &T) {
@@ -356,17 +471,23 @@ struct Server::Impl {
     switch (F.Type) {
     case FrameType::Hello: {
       HelloInfo H;
-      if (!decodeHello(F.Payload, H) || H.Version != ProtocolVersion) {
+      if (!decodeHello(F.Payload, H) || H.Version < MinProtocolVersion ||
+          H.Version > ProtocolVersion) {
         sendFrame(*C, FrameType::Error,
                   "unsupported protocol version " + std::to_string(H.Version) +
-                      " (server speaks " + std::to_string(ProtocolVersion) +
-                      ")");
+                      " (server speaks " +
+                      std::to_string(MinProtocolVersion) + ".." +
+                      std::to_string(ProtocolVersion) + ")");
         return false;
       }
       C->DefaultDeadlineMs.store(H.DefaultDeadlineMs,
                                  std::memory_order_relaxed);
+      C->Version.store(H.Version, std::memory_order_relaxed);
       std::ostringstream OS;
-      support::wire::putU64(OS, ProtocolVersion);
+      // The welcome echoes the negotiated version — min(client's, ours) —
+      // not the server's own, so a protocol-2 peer keeps speaking the
+      // protocol it knows.
+      support::wire::putU64(OS, H.Version);
       support::wire::putU64(OS, uint64_t(::getpid()));
       support::wire::putStr(OS, "islarisd");
       return sendFrame(*C, FrameType::Welcome, OS.str());
@@ -384,6 +505,15 @@ struct Server::Impl {
     case FrameType::Request: {
       Request R;
       if (!decodeRequest(F.Payload, R)) {
+        bump(&ServerStats::Malformed);
+        sendFrame(*C, FrameType::Error, "malformed request payload");
+        return false;
+      }
+      // Protocol-3 request kinds on a protocol-2 connection get exactly
+      // what a real protocol-2 server would answer: its decoder cannot
+      // parse them, so it reports a malformed payload and closes.
+      if ((R.K == Request::Kind::Health || R.K == Request::Kind::Reload) &&
+          C->Version.load(std::memory_order_relaxed) < 3) {
         bump(&ServerStats::Malformed);
         sendFrame(*C, FrameType::Error, "malformed request payload");
         return false;
@@ -430,8 +560,50 @@ struct Server::Impl {
 
   void admit(const std::shared_ptr<Conn> &C, const Request &R) {
     bump(&ServerStats::Requests);
+
+    // Readiness probes answer inline, before the drain check, the queue,
+    // and the per-client quota: a probe must get through exactly when the
+    // daemon is busiest or draining (the snapshot says so), and it is not
+    // work, so it never competes with work.
+    if (R.K == Request::Kind::Health) {
+      bump(&ServerStats::HealthRequests);
+      sendFrame(*C, FrameType::Health,
+                encodeIdPayload(R.Id, encodeHealth(healthSnapshotImpl())));
+      DoneInfo D;
+      D.Id = R.Id;
+      D.Source = "health";
+      sendFrame(*C, FrameType::Done, encodeDone(D));
+      return;
+    }
+
     if (Draining.load(std::memory_order_relaxed)) {
-      reject(*C, R.Id, "server draining");
+      // A drain is a *shed*, not a permanent rejection: the request is
+      // fine, this daemon is leaving.  The retry-after hint lets a lone
+      // client wait out a restart, and a failover client's shed-storm
+      // rotation carries the request to a surviving daemon.
+      size_t Q;
+      {
+        std::lock_guard<std::mutex> QL(QMu);
+        Q = TotalQueued;
+      }
+      shed(*C, R.Id, "server draining", Q);
+      return;
+    }
+
+    // Reloads also run inline (on this connection's reader thread): the
+    // parse is milliseconds, and serializing it behind queued work would
+    // let a flooded daemon defer the very reload meant to fix it.
+    if (R.K == Request::Kind::Reload) {
+      Clock::time_point T0 = Clock::now();
+      std::string RErr;
+      bool Ok = reloadModelsImpl(RErr);
+      DoneInfo D;
+      D.Id = R.Id;
+      D.Status = Ok ? 0 : 2; // infrastructure failure, never a verdict
+      D.Source = "reload";
+      D.Seconds = secondsSince(T0);
+      D.Error = RErr;
+      sendFrame(*C, FrameType::Done, encodeDone(D));
       return;
     }
 
@@ -481,9 +653,12 @@ struct Server::Impl {
       J->Study = R.Study;
       break;
     }
+    case Request::Kind::Health:
+    case Request::Kind::Reload:
+      return; // answered inline above; unreachable
     case Request::Kind::Trace: {
       bump(&ServerStats::TraceRequests);
-      const sail::Model *M = modelFor(R.Trace.Arch);
+      std::shared_ptr<const sail::Model> M = modelFor(R.Trace.Arch);
       if (!M) {
         reject(*C, R.Id, "unknown architecture: " + R.Trace.Arch);
         return;
@@ -502,7 +677,7 @@ struct Server::Impl {
         }
       }
       auto G = std::make_shared<TraceGroup>();
-      G->Model = M;
+      G->Model = std::move(M);
       G->Arch = R.Trace.Arch;
       G->Op = isla::OpcodeSpec{BitVec(32, R.Trace.Opcode),
                                BitVec(32, R.Trace.SymMask)};
@@ -510,7 +685,8 @@ struct Server::Impl {
         G->Assume.assume(itl::Reg(A.Base, A.Field),
                          BitVec(A.Width, A.Value));
       G->Opts = execOptionsFor(R.Trace);
-      G->Key = cache::traceCacheKey(G->Arch, *M, G->Op, G->Assume, G->Opts);
+      G->Key = cache::traceCacheKey(G->Arch, *G->Model, G->Op, G->Assume,
+                                    G->Opts);
       G->Waiters.push_back(W);
 
       std::unique_lock<std::mutex> L(QMu);
@@ -667,6 +843,10 @@ struct Server::Impl {
         break;
       }
       }
+      // Degraded-mode detector: any publish failures the job just caused
+      // flip the daemon into cache-off mode once, instead of surfacing as
+      // one error storm per request (see maybeDegrade).
+      maybeDegrade();
       {
         std::lock_guard<std::mutex> L(QMu);
         --ActiveJobs;
@@ -674,6 +854,76 @@ struct Server::Impl {
       }
       QCv.notify_all();
     }
+  }
+
+  /// Compares the stores' publish-failure counters against the last
+  /// accounted values; on growth, charges PublishFailures and (first time)
+  /// enters cache-off degraded mode: both stores stop touching the disk,
+  /// requests keep being served from memory and fresh execution, and the
+  /// idle thread's write probe decides when to come back.
+  void maybeDegrade() {
+    if (!Cfg.Persist)
+      return;
+    uint64_t CW = Cache->stats().WriteFailures;
+    uint64_t SW = SideCond->stats().WriteFailures;
+    bool Enter = false;
+    uint64_t Delta;
+    {
+      std::lock_guard<std::mutex> L(DegradeMu);
+      Delta = (CW - SeenCacheWF) + (SW - SeenSideWF);
+      SeenCacheWF = CW;
+      SeenSideWF = SW;
+      if (Delta == 0)
+        return;
+      if (!Degraded) {
+        Degraded = true;
+        DegradedAt = Clock::now();
+        LastProbeAt = DegradedAt;
+        Enter = true;
+      }
+    }
+    bump(&ServerStats::PublishFailures, Delta);
+    if (Enter) {
+      Cache->setDiskDisabled(true);
+      SideCond->setDiskDisabled(true);
+      bump(&ServerStats::DegradedEntered);
+      std::fprintf(stderr,
+                   "islarisd: store publish failing under %s, entering "
+                   "cache-off degraded mode\n",
+                   Cache->dir().c_str());
+    }
+  }
+
+  /// Degraded-mode self-heal: paced by DegradedProbeSeconds, write one
+  /// probe file into the store directory.  The probe bypasses the disabled
+  /// stores on purpose — it is the one write allowed to touch the device —
+  /// and atomicWriteFile routes it through the disk-full fault site, so
+  /// chaos tests heal exactly when the injector is disarmed.
+  void probeDegraded() {
+    {
+      std::lock_guard<std::mutex> L(DegradeMu);
+      if (!Degraded || Cfg.DegradedProbeSeconds <= 0)
+        return;
+      if (secondsSince(LastProbeAt) < Cfg.DegradedProbeSeconds)
+        return;
+      LastProbeAt = Clock::now();
+    }
+    std::string Probe = Cache->dir() + "/.disk-probe";
+    if (!cache::atomicWriteFile(Probe, "islarisd disk probe\n"))
+      return; // still failing; stay degraded, try again next interval
+    ::unlink(Probe.c_str());
+    {
+      std::lock_guard<std::mutex> L(DegradeMu);
+      if (!Degraded)
+        return;
+      Degraded = false;
+      DegradedAccumSeconds += secondsSince(DegradedAt);
+    }
+    Cache->setDiskDisabled(false);
+    SideCond->setDiskDisabled(false);
+    bump(&ServerStats::DegradedHealed);
+    std::fprintf(stderr,
+                 "islarisd: store probe succeeded, leaving degraded mode\n");
   }
 
   void runTraceJob(Job &J) {
@@ -748,7 +998,7 @@ struct Server::Impl {
       }
       BD.setOptions(DO);
       cache::TraceJob TJ;
-      TJ.Model = G.Model;
+      TJ.Model = G.Model.get();
       TJ.ArchName = G.Arch;
       TJ.Op = G.Op;
       TJ.Assume = &G.Assume;
@@ -878,6 +1128,7 @@ struct Server::Impl {
       }
       if (Draining.load(std::memory_order_relaxed))
         return;
+      probeDegraded();
       {
         std::lock_guard<std::mutex> L(QMu);
         if (Cfg.IdleEvictSeconds <= 0 || EvictedSinceActivity)
@@ -923,6 +1174,17 @@ struct Server::Impl {
     if (Cfg.Persist) {
       cache::clearCleanShutdownMarker(Cache->dir());
       cache::clearCleanShutdownMarker(SideCond->dir());
+    }
+
+    // Initial model generation, parsed before the daemon accepts work: a
+    // ModelDir override that does not parse fails startup, not the first
+    // request.
+    {
+      auto MS = parseModelSet(0, Err);
+      if (!MS)
+        return false;
+      std::lock_guard<std::mutex> ML(ModelMu);
+      Models = std::move(MS);
     }
 
     // Transport bind (PR 8): unix paths probe-connect before unlinking so
@@ -1022,6 +1284,38 @@ struct Server::Impl {
     Running.store(false, std::memory_order_relaxed);
   }
 
+  HealthInfo healthSnapshotImpl() const {
+    HealthInfo H;
+    H.Version = ProtocolVersion;
+    H.Pid = uint64_t(::getpid());
+    H.UptimeSeconds = secondsSince(StartedAt);
+    H.Draining = Draining.load(std::memory_order_relaxed) ? 1 : 0;
+    {
+      std::lock_guard<std::mutex> L(QMu);
+      H.QueueDepth = TotalQueued;
+      H.ActiveJobs = ActiveJobs;
+    }
+    {
+      std::lock_guard<std::mutex> L(ModelMu);
+      if (Models) {
+        H.Generation = Models->Generation;
+        H.ModelFpHex = Models->FpHex;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> L(DegradeMu);
+      if (Degraded)
+        H.DegradedFlags |= HealthDegradedCacheOff;
+      H.DegradedSeconds =
+          DegradedAccumSeconds + (Degraded ? secondsSince(DegradedAt) : 0);
+    }
+    {
+      std::lock_guard<std::mutex> L(StatsMu);
+      H.PublishFailures = St.PublishFailures;
+    }
+    return H;
+  }
+
   std::string renderStatsImpl() const {
     ServerStats S;
     {
@@ -1035,6 +1329,7 @@ struct Server::Impl {
       Depth = TotalQueued;
       Active = ActiveJobs;
     }
+    HealthInfo H = healthSnapshotImpl();
     cache::CacheStats CS = Cache->stats();
     cache::SideCondStats SS = SideCond->stats();
     std::ostringstream OS;
@@ -1056,6 +1351,15 @@ struct Server::Impl {
        << ",\"heartbeats_seen\":" << S.HeartbeatsSeen
        << ",\"half_open_reaped\":" << S.HalfOpenReaped
        << ",\"stalled_writes\":" << S.StalledWrites
+       << ",\"health_requests\":" << S.HealthRequests
+       << ",\"reloads\":" << S.Reloads
+       << ",\"reload_failures\":" << S.ReloadFailures
+       << ",\"publish_failures\":" << S.PublishFailures
+       << ",\"degraded\":" << ((H.DegradedFlags & HealthDegradedCacheOff)
+                                   ? 1 : 0)
+       << ",\"degraded_seconds\":" << H.DegradedSeconds
+       << ",\"model_generation\":" << H.Generation
+       << ",\"model_fp\":\"" << H.ModelFpHex << "\""
        << ",\"listen\":\"" << Lsn.local().str() << "\""
        << ",\"queue_depth\":" << Depth << ",\"active_jobs\":" << Active
        << ",\"trace_cache\":{\"hits\":" << CS.Hits
@@ -1106,3 +1410,9 @@ cache::TraceCache *Server::traceCache() { return I->Cache.get(); }
 cache::SideCondStore *Server::sideCondStore() { return I->SideCond.get(); }
 
 std::string Server::renderStats() const { return I->renderStatsImpl(); }
+
+bool Server::reloadModels(std::string &Err) {
+  return I->reloadModelsImpl(Err);
+}
+
+HealthInfo Server::healthSnapshot() const { return I->healthSnapshotImpl(); }

@@ -110,6 +110,22 @@ struct ServerConfig {
   /// Base retry-after hint (milliseconds) carried by load-shed
   /// rejections; scaled up with queue pressure.
   uint64_t ShedRetryAfterMs = 100;
+
+  //===--- Fleet operation (PR 10) ----------------------------------------===//
+
+  /// Optional model-source override directory: when non-empty, files named
+  /// <ModelDir>/aarch64.sail and <ModelDir>/rv64.sail replace the built-in
+  /// sources for the architectures they cover (missing files keep the
+  /// builtin).  Re-read on every hot reload (SIGHUP or a `reload` request),
+  /// which is the point: edit the file, signal the daemon, new requests
+  /// execute against the new parse while in-flight jobs finish on the old
+  /// one.
+  std::string ModelDir;
+  /// While in cache-off degraded mode (store publishes failing — device
+  /// full, dying disk), probe the store directory for writability at this
+  /// interval and self-heal when a probe succeeds.  <= 0 disables the
+  /// probe (degraded mode then persists until restart).
+  double DegradedProbeSeconds = 5;
 };
 
 /// Monotonic counters; readable while the server runs.
@@ -134,6 +150,13 @@ struct ServerStats {
   uint64_t HeartbeatsSeen = 0;  ///< Client->server heartbeat frames.
   uint64_t HalfOpenReaped = 0;  ///< Connections reaped for silence.
   uint64_t StalledWrites = 0;   ///< Sends abandoned at WriteTimeoutSeconds.
+  uint64_t HealthRequests = 0;  ///< `health` probes answered.
+  uint64_t Reloads = 0;         ///< Successful hot model reloads.
+  uint64_t ReloadFailures = 0;  ///< Reloads rejected (model did not parse).
+  uint64_t PublishFailures = 0; ///< Store publishes that failed (both
+                                ///< stores; feeds degraded-mode entry).
+  uint64_t DegradedEntered = 0; ///< Transitions into cache-off degraded mode.
+  uint64_t DegradedHealed = 0;  ///< Degraded spells ended by a probe success.
 };
 
 /// The resident verification server.  start() spawns the listener and
@@ -181,6 +204,20 @@ public:
   /// Renders the stats payload served to `stats` requests (JSON object,
   /// one line).
   std::string renderStats() const;
+
+  /// Hot model reload: re-parse the model sources (ModelDir overrides
+  /// included), swap the registry, bump the generation, and touch the new
+  /// fingerprints' generation records.  In-flight jobs finish against the
+  /// parse they started with; requests admitted after the swap use the new
+  /// one.  False (with \p Err, registry untouched) when a source does not
+  /// parse — a bad reload never takes down a serving daemon.  Safe from
+  /// any thread; also reached by SIGHUP (tools/islarisd) and the `reload`
+  /// wire request.
+  bool reloadModels(std::string &Err);
+
+  /// The readiness snapshot served to `health` probes (also handy for
+  /// tests: generation, degraded flags, queue pressure).
+  HealthInfo healthSnapshot() const;
 
 private:
   struct Impl;

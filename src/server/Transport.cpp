@@ -214,13 +214,33 @@ int Listener::acceptOne() {
 // Connect.
 //===----------------------------------------------------------------------===//
 
+/// Maps a failed connect(2)'s errno onto the caller-facing taxonomy.
+/// ECONNREFUSED and ENOENT (missing unix socket path) both mean "nobody is
+/// home" — the stale-socket shape unixSocketAlive reclaims.  EAGAIN on a
+/// unix stream socket means the listener's accept backlog is full: alive
+/// but saturated, which for pacing purposes is a timeout, not a refusal.
+static DialError classifyDialErrno(int E) {
+  switch (E) {
+  case ECONNREFUSED:
+  case ENOENT:
+    return DialError::Refused;
+  case EAGAIN:
+  case ETIMEDOUT:
+    return DialError::Timeout;
+  default:
+    return DialError::Other;
+  }
+}
+
 /// Connect with a deadline: flip nonblocking, connect, poll for
 /// writability, read SO_ERROR, flip back.  The OS default TCP connect
 /// timeout is minutes — far past any request deadline we would carry.
 static bool connectTimed(int Fd, const sockaddr *Addr, socklen_t Len,
-                         double TimeoutSeconds, std::string &Err) {
+                         double TimeoutSeconds, std::string &Err,
+                         DialError &DE) {
   if (TimeoutSeconds <= 0) {
     if (::connect(Fd, Addr, Len) < 0) {
+      DE = classifyDialErrno(errno);
       Err = std::string("connect(): ") + std::strerror(errno);
       return false;
     }
@@ -230,6 +250,7 @@ static bool connectTimed(int Fd, const sockaddr *Addr, socklen_t Len,
   ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
   int R = ::connect(Fd, Addr, Len);
   if (R < 0 && errno != EINPROGRESS) {
+    DE = classifyDialErrno(errno);
     Err = std::string("connect(): ") + std::strerror(errno);
     return false;
   }
@@ -239,6 +260,7 @@ static bool connectTimed(int Fd, const sockaddr *Addr, socklen_t Len,
       pollfd P{Fd, POLLOUT, 0};
       int Ms = D.pollMs();
       if (Ms == 0) {
+        DE = DialError::Timeout;
         Err = "connect(): timed out after " +
               std::to_string(TimeoutSeconds) + "s";
         return false;
@@ -248,6 +270,7 @@ static bool connectTimed(int Fd, const sockaddr *Addr, socklen_t Len,
         continue;
       if (PR <= 0) {
         if (D.expired()) {
+          DE = DialError::Timeout;
           Err = "connect(): timed out after " +
                 std::to_string(TimeoutSeconds) + "s";
           return false;
@@ -260,6 +283,7 @@ static bool connectTimed(int Fd, const sockaddr *Addr, socklen_t Len,
     socklen_t SL = sizeof SoErr;
     if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &SL) < 0 ||
         SoErr != 0) {
+      DE = classifyDialErrno(SoErr ? SoErr : errno);
       Err = std::string("connect(): ") + std::strerror(SoErr ? SoErr : errno);
       return false;
     }
@@ -269,23 +293,28 @@ static bool connectTimed(int Fd, const sockaddr *Addr, socklen_t Len,
 }
 
 int islaris::server::connectEndpoint(const Endpoint &E, double TimeoutSeconds,
-                                     std::string &Err) {
+                                     std::string &Err, DialError *DE) {
+  DialError Local = DialError::None;
+  DialError &D = DE ? *DE : Local;
+  D = DialError::None;
   if (E.K == Endpoint::Kind::Unix) {
     sockaddr_un Addr{};
     if (E.Path.size() >= sizeof Addr.sun_path) {
       Err = "socket path too long: " + E.Path;
+      D = DialError::Other;
       return -1;
     }
     int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (Fd < 0) {
       Err = std::string("socket(): ") + std::strerror(errno);
+      D = DialError::Other;
       return -1;
     }
     Addr.sun_family = AF_UNIX;
     std::memcpy(Addr.sun_path, E.Path.c_str(), E.Path.size() + 1);
     std::string CErr;
     if (!connectTimed(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr,
-                      TimeoutSeconds, CErr)) {
+                      TimeoutSeconds, CErr, D)) {
       Err = E.Path + ": " + CErr;
       ::close(Fd);
       return -1;
@@ -301,21 +330,27 @@ int islaris::server::connectEndpoint(const Endpoint &E, double TimeoutSeconds,
   int GA = ::getaddrinfo(E.Host.c_str(), PortStr.c_str(), &Hints, &Res);
   if (GA != 0) {
     Err = "getaddrinfo(" + E.Host + "): " + ::gai_strerror(GA);
+    D = DialError::Other;
     return -1;
   }
   int Fd = -1;
   std::string LastErr = "no addresses";
+  D = DialError::Other;
   for (addrinfo *A = Res; A; A = A->ai_next) {
     Fd = ::socket(A->ai_family, A->ai_socktype, A->ai_protocol);
     if (Fd < 0)
       continue;
     std::string CErr;
-    if (connectTimed(Fd, A->ai_addr, A->ai_addrlen, TimeoutSeconds, CErr)) {
+    DialError AD = DialError::None;
+    if (connectTimed(Fd, A->ai_addr, A->ai_addrlen, TimeoutSeconds, CErr,
+                     AD)) {
       int One = 1;
       ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof One);
+      D = DialError::None;
       break;
     }
     LastErr = CErr;
+    D = AD;
     ::close(Fd);
     Fd = -1;
   }
@@ -326,9 +361,13 @@ int islaris::server::connectEndpoint(const Endpoint &E, double TimeoutSeconds,
 }
 
 int islaris::server::connectSpec(const std::string &Spec,
-                                 double TimeoutSeconds, std::string &Err) {
+                                 double TimeoutSeconds, std::string &Err,
+                                 DialError *DE) {
   Endpoint E;
-  if (!parseEndpoint(Spec, E, Err))
+  if (!parseEndpoint(Spec, E, Err)) {
+    if (DE)
+      *DE = DialError::Other;
     return -1;
-  return connectEndpoint(E, TimeoutSeconds, Err);
+  }
+  return connectEndpoint(E, TimeoutSeconds, Err, DE);
 }

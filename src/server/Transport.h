@@ -91,15 +91,26 @@ private:
   bool OwnsUnixPath = false;
 };
 
+/// Why a dial failed, for callers that treat "nobody is listening" and
+/// "the listener is slow" differently (the failover client rotates
+/// immediately on Refused but honors its backoff on Timeout — the TCP
+/// analogue of unixSocketAlive's stale-vs-live distinction).
+enum class DialError : uint8_t {
+  None,    ///< The dial succeeded.
+  Refused, ///< ECONNREFUSED / missing socket path: endpoint is down.
+  Timeout, ///< The connect timer (or the peer's accept queue) ran out.
+  Other,   ///< Resolution failure, permission, unreachable network, ...
+};
+
 /// Connects to \p E, TCP_NODELAY applied for TCP, bounded by
 /// \p TimeoutSeconds (<= 0 = the OS default).  Returns the fd or -1 with
-/// \p Err set.
+/// \p Err set (and \p DE classified, when non-null).
 int connectEndpoint(const Endpoint &E, double TimeoutSeconds,
-                    std::string &Err);
+                    std::string &Err, DialError *DE = nullptr);
 
 /// parse + connect in one step for callers holding a spec string.
 int connectSpec(const std::string &Spec, double TimeoutSeconds,
-                std::string &Err);
+                std::string &Err, DialError *DE = nullptr);
 
 } // namespace islaris::server
 

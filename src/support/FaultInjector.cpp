@@ -28,6 +28,8 @@ const char *islaris::support::faultSiteName(FaultSite S) {
     return "crash-publish";
   case FaultSite::CrashJournal:
     return "crash-journal";
+  case FaultSite::DiskFull:
+    return "disk-full";
   }
   return "unknown";
 }

@@ -28,6 +28,11 @@
 ///   crash-journal     the process exits hard inside a run-journal append,
 ///                     leaving a torn tail record the resume path must
 ///                     detect and truncate away.
+///   disk-full         every store publish fails as if the device were
+///                     full (ENOSPC at atomicWriteFile), persisting until
+///                     the injector is disarmed — the shape islarisd's
+///                     cache-off degraded mode and its self-heal probe are
+///                     tested against.
 ///
 /// Decisions are a pure function of (seed, site, per-site probe counter), so
 /// a run with a fixed seed and thread-free scheduling is exactly
@@ -66,8 +71,9 @@ enum class FaultSite : unsigned {
   ExecThrow,
   CrashPublish,
   CrashJournal,
+  DiskFull,
 };
-inline constexpr unsigned NumFaultSites = 9;
+inline constexpr unsigned NumFaultSites = 10;
 
 /// Stable site name ("cache-read", ...); the ISLARIS_FAULTS syntax.
 const char *faultSiteName(FaultSite S);

@@ -43,6 +43,8 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -694,6 +696,143 @@ TEST(HalfOpenTest, BusyConnectionIsNotReaped) {
   ASSERT_TRUE(C.runTrace(addImm(88), R, Err)) << Err;
   EXPECT_TRUE(R.Ok) << "silent-but-waiting client was reaped mid-request";
   EXPECT_EQ(S.stats().HalfOpenReaped, 0u);
+  S.requestShutdown();
+  S.wait();
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet failover under hostile transports (PR 10).
+//===----------------------------------------------------------------------===//
+
+TEST(FailoverChaosTest, ResetStormRotatesToHealthyEndpoint) {
+  TempDir D;
+  server::ServerConfig Cfg = baseConfig(D);
+  Cfg.SocketPath = "127.0.0.1:0";
+  server::Server S(Cfg);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  // A proxy that resets every chunk: the first endpoint accepts dials but
+  // never completes a handshake — the worst kind of "up but broken" peer.
+  server::ChaosConfig CC;
+  CC.Seed = 7;
+  CC.ResetProb = 1.0;
+  server::ChaosProxy P(CC);
+  ASSERT_TRUE(P.start("127.0.0.1:0", S.boundEndpoint().str(), Err)) << Err;
+
+  server::Client C(chaosClientOptions(21));
+  ASSERT_TRUE(C.connect(P.boundEndpoint().str() + "," +
+                            S.boundEndpoint().str(),
+                        Err))
+      << Err;
+  // The broken endpoint is marked dead and the ring settled on the healthy
+  // one; the success reset the shared retry backoff (a later hiccup starts
+  // from the base delay again, not wherever the storm left the exponent).
+  EXPECT_EQ(C.activeEndpoint(), S.boundEndpoint().str());
+  EXPECT_EQ(C.retryBackoffAttempt(), 0u);
+
+  server::Client::TraceResult R;
+  ASSERT_TRUE(C.runTrace(addImm(90), R, Err)) << Err;
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(C.retryBackoffAttempt(), 0u);
+
+  P.stop();
+  S.requestShutdown();
+  S.wait();
+}
+
+TEST(FailoverChaosTest, BackoffResetsAfterMidStreamRecovery) {
+  TempDir D;
+  server::ServerConfig Cfg = baseConfig(D);
+  Cfg.SocketPath = "127.0.0.1:0";
+  server::Server S(Cfg);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  // Moderate reset rate: some attempts die mid-request and are retried
+  // with growing backoff; the run must still converge bit-identically, and
+  // every delivered result must leave the backoff streak at zero.
+  server::ChaosConfig CC;
+  CC.Seed = 4242;
+  CC.ResetProb = 0.25;
+  CC.SplitProb = 0.3;
+  server::ChaosProxy P(CC);
+  ASSERT_TRUE(P.start("127.0.0.1:0", S.boundEndpoint().str(), Err)) << Err;
+
+  server::Client Direct;
+  ASSERT_TRUE(Direct.connect(S.boundEndpoint().str(), Err)) << Err;
+  server::Client C(chaosClientOptions(22));
+  ASSERT_TRUE(C.connect(P.boundEndpoint().str(), Err)) << Err;
+  for (unsigned Imm = 91; Imm <= 96; ++Imm) {
+    server::Client::TraceResult Want, Got;
+    ASSERT_TRUE(Direct.runTrace(addImm(Imm), Want, Err)) << Err;
+    ASSERT_TRUE(C.runTrace(addImm(Imm), Got, Err)) << "imm " << Imm << ": "
+                                                   << Err;
+    EXPECT_EQ(Got.EntryText, Want.EntryText) << "imm " << Imm;
+    EXPECT_EQ(C.retryBackoffAttempt(), 0u) << "imm " << Imm;
+  }
+
+  P.stop();
+  S.requestShutdown();
+  S.wait();
+}
+
+TEST(FailoverChaosTest, SaturatedTcpBacklogClassifiesAsTimeout) {
+  // A listener that never accepts, with a zero backlog already filled by
+  // squatters: further dials get their SYNs dropped and run out the
+  // connect timer.  That is a *timeout*, not a refusal — the failover
+  // client must charge it to the backoff budget (slow ≠ down) yet still
+  // end up on the healthy endpoint.
+  int Lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Lfd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = 0;
+  ASSERT_EQ(::bind(Lfd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr), 0);
+  ASSERT_EQ(::listen(Lfd, 0), 0);
+  socklen_t Len = sizeof Addr;
+  ASSERT_EQ(::getsockname(Lfd, reinterpret_cast<sockaddr *>(&Addr), &Len), 0);
+  std::string Stuck =
+      "127.0.0.1:" + std::to_string(ntohs(Addr.sin_port));
+
+  // Fill the accept queue so later SYNs are dropped rather than accepted.
+  std::vector<int> Squatters;
+  for (int I = 0; I < 4; ++I) {
+    int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      break;
+    // Non-blocking connect: a queued (or in-progress) squat is enough.
+    std::string CErr;
+    server::DialError DE = server::DialError::None;
+    int C = server::connectSpec(Stuck, 0.2, CErr, &DE);
+    if (C >= 0)
+      Squatters.push_back(C);
+    ::close(Fd);
+  }
+
+  TempDir D;
+  server::ServerConfig Cfg = baseConfig(D);
+  Cfg.SocketPath = "127.0.0.1:0";
+  server::Server S(Cfg);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  server::ClientOptions O = chaosClientOptions(23);
+  O.ConnectTimeoutSeconds = 0.3; // make the timeout observable in ms
+  server::Client C(O);
+  ASSERT_TRUE(C.connect(Stuck + "," + S.boundEndpoint().str(), Err)) << Err;
+  EXPECT_EQ(C.activeEndpoint(), S.boundEndpoint().str());
+  EXPECT_GE(C.netStats().DialsTimedOut, 1u);
+  EXPECT_EQ(C.netStats().DialsRefused, 0u);
+
+  server::Client::TraceResult R;
+  ASSERT_TRUE(C.runTrace(addImm(97), R, Err)) << Err;
+  EXPECT_TRUE(R.Ok);
+
+  for (int Fd : Squatters)
+    ::close(Fd);
+  ::close(Lfd);
   S.requestShutdown();
   S.wait();
 }

@@ -4,12 +4,18 @@
 //
 //   islaris-cli --socket ENDPOINT ping
 //   islaris-cli --socket ENDPOINT stats
+//   islaris-cli --socket ENDPOINT health
+//   islaris-cli --socket ENDPOINT reload
 //   islaris-cli --socket ENDPOINT study NAME|suite
 //   islaris-cli --socket ENDPOINT trace ARCH OPCODE-HEX [--sym-mask HEX]
 //               [--assume BASE[.FIELD]=WIDTH:VALUE]...
 //   islaris-cli --socket ENDPOINT shutdown
 //
-// ENDPOINT is a Unix socket path or a TCP "host:port".  Retry knobs:
+// ENDPOINT is a Unix socket path, a TCP "host:port", or a comma-separated
+// failover list of either ("a.sock,b.sock,host:port"): the client dials
+// the first reachable endpoint (with --least-loaded, the least-loaded one)
+// and rotates through the ring on resets, reaps, refusals, and shed
+// storms.  Retry knobs:
 // --deadline-ms N bounds each command end to end (and travels to the
 // server), --retries N caps attempts, --retry-seed N fixes the backoff
 // jitter stream so chaos runs replay, --quiet-retries hides retry noise.
@@ -36,12 +42,16 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: islaris-cli --socket ENDPOINT [--deadline-ms N]\n"
-      "                   [--retries N] [--retry-seed N] COMMAND\n"
-      "  ENDPOINT: unix socket path or TCP host:port\n"
+      "usage: islaris-cli --socket ENDPOINT[,ENDPOINT...] [--deadline-ms N]\n"
+      "                   [--retries N] [--retry-seed N] [--least-loaded]\n"
+      "                   COMMAND\n"
+      "  ENDPOINT: unix socket path or TCP host:port; a comma list fails\n"
+      "            over between daemons sharing a store\n"
       "commands:\n"
       "  ping                          round-trip liveness check\n"
       "  stats                         print the server's stats JSON\n"
+      "  health                        print the readiness snapshot\n"
+      "  reload                        hot-reload the server's ISA models\n"
       "  study NAME|suite              run one case study or all nine\n"
       "  trace ARCH OPCODE-HEX         symbolically execute one opcode\n"
       "    [--sym-mask HEX]            symbolic opcode bits\n"
@@ -92,6 +102,8 @@ int main(int argc, char **argv) {
       Opt.MaxAttempts = unsigned(std::atoi(Next()));
     else if (A == "--retry-seed")
       Opt.Seed = std::strtoull(Next(), nullptr, 10);
+    else if (A == "--least-loaded")
+      Opt.PreferLeastLoaded = true;
     else
       Args.push_back(A);
   }
@@ -122,6 +134,39 @@ int main(int argc, char **argv) {
       return 2;
     }
     std::printf("%s\n", Json.c_str());
+    return 0;
+  }
+
+  if (Cmd == "health") {
+    server::HealthInfo H;
+    if (!C.health(H, Err)) {
+      std::fprintf(stderr, "islaris-cli: health failed: %s\n", Err.c_str());
+      return 2;
+    }
+    std::printf("{\"endpoint\":\"%s\",\"protocol\":%llu,\"pid\":%llu,"
+                "\"uptime_seconds\":%.3f,\"queue_depth\":%llu,"
+                "\"active_jobs\":%llu,\"draining\":%llu,"
+                "\"model_generation\":%llu,\"model_fp\":\"%s\","
+                "\"degraded\":%llu,\"publish_failures\":%llu,"
+                "\"degraded_seconds\":%.3f}\n",
+                C.activeEndpoint().c_str(), (unsigned long long)H.Version,
+                (unsigned long long)H.Pid, H.UptimeSeconds,
+                (unsigned long long)H.QueueDepth,
+                (unsigned long long)H.ActiveJobs,
+                (unsigned long long)H.Draining,
+                (unsigned long long)H.Generation, H.ModelFpHex.c_str(),
+                (unsigned long long)H.DegradedFlags,
+                (unsigned long long)H.PublishFailures, H.DegradedSeconds);
+    return 0;
+  }
+
+  if (Cmd == "reload") {
+    if (!C.reloadServer(Err)) {
+      std::fprintf(stderr, "islaris-cli: reload failed: %s\n", Err.c_str());
+      return 2;
+    }
+    std::printf("islaris-cli: models reloaded on %s\n",
+                C.activeEndpoint().c_str());
     return 0;
   }
 

@@ -9,14 +9,25 @@
 //            [--idle-evict SECONDS] [--cache-dir DIR] [--no-persist]
 //            [--job-timeout SECONDS] [--exec-delay SECONDS]
 //            [--write-timeout S] [--heartbeat S] [--half-open-reap S]
+//            [--model-dir DIR] [--degraded-probe S]
 //
 // Prints "islarisd: listening on <endpoint>" once the socket is live (for
 // TCP port 0, with the kernel-assigned port), so harnesses (CI, tests)
 // can wait for readiness and learn the port by watching stdout.
 //
+// SIGHUP hot-reloads the ISA models (re-reading --model-dir overrides):
+// in-flight jobs finish on the parse they started with, requests admitted
+// after the swap use the new one, and `islaris-cli health` reports the
+// bumped generation.  SIGINT/SIGTERM drain; a third signal kills hard.
+//
+// ISLARIS_FAULTS / ISLARIS_FAULT_SEED arm the fault injector (chaos and
+// degraded-mode testing — e.g. ISLARIS_FAULTS=disk-full:1 simulates a full
+// device and flips the daemon into cache-off degraded mode).
+//
 //===----------------------------------------------------------------------===//
 
 #include "server/Server.h"
+#include "support/FaultInjector.h"
 
 #include <atomic>
 #include <chrono>
@@ -32,6 +43,7 @@ using namespace islaris;
 namespace {
 
 std::atomic<int> SignalsSeen{0};
+std::atomic<uint64_t> ReloadsSeen{0};
 
 void onSignal(int) {
   // Only async-signal-safe work here: requestShutdown takes mutexes and
@@ -46,6 +58,12 @@ void onSignal(int) {
     std::_Exit(2);
 }
 
+void onHup(int) {
+  // Same discipline: just bump a counter; the watcher thread performs the
+  // reload (parsing, mutexes, I/O — none of it signal-safe).
+  ReloadsSeen.fetch_add(1, std::memory_order_relaxed);
+}
+
 int usage(const char *Argv0) {
   std::fprintf(
       stderr,
@@ -53,7 +71,8 @@ int usage(const char *Argv0) {
       "          [--queue-depth N] [--max-inflight N] [--idle-evict S]\n"
       "          [--cache-dir DIR] [--no-persist] [--job-timeout S]\n"
       "          [--exec-delay S] [--write-timeout S] [--heartbeat S]\n"
-      "          [--half-open-reap S]\n",
+      "          [--half-open-reap S] [--model-dir DIR]\n"
+      "          [--degraded-probe S]\n",
       Argv0);
   return 2;
 }
@@ -99,6 +118,10 @@ int main(int argc, char **argv) {
       Cfg.Limits.JobTimeoutSeconds = std::atof(Next("--job-timeout"));
     else if (A == "--exec-delay")
       Cfg.ExecDelaySeconds = std::atof(Next("--exec-delay"));
+    else if (A == "--model-dir")
+      Cfg.ModelDir = Next("--model-dir");
+    else if (A == "--degraded-probe")
+      Cfg.DegradedProbeSeconds = std::atof(Next("--degraded-probe"));
     else if (A == "--help" || A == "-h")
       return usage(argv[0]);
     else {
@@ -109,6 +132,14 @@ int main(int argc, char **argv) {
   if (Cfg.SocketPath.empty())
     return usage(argv[0]);
 
+  // Arm the fault injector from the environment before any store I/O so
+  // chaos harnesses (CI's disk-full round, netchaos) can fault the daemon
+  // from outside.  The unique_ptr outlives the server.
+  std::unique_ptr<support::FaultInjector> Faults =
+      support::FaultInjector::fromEnv();
+  if (Faults)
+    support::FaultInjector::setActive(Faults.get());
+
   server::Server S(Cfg);
   std::string Err;
   if (!S.start(Err)) {
@@ -118,15 +149,29 @@ int main(int argc, char **argv) {
 
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
+  std::signal(SIGHUP, onHup);
 
-  // Translate the signal flag into a drain from regular thread context.
-  // Exits on its own once the server drains for any other reason (e.g. a
-  // client shutdown frame): wait() flips running() after teardown.
+  // Translate the signal flags into drains/reloads from regular thread
+  // context.  Exits on its own once the server drains for any other reason
+  // (e.g. a client shutdown frame): wait() flips running() after teardown.
   std::thread SigWatch([&S] {
+    uint64_t ReloadsDone = 0;
     while (S.running()) {
       if (SignalsSeen.load(std::memory_order_relaxed) > 0) {
         S.requestShutdown();
         return;
+      }
+      uint64_t Want = ReloadsSeen.load(std::memory_order_relaxed);
+      if (Want > ReloadsDone) {
+        // Coalesce a burst of SIGHUPs into one reload; keep watching for
+        // drain signals afterwards.
+        ReloadsDone = Want;
+        std::string RErr;
+        if (S.reloadModels(RErr))
+          std::fprintf(stderr, "islarisd: models reloaded (SIGHUP)\n");
+        else
+          std::fprintf(stderr, "islarisd: reload failed: %s\n",
+                       RErr.c_str());
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
